@@ -1,0 +1,361 @@
+(* sdds — command-line front end.
+
+   Subcommands:
+     view         evaluate an access-control policy (and optional query)
+                  over an XML file and print the authorized view
+     encode       compact-encode a document (with skip index), report sizes
+     stats        structural statistics of a document
+     demo         run the full encrypted pull scenario in-process
+     keygen       create an RSA identity (NAME.sk + NAME.pk)
+     publish      encrypt a document into a store directory, with per-user
+                  rules and key grants
+     update-rules replace a subject's policy in a store (no re-encryption)
+     query        evaluate against a store directory through a simulated
+                  smart card
+
+   Examples:
+     sdds view doc.xml -r '+, alice, //patient' -r '-, alice, //ssn' -s alice
+     sdds encode doc.xml
+     sdds demo doc.xml -r '+, u, //patient' -s u -q '//name'
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_doc path =
+  match Sdds_xml.Parser.dom_of_string (read_file path) with
+  | doc -> Ok doc
+  | exception Sdds_xml.Parser.Error (pos, msg) ->
+      Error (Printf.sprintf "%s: parse error at byte %d: %s" path pos msg)
+  | exception Sys_error msg -> Error msg
+
+let parse_rules lines =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match Sdds_core.Rule.parse line with
+        | r -> go (r :: acc) rest
+        | exception Invalid_argument msg -> Error (line ^ ": " ^ msg)
+        | exception Sdds_xpath.Parser.Error (_, msg) -> Error (line ^ ": " ^ msg))
+  in
+  go [] lines
+
+(* Common arguments *)
+
+let doc_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml" ~doc:"XML document")
+
+let rules_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "r"; "rule" ] ~docv:"RULE"
+        ~doc:"Access rule \"SIGN, SUBJECT, XPATH\" (repeatable), e.g. \"+, alice, //patient\"")
+
+let subject_arg =
+  Arg.(
+    value & opt string "user"
+    & info [ "s"; "subject" ] ~docv:"SUBJECT" ~doc:"Subject to evaluate for")
+
+let query_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"XPATH" ~doc:"Query composed with the rules")
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("sdds: " ^ msg);
+      exit 1
+
+(* view *)
+
+let view_cmd =
+  let run doc_path rules subject query =
+    let doc = or_die (load_doc doc_path) in
+    let rules = or_die (parse_rules rules) in
+    match
+      Sdds_core.Sdds.authorized_view_for ~subject ?query ~rules doc
+    with
+    | Some view ->
+        print_endline (Sdds_xml.Serializer.to_string ~indent:true view)
+    | None -> print_endline "<!-- nothing authorized -->"
+  in
+  Cmd.v
+    (Cmd.info "view" ~doc:"Print the authorized view of a document")
+    Term.(const run $ doc_arg $ rules_arg $ subject_arg $ query_arg)
+
+(* encode *)
+
+let encode_cmd =
+  let run doc_path =
+    let doc = or_die (load_doc doc_path) in
+    let xml_bytes = String.length (Sdds_xml.Serializer.to_string doc) in
+    List.iter
+      (fun (label, mode) ->
+        let encoded = Sdds_index.Encode.encode ~mode doc in
+        let s = Sdds_index.Reader.size_stats encoded in
+        Printf.printf
+          "%-18s %7dB total (%.0f%% of XML) | header %dB, index %dB, payload %dB\n"
+          label s.Sdds_index.Reader.total_bytes
+          (100.0 *. float_of_int s.Sdds_index.Reader.total_bytes /. float_of_int xml_bytes)
+          s.Sdds_index.Reader.header_bytes s.Sdds_index.Reader.metadata_bytes
+          s.Sdds_index.Reader.payload_bytes)
+      [
+        ("plain", Sdds_index.Encode.Plain);
+        ("indexed", Sdds_index.Encode.Indexed { recursive = true });
+        ("indexed (flat)", Sdds_index.Encode.Indexed { recursive = false });
+      ]
+  in
+  Cmd.v
+    (Cmd.info "encode" ~doc:"Compact-encode a document and report index sizes")
+    Term.(const run $ doc_arg)
+
+(* stats *)
+
+let stats_cmd =
+  let run doc_path =
+    let doc = or_die (load_doc doc_path) in
+    print_endline Sdds_xml.Stats.header;
+    print_endline
+      (Sdds_xml.Stats.row ~name:(Filename.basename doc_path)
+         (Sdds_xml.Stats.compute doc))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Structural statistics of a document")
+    Term.(const run $ doc_arg)
+
+(* demo: full encrypted pull in-process *)
+
+let demo_cmd =
+  let run doc_path rules subject query =
+    let doc = or_die (load_doc doc_path) in
+    let rules = or_die (parse_rules rules) in
+    let drbg = Sdds_crypto.Drbg.create ~seed:"sdds-cli" in
+    let publisher = Sdds_crypto.Rsa.generate drbg ~bits:512 in
+    let user = Sdds_crypto.Rsa.generate drbg ~bits:512 in
+    let published, doc_key =
+      Sdds_dsp.Publish.publish drbg ~publisher ~doc_id:"cli-doc" doc
+    in
+    let store = Sdds_dsp.Store.create () in
+    Sdds_dsp.Store.put_document store published;
+    Sdds_dsp.Store.put_rules store ~doc_id:"cli-doc" ~subject
+      (Sdds_dsp.Publish.encrypt_rules_for drbg ~publisher ~doc_key
+         ~doc_id:"cli-doc" ~subject rules);
+    Sdds_dsp.Store.put_grant store ~doc_id:"cli-doc" ~subject
+      (Sdds_dsp.Publish.grant drbg ~doc_key ~doc_id:"cli-doc"
+         ~recipient:user.Sdds_crypto.Rsa.public);
+    let card =
+      Sdds_soe.Card.create ~profile:Sdds_soe.Cost.egate ~subject user
+    in
+    let proxy = Sdds_proxy.Proxy.create ~store ~card in
+    match Sdds_proxy.Proxy.query proxy ~doc_id:"cli-doc" ?xpath:query () with
+    | Error e ->
+        Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
+        exit 1
+    | Ok o ->
+        (match o.Sdds_proxy.Proxy.xml with
+        | Some xml -> print_endline xml
+        | None -> print_endline "<!-- nothing authorized -->");
+        let r = o.Sdds_proxy.Proxy.card_report in
+        let b = r.Sdds_soe.Card.breakdown in
+        Format.eprintf
+          "card: %d/%d chunks, %.0f ms total (%.0f transfer, %.0f crypto, \
+           %.0f cpu), RAM %dB/%dB@."
+          r.Sdds_soe.Card.chunks_consumed r.Sdds_soe.Card.chunks_total
+          b.Sdds_soe.Cost.total_ms b.Sdds_soe.Cost.transfer_ms
+          b.Sdds_soe.Cost.crypto_ms b.Sdds_soe.Cost.cpu_ms
+          r.Sdds_soe.Card.ram_peak_bytes r.Sdds_soe.Card.ram_budget_bytes
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"Run the full encrypted pull scenario (publish, grant, query)")
+    Term.(const run $ doc_arg $ rules_arg $ subject_arg $ query_arg)
+
+(* persistent-store workflow *)
+
+let store_arg =
+  Arg.(
+    required & opt (some string) None
+    & info [ "store" ] ~docv:"DIR" ~doc:"Store directory")
+
+let id_arg =
+  Arg.(
+    value & opt string "doc"
+    & info [ "id" ] ~docv:"ID" ~doc:"Document identifier within the store")
+
+let entropy () =
+  (* CLI key generation wants fresh keys per invocation. *)
+  Sdds_crypto.Drbg.create
+    ~seed:(Printf.sprintf "sdds-cli|%f|%d" (Unix.gettimeofday ()) (Unix.getpid ()))
+
+let keygen_cmd =
+  let run name =
+    let drbg = entropy () in
+    let kp = Sdds_crypto.Rsa.generate drbg ~bits:512 in
+    Sdds_dsp.Store_io.Keyfile.save_keypair kp ~path:(name ^ ".sk");
+    Sdds_dsp.Store_io.Keyfile.save_public kp.Sdds_crypto.Rsa.public
+      ~path:(name ^ ".pk");
+    Printf.printf "wrote %s.sk and %s.pk (fingerprint %s)
+" name name
+      (Sdds_crypto.Rsa.fingerprint kp.Sdds_crypto.Rsa.public)
+  in
+  let name_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"NAME" ~doc:"Basename for NAME.sk / NAME.pk")
+  in
+  Cmd.v
+    (Cmd.info "keygen" ~doc:"Create an RSA identity")
+    Term.(const run $ name_arg)
+
+let grants_arg =
+  Arg.(
+    value & opt_all (pair ~sep:'=' string file) []
+    & info [ "grant" ] ~docv:"SUBJECT=NAME.pk"
+        ~doc:"Grant the document key to SUBJECT's public key (repeatable)")
+
+let publisher_arg =
+  Arg.(
+    required & opt (some file) None
+    & info [ "publisher" ] ~docv:"NAME.sk" ~doc:"Publisher's secret key file")
+
+let publish_cmd =
+  let run doc_path store_dir doc_id publisher_path rules grants =
+    let doc = or_die (load_doc doc_path) in
+    let rules = or_die (parse_rules rules) in
+    let publisher = Sdds_dsp.Store_io.Keyfile.load_keypair ~path:publisher_path in
+    let drbg = entropy () in
+    let published, doc_key =
+      Sdds_dsp.Publish.publish drbg ~publisher ~doc_id doc
+    in
+    let store =
+      if Sys.file_exists store_dir then Sdds_dsp.Store_io.load ~dir:store_dir
+      else Sdds_dsp.Store.create ()
+    in
+    Sdds_dsp.Store.put_document store published;
+    (* A self-grant lets the publisher recover the key for rule updates. *)
+    Sdds_dsp.Store.put_grant store ~doc_id ~subject:"#publisher"
+      (Sdds_dsp.Publish.grant drbg ~doc_key ~doc_id
+         ~recipient:publisher.Sdds_crypto.Rsa.public);
+    let subjects =
+      List.sort_uniq String.compare
+        (List.map (fun r -> r.Sdds_core.Rule.subject) rules)
+    in
+    List.iter
+      (fun subject ->
+        Sdds_dsp.Store.put_rules store ~doc_id ~subject
+          (Sdds_dsp.Publish.encrypt_rules_for drbg ~publisher ~doc_key
+             ~doc_id ~subject
+             (Sdds_core.Rule.for_subject subject rules)))
+      subjects;
+    List.iter
+      (fun (subject, pk_path) ->
+        let recipient = Sdds_dsp.Store_io.Keyfile.load_public ~path:pk_path in
+        Sdds_dsp.Store.put_grant store ~doc_id ~subject
+          (Sdds_dsp.Publish.grant drbg ~doc_key ~doc_id ~recipient))
+      grants;
+    Sdds_dsp.Store_io.save store ~dir:store_dir;
+    Printf.printf "published %s as %s: %d chunks, %d subjects, %d grants
+"
+      doc_path doc_id
+      (Array.length published.Sdds_dsp.Publish.chunks)
+      (List.length subjects) (List.length grants)
+  in
+  Cmd.v
+    (Cmd.info "publish" ~doc:"Encrypt a document into a store directory")
+    Term.(
+      const run $ doc_arg $ store_arg $ id_arg $ publisher_arg $ rules_arg
+      $ grants_arg)
+
+let update_rules_cmd =
+  let run store_dir doc_id publisher_path rules version =
+    let publisher = Sdds_dsp.Store_io.Keyfile.load_keypair ~path:publisher_path in
+    let rules = or_die (parse_rules rules) in
+    let store = Sdds_dsp.Store_io.load ~dir:store_dir in
+    let drbg = entropy () in
+    let wrapped =
+      match
+        Sdds_dsp.Store.get_grant store ~doc_id ~subject:"#publisher"
+      with
+      | Some w -> w
+      | None -> or_die (Error "no publisher self-grant in this store")
+    in
+    let doc_key =
+      match
+        Sdds_soe.Wire.unwrap_doc_key publisher.Sdds_crypto.Rsa.secret ~doc_id
+          wrapped
+      with
+      | Some k -> k
+      | None -> or_die (Error "publisher key does not open the self-grant")
+    in
+    let subjects =
+      List.sort_uniq String.compare
+        (List.map (fun r -> r.Sdds_core.Rule.subject) rules)
+    in
+    List.iter
+      (fun subject ->
+        Sdds_dsp.Store.put_rules store ~doc_id ~subject
+          (Sdds_dsp.Publish.encrypt_rules_for drbg ~publisher ~doc_key
+             ~doc_id ~subject ~version
+             (Sdds_core.Rule.for_subject subject rules)))
+      subjects;
+    Sdds_dsp.Store_io.save store ~dir:store_dir;
+    Printf.printf "updated rules (version %d) for: %s
+" version
+      (String.concat ", " subjects)
+  in
+  let version_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "version" ] ~docv:"N"
+          ~doc:"Monotonic policy version (anti-rollback); bump on every update")
+  in
+  Cmd.v
+    (Cmd.info "update-rules"
+       ~doc:"Replace a subject's policy in a store (no re-encryption)")
+    Term.(
+      const run $ store_arg $ id_arg $ publisher_arg $ rules_arg $ version_arg)
+
+let query_cmd =
+  let run store_dir doc_id subject key_path query =
+    let kp = Sdds_dsp.Store_io.Keyfile.load_keypair ~path:key_path in
+    let store = Sdds_dsp.Store_io.load ~dir:store_dir in
+    let card = Sdds_soe.Card.create ~profile:Sdds_soe.Cost.egate ~subject kp in
+    let proxy = Sdds_proxy.Proxy.create ~store ~card in
+    match Sdds_proxy.Proxy.query proxy ~doc_id ?xpath:query () with
+    | Error e ->
+        Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
+        exit 1
+    | Ok o ->
+        (match o.Sdds_proxy.Proxy.xml with
+        | Some xml -> print_endline xml
+        | None -> print_endline "<!-- nothing authorized -->");
+        let r = o.Sdds_proxy.Proxy.card_report in
+        Format.eprintf "card: %d/%d chunks, %.0f ms (simulated e-gate)@."
+          r.Sdds_soe.Card.chunks_consumed r.Sdds_soe.Card.chunks_total
+          r.Sdds_soe.Card.breakdown.Sdds_soe.Cost.total_ms
+  in
+  let key_arg =
+    Arg.(
+      required & opt (some file) None
+      & info [ "key" ] ~docv:"NAME.sk" ~doc:"The subject's secret key file")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Query a store directory through a simulated card")
+    Term.(const run $ store_arg $ id_arg $ subject_arg $ key_arg $ query_arg)
+
+let () =
+  let info =
+    Cmd.info "sdds" ~version:"1.0.0"
+      ~doc:"Safe data sharing and dissemination on smart devices"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ view_cmd; encode_cmd; stats_cmd; demo_cmd; keygen_cmd;
+            publish_cmd; update_rules_cmd; query_cmd ]))

@@ -1,0 +1,1 @@
+examples/collaborative.ml: Array Format List Option Printf Sdds_baseline Sdds_core Sdds_crypto Sdds_dsp Sdds_proxy Sdds_soe Sdds_util Sdds_xml String

@@ -1,0 +1,1 @@
+examples/dissemination.ml: Format List Printf Sdds_core Sdds_crypto Sdds_dsp Sdds_proxy Sdds_soe Sdds_util Sdds_xml

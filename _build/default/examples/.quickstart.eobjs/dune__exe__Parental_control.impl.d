@@ -1,0 +1,1 @@
+examples/parental_control.ml: Bytes Format List Option Printf Sdds_core Sdds_crypto Sdds_dsp Sdds_proxy Sdds_soe Sdds_util Sdds_xml

@@ -1,0 +1,1 @@
+examples/parental_control.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Sdds_core Sdds_xml

@@ -1,0 +1,1 @@
+examples/secure_terminal.ml: Printf Sdds_core Sdds_crypto Sdds_dsp Sdds_soe Sdds_util Sdds_xml String

@@ -1,0 +1,1 @@
+lib/baseline/server_side.ml: List Sdds_core Sdds_xml String

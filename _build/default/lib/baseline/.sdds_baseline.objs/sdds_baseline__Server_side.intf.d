@@ -1,0 +1,1 @@
+lib/baseline/server_side.mli: Sdds_core Sdds_xml Sdds_xpath

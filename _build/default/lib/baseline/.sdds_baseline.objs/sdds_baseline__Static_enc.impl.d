@@ -1,0 +1,1 @@
+lib/baseline/static_enc.ml: Array Format Hashtbl List Sdds_core Sdds_crypto Sdds_xml String

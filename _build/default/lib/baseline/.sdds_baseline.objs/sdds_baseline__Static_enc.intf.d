@@ -1,0 +1,1 @@
+lib/baseline/static_enc.mli: Format Sdds_core Sdds_crypto Sdds_xml

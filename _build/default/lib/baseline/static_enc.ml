@@ -1,0 +1,177 @@
+module Dom = Sdds_xml.Dom
+module Rule = Sdds_core.Rule
+module Oracle = Sdds_core.Oracle
+module Aes = Sdds_crypto.Aes
+module Mode = Sdds_crypto.Mode
+module Drbg = Sdds_crypto.Drbg
+
+type t = {
+  doc : Dom.t;
+  subjects : string list;
+  classes : string list array;  (* per element (preorder id): allowed subjects *)
+  keys : (string list, string) Hashtbl.t;  (* class -> AES key *)
+  ciphers : string array;  (* per element: encrypted local payload *)
+  plains : string array;  (* per element: the local payload (tag + texts) *)
+}
+
+(* The unit of encryption is an element's local payload: its tag and its
+   immediate text. Structure (parent/child edges) is shared, as static
+   schemes must to remain navigable. *)
+let local_payloads doc =
+  let acc = ref [] in
+  let rec go = function
+    | Dom.Text _ -> ()
+    | Dom.Element (tag, kids) ->
+        let texts =
+          List.filter_map
+            (function Dom.Text v -> Some v | Dom.Element _ -> None)
+            kids
+        in
+        acc := (tag ^ "\x00" ^ String.concat "\x00" texts) :: !acc;
+        List.iter go kids
+  in
+  go doc;
+  Array.of_list (List.rev !acc)
+
+let classes_for ~subjects ~rules doc =
+  let per_subject =
+    List.map
+      (fun s -> (s, Oracle.decisions ~rules:(Rule.for_subject s rules) doc))
+      subjects
+  in
+  let n = Dom.node_count doc in
+  Array.init n (fun id ->
+      List.filter_map
+        (fun (s, decs) -> if decs.(id) = Rule.Allow then Some s else None)
+        per_subject)
+
+let encrypt_element drbg key plain =
+  let iv = Drbg.generate drbg 16 in
+  iv ^ Mode.encrypt_cbc (Aes.expand_key key) ~iv plain
+
+let decrypt_element key cipher =
+  if String.length cipher < 32 then None
+  else begin
+    let iv = String.sub cipher 0 16 in
+    let body = String.sub cipher 16 (String.length cipher - 16) in
+    Mode.decrypt_cbc (Aes.expand_key key) ~iv body
+  end
+
+let key_for drbg keys cls =
+  match Hashtbl.find_opt keys cls with
+  | Some k -> k
+  | None ->
+      let k = Drbg.generate drbg 16 in
+      Hashtbl.add keys cls k;
+      k
+
+let build drbg ~subjects ~rules doc =
+  let plains = local_payloads doc in
+  let classes = classes_for ~subjects ~rules doc in
+  let keys = Hashtbl.create 16 in
+  let ciphers =
+    Array.mapi
+      (fun id plain -> encrypt_element drbg (key_for drbg keys classes.(id)) plain)
+      plains
+  in
+  { doc; subjects; classes; keys; ciphers; plains }
+
+let class_count t =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun cls -> if cls <> [] then Hashtbl.replace seen cls ())
+    t.classes;
+  Hashtbl.length seen
+
+let keys_held t subject =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun cls -> if List.mem subject cls then Hashtbl.replace seen cls ())
+    t.classes;
+  Hashtbl.length seen
+
+let ciphertext_bytes t =
+  Array.fold_left (fun a c -> a + String.length c) 0 t.ciphers
+
+let read t ~subject =
+  let counter = ref 0 in
+  let rec go node =
+    match node with
+    | Dom.Text _ -> assert false
+    | Dom.Element (_, kids) ->
+        let id = !counter in
+        incr counter;
+        let readable =
+          List.mem subject t.classes.(id)
+          &&
+          (* The subject actually decrypts the payload with its key. *)
+          match Hashtbl.find_opt t.keys t.classes.(id) with
+          | None -> false
+          | Some key -> decrypt_element key t.ciphers.(id) = Some t.plains.(id)
+        in
+        let payload = t.plains.(id) in
+        let tag, texts =
+          match String.split_on_char '\x00' payload with
+          | tag :: texts -> (tag, texts)
+          | [] -> assert false
+        in
+        let kids' =
+          List.filter_map
+            (fun kid ->
+              match kid with Dom.Text _ -> None | Dom.Element _ -> go kid)
+            kids
+        in
+        if readable then
+          (* Texts come back in order; interleaving with elements is not
+             preserved by the payload format, which is fine for the view
+             comparison (generators do not mix text and elements). *)
+          Some
+            (Dom.Element
+               ( tag,
+                 List.map (fun v -> Dom.Text v) (List.filter (fun v -> v <> "") texts)
+                 @ kids' ))
+        else if kids' <> [] then Some (Dom.Element (tag, kids'))
+        else None
+  in
+  go t.doc
+
+type update_cost = {
+  reencrypted_bytes : int;
+  reencrypted_elements : int;
+  fresh_keys : int;
+  keys_redistributed : int;
+}
+
+let update drbg t ~rules =
+  let new_classes = classes_for ~subjects:t.subjects ~rules t.doc in
+  let fresh = Hashtbl.create 16 in
+  let reenc_bytes = ref 0 in
+  let reenc_elems = ref 0 in
+  let new_keys = Hashtbl.copy t.keys in
+  let ciphers = Array.copy t.ciphers in
+  Array.iteri
+    (fun id cls ->
+      if cls <> t.classes.(id) then begin
+        if not (Hashtbl.mem new_keys cls) then Hashtbl.replace fresh cls ();
+        let key = key_for drbg new_keys cls in
+        ciphers.(id) <- encrypt_element drbg key t.plains.(id);
+        incr reenc_elems;
+        reenc_bytes := !reenc_bytes + String.length t.ciphers.(id)
+      end)
+    new_classes;
+  let keys_redistributed =
+    Hashtbl.fold (fun cls () acc -> acc + List.length cls) fresh 0
+  in
+  ( { t with classes = new_classes; keys = new_keys; ciphers },
+    {
+      reencrypted_bytes = !reenc_bytes;
+      reencrypted_elements = !reenc_elems;
+      fresh_keys = Hashtbl.length fresh;
+      keys_redistributed;
+    } )
+
+let pp_update_cost ppf c =
+  Format.fprintf ppf
+    "re-encrypted %d elements (%d bytes), %d fresh keys, %d key deliveries"
+    c.reencrypted_elements c.reencrypted_bytes c.fresh_keys
+    c.keys_redistributed

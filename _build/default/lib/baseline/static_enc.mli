@@ -1,0 +1,57 @@
+(** The static-encryption sharing baseline (the model the paper argues
+    against in §1).
+
+    "Whatever the granularity of sharing, the dataset is split in subsets
+    reflecting a current sharing situation, each encrypted with a
+    different key. Once the dataset is encrypted, changes in the access
+    control rules definition may impact the subset boundaries, hence
+    incurring a partial re-encryption of the dataset and a potential
+    redistribution of keys."
+
+    This module implements that scheme faithfully: each element is
+    assigned to an {e equivalence class} — the exact set of subjects whose
+    rules authorize it — every non-empty class gets its own key, each
+    subject holds the keys of the classes it can read, and a policy change
+    re-derives the classes, re-encrypts every element whose class changed
+    and redistributes the new keys. Experiment E8 charges both schemes for
+    the same policy mutation. *)
+
+type t
+
+val build :
+  Sdds_crypto.Drbg.t ->
+  subjects:string list ->
+  rules:Sdds_core.Rule.t list ->
+  Sdds_xml.Dom.t ->
+  t
+(** Encrypt the document under the sharing situation induced by [rules]
+    (one decision per (subject, element) via the declarative semantics). *)
+
+val class_count : t -> int
+(** Number of distinct non-empty subject sets (= number of keys). *)
+
+val keys_held : t -> string -> int
+(** Keys a subject must store to read its authorized part. *)
+
+val ciphertext_bytes : t -> int
+(** Total encrypted volume. *)
+
+val read : t -> subject:string -> Sdds_xml.Dom.t option
+(** Decrypt with the subject's keys — must equal the engine/oracle view
+    (the schemes protect the same data; only their dynamics differ). *)
+
+type update_cost = {
+  reencrypted_bytes : int;
+      (** bytes of elements whose class changed, re-encrypted server-side *)
+  reencrypted_elements : int;
+  fresh_keys : int;  (** classes that did not exist before *)
+  keys_redistributed : int;
+      (** (subject, key) deliveries needed so readers keep access *)
+}
+
+val update :
+  Sdds_crypto.Drbg.t -> t -> rules:Sdds_core.Rule.t list -> t * update_cost
+(** Apply a policy change: rebuild classes under the new rule set and
+    account for the induced re-encryption and key redistribution. *)
+
+val pp_update_cost : Format.formatter -> update_cost -> unit

@@ -1,0 +1,1 @@
+lib/core/compile.ml: Array List Rule Sdds_xpath

@@ -1,0 +1,1 @@
+lib/core/compile.mli: Rule Sdds_xpath

@@ -1,0 +1,1 @@
+lib/core/cond.ml: Format List

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Compile Cond Fun Hashtbl List Output Printf Rule Sdds_xml Sdds_xpath Stdlib String

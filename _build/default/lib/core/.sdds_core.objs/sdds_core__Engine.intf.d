@@ -1,0 +1,1 @@
+lib/core/engine.mli: Output Rule Sdds_xml Sdds_xpath

@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Rule Sdds_xml Sdds_xpath

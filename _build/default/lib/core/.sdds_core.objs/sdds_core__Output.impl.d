@@ -1,0 +1,1 @@
+lib/core/output.ml: Cond Format List

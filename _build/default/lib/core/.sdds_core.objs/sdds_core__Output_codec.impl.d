@@ -1,0 +1,1 @@
+lib/core/output_codec.ml: Buffer Cond List Output Sdds_util String

@@ -1,0 +1,1 @@
+lib/core/output_codec.mli: Buffer Output

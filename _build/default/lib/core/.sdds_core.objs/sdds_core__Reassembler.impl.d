@@ -1,0 +1,1 @@
+lib/core/reassembler.ml: Cond Hashtbl List Output Rule Sdds_xml String

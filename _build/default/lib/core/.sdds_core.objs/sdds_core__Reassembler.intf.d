@@ -1,0 +1,1 @@
+lib/core/reassembler.mli: Output Rule Sdds_xml

@@ -1,0 +1,1 @@
+lib/core/rule.ml: Format List Sdds_xpath String

@@ -1,0 +1,1 @@
+lib/core/rule_opt.ml: Array List Rule Sdds_xpath String

@@ -1,0 +1,1 @@
+lib/core/sdds.ml: Engine Option Reassembler Rule Sdds_xml Sdds_xpath

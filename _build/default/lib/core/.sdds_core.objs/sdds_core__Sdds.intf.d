@@ -1,0 +1,1 @@
+lib/core/sdds.mli: Rule Sdds_xml Sdds_xpath

@@ -1,0 +1,1 @@
+lib/core/stream_view.ml: Cond Hashtbl Output Queue Rule Sdds_xml String

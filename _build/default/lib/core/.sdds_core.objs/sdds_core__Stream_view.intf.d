@@ -1,0 +1,1 @@
+lib/core/stream_view.mli: Output Rule Sdds_xml

@@ -1,0 +1,73 @@
+module Ast = Sdds_xpath.Ast
+
+type pred_id = int
+
+type cstep = { axis : Ast.axis; test : Ast.test; step_preds : pred_id list }
+type cpath = cstep array
+type cpred = { ppath : cpath; target : Ast.pred_target }
+
+type source = Rule_src of int | Query_src
+
+type spine = { source : source; sign : Rule.sign; cpath : cpath }
+
+type t = { spines : spine array; preds : cpred array }
+
+let compile ?query rules =
+  let preds = ref [] in
+  let npreds = ref 0 in
+  let rec compile_steps steps =
+    Array.of_list
+      (List.map
+         (fun { Ast.axis; test; preds = ps } ->
+           { axis; test; step_preds = List.map compile_pred ps })
+         steps)
+  and compile_pred { Ast.ppath; target } =
+    let compiled = { ppath = compile_steps ppath; target } in
+    let id = !npreds in
+    incr npreds;
+    preds := compiled :: !preds;
+    id
+  in
+  let rule_spines =
+    List.mapi
+      (fun i r ->
+        {
+          source = Rule_src i;
+          sign = r.Rule.sign;
+          cpath = compile_steps r.Rule.path.Ast.steps;
+        })
+      rules
+  in
+  let query_spines =
+    match query with
+    | None -> []
+    | Some q ->
+        [ { source = Query_src; sign = Rule.Allow; cpath = compile_steps q.Ast.steps } ]
+  in
+  {
+    spines = Array.of_list (rule_spines @ query_spines);
+    preds = Array.of_list (List.rev !preds);
+  }
+
+let pred t id = t.preds.(id)
+
+let can_complete path ~from ~tag_possible ~nonempty =
+  let n = Array.length path in
+  let rec go i =
+    if i >= n then true
+    else begin
+      let ok =
+        match path.(i).test with
+        | Ast.Name tag -> tag_possible tag
+        | Ast.Any -> nonempty
+      in
+      ok && go (i + 1)
+    end
+  in
+  go (max 0 from)
+
+let state_count t =
+  let pred_states =
+    Array.fold_left (fun acc p -> acc + Array.length p.ppath) 0 t.preds
+  in
+  Array.fold_left (fun acc s -> acc + Array.length s.cpath) pred_states t.spines

@@ -1,0 +1,36 @@
+type t = { holds : (string, string list ref) Hashtbl.t }
+(* member -> roles held directly *)
+
+let create () = { holds = Hashtbl.create 16 }
+
+let direct_roles t member =
+  match Hashtbl.find_opt t.holds member with Some l -> !l | None -> []
+
+let rec reachable t seen subject =
+  List.fold_left
+    (fun seen role ->
+      if List.mem role seen then seen
+      else reachable t (role :: seen) role)
+    seen (direct_roles t subject)
+
+let roles_of t subject =
+  List.sort String.compare (reachable t [] subject)
+
+let assign t ~member ~role =
+  if String.equal member role then invalid_arg "Directory.assign: self-role";
+  (* A cycle would make [role] reach [member]. *)
+  if List.mem member (reachable t [] role) then
+    invalid_arg "Directory.assign: membership cycle";
+  (match Hashtbl.find_opt t.holds member with
+  | Some l -> if not (List.mem role !l) then l := role :: !l
+  | None -> Hashtbl.add t.holds member (ref [ role ]))
+
+let members t ~role =
+  Hashtbl.fold
+    (fun member l acc -> if List.mem role !l then member :: acc else acc)
+    t.holds []
+  |> List.sort String.compare
+
+let effective_rules t ~subject rules =
+  let mine = subject :: roles_of t subject in
+  List.filter (fun r -> List.mem r.Rule.subject mine) rules

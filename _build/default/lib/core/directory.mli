@@ -1,0 +1,36 @@
+(** Subjects, roles and group membership.
+
+    Bertino's authorization model — one of the two the paper's simplified
+    model is drawn from — lets rules target user {e groups} (roles) as
+    well as individual users. This directory records role membership and
+    expands a user's {e effective} rule set: the rules addressed to the
+    user plus those addressed to any role the user holds (transitively,
+    roles can nest).
+
+    The expansion runs on the {e publisher's} side, when the per-user
+    encrypted rule blob is produced: role membership is thereby certified
+    by the publisher's signature on the blob, and the card never needs to
+    trust a role claim. *)
+
+type t
+
+val create : unit -> t
+
+val assign : t -> member:string -> role:string -> unit
+(** [assign t ~member ~role] records that [member] (a user or another
+    role) holds [role]. Raises [Invalid_argument] if the assignment would
+    create a membership cycle. *)
+
+val roles_of : t -> string -> string list
+(** All roles held, directly or through nesting; sorted, without
+    duplicates, the subject itself excluded. *)
+
+val members : t -> role:string -> string list
+(** Direct members of a role (users and sub-roles); sorted. *)
+
+val effective_rules : t -> subject:string -> Rule.t list -> Rule.t list
+(** The rules applying to [subject]: those addressed to it plus those
+    addressed to any of its roles, in their original order. Conflicts
+    between user- and role-addressed rules are resolved by the ordinary
+    node-level policies (denial takes precedence, most-specific object);
+    no extra subject-specificity layer is imposed. *)

@@ -1,0 +1,568 @@
+module Ast = Sdds_xpath.Ast
+module Event = Sdds_xml.Event
+
+type stats = {
+  mutable events : int;
+  mutable emitted : int;
+  mutable suppressed : int;
+  mutable instances : int;
+  mutable peak_tokens : int;
+  mutable peak_state_words : int;
+  mutable token_visits : int;
+}
+
+type inst = {
+  var : int;
+  cpred : Compile.cpred;
+  mutable value : bool option;
+  mutable candidates : int list list;
+      (* disjunction of conjunctions of *unresolved* vars; resolved vars are
+         substituted out by the cascade in [resolve] *)
+}
+
+type owner = Spine of int | Pred_owner of inst
+
+type token = { owner : owner; pos : int; conds : int list (* sorted *) }
+
+type det3 = Det_deny | Det_allow | Det_pending
+type scope3 = In_scope | Out_scope | Scope_pending
+
+type frame = {
+  ftag : string;
+  mutable tokens : token list;
+  det : det3;
+  scope : scope3;
+  suppressed : bool;
+  mutable watchers : (inst * int list) list;
+  mutable anchored : inst list;
+}
+
+type t = {
+  compiled : Compile.t;
+  has_query : bool;
+  suppress_enabled : bool;
+  mutable frames : frame list;  (* top first; last = virtual root *)
+  mutable next_var : int;
+  live : (int, inst) Hashtbl.t;
+  rdeps : (int, inst list ref) Hashtbl.t;
+  mutable closed_root : bool;
+  st : stats;
+}
+
+let owner_key = function
+  | Spine i -> (0, i)
+  | Pred_owner inst -> (1, inst.var)
+
+let compare_tokens a b =
+  match Stdlib.compare (owner_key a.owner) (owner_key b.owner) with
+  | 0 -> (
+      match Stdlib.compare a.pos b.pos with
+      | 0 -> Stdlib.compare a.conds b.conds
+      | c -> c)
+  | c -> c
+
+let owner_path t = function
+  | Spine i -> t.compiled.Compile.spines.(i).Compile.cpath
+  | Pred_owner inst -> inst.cpred.Compile.ppath
+
+let test_matches test tag =
+  match test with
+  | Ast.Any -> true
+  | Ast.Name n -> String.equal n tag
+
+let create ?(default = Rule.Deny) ?query ?(suppress = true) rules =
+  let compiled = Compile.compile ?query rules in
+  let has_query = query <> None in
+  let initial_tokens =
+    List.filter_map
+      (fun i ->
+        let sp = compiled.Compile.spines.(i) in
+        if Array.length sp.Compile.cpath = 0 then None
+        else Some { owner = Spine i; pos = 0; conds = [] })
+      (List.init (Array.length compiled.Compile.spines) Fun.id)
+  in
+  let root_frame =
+    {
+      ftag = "#root";
+      tokens = initial_tokens;
+      det = (match default with Rule.Deny -> Det_deny | Rule.Allow -> Det_allow);
+      scope = (if has_query then Out_scope else In_scope);
+      suppressed = false;
+      watchers = [];
+      anchored = [];
+    }
+  in
+  {
+    compiled;
+    has_query;
+    suppress_enabled = suppress;
+    frames = [ root_frame ];
+    next_var = 0;
+    live = Hashtbl.create 64;
+    rdeps = Hashtbl.create 64;
+    closed_root = false;
+    st =
+      {
+        events = 0;
+        emitted = 0;
+        suppressed = 0;
+        instances = 0;
+        peak_tokens = 0;
+        peak_state_words = 0;
+        token_visits = 0;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Memory accounting                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let state_words t =
+  let token_words tok = 3 + List.length tok.conds in
+  let frame_words f =
+    4
+    + List.fold_left (fun a tok -> a + token_words tok) 0 f.tokens
+    + List.fold_left (fun a (_, conds) -> a + 2 + List.length conds) 0 f.watchers
+    + List.length f.anchored
+  in
+  let inst_words _ inst acc =
+    acc + 4
+    + List.fold_left (fun a c -> a + 1 + List.length c) 0 inst.candidates
+  in
+  List.fold_left (fun a f -> a + frame_words f) 0 t.frames
+  + Hashtbl.fold inst_words t.live 0
+  + (2 * Hashtbl.length t.rdeps)
+
+let live_tokens t =
+  List.fold_left (fun a f -> a + List.length f.tokens) 0 t.frames
+
+let bump_peaks t =
+  let tokens = live_tokens t in
+  if tokens > t.st.peak_tokens then t.st.peak_tokens <- tokens;
+  let words = state_words t in
+  if words > t.st.peak_state_words then t.st.peak_state_words <- words
+
+(* ------------------------------------------------------------------ *)
+(* Condition resolution                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolve [inst] to [b]; cascade into instances whose candidates mention
+   it. Appends Resolve events to [out]. *)
+let rec resolve t out inst b =
+  match inst.value with
+  | Some _ -> ()
+  | None ->
+      inst.value <- Some b;
+      out := Output.Resolve (inst.var, b) :: !out;
+      (match Hashtbl.find_opt t.rdeps inst.var with
+      | None -> ()
+      | Some deps ->
+          Hashtbl.remove t.rdeps inst.var;
+          List.iter
+            (fun dep ->
+              if dep.value = None then begin
+                if b then begin
+                  let emptied = ref false in
+                  dep.candidates <-
+                    List.map
+                      (fun c ->
+                        let c' = List.filter (fun v -> v <> inst.var) c in
+                        if c' = [] then emptied := true;
+                        c')
+                      dep.candidates;
+                  if !emptied then resolve t out dep true
+                end
+                else
+                  dep.candidates <-
+                    List.filter
+                      (fun c -> not (List.mem inst.var c))
+                      dep.candidates
+              end)
+            !deps)
+
+let add_rdep t v dep =
+  match Hashtbl.find_opt t.rdeps v with
+  | Some l -> if not (List.memq dep !l) then l := dep :: !l
+  | None -> Hashtbl.add t.rdeps v (ref [ dep ])
+
+(* Register a fired candidate (a conjunction of condition vars) on a
+   predicate instance. *)
+let add_candidate t out inst conds =
+  if inst.value = None then begin
+    if conds = [] then resolve t out inst true
+    else begin
+      inst.candidates <- conds :: inst.candidates;
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt t.live v with
+          | Some _ -> add_rdep t v inst
+          | None -> ())
+        conds
+    end
+  end
+
+(* Substitute resolved vars out of a conjunction. [None] = the conjunction
+   is false (token derivation dead). *)
+let subst_conds t conds =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | v :: rest -> (
+        match Hashtbl.find_opt t.live v with
+        | None ->
+            (* The anchor closed; an unresolved-at-close instance is false,
+               and a true one would have been substituted eagerly. Treat a
+               missing instance as resolved; its recorded value is gone, but
+               tokens only outlive instances when the value was false. *)
+            None
+        | Some inst -> (
+            match inst.value with
+            | None -> go (v :: acc) rest
+            | Some true -> go acc rest
+            | Some false -> None))
+  in
+  go [] conds
+
+let cond_of_conjunction conds = Cond.conj (List.map Cond.var conds)
+
+(* ------------------------------------------------------------------ *)
+(* Open                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let is_pred_owner = function Pred_owner _ -> true | Spine _ -> false
+
+let spine_sign t = function
+  | Spine i -> Some t.compiled.Compile.spines.(i)
+  | Pred_owner _ -> None
+
+let open_tag t tag =
+  match t.frames with
+  | [] -> invalid_arg "Engine: internal error (no frames)"
+  | parent :: _ ->
+      if t.closed_root then invalid_arg "Engine: event after document end";
+      let out = ref [] in
+      let created : (int, inst) Hashtbl.t = Hashtbl.create 8 in
+      let new_tokens = ref [] in
+      let fired_neg = ref [] and fired_pos = ref [] and fired_query = ref [] in
+      let new_watchers = ref [] in
+      let anchored_here = ref [] in
+      (* Instantiate a predicate at the node being opened. Returns the
+         condition vars to add ([None] if already known false). *)
+      let instantiate pred_id =
+        let inst =
+          match Hashtbl.find_opt created pred_id with
+          | Some inst -> inst
+          | None ->
+              let cpred = Compile.pred t.compiled pred_id in
+              let inst =
+                { var = t.next_var; cpred; value = None; candidates = [] }
+              in
+              t.next_var <- t.next_var + 1;
+              t.st.instances <- t.st.instances + 1;
+              Hashtbl.add created pred_id inst;
+              Hashtbl.add t.live inst.var inst;
+              anchored_here := inst :: !anchored_here;
+              (match cpred.Compile.ppath with
+              | [||] -> new_watchers := (inst, []) :: !new_watchers
+              | _ ->
+                  new_tokens :=
+                    { owner = Pred_owner inst; pos = 0; conds = [] }
+                    :: !new_tokens);
+              inst
+        in
+        match inst.value with
+        | Some true -> Some []
+        | Some false -> None
+        | None -> Some [ inst.var ]
+      in
+      let fire owner conds =
+        match owner with
+        | Spine i -> (
+            let sp = t.compiled.Compile.spines.(i) in
+            let bexpr = cond_of_conjunction conds in
+            match sp.Compile.source with
+            | Compile.Query_src -> fired_query := bexpr :: !fired_query
+            | Compile.Rule_src _ ->
+                if sp.Compile.sign = Rule.Deny then
+                  fired_neg := bexpr :: !fired_neg
+                else fired_pos := bexpr :: !fired_pos)
+        | Pred_owner inst -> (
+            match inst.cpred.Compile.target with
+            | Ast.Exists -> add_candidate t out inst conds
+            | Ast.Value _ -> new_watchers := (inst, conds) :: !new_watchers)
+      in
+      let advance tok =
+        match subst_conds t tok.conds with
+        | None -> ()
+        | Some conds ->
+            let path = owner_path t tok.owner in
+            let step = path.(tok.pos) in
+            if step.Compile.axis = Ast.Descendant then
+              new_tokens := { tok with conds } :: !new_tokens;
+            if test_matches step.Compile.test tag then begin
+              let conds' =
+                List.fold_left
+                  (fun acc pred_id ->
+                    match acc with
+                    | None -> None
+                    | Some acc -> (
+                        match instantiate pred_id with
+                        | None -> None
+                        | Some vs -> Some (vs @ acc)))
+                  (Some conds) step.Compile.step_preds
+              in
+              match conds' with
+              | None -> ()
+              | Some conds' ->
+                  let conds' = List.sort_uniq Stdlib.compare conds' in
+                  if tok.pos + 1 = Array.length path then fire tok.owner conds'
+                  else
+                    new_tokens :=
+                      { tok with pos = tok.pos + 1; conds = conds' }
+                      :: !new_tokens
+            end
+      in
+      t.st.token_visits <- t.st.token_visits + List.length parent.tokens;
+      List.iter advance parent.tokens;
+      let tokens = List.sort_uniq compare_tokens !new_tokens in
+      (* Conflict resolution (Denial-Takes-Precedence at this node,
+         Most-Specific via inheritance). *)
+      let neg = Cond.disj !fired_neg in
+      let pos = Cond.disj !fired_pos in
+      let query = Cond.disj !fired_query in
+      let det =
+        match (Cond.to_bool neg, Cond.to_bool pos) with
+        | Some true, _ -> Det_deny
+        | Some false, Some true -> Det_allow
+        | Some false, Some false -> parent.det
+        | Some false, None | None, _ -> Det_pending
+      in
+      let scope =
+        if not t.has_query then In_scope
+        else
+          match (parent.scope, Cond.to_bool query) with
+          | In_scope, _ -> In_scope
+          | _, Some true -> In_scope
+          | Out_scope, Some false -> Out_scope
+          | Out_scope, None | Scope_pending, _ -> Scope_pending
+      in
+      let has_spine sign_filter =
+        List.exists
+          (fun tok ->
+            match spine_sign t tok.owner with
+            | None -> false
+            | Some sp -> sign_filter sp)
+          tokens
+      in
+      let suppressed =
+        parent.suppressed
+        || t.suppress_enabled
+           && ((det = Det_deny
+               && not
+                    (has_spine (fun sp ->
+                         sp.Compile.source <> Compile.Query_src
+                         && sp.Compile.sign = Rule.Allow)))
+              || (scope = Out_scope
+                 && not
+                      (has_spine (fun sp ->
+                           sp.Compile.source = Compile.Query_src))))
+      in
+      (* Suspension: inside a determined subtree only predicate automata
+         matter (they can affect outside nodes); drop the rule and query
+         tokens. *)
+      let tokens =
+        if suppressed then List.filter (fun tok -> is_pred_owner tok.owner) tokens
+        else tokens
+      in
+      let frame =
+        {
+          ftag = tag;
+          tokens;
+          det;
+          scope;
+          suppressed;
+          watchers = !new_watchers;
+          anchored = !anchored_here;
+        }
+      in
+      t.frames <- frame :: t.frames;
+      if suppressed then t.st.suppressed <- t.st.suppressed + 1
+      else out := Output.Open_node { tag; neg; pos; query } :: !out;
+      bump_peaks t;
+      let outs = List.rev !out in
+      t.st.emitted <- t.st.emitted + List.length outs;
+      outs
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let value t v =
+  match t.frames with
+  | [] -> invalid_arg "Engine: internal error (no frames)"
+  | [ _root ] -> invalid_arg "Engine: text at top level"
+  | f :: _ ->
+      let out = ref [] in
+      List.iter
+        (fun (inst, conds) ->
+          if inst.value = None then begin
+            match inst.cpred.Compile.target with
+            | Ast.Value (op, lit) when Ast.compare_values op v lit -> (
+                match subst_conds t conds with
+                | None -> ()
+                | Some conds -> add_candidate t out inst conds)
+            | Ast.Value _ | Ast.Exists -> ()
+          end)
+        f.watchers;
+      (* Text is only deliverable when the enclosing element can be
+         granted; under a determined denial or out of scope it is dead
+         weight. *)
+      if (not f.suppressed) && f.det <> Det_deny && f.scope <> Out_scope then
+        out := Output.Text_node v :: !out
+      else if f.suppressed then t.st.suppressed <- t.st.suppressed + 1;
+      let outs = List.rev !out in
+      t.st.emitted <- t.st.emitted + List.length outs;
+      outs
+
+(* ------------------------------------------------------------------ *)
+(* Close                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let close t tag =
+  match t.frames with
+  | [] -> invalid_arg "Engine: internal error (no frames)"
+  | [ _root ] -> invalid_arg "Engine: close without open"
+  | f :: rest ->
+      if not (String.equal f.ftag tag) then
+        invalid_arg
+          (Printf.sprintf "Engine: mismatched </%s>, expected </%s>" tag
+             f.ftag);
+      t.frames <- rest;
+      let out = ref [] in
+      (* Pending instances anchored here resolve negatively: the cascade
+         has already emptied any candidate that came true. *)
+      List.iter
+        (fun inst ->
+          if inst.value = None then resolve t out inst false;
+          Hashtbl.remove t.live inst.var)
+        f.anchored;
+      if not f.suppressed then out := Output.Close_node tag :: !out
+      else t.st.suppressed <- t.st.suppressed + 1;
+      (match rest with
+      | [ _root ] -> t.closed_root <- true
+      | _ -> ());
+      let outs = List.rev !out in
+      t.st.emitted <- t.st.emitted + List.length outs;
+      outs
+
+let feed t ev =
+  t.st.events <- t.st.events + 1;
+  match ev with
+  | Event.Open tag -> open_tag t tag
+  | Event.Value v -> value t v
+  | Event.Close tag -> close t tag
+
+let finish t =
+  match t.frames with
+  | [ _root ] when t.closed_root -> ()
+  | _ -> invalid_arg "Engine.finish: document incomplete"
+
+let run ?default ?query ?suppress rules events =
+  let t = create ?default ?query ?suppress rules in
+  let outs = List.concat_map (feed t) events in
+  finish t;
+  outs
+
+(* ------------------------------------------------------------------ *)
+(* Skip analysis                                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Not_skippable
+
+(* One-step lookahead: advance the parent's tokens over the subtree's root
+   tag without touching engine state, so that a rule firing AT the subtree
+   root (e.g. a denial of the whole subtree) is taken into account. Any
+   source of pendingness — predicates on a matched step, conditions already
+   attached to a matching token — aborts the analysis conservatively. *)
+let subtree_skippable t ~tag ~tag_possible ~nonempty =
+  match t.frames with
+  | [] -> false
+  | f :: _ -> (
+      try
+        let sim_tokens = ref [] in
+        let fired_neg = ref false
+        and fired_pos = ref false
+        and fired_query = ref false in
+        List.iter
+          (fun tok ->
+            match subst_conds t tok.conds with
+            | None -> ()
+            | Some conds ->
+                let path = owner_path t tok.owner in
+                let step = path.(tok.pos) in
+                if step.Compile.axis = Ast.Descendant then
+                  sim_tokens := tok :: !sim_tokens;
+                if test_matches step.Compile.test tag then begin
+                  if step.Compile.step_preds <> [] || conds <> [] then
+                    (* Pending decision or a predicate instance that could
+                       need data from inside the subtree. *)
+                    raise Not_skippable;
+                  if tok.pos + 1 = Array.length path then
+                    match tok.owner with
+                    | Spine i -> (
+                        let sp = t.compiled.Compile.spines.(i) in
+                        match sp.Compile.source with
+                        | Compile.Query_src -> fired_query := true
+                        | Compile.Rule_src _ ->
+                            if sp.Compile.sign = Rule.Deny then
+                              fired_neg := true
+                            else fired_pos := true)
+                    | Pred_owner _ ->
+                        (* A predicate path completing at the root: its
+                           instance could resolve true here. *)
+                        raise Not_skippable
+                  else sim_tokens := { tok with pos = tok.pos + 1 } :: !sim_tokens
+                end)
+          f.tokens;
+        let det' =
+          if !fired_neg then Det_deny
+          else if !fired_pos then Det_allow
+          else f.det
+        in
+        let scope' =
+          if not t.has_query then In_scope
+          else if !fired_query then In_scope
+          else f.scope
+        in
+        let can tok =
+          Compile.can_complete (owner_path t tok.owner) ~from:tok.pos
+            ~tag_possible ~nonempty
+        in
+        let pred_alive =
+          List.exists
+            (fun tok -> is_pred_owner tok.owner && can tok)
+            !sim_tokens
+        in
+        (not pred_alive)
+        && (f.suppressed
+           ||
+           let spine_can filter =
+             List.exists
+               (fun tok ->
+                 match spine_sign t tok.owner with
+                 | None -> false
+                 | Some sp -> filter sp && can tok)
+               !sim_tokens
+           in
+           (det' = Det_deny
+           && not
+                (spine_can (fun sp ->
+                     sp.Compile.source <> Compile.Query_src
+                     && sp.Compile.sign = Rule.Allow)))
+           || (scope' = Out_scope
+              && not
+                   (spine_can (fun sp ->
+                        sp.Compile.source = Compile.Query_src))))
+      with Not_skippable -> false)
+
+let stats t = t.st
+let depth t = List.length t.frames - 1

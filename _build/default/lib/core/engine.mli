@@ -1,0 +1,97 @@
+(** The streaming access-control evaluator — the paper's core contribution.
+
+    The engine consumes SAX events and produces an {!Output.t} stream, with
+    memory proportional to document {e depth} and rule-set size, never to
+    document size (the SOE constraint of §2.3). It implements:
+
+    - one non-deterministic automaton per rule (navigational spine +
+      predicate paths), simulated with a {e token stack} that advances on
+      [Open]/[Value] and backtracks on [Close];
+    - a {e predicate set}: predicate instances are anchored at the node
+      whose step carries them, become condition variables, resolve eagerly
+      on satisfaction or negatively when their anchor closes ({e pending
+      rules});
+    - the {e sign stack}: per-node decisions combining
+      Denial-Takes-Precedence and Most-Specific-Object-Takes-Precedence
+      over the inherited sign, expressed over condition variables when
+      pending rules are involved;
+    - the suspension optimization: inside a subtree whose outcome is
+      determined (denied with no positive automaton alive, or outside the
+      query scope with no query automaton alive), rule evaluation is
+      suspended and output suppressed — only predicate automata keep
+      running, since they can affect nodes outside the subtree.
+
+    An optional query (same XPath fragment) is evaluated in the same pass;
+    delivered nodes are those both authorized and inside a query match. *)
+
+type t
+
+val create :
+  ?default:Rule.sign ->
+  ?query:Sdds_xpath.Ast.t ->
+  ?suppress:bool ->
+  Rule.t list ->
+  t
+(** [create rules] builds an evaluator for a rule set (already filtered to
+    the requesting subject). [default] is the sign above any rule
+    ([Deny] — closed world). [suppress] (default [true]) enables the
+    suspension optimization; disabling it emits every event annotated,
+    which the ablation benchmark uses. *)
+
+val feed : t -> Sdds_xml.Event.t -> Output.t list
+(** Process one event. Raises [Invalid_argument] on a non-well-formed
+    stream (close without open, text at top level, events after the root
+    closed). *)
+
+val finish : t -> unit
+(** Asserts the stream ended at depth zero.
+    Raises [Invalid_argument] otherwise. *)
+
+val run :
+  ?default:Rule.sign ->
+  ?query:Sdds_xpath.Ast.t ->
+  ?suppress:bool ->
+  Rule.t list ->
+  Sdds_xml.Event.t list ->
+  Output.t list
+(** One-shot convenience over [create]/[feed]/[finish]. *)
+
+(** {1 Skip analysis}
+
+    Hook for the skip index: called at the position of a child subtree,
+    {e before} feeding its events, with the subtree's tag summary. *)
+
+val subtree_skippable :
+  t -> tag:string -> tag_possible:(string -> bool) -> nonempty:bool -> bool
+(** True only if skipping the whole subtree (not feeding any of its events)
+    cannot change the delivered view or any pending condition. [tag] is the
+    subtree root's tag: the analysis advances the live tokens one step over
+    it, so a rule firing {e at} the subtree root (e.g. a denial of the whole
+    subtree) is taken into account; it then checks that no live predicate
+    automaton, no positive-rule automaton relevant under the (possibly
+    just-determined) denial, and no query automaton relevant out of scope,
+    could reach a further state given the subtree's tags. Any source of
+    pendingness at the root makes the answer [false]. *)
+
+(** {1 Instrumentation} *)
+
+type stats = {
+  mutable events : int;  (** input events processed *)
+  mutable emitted : int;  (** output events produced *)
+  mutable suppressed : int;  (** input events consumed under suspension *)
+  mutable instances : int;  (** predicate instances created *)
+  mutable peak_tokens : int;  (** max live tokens across the stack *)
+  mutable peak_state_words : int;  (** max of {!state_words} *)
+  mutable token_visits : int;
+      (** total token transitions attempted — the automaton work the cost
+          model charges per token *)
+}
+
+val stats : t -> stats
+
+val state_words : t -> int
+(** Current size of the engine's working state (frames, tokens, predicate
+    instances, watchers), in machine words — what must fit in the SOE's
+    secure RAM. *)
+
+val depth : t -> int

@@ -1,0 +1,24 @@
+type t =
+  | Open_node of { tag : string; neg : Cond.t; pos : Cond.t; query : Cond.t }
+  | Text_node of string
+  | Close_node of string
+  | Resolve of Cond.var * bool
+
+let pp ppf = function
+  | Open_node { tag; neg; pos; query } ->
+      Format.fprintf ppf "<%s neg=%a pos=%a q=%a>" tag Cond.pp neg Cond.pp pos
+        Cond.pp query
+  | Text_node v -> Format.fprintf ppf "%S" v
+  | Close_node tag -> Format.fprintf ppf "</%s>" tag
+  | Resolve (v, b) -> Format.fprintf ppf "[c%d:=%b]" v b
+
+let is_static outs =
+  List.for_all
+    (fun o ->
+      match o with
+      | Open_node { neg; pos; query; _ } ->
+          Cond.to_bool neg <> None
+          && Cond.to_bool pos <> None
+          && Cond.to_bool query <> None
+      | Text_node _ | Close_node _ | Resolve _ -> true)
+    outs

@@ -1,0 +1,47 @@
+type sign = Allow | Deny
+
+type t = { sign : sign; subject : string; path : Sdds_xpath.Ast.t }
+
+let make sign ~subject xpath =
+  { sign; subject; path = Sdds_xpath.Parser.parse xpath }
+
+let allow ~subject xpath = make Allow ~subject xpath
+let deny ~subject xpath = make Deny ~subject xpath
+
+let for_subject subject rules =
+  List.filter (fun r -> String.equal r.subject subject) rules
+
+let pp_sign ppf = function
+  | Allow -> Format.pp_print_char ppf '+'
+  | Deny -> Format.pp_print_char ppf '-'
+
+let pp ppf r =
+  Format.fprintf ppf "%a, %s, %a" pp_sign r.sign r.subject Sdds_xpath.Ast.pp
+    r.path
+
+let to_string r = Format.asprintf "%a" pp r
+
+let parse s =
+  match String.index_opt s ',' with
+  | None -> invalid_arg "Rule.parse: expected 'sign, subject, xpath'"
+  | Some i1 -> (
+      let sign =
+        match String.trim (String.sub s 0 i1) with
+        | "+" -> Allow
+        | "-" -> Deny
+        | other -> invalid_arg ("Rule.parse: bad sign " ^ other)
+      in
+      match String.index_from_opt s (i1 + 1) ',' with
+      | None -> invalid_arg "Rule.parse: expected 'sign, subject, xpath'"
+      | Some i2 ->
+          let subject = String.trim (String.sub s (i1 + 1) (i2 - i1 - 1)) in
+          let xpath =
+            String.trim (String.sub s (i2 + 1) (String.length s - i2 - 1))
+          in
+          if subject = "" then invalid_arg "Rule.parse: empty subject";
+          make sign ~subject xpath)
+
+let equal a b =
+  a.sign = b.sign
+  && String.equal a.subject b.subject
+  && Sdds_xpath.Ast.equal a.path b.path

@@ -1,0 +1,42 @@
+module Containment = Sdds_xpath.Containment
+
+(* [r] is redundant w.r.t. a surviving rule [r'] (same subject) when every
+   node [r] applies to directly is also a direct target of [r'], and [r']'s
+   sign makes [r] irrelevant there:
+   - same sign: the direct-application set for that sign is unchanged;
+   - r positive, r' negative: denial wins at every node r reaches.
+   A negative rule is never subsumed by a positive one (the negative rule
+   wins where both apply). *)
+let subsumes ~by:r' r =
+  String.equal r'.Rule.subject r.Rule.subject
+  && (match (r.Rule.sign, r'.Rule.sign) with
+     | Rule.Allow, Rule.Allow | Rule.Deny, Rule.Deny | Rule.Allow, Rule.Deny
+       ->
+         true
+     | Rule.Deny, Rule.Allow -> false)
+  && Containment.contains r'.Rule.path r.Rule.path
+
+let simplify rules =
+  (* Drop r when some other rule subsumes it STRICTLY, or an EARLIER rule
+     subsumes it mutually (equivalence classes keep their first member).
+     The subsumption relation is transitive (containment is, and the sign
+     compatibility {AA, DD, AD} composes), so every dropped rule is
+     covered by a chain that ends in a kept rule — the kept set yields
+     the same decisions on every document. This is order-independent up
+     to which representative of an equivalence class survives. *)
+  let arr = Array.of_list rules in
+  let n = Array.length arr in
+  let dropped i =
+    let r = arr.(i) in
+    let rec scan j =
+      j < n
+      && ((j <> i
+          && subsumes ~by:arr.(j) r
+          && ((not (subsumes ~by:r arr.(j))) || j < i))
+         || scan (j + 1))
+    in
+    scan 0
+  in
+  List.filteri (fun i _ -> not (dropped i)) rules
+
+let redundant_count rules = List.length rules - List.length (simplify rules)

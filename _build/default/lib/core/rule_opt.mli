@@ -1,0 +1,28 @@
+(** Static rule-set simplification — the paper's observation that "some
+    rules may be inhibited by others according to the conflict resolution
+    policies, thereby optimizations such as suspending evaluations of
+    rules can be devised", made static: rules provably subsumed on {e
+    every} document are dropped before the automata are even built.
+
+    Soundness rests on {!Sdds_xpath.Containment} (itself sound and
+    incomplete): a rule is only removed when, at every node it targets on
+    any document, another surviving rule of the relevant sign also applies
+    directly, so the per-node decision (Denial-Takes-Precedence +
+    Most-Specific-Object) cannot change:
+
+    - a rule whose targets are contained in a same-signed rule's targets is
+      redundant;
+    - a positive rule whose targets are contained in a negative rule's
+      targets can never win (denial takes precedence at every node it
+      reaches).
+
+    The simplification is subject-wise: rules of different subjects never
+    interact. *)
+
+val simplify : Rule.t list -> Rule.t list
+(** Returns a sublist of the input (order preserved) producing the same
+    authorized view on every document, for every subject and default
+    policy. *)
+
+val redundant_count : Rule.t list -> int
+(** [List.length rules - List.length (simplify rules)]. *)

@@ -1,0 +1,231 @@
+module Event = Sdds_xml.Event
+
+(* Three-valued logic for progressive evaluation. *)
+type 'a det = Det of 'a | Unknown
+
+type snode = {
+  tag : string;
+  neg : Cond.t;
+  pos : Cond.t;
+  query : Cond.t;
+  items : item Queue.t;
+  mutable node_open : bool;  (** still receiving events *)
+  mutable emitted : bool;  (** open tag released *)
+}
+
+and item = I_text of string | I_node of snode
+
+type t = {
+  default : Rule.sign;
+  has_query : bool;
+  emit : Event.t -> unit;
+  values : (Cond.var, bool) Hashtbl.t;
+  root : snode;  (** sentinel; its single item is the document element *)
+  mutable stack : snode list;  (** open elements, sentinel last *)
+  mutable buffered : int;
+  mutable peak : int;
+}
+
+let create ?(default = Rule.Deny) ~has_query ~emit () =
+  let root =
+    {
+      tag = "#root";
+      neg = Cond.ff;
+      pos = Cond.ff;
+      query = Cond.ff;
+      items = Queue.create ();
+      node_open = true;
+      emitted = true;
+      (* the sentinel is "emitted": pumping starts inside it *)
+    }
+  in
+  {
+    default;
+    has_query;
+    emit;
+    values = Hashtbl.create 32;
+    root;
+    stack = [ root ];
+    buffered = 0;
+    peak = 0;
+  }
+
+let buffered_nodes t = t.buffered
+let peak_buffered_nodes t = t.peak
+
+let lookup t v = Hashtbl.find_opt t.values v
+
+let bool_of t e =
+  match Cond.to_bool (Cond.subst (lookup t) e) with
+  | Some b -> Det b
+  | None -> Unknown
+
+(* Decision and scope of a node given its parent's resolved pair.
+   [parent] is [Det (decision, in_scope)] or [Unknown]. *)
+let status t parent node =
+  let decision =
+    match bool_of t node.neg with
+    | Det true -> Det Rule.Deny
+    | Det false -> (
+        match bool_of t node.pos with
+        | Det true -> Det Rule.Allow
+        | Det false -> (
+            match parent with Det (d, _) -> Det d | Unknown -> Unknown)
+        | Unknown -> Unknown)
+    | Unknown -> Unknown
+  in
+  let scope =
+    if not t.has_query then Det true
+    else
+      match parent with
+      | Det (_, true) -> Det true
+      | _ -> (
+          match bool_of t node.query with
+          | Det true -> Det true
+          | Det false -> (
+              match parent with Det (_, s) -> Det s | Unknown -> Unknown)
+          | Unknown -> Unknown)
+  in
+  match (decision, scope) with
+  | Det d, Det s -> Det (d, s)
+  | _ -> Unknown
+
+let visible = function
+  | Det (Rule.Allow, true) -> Det true
+  | Det (_, _) -> Det false
+  | Unknown -> Unknown
+
+(* Will this node appear in the view (itself visible, or some descendant
+   visible)? *)
+let rec appears t parent node =
+  let st = status t parent node in
+  match visible st with
+  | Det true -> Det true
+  | vis -> (
+      (* Some descendant may still make it appear. *)
+      let child_appears =
+        Queue.fold
+          (fun acc item ->
+            match (acc, item) with
+            | Det true, _ -> Det true
+            | _, I_text _ -> acc
+            | _, I_node c -> (
+                match appears t st c with
+                | Det true -> Det true
+                | Det false -> acc
+                | Unknown -> ( match acc with Det true -> Det true | _ -> Unknown)))
+          (Det false) node.items
+      in
+      match (child_appears, vis, node.node_open) with
+      | Det true, _, _ -> Det true
+      | _, Unknown, _ -> Unknown
+      | Unknown, _, _ -> Unknown
+      | Det false, Det false, false -> Det false
+      | Det false, Det false, true -> Unknown (* more children may come *)
+      | _, Det true, _ -> Det true)
+
+(* Emit the items of [node] (which has been emitted) as far as they are
+   settled; returns true if the node is fully drained AND closed. *)
+let rec pump t parent node =
+  let st = status t parent node in
+  let rec go () =
+    match Queue.peek_opt node.items with
+    | None -> not node.node_open
+    | Some (I_text v) -> (
+        (* Text visibility = the node's own full visibility. *)
+        match visible st with
+        | Det true ->
+            ignore (Queue.pop node.items);
+            t.emit (Event.Value v);
+            go ()
+        | Det false ->
+            ignore (Queue.pop node.items);
+            go ()
+        | Unknown -> false)
+    | Some (I_node c) -> (
+        if c.emitted then begin
+          (* Currently streaming through this child. *)
+          if pump t st c then begin
+            ignore (Queue.pop node.items);
+            t.emit (Event.Close c.tag);
+            t.buffered <- t.buffered - 1;
+            go ()
+          end
+          else false
+        end
+        else
+          match appears t st c with
+          | Det true ->
+              c.emitted <- true;
+              t.emit (Event.Open c.tag);
+              if pump t st c then begin
+                ignore (Queue.pop node.items);
+                t.emit (Event.Close c.tag);
+                t.buffered <- t.buffered - 1;
+                go ()
+              end
+              else false
+          | Det false ->
+              ignore (Queue.pop node.items);
+              t.buffered <- t.buffered - 1;
+              discard t c;
+              go ()
+          | Unknown -> false)
+  in
+  go ()
+
+and discard t node =
+  Queue.iter
+    (function
+      | I_text _ -> ()
+      | I_node c ->
+          t.buffered <- t.buffered - 1;
+          discard t c)
+    node.items;
+  Queue.clear node.items
+
+let feed t out =
+  (match out with
+  | Output.Open_node { tag; neg; pos; query } -> (
+      match t.stack with
+      | [] -> invalid_arg "Stream_view: no frames"
+      | top :: _ ->
+          if top == t.root && not (Queue.is_empty top.items) then
+            invalid_arg "Stream_view: several roots";
+          let node =
+            {
+              tag;
+              neg;
+              pos;
+              query;
+              items = Queue.create ();
+              node_open = true;
+              emitted = false;
+            }
+          in
+          t.buffered <- t.buffered + 1;
+          if t.buffered > t.peak then t.peak <- t.buffered;
+          Queue.push (I_node node) top.items;
+          t.stack <- node :: t.stack)
+  | Output.Text_node v -> (
+      match t.stack with
+      | top :: _ when not (top == t.root) -> Queue.push (I_text v) top.items
+      | _ -> invalid_arg "Stream_view: text outside elements")
+  | Output.Close_node tag -> (
+      match t.stack with
+      | top :: rest when not (top == t.root) ->
+          if not (String.equal top.tag tag) then
+            invalid_arg "Stream_view: mismatched close";
+          top.node_open <- false;
+          t.stack <- rest
+      | _ -> invalid_arg "Stream_view: close without open")
+  | Output.Resolve (v, b) -> Hashtbl.replace t.values v b);
+  ignore (pump t (Det (t.default, not t.has_query)) t.root)
+
+let finish t =
+  (match t.stack with
+  | [ root ] when root == t.root -> ()
+  | _ -> invalid_arg "Stream_view.finish: elements still open");
+  t.root.node_open <- false;
+  if not (pump t (Det (t.default, not t.has_query)) t.root) then
+    invalid_arg "Stream_view.finish: unresolved conditions remain"

@@ -1,0 +1,38 @@
+(** Incremental construction of the authorized view.
+
+    {!Reassembler} holds the whole annotated tree until the end of the
+    stream. For the dissemination application that is the wrong latency
+    profile: a subscriber should see an item the moment its fate is known,
+    not when the feed ends. This module emits the final view's events {e
+    as soon as they are determined}: an event is released once every
+    earlier event of the view is settled (document order is preserved) and
+    its own visibility is resolved. Buffering is then bounded by the
+    unresolved regions of the stream — O(depth) when no rule is pending —
+    instead of the whole document.
+
+    The emitted event sequence is exactly
+    [Dom.to_events (Reassembler.run ... outputs)] (nothing at all when the
+    view is empty) — a property the tests enforce. *)
+
+type t
+
+val create :
+  ?default:Rule.sign ->
+  has_query:bool ->
+  emit:(Sdds_xml.Event.t -> unit) ->
+  unit ->
+  t
+
+val feed : t -> Output.t -> unit
+(** May call [emit] zero or more times.
+    Raises [Invalid_argument] on malformed streams. *)
+
+val finish : t -> unit
+(** Flushes whatever the last resolutions settled and checks completeness.
+    Raises [Invalid_argument] if the stream is incomplete or a condition
+    was never resolved. *)
+
+val buffered_nodes : t -> int
+(** Element nodes currently held back. *)
+
+val peak_buffered_nodes : t -> int

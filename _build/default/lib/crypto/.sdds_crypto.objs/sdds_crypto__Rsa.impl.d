@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Bignum Char Drbg Sdds_util Sha1 Sha256 String

@@ -1,0 +1,228 @@
+(* AES (FIPS 197). The S-box and GF(2^8) arithmetic tables are computed at
+   module initialization from first principles (log/antilog tables over the
+   generator 0x03), which avoids transcription errors in 256-entry magic
+   tables; correctness is pinned by the FIPS/NIST vectors in the tests. *)
+
+let block_size = 16
+
+(* --- GF(2^8) arithmetic ------------------------------------------------ *)
+
+let xtime b =
+  let b = b lsl 1 in
+  if b land 0x100 <> 0 then b lxor 0x11b else b
+
+let gmul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else
+      go (xtime a) (b lsr 1) (if b land 1 = 1 then acc lxor a else acc)
+  in
+  go a b 0
+
+(* Multiplicative inverse via Fermat: a^254 in GF(2^8). *)
+let ginv a =
+  if a = 0 then 0
+  else begin
+    let rec pow acc base e =
+      if e = 0 then acc
+      else pow (if e land 1 = 1 then gmul acc base else acc) (gmul base base) (e lsr 1)
+    in
+    pow 1 a 254
+  end
+
+let sbox = Array.make 256 0
+let inv_sbox = Array.make 256 0
+
+let () =
+  let rotl8 x n = ((x lsl n) lor (x lsr (8 - n))) land 0xff in
+  for x = 0 to 255 do
+    let b = ginv x in
+    let s =
+      b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63
+    in
+    sbox.(x) <- s;
+    inv_sbox.(s) <- x
+  done
+
+(* --- Key schedule ------------------------------------------------------ *)
+
+type key = { round_keys : int array; nr : int; bits : int }
+(* round_keys: 4*(nr+1) words, each a 32-bit int, big-endian byte order. *)
+
+let sub_word w =
+  (sbox.((w lsr 24) land 0xff) lsl 24)
+  lor (sbox.((w lsr 16) land 0xff) lsl 16)
+  lor (sbox.((w lsr 8) land 0xff) lsl 8)
+  lor sbox.(w land 0xff)
+
+let rot_word w = ((w lsl 8) lor (w lsr 24)) land 0xffffffff
+
+let rcon =
+  let r = Array.make 15 0 in
+  let v = ref 1 in
+  for i = 1 to 14 do
+    r.(i) <- !v lsl 24;
+    v := xtime !v
+  done;
+  r
+
+let expand_key k =
+  let nk =
+    match String.length k with
+    | 16 -> 4
+    | 24 -> 6
+    | 32 -> 8
+    | n -> invalid_arg (Printf.sprintf "Aes.expand_key: bad key size %d" n)
+  in
+  let nr = nk + 6 in
+  let w = Array.make (4 * (nr + 1)) 0 in
+  for i = 0 to nk - 1 do
+    w.(i) <-
+      (Char.code k.[4 * i] lsl 24)
+      lor (Char.code k.[(4 * i) + 1] lsl 16)
+      lor (Char.code k.[(4 * i) + 2] lsl 8)
+      lor Char.code k.[(4 * i) + 3]
+  done;
+  for i = nk to (4 * (nr + 1)) - 1 do
+    let temp = w.(i - 1) in
+    let temp =
+      if i mod nk = 0 then sub_word (rot_word temp) lxor rcon.(i / nk)
+      else if nk > 6 && i mod nk = 4 then sub_word temp
+      else temp
+    in
+    w.(i) <- w.(i - nk) lxor temp
+  done;
+  { round_keys = w; nr; bits = 32 * nk }
+
+let key_bits k = k.bits
+
+(* --- Block transforms --------------------------------------------------- *)
+
+(* State is a 16-entry int array in FIPS layout: state.(r + 4*c). *)
+
+let add_round_key key round st =
+  for c = 0 to 3 do
+    let w = key.round_keys.((4 * round) + c) in
+    st.(4 * c) <- st.(4 * c) lxor ((w lsr 24) land 0xff);
+    st.((4 * c) + 1) <- st.((4 * c) + 1) lxor ((w lsr 16) land 0xff);
+    st.((4 * c) + 2) <- st.((4 * c) + 2) lxor ((w lsr 8) land 0xff);
+    st.((4 * c) + 3) <- st.((4 * c) + 3) lxor (w land 0xff)
+  done
+
+let sub_bytes st =
+  for i = 0 to 15 do
+    st.(i) <- sbox.(st.(i))
+  done
+
+let inv_sub_bytes st =
+  for i = 0 to 15 do
+    st.(i) <- inv_sbox.(st.(i))
+  done
+
+(* Row r shifts left by r; with layout st.(r + 4c), row r is indices
+   r, r+4, r+8, r+12. *)
+let shift_rows st =
+  let t1 = st.(1) in
+  st.(1) <- st.(5);
+  st.(5) <- st.(9);
+  st.(9) <- st.(13);
+  st.(13) <- t1;
+  let t2 = st.(2) and t6 = st.(6) in
+  st.(2) <- st.(10);
+  st.(6) <- st.(14);
+  st.(10) <- t2;
+  st.(14) <- t6;
+  let t15 = st.(15) in
+  st.(15) <- st.(11);
+  st.(11) <- st.(7);
+  st.(7) <- st.(3);
+  st.(3) <- t15
+
+let inv_shift_rows st =
+  let t13 = st.(13) in
+  st.(13) <- st.(9);
+  st.(9) <- st.(5);
+  st.(5) <- st.(1);
+  st.(1) <- t13;
+  let t2 = st.(2) and t6 = st.(6) in
+  st.(2) <- st.(10);
+  st.(6) <- st.(14);
+  st.(10) <- t2;
+  st.(14) <- t6;
+  let t3 = st.(3) in
+  st.(3) <- st.(7);
+  st.(7) <- st.(11);
+  st.(11) <- st.(15);
+  st.(15) <- t3
+
+let mix_columns st =
+  for c = 0 to 3 do
+    let i = 4 * c in
+    let a0 = st.(i) and a1 = st.(i + 1) and a2 = st.(i + 2) and a3 = st.(i + 3) in
+    st.(i) <- gmul a0 2 lxor gmul a1 3 lxor a2 lxor a3;
+    st.(i + 1) <- a0 lxor gmul a1 2 lxor gmul a2 3 lxor a3;
+    st.(i + 2) <- a0 lxor a1 lxor gmul a2 2 lxor gmul a3 3;
+    st.(i + 3) <- gmul a0 3 lxor a1 lxor a2 lxor gmul a3 2
+  done
+
+let inv_mix_columns st =
+  for c = 0 to 3 do
+    let i = 4 * c in
+    let a0 = st.(i) and a1 = st.(i + 1) and a2 = st.(i + 2) and a3 = st.(i + 3) in
+    st.(i) <- gmul a0 14 lxor gmul a1 11 lxor gmul a2 13 lxor gmul a3 9;
+    st.(i + 1) <- gmul a0 9 lxor gmul a1 14 lxor gmul a2 11 lxor gmul a3 13;
+    st.(i + 2) <- gmul a0 13 lxor gmul a1 9 lxor gmul a2 14 lxor gmul a3 11;
+    st.(i + 3) <- gmul a0 11 lxor gmul a1 13 lxor gmul a2 9 lxor gmul a3 14
+  done
+
+let load st src spos =
+  for i = 0 to 15 do
+    st.(i) <- Bytes.get_uint8 src (spos + i)
+  done
+
+let store st dst dpos =
+  for i = 0 to 15 do
+    Bytes.set_uint8 dst (dpos + i) st.(i)
+  done
+
+let encrypt_block key src spos dst dpos =
+  let st = Array.make 16 0 in
+  load st src spos;
+  add_round_key key 0 st;
+  for round = 1 to key.nr - 1 do
+    sub_bytes st;
+    shift_rows st;
+    mix_columns st;
+    add_round_key key round st
+  done;
+  sub_bytes st;
+  shift_rows st;
+  add_round_key key key.nr st;
+  store st dst dpos
+
+let decrypt_block key src spos dst dpos =
+  let st = Array.make 16 0 in
+  load st src spos;
+  add_round_key key key.nr st;
+  for round = key.nr - 1 downto 1 do
+    inv_shift_rows st;
+    inv_sub_bytes st;
+    add_round_key key round st;
+    inv_mix_columns st
+  done;
+  inv_shift_rows st;
+  inv_sub_bytes st;
+  add_round_key key 0 st;
+  store st dst dpos
+
+let encrypt_block_string key s =
+  if String.length s <> 16 then invalid_arg "Aes.encrypt_block_string";
+  let b = Bytes.of_string s in
+  encrypt_block key b 0 b 0;
+  Bytes.unsafe_to_string b
+
+let decrypt_block_string key s =
+  if String.length s <> 16 then invalid_arg "Aes.decrypt_block_string";
+  let b = Bytes.of_string s in
+  decrypt_block key b 0 b 0;
+  Bytes.unsafe_to_string b

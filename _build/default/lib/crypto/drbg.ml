@@ -1,0 +1,26 @@
+type t = { mutable key : string; mutable v : string }
+
+let update t provided =
+  t.key <- Hmac.mac ~key:t.key (t.v ^ "\x00" ^ provided);
+  t.v <- Hmac.mac ~key:t.key t.v;
+  if String.length provided > 0 then begin
+    t.key <- Hmac.mac ~key:t.key (t.v ^ "\x01" ^ provided);
+    t.v <- Hmac.mac ~key:t.key t.v
+  end
+
+let create ~seed =
+  let t = { key = String.make 32 '\000'; v = String.make 32 '\x01' } in
+  update t seed;
+  t
+
+let reseed t entropy = update t entropy
+
+let generate t n =
+  if n < 0 then invalid_arg "Drbg.generate";
+  let buf = Buffer.create (n + 32) in
+  while Buffer.length buf < n do
+    t.v <- Hmac.mac ~key:t.key t.v;
+    Buffer.add_string buf t.v
+  done;
+  update t "";
+  String.sub (Buffer.contents buf) 0 n

@@ -1,0 +1,17 @@
+(** Deterministic random bit generator (HMAC-DRBG, SP 800-90A profile
+    without reseed counters).
+
+    The SOE derives per-guard one-time keys and session nonces from it; the
+    simulation seeds it deterministically so end-to-end runs are
+    reproducible. *)
+
+type t
+
+val create : seed:string -> t
+(** Instantiate from arbitrary seed material. *)
+
+val generate : t -> int -> string
+(** [generate t n] returns [n] pseudo-random bytes and advances the state. *)
+
+val reseed : t -> string -> unit
+(** Mix additional entropy into the state. *)

@@ -1,0 +1,19 @@
+let block = 64
+
+let mac ~key msg =
+  let key = if String.length key > block then Sha256.digest key else key in
+  let key = key ^ String.make (block - String.length key) '\000' in
+  let xor_with pad =
+    String.init block (fun i -> Char.chr (Char.code key.[i] lxor pad))
+  in
+  Sha256.digest (xor_with 0x5c ^ Sha256.digest (xor_with 0x36 ^ msg))
+
+let verify ~key msg ~tag =
+  let expected = mac ~key msg in
+  String.length tag = String.length expected
+  &&
+  let diff = ref 0 in
+  String.iteri
+    (fun i c -> diff := !diff lor (Char.code c lxor Char.code expected.[i]))
+    tag;
+  !diff = 0

@@ -1,0 +1,11 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    Every encrypted chunk carries an HMAC bound to its position, preventing
+    the block substitution and reordering attacks the paper's integrity
+    checking is there to stop. *)
+
+val mac : key:string -> string -> string
+(** 32-byte tag. Any key length (hashed down if longer than the block). *)
+
+val verify : key:string -> string -> tag:string -> bool
+(** Constant-time comparison of the expected and presented tags. *)

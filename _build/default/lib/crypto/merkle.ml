@@ -1,0 +1,72 @@
+(* Levels are stored bottom-up: levels.(0) is the leaf-hash layer. An odd
+   node at the end of a layer is promoted (paired with itself would allow
+   forgeries; promotion does not). *)
+
+type tree = { levels : string array array }
+
+let leaf_hash s = Sha256.digest ("\x00" ^ s)
+let node_hash l r = Sha256.digest ("\x01" ^ l ^ r)
+
+let build leaves =
+  if leaves = [] then invalid_arg "Merkle.build: no leaves";
+  let level0 = Array.of_list (List.map leaf_hash leaves) in
+  let rec up acc level =
+    if Array.length level = 1 then List.rev (level :: acc)
+    else begin
+      let n = Array.length level in
+      let parent = Array.make ((n + 1) / 2) "" in
+      for i = 0 to (n / 2) - 1 do
+        parent.(i) <- node_hash level.(2 * i) level.((2 * i) + 1)
+      done;
+      if n land 1 = 1 then parent.((n - 1) / 2) <- level.(n - 1);
+      up (level :: acc) parent
+    end
+  in
+  { levels = Array.of_list (up [] level0) }
+
+let root t =
+  let top = t.levels.(Array.length t.levels - 1) in
+  top.(0)
+
+let leaf_count t = Array.length t.levels.(0)
+
+type proof = string list
+
+let prove t index =
+  if index < 0 || index >= leaf_count t then invalid_arg "Merkle.prove";
+  let rec go level i acc =
+    if level >= Array.length t.levels - 1 then List.rev acc
+    else begin
+      let layer = t.levels.(level) in
+      let n = Array.length layer in
+      let sibling = if i land 1 = 0 then i + 1 else i - 1 in
+      let acc = if sibling < n then layer.(sibling) :: acc else acc in
+      go (level + 1) (i / 2) acc
+    end
+  in
+  go 0 index []
+
+let verify ~root:expected ~leaf_count ~index ~leaf proof =
+  if index < 0 || index >= leaf_count then false
+  else begin
+    (* Recompute the path, tracking position and layer width to know when a
+       node was promoted (no sibling) vs. hashed with one. *)
+    let rec go digest i width proof =
+      if width = 1 then proof = [] && String.equal digest expected
+      else begin
+        let has_sibling = if i land 1 = 0 then i + 1 < width else true in
+        match (has_sibling, proof) with
+        | false, _ -> go digest (i / 2) ((width + 1) / 2) proof
+        | true, [] -> false
+        | true, sib :: rest ->
+            let digest =
+              if i land 1 = 0 then node_hash digest sib
+              else node_hash sib digest
+            in
+            go digest (i / 2) ((width + 1) / 2) rest
+      end
+    in
+    go (leaf_hash leaf) index leaf_count proof
+  end
+
+let proof_size_bytes proof = 32 * List.length proof

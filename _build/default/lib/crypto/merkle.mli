@@ -1,0 +1,34 @@
+(** Merkle hash tree over document chunks.
+
+    The DSP publishes the root hash with each document (signed by the
+    publisher); the SOE checks each chunk it consumes against the root via
+    an inclusion proof. This is what makes {e skipping} compatible with
+    {e integrity}: a linear MAC chain would force the SOE to read every
+    chunk, a Merkle proof authenticates exactly the chunks actually
+    decrypted. Leaves are domain-separated from interior nodes to prevent
+    second-preimage splicing. *)
+
+type tree
+
+val build : string list -> tree
+(** [build leaves] hashes each leaf (chunk ciphertext) and builds the tree.
+    Raises [Invalid_argument] on an empty list. *)
+
+val root : tree -> string
+(** 32-byte root digest. *)
+
+val leaf_count : tree -> int
+
+type proof = string list
+(** Sibling digests from leaf to root; the index supplies the directions. *)
+
+val prove : tree -> int -> proof
+(** Inclusion proof for leaf [i]. Raises [Invalid_argument] if out of
+    range. *)
+
+val verify : root:string -> leaf_count:int -> index:int -> leaf:string -> proof -> bool
+(** [verify ~root ~leaf_count ~index ~leaf proof] checks that [leaf]'s
+    content is at position [index] in the tree committed by [root]. *)
+
+val proof_size_bytes : proof -> int
+(** Transfer cost of a proof, for the cost model. *)

@@ -1,0 +1,91 @@
+let bs = Aes.block_size
+
+let pad_pkcs7 s =
+  let n = bs - (String.length s mod bs) in
+  s ^ String.make n (Char.chr n)
+
+let unpad_pkcs7 s =
+  let len = String.length s in
+  if len = 0 || len mod bs <> 0 then None
+  else begin
+    let n = Char.code s.[len - 1] in
+    if n = 0 || n > bs then None
+    else begin
+      let ok = ref true in
+      for i = len - n to len - 1 do
+        if Char.code s.[i] <> n then ok := false
+      done;
+      if !ok then Some (String.sub s 0 (len - n)) else None
+    end
+  end
+
+let check_iv iv = if String.length iv <> bs then invalid_arg "Mode: bad IV size"
+
+let encrypt_cbc key ~iv plain =
+  check_iv iv;
+  let padded = pad_pkcs7 plain in
+  let n = String.length padded in
+  let out = Bytes.of_string padded in
+  let prev = Bytes.of_string iv in
+  let off = ref 0 in
+  while !off < n do
+    for i = 0 to bs - 1 do
+      Bytes.set_uint8 out (!off + i)
+        (Bytes.get_uint8 out (!off + i) lxor Bytes.get_uint8 prev i)
+    done;
+    Aes.encrypt_block key out !off out !off;
+    Bytes.blit out !off prev 0 bs;
+    off := !off + bs
+  done;
+  Bytes.unsafe_to_string out
+
+let decrypt_cbc key ~iv cipher =
+  check_iv iv;
+  let n = String.length cipher in
+  if n = 0 || n mod bs <> 0 then None
+  else begin
+    let out = Bytes.create n in
+    let src = Bytes.of_string cipher in
+    let prev = Bytes.of_string iv in
+    let off = ref 0 in
+    while !off < n do
+      Aes.decrypt_block key src !off out !off;
+      for i = 0 to bs - 1 do
+        Bytes.set_uint8 out (!off + i)
+          (Bytes.get_uint8 out (!off + i) lxor Bytes.get_uint8 prev i)
+      done;
+      Bytes.blit src !off prev 0 bs;
+      off := !off + bs
+    done;
+    unpad_pkcs7 (Bytes.unsafe_to_string out)
+  end
+
+let ctr_transform key ~nonce data =
+  check_iv nonce;
+  let n = String.length data in
+  let out = Bytes.of_string data in
+  let counter = Bytes.of_string nonce in
+  let keystream = Bytes.create bs in
+  let bump () =
+    (* Increment the last 4 bytes big-endian. *)
+    let rec go i =
+      if i >= bs - 4 then begin
+        let v = (Bytes.get_uint8 counter i + 1) land 0xff in
+        Bytes.set_uint8 counter i v;
+        if v = 0 then go (i - 1)
+      end
+    in
+    go (bs - 1)
+  in
+  let off = ref 0 in
+  while !off < n do
+    Aes.encrypt_block key counter 0 keystream 0;
+    let chunk = min bs (n - !off) in
+    for i = 0 to chunk - 1 do
+      Bytes.set_uint8 out (!off + i)
+        (Bytes.get_uint8 out (!off + i) lxor Bytes.get_uint8 keystream i)
+    done;
+    bump ();
+    off := !off + bs
+  done;
+  Bytes.unsafe_to_string out

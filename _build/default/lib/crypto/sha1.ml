@@ -1,0 +1,60 @@
+let digest_size = 20
+let mask = 0xffffffff
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let digest s =
+  let total = String.length s in
+  let bit_len = total * 8 in
+  let pad_len =
+    let r = (total + 1) mod 64 in
+    if r <= 56 then 56 - r else 120 - r
+  in
+  let msg = Bytes.make (total + 1 + pad_len + 8) '\000' in
+  Bytes.blit_string s 0 msg 0 total;
+  Bytes.set msg total '\x80';
+  for i = 0 to 7 do
+    Bytes.set_uint8 msg
+      (total + 1 + pad_len + i)
+      ((bit_len lsr (8 * (7 - i))) land 0xff)
+  done;
+  let h0 = ref 0x67452301 and h1 = ref 0xEFCDAB89 and h2 = ref 0x98BADCFE in
+  let h3 = ref 0x10325476 and h4 = ref 0xC3D2E1F0 in
+  let w = Array.make 80 0 in
+  let nblocks = Bytes.length msg / 64 in
+  for blk = 0 to nblocks - 1 do
+    let base = blk * 64 in
+    for t = 0 to 15 do
+      w.(t) <-
+        (Char.code (Bytes.get msg (base + (4 * t))) lsl 24)
+        lor (Char.code (Bytes.get msg (base + (4 * t) + 1)) lsl 16)
+        lor (Char.code (Bytes.get msg (base + (4 * t) + 2)) lsl 8)
+        lor Char.code (Bytes.get msg (base + (4 * t) + 3))
+    done;
+    for t = 16 to 79 do
+      w.(t) <- rotl (w.(t - 3) lxor w.(t - 8) lxor w.(t - 14) lxor w.(t - 16)) 1
+    done;
+    let a = ref !h0 and b = ref !h1 and c = ref !h2 and d = ref !h3 and e = ref !h4 in
+    for t = 0 to 79 do
+      let f, k =
+        if t < 20 then ((!b land !c) lor (lnot !b land !d), 0x5A827999)
+        else if t < 40 then (!b lxor !c lxor !d, 0x6ED9EBA1)
+        else if t < 60 then
+          ((!b land !c) lor (!b land !d) lor (!c land !d), 0x8F1BBCDC)
+        else (!b lxor !c lxor !d, 0xCA62C1D6)
+      in
+      let temp = (rotl !a 5 + (f land mask) + !e + k + w.(t)) land mask in
+      e := !d;
+      d := !c;
+      c := rotl !b 30;
+      b := !a;
+      a := temp
+    done;
+    h0 := (!h0 + !a) land mask;
+    h1 := (!h1 + !b) land mask;
+    h2 := (!h2 + !c) land mask;
+    h3 := (!h3 + !d) land mask;
+    h4 := (!h4 + !e) land mask
+  done;
+  let hs = [| !h0; !h1; !h2; !h3; !h4 |] in
+  String.init 20 (fun i ->
+      Char.chr ((hs.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xff))

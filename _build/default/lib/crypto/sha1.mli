@@ -1,0 +1,8 @@
+(** SHA-1 (FIPS 180-4) — used for short key fingerprints and session
+    identifiers, where the 20-byte output is convenient; all
+    integrity-bearing paths use {!Sha256}. *)
+
+val digest_size : int
+(** 20 bytes. *)
+
+val digest : string -> string

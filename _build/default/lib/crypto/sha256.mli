@@ -1,0 +1,19 @@
+(** SHA-256 (FIPS 180-4).
+
+    Integrity of encrypted chunks, Merkle tree hashing and HMAC all build on
+    this digest. *)
+
+val digest_size : int
+(** 32 bytes. *)
+
+val digest : string -> string
+(** One-shot digest (raw 32 bytes; hex-encode with [Sdds_util.Hex]). *)
+
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+(** Incremental interface, used by the streaming integrity checker. *)
+
+val finalize : ctx -> string
+(** Returns the digest; the context must not be fed afterwards. *)

@@ -1,0 +1,1 @@
+lib/dsp/pki.ml: Hashtbl List Sdds_crypto String

@@ -1,0 +1,1 @@
+lib/dsp/pki.mli: Sdds_crypto

@@ -1,0 +1,1 @@
+lib/dsp/publish.ml: Array Sdds_crypto Sdds_index Sdds_soe String

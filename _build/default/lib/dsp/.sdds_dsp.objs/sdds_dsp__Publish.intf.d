@@ -1,0 +1,1 @@
+lib/dsp/publish.mli: Sdds_core Sdds_crypto Sdds_index Sdds_soe Sdds_xml

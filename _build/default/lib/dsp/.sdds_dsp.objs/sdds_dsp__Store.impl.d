@@ -1,0 +1,1 @@
+lib/dsp/store.ml: Array Bytes Hashtbl List Publish String

@@ -1,0 +1,1 @@
+lib/dsp/store.mli: Publish

@@ -1,0 +1,1 @@
+lib/dsp/store_io.ml: Array Buffer Filename Fun List Publish Sdds_crypto Sdds_util Store String Sys

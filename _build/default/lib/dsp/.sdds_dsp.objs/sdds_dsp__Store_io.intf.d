@@ -1,0 +1,1 @@
+lib/dsp/store_io.mli: Sdds_crypto Store

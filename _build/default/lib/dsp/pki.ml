@@ -1,0 +1,17 @@
+module Rsa = Sdds_crypto.Rsa
+
+type t = (string, Rsa.public) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let register t ~name key =
+  match Hashtbl.find_opt t name with
+  | Some existing when existing <> key ->
+      invalid_arg ("Pki.register: " ^ name ^ " already bound")
+  | Some _ -> ()
+  | None -> Hashtbl.add t name key
+
+let lookup t name = Hashtbl.find_opt t name
+
+let names t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])

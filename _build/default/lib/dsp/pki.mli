@@ -1,0 +1,18 @@
+(** Simulated public-key directory.
+
+    The demo "will not use a PKI infrastructure but rather simulate it":
+    this module is that simulation — a trusted name → public-key mapping,
+    standing in for certificates and CA chains. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> name:string -> Sdds_crypto.Rsa.public -> unit
+(** Raises [Invalid_argument] if the name is already bound to a different
+    key (a directory never silently rebinds identities). *)
+
+val lookup : t -> string -> Sdds_crypto.Rsa.public option
+
+val names : t -> string list
+(** Sorted. *)

@@ -1,0 +1,197 @@
+module Varint = Sdds_util.Varint
+module Hex = Sdds_util.Hex
+module Bignum = Sdds_crypto.Bignum
+module Rsa = Sdds_crypto.Rsa
+module Merkle = Sdds_crypto.Merkle
+
+(* ------------------------------------------------------------------ *)
+(* Small binary helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let write_lstring buf s =
+  Varint.write buf (String.length s);
+  Buffer.add_string buf s
+
+let read_lstring s pos =
+  let len, pos = Varint.read s pos in
+  if pos + len > String.length s then invalid_arg "Store_io: truncated";
+  (String.sub s pos len, pos + len)
+
+let write_file ~path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  go dir
+
+let list_dir dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.to_list (Sys.readdir dir)
+  else []
+
+(* ------------------------------------------------------------------ *)
+(* Documents                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let doc_magic = "SDOC"
+
+let encode_doc (p : Publish.published) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf doc_magic;
+  write_lstring buf p.Publish.doc_id;
+  Varint.write buf p.Publish.chunk_plain_bytes;
+  Varint.write buf p.Publish.plain_length;
+  write_lstring buf p.Publish.merkle_root;
+  write_lstring buf p.Publish.root_signature;
+  write_lstring buf (Bignum.to_bytes_be p.Publish.publisher.Rsa.n);
+  write_lstring buf (Bignum.to_bytes_be p.Publish.publisher.Rsa.e);
+  Varint.write buf (Array.length p.Publish.chunks);
+  Array.iter (write_lstring buf) p.Publish.chunks;
+  Buffer.contents buf
+
+let decode_doc s =
+  if
+    String.length s < 4
+    || not (String.equal (String.sub s 0 4) doc_magic)
+  then invalid_arg "Store_io: bad document magic";
+  let doc_id, pos = read_lstring s 4 in
+  let chunk_plain_bytes, pos = Varint.read s pos in
+  let plain_length, pos = Varint.read s pos in
+  let merkle_root, pos = read_lstring s pos in
+  let root_signature, pos = read_lstring s pos in
+  let n_bytes, pos = read_lstring s pos in
+  let e_bytes, pos = read_lstring s pos in
+  let n_chunks, pos = Varint.read s pos in
+  if n_chunks < 0 || n_chunks > 10_000_000 then
+    invalid_arg "Store_io: absurd chunk count";
+  let pos = ref pos in
+  let chunks =
+    Array.init n_chunks (fun _ ->
+        let c, p = read_lstring s !pos in
+        pos := p;
+        c)
+  in
+  if !pos <> String.length s then invalid_arg "Store_io: trailing bytes";
+  {
+    Publish.doc_id;
+    chunks;
+    chunk_plain_bytes;
+    plain_length;
+    tree = Merkle.build (Array.to_list chunks);
+    merkle_root;
+    root_signature;
+    publisher =
+      { Rsa.n = Bignum.of_bytes_be n_bytes; e = Bignum.of_bytes_be e_bytes };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let save store ~dir =
+  mkdir_p (Filename.concat dir "docs");
+  List.iter
+    (fun doc_id ->
+      match Store.get_document store doc_id with
+      | None -> ()
+      | Some p ->
+          write_file
+            ~path:
+              (Filename.concat (Filename.concat dir "docs")
+                 (Hex.encode doc_id ^ ".sdoc"))
+            (encode_doc p))
+    (Store.list_documents store);
+  let save_blobs kind fold =
+    fold store
+      (fun ~doc_id ~subject blob () ->
+        let d = Filename.concat (Filename.concat dir kind) (Hex.encode doc_id) in
+        mkdir_p d;
+        write_file ~path:(Filename.concat d (Hex.encode subject)) blob)
+      ()
+  in
+  save_blobs "rules" Store.fold_rules;
+  save_blobs "grants" Store.fold_grants
+
+let load ~dir =
+  let store = Store.create () in
+  List.iter
+    (fun file ->
+      if Filename.check_suffix file ".sdoc" then
+        Store.put_document store
+          (decode_doc (read_file (Filename.concat (Filename.concat dir "docs") file))))
+    (list_dir (Filename.concat dir "docs"));
+  let load_blobs kind put =
+    List.iter
+      (fun doc_hex ->
+        let d = Filename.concat (Filename.concat dir kind) doc_hex in
+        let doc_id = Hex.decode doc_hex in
+        List.iter
+          (fun subject_hex ->
+            put store ~doc_id ~subject:(Hex.decode subject_hex)
+              (read_file (Filename.concat d subject_hex)))
+          (list_dir d))
+      (list_dir (Filename.concat dir kind))
+  in
+  load_blobs "rules" Store.put_rules;
+  load_blobs "grants" Store.put_grant;
+  store
+
+(* ------------------------------------------------------------------ *)
+(* Key files                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Keyfile = struct
+  let pub_magic = "SPUB"
+  let sec_magic = "SSEC"
+
+  let save_public (pub : Rsa.public) ~path =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf pub_magic;
+    write_lstring buf (Bignum.to_bytes_be pub.Rsa.n);
+    write_lstring buf (Bignum.to_bytes_be pub.Rsa.e);
+    write_file ~path (Buffer.contents buf)
+
+  let load_public ~path =
+    let s = read_file path in
+    if String.length s < 4 || String.sub s 0 4 <> pub_magic then
+      invalid_arg "Keyfile: not a public key file";
+    let n, pos = read_lstring s 4 in
+    let e, pos = read_lstring s pos in
+    if pos <> String.length s then invalid_arg "Keyfile: trailing bytes";
+    { Rsa.n = Bignum.of_bytes_be n; e = Bignum.of_bytes_be e }
+
+  let save_keypair (kp : Rsa.keypair) ~path =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf sec_magic;
+    write_lstring buf (Bignum.to_bytes_be kp.Rsa.secret.Rsa.n);
+    write_lstring buf (Bignum.to_bytes_be kp.Rsa.secret.Rsa.e);
+    write_lstring buf (Bignum.to_bytes_be kp.Rsa.secret.Rsa.d);
+    write_file ~path (Buffer.contents buf)
+
+  let load_keypair ~path =
+    let s = read_file path in
+    if String.length s < 4 || String.sub s 0 4 <> sec_magic then
+      invalid_arg "Keyfile: not a secret key file";
+    let n, pos = read_lstring s 4 in
+    let e, pos = read_lstring s pos in
+    let d, pos = read_lstring s pos in
+    if pos <> String.length s then invalid_arg "Keyfile: trailing bytes";
+    let n = Bignum.of_bytes_be n
+    and e = Bignum.of_bytes_be e
+    and d = Bignum.of_bytes_be d in
+    { Rsa.public = { Rsa.n; e }; secret = { Rsa.n; e; d } }
+end

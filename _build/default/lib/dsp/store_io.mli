@@ -1,0 +1,30 @@
+(** Persistence of the DSP store and of key material.
+
+    The CLI publishes into a directory once and serves queries from it in
+    later invocations; everything on disk is what the untrusted DSP would
+    hold — ciphertext chunks, signed roots, encrypted rule blobs, wrapped
+    key grants — so a copied or inspected store directory leaks nothing.
+
+    Layout: [DIR/docs/<hex id>.sdoc], [DIR/rules/<hex id>/<hex subject>],
+    [DIR/grants/<hex id>/<hex subject>] (names hex-encoded so ids and
+    subjects can contain arbitrary bytes). Merkle trees are rebuilt from
+    the stored chunks at load time; on-disk tampering therefore shows up
+    exactly like a tampering DSP. *)
+
+val save : Store.t -> dir:string -> unit
+(** Creates [dir] (and subdirectories) if missing; overwrites existing
+    entries. Raises [Sys_error] on IO failure. *)
+
+val load : dir:string -> Store.t
+(** Raises [Sys_error] on IO failure, [Invalid_argument] on a malformed
+    file. Missing subdirectories are treated as empty. *)
+
+(** Key files: ["SPUB"]/["SSEC"]-tagged binary encodings of RSA keys. *)
+module Keyfile : sig
+  val save_public : Sdds_crypto.Rsa.public -> path:string -> unit
+  val load_public : path:string -> Sdds_crypto.Rsa.public
+  val save_keypair : Sdds_crypto.Rsa.keypair -> path:string -> unit
+  val load_keypair : path:string -> Sdds_crypto.Rsa.keypair
+  (** Loaders raise [Invalid_argument] on malformed files, [Sys_error] on
+      IO failure. *)
+end

@@ -1,0 +1,1 @@
+lib/index/dict.ml: Array Buffer Hashtbl List Sdds_util Sdds_xml String

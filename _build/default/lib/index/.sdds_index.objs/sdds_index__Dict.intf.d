@@ -1,0 +1,1 @@
+lib/index/dict.mli: Buffer Sdds_xml

@@ -1,0 +1,1 @@
+lib/index/encode.ml: Bool Buffer Dict Fun List Sdds_util Sdds_xml String

@@ -1,0 +1,1 @@
+lib/index/encode.mli: Sdds_xml

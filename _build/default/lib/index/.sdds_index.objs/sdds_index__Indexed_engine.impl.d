@@ -1,0 +1,1 @@
+lib/index/indexed_engine.ml: Encode List Reader Sdds_core Sdds_xml String

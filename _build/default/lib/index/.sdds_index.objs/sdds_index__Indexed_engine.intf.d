@@ -1,0 +1,1 @@
+lib/index/indexed_engine.mli: Sdds_core Sdds_xml Sdds_xpath

@@ -1,0 +1,1 @@
+lib/index/reader.ml: Dict Encode Fun List Sdds_util Sdds_xml String

@@ -1,0 +1,1 @@
+lib/index/reader.mli: Dict Encode Sdds_util Sdds_xml

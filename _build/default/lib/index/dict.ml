@@ -1,0 +1,66 @@
+module Varint = Sdds_util.Varint
+
+type t = { by_tag : (string, int) Hashtbl.t; by_id : string array }
+
+let of_tags tags =
+  let by_tag = Hashtbl.create 32 in
+  List.iteri
+    (fun i tag ->
+      if Hashtbl.mem by_tag tag then invalid_arg "Dict.of_tags: duplicate";
+      Hashtbl.add by_tag tag i)
+    tags;
+  { by_tag; by_id = Array.of_list tags }
+
+let build doc =
+  let seen = Hashtbl.create 32 in
+  let order = ref [] in
+  let rec go = function
+    | Sdds_xml.Dom.Text _ -> ()
+    | Sdds_xml.Dom.Element (tag, kids) ->
+        if not (Hashtbl.mem seen tag) then begin
+          Hashtbl.add seen tag ();
+          order := tag :: !order
+        end;
+        List.iter go kids
+  in
+  go doc;
+  of_tags (List.rev !order)
+
+let size t = Array.length t.by_id
+let id_of_tag t tag = Hashtbl.find_opt t.by_tag tag
+
+let tag_of_id t id =
+  if id < 0 || id >= Array.length t.by_id then
+    invalid_arg "Dict.tag_of_id: out of range";
+  t.by_id.(id)
+
+let mem t tag = Hashtbl.mem t.by_tag tag
+let tags t = Array.to_list t.by_id
+
+let encode buf t =
+  Varint.write buf (size t);
+  Array.iter
+    (fun tag ->
+      Varint.write buf (String.length tag);
+      Buffer.add_string buf tag)
+    t.by_id
+
+let decode s pos =
+  let n, pos = Varint.read s pos in
+  if n < 0 || n > 1_000_000 then invalid_arg "Dict.decode: absurd size";
+  let pos = ref pos in
+  let tags =
+    List.init n (fun _ ->
+        let len, p = Varint.read s !pos in
+        if p + len > String.length s then invalid_arg "Dict.decode: truncated";
+        let tag = String.sub s p len in
+        pos := p + len;
+        tag)
+  in
+  (of_tags tags, !pos)
+
+let encoded_size t =
+  Array.fold_left
+    (fun acc tag -> acc + Varint.size (String.length tag) + String.length tag)
+    (Varint.size (size t))
+    t.by_id

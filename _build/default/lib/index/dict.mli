@@ -1,0 +1,33 @@
+(** Document-global tag dictionary (à la XGRIND).
+
+    The compact encoding replaces every tag by a small integer, and the
+    skip index's per-subtree tag sets become bit arrays over this
+    dictionary. The dictionary is built at publish time and shipped in the
+    encoded document's header. *)
+
+type t
+
+val build : Sdds_xml.Dom.t -> t
+(** Dictionary of all distinct tags of the document, in first-occurrence
+    order. *)
+
+val of_tags : string list -> t
+(** Raises [Invalid_argument] on duplicates. *)
+
+val size : t -> int
+
+val id_of_tag : t -> string -> int option
+val tag_of_id : t -> int -> string
+(** Raises [Invalid_argument] if out of range. *)
+
+val mem : t -> string -> bool
+
+val tags : t -> string list
+(** In id order. *)
+
+val encode : Buffer.t -> t -> unit
+val decode : string -> int -> t * int
+(** [decode s pos] reads a dictionary written by {!encode}, returning it
+    and the next offset. Raises [Invalid_argument] on malformed input. *)
+
+val encoded_size : t -> int

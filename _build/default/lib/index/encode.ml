@@ -1,0 +1,119 @@
+module Dom = Sdds_xml.Dom
+module Varint = Sdds_util.Varint
+module Bitset = Sdds_util.Bitset
+
+type mode = Plain | Indexed of { recursive : bool }
+
+let magic = "SDX1"
+let close_marker = '\x00'
+let text_marker = '\x01'
+let tag_token_offset = 2
+let default_meta_threshold = 64
+
+let mode_byte = function
+  | Plain -> '\x00'
+  | Indexed { recursive = true } -> '\x01'
+  | Indexed { recursive = false } -> '\x02'
+
+let mode_of_byte = function
+  | '\x00' -> Some Plain
+  | '\x01' -> Some (Indexed { recursive = true })
+  | '\x02' -> Some (Indexed { recursive = false })
+  | _ -> None
+
+(* Annotated tree: each element carries its subtree tag set and its plain
+   encoded size (token + texts + children + close marker, metadata
+   excluded), both computed once bottom-up. The plain size decides, before
+   any bytes are written, which elements carry skip metadata. *)
+type anode = {
+  tag_id : int;
+  set : Sdds_util.Bitset.t;
+  plain_bytes : int;
+  akids : achild list;
+}
+
+and achild = A_text of string | A_node of anode
+
+let annotate dict doc =
+  let rec go = function
+    | Dom.Text _ -> assert false
+    | Dom.Element (tag, kids) ->
+        let tag_id =
+          match Dict.id_of_tag dict tag with
+          | Some id -> id
+          | None -> assert false
+        in
+        let set = Bitset.create (Dict.size dict) in
+        Bitset.set set tag_id;
+        let plain = ref (Varint.size (((tag_id lsl 1) lor 1) + tag_token_offset) + 1) in
+        let akids =
+          List.map
+            (fun kid ->
+              match kid with
+              | Dom.Text v ->
+                  plain :=
+                    !plain + 1
+                    + Varint.size (String.length v)
+                    + String.length v;
+                  A_text v
+              | Dom.Element _ ->
+                  let a = go kid in
+                  Bitset.union_into set a.set;
+                  plain := !plain + a.plain_bytes;
+                  A_node a)
+            kids
+        in
+        { tag_id; set; plain_bytes = !plain; akids }
+  in
+  go doc
+
+let encode ?(meta_threshold = default_meta_threshold) ~mode doc =
+  let dict = Dict.build doc in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (mode_byte mode);
+  Dict.encode buf dict;
+  (* Children are encoded into their own buffers first so each element's
+     subtree size is known before it is written. Elements whose plain
+     subtree is below the threshold carry no metadata (flag bit 0): skipping
+     a handful of bytes can never repay the index's own cost. [proj_set] is
+     the tag set of the nearest enclosing element that DID carry metadata —
+     the basis the reader will have for undoing the recursive projection. *)
+  let rec encode_elem node proj_set =
+    let with_meta =
+      match mode with
+      | Plain -> false
+      | Indexed _ -> node.plain_bytes >= meta_threshold
+    in
+    let child_proj = if with_meta then node.set else proj_set in
+    let body = Buffer.create 256 in
+    List.iter
+      (fun kid ->
+        match kid with
+        | A_text v ->
+            Buffer.add_char body text_marker;
+            Varint.write body (String.length v);
+            Buffer.add_string body v
+        | A_node a -> Buffer.add_buffer body (encode_elem a child_proj))
+      node.akids;
+    Buffer.add_char body close_marker;
+    let out = Buffer.create (Buffer.length body + 16) in
+    Varint.write out
+      (((node.tag_id lsl 1) lor Bool.to_int with_meta) + tag_token_offset);
+    (match (mode, with_meta) with
+    | Plain, _ | Indexed _, false -> ()
+    | Indexed { recursive }, true ->
+        let bitmap_buf = Buffer.create 8 in
+        if recursive then
+          Bitset.encode bitmap_buf (Bitset.project ~parent:proj_set node.set)
+        else Bitset.encode bitmap_buf node.set;
+        Varint.write out (Buffer.length bitmap_buf + Buffer.length body);
+        Buffer.add_buffer out bitmap_buf);
+    Buffer.add_buffer out body;
+    out
+  in
+  let root = annotate dict doc in
+  let full = Bitset.create (Dict.size dict) in
+  List.iter (Bitset.set full) (List.init (Dict.size dict) Fun.id);
+  Buffer.add_buffer buf (encode_elem root full);
+  Buffer.contents buf

@@ -1,0 +1,76 @@
+module Engine = Sdds_core.Engine
+module Reassembler = Sdds_core.Reassembler
+module Event = Sdds_xml.Event
+
+type result = {
+  outputs : Sdds_core.Output.t list;
+  view : Sdds_xml.Dom.t option;
+  skipped_subtrees : int;
+  skipped_bytes : int;
+  skipped_ranges : (int * int) list;
+  consumed_bytes : int;
+  events_fed : int;
+  engine_stats : Engine.stats;
+  reader_peak_words : int;
+}
+
+let run ?default ?query ?(suppress = true) ?(use_index = true) rules encoded =
+  let reader = Reader.create encoded in
+  let indexed =
+    use_index && (match Reader.mode reader with Encode.Indexed _ -> true | Encode.Plain -> false)
+  in
+  let engine = Engine.create ?default ?query ~suppress rules in
+  let outputs = ref [] in
+  let skipped_subtrees = ref 0 in
+  let skipped_bytes = ref 0 in
+  let skipped_ranges = ref [] in
+  let events_fed = ref 0 in
+  let feed ev =
+    incr events_fed;
+    outputs := List.rev_append (Engine.feed engine ev) !outputs
+  in
+  let rec loop () =
+    match Reader.next reader with
+    | None -> ()
+    | Some item ->
+        (match item with
+        | Reader.Elem { tag; tags; _ } -> (
+            let skippable =
+              indexed
+              &&
+              match tags with
+              | Some tags ->
+                  Engine.subtree_skippable engine ~tag
+                    ~tag_possible:(Reader.tag_possible reader tags)
+                    ~nonempty:true
+              | None -> false
+            in
+            if skippable then begin
+              let start = Reader.byte_pos reader in
+              let len = Reader.skip_subtree reader in
+              skipped_bytes := !skipped_bytes + len;
+              skipped_ranges := (start, len) :: !skipped_ranges;
+              incr skipped_subtrees
+            end
+            else feed (Event.Open tag))
+        | Reader.Text v -> feed (Event.Value v)
+        | Reader.Close tag -> feed (Event.Close tag));
+        loop ()
+  in
+  loop ();
+  (* The root subtree itself may have been skipped — the engine then saw
+     nothing at all, and the view is empty. *)
+  if !events_fed > 0 then Engine.finish engine;
+  let outputs = List.rev !outputs in
+  let view = Reassembler.run ?default ~has_query:(query <> None) outputs in
+  {
+    outputs;
+    view;
+    skipped_subtrees = !skipped_subtrees;
+    skipped_bytes = !skipped_bytes;
+    skipped_ranges = List.rev !skipped_ranges;
+    consumed_bytes = String.length encoded - !skipped_bytes;
+    events_fed = !events_fed;
+    engine_stats = Engine.stats engine;
+    reader_peak_words = Reader.peak_stack_words reader;
+  }

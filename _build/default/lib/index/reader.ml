@@ -1,0 +1,224 @@
+module Varint = Sdds_util.Varint
+module Bitset = Sdds_util.Bitset
+module Event = Sdds_xml.Event
+
+type item =
+  | Elem of {
+      tag : string;
+      tags : Bitset.t option;
+      subtree_bytes : int option;
+    }
+  | Text of string
+  | Close of string
+
+type open_elem = { otag : string; oset : Bitset.t option }
+
+type t = {
+  input : string;
+  rmode : Encode.mode;
+  rdict : Dict.t;
+  mutable pos : int;
+  mutable stack : open_elem list;
+  mutable started : bool;  (** the root element has been entered *)
+  mutable skip_target : int option;
+      (** jump destination for the element just returned by [next] *)
+  mutable meta_bytes : int;
+  mutable peak_stack_words : int;
+  header_bytes : int;
+}
+
+let create input =
+  let mlen = String.length Encode.magic in
+  if
+    String.length input < mlen + 1
+    || not (String.equal (String.sub input 0 mlen) Encode.magic)
+  then invalid_arg "Reader.create: bad magic";
+  let rmode =
+    match Encode.mode_of_byte input.[mlen] with
+    | Some m -> m
+    | None -> invalid_arg "Reader.create: unknown mode"
+  in
+  let rdict, pos = Dict.decode input (mlen + 1) in
+  {
+    input;
+    rmode;
+    rdict;
+    pos;
+    stack = [];
+    started = false;
+    skip_target = None;
+    meta_bytes = 0;
+    peak_stack_words = 0;
+    header_bytes = pos;
+  }
+
+let stack_words t =
+  List.fold_left
+    (fun acc { oset; _ } ->
+      acc + 3
+      + match oset with
+        | None -> 0
+        | Some s -> (Sdds_util.Bitset.capacity s + 31) / 32)
+    0 t.stack
+
+let bump_peak t =
+  let w = stack_words t in
+  if w > t.peak_stack_words then t.peak_stack_words <- w
+
+let mode t = t.rmode
+let dict t = t.rdict
+let byte_pos t = t.pos
+let peak_stack_words t = t.peak_stack_words
+
+let full_set dict =
+  let s = Bitset.create (Dict.size dict) in
+  List.iter (Bitset.set s) (List.init (Dict.size dict) Fun.id);
+  s
+
+(* Tag set of the nearest enclosing element that carried metadata — the
+   projection basis used by the encoder. *)
+let projection_set t =
+  match t.stack with
+  | [] -> full_set t.rdict
+  | { oset; _ } :: _ -> (
+      match oset with
+      | Some s -> s
+      | None -> assert false (* maintained below: oset is inherited *))
+
+let read_elem t ~with_meta tag_id =
+  let tag = Dict.tag_of_id t.rdict tag_id in
+  match t.rmode with
+  | Encode.Plain ->
+      t.stack <- { otag = tag; oset = None } :: t.stack;
+      t.skip_target <- None;
+      Elem { tag; tags = None; subtree_bytes = None }
+  | Encode.Indexed { recursive } ->
+      if not with_meta then begin
+        (* Below the indexing threshold: summarized by the nearest indexed
+           ancestor; not individually skippable. *)
+        let inherited =
+          match t.stack with [] -> Some (full_set t.rdict) | { oset; _ } :: _ -> oset
+        in
+        t.stack <- { otag = tag; oset = inherited } :: t.stack;
+        t.skip_target <- None;
+        Elem { tag; tags = None; subtree_bytes = None }
+      end
+      else begin
+        let meta_start = t.pos in
+        let size, p = Varint.read t.input t.pos in
+        let parent = projection_set t in
+        let capacity =
+          if recursive then Bitset.cardinal parent else Dict.size t.rdict
+        in
+        let packed, p' = Bitset.decode ~capacity t.input p in
+        let set = if recursive then Bitset.inject ~parent packed else packed in
+        t.pos <- p';
+        t.meta_bytes <- t.meta_bytes + (p' - meta_start);
+        t.stack <- { otag = tag; oset = Some set } :: t.stack;
+        (* [size] counts from just after the size varint. *)
+        t.skip_target <- Some (p + size);
+        Elem
+          { tag; tags = Some set; subtree_bytes = Some (p + size - meta_start) }
+      end
+
+let item_of_token t =
+  let byte = t.input.[t.pos] in
+  if byte = Encode.close_marker then begin
+    t.pos <- t.pos + 1;
+    match t.stack with
+    | [] -> invalid_arg "Reader: close marker at top level"
+    | { otag; _ } :: rest ->
+        t.stack <- rest;
+        Close otag
+  end
+  else if byte = Encode.text_marker then begin
+    if t.stack = [] then invalid_arg "Reader: text at top level";
+    let len, p = Varint.read t.input (t.pos + 1) in
+    if p + len > String.length t.input then invalid_arg "Reader: truncated text";
+    t.pos <- p + len;
+    Text (String.sub t.input p len)
+  end
+  else begin
+    let token, p = Varint.read t.input t.pos in
+    t.pos <- p;
+    if token < Encode.tag_token_offset then
+      invalid_arg "Reader: invalid tag token";
+    let v = token - Encode.tag_token_offset in
+    read_elem t ~with_meta:(v land 1 = 1) (v lsr 1)
+  end
+
+let next t =
+  t.skip_target <- None;
+  if t.started && t.stack = [] then begin
+    if t.pos <> String.length t.input then
+      invalid_arg "Reader: trailing bytes after root";
+    None
+  end
+  else if t.pos >= String.length t.input then
+    invalid_arg "Reader: truncated document"
+  else begin
+    let item = item_of_token t in
+    (match item with
+    | Elem _ ->
+        t.started <- true;
+        bump_peak t
+    | Text _ | Close _ -> ());
+    Some item
+  end
+
+let skip_subtree t =
+  match t.skip_target with
+  | None ->
+      invalid_arg
+        "Reader.skip_subtree: not positioned on a just-opened element"
+  | Some target ->
+      let skipped = target - t.pos in
+      t.pos <- target;
+      t.skip_target <- None;
+      (match t.stack with
+      | [] -> assert false
+      | _ :: rest -> t.stack <- rest);
+      skipped
+
+let tag_possible t tags tag =
+  match Dict.id_of_tag t.rdict tag with
+  | Some id -> Bitset.mem tags id
+  | None -> false
+
+let fold_items encoded f init =
+  let r = create encoded in
+  let rec go acc =
+    match next r with None -> (acc, r) | Some item -> go (f acc item)
+  in
+  go init
+
+let to_events encoded =
+  let rev, _ =
+    fold_items encoded
+      (fun acc item ->
+        match item with
+        | Elem { tag; _ } -> Event.Open tag :: acc
+        | Text v -> Event.Value v :: acc
+        | Close tag -> Event.Close tag :: acc)
+      []
+  in
+  List.rev rev
+
+let to_dom encoded = Sdds_xml.Dom.of_events (to_events encoded)
+
+type size_stats = {
+  total_bytes : int;
+  header_bytes : int;
+  metadata_bytes : int;
+  payload_bytes : int;
+}
+
+let size_stats encoded =
+  let (), r = fold_items encoded (fun () _ -> ()) () in
+  let total = String.length encoded in
+  {
+    total_bytes = total;
+    header_bytes = r.header_bytes;
+    metadata_bytes = r.meta_bytes;
+    payload_bytes = total - r.header_bytes - r.meta_bytes;
+  }

@@ -1,0 +1,66 @@
+(** Streaming reader for encoded documents, with subtree skipping.
+
+    This is the consumption model of the SOE: the reader exposes, at each
+    element, the subtree's tag set (from the skip index) {e before} the
+    element is processed, so the caller can decide to {!skip_subtree}
+    instead of reading it — the whole point of the index. Reading is
+    strictly forward; memory is O(depth). *)
+
+type t
+
+type item =
+  | Elem of {
+      tag : string;
+      tags : Sdds_util.Bitset.t option;
+          (** subtree tag set at full dictionary capacity (the recursive
+              compression is undone on the fly); [None] in [Plain] mode *)
+      subtree_bytes : int option;
+          (** encoded size a skip would jump over; [None] in [Plain] mode *)
+    }
+  | Text of string
+  | Close of string  (** tag of the element being closed *)
+
+val create : string -> t
+(** Parses the header. Raises [Invalid_argument] on a bad magic, unknown
+    mode or malformed dictionary. *)
+
+val mode : t -> Encode.mode
+val dict : t -> Dict.t
+
+val next : t -> item option
+(** [None] after the root element closed. Raises [Invalid_argument] on a
+    corrupt encoding. *)
+
+val skip_subtree : t -> int
+(** Must be called immediately after {!next} returned an [Elem]; jumps
+    past that element's entire encoding (no [Close] will be delivered for
+    it) and returns the number of bytes skipped. Raises [Invalid_argument]
+    in [Plain] mode or when not positioned on a just-opened element. *)
+
+val tag_possible : t -> Sdds_util.Bitset.t -> string -> bool
+(** [tag_possible r tags tag] tells whether [tag] occurs in a subtree
+    whose (full-capacity) tag set is [tags] — the predicate handed to
+    [Engine.subtree_skippable]. *)
+
+val byte_pos : t -> int
+
+val peak_stack_words : t -> int
+(** High-water mark of the reader's own working state (the stack of
+    injected tag sets), in machine words — charged against the SOE RAM
+    budget alongside the engine's state. *)
+
+val to_events : string -> Sdds_xml.Event.t list
+(** Decode an entire document (no skipping) back to its event stream. *)
+
+val to_dom : string -> Sdds_xml.Dom.t
+
+(** {1 Size accounting (experiment E4)} *)
+
+type size_stats = {
+  total_bytes : int;
+  header_bytes : int;  (** magic, mode, dictionary *)
+  metadata_bytes : int;  (** size varints + bitmaps — the index overhead *)
+  payload_bytes : int;  (** tag tokens, text, markers *)
+}
+
+val size_stats : string -> size_stats

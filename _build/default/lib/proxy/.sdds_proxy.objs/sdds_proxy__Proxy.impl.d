@@ -1,0 +1,1 @@
+lib/proxy/proxy.ml: Format List Option Result Sdds_core Sdds_dsp Sdds_soe Sdds_xml Sdds_xpath String

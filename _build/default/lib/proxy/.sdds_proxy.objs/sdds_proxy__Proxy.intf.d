@@ -1,0 +1,1 @@
+lib/proxy/proxy.mli: Format Sdds_dsp Sdds_soe Sdds_xml

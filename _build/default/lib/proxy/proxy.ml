@@ -1,0 +1,101 @@
+module Store = Sdds_dsp.Store
+module Publish = Sdds_dsp.Publish
+module Card = Sdds_soe.Card
+module Apdu = Sdds_soe.Apdu
+module Reassembler = Sdds_core.Reassembler
+module Serializer = Sdds_xml.Serializer
+
+type t = { store : Store.t; card : Card.t }
+
+let create ~store ~card = { store; card }
+
+type outcome = {
+  view : Sdds_xml.Dom.t option;
+  xml : string option;
+  card_report : Card.report;
+  request_apdu_frames : int;
+}
+
+type error =
+  | Unknown_document of string
+  | No_grant
+  | No_rules
+  | Card_error of Card.error
+
+let pp_error ppf = function
+  | Unknown_document id -> Format.fprintf ppf "unknown document %s" id
+  | No_grant -> Format.pp_print_string ppf "no key grant for this subject"
+  | No_rules -> Format.pp_print_string ppf "no access rules for this subject"
+  | Card_error e -> Card.pp_error ppf e
+
+let ( let* ) = Result.bind
+
+let ensure_key t ~doc_id =
+  if Card.has_key t.card ~doc_id then Ok ()
+  else
+    match
+      Store.get_grant t.store ~doc_id ~subject:(Card.subject t.card)
+    with
+    | None -> Error No_grant
+    | Some wrapped -> (
+        match Card.install_wrapped_key t.card ~doc_id ~wrapped with
+        | Ok () -> Ok ()
+        | Error e -> Error (Card_error e))
+
+(* Shared prelude of every request: locate the document, make sure the
+   card holds its key, fetch the encrypted policy, parse the query, then
+   hand (source, rules, query) to the evaluation strategy, which returns
+   the view and the card report. *)
+let with_context t ~doc_id ~delivery ~xpath run =
+  let subject = Card.subject t.card in
+  match Store.get_document t.store doc_id with
+  | None -> Error (Unknown_document doc_id)
+  | Some published -> (
+      let* () = ensure_key t ~doc_id in
+      match Store.get_rules t.store ~doc_id ~subject with
+      | None -> Error No_rules
+      | Some encrypted_rules -> (
+          let query = Option.map Sdds_xpath.Parser.parse xpath in
+          let source = Publish.to_source published ~delivery in
+          match run ~source ~encrypted_rules ~query with
+          | Error e -> Error (Card_error e)
+          | Ok (view, card_report) ->
+              let xml = Option.map (Serializer.to_string ~indent:true) view in
+              let request_bytes =
+                String.length encrypted_rules
+                + (match xpath with Some q -> String.length q | None -> 0)
+              in
+              Ok
+                {
+                  view;
+                  xml;
+                  card_report;
+                  request_apdu_frames =
+                    Apdu.frame_count ~payload_bytes:request_bytes;
+                }))
+
+let evaluate_protected_inner t ~doc_id ~delivery ~xpath =
+  with_context t ~doc_id ~delivery ~xpath
+    (fun ~source ~encrypted_rules ~query ->
+      match Card.evaluate_protected t.card source ~encrypted_rules ?query () with
+      | Error e -> Error e
+      | Ok (messages, card_report) ->
+          let unsealer =
+            Sdds_soe.Guard.Unsealer.create ~has_query:(query <> None) ()
+          in
+          List.iter (Sdds_soe.Guard.Unsealer.feed unsealer) messages;
+          Ok (Sdds_soe.Guard.Unsealer.finish unsealer, card_report))
+
+let evaluate t ~doc_id ~delivery ~xpath =
+  with_context t ~doc_id ~delivery ~xpath
+    (fun ~source ~encrypted_rules ~query ->
+      match Card.evaluate t.card source ~encrypted_rules ?query () with
+      | Error e -> Error e
+      | Ok (outputs, card_report) ->
+          Ok (Reassembler.run ~has_query:(query <> None) outputs, card_report))
+
+let query t ~doc_id ?(protect = false) ?xpath () =
+  if protect then evaluate_protected_inner t ~doc_id ~delivery:`Pull ~xpath
+  else evaluate t ~doc_id ~delivery:`Pull ~xpath
+
+let receive_push t ~doc_id = evaluate t ~doc_id ~delivery:`Push ~xpath:None

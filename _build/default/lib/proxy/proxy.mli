@@ -1,0 +1,53 @@
+(** The terminal proxy: the glue between applications, the DSP and the
+    card.
+
+    §3: the terminal "contains a proxy allowing the applications to
+    communicate easily with the different elements of the architecture
+    through an XML API independent of the underlying protocols (JDBC,
+    APDU)". Applications ask for documents (pull) or subscribe to streams
+    (push); the proxy fetches ciphertext and encrypted rules from the DSP,
+    drives the card over APDU, reassembles the card's annotated output
+    into the authorized view, and hands back XML. The proxy is untrusted:
+    it only ever handles ciphertext and already-authorized output. *)
+
+type t
+
+val create : store:Sdds_dsp.Store.t -> card:Sdds_soe.Card.t -> t
+
+type outcome = {
+  view : Sdds_xml.Dom.t option;  (** authorized (possibly query-filtered) view *)
+  xml : string option;  (** the view serialized, as the XML API returns it *)
+  card_report : Sdds_soe.Card.report;
+  request_apdu_frames : int;
+      (** frames spent shipping the request (rule blob, query) to the card *)
+}
+
+type error =
+  | Unknown_document of string
+  | No_grant  (** the DSP holds no wrapped key for this subject *)
+  | No_rules  (** no rule blob for this (document, subject) pair *)
+  | Card_error of Sdds_soe.Card.error
+
+val pp_error : Format.formatter -> error -> unit
+
+val query :
+  t ->
+  doc_id:string ->
+  ?protect:bool ->
+  ?xpath:string ->
+  unit ->
+  (outcome, error) result
+(** Pull scenario: fetch, evaluate, reassemble. [xpath] is the user query
+    composed with the access rules on the card. Installs the key grant on
+    the card on first use. With [~protect:true] the card seals pending
+    text under one-time guard keys ([Sdds_soe.Guard]) so this proxy — an
+    untrusted component — never sees data whose conditions resolve
+    negatively. Raises [Sdds_xpath.Parser.Error] on a malformed [xpath]
+    (the application's bug, reported synchronously). *)
+
+val receive_push :
+  t -> doc_id:string -> (outcome, error) result
+(** Push scenario (selective dissemination): the same document flows past
+    the card as a stream — every chunk crosses the link, the card decrypts
+    only what the index cannot discard, and the authorized part is
+    delivered. *)

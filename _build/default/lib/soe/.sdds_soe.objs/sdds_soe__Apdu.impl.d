@@ -1,0 +1,1 @@
+lib/soe/apdu.ml: Buffer Char List String

@@ -1,0 +1,1 @@
+lib/soe/card.ml: Array Cost Format Guard Hashtbl List Memory Option Sdds_core Sdds_crypto Sdds_index String Wire

@@ -1,0 +1,1 @@
+lib/soe/card.mli: Cost Format Guard Sdds_core Sdds_crypto Sdds_xpath

@@ -1,0 +1,1 @@
+lib/soe/cost.ml: Format

@@ -1,0 +1,1 @@
+lib/soe/guard.ml: Bytes Hashtbl Int32 List Option Sdds_core Sdds_crypto String

@@ -1,0 +1,1 @@
+lib/soe/guard.mli: Sdds_core Sdds_crypto Sdds_xml

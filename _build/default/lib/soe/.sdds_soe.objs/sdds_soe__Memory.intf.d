@@ -1,0 +1,1 @@
+lib/soe/memory.mli:

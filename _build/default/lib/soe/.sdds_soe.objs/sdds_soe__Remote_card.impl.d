@@ -1,0 +1,1 @@
+lib/soe/remote_card.ml: Apdu Buffer Card Hashtbl List Printf Result Sdds_core Sdds_xpath String

@@ -1,0 +1,1 @@
+lib/soe/remote_card.mli: Apdu Card Result Sdds_core

@@ -1,0 +1,1 @@
+lib/soe/wire.ml: Buffer Char List Printf Result Sdds_core Sdds_crypto Sdds_util Sdds_xpath String

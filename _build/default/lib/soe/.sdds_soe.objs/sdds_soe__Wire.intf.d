@@ -1,0 +1,1 @@
+lib/soe/wire.mli: Sdds_core Sdds_crypto

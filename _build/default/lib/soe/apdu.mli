@@ -1,0 +1,41 @@
+(** ISO 7816-4 style APDU framing.
+
+    The terminal proxy talks to the card exclusively through these frames
+    ("Application Protocol Data Unit: communication protocol between the
+    terminal and the smart card"). Long messages are segmented into
+    command chains; the functions here encode, decode and count frames —
+    the counting feeds the cost model's per-frame overhead. *)
+
+type command = {
+  cla : int;  (** class byte *)
+  ins : int;  (** instruction *)
+  p1 : int;
+  p2 : int;
+  data : string;  (** up to 255 bytes in a single frame *)
+}
+
+type response = { sw1 : int; sw2 : int; payload : string }
+
+val sw_ok : int * int
+(** 0x90, 0x00. *)
+
+val encode_command : command -> string
+(** Raises [Invalid_argument] if a field is out of range or data exceeds
+    255 bytes. *)
+
+val decode_command : string -> command option
+
+val encode_response : response -> string
+val decode_response : string -> response option
+
+val segment : cla:int -> ins:int -> string -> command list
+(** Split an arbitrarily long payload into a command chain; [p1] carries a
+    more-frames flag (1 = more coming), [p2] the sequence number modulo
+    256. *)
+
+val reassemble : command list -> string
+(** Inverse of {!segment}. Raises [Invalid_argument] on a broken chain
+    (bad sequence numbers or missing final frame). *)
+
+val frame_count : payload_bytes:int -> int
+(** Frames needed for a payload under 255-byte segmentation. *)

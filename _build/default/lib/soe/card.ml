@@ -1,0 +1,348 @@
+module Rsa = Sdds_crypto.Rsa
+module Merkle = Sdds_crypto.Merkle
+module Rule = Sdds_core.Rule
+module Output = Sdds_core.Output
+
+module Indexed_engine = Sdds_index.Indexed_engine
+
+type t = {
+  prof : Cost.profile;
+  subj : string;
+  keypair : Rsa.keypair;
+  doc_keys : (string, string) Hashtbl.t;
+  rule_versions : (string, int) Hashtbl.t;
+      (* per document: highest policy version enforced so far (secure
+         stable storage) — the anti-rollback high-water mark *)
+}
+
+let create ?(profile = Cost.egate) ~subject keypair =
+  {
+    prof = profile;
+    subj = subject;
+    keypair;
+    doc_keys = Hashtbl.create 8;
+    rule_versions = Hashtbl.create 8;
+  }
+
+let subject t = t.subj
+let public_key t = t.keypair.Rsa.public
+let profile t = t.prof
+
+type error =
+  | No_key of string
+  | Stale_key of string
+  | Bad_grant
+  | Bad_signature
+  | Integrity_failure of { chunk : int }
+  | Memory_exceeded of { need_bytes : int; budget_bytes : int }
+  | Bad_rules of string
+  | Replayed_rules of { seen : int; offered : int }
+
+let pp_error ppf = function
+  | No_key id -> Format.fprintf ppf "no key for document %s" id
+  | Stale_key id ->
+      Format.fprintf ppf
+        "stale key for document %s (authentic data, undecryptable: the \
+         document was re-keyed)" id
+  | Bad_grant -> Format.pp_print_string ppf "grant failed to unwrap"
+  | Bad_signature -> Format.pp_print_string ppf "bad publisher signature"
+  | Integrity_failure { chunk } ->
+      Format.fprintf ppf "integrity failure on chunk %d" chunk
+  | Memory_exceeded { need_bytes; budget_bytes } ->
+      Format.fprintf ppf "RAM exceeded: need %dB, budget %dB" need_bytes
+        budget_bytes
+  | Bad_rules msg -> Format.fprintf ppf "bad rule blob: %s" msg
+  | Replayed_rules { seen; offered } ->
+      Format.fprintf ppf
+        "stale policy: version %d offered after version %d was enforced \
+         (rollback attempt)"
+        offered seen
+
+let install_wrapped_key t ~doc_id ~wrapped =
+  match Wire.unwrap_doc_key t.keypair.Rsa.secret ~doc_id wrapped with
+  | Some key ->
+      Hashtbl.replace t.doc_keys doc_id key;
+      Ok ()
+  | None -> Error Bad_grant
+
+let has_key t ~doc_id = Hashtbl.mem t.doc_keys doc_id
+
+type doc_source = {
+  doc_id : string;
+  chunks : string array;
+  chunk_plain_bytes : int;
+  plain_length : int;
+  prove : int -> Merkle.proof;
+  leaf_count : int;
+  merkle_root : string;
+  root_signature : string;
+  publisher : Rsa.public;
+  delivery : [ `Pull | `Push ];
+}
+
+type report = {
+  breakdown : Cost.breakdown;
+  ram_peak_bytes : int;
+  ram_budget_bytes : int;
+  chunks_consumed : int;
+  chunks_total : int;
+  consumed_mask : bool array;
+  skipped_bytes : int;
+  events : int;
+  suppressed_events : int;
+  output_bytes : int;
+}
+
+(* Exact wire size under the binary output codec. *)
+let output_wire_bytes outs =
+  String.length (Sdds_core.Output_codec.encode_list outs)
+
+let guard_drbg t source =
+  (* Guard keys are card-local secrets: seed from the card's own identity
+     and the document, never shipped anywhere. *)
+  Sdds_crypto.Drbg.create
+    ~seed:("guard|" ^ t.subj ^ "|" ^ source.doc_id ^ "|"
+          ^ Sdds_crypto.Rsa.fingerprint t.keypair.Rsa.public)
+
+(* Chunks fully contained in a skipped byte range are never consumed. *)
+let consumed_chunks ~n_chunks ~chunk_plain_bytes ~skipped_ranges =
+  let consumed = Array.make n_chunks true in
+  List.iter
+    (fun (start, len) ->
+      let stop = start + len in
+      let first = (start + chunk_plain_bytes - 1) / chunk_plain_bytes in
+      let last = (stop / chunk_plain_bytes) - 1 in
+      for i = max 0 first to min (n_chunks - 1) last do
+        consumed.(i) <- false
+      done)
+    skipped_ranges;
+  consumed
+
+let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
+  match Hashtbl.find_opt t.doc_keys source.doc_id with
+  | None -> Error (No_key source.doc_id)
+  | Some key -> (
+      let meter = Cost.meter t.prof in
+      let n_chunks = Array.length source.chunks in
+      (* 1. Publisher signature over the Merkle root. *)
+      let root_msg =
+        Wire.signed_root_message ~doc_id:source.doc_id
+          ~merkle_root:source.merkle_root ~plain_length:source.plain_length
+      in
+      if
+        not
+          (Rsa.verify source.publisher root_msg
+             ~signature:source.root_signature)
+      then Error Bad_signature
+      else begin
+        Cost.charge_rsa meter ~ops:1;
+        (* 2. Access rules: transferred, MAC-checked, decrypted, parsed. *)
+        Cost.charge_transfer meter ~bytes:(String.length encrypted_rules);
+        Cost.charge_hash meter ~bytes:(String.length encrypted_rules);
+        Cost.charge_decrypt meter ~bytes:(String.length encrypted_rules);
+        match
+          Wire.decrypt_rules ~key ~doc_id:source.doc_id ~subject:t.subj
+            ~publisher:source.publisher encrypted_rules
+        with
+        | Error msg -> Error (Bad_rules msg)
+        | Ok (version, rules) ->
+            let seen =
+              Option.value ~default:(-1)
+                (Hashtbl.find_opt t.rule_versions source.doc_id)
+            in
+            if version < seen then
+              Error (Replayed_rules { seen; offered = version })
+            else begin
+            Hashtbl.replace t.rule_versions source.doc_id version;
+            (
+            let rules = Rule.for_subject t.subj rules in
+            (* 3. Decrypt chunks (simulation: all up front; charging
+               happens per consumed chunk below). *)
+            let bad = ref [] in
+            let plain_parts =
+              Array.mapi
+                (fun i cipher ->
+                  match
+                    Wire.decrypt_chunk ~key ~doc_id:source.doc_id ~index:i
+                      cipher
+                  with
+                  | Some plain -> plain
+                  | None ->
+                      bad := i :: !bad;
+                      (* Keep alignment so later chunks stay in place. *)
+                      let len =
+                        min source.chunk_plain_bytes
+                          (source.plain_length - (i * source.chunk_plain_bytes))
+                      in
+                      String.make (max 0 len) '\000')
+                source.chunks
+            in
+            let encoded = String.concat "" (Array.to_list plain_parts) in
+            let integrity_check consumed =
+              (* Verify each consumed chunk against the signed root, using
+                 the proofs the (untrusted) server provides; charge hashing
+                 for leaf + path. A tampering server can at best serve the
+                 stale proofs of the original tree, which expose any
+                 modified leaf it actually has to deliver. *)
+              let failure = ref None in
+              Array.iteri
+                (fun i used ->
+                  if used && !failure = None then begin
+                    let proof = try source.prove i with Invalid_argument _ -> [] in
+                    Cost.charge_hash meter
+                      ~bytes:(String.length source.chunks.(i));
+                    Cost.charge_hash meter
+                      ~bytes:(64 * List.length proof);
+                    if
+                      not
+                        (Merkle.verify ~root:source.merkle_root
+                           ~leaf_count:source.leaf_count ~index:i
+                           ~leaf:source.chunks.(i) proof)
+                    then failure := Some (i, `Proof)
+                    else if List.mem i !bad then failure := Some (i, `Decrypt)
+                  end)
+                consumed;
+              !failure
+            in
+            (* Truncation shows immediately: the signed message binds the
+               exact plaintext length. *)
+            if String.length encoded <> source.plain_length then
+              Error (Integrity_failure { chunk = n_chunks })
+            else
+            (* 4. Stream through the engine with skipping. *)
+            match Indexed_engine.run ?query ~use_index rules encoded with
+            | exception Invalid_argument _ -> (
+                (* Garbage reached the decoder: either the store tampered
+                   with a chunk (its proof fails) or the chunks are
+                   authentic but our key no longer opens them (the
+                   document was rotated). *)
+                let all = Array.make n_chunks true in
+                match integrity_check all with
+                | Some (chunk, `Proof) -> Error (Integrity_failure { chunk })
+                | Some (_, `Decrypt) -> Error (Stale_key source.doc_id)
+                | None -> (
+                    match !bad with
+                    | _ :: _ -> Error (Stale_key source.doc_id)
+                    | [] -> Error (Integrity_failure { chunk = 0 })))
+            | res -> (
+                let consumed =
+                  if use_index then
+                    consumed_chunks ~n_chunks
+                      ~chunk_plain_bytes:source.chunk_plain_bytes
+                      ~skipped_ranges:res.Indexed_engine.skipped_ranges
+                  else Array.make n_chunks true
+                in
+                match integrity_check consumed with
+                | Some (chunk, `Proof) -> Error (Integrity_failure { chunk })
+                | Some (_, `Decrypt) -> Error (Stale_key source.doc_id)
+                | None -> (
+                    (* 5. Charge transfer and decryption. *)
+                    let proof_len =
+                      (* ceil log2 n, digests of 32 bytes *)
+                      let rec bits n acc = if n <= 1 then acc else bits ((n + 1) / 2) (acc + 1) in
+                      32 * bits n_chunks 0
+                    in
+                    Array.iteri
+                      (fun i used ->
+                        let cipher_bytes = String.length source.chunks.(i) in
+                        match (source.delivery, used) with
+                        | `Pull, true ->
+                            Cost.charge_transfer meter
+                              ~bytes:(cipher_bytes + proof_len);
+                            Cost.charge_decrypt meter ~bytes:cipher_bytes
+                        | `Pull, false -> ()
+                        | `Push, true ->
+                            Cost.charge_transfer meter
+                              ~bytes:(cipher_bytes + proof_len);
+                            Cost.charge_decrypt meter ~bytes:cipher_bytes
+                        | `Push, false ->
+                            (* flows past the card, discarded without
+                               decryption *)
+                            Cost.charge_transfer meter ~bytes:cipher_bytes)
+                      consumed;
+                    (* 6. Automaton work and result upload. *)
+                    let st = res.Indexed_engine.engine_stats in
+                    Cost.charge_events meter
+                      ~events:res.Indexed_engine.events_fed
+                      ~tokens:st.Sdds_core.Engine.token_visits;
+                    let out_bytes =
+                      output_wire_bytes res.Indexed_engine.outputs
+                    in
+                    Cost.charge_transfer meter ~bytes:out_bytes;
+                    (* 7. RAM budget: engine + reader + chunk buffer +
+                       runtime slack. The evaluator state is counted in
+                       abstract field-words (token positions, rule ids,
+                       condition ids — all small integers); the on-card C
+                       implementation the paper prototyped packs such a
+                       field in ~2 bytes, which is the factor used here. *)
+                    let packed_bytes_per_word = 2 in
+                    let ram_bytes =
+                      (packed_bytes_per_word
+                      * (st.Sdds_core.Engine.peak_state_words
+                        + res.Indexed_engine.reader_peak_words))
+                      + source.chunk_plain_bytes + 16 (* chunk buffer *)
+                      + 128 (* fixed runtime state *)
+                    in
+                    let mem =
+                      Memory.create ~budget_bytes:t.prof.Cost.ram_bytes
+                    in
+                    match Memory.record_bytes mem ~bytes:ram_bytes with
+                    | exception Memory.Out_of_memory
+                        { need_bytes; budget_bytes } ->
+                        Error (Memory_exceeded { need_bytes; budget_bytes })
+                    | () ->
+                        let report =
+                          {
+                            breakdown = Cost.read meter;
+                            ram_peak_bytes = Memory.peak_bytes mem;
+                            ram_budget_bytes = Memory.budget_bytes mem;
+                            chunks_consumed =
+                              Array.fold_left
+                                (fun a b -> if b then a + 1 else a)
+                                0 consumed;
+                            chunks_total = n_chunks;
+                            consumed_mask = consumed;
+                            skipped_bytes = res.Indexed_engine.skipped_bytes;
+                            events = res.Indexed_engine.events_fed;
+                            suppressed_events =
+                              st.Sdds_core.Engine.suppressed;
+                            output_bytes = out_bytes;
+                          }
+                        in
+                        Ok (res.Indexed_engine.outputs, report))))
+            end
+      end)
+
+
+let evaluate_protected t source ~encrypted_rules ?query ?use_index () =
+  match evaluate t source ~encrypted_rules ?query ?use_index () with
+  | Error e -> Error e
+  | Ok (outputs, report) ->
+      let protector =
+        Guard.Protector.create (guard_drbg t source)
+          ~has_query:(query <> None) ()
+      in
+      let messages =
+        List.concat_map (Guard.Protector.feed protector) outputs
+        @ Guard.Protector.finish protector
+      in
+      (* The evaluate pass charged transfer for the plain output stream;
+         replace that charge with the guarded stream's exact wire size so
+         the breakdown and [output_bytes] agree. *)
+      let plain_bytes = report.output_bytes in
+      let guarded_bytes = Guard.wire_bytes messages in
+      let old_ms, old_frames = Cost.transfer_cost t.prof ~bytes:plain_bytes in
+      let new_ms, new_frames = Cost.transfer_cost t.prof ~bytes:guarded_bytes in
+      let b = report.breakdown in
+      let transfer_ms = b.Cost.transfer_ms -. old_ms +. new_ms in
+      let breakdown =
+        {
+          b with
+          Cost.transfer_ms;
+          total_ms = b.Cost.total_ms -. old_ms +. new_ms;
+          bytes_transferred =
+            b.Cost.bytes_transferred - plain_bytes + guarded_bytes;
+          apdu_frames = b.Cost.apdu_frames - old_frames + new_frames;
+        }
+      in
+      Ok (messages, { report with breakdown; output_bytes = guarded_bytes })

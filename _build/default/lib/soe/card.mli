@@ -1,0 +1,127 @@
+(** The smart-card runtime — everything that executes inside the SOE.
+
+    Per §2.1 the SOE "is in charge of decrypting the input document,
+    checking its integrity and evaluating the access control policy
+    corresponding to a given (document, subject) pair". The card holds the
+    subject's private key and the document keys granted to it; on a query
+    or a pushed stream it:
+
+    + unwraps the document key (once per grant, through the simulated PKI),
+    + checks the publisher's signature over the Merkle root,
+    + decrypts only the chunks the skip index cannot discard, verifying
+      each consumed chunk against the Merkle root,
+    + runs the streaming access-control engine over them, and
+    + returns the annotated output stream to the terminal proxy.
+
+    Every byte moved, block decrypted, hash computed and automaton
+    transition taken is charged to a {!Cost.meter}, and the evaluator's
+    working set is checked against the card's RAM budget after processing
+    ({!Memory}): evaluations that would not fit the paper's 1 KB card fail
+    with [Memory_exceeded].
+
+    Simulation note: the simulator decrypts all chunks up front and
+    replays the byte ranges the skip index actually touched for
+    accounting — behaviourally identical to on-demand fetching because
+    skip decisions depend only on consumed data, and integrity failures on
+    consumed chunks are still rejected (tampering on chunks the index
+    skips is invisible, exactly as on the real card). *)
+
+type t
+
+val create :
+  ?profile:Cost.profile -> subject:string -> Sdds_crypto.Rsa.keypair -> t
+(** A personalized card: the subject's identity and keypair live in secure
+    stable storage. Default profile: {!Cost.egate}. *)
+
+val subject : t -> string
+val public_key : t -> Sdds_crypto.Rsa.public
+val profile : t -> Cost.profile
+
+type error =
+  | No_key of string  (** no document key installed for this id *)
+  | Stale_key of string
+      (** the chunks are authentic (proofs pass) but do not decrypt under
+          the installed key: the document was re-keyed — the revocation
+          mechanism working as intended *)
+  | Bad_grant  (** wrapped key failed to unwrap *)
+  | Bad_signature  (** publisher signature check failed *)
+  | Integrity_failure of { chunk : int }
+      (** a consumed chunk failed decryption or its Merkle proof *)
+  | Memory_exceeded of { need_bytes : int; budget_bytes : int }
+  | Bad_rules of string  (** rule blob failed integrity or parsing *)
+  | Replayed_rules of { seen : int; offered : int }
+      (** anti-rollback: a genuinely-signed but older policy version was
+          offered after a newer one had been enforced — the DSP replaying
+          a stale blob to restore withdrawn access *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val install_wrapped_key :
+  t -> doc_id:string -> wrapped:string -> (unit, error) result
+(** Unwrap a document-key grant with the card's private key and store it
+    (charges one RSA operation on the next evaluation's meter is not
+    meaningful here; key installation is out of the per-query path). *)
+
+val has_key : t -> doc_id:string -> bool
+
+type doc_source = {
+  doc_id : string;
+  chunks : string array;  (** ciphertext chunks as served by the DSP *)
+  chunk_plain_bytes : int;  (** plaintext bytes per chunk (last may be short) *)
+  plain_length : int;  (** total encoded-plaintext length *)
+  prove : int -> Sdds_crypto.Merkle.proof;
+      (** inclusion proofs, served by the (untrusted) DSP; the card only
+          trusts them as far as they reach the signed root *)
+  leaf_count : int;  (** leaf count of the publisher's tree *)
+  merkle_root : string;
+  root_signature : string;
+  publisher : Sdds_crypto.Rsa.public;
+  delivery : [ `Pull | `Push ];
+      (** [`Pull]: the card requests chunks, skipped chunks are never
+          transferred. [`Push]: the stream flows past the card, all chunks
+          cross the link but skipped ones are not decrypted. *)
+}
+
+type report = {
+  breakdown : Cost.breakdown;
+  ram_peak_bytes : int;
+  ram_budget_bytes : int;
+  chunks_consumed : int;
+  chunks_total : int;
+  consumed_mask : bool array;
+      (** per-chunk: was it transferred-and-decrypted (pull) /
+          decrypted (push)? *)
+  skipped_bytes : int;
+  events : int;
+  suppressed_events : int;
+  output_bytes : int;
+}
+
+val evaluate :
+  t ->
+  doc_source ->
+  encrypted_rules:string ->
+  ?query:Sdds_xpath.Ast.t ->
+  ?use_index:bool ->
+  unit ->
+  (Sdds_core.Output.t list * report, error) result
+(** Evaluate the (document, subject) policy, optionally composed with a
+    query. [use_index] (default true) disables skipping for the no-index
+    baseline. *)
+
+val output_wire_bytes : Sdds_core.Output.t list -> int
+(** Serialized size of the output stream crossing the card → terminal
+    link ([Sdds_core.Output_codec]). *)
+
+val evaluate_protected :
+  t ->
+  doc_source ->
+  encrypted_rules:string ->
+  ?query:Sdds_xpath.Ast.t ->
+  ?use_index:bool ->
+  unit ->
+  (Guard.message list * report, error) result
+(** Like {!evaluate}, but the output stream is run through
+    {!Guard.Protector}: text of pending regions leaves the card sealed
+    under one-time keys, released only on positive resolution. The
+    report's [output_bytes] is the guarded stream's wire size. *)

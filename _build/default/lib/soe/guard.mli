@@ -1,0 +1,82 @@
+(** Confidentiality of pending output.
+
+    When a rule is {e pending} (its navigational path matched but a
+    predicate is still open), the engine emits the node under a condition
+    expression. The terminal must buffer that data — but the terminal is
+    untrusted, and if the condition finally resolves negatively it must
+    have learned {e nothing}. This module is the SOE-side answer: the text
+    content of every pending region is {b sealed} (AES-CTR under a fresh
+    one-time guard key held inside the SOE) and the key is {b released}
+    only when the region's visibility resolves positively; on a negative
+    resolution the key is destroyed ([Drop]) and the ciphertext is all the
+    terminal ever saw.
+
+    Granularity and disclosure: tags and condition expressions flow in
+    clear — the same structural disclosure the access-control model
+    already accepts for the bare-tag ancestors of authorized nodes (and
+    that the skip index's structural metadata implies). What is protected
+    is the data: text content. A guard is opened per node whose visibility
+    becomes undetermined {e by its own conditions}; descendants whose
+    pendingness is purely inherited share the ancestor's guard, so the
+    number of live guards is bounded by the pending nodes whose conditions
+    are still open, not by the subtree size.
+
+    [Protector] runs inside the SOE (downstream of [Engine]);
+    {!Unsealer} runs on the terminal (upstream of the reassembler). *)
+
+type message =
+  | Clear of Sdds_core.Output.t
+      (** annotated event whose payload needs no protection *)
+  | Sealed of { guard : int; event : sealed_event }
+      (** payload encrypted under the guard's key *)
+  | Release of { guard : int; key : string }
+      (** the guard's region resolved visible: here is the key *)
+  | Drop of { guard : int }
+      (** resolved invisible: the key is destroyed, ciphertext is garbage *)
+
+and sealed_event = Sealed_text of { cipher : string }
+
+module Protector : sig
+  type t
+
+  val create : Sdds_crypto.Drbg.t -> ?default:Sdds_core.Rule.sign -> has_query:bool -> unit -> t
+  (** Configuration must match the engine producing the stream. *)
+
+  val feed : t -> Sdds_core.Output.t -> message list
+  (** Raises [Invalid_argument] on a malformed stream. *)
+
+  val finish : t -> message list
+  (** Flush: resolves any guard still undecided (cannot happen on a
+      complete stream — every condition resolves by document end — but
+      kept total). Raises [Invalid_argument] if elements are still
+      open. *)
+
+  val live_guards : t -> int
+  (** Currently-held guard records (keys + visibility conditions) — part
+      of the SOE working set. *)
+
+  val peak_live_guards : t -> int
+end
+
+module Unsealer : sig
+  type t
+
+  val create : ?default:Sdds_core.Rule.sign -> has_query:bool -> unit -> t
+
+  val feed : t -> message -> unit
+
+  val finish : t -> Sdds_xml.Dom.t option
+  (** Decrypt released regions, discard dropped ones, reassemble the
+      authorized view. Raises [Invalid_argument] on malformed streams. *)
+
+  val sealed_bytes_withheld : t -> int
+  (** Ciphertext bytes whose key was never released — what the terminal
+      holds but cannot read. *)
+end
+
+val seal_key_bytes : int
+
+val wire_bytes : message list -> int
+(** Exact size of the message stream on the card → terminal link (clear
+    events under [Sdds_core.Output_codec], sealed payloads and key
+    releases with small framing). *)

@@ -1,0 +1,20 @@
+type t = { budget : int; mutable peak : int }
+
+exception Out_of_memory of { need_bytes : int; budget_bytes : int }
+
+let word_bytes = 4 (* the card CPU is 32-bit *)
+
+let create ~budget_bytes =
+  if budget_bytes <= 0 then invalid_arg "Memory.create";
+  { budget = budget_bytes; peak = 0 }
+
+let record_bytes t ~bytes =
+  if bytes > t.peak then t.peak <- bytes;
+  if bytes > t.budget then
+    raise (Out_of_memory { need_bytes = bytes; budget_bytes = t.budget })
+
+let record t ~words = record_bytes t ~bytes:(words * word_bytes)
+
+let peak_bytes t = t.peak
+let budget_bytes t = t.budget
+let headroom t = 1.0 -. (float_of_int t.peak /. float_of_int t.budget)

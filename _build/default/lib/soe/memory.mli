@@ -1,0 +1,26 @@
+(** Secure-RAM budget accountant.
+
+    The paper's hard constraint: "only 1 KB of RAM available for on-board
+    applications". The card runtime reports the evaluator's working-set
+    size after every event; exceeding the budget aborts the evaluation
+    ({!Out_of_memory}), exactly as the real card would fail — experiment
+    E5 sweeps depth and rule count to chart the head-room. *)
+
+type t
+
+exception Out_of_memory of { need_bytes : int; budget_bytes : int }
+
+val create : budget_bytes:int -> t
+
+val record : t -> words:int -> unit
+(** Record a working-set observation (in machine words, 4 bytes each on
+    the card's 32-bit CPU). Raises {!Out_of_memory} when it exceeds the
+    budget. *)
+
+val record_bytes : t -> bytes:int -> unit
+
+val peak_bytes : t -> int
+val budget_bytes : t -> int
+
+val headroom : t -> float
+(** [1.0 - peak/budget]. *)

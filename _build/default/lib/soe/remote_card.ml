@@ -1,0 +1,258 @@
+module Output_codec = Sdds_core.Output_codec
+
+module Ins = struct
+  let select = 0xA0
+  let grant = 0xA2
+  let rules = 0xA4
+  let query = 0xA6
+  let evaluate = 0xB0
+  let get_response = 0xC0
+end
+
+module Sw = struct
+  let ok = (0x90, 0x00)
+  let more_data = (0x61, 0x00)
+  let not_found = (0x6A, 0x88)
+  let security = (0x69, 0x82)
+  let memory = (0x6A, 0x84)
+  let bad_state = (0x69, 0x85)
+  let bad_ins = (0x6D, 0x00)
+end
+
+let cla = 0x80
+let max_response = 255
+
+module Host = struct
+  type t = {
+    card : Card.t;
+    resolve : string -> Card.doc_source option;
+    mutable doc : Card.doc_source option;
+    (* chained-command accumulators, keyed by instruction *)
+    chains : (int, Buffer.t * int ref) Hashtbl.t;
+    mutable pending_rules : string option;
+    mutable pending_query : string option;
+    mutable response : string;  (* bytes not yet drained *)
+  }
+
+  let create ~card ~resolve =
+    {
+      card;
+      resolve;
+      doc = None;
+      chains = Hashtbl.create 4;
+      pending_rules = None;
+      pending_query = None;
+      response = "";
+    }
+
+  let reply ?(payload = "") (sw1, sw2) = { Apdu.sw1; sw2; payload }
+
+  (* Accumulate a chained command; returns [Ok (Some data)] when the final
+     frame arrives, [Ok None] mid-chain, [Error ()] on a sequence-number
+     gap (a dropped or reordered frame must fail fast, not concatenate). *)
+  let chain t (cmd : Apdu.command) =
+    let buf, seq =
+      match Hashtbl.find_opt t.chains cmd.Apdu.ins with
+      | Some bs -> bs
+      | None ->
+          let bs = (Buffer.create 256, ref 0) in
+          Hashtbl.add t.chains cmd.Apdu.ins bs;
+          bs
+    in
+    if cmd.Apdu.p2 <> !seq land 0xff then begin
+      Hashtbl.remove t.chains cmd.Apdu.ins;
+      Error ()
+    end
+    else begin
+      incr seq;
+      Buffer.add_string buf cmd.Apdu.data;
+      if cmd.Apdu.p1 = 0 then begin
+        Hashtbl.remove t.chains cmd.Apdu.ins;
+        Ok (Some (Buffer.contents buf))
+      end
+      else Ok None
+    end
+
+  let error_sw = function
+    | Card.No_key _ | Card.Stale_key _ -> Sw.not_found
+    | Card.Bad_grant | Card.Bad_signature
+    | Card.Integrity_failure _
+    | Card.Bad_rules _ | Card.Replayed_rules _ ->
+        Sw.security
+    | Card.Memory_exceeded _ -> Sw.memory
+
+  let drain t =
+    let n = String.length t.response in
+    let take = min max_response n in
+    let payload = String.sub t.response 0 take in
+    t.response <- String.sub t.response take (n - take);
+    if String.length t.response = 0 then reply ~payload Sw.ok
+    else begin
+      let sw1, _ = Sw.more_data in
+      reply ~payload (sw1, min 0xff (String.length t.response))
+    end
+
+  let process t (cmd : Apdu.command) =
+    if cmd.Apdu.cla <> cla then reply Sw.bad_ins
+    else if cmd.Apdu.ins = Ins.select then begin
+      match t.resolve cmd.Apdu.data with
+      | Some doc ->
+          t.doc <- Some doc;
+          t.pending_rules <- None;
+          t.pending_query <- None;
+          t.response <- "";
+          reply Sw.ok
+      | None -> reply Sw.not_found
+    end
+    else if cmd.Apdu.ins = Ins.grant then begin
+      match t.doc with
+      | None -> reply Sw.bad_state
+      | Some doc -> (
+          match
+            Card.install_wrapped_key t.card ~doc_id:doc.Card.doc_id
+              ~wrapped:cmd.Apdu.data
+          with
+          | Ok () -> reply Sw.ok
+          | Error e -> reply (error_sw e))
+    end
+    else if cmd.Apdu.ins = Ins.rules then begin
+      if t.doc = None then reply Sw.bad_state
+      else begin
+        match chain t cmd with
+        | Error () -> reply Sw.bad_state
+        | Ok None -> reply Sw.ok
+        | Ok (Some blob) ->
+            t.pending_rules <- Some blob;
+            reply Sw.ok
+      end
+    end
+    else if cmd.Apdu.ins = Ins.query then begin
+      if t.doc = None then reply Sw.bad_state
+      else begin
+        match chain t cmd with
+        | Error () -> reply Sw.bad_state
+        | Ok None -> reply Sw.ok
+        | Ok (Some q) ->
+            t.pending_query <- Some q;
+            reply Sw.ok
+      end
+    end
+    else if cmd.Apdu.ins = Ins.evaluate then begin
+      match (t.doc, t.pending_rules) with
+      | None, _ | _, None -> reply Sw.bad_state
+      | Some doc, Some encrypted_rules -> (
+          let delivery = if cmd.Apdu.p1 = 1 then `Push else `Pull in
+          let use_index = cmd.Apdu.p2 = 0 in
+          let query =
+            match t.pending_query with
+            | None -> None
+            | Some q -> (
+                match Sdds_xpath.Parser.parse q with
+                | ast -> Some ast
+                | exception Sdds_xpath.Parser.Error _ -> None)
+          in
+          match
+            Card.evaluate t.card { doc with Card.delivery } ~encrypted_rules
+              ?query ~use_index ()
+          with
+          | Ok (outputs, _report) ->
+              t.response <- Output_codec.encode_list outputs;
+              drain t
+          | Error e -> reply (error_sw e))
+    end
+    else if cmd.Apdu.ins = Ins.get_response then drain t
+    else reply Sw.bad_ins
+end
+
+module Client = struct
+  type transport = Apdu.command -> Apdu.response
+
+  type result = {
+    outputs : Sdds_core.Output.t list;
+    command_frames : int;
+    response_frames : int;
+    wire_bytes : int;
+  }
+
+  type counters = {
+    mutable cmds : int;
+    mutable resps : int;
+    mutable bytes : int;
+  }
+
+  let send counters (transport : transport) cmd =
+    counters.cmds <- counters.cmds + 1;
+    counters.bytes <-
+      counters.bytes + String.length (Apdu.encode_command cmd);
+    let resp = transport cmd in
+    counters.resps <- counters.resps + 1;
+    counters.bytes <-
+      counters.bytes + String.length (Apdu.encode_response resp);
+    resp
+
+  let ( let* ) = Result.bind
+
+  let expect_ok step (resp : Apdu.response) =
+    if (resp.Apdu.sw1, resp.Apdu.sw2) = Sw.ok then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s failed: SW %02X%02X" step resp.Apdu.sw1
+           resp.Apdu.sw2)
+
+  let send_chained counters transport ~ins payload =
+    let frames = Apdu.segment ~cla ~ins payload in
+    List.fold_left
+      (fun acc frame ->
+        let* () = acc in
+        expect_ok "chained command" (send counters transport frame))
+      (Ok ()) frames
+
+  let evaluate transport ~doc_id ?wrapped_grant ~encrypted_rules ?xpath
+      ?(push = false) ?(use_index = true) () =
+    let counters = { cmds = 0; resps = 0; bytes = 0 } in
+    let send1 ins ?(p1 = 0) ?(p2 = 0) data =
+      send counters transport { Apdu.cla; ins; p1; p2; data }
+    in
+    let* () = expect_ok "select" (send1 Ins.select doc_id) in
+    let* () =
+      match wrapped_grant with
+      | None -> Ok ()
+      | Some w -> expect_ok "grant" (send1 Ins.grant w)
+    in
+    let* () =
+      send_chained counters transport ~ins:Ins.rules encrypted_rules
+    in
+    let* () =
+      match xpath with
+      | None -> Ok ()
+      | Some q -> send_chained counters transport ~ins:Ins.query q
+    in
+    let first =
+      send1 Ins.evaluate
+        ~p1:(if push then 1 else 0)
+        ~p2:(if use_index then 0 else 1)
+        ""
+    in
+    (* Drain: accept OK (done) or 61xx (more data). *)
+    let rec drain acc (resp : Apdu.response) =
+      let acc = acc ^ resp.Apdu.payload in
+      if (resp.Apdu.sw1, resp.Apdu.sw2) = Sw.ok then Ok acc
+      else if resp.Apdu.sw1 = fst Sw.more_data then
+        drain acc (send1 Ins.get_response "")
+      else
+        Error
+          (Printf.sprintf "evaluate failed: SW %02X%02X" resp.Apdu.sw1
+             resp.Apdu.sw2)
+    in
+    let* encoded = drain "" first in
+    match Output_codec.decode_list encoded with
+    | outputs ->
+        Ok
+          {
+            outputs;
+            command_frames = counters.cmds;
+            response_frames = counters.resps;
+            wire_bytes = counters.bytes;
+          }
+    | exception Invalid_argument msg -> Error ("bad response stream: " ^ msg)
+end

@@ -1,0 +1,80 @@
+(** The card behind a real APDU transport.
+
+    {!Card} exposes an OCaml API; on the demo platform, however, "the
+    complexity of the access control, query and security management is
+    confined in the smart card and its proxy", and everything crosses an
+    ISO 7816 link in 255-byte frames. This module provides both ends:
+
+    - {!Host} is the card-resident command dispatcher: it decodes
+      {!Apdu.command} frames (select document, install grant, load rules,
+      set query, evaluate, drain response), drives {!Card}, and encodes
+      status words + response frames;
+    - {!Client} is the terminal-side stub: it marshals a query into
+      command chains, feeds them to a transport function, reassembles the
+      response stream and decodes it with [Output_codec].
+
+    A [Client] talking to a [Host] over a direct function call must be
+    indistinguishable from calling {!Card.evaluate} — the tests enforce
+    it — while every byte that would cross the wire is visible and
+    countable. *)
+
+(** Instruction bytes of the command set: [select] a document by id,
+    install a wrapped key [grant], load the encrypted [rules] blob
+    (chained frames), set the optional XPath [query] (chained),
+    [evaluate] (p1 = 0 pull / 1 push; p2 = 0 with index / 1 without), and
+    [get_response] to drain the pending response. *)
+module Ins : sig
+  val select : int
+  val grant : int
+  val rules : int
+  val query : int
+  val evaluate : int
+  val get_response : int
+end
+
+(** Status words: [ok] (0x9000), [more_data] (0x61xx — response bytes
+    remain), [not_found], [security] (integrity / authority / stale key),
+    [memory], [bad_state] (command out of sequence), [bad_ins]. *)
+module Sw : sig
+  val ok : int * int
+  val more_data : int * int
+  val not_found : int * int
+  val security : int * int
+  val memory : int * int
+  val bad_state : int * int
+  val bad_ins : int * int
+end
+
+module Host : sig
+  type t
+
+  val create :
+    card:Card.t -> resolve:(string -> Card.doc_source option) -> t
+  (** [resolve] maps a selected document id to its (DSP-served) source. *)
+
+  val process : t -> Apdu.command -> Apdu.response
+  (** Never raises: protocol violations map to status words. *)
+end
+
+module Client : sig
+  type transport = Apdu.command -> Apdu.response
+
+  type result = {
+    outputs : Sdds_core.Output.t list;
+    command_frames : int;  (** frames sent terminal to card *)
+    response_frames : int;  (** frames received card to terminal *)
+    wire_bytes : int;  (** total bytes both ways, headers included *)
+  }
+
+  val evaluate :
+    transport ->
+    doc_id:string ->
+    ?wrapped_grant:string ->
+    encrypted_rules:string ->
+    ?xpath:string ->
+    ?push:bool ->
+    ?use_index:bool ->
+    unit ->
+    (result, string) Result.t
+  (** Full exchange: select, (grant), rules, (query), evaluate, drain. *)
+end

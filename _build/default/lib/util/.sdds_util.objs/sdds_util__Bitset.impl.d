@@ -1,0 +1,1 @@
+lib/util/bitset.ml: Buffer Bytes Format List String

@@ -1,0 +1,63 @@
+(** Fixed-capacity bit sets backed by [bytes].
+
+    Used for the skip index's descendant-tag bitmaps: one bit per entry of
+    the document's tag dictionary. The recursive compression of the index
+    relies on {!project} / {!inject}, which re-express a subset bitmap using
+    only the positions set in a parent bitmap. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set able to hold members in [0, n-1]. *)
+
+val capacity : t -> int
+
+val copy : t -> t
+
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+(** Number of set bits. *)
+
+val is_empty : t -> bool
+
+val union_into : t -> t -> unit
+(** [union_into dst src] sets [dst := dst ∪ src].
+    Raises [Invalid_argument] on capacity mismatch. *)
+
+val inter : t -> t -> t
+val subset : t -> t -> bool
+(** [subset a b] is true iff every member of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+val of_list : int -> int list -> t
+
+val project : parent:t -> t -> t
+(** [project ~parent sub] compresses [sub] (which must satisfy
+    [subset sub parent]) into a bitset of capacity [cardinal parent] whose
+    [i]-th bit tells whether the [i]-th member of [parent] is in [sub]. *)
+
+val inject : parent:t -> t -> t
+(** [inject ~parent packed] undoes {!project}: expands a packed bitset of
+    capacity [cardinal parent] back to a subset of [parent] at full
+    capacity. *)
+
+val encode : Buffer.t -> t -> unit
+(** Append [ceil (capacity / 8)] raw bytes. The capacity itself is not
+    written; the reader must know it. *)
+
+val decode : capacity:int -> string -> int -> t * int
+(** [decode ~capacity s pos] reads the raw byte representation written by
+    {!encode} and returns the set and the next offset. *)
+
+val encoded_size : capacity:int -> int
+
+val pp : Format.formatter -> t -> unit

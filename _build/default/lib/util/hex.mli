@@ -1,0 +1,9 @@
+(** Hexadecimal encoding of byte strings, used for fingerprints in logs,
+    tests and the CLI. *)
+
+val encode : string -> string
+(** Lower-case hex of every byte. *)
+
+val decode : string -> string
+(** Inverse of {!encode}; accepts upper or lower case.
+    Raises [Invalid_argument] on odd length or non-hex characters. *)

@@ -1,0 +1,40 @@
+(** Deterministic, splittable pseudo-random generator (SplitMix64).
+
+    Every randomized component of the reproduction (document generators,
+    workload sweeps, attack injection) draws from this generator so that
+    benchmark rows and property-test counterexamples are reproducible from a
+    seed. Not cryptographic — the cryptographic DRBG lives in
+    [Sdds_crypto.Drbg]. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound-1]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice. Raises [Invalid_argument] on an empty array. *)
+
+val pick_weighted : t -> (int * 'a) array -> 'a
+(** [pick_weighted t choices] picks proportionally to the integer weights.
+    Raises [Invalid_argument] if all weights are [<= 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val bytes : t -> int -> string
+(** [bytes t n] is [n] pseudo-random bytes. *)

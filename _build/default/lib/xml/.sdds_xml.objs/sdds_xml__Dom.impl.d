@@ -1,0 +1,1 @@
+lib/xml/dom.ml: Event Format List Set String

@@ -1,0 +1,1 @@
+lib/xml/generator.ml: Array Dom Fun List Printf Sdds_util Serializer String

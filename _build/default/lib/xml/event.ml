@@ -1,0 +1,40 @@
+type t = Open of string | Value of string | Close of string
+
+let equal a b =
+  match (a, b) with
+  | Open x, Open y | Value x, Value y | Close x, Close y -> String.equal x y
+  | Open _, (Value _ | Close _)
+  | Value _, (Open _ | Close _)
+  | Close _, (Open _ | Value _) ->
+      false
+
+let pp ppf = function
+  | Open tag -> Format.fprintf ppf "<%s>" tag
+  | Value v -> Format.fprintf ppf "%S" v
+  | Close tag -> Format.fprintf ppf "</%s>" tag
+
+let to_string ev = Format.asprintf "%a" pp ev
+
+let is_attribute_tag tag = String.length tag > 0 && tag.[0] = '@'
+
+let well_formed evs =
+  (* A single root element; text only inside elements; matching tags. *)
+  let rec go stack seen_root evs =
+    match (evs, stack) with
+    | [], [] -> seen_root
+    | [], _ :: _ -> false
+    | Open tag :: rest, _ ->
+        if stack = [] && seen_root then false
+        else go (tag :: stack) true rest
+    | Value _ :: rest, _ :: _ -> go stack seen_root rest
+    | Value _ :: _, [] -> false
+    | Close tag :: rest, top :: stack' ->
+        String.equal tag top && go stack' seen_root rest
+    | Close _ :: _, [] -> false
+  in
+  go [] false evs
+
+let depth_after d = function
+  | Open _ -> d + 1
+  | Close _ -> d - 1
+  | Value _ -> d

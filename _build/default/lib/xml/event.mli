@@ -1,0 +1,29 @@
+(** SAX-style parsing events.
+
+    The whole system — parser, access-control engine, skip index, smart-card
+    runtime — exchanges documents as streams of these events, mirroring the
+    paper's assumption that "the evaluator is fed by an event-based parser
+    raising open, value and close events". Attributes are modelled as child
+    elements whose tag starts with ['@'], following the convention of the
+    XML access-control models the paper builds on. *)
+
+type t =
+  | Open of string  (** opening tag, carrying the element name *)
+  | Value of string  (** text content *)
+  | Close of string  (** closing tag; the name is kept for well-formedness checks *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val is_attribute_tag : string -> bool
+(** True for the ['@'-prefixed] pseudo-tags encoding attributes. *)
+
+val well_formed : t list -> bool
+(** [well_formed evs] checks that opens and closes nest properly, names
+    match, the sequence is a single rooted document, and no [Value] occurs
+    at top level. *)
+
+val depth_after : int -> t -> int
+(** [depth_after d ev] is the element depth after consuming [ev] at depth
+    [d]: [Open] increments, [Close] decrements, [Value] is neutral. *)

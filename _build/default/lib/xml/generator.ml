@@ -1,0 +1,299 @@
+module Rng = Sdds_util.Rng
+
+let first_names =
+  [| "alice"; "bruno"; "carla"; "david"; "elena"; "farid"; "gwen"; "hugo";
+     "ines"; "jules"; "karim"; "lea"; "marc"; "nadia"; "oscar"; "paula" |]
+
+let last_names =
+  [| "martin"; "bernard"; "dubois"; "thomas"; "robert"; "richard"; "petit";
+     "durand"; "leroy"; "moreau"; "simon"; "laurent"; "lefebvre"; "michel" |]
+
+let words =
+  [| "acute"; "benign"; "chronic"; "stable"; "severe"; "routine"; "partial";
+     "primary"; "recurrent"; "moderate"; "standard"; "adjusted"; "observed";
+     "confirmed"; "suspected"; "pending"; "normal"; "elevated"; "reduced" |]
+
+let drugs =
+  [| "aspirin"; "amoxicillin"; "ibuprofen"; "insulin"; "heparin";
+     "morphine"; "paracetamol"; "atenolol"; "warfarin"; "cortisone" |]
+
+let diagnoses =
+  [| "hypertension"; "diabetes"; "fracture"; "pneumonia"; "migraine";
+     "appendicitis"; "asthma"; "anemia"; "arrhythmia"; "gastritis" |]
+
+let departments =
+  [| "cardiology"; "pediatrics"; "oncology"; "radiology"; "surgery";
+     "neurology" |]
+
+let name rng =
+  Rng.pick rng first_names ^ " " ^ Rng.pick rng last_names
+
+let sentence rng n =
+  String.concat " " (List.init n (fun _ -> Rng.pick rng words))
+
+let date rng =
+  Printf.sprintf "%04d-%02d-%02d" (1995 + Rng.int rng 10) (1 + Rng.int rng 12)
+    (1 + Rng.int rng 28)
+
+let num rng lo hi = string_of_int (lo + Rng.int rng (hi - lo + 1))
+
+let el = Dom.element
+let txt s = Dom.Text s
+let leaf tag s = el tag [ txt s ]
+
+(* ------------------------------------------------------------------ *)
+(* Hospital: deep, irregular, recursive folders.                       *)
+(* ------------------------------------------------------------------ *)
+
+let prescription rng =
+  el "prescription"
+    [ leaf "drug" (Rng.pick rng drugs);
+      leaf "dosage" (num rng 1 500 ^ "mg");
+      leaf "date" (date rng) ]
+
+let analysis rng =
+  el "analysis"
+    [ leaf "type" (Rng.pick rng [| "blood"; "urine"; "biopsy"; "xray" |]);
+      leaf "result" (sentence rng 3);
+      leaf "date" (date rng) ]
+
+let act rng =
+  el "act"
+    [ leaf "protocol" ("P" ^ num rng 100 999);
+      leaf "doctor" (name rng);
+      leaf "comment" (sentence rng 5) ]
+
+let rec folder rng depth =
+  let base =
+    [ leaf "label" (sentence rng 2); leaf "date" (date rng) ]
+  in
+  let items =
+    List.init
+      (1 + Rng.int rng 3)
+      (fun _ ->
+        Rng.pick_weighted rng
+          [| (3, `Prescription); (3, `Analysis); (2, `Act); (2, `Diagnosis) |]
+        |> function
+        | `Prescription -> prescription rng
+        | `Analysis -> analysis rng
+        | `Act -> act rng
+        | `Diagnosis ->
+            el "diagnosis"
+              [ leaf "name" (Rng.pick rng diagnoses);
+                leaf "severity" (num rng 1 5);
+                leaf "comment" (sentence rng 4) ])
+  in
+  let sub =
+    if depth < 4 && Rng.int rng 100 < 45 then [ folder rng (depth + 1) ]
+    else []
+  in
+  el "folder" (base @ items @ sub)
+
+let patient rng =
+  el "patient"
+    [ el "@id" [ txt ("p" ^ num rng 10000 99999) ];
+      leaf "name" (name rng);
+      leaf "age" (num rng 1 99);
+      leaf "ssn" (num rng 100000000 999999999);
+      el "admission"
+        [ leaf "date" (date rng);
+          leaf "motive" (Rng.pick rng diagnoses);
+          leaf "doctor" (name rng) ];
+      folder rng 0;
+      leaf "comment" (sentence rng 6) ]
+
+(* Distribute patients round over departments; [dept_element] decides how a
+   department is rooted (generic tag vs department-named tag). *)
+let hospital_gen rng ~patients ~dept_element =
+  if patients < 1 then invalid_arg "Generator.hospital: patients < 1";
+  let per_dept = max 1 (patients / Array.length departments) in
+  let remaining = ref patients in
+  let depts =
+    List.filter_map
+      (fun dept ->
+        if !remaining <= 0 then None
+        else begin
+          let n = min per_dept !remaining in
+          remaining := !remaining - n;
+          Some (dept_element dept (List.init n (fun _ -> patient rng)))
+        end)
+      (Array.to_list departments)
+  in
+  let depts =
+    if !remaining > 0 then
+      depts @ [ dept_element "general" (List.init !remaining (fun _ -> patient rng)) ]
+    else depts
+  in
+  el "hospital" depts
+
+let hospital rng ~patients =
+  hospital_gen rng ~patients ~dept_element:(fun dept kids ->
+      el "department" (leaf "name" dept :: kids))
+
+let department_tags = departments
+
+let hospital_named rng ~patients =
+  hospital_gen rng ~patients ~dept_element:(fun dept kids -> el dept kids)
+
+(* ------------------------------------------------------------------ *)
+(* Agenda: shallow, wide, regular (WSU course data profile).           *)
+(* ------------------------------------------------------------------ *)
+
+let course rng =
+  el "course"
+    [ el "@code" [ txt (num rng 100 599) ];
+      leaf "title" (sentence rng 3);
+      leaf "prefix" (Rng.pick rng [| "CS"; "EE"; "MATH"; "BIO"; "PHYS" |]);
+      leaf "credit" (num rng 1 4);
+      el "time" [ leaf "start" (num rng 8 16 ^ ":00"); leaf "end" (num rng 9 18 ^ ":00") ];
+      el "place"
+        [ leaf "building" (Rng.pick rng [| "sloan"; "todd"; "carpenter" |]);
+          leaf "room" (num rng 100 499) ];
+      leaf "instructor" (name rng);
+      leaf "limit" (num rng 10 200);
+      leaf "enrolled" (num rng 0 200) ]
+
+let agenda rng ~courses =
+  if courses < 1 then invalid_arg "Generator.agenda: courses < 1";
+  el "courses" (List.init courses (fun _ -> course rng))
+
+(* ------------------------------------------------------------------ *)
+(* Sigmod Record profile.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let article rng =
+  el "article"
+    [ leaf "title" (sentence rng 6);
+      leaf "initPage" (num rng 1 80);
+      leaf "endPage" (num rng 81 160);
+      el "authors" (List.init (1 + Rng.int rng 3) (fun _ -> leaf "author" (name rng))) ]
+
+let issue rng =
+  el "issue"
+    [ leaf "volume" (num rng 10 35);
+      leaf "number" (num rng 1 4);
+      el "articles" (List.init (4 + Rng.int rng 5) (fun _ -> article rng)) ]
+
+let sigmod rng ~issues =
+  if issues < 1 then invalid_arg "Generator.sigmod: issues < 1";
+  el "IssuesPage" (List.init issues (fun _ -> issue rng))
+
+(* ------------------------------------------------------------------ *)
+(* Dissemination feed.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* ------------------------------------------------------------------ *)
+(* Auction (XMark profile).                                            *)
+(* ------------------------------------------------------------------ *)
+
+let auction_categories =
+  [| "antiques"; "books"; "computers"; "garden"; "music"; "sports" |]
+
+let bid rng i =
+  el "bid"
+    [ leaf "bidder" (name rng);
+      leaf "amount" (num rng 10 5000);
+      leaf "increase" (num rng 1 50);
+      el "@seq" [ txt (string_of_int i) ] ]
+
+let auction_item rng =
+  let bids = List.init (1 + Rng.int rng 6) (bid rng) in
+  el "open_auction"
+    [ el "@id" [ txt ("a" ^ num rng 1000 9999) ];
+      leaf "category" (Rng.pick rng auction_categories);
+      el "item"
+        [ leaf "title" (sentence rng 4);
+          leaf "description" (sentence rng 14);
+          leaf "location" (Rng.pick rng [| "paris"; "berlin"; "tokyo"; "austin" |]) ];
+      el "seller"
+        [ leaf "person" (name rng); leaf "rating" (num rng 1 5) ];
+      leaf "reserve" (num rng 100 9000);
+      el "bids" bids;
+      leaf "current" (num rng 10 5000) ]
+
+let auction rng ~items =
+  if items < 1 then invalid_arg "Generator.auction: items < 1";
+  el "site"
+    [ el "categories"
+        (Array.to_list (Array.map (fun c -> leaf "category" c) auction_categories));
+      el "open_auctions" (List.init items (fun _ -> auction_item rng)) ]
+
+let auction_units rng n = auction rng ~items:n
+
+(* ------------------------------------------------------------------ *)
+(* Dissemination feed.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let channel_tags = [| "news"; "sports"; "movies"; "kids"; "finance" |]
+
+let item_body rng i channel =
+  [ el "@seq" [ txt (string_of_int i) ];
+    leaf "channel" channel;
+    leaf "rating" (Rng.pick_weighted rng [| (5, "G"); (3, "PG"); (2, "R") |]);
+    leaf "region" (Rng.pick rng [| "eu"; "us"; "asia" |]);
+    leaf "timestamp" (date rng);
+    leaf "payload" (sentence rng 12) ]
+
+let item rng i = el "item" (item_body rng i (Rng.pick rng channel_tags))
+
+let feed rng ~events =
+  if events < 1 then invalid_arg "Generator.feed: events < 1";
+  el "feed" (List.init events (item rng))
+
+let feed_tagged rng ~events =
+  if events < 1 then invalid_arg "Generator.feed_tagged: events < 1";
+  el "feed"
+    (List.init events (fun i ->
+         let channel = Rng.pick rng channel_tags in
+         el channel (item_body rng i channel)))
+
+(* ------------------------------------------------------------------ *)
+(* Random documents for property tests.                                *)
+(* ------------------------------------------------------------------ *)
+
+let random_tree rng ~tags ~max_depth ~max_children ~text_probability =
+  if Array.length tags = 0 then invalid_arg "Generator.random_tree: no tags";
+  let rec node depth =
+    let tag = Rng.pick rng tags in
+    if depth >= max_depth then leaf tag (sentence rng 1)
+    else begin
+      let n = Rng.int rng (max_children + 1) in
+      (* Avoid adjacent text children: XML serialization would coalesce
+         them, breaking parse/serialize roundtrips. *)
+      let kids, _ =
+        List.fold_left
+          (fun (acc, prev_text) _ ->
+            if (not prev_text) && Rng.float rng 1.0 < text_probability then
+              (txt (sentence rng 1) :: acc, true)
+            else (node (depth + 1) :: acc, false))
+          ([], true) (List.init n Fun.id)
+      in
+      el tag (List.rev kids)
+    end
+  in
+  node 0
+
+(* ------------------------------------------------------------------ *)
+(* Size targeting.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let hospital_units rng n = hospital rng ~patients:n
+let agenda_units rng n = agenda rng ~courses:n
+let sigmod_units rng n = sigmod rng ~issues:n
+let feed_units rng n = feed rng ~events:n
+
+let scaled gen rng ~approx_bytes =
+  if approx_bytes <= 0 then invalid_arg "Generator.scaled";
+  let size n =
+    let probe = Rng.split rng in
+    String.length (Serializer.to_string (gen probe n))
+  in
+  let unit_size = max 1 (size 1) in
+  let guess = max 1 (approx_bytes / unit_size) in
+  (* One refinement step corrects for per-document fixed overhead. *)
+  let measured = size guess in
+  let guess =
+    if measured = 0 then guess
+    else max 1 (guess * approx_bytes / measured)
+  in
+  gen rng guess

@@ -1,0 +1,80 @@
+(** Synthetic dataset generators.
+
+    Stand-ins for the evaluation datasets of the demonstrated system (the
+    VLDB'04 prototype was evaluated on medical records, WSU course data and
+    bibliography documents): three generators with the same structural
+    profiles — deep/recursive, shallow/regular, bibliographic — plus a
+    time-stamped event feed for the push-dissemination application and a
+    random tree generator for property-based tests.
+
+    All generators are deterministic functions of the supplied generator
+    state, so benchmark workloads are reproducible from a seed. *)
+
+val hospital : Sdds_util.Rng.t -> patients:int -> Dom.t
+(** Deep, irregular medical-record documents: departments, patients with
+    nested (recursive) folders, admissions, diagnoses, prescriptions,
+    protected fields ([ssn], [diagnosis], [comment]). About 1 KB per
+    patient. *)
+
+val hospital_named : Sdds_util.Rng.t -> patients:int -> Dom.t
+(** Like {!hospital} but each department subtree is rooted at a tag named
+    after the department ([<cardiology>], [<pediatrics>], …) instead of a
+    generic [<department>]. Structural (tag-level) selectivity is what the
+    skip index keys on, so the authorized-ratio sweeps of the benchmarks
+    use this variant to grant whole departments by tag. *)
+
+val department_tags : string array
+(** The six department tags {!hospital_named} uses, in layout order. *)
+
+val agenda : Sdds_util.Rng.t -> courses:int -> Dom.t
+(** Shallow, wide and regular course-catalog documents in the style of the
+    WSU dataset: a flat list of [course] records with scalar children.
+    About 0.4 KB per course. *)
+
+val sigmod : Sdds_util.Rng.t -> issues:int -> Dom.t
+(** Bibliographic documents in the style of SIGMOD Record tables of
+    contents: issues, articles, author lists. About 2 KB per issue. *)
+
+val feed : Sdds_util.Rng.t -> events:int -> Dom.t
+(** A pushed multimedia-notification stream: [item] elements carrying
+    [channel], [rating], [region] and an opaque payload, used by the
+    selective-dissemination and parental-control scenarios. *)
+
+val auction : Sdds_util.Rng.t -> items:int -> Dom.t
+(** Auction-site documents in the spirit of the XMark benchmark: open
+    auctions with bidder histories (moderately deep, repetitive),
+    categories, and privacy-sensitive person records — a fourth structural
+    profile with a natural access-control story (bidders' identities,
+    reserve prices). About 1 KB per item. *)
+
+val auction_units : Sdds_util.Rng.t -> int -> Dom.t
+
+val feed_tagged : Sdds_util.Rng.t -> events:int -> Dom.t
+(** Like {!feed} but each item's element is tagged with its channel
+    ([<sports>], [<news>], …) so channel subscriptions are structural and
+    the skip index can discard foreign channels without decryption — the
+    selective-dissemination benchmark uses this variant. *)
+
+val channel_tags : string array
+
+val random_tree :
+  Sdds_util.Rng.t ->
+  tags:string array ->
+  max_depth:int ->
+  max_children:int ->
+  text_probability:float ->
+  Dom.t
+(** Random document over a fixed tag alphabet, for property-based testing.
+    Every element draws its child count uniformly in [0, max_children] and
+    recursion stops at [max_depth]. *)
+
+val scaled : (Sdds_util.Rng.t -> int -> Dom.t) -> Sdds_util.Rng.t -> approx_bytes:int -> Dom.t
+(** [scaled gen rng ~approx_bytes] searches for a unit count such that the
+    serialized document is close to [approx_bytes] (within ~20%), assuming
+    [gen rng n] grows linearly in [n]. *)
+
+val hospital_units : Sdds_util.Rng.t -> int -> Dom.t
+val agenda_units : Sdds_util.Rng.t -> int -> Dom.t
+val sigmod_units : Sdds_util.Rng.t -> int -> Dom.t
+val feed_units : Sdds_util.Rng.t -> int -> Dom.t
+(** Unit-count aliases of the four generators, for use with {!scaled}. *)

@@ -1,0 +1,289 @@
+exception Error of int * string
+
+let fail pos msg = raise (Error (pos, msg))
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c
+  || match c with '0' .. '9' | '-' | '.' -> true | _ -> false
+
+type 'a state = {
+  input : string;
+  mutable pos : int;
+  mutable acc : 'a;
+  emit : 'a -> Event.t -> 'a;
+}
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st.pos (Printf.sprintf "expected %C, found %C" c c')
+  | None -> fail st.pos (Printf.sprintf "expected %C, found end of input" c)
+
+let skip_spaces st =
+  while (match peek st with Some c -> is_space c | None -> false) do
+    advance st
+  done
+
+let read_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st
+  | Some c -> fail st.pos (Printf.sprintf "invalid name start %C" c)
+  | None -> fail st.pos "expected name, found end of input");
+  while (match peek st with Some c -> is_name_char c | None -> false) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* Decode a reference starting just after '&'; cursor ends after ';'. *)
+let read_reference st =
+  let start = st.pos in
+  let upto_semi () =
+    match String.index_from_opt st.input st.pos ';' with
+    | Some i ->
+        let s = String.sub st.input st.pos (i - st.pos) in
+        st.pos <- i + 1;
+        s
+    | None -> fail start "unterminated entity reference"
+  in
+  let body = upto_semi () in
+  match body with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+      let code =
+        if String.length body > 1 && body.[0] = '#' then
+          let digits = String.sub body 1 (String.length body - 1) in
+          let parse s = try Some (int_of_string s) with Failure _ -> None in
+          if String.length digits > 0 && (digits.[0] = 'x' || digits.[0] = 'X')
+          then parse ("0x" ^ String.sub digits 1 (String.length digits - 1))
+          else parse digits
+        else None
+      in
+      (match code with
+      | Some c when c >= 0 && c < 0x110000 ->
+          (* Encode as UTF-8. *)
+          let b = Buffer.create 4 in
+          if c < 0x80 then Buffer.add_char b (Char.chr c)
+          else if c < 0x800 then begin
+            Buffer.add_char b (Char.chr (0xC0 lor (c lsr 6)));
+            Buffer.add_char b (Char.chr (0x80 lor (c land 0x3F)))
+          end
+          else if c < 0x10000 then begin
+            Buffer.add_char b (Char.chr (0xE0 lor (c lsr 12)));
+            Buffer.add_char b (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+            Buffer.add_char b (Char.chr (0x80 lor (c land 0x3F)))
+          end
+          else begin
+            Buffer.add_char b (Char.chr (0xF0 lor (c lsr 18)));
+            Buffer.add_char b (Char.chr (0x80 lor ((c lsr 12) land 0x3F)));
+            Buffer.add_char b (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+            Buffer.add_char b (Char.chr (0x80 lor (c land 0x3F)))
+          end;
+          Buffer.contents b
+      | _ -> fail start (Printf.sprintf "unknown entity &%s;" body))
+
+let read_attribute_value st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) ->
+        advance st;
+        q
+    | Some c -> fail st.pos (Printf.sprintf "expected quote, found %C" c)
+    | None -> fail st.pos "expected quote, found end of input"
+  in
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st.pos "unterminated attribute value"
+    | Some c when c = quote -> advance st
+    | Some '&' ->
+        advance st;
+        Buffer.add_string b (read_reference st);
+        go ()
+    | Some '<' -> fail st.pos "'<' in attribute value"
+    | Some c ->
+        advance st;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let skip_until st pattern err =
+  match
+    (* Find [pattern] starting at st.pos. *)
+    let plen = String.length pattern in
+    let limit = String.length st.input - plen in
+    let rec search i =
+      if i > limit then None
+      else if String.sub st.input i plen = pattern then Some i
+      else search (i + 1)
+    in
+    search st.pos
+  with
+  | Some i -> st.pos <- i + String.length pattern
+  | None -> fail st.pos err
+
+let emit st ev = st.acc <- st.emit st.acc ev
+
+(* Parse attributes after a tag name; emits @name pseudo-elements. Returns
+   [true] if the element is self-closing. *)
+let rec parse_attributes st =
+  skip_spaces st;
+  match peek st with
+  | Some '>' ->
+      advance st;
+      false
+  | Some '/' ->
+      advance st;
+      expect st '>';
+      true
+  | Some c when is_name_start c ->
+      let name = read_name st in
+      skip_spaces st;
+      expect st '=';
+      skip_spaces st;
+      let value = read_attribute_value st in
+      emit st (Event.Open ("@" ^ name));
+      if String.length value > 0 then emit st (Event.Value value);
+      emit st (Event.Close ("@" ^ name));
+      parse_attributes st
+  | Some c -> fail st.pos (Printf.sprintf "unexpected %C in tag" c)
+  | None -> fail st.pos "unterminated tag"
+
+let parse_text st =
+  let b = Buffer.create 32 in
+  let rec go () =
+    match peek st with
+    | None | Some '<' -> ()
+    | Some '&' ->
+        advance st;
+        Buffer.add_string b (read_reference st);
+        go ()
+    | Some c ->
+        advance st;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let starts_with st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = prefix
+
+(* Parse one element; cursor is on '<' of its opening tag. *)
+let rec parse_element st =
+  expect st '<';
+  let tag = read_name st in
+  emit st (Event.Open tag);
+  let self_closing = parse_attributes st in
+  if self_closing then emit st (Event.Close tag)
+  else begin
+    parse_content st tag;
+    (* cursor is just after "</" *)
+    let close = read_name st in
+    if not (String.equal close tag) then
+      fail st.pos (Printf.sprintf "mismatched </%s>, expected </%s>" close tag);
+    skip_spaces st;
+    expect st '>';
+    emit st (Event.Close tag)
+  end
+
+(* Parse children of [tag] until its closing tag; leaves cursor after "</". *)
+and parse_content st tag =
+  match peek st with
+  | None -> fail st.pos (Printf.sprintf "unterminated <%s>" tag)
+  | Some '<' ->
+      if starts_with st "</" then begin
+        st.pos <- st.pos + 2
+      end
+      else if starts_with st "<!--" then begin
+        st.pos <- st.pos + 4;
+        skip_until st "-->" "unterminated comment";
+        parse_content st tag
+      end
+      else if starts_with st "<![CDATA[" then begin
+        st.pos <- st.pos + 9;
+        let start = st.pos in
+        skip_until st "]]>" "unterminated CDATA";
+        let v = String.sub st.input start (st.pos - 3 - start) in
+        if String.length v > 0 then emit st (Event.Value v);
+        parse_content st tag
+      end
+      else if starts_with st "<?" then begin
+        st.pos <- st.pos + 2;
+        skip_until st "?>" "unterminated processing instruction";
+        parse_content st tag
+      end
+      else begin
+        parse_element st;
+        parse_content st tag
+      end
+  | Some _ ->
+      (* Surrounding whitespace is presentation (indentation), not content:
+         emit the trimmed text, and drop whitespace-only runs entirely.
+         CDATA sections (handled above) preserve their content exactly. *)
+      let txt = parse_text st in
+      let trimmed = String.trim txt in
+      if String.length trimmed > 0 then emit st (Event.Value trimmed);
+      parse_content st tag
+
+let skip_prolog st =
+  let rec go () =
+    skip_spaces st;
+    if starts_with st "<?" then begin
+      st.pos <- st.pos + 2;
+      skip_until st "?>" "unterminated XML declaration";
+      go ()
+    end
+    else if starts_with st "<!--" then begin
+      st.pos <- st.pos + 4;
+      skip_until st "-->" "unterminated comment";
+      go ()
+    end
+    else if starts_with st "<!DOCTYPE" then
+      fail st.pos "DTDs are not supported"
+  in
+  go ()
+
+let run input emit_fn init =
+  let st = { input; pos = 0; acc = init; emit = emit_fn } in
+  skip_prolog st;
+  (match peek st with
+  | Some '<' -> parse_element st
+  | Some c -> fail st.pos (Printf.sprintf "expected element, found %C" c)
+  | None -> fail st.pos "empty document");
+  skip_spaces st;
+  (* Allow trailing comments. *)
+  let rec trailing () =
+    if starts_with st "<!--" then begin
+      st.pos <- st.pos + 4;
+      skip_until st "-->" "unterminated comment";
+      skip_spaces st;
+      trailing ()
+    end
+  in
+  trailing ();
+  if st.pos <> String.length st.input then fail st.pos "trailing content";
+  st.acc
+
+let fold s f init = run s f init
+
+let events_of_string s = List.rev (run s (fun acc ev -> ev :: acc) [])
+
+let dom_of_string s = Dom.of_events (events_of_string s)

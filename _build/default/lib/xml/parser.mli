@@ -1,0 +1,23 @@
+(** Event-based (SAX-style) XML parser.
+
+    Covers the fragment the system exchanges: elements, attributes
+    (surfaced as ['@'-tagged] child elements, in attribute order, before
+    other children), character data, CDATA sections, comments, processing
+    instructions and the XML declaration (both skipped), and the five
+    predefined entities plus decimal/hex character references. Namespaces
+    are kept verbatim in names. DTDs are not supported. *)
+
+exception Error of int * string
+(** [Error (offset, message)]: byte offset in the input where parsing
+    failed. *)
+
+val events_of_string : string -> Event.t list
+(** Parse a complete document into its event stream.
+    Raises {!Error} on malformed input. *)
+
+val dom_of_string : string -> Dom.t
+(** [dom_of_string s] is [Dom.of_events (events_of_string s)]. *)
+
+val fold : string -> ('a -> Event.t -> 'a) -> 'a -> 'a
+(** [fold s f init] runs [f] over each event without materializing the
+    event list — the streaming entry point. *)

@@ -1,0 +1,54 @@
+type t = {
+  serialized_bytes : int;
+  elements : int;
+  text_nodes : int;
+  text_bytes : int;
+  distinct_tags : int;
+  max_depth : int;
+  avg_fanout : float;
+}
+
+let compute doc =
+  let text_nodes = ref 0 in
+  let inner = ref 0 in
+  let edges = ref 0 in
+  let rec go = function
+    | Dom.Text _ -> incr text_nodes
+    | Dom.Element (_, kids) ->
+        let elt_kids =
+          List.fold_left
+            (fun n k -> match k with Dom.Element _ -> n + 1 | Dom.Text _ -> n)
+            0 kids
+        in
+        if elt_kids > 0 then begin
+          incr inner;
+          edges := !edges + elt_kids
+        end;
+        List.iter go kids
+  in
+  go doc;
+  {
+    serialized_bytes = String.length (Serializer.to_string doc);
+    elements = Dom.node_count doc;
+    text_nodes = !text_nodes;
+    text_bytes = Dom.text_bytes doc;
+    distinct_tags = List.length (Dom.distinct_tags doc);
+    max_depth = Dom.depth doc;
+    avg_fanout =
+      (if !inner = 0 then 0.0 else float_of_int !edges /. float_of_int !inner);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "bytes=%d elements=%d text_nodes=%d text_bytes=%d tags=%d depth=%d \
+     fanout=%.2f"
+    t.serialized_bytes t.elements t.text_nodes t.text_bytes t.distinct_tags
+    t.max_depth t.avg_fanout
+
+let header =
+  Printf.sprintf "%-12s %10s %9s %10s %6s %6s %7s" "dataset" "bytes"
+    "elements" "text_B" "tags" "depth" "fanout"
+
+let row ~name t =
+  Printf.sprintf "%-12s %10d %9d %10d %6d %6d %7.2f" name t.serialized_bytes
+    t.elements t.text_bytes t.distinct_tags t.max_depth t.avg_fanout

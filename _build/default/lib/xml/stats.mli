@@ -1,0 +1,22 @@
+(** Structural statistics of a document — the rows of the dataset table
+    (experiment E1) and the knobs the cost model depends on. *)
+
+type t = {
+  serialized_bytes : int;  (** size of the textual form *)
+  elements : int;  (** element count, attributes included *)
+  text_nodes : int;
+  text_bytes : int;
+  distinct_tags : int;
+  max_depth : int;
+  avg_fanout : float;  (** mean child-element count over non-leaf elements *)
+}
+
+val compute : Dom.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val header : string
+(** Column header matching {!row}. *)
+
+val row : name:string -> t -> string
+(** One aligned table row, for the benchmark reports. *)

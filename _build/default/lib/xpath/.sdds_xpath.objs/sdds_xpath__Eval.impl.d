@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Ast Hashtbl Int List Sdds_xml Set String

@@ -1,0 +1,1 @@
+lib/xpath/random_path.ml: Array Ast Eval List Sdds_util Sdds_xml String

@@ -1,0 +1,1 @@
+lib/xpath/random_path.mli: Ast Sdds_util Sdds_xml

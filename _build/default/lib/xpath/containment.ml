@@ -1,0 +1,106 @@
+(* Tree patterns: a rooted tree whose nodes carry a node test and the value
+   comparisons anchored there, whose edges are child or descendant, and
+   with one distinguished output node (the spine's end). *)
+
+type pnode = {
+  id : int;
+  label : label;
+  comparisons : (Ast.comparison * string) list;
+  edges : (Ast.axis * pnode) list;
+  output : bool;
+}
+
+and label = Root | Test of Ast.test
+
+let build path =
+  let next_id = ref 0 in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  (* Build the chain for [steps]. The last node of the chain is marked as
+     output and/or receives an extra comparison, according to [at_end]. *)
+  let rec build_chain steps ~at_end =
+    match steps with
+    | [] -> invalid_arg "Containment: empty chain"
+    | { Ast.axis; test; preds } :: rest ->
+        let comparisons, branches = split_preds preds in
+        let end_comparisons, output, deeper =
+          match rest with
+          | [] -> (
+              match at_end with
+              | `Output -> ([], true, [])
+              | `Comparison c -> ([ c ], false, [])
+              | `Nothing -> ([], false, []))
+          | _ :: _ -> ([], false, [ build_chain rest ~at_end ])
+        in
+        ( axis,
+          {
+            id = fresh ();
+            label = Test test;
+            comparisons = end_comparisons @ comparisons;
+            edges = branches @ deeper;
+            output;
+          } )
+
+  and split_preds preds =
+    List.fold_left
+      (fun (comps, branches) { Ast.ppath; target } ->
+        match (ppath, target) with
+        | [], Ast.Value (op, lit) -> ((op, lit) :: comps, branches)
+        | [], Ast.Exists -> (comps, branches) (* not produced by the parser *)
+        | _ :: _, Ast.Exists ->
+            (comps, build_chain ppath ~at_end:`Nothing :: branches)
+        | _ :: _, Ast.Value (op, lit) ->
+            (comps, build_chain ppath ~at_end:(`Comparison (op, lit)) :: branches))
+      ([], []) preds
+  in
+  let edge = build_chain path.Ast.steps ~at_end:`Output in
+  { id = fresh (); label = Root; comparisons = []; edges = [ edge ]; output = false }
+
+(* All strict descendants of [p] in the pattern tree. *)
+let rec descendants p acc =
+  List.fold_left (fun acc (_, c) -> descendants c (c :: acc)) acc p.edges
+
+let label_ok q p =
+  match (q.label, p.label) with
+  | Root, Root -> true
+  | Root, Test _ | Test _, Root -> false
+  | Test Ast.Any, Test _ -> true
+  | Test (Ast.Name a), Test (Ast.Name b) -> String.equal a b
+  | Test (Ast.Name _), Test Ast.Any -> false
+
+let comparisons_ok q p =
+  List.for_all (fun c -> List.mem c p.comparisons) q.comparisons
+
+(* Homomorphism search with memoization on (q.id, p.id). *)
+let hom qroot proot =
+  let memo : (int * int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let rec map_node q p =
+    match Hashtbl.find_opt memo (q.id, p.id) with
+    | Some r -> r
+    | None ->
+        let ok =
+          label_ok q p
+          && comparisons_ok q p
+          && ((not q.output) || p.output)
+          && List.for_all
+               (fun (axis, q') ->
+                 match axis with
+                 | Ast.Child ->
+                     List.exists
+                       (fun (paxis, p') -> paxis = Ast.Child && map_node q' p')
+                       p.edges
+                 | Ast.Descendant ->
+                     List.exists (fun p' -> map_node q' p') (descendants p []))
+               q.edges
+        in
+        Hashtbl.replace memo (q.id, p.id) ok;
+        ok
+  in
+  map_node qroot proot
+
+let contains q p = hom (build q) (build p)
+
+let equivalent a b = contains a b && contains b a

@@ -1,0 +1,23 @@
+(** Containment test for XP{[],*,//} tree patterns.
+
+    [contains q p] answers "is every node selected by [p] also selected by
+    [q], on every document?" — the containment problem of Miklau & Suciu
+    (reference [7] of the paper), which the rule optimizer uses to detect
+    subsumed access rules.
+
+    The implementation is the classical {e homomorphism} test: search for a
+    mapping from [q]'s pattern tree to [p]'s that preserves labels (a
+    wildcard maps anywhere, a named test only to the same name), maps child
+    edges to child edges and descendant edges to any non-empty path, and
+    sends [q]'s output node to [p]'s. Homomorphism existence is {e sound}
+    (it implies containment) but incomplete for the full fragment — exactly
+    the trade the optimizer wants, since it must never drop a
+    non-redundant rule. Value-comparison predicates are treated as opaque
+    labels: they only map onto an identical comparison. *)
+
+val contains : Ast.t -> Ast.t -> bool
+(** [contains q p]: sound test that [p]'s selection is included in [q]'s
+    on every document. Reflexive; transitive. *)
+
+val equivalent : Ast.t -> Ast.t -> bool
+(** Mutual containment. *)

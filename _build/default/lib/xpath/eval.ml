@@ -1,0 +1,92 @@
+module Dom = Sdds_xml.Dom
+module Int_set = Set.Make (Int)
+
+type node = {
+  id : int;
+  tag : string;
+  children : node list;
+  values : string list;
+}
+
+let index doc =
+  let counter = ref 0 in
+  let rec go dom =
+    match dom with
+    | Dom.Text _ -> invalid_arg "Eval.index: text node at element position"
+    | Dom.Element (tag, kids) ->
+        let id = !counter in
+        incr counter;
+        let children =
+          List.filter_map
+            (function Dom.Element _ as e -> Some (go e) | Dom.Text _ -> None)
+            kids
+        in
+        let values =
+          List.filter_map
+            (function Dom.Text v -> Some v | Dom.Element _ -> None)
+            kids
+        in
+        { id; tag; children; values }
+  in
+  go doc
+
+let test_matches test node =
+  match test with
+  | Ast.Any -> true
+  | Ast.Name n -> String.equal n node.tag
+
+let rec descendants node acc =
+  List.fold_left (fun acc c -> descendants c (c :: acc)) acc node.children
+
+(* All strict descendants, document order not guaranteed (sets are used). *)
+let strict_descendants node = descendants node []
+
+let rec eval_steps steps ctx =
+  match steps with
+  | [] -> ctx
+  | { Ast.axis; test; preds } :: rest ->
+      let next =
+        List.concat_map
+          (fun n ->
+            let candidates =
+              match axis with
+              | Ast.Child -> n.children
+              | Ast.Descendant -> strict_descendants n
+            in
+            List.filter
+              (fun c -> test_matches test c && List.for_all (holds c) preds)
+              candidates)
+          ctx
+      in
+      (* Deduplicate to avoid exponential blowup under //. *)
+      let seen = Hashtbl.create 16 in
+      let next =
+        List.filter
+          (fun n ->
+            if Hashtbl.mem seen n.id then false
+            else begin
+              Hashtbl.add seen n.id ();
+              true
+            end)
+          next
+      in
+      eval_steps rest next
+
+and holds node { Ast.ppath; target } =
+  let targets = eval_steps ppath [ node ] in
+  match target with
+  | Ast.Exists -> targets <> []
+  | Ast.Value (op, lit) ->
+      List.exists
+        (fun t -> List.exists (fun v -> Ast.compare_values op v lit) t.values)
+        targets
+
+let holds_at pred node = holds node pred
+
+let select path root =
+  (* The virtual root has the document element as its only child. *)
+  let virtual_root = { id = -1; tag = "#root"; children = [ root ]; values = [] } in
+  let result = eval_steps path.Ast.steps [ virtual_root ] in
+  List.sort_uniq compare (List.map (fun n -> n.id) result)
+
+let select_doc path doc = select path (index doc)

@@ -1,0 +1,29 @@
+(** Declarative XPath evaluation over a DOM — the reference oracle.
+
+    The streaming engine in [Sdds_core] must agree with this module on
+    every document × expression pair; property tests enforce it. Elements
+    are identified by their preorder index (the order of their [Open]
+    events, root = 0), the same numbering the streaming engine assigns. *)
+
+type node = {
+  id : int;  (** preorder index of this element *)
+  tag : string;
+  children : node list;  (** element children, in document order *)
+  values : string list;  (** immediate text children, in document order *)
+}
+
+val index : Sdds_xml.Dom.t -> node
+(** Annotate a document with preorder indices.
+    Raises [Invalid_argument] if the root is a text node. *)
+
+val select : Ast.t -> node -> int list
+(** Sorted preorder indices of the elements matched by an absolute path. *)
+
+val select_doc : Ast.t -> Sdds_xml.Dom.t -> int list
+(** [select_doc p d] is [select p (index d)]. *)
+
+val holds_at : Ast.pred -> node -> bool
+(** Whether a predicate holds at a given node (used for unit tests of
+    predicate semantics). *)
+
+module Int_set : Set.S with type elt = int

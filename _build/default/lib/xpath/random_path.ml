@@ -1,0 +1,96 @@
+module Rng = Sdds_util.Rng
+module Dom = Sdds_xml.Dom
+
+type config = {
+  max_steps : int;
+  wildcard_weight : int;
+  descendant_weight : int;
+  predicate_probability : float;
+  max_pred_steps : int;
+  nested_predicate_probability : float;
+  value_predicate_probability : float;
+}
+
+let default =
+  {
+    max_steps = 4;
+    wildcard_weight = 1;
+    descendant_weight = 2;
+    predicate_probability = 0.3;
+    max_pred_steps = 2;
+    nested_predicate_probability = 0.15;
+    value_predicate_probability = 0.4;
+  }
+
+let random_axis rng cfg =
+  Rng.pick_weighted rng
+    [| (4, Ast.Child); (max 0 cfg.descendant_weight, Ast.Descendant) |]
+
+let random_test rng cfg tags =
+  Rng.pick_weighted rng
+    [| (4, `Named); (max 0 cfg.wildcard_weight, `Wild) |]
+  |> function
+  | `Wild -> Ast.Any
+  | `Named -> Ast.Name (Rng.pick rng tags)
+
+let random_comparison rng =
+  Rng.pick rng [| Ast.Eq; Ast.Neq; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge |]
+
+let rec random_steps rng cfg ~tags ~values ~n ~pred_depth =
+  List.init n (fun _ ->
+      let preds =
+        if
+          pred_depth > 0
+          && Rng.float rng 1.0
+             < (if pred_depth = 2 then cfg.predicate_probability
+                else cfg.nested_predicate_probability)
+        then [ random_pred rng cfg ~tags ~values ~pred_depth:(pred_depth - 1) ]
+        else []
+      in
+      { Ast.axis = random_axis rng cfg; test = random_test rng cfg tags; preds })
+
+and random_pred rng cfg ~tags ~values ~pred_depth =
+  let n = 1 + Rng.int rng cfg.max_pred_steps in
+  let ppath = random_steps rng cfg ~tags ~values ~n ~pred_depth in
+  let target =
+    if Array.length values > 0 && Rng.float rng 1.0 < cfg.value_predicate_probability
+    then Ast.Value (random_comparison rng, Rng.pick rng values)
+    else Ast.Exists
+  in
+  { Ast.ppath; target }
+
+let generate rng cfg ~tags ~values =
+  if Array.length tags = 0 then invalid_arg "Random_path.generate: no tags";
+  if cfg.max_steps < 1 then invalid_arg "Random_path.generate: max_steps < 1";
+  let n = 1 + Rng.int rng cfg.max_steps in
+  let steps = random_steps rng cfg ~tags ~values ~n ~pred_depth:2 in
+  { Ast.steps }
+
+let harvest_values doc ~limit =
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec go = function
+    | Dom.Text v ->
+        if !count < limit && String.length v < 24 then begin
+          acc := v :: !acc;
+          incr count
+        end
+    | Dom.Element (_, kids) -> List.iter go kids
+  in
+  go doc;
+  Array.of_list !acc
+
+let generate_matching rng cfg ~doc ~tries =
+  let tags = Array.of_list (Dom.distinct_tags doc) in
+  let values = harvest_values doc ~limit:64 in
+  let indexed = Eval.index doc in
+  let rec go remaining =
+    if remaining = 0 then None
+    else begin
+      let path = generate rng cfg ~tags ~values in
+      match Eval.select path indexed with
+      | [] -> go (remaining - 1)
+      | ids -> Some (path, ids)
+    end
+  in
+  go tries

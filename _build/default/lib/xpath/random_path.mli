@@ -1,0 +1,32 @@
+(** Random XP{[],*,//} expressions for property tests and rule workloads. *)
+
+type config = {
+  max_steps : int;  (** navigational spine length, >= 1 *)
+  wildcard_weight : int;  (** relative weight of [*] vs a named test *)
+  descendant_weight : int;  (** relative weight of [//] vs [/] *)
+  predicate_probability : float;  (** chance each step carries a predicate *)
+  max_pred_steps : int;  (** predicate path length, >= 1 *)
+  nested_predicate_probability : float;
+      (** chance a predicate step itself carries a (depth-1) predicate *)
+  value_predicate_probability : float;
+      (** chance a predicate compares a value instead of testing existence *)
+}
+
+val default : config
+
+val generate :
+  Sdds_util.Rng.t -> config -> tags:string array -> values:string array -> Ast.t
+(** Draw an expression whose node tests are taken from [tags] and whose
+    comparison literals from [values]. Raises [Invalid_argument] if [tags]
+    is empty. *)
+
+val generate_matching :
+  Sdds_util.Rng.t ->
+  config ->
+  doc:Sdds_xml.Dom.t ->
+  tries:int ->
+  (Ast.t * int list) option
+(** Like {!generate} (with tags and literal values harvested from [doc]),
+    retried up to [tries] times until the expression selects at least one
+    node of [doc]; returns the expression and its selection. Used to build
+    rule sets with non-trivial selectivity. *)

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Lazy List Sdds_baseline Sdds_core Sdds_crypto Sdds_util Sdds_xml

@@ -1,0 +1,1 @@
+test/test_containment.ml: Alcotest Int Int64 List Printf QCheck2 QCheck_alcotest Sdds_core Sdds_util Sdds_xml Sdds_xpath Set

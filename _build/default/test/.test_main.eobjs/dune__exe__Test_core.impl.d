@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Int64 List Printf QCheck2 QCheck_alcotest Sdds_core Sdds_util Sdds_xml Sdds_xpath String

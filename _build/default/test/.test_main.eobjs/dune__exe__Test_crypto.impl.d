@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Fun Lazy List Printf QCheck2 QCheck_alcotest Sdds_crypto Sdds_util String

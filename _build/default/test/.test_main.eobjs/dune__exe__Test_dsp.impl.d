@@ -1,0 +1,1 @@
+test/test_dsp.ml: Alcotest Array Bytes Filename Fun Hashtbl Lazy List Option Printf Sdds_core Sdds_crypto Sdds_dsp Sdds_proxy Sdds_soe Sdds_util Sdds_xml Sdds_xpath String Sys

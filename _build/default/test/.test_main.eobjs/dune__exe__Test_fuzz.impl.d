@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bytes Int64 Lazy List Printexc QCheck2 QCheck_alcotest Sdds_core Sdds_crypto Sdds_index Sdds_soe Sdds_util Sdds_xml Sdds_xpath String

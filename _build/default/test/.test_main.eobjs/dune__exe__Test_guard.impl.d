@@ -1,0 +1,1 @@
+test/test_guard.ml: Alcotest Int64 List QCheck2 QCheck_alcotest Sdds_core Sdds_crypto Sdds_soe Sdds_util Sdds_xml Sdds_xpath

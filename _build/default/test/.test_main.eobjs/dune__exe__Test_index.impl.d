@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Buffer Int64 List Option QCheck2 QCheck_alcotest Sdds_core Sdds_index Sdds_util Sdds_xml Sdds_xpath String

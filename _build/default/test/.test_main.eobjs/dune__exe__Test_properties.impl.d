@@ -1,0 +1,1 @@
+test/test_properties.ml: Int Int64 List QCheck2 QCheck_alcotest Sdds_core Sdds_util Sdds_xml Sdds_xpath Set

@@ -1,0 +1,1 @@
+test/test_remote_card.ml: Alcotest Bytes Lazy Sdds_core Sdds_crypto Sdds_dsp Sdds_soe Sdds_util Sdds_xml Sdds_xpath String

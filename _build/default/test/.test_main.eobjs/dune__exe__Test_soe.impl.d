@@ -1,0 +1,1 @@
+test/test_soe.ml: Alcotest Bytes Char Lazy List Sdds_core Sdds_crypto Sdds_soe String

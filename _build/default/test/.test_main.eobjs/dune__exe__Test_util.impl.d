@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Bytes Fun List QCheck2 QCheck_alcotest Sdds_util String

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Int64 List Printf QCheck2 QCheck_alcotest Sdds_util Sdds_xml String

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Int64 List Option QCheck2 QCheck_alcotest Sdds_util Sdds_xml Sdds_xpath

@@ -1,0 +1,100 @@
+module Static_enc = Sdds_baseline.Static_enc
+module Server_side = Sdds_baseline.Server_side
+module Rule = Sdds_core.Rule
+module Oracle = Sdds_core.Oracle
+module Dom = Sdds_xml.Dom
+module Generator = Sdds_xml.Generator
+module Drbg = Sdds_crypto.Drbg
+module Rng = Sdds_util.Rng
+
+let dom = Alcotest.testable Dom.pp Dom.equal
+let dom_opt = Alcotest.(option dom)
+
+let subjects = [ "alice"; "bob"; "carol" ]
+
+let rules_v1 =
+  [
+    Rule.allow ~subject:"alice" "//patient";
+    Rule.deny ~subject:"alice" "//ssn";
+    Rule.allow ~subject:"bob" "//admission";
+    Rule.allow ~subject:"carol" "//department";
+    Rule.deny ~subject:"carol" "//folder";
+  ]
+
+let doc = lazy (Generator.hospital (Rng.create 17L) ~patients:8)
+
+let built =
+  lazy
+    (let drbg = Drbg.create ~seed:"static-enc" in
+     (drbg, Static_enc.build drbg ~subjects ~rules:rules_v1 (Lazy.force doc)))
+
+let test_static_views_match_oracle () =
+  let _, t = Lazy.force built in
+  List.iter
+    (fun s ->
+      Alcotest.check dom_opt
+        (s ^ " static view = oracle")
+        (Oracle.authorized_view ~rules:(Rule.for_subject s rules_v1)
+           (Lazy.force doc))
+        (Static_enc.read t ~subject:s))
+    subjects
+
+let test_static_key_structure () =
+  let _, t = Lazy.force built in
+  Alcotest.(check bool) "several classes" true (Static_enc.class_count t >= 2);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " holds keys") true (Static_enc.keys_held t s >= 1))
+    [ "alice"; "bob" ];
+  Alcotest.(check bool) "ciphertext at least doc-sized" true
+    (Static_enc.ciphertext_bytes t > 0)
+
+let test_static_update_costs () =
+  let drbg, t = Lazy.force built in
+  (* Grant bob the folders: every folder-subtree element changes from
+     class {alice} to {alice, bob} — a fresh class whose key must reach
+     both readers, plus re-encryption of all the moved elements. *)
+  let rules_v2 = Rule.allow ~subject:"bob" "//folder" :: rules_v1 in
+  let t2, cost = Static_enc.update drbg t ~rules:rules_v2 in
+  Alcotest.(check bool) "re-encryption happened" true
+    (cost.Static_enc.reencrypted_bytes > 0);
+  Alcotest.(check bool) "keys redistributed" true
+    (cost.Static_enc.keys_redistributed > 0);
+  (* And the new views still match the oracle under the new policy. *)
+  List.iter
+    (fun s ->
+      Alcotest.check dom_opt
+        (s ^ " post-update view")
+        (Oracle.authorized_view ~rules:(Rule.for_subject s rules_v2)
+           (Lazy.force doc))
+        (Static_enc.read t2 ~subject:s))
+    subjects
+
+let test_static_noop_update_is_free () =
+  let drbg, t = Lazy.force built in
+  let _, cost = Static_enc.update drbg t ~rules:rules_v1 in
+  Alcotest.(check int) "no re-encryption" 0 cost.Static_enc.reencrypted_bytes;
+  Alcotest.(check int) "no new keys" 0 cost.Static_enc.fresh_keys
+
+let test_server_side () =
+  let d = Lazy.force doc in
+  let r =
+    Server_side.evaluate ~rules:(Rule.for_subject "alice" rules_v1) d
+  in
+  Alcotest.check dom_opt "same view as oracle"
+    (Oracle.authorized_view ~rules:(Rule.for_subject "alice" rules_v1) d)
+    r.Server_side.view;
+  Alcotest.(check bool) "bytes measured" true (r.Server_side.view_bytes > 0);
+  let empty = Server_side.evaluate ~rules:[] d in
+  Alcotest.(check int) "empty view costs nothing" 0 empty.Server_side.view_bytes
+
+let suite =
+  [
+    Alcotest.test_case "static views = oracle" `Quick
+      test_static_views_match_oracle;
+    Alcotest.test_case "static key structure" `Quick test_static_key_structure;
+    Alcotest.test_case "static update costs" `Quick test_static_update_costs;
+    Alcotest.test_case "static noop update free" `Quick
+      test_static_noop_update_is_free;
+    Alcotest.test_case "server-side baseline" `Quick test_server_side;
+  ]

@@ -1,0 +1,216 @@
+module Ast = Sdds_xpath.Ast
+module Xp = Sdds_xpath.Parser
+module Eval = Sdds_xpath.Eval
+module Containment = Sdds_xpath.Containment
+module Random_path = Sdds_xpath.Random_path
+module Rule = Sdds_core.Rule
+module Rule_opt = Sdds_core.Rule_opt
+module Oracle = Sdds_core.Oracle
+module Sdds = Sdds_core.Sdds
+module Dom = Sdds_xml.Dom
+module Generator = Sdds_xml.Generator
+module Rng = Sdds_util.Rng
+
+let contains q p = Containment.contains (Xp.parse q) (Xp.parse p)
+
+(* ------------------------------------------------------------------ *)
+(* Containment: positive cases (must be detected)                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_contains_basic () =
+  let cases =
+    [
+      ("//a", "/a");
+      ("//a", "//a");
+      ("//a", "//b/a");
+      ("//a", "/b//c/a");
+      ("/a/b", "/a/b");
+      ("//a//b", "//a/b");
+      ("//a//b", "//a/c/b");
+      ("//b", "//a[c]/b");
+      ("//a/b", "//a[c]/b");
+      ("//a[c]", "//a[c][d]");
+      ("//a[c]/b", "//a[c/d]/b");
+      ("//*", "//a");
+      ("//*/b", "//a/b");
+      ("//a", "//a[x>\"3\"]");
+      ("//a[x>\"3\"]", "//a[x>\"3\"][y]");
+      ("//a[.//c]", "//a[b/c]");
+      ("//a[.//c]", "//a[c]");
+    ]
+  in
+  List.iter
+    (fun (q, p) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s contains %s" q p)
+        true (contains q p))
+    cases
+
+let test_contains_negative () =
+  let cases =
+    [
+      ("/a", "//a");
+      ("//a/b", "//a//b");
+      ("//a", "//b");
+      ("//a[c]", "//a");
+      ("//a[c]/b", "//a/b");
+      ("//a", "//*");
+      ("//a[x>\"3\"]", "//a[x>\"4\"]") (* sound = syntactic on comparisons *);
+      ("//a[x=\"3\"]", "//a");
+      ("//a/b", "//b/a");
+      ("//a[b/c]", "//a[.//c]");
+      ("//a/a", "//a");
+    ]
+  in
+  List.iter
+    (fun (q, p) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s does NOT contain %s" q p)
+        false (contains q p))
+    cases
+
+let test_equivalent () =
+  Alcotest.(check bool) "same" true
+    (Containment.equivalent (Xp.parse "//a[b][c]") (Xp.parse "//a[c][b]"));
+  Alcotest.(check bool) "different" false
+    (Containment.equivalent (Xp.parse "//a") (Xp.parse "/a"))
+
+(* Soundness property: whenever [contains q p] holds, the node sets agree
+   on random documents. *)
+let qcheck_containment_sound =
+  QCheck2.Test.make ~name:"containment is sound on random docs" ~count:400
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let tags = [| "a"; "b"; "c"; "d" |] in
+      let values = [| "1"; "2" |] in
+      let cfg =
+        { Random_path.default with max_steps = 3; predicate_probability = 0.4 }
+      in
+      let q = Random_path.generate rng cfg ~tags ~values in
+      let p = Random_path.generate rng cfg ~tags ~values in
+      if not (Containment.contains q p) then true
+      else begin
+        (* p's selection must be a subset of q's on several random docs. *)
+        List.for_all
+          (fun _ ->
+            let doc =
+              Generator.random_tree rng ~tags ~max_depth:5 ~max_children:3
+                ~text_probability:0.3
+            in
+            let module S = Set.Make (Int) in
+            let sel path = S.of_list (Eval.select_doc path doc) in
+            S.subset (sel p) (sel q))
+          [ (); (); () ]
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Rule simplification                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let allow p = Rule.allow ~subject:"u" p
+let deny p = Rule.deny ~subject:"u" p
+
+let test_simplify_duplicates () =
+  let rules = [ allow "//a"; allow "//a"; deny "//b"; deny "//b" ] in
+  Alcotest.(check int) "dedup" 2 (List.length (Rule_opt.simplify rules))
+
+let test_simplify_subsumed_same_sign () =
+  (* Node-set containment: //a/b selects a subset of //b, so the narrower
+     deny is redundant. (Note: deny //a/b would NOT be redundant under
+     deny //a — different node sets; a direct allow at b could flip it.) *)
+  let rules = [ deny "//b"; deny "//a/b"; allow "//c" ] in
+  let s = Rule_opt.simplify rules in
+  Alcotest.(check int) "kept" 2 (List.length s);
+  Alcotest.(check bool) "broad deny kept" true
+    (List.exists (fun r -> Rule.equal r (deny "//b")) s);
+  (* The propagation case must NOT be simplified. *)
+  Alcotest.(check int) "propagation is not containment" 2
+    (List.length (Rule_opt.simplify [ deny "//a"; deny "//a/b" ]))
+
+let test_simplify_allow_under_deny () =
+  (* An allow whose targets are all directly denied can never win. *)
+  let rules = [ deny "//b"; allow "//a/b" ] in
+  Alcotest.(check int) "allow dropped" 1
+    (List.length (Rule_opt.simplify rules));
+  (* But an allow BROADER than the deny must survive (it wins outside). *)
+  let rules2 = [ deny "//a/b"; allow "//b" ] in
+  Alcotest.(check int) "broad allow kept" 2
+    (List.length (Rule_opt.simplify rules2))
+
+let test_simplify_subsumed_by_later_rule () =
+  (* The subsumer appears after the redundant rule. *)
+  let rules = [ allow "//a/b"; allow "//b" ] in
+  let s = Rule_opt.simplify rules in
+  Alcotest.(check int) "kept one" 1 (List.length s);
+  Alcotest.(check bool) "the broad one" true
+    (List.exists (fun r -> Rule.equal r (allow "//b")) s)
+
+let test_simplify_cross_subject_untouched () =
+  let rules = [ Rule.allow ~subject:"u" "//a"; Rule.allow ~subject:"v" "//a/b" ] in
+  Alcotest.(check int) "different subjects do not interact" 2
+    (List.length (Rule_opt.simplify rules))
+
+let test_redundant_count () =
+  Alcotest.(check int) "count" 2
+    (Rule_opt.redundant_count
+       [ deny "//b"; deny "//a/b"; allow "//c/b"; allow "//z" ])
+
+(* The flagship property: simplification never changes the view. *)
+let qcheck_simplify_preserves_views =
+  QCheck2.Test.make ~name:"simplify preserves authorized views" ~count:300
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let tags = [| "a"; "b"; "c"; "d" |] in
+      let values = [| "1"; "2" |] in
+      let cfg =
+        { Random_path.default with max_steps = 3; predicate_probability = 0.4 }
+      in
+      let rules =
+        List.init
+          (2 + Rng.int rng 6)
+          (fun _ ->
+            {
+              Rule.sign = (if Rng.bool rng then Rule.Allow else Rule.Deny);
+              subject = "u";
+              path = Random_path.generate rng cfg ~tags ~values;
+            })
+      in
+      let simplified = Rule_opt.simplify rules in
+      let doc =
+        Generator.random_tree rng ~tags ~max_depth:5 ~max_children:4
+          ~text_probability:0.25
+      in
+      let view rs = Oracle.authorized_view ~rules:rs doc in
+      let equal_view a b =
+        match (a, b) with
+        | None, None -> true
+        | Some x, Some y -> Dom.equal x y
+        | None, Some _ | Some _, None -> false
+      in
+      List.length simplified <= List.length rules
+      && equal_view (view rules) (view simplified)
+      (* and through the engine too *)
+      && equal_view
+           (Sdds.authorized_view ~rules doc)
+           (Sdds.authorized_view ~rules:simplified doc))
+
+let suite =
+  [
+    Alcotest.test_case "contains basic" `Quick test_contains_basic;
+    Alcotest.test_case "contains negative" `Quick test_contains_negative;
+    Alcotest.test_case "equivalent" `Quick test_equivalent;
+    QCheck_alcotest.to_alcotest qcheck_containment_sound;
+    Alcotest.test_case "simplify duplicates" `Quick test_simplify_duplicates;
+    Alcotest.test_case "simplify same-sign" `Quick
+      test_simplify_subsumed_same_sign;
+    Alcotest.test_case "simplify allow-under-deny" `Quick
+      test_simplify_allow_under_deny;
+    Alcotest.test_case "simplify later subsumer" `Quick
+      test_simplify_subsumed_by_later_rule;
+    Alcotest.test_case "simplify cross-subject" `Quick
+      test_simplify_cross_subject_untouched;
+    Alcotest.test_case "redundant count" `Quick test_redundant_count;
+    QCheck_alcotest.to_alcotest qcheck_simplify_preserves_views;
+  ]

@@ -1,0 +1,587 @@
+module Cond = Sdds_core.Cond
+module Rule = Sdds_core.Rule
+module Compile = Sdds_core.Compile
+module Engine = Sdds_core.Engine
+module Oracle = Sdds_core.Oracle
+module Output = Sdds_core.Output
+module Reassembler = Sdds_core.Reassembler
+module Sdds = Sdds_core.Sdds
+module Dom = Sdds_xml.Dom
+module Event = Sdds_xml.Event
+module Xml_parser = Sdds_xml.Parser
+module Generator = Sdds_xml.Generator
+module Xp = Sdds_xpath.Parser
+module Random_path = Sdds_xpath.Random_path
+module Rng = Sdds_util.Rng
+
+let dom = Alcotest.testable Dom.pp Dom.equal
+let dom_opt = Alcotest.(option dom)
+
+(* ------------------------------------------------------------------ *)
+(* Cond                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cond_simplify () =
+  Alcotest.(check bool) "and true" true (Cond.conj [ Cond.tt; Cond.tt ] = Cond.tt);
+  Alcotest.(check bool) "and false" true
+    (Cond.conj [ Cond.var 1; Cond.ff ] = Cond.ff);
+  Alcotest.(check bool) "or true" true
+    (Cond.disj [ Cond.var 1; Cond.tt ] = Cond.tt);
+  Alcotest.(check bool) "or empty" true (Cond.disj [] = Cond.ff);
+  Alcotest.(check bool) "and single" true
+    (Cond.conj [ Cond.var 3; Cond.tt ] = Cond.var 3);
+  Alcotest.(check bool) "dedup" true
+    (Cond.conj [ Cond.var 1; Cond.var 1 ] = Cond.var 1);
+  (* Nested flattening *)
+  let e = Cond.conj [ Cond.var 1; Cond.conj [ Cond.var 2; Cond.var 3 ] ] in
+  Alcotest.(check (list int)) "flattened vars" [ 1; 2; 3 ] (Cond.vars e)
+
+let test_cond_subst_eval () =
+  let e = Cond.disj [ Cond.conj [ Cond.var 1; Cond.var 2 ]; Cond.var 3 ] in
+  let partial = Cond.subst (fun v -> if v = 3 then Some false else None) e in
+  Alcotest.(check (list int)) "remaining vars" [ 1; 2 ] (Cond.vars partial);
+  Alcotest.(check bool) "eval" true (Cond.eval (fun _ -> true) partial);
+  Alcotest.(check bool) "eval f" false
+    (Cond.eval (fun v -> v = 1) partial);
+  Alcotest.(check bool) "to_bool" true
+    (Cond.to_bool (Cond.subst (fun _ -> Some true) e) = Some true)
+
+(* ------------------------------------------------------------------ *)
+(* Rule                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rule_parse () =
+  let r = Rule.parse "+, alice, //patient/name" in
+  Alcotest.(check bool) "sign" true (r.Rule.sign = Rule.Allow);
+  Alcotest.(check string) "subject" "alice" r.Rule.subject;
+  Alcotest.(check bool) "roundtrip" true
+    (Rule.equal r (Rule.parse (Rule.to_string r)));
+  let d = Rule.parse "-, bob, //ssn" in
+  Alcotest.(check bool) "deny" true (d.Rule.sign = Rule.Deny)
+
+let test_rule_parse_errors () =
+  let expect s =
+    match Rule.parse s with
+    | exception Invalid_argument _ -> ()
+    | exception Sdds_xpath.Parser.Error _ -> ()
+    | _ -> Alcotest.fail ("expected failure on " ^ s)
+  in
+  expect "";
+  expect "+";
+  expect "+, alice";
+  expect "*, alice, //a";
+  expect "+, , //a";
+  expect "+, alice, not-a-path"
+
+let test_rule_for_subject () =
+  let rules =
+    [ Rule.allow ~subject:"alice" "//a";
+      Rule.deny ~subject:"bob" "//b";
+      Rule.allow ~subject:"alice" "//c" ]
+  in
+  Alcotest.(check int) "alice rules" 2
+    (List.length (Rule.for_subject "alice" rules));
+  Alcotest.(check int) "carol rules" 0
+    (List.length (Rule.for_subject "carol" rules))
+
+(* ------------------------------------------------------------------ *)
+(* Oracle semantics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let doc1 = Xml_parser.dom_of_string "<a><b><c>1</c><d>x</d></b><b><d>y</d></b></a>"
+(* ids: a=0 b=1 c=2 d=3 b=4 d=5 *)
+
+let allow p = Rule.allow ~subject:"u" p
+let deny p = Rule.deny ~subject:"u" p
+
+let test_oracle_default_deny () =
+  Alcotest.(check (list int)) "no rules" [] (Oracle.allowed_ids ~rules:[] doc1);
+  Alcotest.check dom_opt "empty view" None
+    (Oracle.authorized_view ~rules:[] doc1)
+
+let test_oracle_propagation () =
+  (* +//b propagates to all of b's subtrees. *)
+  Alcotest.(check (list int)) "allow b" [ 1; 2; 3; 4; 5 ]
+    (Oracle.allowed_ids ~rules:[ allow "//b" ] doc1)
+
+let test_oracle_figure2_rule () =
+  (* The paper's Figure 2 rule: +//b[c]/d applies to d under the first b
+     only. *)
+  Alcotest.(check (list int)) "b[c]/d" [ 3 ]
+    (Oracle.allowed_ids ~rules:[ allow "//b[c]/d" ] doc1);
+  Alcotest.check dom_opt "structural ancestors kept, text pruned"
+    (Some
+       (Dom.element "a"
+          [ Dom.element "b" [ Dom.element "d" [ Dom.text "x" ] ] ]))
+    (Oracle.authorized_view ~rules:[ allow "//b[c]/d" ] doc1)
+
+let test_oracle_denial_precedence () =
+  (* Both signs apply directly at node 3: denial wins. *)
+  Alcotest.(check (list int)) "deny beats allow" [ 5 ]
+    (Oracle.allowed_ids
+       ~rules:[ allow "//d"; deny "//b[c]/d" ]
+       doc1)
+
+let test_oracle_most_specific () =
+  (* -//a then +/a/b: the deeper rule overrides the propagated denial. *)
+  Alcotest.(check (list int)) "specific allow under deny"
+    [ 1; 2; 3 ]
+    (Oracle.allowed_ids ~rules:[ deny "//a"; allow "/a/b[c]" ] doc1);
+  (* Deny deeper under an allow. *)
+  Alcotest.(check (list int)) "specific deny under allow"
+    [ 0; 1; 3; 4; 5 ]
+    (Oracle.allowed_ids ~rules:[ allow "//a"; deny "//c" ] doc1)
+
+let test_oracle_default_allow () =
+  Alcotest.(check (list int)) "open world"
+    [ 0; 1; 2; 3; 4; 5 ]
+    (Oracle.allowed_ids ~default:Rule.Allow ~rules:[] doc1)
+
+let test_oracle_query () =
+  (* Allow everything, query selects first-b subtree. *)
+  let view =
+    Oracle.authorized_view ~rules:[ allow "//a" ]
+      ~query:(Xp.parse "//b[c]") doc1
+  in
+  Alcotest.check dom_opt "query scopes view"
+    (Some
+       (Dom.element "a"
+          [ Dom.element "b"
+              [ Dom.element "c" [ Dom.text "1" ];
+                Dom.element "d" [ Dom.text "x" ] ] ]))
+    view;
+  (* Query matching nothing -> nothing delivered. *)
+  Alcotest.check dom_opt "empty query" None
+    (Oracle.authorized_view ~rules:[ allow "//a" ]
+       ~query:(Xp.parse "//zzz") doc1)
+
+(* ------------------------------------------------------------------ *)
+(* Engine vs hand-computed outputs                                     *)
+(* ------------------------------------------------------------------ *)
+
+let view ?default ?query ?suppress rules doc =
+  Sdds.authorized_view ?default ?query ?suppress ~rules doc
+
+let test_engine_figure2 () =
+  Alcotest.check dom_opt "engine matches oracle on Figure 2"
+    (Oracle.authorized_view ~rules:[ allow "//b[c]/d" ] doc1)
+    (view [ allow "//b[c]/d" ] doc1)
+
+let test_engine_pending_predicate_after_target () =
+  (* d arrives BEFORE c: the rule is pending when d is seen, and must be
+     delivered once c satisfies the predicate later (the paper's pending
+     rule mechanism). *)
+  let doc = Xml_parser.dom_of_string "<a><b><d>x</d><c>1</c></b></a>" in
+  Alcotest.check dom_opt "pending rule delivers"
+    (Some
+       (Dom.element "a"
+          [ Dom.element "b" [ Dom.element "d" [ Dom.text "x" ] ] ]))
+    (view [ allow "//b[c]/d" ] doc);
+  (* And without the c, nothing. *)
+  let doc2 = Xml_parser.dom_of_string "<a><b><d>x</d></b></a>" in
+  Alcotest.check dom_opt "unsatisfied predicate" None
+    (view [ allow "//b[c]/d" ] doc2)
+
+let test_engine_pending_value_predicate () =
+  let doc =
+    Xml_parser.dom_of_string
+      "<r><patient><name>n1</name><age>71</age></patient><patient><name>n2</name><age>30</age></patient></r>"
+  in
+  let rules = [ allow "//patient[age>60]" ] in
+  Alcotest.check dom_opt "value predicate"
+    (Some
+       (Dom.element "r"
+          [ Dom.element "patient"
+              [ Dom.element "name" [ Dom.text "n1" ];
+                Dom.element "age" [ Dom.text "71" ] ] ]))
+    (view rules doc)
+
+let test_engine_nested_predicate () =
+  let doc =
+    Xml_parser.dom_of_string "<a><b><x><y>k</y></x><t>v</t></b><b><x/><t>w</t></b></a>"
+  in
+  (* b[x[y]]/t: only the first b's t. *)
+  Alcotest.check dom_opt "nested predicate"
+    (Oracle.authorized_view ~rules:[ allow "//b[x[y]]/t" ] doc)
+    (view [ allow "//b[x[y]]/t" ] doc)
+
+let test_engine_self_value_predicate () =
+  let doc = Xml_parser.dom_of_string "<f><r>G</r><r>R</r></f>" in
+  Alcotest.check dom_opt "self comparison"
+    (Some (Dom.element "f" [ Dom.element "r" [ Dom.text "G" ] ]))
+    (view [ allow {|//r[.="G"]|} ] doc)
+
+let test_engine_attribute_rules () =
+  let doc = Xml_parser.dom_of_string {|<r><i id="1"><v>a</v></i><i id="2"><v>b</v></i></r>|} in
+  Alcotest.check dom_opt "attribute predicate"
+    (Oracle.authorized_view ~rules:[ allow {|//i[@id="2"]|} ] doc)
+    (view [ allow {|//i[@id="2"]|} ] doc)
+
+let test_engine_query () =
+  let doc = Generator.agenda (Rng.create 4L) ~courses:6 in
+  let rules = [ allow "//course"; deny "//instructor" ] in
+  let query = Xp.parse "//course[credit>2]/title" in
+  Alcotest.check dom_opt "query composition"
+    (Oracle.authorized_view ~rules ~query doc)
+    (view ~query rules doc)
+
+let test_engine_errors () =
+  let t = Engine.create [ allow "//a" ] in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Engine.feed t (Event.Value "top-level"));
+  ignore (Engine.feed t (Event.Open "a"));
+  expect_invalid (fun () -> Engine.feed t (Event.Close "b"));
+  ignore (Engine.feed t (Event.Close "a"));
+  expect_invalid (fun () -> Engine.feed t (Event.Open "again"));
+  Engine.finish t;
+  let t2 = Engine.create [] in
+  ignore (Engine.feed t2 (Event.Open "a"));
+  expect_invalid (fun () -> Engine.finish t2)
+
+let test_engine_suppression_stats () =
+  let doc = Generator.hospital (Rng.create 5L) ~patients:5 in
+  let events = Dom.to_events doc in
+  (* Deny the root with no positive rule anywhere: once the denial is
+     determined and no positive automaton is alive, the whole document is
+     consumed under suspension. (A positive rule that merely matches
+     nothing would NOT allow suspension — without the skip index the
+     engine cannot know its tag never occurs.) *)
+  let t = Engine.create [ deny "/hospital" ] in
+  List.iter (fun ev -> ignore (Engine.feed t ev)) events;
+  Engine.finish t;
+  let st = Engine.stats t in
+  Alcotest.(check int) "everything suppressed" (List.length events)
+    st.Engine.suppressed;
+  (* With suppression disabled every event is processed visibly. *)
+  let t2 = Engine.create ~suppress:false [ deny "/hospital" ] in
+  List.iter (fun ev -> ignore (Engine.feed t2 ev)) events;
+  Engine.finish t2;
+  Alcotest.(check int) "no suppression" 0 (Engine.stats t2).Engine.suppressed
+
+let test_engine_memory_bounded () =
+  (* Peak working state must not grow with document length for a flat
+     document (it grows with depth, not size). *)
+  let peak n =
+    let doc = Generator.agenda (Rng.create 7L) ~courses:n in
+    let t = Engine.create [ allow "//course[credit>2]"; deny "//instructor" ] in
+    List.iter (fun ev -> ignore (Engine.feed t ev)) (Dom.to_events doc);
+    Engine.finish t;
+    (Engine.stats t).Engine.peak_state_words
+  in
+  let p1 = peak 20 and p2 = peak 200 in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %d vs %d size-independent" p1 p2)
+    true
+    (p2 <= p1 * 2)
+
+let test_engine_depth () =
+  let t = Engine.create [] in
+  Alcotest.(check int) "depth 0" 0 (Engine.depth t);
+  ignore (Engine.feed t (Event.Open "a"));
+  ignore (Engine.feed t (Event.Open "b"));
+  Alcotest.(check int) "depth 2" 2 (Engine.depth t)
+
+let test_subtree_skippable () =
+  (* Rules: +//b[c]/d. At depth 1 inside <a>, a subtree containing no d
+     and no c is skippable; one containing d (and c) is not. *)
+  let t = Engine.create [ allow "//b[c]/d" ] in
+  ignore (Engine.feed t (Event.Open "a"));
+  let possible tags tag = List.mem tag tags in
+  Alcotest.(check bool) "no useful tags -> skip" true
+    (Engine.subtree_skippable t ~tag:"x" ~tag_possible:(possible [ "x"; "y" ])
+       ~nonempty:true);
+  Alcotest.(check bool) "has b,c,d -> keep" false
+    (Engine.subtree_skippable t ~tag:"b"
+       ~tag_possible:(possible [ "b"; "c"; "d" ])
+       ~nonempty:true);
+  (* d alone cannot fire //b[c]/d's spine: b is missing. *)
+  Alcotest.(check bool) "d alone -> skip" true
+    (Engine.subtree_skippable t ~tag:"d" ~tag_possible:(possible [ "d" ])
+       ~nonempty:true)
+
+let test_subtree_skippable_pending_pred () =
+  (* Inside <a><b> with rule +//b[.//c]/d, the live predicate instance for
+     [.//c] anchored at b roams b's whole subtree: an inner subtree that
+     could contain c must NOT be skipped even if it cannot contain d. *)
+  let t = Engine.create [ allow "//b[.//c]/d" ] in
+  ignore (Engine.feed t (Event.Open "a"));
+  ignore (Engine.feed t (Event.Open "b"));
+  let possible tags tag = List.mem tag tags in
+  Alcotest.(check bool) "c-bearing subtree kept" false
+    (Engine.subtree_skippable t ~tag:"x" ~tag_possible:(possible [ "x"; "c" ])
+       ~nonempty:true);
+  Alcotest.(check bool) "useless subtree skipped" true
+    (Engine.subtree_skippable t ~tag:"z" ~tag_possible:(possible [ "z" ])
+       ~nonempty:true);
+  (* With a child-axis predicate [c], a grandchild subtree cannot satisfy
+     it even if the tag c occurs there — the one-step lookahead proves the
+     skip safe. But a subtree whose root IS a c satisfies the predicate at
+     its root and must be read. *)
+  let t2 = Engine.create [ allow "//b[c]/d" ] in
+  ignore (Engine.feed t2 (Event.Open "a"));
+  ignore (Engine.feed t2 (Event.Open "b"));
+  Alcotest.(check bool) "child-axis pred: deep c is irrelevant" true
+    (Engine.subtree_skippable t2 ~tag:"x" ~tag_possible:(possible [ "x"; "c" ])
+       ~nonempty:true);
+  Alcotest.(check bool) "child-axis pred: root c fires" false
+    (Engine.subtree_skippable t2 ~tag:"c" ~tag_possible:(possible [ "c" ])
+       ~nonempty:true)
+
+let test_output_is_static_without_predicates () =
+  let doc = doc1 in
+  let outs = Engine.run [ allow "//b"; deny "//d" ] (Dom.to_events doc) in
+  Alcotest.(check bool) "no conditions" true (Output.is_static outs)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests: engine = oracle                                     *)
+(* ------------------------------------------------------------------ *)
+
+let gen_case =
+  (* A seed, expanded deterministically into (doc, rules, query). *)
+  QCheck2.Gen.(int_bound 1_000_000)
+
+let expand_case ~with_query seed =
+  let rng = Rng.create (Int64.of_int seed) in
+  let doc =
+    Generator.random_tree rng
+      ~tags:[| "a"; "b"; "c"; "d"; "e" |]
+      ~max_depth:6 ~max_children:4 ~text_probability:0.25
+  in
+  let tags = [| "a"; "b"; "c"; "d"; "e" |] in
+  let values = [| "acute"; "benign"; "chronic"; "10" |] in
+  let cfg =
+    {
+      Random_path.default with
+      Random_path.max_steps = 3;
+      predicate_probability = 0.5;
+      value_predicate_probability = 0.3;
+      nested_predicate_probability = 0.25;
+    }
+  in
+  let n_rules = 1 + Rng.int rng 5 in
+  let rules =
+    List.init n_rules (fun _ ->
+        let path = Random_path.generate rng cfg ~tags ~values in
+        {
+          Rule.sign = (if Rng.bool rng then Rule.Allow else Rule.Deny);
+          subject = "u";
+          path;
+        })
+  in
+  let query =
+    if with_query && Rng.bool rng then
+      Some (Random_path.generate rng cfg ~tags ~values)
+    else None
+  in
+  (doc, rules, query)
+
+let equal_view a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> Dom.equal x y
+  | None, Some _ | Some _, None -> false
+
+let qcheck_engine_matches_oracle =
+  QCheck2.Test.make ~name:"engine view = oracle view" ~count:500 gen_case
+    (fun seed ->
+      let doc, rules, query = expand_case ~with_query:false seed in
+      ignore query;
+      equal_view
+        (Oracle.authorized_view ~rules doc)
+        (view rules doc))
+
+let qcheck_engine_matches_oracle_query =
+  QCheck2.Test.make ~name:"engine+query view = oracle view" ~count:500
+    gen_case (fun seed ->
+      let doc, rules, query = expand_case ~with_query:true seed in
+      equal_view
+        (Oracle.authorized_view ~rules ?query doc)
+        (view ?query rules doc))
+
+let qcheck_engine_default_allow =
+  QCheck2.Test.make ~name:"engine = oracle under open world" ~count:200
+    gen_case (fun seed ->
+      let doc, rules, _ = expand_case ~with_query:false seed in
+      equal_view
+        (Oracle.authorized_view ~default:Rule.Allow ~rules doc)
+        (view ~default:Rule.Allow rules doc))
+
+let qcheck_suppression_equivalence =
+  QCheck2.Test.make ~name:"suppression does not change the view" ~count:300
+    gen_case (fun seed ->
+      let doc, rules, query = expand_case ~with_query:true seed in
+      equal_view
+        (view ?query ~suppress:false rules doc)
+        (view ?query ~suppress:true rules doc))
+
+let suite =
+  [
+    Alcotest.test_case "cond simplify" `Quick test_cond_simplify;
+    Alcotest.test_case "cond subst/eval" `Quick test_cond_subst_eval;
+    Alcotest.test_case "rule parse" `Quick test_rule_parse;
+    Alcotest.test_case "rule parse errors" `Quick test_rule_parse_errors;
+    Alcotest.test_case "rule for_subject" `Quick test_rule_for_subject;
+    Alcotest.test_case "oracle default deny" `Quick test_oracle_default_deny;
+    Alcotest.test_case "oracle propagation" `Quick test_oracle_propagation;
+    Alcotest.test_case "oracle figure-2 rule" `Quick test_oracle_figure2_rule;
+    Alcotest.test_case "oracle denial precedence" `Quick
+      test_oracle_denial_precedence;
+    Alcotest.test_case "oracle most-specific" `Quick test_oracle_most_specific;
+    Alcotest.test_case "oracle default allow" `Quick test_oracle_default_allow;
+    Alcotest.test_case "oracle query" `Quick test_oracle_query;
+    Alcotest.test_case "engine figure-2" `Quick test_engine_figure2;
+    Alcotest.test_case "engine pending predicate" `Quick
+      test_engine_pending_predicate_after_target;
+    Alcotest.test_case "engine pending value predicate" `Quick
+      test_engine_pending_value_predicate;
+    Alcotest.test_case "engine nested predicate" `Quick
+      test_engine_nested_predicate;
+    Alcotest.test_case "engine self value predicate" `Quick
+      test_engine_self_value_predicate;
+    Alcotest.test_case "engine attribute rules" `Quick
+      test_engine_attribute_rules;
+    Alcotest.test_case "engine query" `Quick test_engine_query;
+    Alcotest.test_case "engine errors" `Quick test_engine_errors;
+    Alcotest.test_case "engine suppression stats" `Quick
+      test_engine_suppression_stats;
+    Alcotest.test_case "engine memory bounded" `Quick
+      test_engine_memory_bounded;
+    Alcotest.test_case "engine depth" `Quick test_engine_depth;
+    Alcotest.test_case "subtree skippable" `Quick test_subtree_skippable;
+    Alcotest.test_case "subtree skippable pending pred" `Quick
+      test_subtree_skippable_pending_pred;
+    Alcotest.test_case "output static" `Quick
+      test_output_is_static_without_predicates;
+    QCheck_alcotest.to_alcotest qcheck_engine_matches_oracle;
+    QCheck_alcotest.to_alcotest qcheck_engine_matches_oracle_query;
+    QCheck_alcotest.to_alcotest qcheck_engine_default_allow;
+    QCheck_alcotest.to_alcotest qcheck_suppression_equivalence;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Output codec                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Output_codec = Sdds_core.Output_codec
+
+let test_codec_unit () =
+  let events =
+    [
+      Output.Open_node
+        {
+          tag = "a";
+          neg = Cond.ff;
+          pos = Cond.disj [ Cond.var 3; Cond.conj [ Cond.var 1; Cond.var 2 ] ];
+          query = Cond.tt;
+        };
+      Output.Text_node "hello & <world>";
+      Output.Resolve (3, true);
+      Output.Resolve (1, false);
+      Output.Close_node "a";
+    ]
+  in
+  let encoded = Output_codec.encode_list events in
+  Alcotest.(check int) "count" 5 (List.length (Output_codec.decode_list encoded));
+  Alcotest.(check bool) "roundtrip" true
+    (Output_codec.decode_list encoded = events);
+  Alcotest.(check int) "sizes agree"
+    (String.length encoded)
+    (List.fold_left (fun a e -> a + Output_codec.encoded_size e) 0 events)
+
+let test_codec_malformed () =
+  let expect s =
+    match Output_codec.decode_list s with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected decode failure"
+  in
+  expect "\x63";          (* unknown event tag *)
+  expect "\x01\x05ab";    (* truncated text *)
+  expect "\x00\x01a\x07"  (* bad condition tag *)
+
+let qcheck_codec_roundtrip =
+  QCheck2.Test.make ~name:"output codec roundtrip on engine streams"
+    ~count:300
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let doc, rules, query = expand_case ~with_query:true seed in
+      let outs = Engine.run ?query rules (Dom.to_events doc) in
+      Output_codec.decode_list (Output_codec.encode_list outs) = outs)
+
+let codec_suite =
+  [
+    Alcotest.test_case "codec unit" `Quick test_codec_unit;
+    Alcotest.test_case "codec malformed" `Quick test_codec_malformed;
+    QCheck_alcotest.to_alcotest qcheck_codec_roundtrip;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Directory: roles and groups                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Directory = Sdds_core.Directory
+
+let test_directory_roles () =
+  let d = Directory.create () in
+  Directory.assign d ~member:"alice" ~role:"doctor";
+  Directory.assign d ~member:"doctor" ~role:"staff";
+  Directory.assign d ~member:"bob" ~role:"staff";
+  Alcotest.(check (list string)) "alice transitive" [ "doctor"; "staff" ]
+    (Directory.roles_of d "alice");
+  Alcotest.(check (list string)) "bob" [ "staff" ] (Directory.roles_of d "bob");
+  Alcotest.(check (list string)) "nobody" [] (Directory.roles_of d "eve");
+  Alcotest.(check (list string)) "staff members" [ "bob"; "doctor" ]
+    (Directory.members d ~role:"staff")
+
+let test_directory_cycles () =
+  let d = Directory.create () in
+  Directory.assign d ~member:"a" ~role:"b";
+  Directory.assign d ~member:"b" ~role:"c";
+  Alcotest.check_raises "self" (Invalid_argument "Directory.assign: self-role")
+    (fun () -> Directory.assign d ~member:"x" ~role:"x");
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Directory.assign: membership cycle") (fun () ->
+      Directory.assign d ~member:"c" ~role:"a");
+  (* Idempotent re-assignment is fine. *)
+  Directory.assign d ~member:"a" ~role:"b"
+
+let test_directory_effective_rules () =
+  let d = Directory.create () in
+  Directory.assign d ~member:"alice" ~role:"doctor";
+  Directory.assign d ~member:"doctor" ~role:"staff";
+  let rules =
+    [
+      Rule.allow ~subject:"staff" "//hospital";
+      Rule.deny ~subject:"staff" "//ssn";
+      Rule.allow ~subject:"doctor" "//ssn";
+      Rule.deny ~subject:"alice" "//comment";
+      Rule.allow ~subject:"bob" "//nothing-for-alice";
+    ]
+  in
+  let eff = Directory.effective_rules d ~subject:"alice" rules in
+  Alcotest.(check int) "alice gets 4 rules" 4 (List.length eff);
+  (* The expanded set behaves as one uniform rule set: doctor's direct
+     allow on //ssn and staff's direct deny collide at the same nodes, and
+     denial takes precedence. *)
+  let doc =
+    Xml_parser.dom_of_string
+      "<hospital><ssn>1</ssn><comment>c</comment><name>n</name></hospital>"
+  in
+  let uniform =
+    List.map (fun r -> { r with Rule.subject = "u" }) eff
+  in
+  (* hospital=0 allowed, ssn=1 denied (denial precedence over the doctor
+     allow), comment=2 denied (user-specific), name=3 inherits allow. *)
+  Alcotest.(check (list int)) "alice decision set" [ 0; 3 ]
+    (Oracle.allowed_ids ~rules:uniform doc)
+
+let directory_suite =
+  [
+    Alcotest.test_case "directory roles" `Quick test_directory_roles;
+    Alcotest.test_case "directory cycles" `Quick test_directory_cycles;
+    Alcotest.test_case "directory effective rules" `Quick
+      test_directory_effective_rules;
+  ]

@@ -1,0 +1,492 @@
+module Aes = Sdds_crypto.Aes
+module Mode = Sdds_crypto.Mode
+module Sha256 = Sdds_crypto.Sha256
+module Sha1 = Sdds_crypto.Sha1
+module Hmac = Sdds_crypto.Hmac
+module Drbg = Sdds_crypto.Drbg
+module Merkle = Sdds_crypto.Merkle
+module Bignum = Sdds_crypto.Bignum
+module Rsa = Sdds_crypto.Rsa
+module Hex = Sdds_util.Hex
+
+let hex = Hex.decode
+
+(* ------------------------------------------------------------------ *)
+(* AES: FIPS-197 appendix C vectors                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fips_plain = hex "00112233445566778899aabbccddeeff"
+
+let test_aes128_vector () =
+  let key = Aes.expand_key (hex "000102030405060708090a0b0c0d0e0f") in
+  Alcotest.(check string) "encrypt" "69c4e0d86a7b0430d8cdb78070b4c55a"
+    (Hex.encode (Aes.encrypt_block_string key fips_plain));
+  Alcotest.(check string) "decrypt" (Hex.encode fips_plain)
+    (Hex.encode
+       (Aes.decrypt_block_string key
+          (hex "69c4e0d86a7b0430d8cdb78070b4c55a")))
+
+let test_aes192_vector () =
+  let key =
+    Aes.expand_key (hex "000102030405060708090a0b0c0d0e0f1011121314151617")
+  in
+  Alcotest.(check string) "encrypt" "dda97ca4864cdfe06eaf70a0ec0d7191"
+    (Hex.encode (Aes.encrypt_block_string key fips_plain))
+
+let test_aes256_vector () =
+  let key =
+    Aes.expand_key
+      (hex "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+  in
+  Alcotest.(check string) "encrypt" "8ea2b7ca516745bfeafc49904b496089"
+    (Hex.encode (Aes.encrypt_block_string key fips_plain));
+  Alcotest.(check int) "key bits" 256 (Aes.key_bits key)
+
+let test_aes_bad_key_size () =
+  Alcotest.check_raises "15 bytes"
+    (Invalid_argument "Aes.expand_key: bad key size 15") (fun () ->
+      ignore (Aes.expand_key (String.make 15 'k')))
+
+let qcheck_aes_roundtrip =
+  QCheck2.Test.make ~name:"aes encrypt/decrypt roundtrip" ~count:200
+    QCheck2.Gen.(pair (string_size (return 16)) (string_size (return 16)))
+    (fun (k, block) ->
+      let key = Aes.expand_key k in
+      Aes.decrypt_block_string key (Aes.encrypt_block_string key block)
+      = block)
+
+(* ------------------------------------------------------------------ *)
+(* Modes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cbc_key = Aes.expand_key (hex "2b7e151628aed2a6abf7158809cf4f3c")
+let cbc_iv = hex "000102030405060708090a0b0c0d0e0f"
+
+let test_cbc_nist_first_block () =
+  (* NIST SP 800-38A F.2.1, first block (our API pads, so compare the
+     prefix). *)
+  let c =
+    Mode.encrypt_cbc cbc_key ~iv:cbc_iv (hex "6bc1bee22e409f96e93d7e117393172a")
+  in
+  Alcotest.(check string) "first block" "7649abac8119b246cee98e9b12e9197d"
+    (Hex.encode (String.sub c 0 16))
+
+let test_cbc_roundtrip_various_lengths () =
+  List.iter
+    (fun n ->
+      let plain = String.init n (fun i -> Char.chr (i land 0xff)) in
+      let c = Mode.encrypt_cbc cbc_key ~iv:cbc_iv plain in
+      Alcotest.(check int) "padded multiple" 0 (String.length c mod 16);
+      match Mode.decrypt_cbc cbc_key ~iv:cbc_iv c with
+      | Some p -> Alcotest.(check string) "roundtrip" plain p
+      | None -> Alcotest.fail "decrypt failed")
+    [ 0; 1; 15; 16; 17; 31; 32; 100 ]
+
+let test_cbc_wrong_iv () =
+  let c = Mode.encrypt_cbc cbc_key ~iv:cbc_iv "attack at dawn!!" in
+  let other_iv = String.make 16 '\xff' in
+  (match Mode.decrypt_cbc cbc_key ~iv:other_iv c with
+  | Some p -> Alcotest.(check bool) "differs" true (p <> "attack at dawn!!")
+  | None -> (* padding broke, also acceptable *) ())
+
+let test_cbc_tampered () =
+  (* Flipping a bit in the last block corrupts the padding with high
+     probability; run over many messages and require at least one None. *)
+  let rejected = ref 0 in
+  for i = 0 to 20 do
+    let plain = String.make (17 + i) 'x' in
+    let c = Bytes.of_string (Mode.encrypt_cbc cbc_key ~iv:cbc_iv plain) in
+    let last = Bytes.length c - 1 in
+    Bytes.set_uint8 c last (Bytes.get_uint8 c last lxor 0x01);
+    match Mode.decrypt_cbc cbc_key ~iv:cbc_iv (Bytes.to_string c) with
+    | None -> incr rejected
+    | Some p -> if p <> plain then incr rejected
+  done;
+  Alcotest.(check int) "all tampered rejected or changed" 21 !rejected
+
+let test_ctr_nist_vector () =
+  (* NIST SP 800-38A F.5.1, first block. *)
+  let key = cbc_key in
+  let nonce = hex "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff" in
+  let c = Mode.ctr_transform key ~nonce (hex "6bc1bee22e409f96e93d7e117393172a") in
+  Alcotest.(check string) "ctr block" "874d6191b620e3261bef6864990db6ce"
+    (Hex.encode c)
+
+let qcheck_ctr_involutive =
+  QCheck2.Test.make ~name:"ctr transform is involutive" ~count:200
+    QCheck2.Gen.(pair (string_size (return 16)) string)
+    (fun (nonce, data) ->
+      let key = cbc_key in
+      Mode.ctr_transform key ~nonce (Mode.ctr_transform key ~nonce data)
+      = data)
+
+let test_pkcs7 () =
+  Alcotest.(check int) "pad 0" 16 (String.length (Mode.pad_pkcs7 ""));
+  Alcotest.(check int) "pad 16" 32 (String.length (Mode.pad_pkcs7 (String.make 16 'a')));
+  Alcotest.(check (option string)) "unpad" (Some "ab")
+    (Mode.unpad_pkcs7 ("ab" ^ String.make 14 '\x0e'));
+  Alcotest.(check (option string)) "bad pad byte" None
+    (Mode.unpad_pkcs7 (String.make 16 '\x00'));
+  Alcotest.(check (option string)) "bad length" None (Mode.unpad_pkcs7 "abc")
+
+(* ------------------------------------------------------------------ *)
+(* Hashes and HMAC                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_sha256_vectors () =
+  let cases =
+    [ ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+      ( String.make 1000 'a',
+        "41edece42d63e8d9bf515a9ba6932e1c20cbc9f5a5d134645adb5db1b9737ea3" ) ]
+  in
+  List.iter
+    (fun (msg, want) ->
+      Alcotest.(check string) "digest" want (Hex.encode (Sha256.digest msg)))
+    cases
+
+let test_sha256_incremental () =
+  let msg = String.init 1000 (fun i -> Char.chr (i land 0xff)) in
+  let whole = Sha256.digest msg in
+  (* Feed in awkward pieces crossing block boundaries. *)
+  List.iter
+    (fun pieces ->
+      let ctx = Sha256.init () in
+      let pos = ref 0 in
+      List.iter
+        (fun n ->
+          Sha256.feed ctx (String.sub msg !pos n);
+          pos := !pos + n)
+        pieces;
+      Sha256.feed ctx (String.sub msg !pos (String.length msg - !pos));
+      Alcotest.(check string) "same digest" (Hex.encode whole)
+        (Hex.encode (Sha256.finalize ctx)))
+    [ [ 1; 62; 1; 64; 128 ]; [ 63; 1; 65 ]; [ 64; 64 ]; [ 5 ]; [] ]
+
+let test_sha1_vectors () =
+  Alcotest.(check string) "abc" "a9993e364706816aba3e25717850c26c9cd0d89d"
+    (Hex.encode (Sha1.digest "abc"));
+  Alcotest.(check string) "empty" "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+    (Hex.encode (Sha1.digest ""))
+
+let test_hmac_rfc4231 () =
+  Alcotest.(check string) "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hex.encode (Hmac.mac ~key:(String.make 20 '\x0b') "Hi There"));
+  Alcotest.(check string) "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hex.encode (Hmac.mac ~key:"Jefe" "what do ya want for nothing?"));
+  (* Case 6: key longer than the block size. *)
+  Alcotest.(check string) "long key"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hex.encode
+       (Hmac.mac ~key:(String.make 131 '\xaa')
+          "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_hmac_verify () =
+  let tag = Hmac.mac ~key:"k" "msg" in
+  Alcotest.(check bool) "accepts" true (Hmac.verify ~key:"k" "msg" ~tag);
+  Alcotest.(check bool) "rejects msg" false (Hmac.verify ~key:"k" "msG" ~tag);
+  Alcotest.(check bool) "rejects key" false (Hmac.verify ~key:"K" "msg" ~tag);
+  Alcotest.(check bool) "rejects truncated" false
+    (Hmac.verify ~key:"k" "msg" ~tag:(String.sub tag 0 16))
+
+(* ------------------------------------------------------------------ *)
+(* DRBG                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_drbg_deterministic () =
+  let a = Drbg.create ~seed:"seed" and b = Drbg.create ~seed:"seed" in
+  Alcotest.(check string) "same" (Drbg.generate a 64) (Drbg.generate b 64);
+  let c = Drbg.create ~seed:"other" in
+  Alcotest.(check bool) "different seed differs" true
+    (Drbg.generate c 64 <> Drbg.generate (Drbg.create ~seed:"seed") 64)
+
+let test_drbg_advances () =
+  let d = Drbg.create ~seed:"s" in
+  let x = Drbg.generate d 32 and y = Drbg.generate d 32 in
+  Alcotest.(check bool) "stream advances" true (x <> y);
+  Alcotest.(check int) "exact length" 100 (String.length (Drbg.generate d 100))
+
+let test_drbg_reseed () =
+  let a = Drbg.create ~seed:"s" and b = Drbg.create ~seed:"s" in
+  Drbg.reseed a "extra";
+  Alcotest.(check bool) "reseed changes stream" true
+    (Drbg.generate a 32 <> Drbg.generate b 32)
+
+(* ------------------------------------------------------------------ *)
+(* Merkle                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let chunks n = List.init n (fun i -> Printf.sprintf "chunk-%d-%s" i (String.make (i mod 7) 'x'))
+
+let test_merkle_single () =
+  let t = Merkle.build [ "only" ] in
+  Alcotest.(check int) "leaves" 1 (Merkle.leaf_count t);
+  let proof = Merkle.prove t 0 in
+  Alcotest.(check int) "empty proof" 0 (List.length proof);
+  Alcotest.(check bool) "verifies" true
+    (Merkle.verify ~root:(Merkle.root t) ~leaf_count:1 ~index:0 ~leaf:"only" proof)
+
+let test_merkle_all_sizes () =
+  List.iter
+    (fun n ->
+      let leaves = chunks n in
+      let t = Merkle.build leaves in
+      List.iteri
+        (fun i leaf ->
+          let proof = Merkle.prove t i in
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d i=%d verifies" n i)
+            true
+            (Merkle.verify ~root:(Merkle.root t) ~leaf_count:n ~index:i ~leaf
+               proof))
+        leaves)
+    [ 1; 2; 3; 4; 5; 7; 8; 9; 15; 16; 17 ]
+
+let test_merkle_rejects () =
+  let leaves = chunks 8 in
+  let t = Merkle.build leaves in
+  let root = Merkle.root t in
+  let proof = Merkle.prove t 3 in
+  Alcotest.(check bool) "wrong leaf" false
+    (Merkle.verify ~root ~leaf_count:8 ~index:3 ~leaf:"evil" proof);
+  Alcotest.(check bool) "wrong index" false
+    (Merkle.verify ~root ~leaf_count:8 ~index:4 ~leaf:(List.nth leaves 3) proof);
+  Alcotest.(check bool) "truncated proof" false
+    (Merkle.verify ~root ~leaf_count:8 ~index:3 ~leaf:(List.nth leaves 3)
+       (List.tl proof));
+  Alcotest.(check bool) "substituted root" false
+    (Merkle.verify ~root:(String.make 32 '\000') ~leaf_count:8 ~index:3
+       ~leaf:(List.nth leaves 3) proof)
+
+let test_merkle_root_sensitive () =
+  let t1 = Merkle.build (chunks 9) in
+  let altered = List.mapi (fun i c -> if i = 4 then c ^ "!" else c) (chunks 9) in
+  let t2 = Merkle.build altered in
+  Alcotest.(check bool) "root differs" true (Merkle.root t1 <> Merkle.root t2)
+
+let qcheck_merkle =
+  QCheck2.Test.make ~name:"merkle prove/verify" ~count:100
+    QCheck2.Gen.(pair (1 -- 40) (int_bound 1000))
+    (fun (n, salt) ->
+      let leaves = List.init n (fun i -> Printf.sprintf "%d-%d" salt i) in
+      let t = Merkle.build leaves in
+      List.for_all
+        (fun i ->
+          Merkle.verify ~root:(Merkle.root t) ~leaf_count:n ~index:i
+            ~leaf:(List.nth leaves i) (Merkle.prove t i))
+        (List.init n Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Bignum                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bn = Bignum.of_int
+
+let test_bignum_basic () =
+  Alcotest.(check bool) "zero" true (Bignum.is_zero Bignum.zero);
+  Alcotest.(check (option int)) "to_int" (Some 123456789)
+    (Bignum.to_int_opt (bn 123456789));
+  Alcotest.(check int) "bit_length 0" 0 (Bignum.bit_length Bignum.zero);
+  Alcotest.(check int) "bit_length 1" 1 (Bignum.bit_length Bignum.one);
+  Alcotest.(check int) "bit_length 255" 8 (Bignum.bit_length (bn 255));
+  Alcotest.(check int) "bit_length 256" 9 (Bignum.bit_length (bn 256))
+
+let qcheck_bignum_arith =
+  QCheck2.Test.make ~name:"bignum matches int arithmetic" ~count:500
+    QCheck2.Gen.(pair (int_bound (1 lsl 30)) (int_bound (1 lsl 30)))
+    (fun (a, b) ->
+      let ba = bn a and bb = bn b in
+      Bignum.to_int_opt (Bignum.add ba bb) = Some (a + b)
+      && Bignum.to_int_opt (Bignum.mul ba bb) = Some (a * b)
+      && (b = 0
+         ||
+         let q, r = Bignum.divmod ba bb in
+         Bignum.to_int_opt q = Some (a / b) && Bignum.to_int_opt r = Some (a mod b))
+      && (a < b || Bignum.to_int_opt (Bignum.sub ba bb) = Some (a - b)))
+
+let test_bignum_large_mul () =
+  (* (2^200 - 1) * (2^200 + 1) = 2^400 - 1 *)
+  let p200 = Bignum.shift_left Bignum.one 200 in
+  let a = Bignum.sub p200 Bignum.one and b = Bignum.add p200 Bignum.one in
+  let want = Bignum.sub (Bignum.shift_left Bignum.one 400) Bignum.one in
+  Alcotest.(check bool) "product" true (Bignum.equal (Bignum.mul a b) want)
+
+let test_bignum_bytes_roundtrip () =
+  let v = Bignum.of_hex "0123456789abcdef00ff" in
+  Alcotest.(check string) "to_hex" "0123456789abcdef00ff" (Bignum.to_hex v);
+  Alcotest.(check bool) "roundtrip" true
+    (Bignum.equal v (Bignum.of_bytes_be (Bignum.to_bytes_be v)));
+  Alcotest.(check string) "padded"
+    "000123456789abcdef00ff"
+    (Sdds_util.Hex.encode (Bignum.to_bytes_be_padded v 11))
+
+let naive_modpow b e m =
+  let rec go acc i = if i = 0 then acc else go (acc * b mod m) (i - 1) in
+  go 1 e
+
+let test_bignum_modpow () =
+  (* 3^100 is 1 mod 1000 (order divides 100), a nice degenerate case. *)
+  Alcotest.(check (option int)) "3^200 mod 1000"
+    (Some (naive_modpow 3 200 1000))
+    (Bignum.to_int_opt
+       (Bignum.mod_pow ~base:(bn 3) ~exp:(bn 200) ~modulus:(bn 1000)));
+  (* Fermat: 2^(p-1) mod p = 1 for prime p. *)
+  let p = bn 1000003 in
+  Alcotest.(check (option int)) "fermat" (Some 1)
+    (Bignum.to_int_opt
+       (Bignum.mod_pow ~base:(bn 2) ~exp:(bn 1000002) ~modulus:p))
+
+let qcheck_bignum_modpow =
+  QCheck2.Test.make ~name:"bignum mod_pow matches naive" ~count:200
+    QCheck2.Gen.(triple (1 -- 1000) (0 -- 50) (2 -- 1000))
+    (fun (b, e, m) ->
+      Bignum.to_int_opt (Bignum.mod_pow ~base:(bn b) ~exp:(bn e) ~modulus:(bn m))
+      = Some (naive_modpow b e m))
+
+let test_bignum_mod_inverse () =
+  (match Bignum.mod_inverse (bn 3) ~modulus:(bn 11) with
+  | Some inv -> Alcotest.(check (option int)) "3^-1 mod 11" (Some 4) (Bignum.to_int_opt inv)
+  | None -> Alcotest.fail "inverse exists");
+  Alcotest.(check bool) "non-coprime" true
+    (Bignum.mod_inverse (bn 4) ~modulus:(bn 8) = None)
+
+let qcheck_bignum_mod_inverse =
+  QCheck2.Test.make ~name:"bignum mod_inverse correct" ~count:200
+    QCheck2.Gen.(pair (2 -- 10000) (2 -- 10000))
+    (fun (a, m) ->
+      match Bignum.mod_inverse (bn a) ~modulus:(bn m) with
+      | None -> true (* checked separately *)
+      | Some inv ->
+          Bignum.to_int_opt (Bignum.rem (Bignum.mul (bn a) inv) (bn m))
+          = Some 1)
+
+let test_bignum_primality () =
+  let drbg = Drbg.create ~seed:"prime-tests" in
+  let prime p = Bignum.is_probable_prime drbg ~rounds:20 (bn p) in
+  List.iter
+    (fun p -> Alcotest.(check bool) (string_of_int p ^ " prime") true (prime p))
+    [ 2; 3; 5; 97; 1009; 104729; 1000003 ];
+  List.iter
+    (fun c -> Alcotest.(check bool) (string_of_int c ^ " composite") false (prime c))
+    [ 1; 4; 100; 1001; 104730; 561; 41041 (* Carmichael numbers too *) ]
+
+let test_generate_prime () =
+  let drbg = Drbg.create ~seed:"genprime" in
+  let p = Bignum.generate_prime drbg ~bits:64 in
+  Alcotest.(check int) "exact width" 64 (Bignum.bit_length p);
+  Alcotest.(check bool) "probably prime" true
+    (Bignum.is_probable_prime drbg ~rounds:20 p)
+
+(* ------------------------------------------------------------------ *)
+(* RSA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* 512 bits: the smallest size that can both encrypt a 16-byte session key
+   and sign a 32-byte digest under PKCS#1-style padding. *)
+let keypair =
+  lazy
+    (let drbg = Drbg.create ~seed:"rsa-test-keys" in
+     Rsa.generate drbg ~bits:512)
+
+let test_rsa_roundtrip () =
+  let kp = Lazy.force keypair in
+  let drbg = Drbg.create ~seed:"rsa-enc" in
+  List.iter
+    (fun msg ->
+      let c = Rsa.encrypt drbg kp.Rsa.public msg in
+      Alcotest.(check (option string)) "roundtrip" (Some msg)
+        (Rsa.decrypt kp.Rsa.secret c))
+    [ ""; "k"; "sixteen byte key"; String.make 53 'x' ]
+
+let test_rsa_too_long () =
+  let kp = Lazy.force keypair in
+  let drbg = Drbg.create ~seed:"rsa-enc2" in
+  Alcotest.check_raises "too long"
+    (Invalid_argument "Rsa: payload too long for modulus") (fun () ->
+      ignore (Rsa.encrypt drbg kp.Rsa.public (String.make 54 'x')))
+
+let test_rsa_wrong_key () =
+  let kp = Lazy.force keypair in
+  let drbg = Drbg.create ~seed:"other-keys" in
+  let other = Rsa.generate drbg ~bits:256 in
+  let c = Rsa.encrypt drbg kp.Rsa.public "secret" in
+  (match Rsa.decrypt other.Rsa.secret c with
+  | None -> ()
+  | Some m -> Alcotest.(check bool) "garbled" true (m <> "secret"))
+
+let test_rsa_randomized_encryption () =
+  let kp = Lazy.force keypair in
+  let drbg = Drbg.create ~seed:"rsa-enc3" in
+  let c1 = Rsa.encrypt drbg kp.Rsa.public "msg" in
+  let c2 = Rsa.encrypt drbg kp.Rsa.public "msg" in
+  Alcotest.(check bool) "probabilistic" true (c1 <> c2)
+
+let test_rsa_sign_verify () =
+  let kp = Lazy.force keypair in
+  let s = Rsa.sign kp.Rsa.secret "the merkle root" in
+  Alcotest.(check bool) "accepts" true
+    (Rsa.verify kp.Rsa.public "the merkle root" ~signature:s);
+  Alcotest.(check bool) "rejects other msg" false
+    (Rsa.verify kp.Rsa.public "another root" ~signature:s);
+  let tampered = Bytes.of_string s in
+  Bytes.set_uint8 tampered 0 (Bytes.get_uint8 tampered 0 lxor 1);
+  Alcotest.(check bool) "rejects tampered sig" false
+    (Rsa.verify kp.Rsa.public "the merkle root"
+       ~signature:(Bytes.to_string tampered))
+
+let test_rsa_fingerprint () =
+  let kp = Lazy.force keypair in
+  Alcotest.(check int) "16 hex chars" 16
+    (String.length (Rsa.fingerprint kp.Rsa.public))
+
+let suite =
+  [
+    Alcotest.test_case "aes-128 FIPS vector" `Quick test_aes128_vector;
+    Alcotest.test_case "aes-192 FIPS vector" `Quick test_aes192_vector;
+    Alcotest.test_case "aes-256 FIPS vector" `Quick test_aes256_vector;
+    Alcotest.test_case "aes bad key size" `Quick test_aes_bad_key_size;
+    QCheck_alcotest.to_alcotest qcheck_aes_roundtrip;
+    Alcotest.test_case "cbc NIST first block" `Quick test_cbc_nist_first_block;
+    Alcotest.test_case "cbc roundtrip lengths" `Quick
+      test_cbc_roundtrip_various_lengths;
+    Alcotest.test_case "cbc wrong iv" `Quick test_cbc_wrong_iv;
+    Alcotest.test_case "cbc tampered" `Quick test_cbc_tampered;
+    Alcotest.test_case "ctr NIST vector" `Quick test_ctr_nist_vector;
+    QCheck_alcotest.to_alcotest qcheck_ctr_involutive;
+    Alcotest.test_case "pkcs7" `Quick test_pkcs7;
+    Alcotest.test_case "sha256 vectors" `Quick test_sha256_vectors;
+    Alcotest.test_case "sha256 incremental" `Quick test_sha256_incremental;
+    Alcotest.test_case "sha1 vectors" `Quick test_sha1_vectors;
+    Alcotest.test_case "hmac rfc4231" `Quick test_hmac_rfc4231;
+    Alcotest.test_case "hmac verify" `Quick test_hmac_verify;
+    Alcotest.test_case "drbg deterministic" `Quick test_drbg_deterministic;
+    Alcotest.test_case "drbg advances" `Quick test_drbg_advances;
+    Alcotest.test_case "drbg reseed" `Quick test_drbg_reseed;
+    Alcotest.test_case "merkle single" `Quick test_merkle_single;
+    Alcotest.test_case "merkle all sizes" `Quick test_merkle_all_sizes;
+    Alcotest.test_case "merkle rejects" `Quick test_merkle_rejects;
+    Alcotest.test_case "merkle root sensitive" `Quick
+      test_merkle_root_sensitive;
+    QCheck_alcotest.to_alcotest qcheck_merkle;
+    Alcotest.test_case "bignum basic" `Quick test_bignum_basic;
+    QCheck_alcotest.to_alcotest qcheck_bignum_arith;
+    Alcotest.test_case "bignum large mul" `Quick test_bignum_large_mul;
+    Alcotest.test_case "bignum bytes roundtrip" `Quick
+      test_bignum_bytes_roundtrip;
+    Alcotest.test_case "bignum modpow" `Quick test_bignum_modpow;
+    QCheck_alcotest.to_alcotest qcheck_bignum_modpow;
+    Alcotest.test_case "bignum mod_inverse" `Quick test_bignum_mod_inverse;
+    QCheck_alcotest.to_alcotest qcheck_bignum_mod_inverse;
+    Alcotest.test_case "bignum primality" `Quick test_bignum_primality;
+    Alcotest.test_case "bignum generate_prime" `Quick test_generate_prime;
+    Alcotest.test_case "rsa roundtrip" `Quick test_rsa_roundtrip;
+    Alcotest.test_case "rsa too long" `Quick test_rsa_too_long;
+    Alcotest.test_case "rsa wrong key" `Quick test_rsa_wrong_key;
+    Alcotest.test_case "rsa randomized" `Quick test_rsa_randomized_encryption;
+    Alcotest.test_case "rsa sign/verify" `Quick test_rsa_sign_verify;
+    Alcotest.test_case "rsa fingerprint" `Quick test_rsa_fingerprint;
+  ]

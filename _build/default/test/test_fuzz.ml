@@ -1,0 +1,161 @@
+(* Robustness fuzzing: every decoder that consumes attacker-controlled
+   bytes (the card parses data fetched from an untrusted store; the proxy
+   parses card frames) must fail with its documented exception — never
+   crash with anything else, never succeed silently on garbage it cannot
+   have produced. *)
+
+module Rng = Sdds_util.Rng
+module Generator = Sdds_xml.Generator
+module Dom = Sdds_xml.Dom
+module Encode = Sdds_index.Encode
+module Reader = Sdds_index.Reader
+
+(* Corrupt [s]: flip bytes, truncate, or splice. *)
+let mutate rng s =
+  let n = String.length s in
+  if n = 0 then s
+  else
+    match Rng.int rng 4 with
+    | 0 ->
+        (* flip a few bytes *)
+        let b = Bytes.of_string s in
+        for _ = 0 to Rng.int rng 4 do
+          let i = Rng.int rng n in
+          Bytes.set_uint8 b i (Rng.int rng 256)
+        done;
+        Bytes.to_string b
+    | 1 -> String.sub s 0 (Rng.int rng n) (* truncate *)
+    | 2 -> s ^ Rng.bytes rng (1 + Rng.int rng 8) (* append junk *)
+    | _ ->
+        (* splice a random window elsewhere *)
+        let i = Rng.int rng n and j = Rng.int rng n in
+        let len = min (1 + Rng.int rng 16) (n - max i j) in
+        if len <= 0 then s
+        else begin
+          let b = Bytes.of_string s in
+          Bytes.blit_string s i b j len;
+          Bytes.to_string b
+        end
+
+let well_behaved ~name f ~allowed =
+  match f () with
+  | _ -> ()
+  | exception e ->
+      if not (allowed e) then
+        Alcotest.failf "%s raised unexpected exception: %s" name
+          (Printexc.to_string e)
+
+let fuzz_signer =
+  lazy
+    (Sdds_crypto.Rsa.generate
+       (Sdds_crypto.Drbg.create ~seed:"fuzz-signer")
+       ~bits:512)
+
+let base_doc seed =
+  let rng = Rng.create (Int64.of_int seed) in
+  Generator.random_tree rng
+    ~tags:[| "a"; "b"; "c"; "d" |]
+    ~max_depth:5 ~max_children:3 ~text_probability:0.3
+
+let qcheck_reader_fuzz =
+  QCheck2.Test.make ~name:"reader survives corrupted encodings" ~count:500
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let doc = base_doc seed in
+      let mode =
+        Rng.pick rng
+          [| Encode.Plain; Encode.Indexed { recursive = true };
+             Encode.Indexed { recursive = false } |]
+      in
+      let encoded = mutate rng (Encode.encode ~mode doc) in
+      well_behaved ~name:"Reader.to_dom"
+        (fun () -> ignore (Reader.to_dom encoded))
+        ~allowed:(function Invalid_argument _ -> true | _ -> false);
+      true)
+
+let qcheck_xml_parser_fuzz =
+  QCheck2.Test.make ~name:"xml parser survives corrupted documents"
+    ~count:500
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let xml = mutate rng (Sdds_xml.Serializer.to_string (base_doc seed)) in
+      well_behaved ~name:"Parser.dom_of_string"
+        (fun () -> ignore (Sdds_xml.Parser.dom_of_string xml))
+        ~allowed:(function
+          | Sdds_xml.Parser.Error _ | Invalid_argument _ -> true
+          | _ -> false);
+      true)
+
+let qcheck_xpath_parser_fuzz =
+  QCheck2.Test.make ~name:"xpath parser survives random strings" ~count:500
+    QCheck2.Gen.(string_size ~gen:printable (0 -- 40))
+    (fun s ->
+      well_behaved ~name:"Xpath.parse"
+        (fun () -> ignore (Sdds_xpath.Parser.parse s))
+        ~allowed:(function Sdds_xpath.Parser.Error _ -> true | _ -> false);
+      true)
+
+let qcheck_rule_parse_fuzz =
+  QCheck2.Test.make ~name:"rule parser survives random strings" ~count:500
+    QCheck2.Gen.(string_size ~gen:printable (0 -- 60))
+    (fun s ->
+      well_behaved ~name:"Rule.parse"
+        (fun () -> ignore (Sdds_core.Rule.parse s))
+        ~allowed:(function
+          | Invalid_argument _ | Sdds_xpath.Parser.Error _ -> true
+          | _ -> false);
+      true)
+
+let qcheck_output_codec_fuzz =
+  QCheck2.Test.make ~name:"output codec survives random bytes" ~count:500
+    QCheck2.Gen.(string_size (0 -- 64))
+    (fun s ->
+      well_behaved ~name:"Output_codec.decode_list"
+        (fun () -> ignore (Sdds_core.Output_codec.decode_list s))
+        ~allowed:(function Invalid_argument _ -> true | _ -> false);
+      true)
+
+let qcheck_rule_blob_fuzz =
+  QCheck2.Test.make ~name:"encrypted rule blobs reject corruption" ~count:300
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let drbg = Sdds_crypto.Drbg.create ~seed:(string_of_int seed) in
+      let key = Sdds_soe.Wire.fresh_doc_key drbg in
+      let signer = Lazy.force fuzz_signer in
+      let blob =
+        Sdds_soe.Wire.encrypt_rules drbg ~key ~doc_id:"d" ~subject:"u"
+          ~signer:signer.Sdds_crypto.Rsa.secret
+          [ Sdds_core.Rule.allow ~subject:"u" "//a" ]
+      in
+      let corrupted = mutate rng blob in
+      match
+        Sdds_soe.Wire.decrypt_rules ~key ~doc_id:"d" ~subject:"u"
+          ~publisher:signer.Sdds_crypto.Rsa.public corrupted
+      with
+      | Error _ -> true
+      | Ok (_version, rules) ->
+          (* Only acceptable if the mutation was a no-op. *)
+          corrupted = blob && List.length rules = 1)
+
+let qcheck_apdu_fuzz =
+  QCheck2.Test.make ~name:"apdu decoders survive random bytes" ~count:500
+    QCheck2.Gen.(string_size (0 -- 40))
+    (fun s ->
+      (* Decoders are total: they return options. *)
+      ignore (Sdds_soe.Apdu.decode_command s);
+      ignore (Sdds_soe.Apdu.decode_response s);
+      true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_reader_fuzz;
+    QCheck_alcotest.to_alcotest qcheck_xml_parser_fuzz;
+    QCheck_alcotest.to_alcotest qcheck_xpath_parser_fuzz;
+    QCheck_alcotest.to_alcotest qcheck_rule_parse_fuzz;
+    QCheck_alcotest.to_alcotest qcheck_output_codec_fuzz;
+    QCheck_alcotest.to_alcotest qcheck_rule_blob_fuzz;
+    QCheck_alcotest.to_alcotest qcheck_apdu_fuzz;
+  ]

@@ -1,0 +1,186 @@
+(* Metamorphic and invariant properties of the access-control semantics,
+   beyond the point-wise engine = oracle checks. *)
+
+module Rule = Sdds_core.Rule
+module Engine = Sdds_core.Engine
+module Oracle = Sdds_core.Oracle
+module Sdds = Sdds_core.Sdds
+module Compile = Sdds_core.Compile
+module Dom = Sdds_xml.Dom
+module Event = Sdds_xml.Event
+module Generator = Sdds_xml.Generator
+module Random_path = Sdds_xpath.Random_path
+module Rng = Sdds_util.Rng
+
+let tags = [| "a"; "b"; "c"; "d"; "e" |]
+let values = [| "1"; "2"; "x" |]
+
+let cfg =
+  { Random_path.default with max_steps = 3; predicate_probability = 0.4 }
+
+let random_doc rng =
+  Generator.random_tree rng ~tags ~max_depth:6 ~max_children:4
+    ~text_probability:0.3
+
+let random_rules rng n =
+  List.init n (fun _ ->
+      {
+        Rule.sign = (if Rng.bool rng then Rule.Allow else Rule.Deny);
+        subject = "u";
+        path = Random_path.generate rng cfg ~tags ~values;
+      })
+
+let random_allow rng =
+  { Rule.sign = Rule.Allow; subject = "u"; path = Random_path.generate rng cfg ~tags ~values }
+
+let random_deny rng = { (random_allow rng) with Rule.sign = Rule.Deny }
+
+let seed_gen = QCheck2.Gen.(int_bound 1_000_000)
+
+let module_of seed =
+  let rng = Rng.create (Int64.of_int seed) in
+  (rng, random_doc rng)
+
+(* 1. Determinism: two runs produce identical outputs. *)
+let qcheck_determinism =
+  QCheck2.Test.make ~name:"engine is deterministic" ~count:200 seed_gen
+    (fun seed ->
+      let rng, doc = module_of seed in
+      let rules = random_rules rng (1 + Rng.int rng 4) in
+      let events = Dom.to_events doc in
+      Engine.run rules events = Engine.run rules events)
+
+(* 2. Adding a deny rule never grows the allowed set. *)
+let qcheck_deny_monotone =
+  QCheck2.Test.make ~name:"denies are monotone" ~count:300 seed_gen
+    (fun seed ->
+      let rng, doc = module_of seed in
+      let rules = random_rules rng (1 + Rng.int rng 4) in
+      let extra = random_deny rng in
+      let module S = Set.Make (Int) in
+      let allowed rs = S.of_list (Oracle.allowed_ids ~rules:rs doc) in
+      S.subset (allowed (extra :: rules)) (allowed rules))
+
+(* 3. With no denies anywhere, adding an allow never shrinks the set. *)
+let qcheck_allow_monotone =
+  QCheck2.Test.make ~name:"allows are monotone without denies" ~count:300
+    seed_gen (fun seed ->
+      let rng, doc = module_of seed in
+      let rules = List.init (1 + Rng.int rng 3) (fun _ -> random_allow rng) in
+      let extra = random_allow rng in
+      let module S = Set.Make (Int) in
+      let allowed rs = S.of_list (Oracle.allowed_ids ~rules:rs doc) in
+      S.subset (allowed rules) (allowed (extra :: rules)))
+
+(* 4. The view's event stream is a subsequence of the document's. *)
+let qcheck_view_substructure =
+  QCheck2.Test.make ~name:"view is a substructure of the document"
+    ~count:300 seed_gen (fun seed ->
+      let rng, doc = module_of seed in
+      let rules = random_rules rng (1 + Rng.int rng 4) in
+      match Sdds.authorized_view ~rules doc with
+      | None -> true
+      | Some view ->
+          let rec subseq xs ys =
+            match (xs, ys) with
+            | [], _ -> true
+            | _, [] -> false
+            | x :: xs', y :: ys' ->
+                if Event.equal x y then subseq xs' ys' else subseq xs ys'
+          in
+          subseq (Dom.to_events view) (Dom.to_events doc))
+
+(* 5. A matching +p/-p pair collapses to the deny alone. *)
+let qcheck_deny_beats_same_path =
+  QCheck2.Test.make ~name:"deny absorbs an allow on the same path"
+    ~count:300 seed_gen (fun seed ->
+      let rng, doc = module_of seed in
+      let base = random_rules rng (Rng.int rng 3) in
+      let p = Random_path.generate rng cfg ~tags ~values in
+      let with_both =
+        { Rule.sign = Rule.Allow; subject = "u"; path = p }
+        :: { Rule.sign = Rule.Deny; subject = "u"; path = p }
+        :: base
+      in
+      let deny_only =
+        { Rule.sign = Rule.Deny; subject = "u"; path = p } :: base
+      in
+      Oracle.allowed_ids ~rules:with_both doc
+      = Oracle.allowed_ids ~rules:deny_only doc)
+
+(* 6. Query conjunction: text delivered with a query is a subset of the
+   text delivered without it. *)
+let qcheck_query_restricts =
+  QCheck2.Test.make ~name:"a query only restricts the view" ~count:300
+    seed_gen (fun seed ->
+      let rng, doc = module_of seed in
+      let rules = random_rules rng (1 + Rng.int rng 4) in
+      let query = Random_path.generate rng cfg ~tags ~values in
+      let texts view =
+        match view with
+        | None -> []
+        | Some v ->
+            let acc = ref [] in
+            let rec go = function
+              | Dom.Text t -> acc := t :: !acc
+              | Dom.Element (_, kids) -> List.iter go kids
+            in
+            go v;
+            List.sort compare !acc
+      in
+      let without = texts (Oracle.authorized_view ~rules doc) in
+      let with_q = texts (Oracle.authorized_view ~rules ~query doc) in
+      (* multiset inclusion *)
+      let rec included xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xs', y :: ys' ->
+            if x = y then included xs' ys'
+            else if compare x y > 0 then included xs ys'
+            else false
+      in
+      included with_q without)
+
+(* 7. Engine memory is bounded by depth x automaton size, never by
+   document length: duplicating the document's content under a new root
+   (same depth + 1) must not double the peak state. *)
+let qcheck_memory_size_independent =
+  QCheck2.Test.make ~name:"peak state does not track document size"
+    ~count:150 seed_gen (fun seed ->
+      let rng, doc = module_of seed in
+      let rules = random_rules rng (1 + Rng.int rng 3) in
+      let peak d =
+        let t = Engine.create rules in
+        List.iter (fun ev -> ignore (Engine.feed t ev)) (Dom.to_events d);
+        Engine.finish t;
+        (Engine.stats t).Engine.peak_state_words
+      in
+      let doubled = Dom.element "a" [ doc; doc; doc; doc ] in
+      (* Four copies of the content, one extra level: the peak may grow
+         with the extra depth but must stay far below 4x. *)
+      peak doubled <= (2 * peak doc) + 256)
+
+(* 8. The compiled automaton size matches the AST size measure. *)
+let qcheck_state_count =
+  QCheck2.Test.make ~name:"compiled states = AST size" ~count:300 seed_gen
+    (fun seed ->
+      let rng, _ = module_of seed in
+      let rules = random_rules rng (1 + Rng.int rng 5) in
+      let compiled = Compile.compile rules in
+      Compile.state_count compiled
+      = List.fold_left
+          (fun acc r -> acc + Sdds_xpath.Ast.size r.Rule.path)
+          0 rules)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_determinism;
+    QCheck_alcotest.to_alcotest qcheck_deny_monotone;
+    QCheck_alcotest.to_alcotest qcheck_allow_monotone;
+    QCheck_alcotest.to_alcotest qcheck_view_substructure;
+    QCheck_alcotest.to_alcotest qcheck_deny_beats_same_path;
+    QCheck_alcotest.to_alcotest qcheck_query_restricts;
+    QCheck_alcotest.to_alcotest qcheck_memory_size_independent;
+    QCheck_alcotest.to_alcotest qcheck_state_count;
+  ]

@@ -1,0 +1,183 @@
+module Remote_card = Sdds_soe.Remote_card
+module Card = Sdds_soe.Card
+module Cost = Sdds_soe.Cost
+module Apdu = Sdds_soe.Apdu
+module Publish = Sdds_dsp.Publish
+module Store = Sdds_dsp.Store
+module Rule = Sdds_core.Rule
+module Oracle = Sdds_core.Oracle
+module Reassembler = Sdds_core.Reassembler
+module Dom = Sdds_xml.Dom
+module Generator = Sdds_xml.Generator
+module Drbg = Sdds_crypto.Drbg
+module Rsa = Sdds_crypto.Rsa
+module Rng = Sdds_util.Rng
+
+let dom = Alcotest.testable Dom.pp Dom.equal
+let dom_opt = Alcotest.(option dom)
+
+(* One world: a published hospital document and a personalized card behind
+   an APDU host. *)
+type world = {
+  doc : Dom.t;
+  rules : Rule.t list;
+  encrypted_rules : string;
+  wrapped : string;
+  source : Card.doc_source;
+  transport : Remote_card.Client.transport;
+  card : Card.t;
+}
+
+let world =
+  lazy
+    (let drbg = Drbg.create ~seed:"remote-card" in
+     let publisher = Rsa.generate drbg ~bits:512 in
+     let user = Rsa.generate drbg ~bits:512 in
+     let doc = Generator.hospital (Rng.create 41L) ~patients:6 in
+     let published, doc_key =
+       Publish.publish drbg ~publisher ~doc_id:"remote-doc" doc
+     in
+     let rules =
+       [ Rule.allow ~subject:"u" "//patient"; Rule.deny ~subject:"u" "//ssn" ]
+     in
+     let encrypted_rules =
+       Publish.encrypt_rules_for drbg ~publisher ~doc_key ~doc_id:"remote-doc"
+         ~subject:"u" rules
+     in
+     let wrapped =
+       Publish.grant drbg ~doc_key ~doc_id:"remote-doc"
+         ~recipient:user.Rsa.public
+     in
+     let source = Publish.to_source published ~delivery:`Pull in
+     let card = Card.create ~profile:Cost.modern ~subject:"u" user in
+     let host =
+       Remote_card.Host.create ~card ~resolve:(fun id ->
+           if String.equal id "remote-doc" then Some source else None)
+     in
+     {
+       doc;
+       rules;
+       encrypted_rules;
+       wrapped;
+       source;
+       transport = Remote_card.Host.process host;
+       card;
+     })
+
+let test_remote_equals_direct () =
+  let w = Lazy.force world in
+  match
+    Remote_card.Client.evaluate w.transport ~doc_id:"remote-doc"
+      ~wrapped_grant:w.wrapped ~encrypted_rules:w.encrypted_rules ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let view = Reassembler.run ~has_query:false r.Remote_card.Client.outputs in
+      Alcotest.check dom_opt "view through APDU = oracle"
+        (Oracle.authorized_view ~rules:w.rules w.doc)
+        view;
+      Alcotest.(check bool) "several frames each way" true
+        (r.Remote_card.Client.command_frames > 2
+        && r.Remote_card.Client.response_frames
+           = r.Remote_card.Client.command_frames);
+      Alcotest.(check bool) "wire bytes counted" true
+        (r.Remote_card.Client.wire_bytes
+        > String.length w.encrypted_rules)
+
+let test_remote_with_query () =
+  let w = Lazy.force world in
+  match
+    Remote_card.Client.evaluate w.transport ~doc_id:"remote-doc"
+      ~encrypted_rules:w.encrypted_rules ~xpath:"//patient/name" ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let view = Reassembler.run ~has_query:true r.Remote_card.Client.outputs in
+      Alcotest.check dom_opt "query through APDU"
+        (Oracle.authorized_view ~rules:w.rules
+           ~query:(Sdds_xpath.Parser.parse "//patient/name")
+           w.doc)
+        view
+
+let test_remote_unknown_document () =
+  let w = Lazy.force world in
+  match
+    Remote_card.Client.evaluate w.transport ~doc_id:"nope"
+      ~encrypted_rules:w.encrypted_rules ()
+  with
+  | Error msg ->
+      Alcotest.(check bool) "names the step" true
+        (String.length msg > 0
+        && String.sub msg 0 6 = "select")
+  | Ok _ -> Alcotest.fail "expected select failure"
+
+let test_remote_out_of_sequence () =
+  let w = Lazy.force world in
+  (* Evaluate without selecting or loading rules on a fresh host. *)
+  let host =
+    Remote_card.Host.create ~card:w.card ~resolve:(fun _ -> Some w.source)
+  in
+  let resp =
+    Remote_card.Host.process host
+      { Apdu.cla = 0x80; ins = Remote_card.Ins.evaluate; p1 = 0; p2 = 0; data = "" }
+  in
+  Alcotest.(check bool) "bad state" true
+    ((resp.Apdu.sw1, resp.Apdu.sw2) = Remote_card.Sw.bad_state)
+
+let test_remote_bad_class_and_ins () =
+  let w = Lazy.force world in
+  let resp =
+    w.transport { Apdu.cla = 0x00; ins = 0xFF; p1 = 0; p2 = 0; data = "" }
+  in
+  Alcotest.(check bool) "bad ins" true
+    ((resp.Apdu.sw1, resp.Apdu.sw2) = Remote_card.Sw.bad_ins)
+
+let test_remote_security_error_mapped () =
+  let w = Lazy.force world in
+  (* Corrupt the rule blob: the MAC failure must surface as SW 6982. *)
+  let bad = Bytes.of_string w.encrypted_rules in
+  Bytes.set_uint8 bad 20 (Bytes.get_uint8 bad 20 lxor 1);
+  match
+    Remote_card.Client.evaluate w.transport ~doc_id:"remote-doc"
+      ~encrypted_rules:(Bytes.to_string bad) ()
+  with
+  | Error msg ->
+      Alcotest.(check bool) "6982 surfaced" true
+        (String.length msg >= 4
+        &&
+        let tail = String.sub msg (String.length msg - 4) 4 in
+        String.equal tail "6982")
+  | Ok _ -> Alcotest.fail "expected security error"
+
+let test_remote_chain_gap () =
+  (* A dropped frame in a chained command must fail fast, not silently
+     concatenate. *)
+  let w = Lazy.force world in
+  let host =
+    Sdds_soe.Remote_card.Host.create ~card:w.card ~resolve:(fun _ ->
+        Some w.source)
+  in
+  let send ins p1 p2 data =
+    Sdds_soe.Remote_card.Host.process host
+      { Apdu.cla = 0x80; ins; p1; p2; data }
+  in
+  ignore (send Remote_card.Ins.select 0 0 "remote-doc");
+  ignore (send Remote_card.Ins.rules 1 0 "frame0");
+  let resp = send Remote_card.Ins.rules 0 2 "frame2" in
+  Alcotest.(check bool) "gap rejected" true
+    ((resp.Apdu.sw1, resp.Apdu.sw2) = Remote_card.Sw.bad_state)
+
+let suite =
+  [
+    Alcotest.test_case "remote = direct" `Quick test_remote_equals_direct;
+    Alcotest.test_case "remote with query" `Quick test_remote_with_query;
+    Alcotest.test_case "remote unknown document" `Quick
+      test_remote_unknown_document;
+    Alcotest.test_case "remote out of sequence" `Quick
+      test_remote_out_of_sequence;
+    Alcotest.test_case "remote bad class/ins" `Quick
+      test_remote_bad_class_and_ins;
+    Alcotest.test_case "remote security mapping" `Quick
+      test_remote_security_error_mapped;
+    Alcotest.test_case "remote chain gap" `Quick test_remote_chain_gap;
+  ]

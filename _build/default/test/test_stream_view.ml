@@ -1,0 +1,130 @@
+module Stream_view = Sdds_core.Stream_view
+module Reassembler = Sdds_core.Reassembler
+module Engine = Sdds_core.Engine
+module Rule = Sdds_core.Rule
+module Dom = Sdds_xml.Dom
+module Event = Sdds_xml.Event
+module Xml_parser = Sdds_xml.Parser
+module Generator = Sdds_xml.Generator
+module Random_path = Sdds_xpath.Random_path
+module Rng = Sdds_util.Rng
+
+let allow p = Rule.allow ~subject:"u" p
+let deny p = Rule.deny ~subject:"u" p
+
+(* Run engine output through Stream_view, collecting emitted events and
+   the number emitted before the stream ended. *)
+let stream ?default ?query rules doc =
+  let events = ref [] in
+  let sv =
+    Stream_view.create ?default ~has_query:(query <> None)
+      ~emit:(fun ev -> events := ev :: !events)
+      ()
+  in
+  let engine = Engine.create ?default ?query rules in
+  let before_finish = ref 0 in
+  List.iter
+    (fun ev ->
+      List.iter (Stream_view.feed sv) (Engine.feed engine ev);
+      before_finish := List.length !events)
+    (Dom.to_events doc);
+  Engine.finish engine;
+  Stream_view.finish sv;
+  (List.rev !events, !before_finish, Stream_view.peak_buffered_nodes sv)
+
+let expected_events ?default ?query rules doc =
+  let outs = Engine.run ?default ?query rules (Dom.to_events doc) in
+  match Reassembler.run ?default ~has_query:(query <> None) outs with
+  | None -> []
+  | Some view -> Dom.to_events view
+
+let check_same ?default ?query rules doc label =
+  let got, _, _ = stream ?default ?query rules doc in
+  let want = expected_events ?default ?query rules doc in
+  Alcotest.(check bool)
+    (label ^ ": same events")
+    true
+    (List.equal Event.equal want got)
+
+let test_static_stream_is_incremental () =
+  let doc = Generator.agenda (Rng.create 3L) ~courses:50 in
+  let rules = [ allow "//course"; deny "//instructor" ] in
+  let events, before_finish, peak = stream rules doc in
+  Alcotest.(check bool) "events emitted early" true
+    (before_finish = List.length events && before_finish > 0);
+  (* With no pending conditions, buffering stays around the path depth,
+     far below the ~50-course document. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "peak buffer small (%d)" peak)
+    true (peak <= 8);
+  check_same rules doc "static"
+
+let test_pending_blocks_then_flushes () =
+  let doc = Xml_parser.dom_of_string "<a><b><d>x</d><c>1</c></b><e>t</e></a>" in
+  let rules = [ allow "//b[c]/d"; allow "//e" ] in
+  check_same rules doc "pending"
+
+let test_pending_false_discards () =
+  let doc = Xml_parser.dom_of_string "<a><b><d>x</d></b><e>t</e></a>" in
+  let rules = [ allow "//b[c]/d"; allow "//e" ] in
+  check_same rules doc "pending-false"
+
+let test_empty_view_emits_nothing () =
+  let doc = Xml_parser.dom_of_string "<a><b>x</b></a>" in
+  let events, _, _ = stream [ deny "/a" ] doc in
+  Alcotest.(check int) "nothing" 0 (List.length events)
+
+let test_malformed_stream () =
+  let sv =
+    Stream_view.create ~has_query:false ~emit:(fun _ -> ()) ()
+  in
+  (match Stream_view.feed sv (Sdds_core.Output.Close_node "a") with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected close-without-open error");
+  match Stream_view.finish sv with
+  | exception Invalid_argument _ -> Alcotest.fail "empty stream should finish"
+  | () -> ()
+
+let qcheck_stream_view_equals_reassembler =
+  QCheck2.Test.make ~name:"stream view = reassembler view" ~count:400
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let tags = [| "a"; "b"; "c"; "d"; "e" |] in
+      let values = [| "1"; "2"; "x" |] in
+      let cfg =
+        { Random_path.default with max_steps = 3; predicate_probability = 0.5 }
+      in
+      let doc =
+        Generator.random_tree rng ~tags ~max_depth:6 ~max_children:4
+          ~text_probability:0.3
+      in
+      let rules =
+        List.init
+          (1 + Rng.int rng 4)
+          (fun _ ->
+            {
+              Rule.sign = (if Rng.bool rng then Rule.Allow else Rule.Deny);
+              subject = "u";
+              path = Random_path.generate rng cfg ~tags ~values;
+            })
+      in
+      let query =
+        if Rng.bool rng then Some (Random_path.generate rng cfg ~tags ~values)
+        else None
+      in
+      let got, _, _ = stream ?query rules doc in
+      List.equal Event.equal (expected_events ?query rules doc) got)
+
+let suite =
+  [
+    Alcotest.test_case "static stream incremental" `Quick
+      test_static_stream_is_incremental;
+    Alcotest.test_case "pending blocks then flushes" `Quick
+      test_pending_blocks_then_flushes;
+    Alcotest.test_case "pending false discards" `Quick
+      test_pending_false_discards;
+    Alcotest.test_case "empty view" `Quick test_empty_view_emits_nothing;
+    Alcotest.test_case "malformed stream" `Quick test_malformed_stream;
+    QCheck_alcotest.to_alcotest qcheck_stream_view_equals_reassembler;
+  ]

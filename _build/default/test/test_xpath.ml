@@ -1,0 +1,278 @@
+module Ast = Sdds_xpath.Ast
+module Xp = Sdds_xpath.Parser
+module Eval = Sdds_xpath.Eval
+module Random_path = Sdds_xpath.Random_path
+module Dom = Sdds_xml.Dom
+module Xml_parser = Sdds_xml.Parser
+module Generator = Sdds_xml.Generator
+module Rng = Sdds_util.Rng
+
+let path = Alcotest.testable Ast.pp Ast.equal
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let step ?(preds = []) axis test = { Ast.axis; test; preds }
+
+let test_parse_simple () =
+  Alcotest.check path "/a/b"
+    { Ast.steps = [ step Child (Name "a"); step Child (Name "b") ] }
+    (Xp.parse "/a/b");
+  Alcotest.check path "//a"
+    { Ast.steps = [ step Descendant (Name "a") ] }
+    (Xp.parse "//a");
+  Alcotest.check path "/a//*"
+    { Ast.steps = [ step Child (Name "a"); step Descendant Any ] }
+    (Xp.parse "/a//*")
+
+let test_parse_attribute_test () =
+  Alcotest.check path "//item/@seq"
+    { Ast.steps = [ step Descendant (Name "item"); step Child (Name "@seq") ] }
+    (Xp.parse "//item/@seq")
+
+let test_parse_predicates () =
+  Alcotest.check path "//b[c]/d"
+    {
+      Ast.steps =
+        [
+          step Descendant (Name "b")
+            ~preds:[ { Ast.ppath = [ step Child (Name "c") ]; target = Exists } ];
+          step Child (Name "d");
+        ];
+    }
+    (Xp.parse "//b[c]/d")
+
+let test_parse_descendant_predicate () =
+  Alcotest.check path "//a[.//f]"
+    {
+      Ast.steps =
+        [
+          step Descendant (Name "a")
+            ~preds:
+              [ { Ast.ppath = [ step Descendant (Name "f") ]; target = Exists } ];
+        ];
+    }
+    (Xp.parse "//a[.//f]")
+
+let test_parse_value_predicates () =
+  Alcotest.check path "age > 60"
+    {
+      Ast.steps =
+        [
+          step Descendant (Name "patient")
+            ~preds:
+              [
+                {
+                  Ast.ppath = [ step Child (Name "age") ];
+                  target = Value (Gt, "60");
+                };
+              ];
+        ];
+    }
+    (Xp.parse "//patient[age>60]");
+  Alcotest.check path "self comparison"
+    {
+      Ast.steps =
+        [
+          step Descendant (Name "rating")
+            ~preds:[ { Ast.ppath = []; target = Value (Eq, "G") } ];
+        ];
+    }
+    (Xp.parse {|//rating[. = "G"]|})
+
+let test_parse_nested_predicates () =
+  Alcotest.check path "nested"
+    {
+      Ast.steps =
+        [
+          step Descendant (Name "a")
+            ~preds:
+              [
+                {
+                  Ast.ppath =
+                    [
+                      step Child (Name "b")
+                        ~preds:
+                          [
+                            {
+                              Ast.ppath = [ step Child (Name "c") ];
+                              target = Exists;
+                            };
+                          ];
+                    ];
+                  target = Exists;
+                };
+              ];
+        ];
+    }
+    (Xp.parse "//a[b[c]]")
+
+let test_parse_multiple_predicates () =
+  let p = Xp.parse "//a[b][c>1]" in
+  match p.Ast.steps with
+  | [ { preds = [ _; _ ]; _ } ] -> ()
+  | _ -> Alcotest.fail "expected one step with two predicates"
+
+let test_parse_errors () =
+  let expect s =
+    match Xp.parse s with
+    | exception Xp.Error _ -> ()
+    | _ -> Alcotest.fail ("expected error on " ^ s)
+  in
+  expect "";
+  expect "a/b";
+  expect "/";
+  expect "/a[";
+  expect "/a[]";
+  expect "/a[.]";
+  expect "/a[b";
+  expect "/a[/b]";
+  expect "/a]";
+  expect "/a/b/";
+  expect "/a[b=]";
+  expect {|/a[b="unterminated]|}
+
+let test_pp_roundtrip_cases () =
+  List.iter
+    (fun s ->
+      let p = Xp.parse s in
+      Alcotest.check path ("pp roundtrip " ^ s) p (Xp.parse (Ast.to_string p)))
+    [
+      "/a/b";
+      "//a//b";
+      "/a/*";
+      "//b[c]/d";
+      "//a[.//f]";
+      {|//patient[age>="60"]|};
+      "//a[b[c/d]]";
+      {|//rating[.="G"]|};
+      "//item/@seq";
+      {|//a[b!="x"][c]|};
+    ]
+
+let qcheck_pp_roundtrip =
+  QCheck2.Test.make ~name:"xpath pp/parse roundtrip" ~count:300
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let p =
+        Random_path.generate rng Random_path.default
+          ~tags:[| "a"; "b"; "c"; "dd"; "e1" |]
+          ~values:[| "10"; "x"; "hello" |]
+      in
+      Ast.equal p (Xp.parse (Ast.to_string p)))
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* ids:  a=0, b=1, c=2, d=3, b=4, e=5, f=6 *)
+let doc =
+  Xml_parser.dom_of_string
+    "<a><b><c>10</c><d>x</d></b><b><e><f>y</f></e></b></a>"
+
+let select s = Eval.select_doc (Xp.parse s) doc
+
+let test_eval_child () =
+  Alcotest.(check (list int)) "/a" [ 0 ] (select "/a");
+  Alcotest.(check (list int)) "/a/b" [ 1; 4 ] (select "/a/b");
+  Alcotest.(check (list int)) "/b" [] (select "/b");
+  Alcotest.(check (list int)) "/a/b/c" [ 2 ] (select "/a/b/c")
+
+let test_eval_descendant () =
+  Alcotest.(check (list int)) "//b" [ 1; 4 ] (select "//b");
+  Alcotest.(check (list int)) "//f" [ 6 ] (select "//f");
+  Alcotest.(check (list int)) "/a//f" [ 6 ] (select "/a//f");
+  Alcotest.(check (list int)) "//e//f" [ 6 ] (select "//e//f");
+  Alcotest.(check (list int)) "//b//b" [] (select "//b//b")
+
+let test_eval_wildcard () =
+  Alcotest.(check (list int)) "/a/*" [ 1; 4 ] (select "/a/*");
+  Alcotest.(check (list int)) "//*" [ 0; 1; 2; 3; 4; 5; 6 ] (select "//*");
+  Alcotest.(check (list int)) "/*/b/*" [ 2; 3; 5 ] (select "/*/b/*")
+
+let test_eval_predicates () =
+  Alcotest.(check (list int)) "//b[c]" [ 1 ] (select "//b[c]");
+  Alcotest.(check (list int)) "//b[c]/d" [ 3 ] (select "//b[c]/d");
+  Alcotest.(check (list int)) "//b[.//f]" [ 4 ] (select "//b[.//f]");
+  Alcotest.(check (list int)) "//b[g]" [] (select "//b[g]");
+  Alcotest.(check (list int)) "//a[b[c]]" [ 0 ] (select "//a[b[c]]")
+
+let test_eval_value_predicates () =
+  Alcotest.(check (list int)) "numeric eq" [ 1 ] (select "//b[c=10]");
+  Alcotest.(check (list int)) "numeric eq float" [ 1 ] (select {|//b[c="10.0"]|});
+  Alcotest.(check (list int)) "lt" [ 1 ] (select "//b[c<11]");
+  Alcotest.(check (list int)) "lt fails" [] (select "//b[c<10]");
+  Alcotest.(check (list int)) "string eq" [ 1 ] (select {|//b[d="x"]|});
+  Alcotest.(check (list int)) "string neq" [] (select {|//b[d!="x"]|});
+  Alcotest.(check (list int)) "self value" [ 2 ] (select {|//c[.="10"]|});
+  Alcotest.(check (list int)) "string ineq" [ 6 ] (select {|//f[.>="y"]|})
+
+let test_eval_attribute () =
+  let d = Xml_parser.dom_of_string {|<r><i id="1"/><i id="2"/></r>|} in
+  Alcotest.(check (list int)) "attr value"
+    [ 3 ]
+    (Eval.select_doc (Xp.parse {|//i[@id="2"]|}) d);
+  Alcotest.(check (list int)) "attr nodes"
+    [ 2; 4 ]
+    (Eval.select_doc (Xp.parse "//i/@id") d)
+
+let test_eval_duplicate_safe () =
+  (* Both //b and /a/b reach the same node through different derivations;
+     the result must not contain duplicates. *)
+  let d = Xml_parser.dom_of_string "<a><a><b/></a></a>" in
+  Alcotest.(check (list int)) "dedup" [ 2 ]
+    (Eval.select_doc (Xp.parse "//a//b") d)
+
+let test_holds_at () =
+  let indexed = Eval.index doc in
+  let rec find n target =
+    if n.Eval.id = target then Some n
+    else List.fold_left (fun acc c -> match acc with Some _ -> acc | None -> find c target) None n.Eval.children
+  in
+  let b1 = Option.get (find indexed 1) in
+  let pred = { Ast.ppath = [ step Child (Name "c") ]; target = Exists } in
+  Alcotest.(check bool) "b[c] holds at b1" true (Eval.holds_at pred b1);
+  let b2 = Option.get (find indexed 4) in
+  Alcotest.(check bool) "b[c] fails at b2" false (Eval.holds_at pred b2)
+
+let test_generate_matching () =
+  let rng = Rng.create 77L in
+  let doc = Generator.agenda rng ~courses:10 in
+  match
+    Random_path.generate_matching rng Random_path.default ~doc ~tries:100
+  with
+  | None -> Alcotest.fail "no matching expression found in 100 tries"
+  | Some (p, ids) ->
+      Alcotest.(check bool) "non-empty" true (ids <> []);
+      let again = Eval.select_doc p doc in
+      Alcotest.(check (list int)) "stable selection" ids again
+
+let suite =
+  [
+    Alcotest.test_case "parse simple" `Quick test_parse_simple;
+    Alcotest.test_case "parse attribute" `Quick test_parse_attribute_test;
+    Alcotest.test_case "parse predicates" `Quick test_parse_predicates;
+    Alcotest.test_case "parse descendant predicate" `Quick
+      test_parse_descendant_predicate;
+    Alcotest.test_case "parse value predicates" `Quick
+      test_parse_value_predicates;
+    Alcotest.test_case "parse nested predicates" `Quick
+      test_parse_nested_predicates;
+    Alcotest.test_case "parse multiple predicates" `Quick
+      test_parse_multiple_predicates;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "pp roundtrip cases" `Quick test_pp_roundtrip_cases;
+    QCheck_alcotest.to_alcotest qcheck_pp_roundtrip;
+    Alcotest.test_case "eval child" `Quick test_eval_child;
+    Alcotest.test_case "eval descendant" `Quick test_eval_descendant;
+    Alcotest.test_case "eval wildcard" `Quick test_eval_wildcard;
+    Alcotest.test_case "eval predicates" `Quick test_eval_predicates;
+    Alcotest.test_case "eval value predicates" `Quick
+      test_eval_value_predicates;
+    Alcotest.test_case "eval attributes" `Quick test_eval_attribute;
+    Alcotest.test_case "eval dedup" `Quick test_eval_duplicate_safe;
+    Alcotest.test_case "holds_at" `Quick test_holds_at;
+    Alcotest.test_case "generate_matching" `Quick test_generate_matching;
+  ]
