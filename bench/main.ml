@@ -7,7 +7,11 @@
 
    Each experiment prints the table/series recorded in EXPERIMENTS.md.
    Simulated times come from the calibrated smart-card cost model
-   (Sdds_soe.Cost); wall-clock microbenchmarks use Bechamel. *)
+   (Sdds_soe.Cost); wall-clock microbenchmarks use Bechamel.
+
+   Engine-level measurements (ns/event, peak tokens, token visits) are
+   additionally collected into BENCH_engine.json in the current
+   directory — see EXPERIMENTS.md for the schema. *)
 
 module Rng = Sdds_util.Rng
 module Dom = Sdds_xml.Dom
@@ -60,6 +64,58 @@ let ns_of ~name f =
       | Some [ ns ] -> ns
       | Some _ | None -> acc)
     results nan
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_engine.json: machine-readable engine measurements             *)
+(* ------------------------------------------------------------------ *)
+
+(* One record per (experiment, case, engine mode). Collected by the
+   engine-facing experiments as they print their tables, dumped once at
+   the end of the run. *)
+type engine_record = {
+  experiment : string;
+  case : string;
+  dispatch : bool;
+  events : int;
+  ns_per_event : float;
+  peak_tokens : int;
+  token_visits : int;
+}
+
+let engine_records : engine_record list ref = ref []
+
+let record_engine ~experiment ~case ~dispatch ~events ~ns_per_event
+    ~peak_tokens ~token_visits =
+  engine_records :=
+    { experiment; case; dispatch; events; ns_per_event; peak_tokens;
+      token_visits }
+    :: !engine_records
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
+
+let write_bench_json () =
+  match List.rev !engine_records with
+  | [] -> ()
+  | records ->
+      let oc = open_out "BENCH_engine.json" in
+      Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/1\",\n";
+      Printf.fprintf oc "  \"records\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.fprintf oc
+            "    {\"experiment\": %S, \"case\": %S, \"dispatch\": %b, \
+             \"events\": %d, \"ns_per_event\": %s, \"peak_tokens\": %d, \
+             \"token_visits\": %d}%s\n"
+            r.experiment r.case r.dispatch r.events
+            (json_float r.ns_per_event)
+            r.peak_tokens r.token_visits
+            (if i = List.length records - 1 then "" else ","))
+        records;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "\nwrote BENCH_engine.json (%d records)\n"
+        (List.length records)
 
 (* Shared identities: RSA keygen is slow, reuse across experiments. *)
 let ids =
@@ -160,6 +216,10 @@ let e2_rules_scaling () =
       List.iter (fun ev -> ignore (Engine.feed t ev)) events;
       Engine.finish t;
       let st = Engine.stats t in
+      record_engine ~experiment:"E2" ~case:(Printf.sprintf "rules-%d" n)
+        ~dispatch:true ~events:n_events ~ns_per_event:per_event
+        ~peak_tokens:st.Engine.peak_tokens
+        ~token_visits:st.Engine.token_visits;
       Printf.printf "%6d %12.0f %14.0f %12d %12d\n" n per_event
         (1e9 /. per_event) st.Engine.peak_tokens st.Engine.token_visits)
     [ 1; 2; 4; 8; 16; 32; 64; 128 ];
@@ -774,6 +834,71 @@ let e13_view_latency () =
      the latency profile selective dissemination needs."
 
 (* ------------------------------------------------------------------ *)
+(* E14: per-tag token dispatch ablation                                *)
+(* ------------------------------------------------------------------ *)
+
+let e14_dispatch_ablation () =
+  header "E14"
+    "per-tag token dispatch: bucketed vs naive frame scan (wall clock)";
+  let rng = Rng.create 14L in
+  (* A tag-rich document: the hospital generator emits many distinct
+     element names, so most frames hold tokens waiting on tags other
+     than the one being opened — the case dispatch is built for. *)
+  let doc = Generator.hospital rng ~patients:60 in
+  let events = Dom.to_events doc in
+  let n_events = List.length events in
+  let rules =
+    [
+      Rule.allow ~subject:"u" "//patient";
+      Rule.deny ~subject:"u" "//ssn";
+      Rule.allow ~subject:"u" "//folder/prescription/drug";
+      Rule.deny ~subject:"u" "//comment";
+      Rule.deny ~subject:"u" {|//patient[age>"80"]|};
+    ]
+  in
+  Printf.printf "document: %d events, %d rules\n\n" n_events
+    (List.length rules);
+  Printf.printf "%-10s %12s %12s %12s\n" "mode" "ns/event" "peak_tokens"
+    "token_visits";
+  let run dispatch =
+    let ns =
+      ns_of ~name:(if dispatch then "dispatch" else "naive") (fun () ->
+          let t = Engine.create ~dispatch rules in
+          List.iter (fun ev -> ignore (Engine.feed t ev)) events;
+          Engine.finish t)
+    in
+    let per_event = ns /. float_of_int n_events in
+    let t = Engine.create ~dispatch rules in
+    let outs =
+      List.concat_map (fun ev -> Engine.feed t ev) events
+    in
+    Engine.finish t;
+    let st = Engine.stats t in
+    record_engine ~experiment:"E14"
+      ~case:(if dispatch then "dispatch" else "naive")
+      ~dispatch ~events:n_events ~ns_per_event:per_event
+      ~peak_tokens:st.Engine.peak_tokens
+      ~token_visits:st.Engine.token_visits;
+    Printf.printf "%-10s %12.0f %12d %12d\n"
+      (if dispatch then "dispatch" else "naive")
+      per_event st.Engine.peak_tokens st.Engine.token_visits;
+    (per_event, st.Engine.token_visits, outs)
+  in
+  let ns_d, visits_d, outs_d = run true in
+  let ns_n, visits_n, outs_n = run false in
+  Printf.printf
+    "\ntoken visits: %.2fx fewer; ns/event: %.2fx; outputs identical: %b\n"
+    (float_of_int visits_n /. float_of_int (max 1 visits_d))
+    (ns_n /. ns_d)
+    (Sdds_core.Output_codec.encode_list outs_d
+    = Sdds_core.Output_codec.encode_list outs_n);
+  print_endline
+    "\nshape check: bucketing tokens by their next name test means an\n\
+     open only touches tokens that can actually react to the tag, so\n\
+     visits drop by the ratio of live-to-matching tokens while the\n\
+     output stream stays byte-identical."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -792,6 +917,7 @@ let experiments =
     ("E11", "guard-overhead", e11_guard_overhead);
     ("E12", "rule-simplify", e12_rule_simplify);
     ("E13", "view-latency", e13_view_latency);
+    ("E14", "dispatch-ablation", e14_dispatch_ablation);
   ]
 
 let () =
@@ -799,7 +925,9 @@ let () =
   match args with
   | [ "--list" ] ->
       List.iter (fun (id, name, _) -> Printf.printf "%-4s %s\n" id name) experiments
-  | [] -> List.iter (fun (_, _, run) -> run ()) experiments
+  | [] ->
+      List.iter (fun (_, _, run) -> run ()) experiments;
+      write_bench_json ()
   | wanted ->
       let matches (id, name, _) =
         List.exists
@@ -812,4 +940,7 @@ let () =
         prerr_endline "no experiment matched; try --list";
         exit 1
       end
-      else List.iter (fun (_, _, run) -> run ()) selected
+      else begin
+        List.iter (fun (_, _, run) -> run ()) selected;
+        write_bench_json ()
+      end

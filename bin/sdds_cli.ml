@@ -72,6 +72,9 @@ let or_die = function
       prerr_endline ("sdds: " ^ msg);
       exit 1
 
+let or_die_io r =
+  or_die (Result.map_error Sdds_dsp.Store_io.string_of_error r)
+
 (* view *)
 
 let view_cmd =
@@ -197,9 +200,10 @@ let keygen_cmd =
   let run name =
     let drbg = entropy () in
     let kp = Sdds_crypto.Rsa.generate drbg ~bits:512 in
-    Sdds_dsp.Store_io.Keyfile.save_keypair kp ~path:(name ^ ".sk");
-    Sdds_dsp.Store_io.Keyfile.save_public kp.Sdds_crypto.Rsa.public
-      ~path:(name ^ ".pk");
+    or_die_io (Sdds_dsp.Store_io.Keyfile.save_keypair kp ~path:(name ^ ".sk"));
+    or_die_io
+      (Sdds_dsp.Store_io.Keyfile.save_public kp.Sdds_crypto.Rsa.public
+         ~path:(name ^ ".pk"));
     Printf.printf "wrote %s.sk and %s.pk (fingerprint %s)
 " name name
       (Sdds_crypto.Rsa.fingerprint kp.Sdds_crypto.Rsa.public)
@@ -228,13 +232,16 @@ let publish_cmd =
   let run doc_path store_dir doc_id publisher_path rules grants =
     let doc = or_die (load_doc doc_path) in
     let rules = or_die (parse_rules rules) in
-    let publisher = Sdds_dsp.Store_io.Keyfile.load_keypair ~path:publisher_path in
+    let publisher =
+      or_die_io (Sdds_dsp.Store_io.Keyfile.load_keypair ~path:publisher_path)
+    in
     let drbg = entropy () in
     let published, doc_key =
       Sdds_dsp.Publish.publish drbg ~publisher ~doc_id doc
     in
     let store =
-      if Sys.file_exists store_dir then Sdds_dsp.Store_io.load ~dir:store_dir
+      if Sys.file_exists store_dir then
+        or_die_io (Sdds_dsp.Store_io.load ~dir:store_dir)
       else Sdds_dsp.Store.create ()
     in
     Sdds_dsp.Store.put_document store published;
@@ -255,11 +262,13 @@ let publish_cmd =
       subjects;
     List.iter
       (fun (subject, pk_path) ->
-        let recipient = Sdds_dsp.Store_io.Keyfile.load_public ~path:pk_path in
+        let recipient =
+          or_die_io (Sdds_dsp.Store_io.Keyfile.load_public ~path:pk_path)
+        in
         Sdds_dsp.Store.put_grant store ~doc_id ~subject
           (Sdds_dsp.Publish.grant drbg ~doc_key ~doc_id ~recipient))
       grants;
-    Sdds_dsp.Store_io.save store ~dir:store_dir;
+    or_die_io (Sdds_dsp.Store_io.save store ~dir:store_dir);
     Printf.printf "published %s as %s: %d chunks, %d subjects, %d grants
 "
       doc_path doc_id
@@ -274,9 +283,11 @@ let publish_cmd =
 
 let update_rules_cmd =
   let run store_dir doc_id publisher_path rules version =
-    let publisher = Sdds_dsp.Store_io.Keyfile.load_keypair ~path:publisher_path in
+    let publisher =
+      or_die_io (Sdds_dsp.Store_io.Keyfile.load_keypair ~path:publisher_path)
+    in
     let rules = or_die (parse_rules rules) in
-    let store = Sdds_dsp.Store_io.load ~dir:store_dir in
+    let store = or_die_io (Sdds_dsp.Store_io.load ~dir:store_dir) in
     let drbg = entropy () in
     let wrapped =
       match
@@ -304,15 +315,18 @@ let update_rules_cmd =
              ~doc_id ~subject ~version
              (Sdds_core.Rule.for_subject subject rules)))
       subjects;
-    Sdds_dsp.Store_io.save store ~dir:store_dir;
+    or_die_io (Sdds_dsp.Store_io.save store ~dir:store_dir);
     Printf.printf "updated rules (version %d) for: %s
 " version
       (String.concat ", " subjects)
   in
+  (* Not [--version]: Cmdliner reserves that for the program version
+     (the group's [Cmd.info ~version] adds it to every subcommand, and
+     a duplicate definition aborts at startup). *)
   let version_arg =
     Arg.(
       value & opt int 1
-      & info [ "version" ] ~docv:"N"
+      & info [ "policy-version" ] ~docv:"N"
           ~doc:"Monotonic policy version (anti-rollback); bump on every update")
   in
   Cmd.v
@@ -323,8 +337,8 @@ let update_rules_cmd =
 
 let query_cmd =
   let run store_dir doc_id subject key_path query =
-    let kp = Sdds_dsp.Store_io.Keyfile.load_keypair ~path:key_path in
-    let store = Sdds_dsp.Store_io.load ~dir:store_dir in
+    let kp = or_die_io (Sdds_dsp.Store_io.Keyfile.load_keypair ~path:key_path) in
+    let store = or_die_io (Sdds_dsp.Store_io.load ~dir:store_dir) in
     let card = Sdds_soe.Card.create ~profile:Sdds_soe.Cost.egate ~subject kp in
     let proxy = Sdds_proxy.Proxy.create ~store ~card in
     match Sdds_proxy.Proxy.query proxy ~doc_id ?xpath:query () with
@@ -354,8 +368,16 @@ let () =
     Cmd.info "sdds" ~version:"1.0.0"
       ~doc:"Safe data sharing and dissemination on smart devices"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ view_cmd; encode_cmd; stats_cmd; demo_cmd; keygen_cmd;
-            publish_cmd; update_rules_cmd; query_cmd ]))
+  (* Malformed key/store files raise Invalid_argument from the parsing
+     layer (documented in Store_io): turn those into a clean CLI error
+     instead of a fatal exception with a backtrace. *)
+  match
+    Cmd.eval ~catch:false
+      (Cmd.group info
+         [ view_cmd; encode_cmd; stats_cmd; demo_cmd; keygen_cmd;
+           publish_cmd; update_rules_cmd; query_cmd ])
+  with
+  | code -> exit code
+  | exception Invalid_argument msg ->
+      prerr_endline ("sdds: " ^ msg);
+      exit 1

@@ -10,7 +10,39 @@ type source = Rule_src of int | Query_src
 
 type spine = { source : source; sign : Rule.sign; cpath : cpath }
 
-type t = { spines : spine array; preds : cpred array }
+type path_origin = Spine_path of int | Pred_path of pred_id
+type site = { origin : path_origin; spos : int }
+
+type dispatch = {
+  by_tag : (string, site list) Hashtbl.t;
+  wildcard : site list;
+}
+
+type t = { spines : spine array; preds : cpred array; dispatch : dispatch }
+
+(* Invert the compiled paths: for each literal tag, the set of step
+   positions whose [Name] test matches it; [Any] steps form the (small)
+   always-checked wildcard set. The runtime dispatches incoming open
+   events through this index instead of re-testing every live token. *)
+let build_dispatch spines preds =
+  let by_tag = Hashtbl.create 32 in
+  let wildcard = ref [] in
+  let add_path origin path =
+    Array.iteri
+      (fun spos step ->
+        let site = { origin; spos } in
+        match step.test with
+        | Ast.Any -> wildcard := site :: !wildcard
+        | Ast.Name n ->
+            let sites =
+              match Hashtbl.find_opt by_tag n with Some l -> l | None -> []
+            in
+            Hashtbl.replace by_tag n (site :: sites))
+      path
+  in
+  Array.iteri (fun i sp -> add_path (Spine_path i) sp.cpath) spines;
+  Array.iteri (fun p cp -> add_path (Pred_path p) cp.ppath) preds;
+  { by_tag; wildcard = List.rev !wildcard }
 
 let compile ?query rules =
   let preds = ref [] in
@@ -44,12 +76,17 @@ let compile ?query rules =
     | Some q ->
         [ { source = Query_src; sign = Rule.Allow; cpath = compile_steps q.Ast.steps } ]
   in
-  {
-    spines = Array.of_list (rule_spines @ query_spines);
-    preds = Array.of_list (List.rev !preds);
-  }
+  let spines = Array.of_list (rule_spines @ query_spines) in
+  let preds = Array.of_list (List.rev !preds) in
+  { spines; preds; dispatch = build_dispatch spines preds }
 
 let pred t id = t.preds.(id)
+
+let sites_for_tag t tag =
+  match Hashtbl.find_opt t.dispatch.by_tag tag with Some l -> l | None -> []
+
+let wildcard_sites t = t.dispatch.wildcard
+let tag_known t tag = Hashtbl.mem t.dispatch.by_tag tag
 
 let can_complete path ~from ~tag_possible ~nonempty =
   let n = Array.length path in

@@ -29,15 +29,37 @@ type source =
 type spine = { source : source; sign : Rule.sign; cpath : cpath }
 (** A query compiles as a positive spine with [source = Query_src]. *)
 
+type path_origin =
+  | Spine_path of int  (** index into [spines] *)
+  | Pred_path of pred_id
+
+type site = { origin : path_origin; spos : int }
+(** One step position inside a compiled path. *)
+
+type dispatch = {
+  by_tag : (string, site list) Hashtbl.t;
+      (** literal tag -> step positions whose [Name] test matches it *)
+  wildcard : site list;  (** [Any]-test step positions, always candidates *)
+}
+
 type t = {
   spines : spine array;
   preds : cpred array;  (** shared table of all predicate paths, nested included *)
+  dispatch : dispatch;
 }
 
 val compile : ?query:Sdds_xpath.Ast.t -> Rule.t list -> t
 (** Rules must already be filtered to one subject. *)
 
 val pred : t -> pred_id -> cpred
+
+val sites_for_tag : t -> string -> site list
+(** Step positions whose literal [Name] test equals the tag ([] if none). *)
+
+val wildcard_sites : t -> site list
+
+val tag_known : t -> string -> bool
+(** Whether any compiled step names this tag literally. *)
 
 val can_complete :
   cpath -> from:int -> tag_possible:(string -> bool) -> nonempty:bool -> bool

@@ -1,10 +1,13 @@
 module Ast = Sdds_xpath.Ast
 module Event = Sdds_xml.Event
+module SMap = Map.Make (String)
 
 type stats = {
   mutable events : int;
   mutable emitted : int;
+  mutable delivered : int;
   mutable suppressed : int;
+  mutable filtered : int;
   mutable instances : int;
   mutable peak_tokens : int;
   mutable peak_state_words : int;
@@ -27,9 +30,32 @@ type token = { owner : owner; pos : int; conds : int list (* sorted *) }
 type det3 = Det_deny | Det_allow | Det_pending
 type scope3 = In_scope | Out_scope | Scope_pending
 
+(* Tokens are partitioned by their next step so [open_tag] only visits the
+   ones that can react to the incoming tag:
+
+   - [hot]: visited on every open — tokens carrying condition vars (their
+     conjunction must be re-substituted each event, and they can die) and
+     tokens whose next test is [Any];
+   - [child_named]: Child axis, literal [Name] test, no conditions — only
+     relevant when the tag matches; rebuilt per frame;
+   - [desc_named]: Descendant axis, literal [Name] test, no conditions —
+     such a token self-loops unchanged on every non-matching open, so the
+     map is inherited by child frames through structural sharing instead of
+     being copied (the O(1) self-loop).
+
+   With dispatch disabled every token is hot, which reproduces the naive
+   linear scan byte for byte — that mode is the differential-test oracle. *)
 type frame = {
   ftag : string;
-  mutable tokens : token list;
+  hot : token list;
+  child_named : token list SMap.t;
+  desc_named : token list SMap.t;
+  n_desc : int;  (** tokens across all [desc_named] buckets *)
+  desc_words : int;
+  n_tokens : int;  (** hot + child + desc, the frame's share of live tokens *)
+  token_words : int;
+  desc_has_allow : bool;  (** [desc_named] holds an allow-rule spine token *)
+  desc_has_query : bool;
   det : det3;
   scope : scope3;
   suppressed : bool;
@@ -41,6 +67,7 @@ type t = {
   compiled : Compile.t;
   has_query : bool;
   suppress_enabled : bool;
+  dispatch : bool;
   mutable frames : frame list;  (* top first; last = virtual root *)
   mutable next_var : int;
   live : (int, inst) Hashtbl.t;
@@ -61,16 +88,150 @@ let compare_tokens a b =
       | c -> c)
   | c -> c
 
-let owner_path t = function
-  | Spine i -> t.compiled.Compile.spines.(i).Compile.cpath
+let owner_path_c compiled = function
+  | Spine i -> compiled.Compile.spines.(i).Compile.cpath
   | Pred_owner inst -> inst.cpred.Compile.ppath
+
+let owner_path t = owner_path_c t.compiled
 
 let test_matches test tag =
   match test with
   | Ast.Any -> true
   | Ast.Name n -> String.equal n tag
 
-let create ?(default = Rule.Deny) ?query ?(suppress = true) rules =
+let is_pred_owner = function Pred_owner _ -> true | Spine _ -> false
+
+let spine_sign_c compiled = function
+  | Spine i -> Some compiled.Compile.spines.(i)
+  | Pred_owner _ -> None
+
+let spine_sign t = spine_sign_c t.compiled
+
+let tok_words tok = 3 + List.length tok.conds
+
+let is_allow_spine compiled owner =
+  match spine_sign_c compiled owner with
+  | Some sp ->
+      sp.Compile.source <> Compile.Query_src && sp.Compile.sign = Rule.Allow
+  | None -> false
+
+let is_query_spine compiled owner =
+  match spine_sign_c compiled owner with
+  | Some sp -> sp.Compile.source = Compile.Query_src
+  | None -> false
+
+(* Split [new_toks] (sorted, duplicate-free) into the child frame's
+   partitions on top of the inherited descendant map. A descendant-bucket
+   addition already present in the inherited bucket is dropped — it is the
+   self-loop copy of a token the child frame inherits structurally (the
+   naive engine's global [sort_uniq] did that dedup). *)
+let build_partitions compiled ~dispatch ~desc ~n_desc ~desc_words
+    ~desc_has_allow ~desc_has_query new_toks =
+  if not dispatch then begin
+    let n = List.length new_toks in
+    let words = List.fold_left (fun a tok -> a + tok_words tok) 0 new_toks in
+    ( new_toks,
+      SMap.empty,
+      SMap.empty,
+      0,
+      0,
+      false,
+      false,
+      n,
+      words )
+  end
+  else begin
+    let hot = ref [] in
+    let child = ref SMap.empty in
+    let desc = ref desc in
+    let n_desc = ref n_desc in
+    let desc_words = ref desc_words in
+    let has_allow = ref desc_has_allow in
+    let has_query = ref desc_has_query in
+    let n_own = ref 0 in
+    let own_words = ref 0 in
+    List.iter
+      (fun tok ->
+        let classify () =
+          if tok.conds <> [] then `Hot
+          else
+            let step = (owner_path_c compiled tok.owner).(tok.pos) in
+            match (step.Compile.test, step.Compile.axis) with
+            | Ast.Any, _ -> `Hot
+            | Ast.Name n, Ast.Child -> `Child n
+            | Ast.Name n, Ast.Descendant -> `Desc n
+        in
+        match classify () with
+        | `Hot ->
+            hot := tok :: !hot;
+            incr n_own;
+            own_words := !own_words + tok_words tok
+        | `Child n ->
+            let bucket =
+              match SMap.find_opt n !child with Some l -> l | None -> []
+            in
+            child := SMap.add n (tok :: bucket) !child;
+            incr n_own;
+            own_words := !own_words + tok_words tok
+        | `Desc n ->
+            let bucket =
+              match SMap.find_opt n !desc with Some l -> l | None -> []
+            in
+            if not (List.exists (fun o -> compare_tokens o tok = 0) bucket)
+            then begin
+              desc := SMap.add n (tok :: bucket) !desc;
+              incr n_desc;
+              desc_words := !desc_words + tok_words tok;
+              if is_allow_spine compiled tok.owner then has_allow := true;
+              if is_query_spine compiled tok.owner then has_query := true
+            end)
+      new_toks;
+    ( List.rev !hot,
+      !child,
+      !desc,
+      !n_desc,
+      !desc_words,
+      !has_allow,
+      !has_query,
+      !n_own + !n_desc,
+      !own_words + !desc_words )
+  end
+
+let make_frame compiled ~dispatch ~ftag ~desc ~n_desc ~desc_words
+    ~desc_has_allow ~desc_has_query ~det ~scope ~suppressed ~watchers
+    ~anchored new_toks =
+  let ( hot,
+        child_named,
+        desc_named,
+        n_desc,
+        desc_words,
+        desc_has_allow,
+        desc_has_query,
+        n_tokens,
+        token_words ) =
+    build_partitions compiled ~dispatch ~desc ~n_desc ~desc_words
+      ~desc_has_allow ~desc_has_query new_toks
+  in
+  {
+    ftag;
+    hot;
+    child_named;
+    desc_named;
+    n_desc;
+    desc_words;
+    n_tokens;
+    token_words;
+    desc_has_allow;
+    desc_has_query;
+    det;
+    scope;
+    suppressed;
+    watchers;
+    anchored;
+  }
+
+let create ?(default = Rule.Deny) ?query ?(suppress = true) ?(dispatch = true)
+    rules =
   let compiled = Compile.compile ?query rules in
   let has_query = query <> None in
   let initial_tokens =
@@ -82,20 +243,18 @@ let create ?(default = Rule.Deny) ?query ?(suppress = true) rules =
       (List.init (Array.length compiled.Compile.spines) Fun.id)
   in
   let root_frame =
-    {
-      ftag = "#root";
-      tokens = initial_tokens;
-      det = (match default with Rule.Deny -> Det_deny | Rule.Allow -> Det_allow);
-      scope = (if has_query then Out_scope else In_scope);
-      suppressed = false;
-      watchers = [];
-      anchored = [];
-    }
+    make_frame compiled ~dispatch ~ftag:"#root" ~desc:SMap.empty ~n_desc:0
+      ~desc_words:0 ~desc_has_allow:false ~desc_has_query:false
+      ~det:
+        (match default with Rule.Deny -> Det_deny | Rule.Allow -> Det_allow)
+      ~scope:(if has_query then Out_scope else In_scope)
+      ~suppressed:false ~watchers:[] ~anchored:[] initial_tokens
   in
   {
     compiled;
     has_query;
     suppress_enabled = suppress;
+    dispatch;
     frames = [ root_frame ];
     next_var = 0;
     live = Hashtbl.create 64;
@@ -105,7 +264,9 @@ let create ?(default = Rule.Deny) ?query ?(suppress = true) rules =
       {
         events = 0;
         emitted = 0;
+        delivered = 0;
         suppressed = 0;
+        filtered = 0;
         instances = 0;
         peak_tokens = 0;
         peak_state_words = 0;
@@ -117,11 +278,12 @@ let create ?(default = Rule.Deny) ?query ?(suppress = true) rules =
 (* Memory accounting                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Frame token counts are maintained incrementally: the shared descendant
+   map is charged to every frame that inherits it (matching what the naive
+   engine physically materializes), without walking shared structure. *)
 let state_words t =
-  let token_words tok = 3 + List.length tok.conds in
   let frame_words f =
-    4
-    + List.fold_left (fun a tok -> a + token_words tok) 0 f.tokens
+    4 + f.token_words
     + List.fold_left (fun a (_, conds) -> a + 2 + List.length conds) 0 f.watchers
     + List.length f.anchored
   in
@@ -133,8 +295,7 @@ let state_words t =
   + Hashtbl.fold inst_words t.live 0
   + (2 * Hashtbl.length t.rdeps)
 
-let live_tokens t =
-  List.fold_left (fun a f -> a + List.length f.tokens) 0 t.frames
+let live_tokens t = List.fold_left (fun a f -> a + f.n_tokens) 0 t.frames
 
 let bump_peaks t =
   let tokens = live_tokens t in
@@ -228,11 +389,17 @@ let cond_of_conjunction conds = Cond.conj (List.map Cond.var conds)
 (* Open                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let is_pred_owner = function Pred_owner _ -> true | Spine _ -> false
-
-let spine_sign t = function
-  | Spine i -> Some t.compiled.Compile.spines.(i)
-  | Pred_owner _ -> None
+(* The tokens that can react to [tag]: everything hot, plus the literal
+   buckets for [tag]. The partitions are disjoint, so sorting the
+   concatenation reproduces the naive engine's visit order exactly (the
+   unvisited tokens produce no observable effect in the naive scan, and
+   predicate-instantiation order — hence var numbering and the output byte
+   stream — follows visit order). *)
+let visited_tokens frame tag =
+  let bucket m = match SMap.find_opt tag m with Some l -> l | None -> [] in
+  match (bucket frame.child_named, bucket frame.desc_named) with
+  | [], [] -> frame.hot
+  | c, d -> List.sort compare_tokens (frame.hot @ c @ d)
 
 let open_tag t tag =
   match t.frames with
@@ -321,8 +488,9 @@ let open_tag t tag =
                       :: !new_tokens
             end
       in
-      t.st.token_visits <- t.st.token_visits + List.length parent.tokens;
-      List.iter advance parent.tokens;
+      let visited = visited_tokens parent tag in
+      t.st.token_visits <- t.st.token_visits + List.length visited;
+      List.iter advance visited;
       let tokens = List.sort_uniq compare_tokens !new_tokens in
       (* Conflict resolution (Denial-Takes-Precedence at this node,
          Most-Specific via inheritance). *)
@@ -345,48 +513,78 @@ let open_tag t tag =
           | Out_scope, Some false -> Out_scope
           | Out_scope, None | Scope_pending, _ -> Scope_pending
       in
-      let has_spine sign_filter =
-        List.exists
-          (fun tok ->
-            match spine_sign t tok.owner with
-            | None -> false
-            | Some sp -> sign_filter sp)
-          tokens
+      (* [tokens] covers everything the child frame holds except the
+         inherited descendant map, whose spine content the parent's flags
+         summarize (the naive engine scans the self-loop copies instead). *)
+      let has_spine inherited sign_filter =
+        inherited
+        || List.exists
+             (fun tok ->
+               match spine_sign t tok.owner with
+               | None -> false
+               | Some sp -> sign_filter sp)
+             tokens
       in
       let suppressed =
         parent.suppressed
         || t.suppress_enabled
            && ((det = Det_deny
                && not
-                    (has_spine (fun sp ->
+                    (has_spine parent.desc_has_allow (fun sp ->
                          sp.Compile.source <> Compile.Query_src
                          && sp.Compile.sign = Rule.Allow)))
               || (scope = Out_scope
                  && not
-                      (has_spine (fun sp ->
+                      (has_spine parent.desc_has_query (fun sp ->
                            sp.Compile.source = Compile.Query_src))))
       in
       (* Suspension: inside a determined subtree only predicate automata
          matter (they can affect outside nodes); drop the rule and query
-         tokens. *)
+         tokens. On the suppression boundary the inherited descendant map is
+         filtered too (deeper frames inherit the already-filtered map). *)
       let tokens =
         if suppressed then List.filter (fun tok -> is_pred_owner tok.owner) tokens
         else tokens
       in
+      let desc, n_desc, desc_words, desc_has_allow, desc_has_query =
+        if suppressed && not parent.suppressed then begin
+          let n = ref 0 and words = ref 0 in
+          let m =
+            SMap.filter_map
+              (fun _ toks ->
+                match
+                  List.filter (fun tok -> is_pred_owner tok.owner) toks
+                with
+                | [] -> None
+                | l ->
+                    List.iter
+                      (fun tok ->
+                        incr n;
+                        words := !words + tok_words tok)
+                      l;
+                    Some l)
+              parent.desc_named
+          in
+          (m, !n, !words, false, false)
+        end
+        else
+          ( parent.desc_named,
+            parent.n_desc,
+            parent.desc_words,
+            parent.desc_has_allow,
+            parent.desc_has_query )
+      in
       let frame =
-        {
-          ftag = tag;
-          tokens;
-          det;
-          scope;
-          suppressed;
-          watchers = !new_watchers;
-          anchored = !anchored_here;
-        }
+        make_frame t.compiled ~dispatch:t.dispatch ~ftag:tag ~desc ~n_desc
+          ~desc_words ~desc_has_allow ~desc_has_query ~det ~scope ~suppressed
+          ~watchers:!new_watchers ~anchored:!anchored_here tokens
       in
       t.frames <- frame :: t.frames;
       if suppressed then t.st.suppressed <- t.st.suppressed + 1
-      else out := Output.Open_node { tag; neg; pos; query } :: !out;
+      else begin
+        t.st.delivered <- t.st.delivered + 1;
+        out := Output.Open_node { tag; neg; pos; query } :: !out
+      end;
       bump_peaks t;
       let outs = List.rev !out in
       t.st.emitted <- t.st.emitted + List.length outs;
@@ -415,10 +613,15 @@ let value t v =
         f.watchers;
       (* Text is only deliverable when the enclosing element can be
          granted; under a determined denial or out of scope it is dead
-         weight. *)
-      if (not f.suppressed) && f.det <> Det_deny && f.scope <> Out_scope then
+         weight. A dropped value on an *unsuppressed* frame is counted as
+         filtered so the accounting reconciles:
+         events = delivered + suppressed + filtered. *)
+      if f.suppressed then t.st.suppressed <- t.st.suppressed + 1
+      else if f.det <> Det_deny && f.scope <> Out_scope then begin
+        t.st.delivered <- t.st.delivered + 1;
         out := Output.Text_node v :: !out
-      else if f.suppressed then t.st.suppressed <- t.st.suppressed + 1;
+      end
+      else t.st.filtered <- t.st.filtered + 1;
       let outs = List.rev !out in
       t.st.emitted <- t.st.emitted + List.length outs;
       outs
@@ -445,7 +648,10 @@ let close t tag =
           if inst.value = None then resolve t out inst false;
           Hashtbl.remove t.live inst.var)
         f.anchored;
-      if not f.suppressed then out := Output.Close_node tag :: !out
+      if not f.suppressed then begin
+        t.st.delivered <- t.st.delivered + 1;
+        out := Output.Close_node tag :: !out
+      end
       else t.st.suppressed <- t.st.suppressed + 1;
       (match rest with
       | [ _root ] -> t.closed_root <- true
@@ -466,8 +672,8 @@ let finish t =
   | [ _root ] when t.closed_root -> ()
   | _ -> invalid_arg "Engine.finish: document incomplete"
 
-let run ?default ?query ?suppress rules events =
-  let t = create ?default ?query ?suppress rules in
+let run ?default ?query ?suppress ?dispatch rules events =
+  let t = create ?default ?query ?suppress ?dispatch rules in
   let outs = List.concat_map (feed t) events in
   finish t;
   outs
@@ -482,7 +688,14 @@ exception Not_skippable
    tag without touching engine state, so that a rule firing AT the subtree
    root (e.g. a denial of the whole subtree) is taken into account. Any
    source of pendingness — predicates on a matched step, conditions already
-   attached to a matching token — aborts the analysis conservatively. *)
+   attached to a matching token — aborts the analysis conservatively.
+
+   Dispatch-aware: only the hot tokens and the literal buckets for [tag]
+   go through the full lookahead; every other descendant-bucket token
+   self-loops unchanged (no conditions by construction), so those buckets
+   are consulted in place instead of being materialized into the simulated
+   set. Child buckets for other tags contribute nothing, exactly as in the
+   naive scan. *)
 let subtree_skippable t ~tag ~tag_possible ~nonempty =
   match t.frames with
   | [] -> false
@@ -492,37 +705,44 @@ let subtree_skippable t ~tag ~tag_possible ~nonempty =
         let fired_neg = ref false
         and fired_pos = ref false
         and fired_query = ref false in
-        List.iter
-          (fun tok ->
-            match subst_conds t tok.conds with
-            | None -> ()
-            | Some conds ->
-                let path = owner_path t tok.owner in
-                let step = path.(tok.pos) in
-                if step.Compile.axis = Ast.Descendant then
-                  sim_tokens := tok :: !sim_tokens;
-                if test_matches step.Compile.test tag then begin
-                  if step.Compile.step_preds <> [] || conds <> [] then
-                    (* Pending decision or a predicate instance that could
-                       need data from inside the subtree. *)
-                    raise Not_skippable;
-                  if tok.pos + 1 = Array.length path then
-                    match tok.owner with
-                    | Spine i -> (
-                        let sp = t.compiled.Compile.spines.(i) in
-                        match sp.Compile.source with
-                        | Compile.Query_src -> fired_query := true
-                        | Compile.Rule_src _ ->
-                            if sp.Compile.sign = Rule.Deny then
-                              fired_neg := true
-                            else fired_pos := true)
-                    | Pred_owner _ ->
-                        (* A predicate path completing at the root: its
-                           instance could resolve true here. *)
-                        raise Not_skippable
-                  else sim_tokens := { tok with pos = tok.pos + 1 } :: !sim_tokens
-                end)
-          f.tokens;
+        let visit tok =
+          match subst_conds t tok.conds with
+          | None -> ()
+          | Some conds ->
+              let path = owner_path t tok.owner in
+              let step = path.(tok.pos) in
+              if step.Compile.axis = Ast.Descendant then
+                sim_tokens := tok :: !sim_tokens;
+              if test_matches step.Compile.test tag then begin
+                if step.Compile.step_preds <> [] || conds <> [] then
+                  (* Pending decision or a predicate instance that could
+                     need data from inside the subtree. *)
+                  raise Not_skippable;
+                if tok.pos + 1 = Array.length path then
+                  match tok.owner with
+                  | Spine i -> (
+                      let sp = t.compiled.Compile.spines.(i) in
+                      match sp.Compile.source with
+                      | Compile.Query_src -> fired_query := true
+                      | Compile.Rule_src _ ->
+                          if sp.Compile.sign = Rule.Deny then
+                            fired_neg := true
+                          else fired_pos := true)
+                  | Pred_owner _ ->
+                      (* A predicate path completing at the root: its
+                         instance could resolve true here. *)
+                      raise Not_skippable
+                else
+                  sim_tokens := { tok with pos = tok.pos + 1 } :: !sim_tokens
+              end
+        in
+        List.iter visit f.hot;
+        (match SMap.find_opt tag f.child_named with
+        | Some l -> List.iter visit l
+        | None -> ());
+        (match SMap.find_opt tag f.desc_named with
+        | Some l -> List.iter visit l
+        | None -> ());
         let det' =
           if !fired_neg then Det_deny
           else if !fired_pos then Det_allow
@@ -537,21 +757,26 @@ let subtree_skippable t ~tag ~tag_possible ~nonempty =
           Compile.can_complete (owner_path t tok.owner) ~from:tok.pos
             ~tag_possible ~nonempty
         in
+        (* [p] holds on the simulated set: the explicitly visited tokens
+           plus the self-looping descendant buckets for other tags. *)
+        let sim_exists p =
+          List.exists p !sim_tokens
+          || SMap.exists
+               (fun n toks ->
+                 (not (String.equal n tag)) && List.exists p toks)
+               f.desc_named
+        in
         let pred_alive =
-          List.exists
-            (fun tok -> is_pred_owner tok.owner && can tok)
-            !sim_tokens
+          sim_exists (fun tok -> is_pred_owner tok.owner && can tok)
         in
         (not pred_alive)
         && (f.suppressed
            ||
            let spine_can filter =
-             List.exists
-               (fun tok ->
+             sim_exists (fun tok ->
                  match spine_sign t tok.owner with
                  | None -> false
                  | Some sp -> filter sp && can tok)
-               !sim_tokens
            in
            (det' = Det_deny
            && not

@@ -30,13 +30,22 @@ val create :
   ?default:Rule.sign ->
   ?query:Sdds_xpath.Ast.t ->
   ?suppress:bool ->
+  ?dispatch:bool ->
   Rule.t list ->
   t
 (** [create rules] builds an evaluator for a rule set (already filtered to
     the requesting subject). [default] is the sign above any rule
     ([Deny] — closed world). [suppress] (default [true]) enables the
     suspension optimization; disabling it emits every event annotated,
-    which the ablation benchmark uses. *)
+    which the ablation benchmark uses. [dispatch] (default [true]) enables
+    tag-indexed token dispatch: each frame's tokens are bucketed by their
+    next-step test so an open event only visits the tokens whose next step
+    is [Any], condition-bearing, or literally named after the incoming tag;
+    descendant self-loops become structural sharing of the parent's bucket
+    map. Disabling it reproduces the naive linear scan over every live
+    token — both modes produce byte-identical output streams (the
+    differential tests enforce this), and the naive mode serves as the
+    oracle. *)
 
 val feed : t -> Sdds_xml.Event.t -> Output.t list
 (** Process one event. Raises [Invalid_argument] on a non-well-formed
@@ -51,6 +60,7 @@ val run :
   ?default:Rule.sign ->
   ?query:Sdds_xpath.Ast.t ->
   ?suppress:bool ->
+  ?dispatch:bool ->
   Rule.t list ->
   Sdds_xml.Event.t list ->
   Output.t list
@@ -77,14 +87,23 @@ val subtree_skippable :
 
 type stats = {
   mutable events : int;  (** input events processed *)
-  mutable emitted : int;  (** output events produced *)
+  mutable emitted : int;  (** output events produced, [Resolve] included *)
+  mutable delivered : int;
+      (** input events whose own output ([Open_node]/[Text_node]/
+          [Close_node]) was emitted *)
   mutable suppressed : int;  (** input events consumed under suspension *)
+  mutable filtered : int;
+      (** text events dropped on an unsuppressed frame because the
+          enclosing element is denied or out of query scope. The
+          accounting always reconciles:
+          [events = delivered + suppressed + filtered]. *)
   mutable instances : int;  (** predicate instances created *)
   mutable peak_tokens : int;  (** max live tokens across the stack *)
   mutable peak_state_words : int;  (** max of {!state_words} *)
   mutable token_visits : int;
       (** total token transitions attempted — the automaton work the cost
-          model charges per token *)
+          model charges per token. With dispatch enabled only the tokens
+          actually visited count, making the optimization measurable. *)
 }
 
 val stats : t -> stats

@@ -17,23 +17,65 @@ let read_lstring s pos =
   if pos + len > String.length s then invalid_arg "Store_io: truncated";
   (String.sub s pos len, pos + len)
 
+(* ------------------------------------------------------------------ *)
+(* Typed IO errors                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type store_error = {
+  op : [ `Read | `Write | `Mkdir ];
+  path : string;
+  message : string;
+}
+
+let string_of_error e =
+  let op =
+    match e.op with `Read -> "read" | `Write -> "write" | `Mkdir -> "mkdir"
+  in
+  Printf.sprintf "cannot %s %s: %s" op e.path e.message
+
+(* Internal carrier; caught at every public API boundary so callers see a
+   [result], never a raw [Sys_error]. *)
+exception Io of store_error
+
+let io_fail op path message = raise (Io { op; path; message })
+
+let guard f = match f () with v -> Ok v | exception Io e -> Error e
+
 let write_file ~path content =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc content)
+  match open_out_bin path with
+  | exception Sys_error msg -> io_fail `Write path msg
+  | oc -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc content)
+      with
+      | () -> ()
+      | exception Sys_error msg -> io_fail `Write path msg)
 
 let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+  match open_in_bin path with
+  | exception Sys_error msg -> io_fail `Read path msg
+  | ic -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | s -> s
+      | exception Sys_error msg -> io_fail `Read path msg
+      | exception End_of_file -> io_fail `Read path "truncated read")
 
 let mkdir_p dir =
   let rec go d =
     if not (Sys.file_exists d) then begin
       go (Filename.dirname d);
-      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+      try Sys.mkdir d 0o755
+      with Sys_error msg ->
+        (* Only tolerate a lost race with a concurrent creator (the moral
+           EEXIST); a permission or disk failure must surface. *)
+        if not (Sys.file_exists d && Sys.is_directory d) then
+          io_fail `Mkdir d msg
     end
   in
   go dir
@@ -103,6 +145,7 @@ let decode_doc s =
 (* ------------------------------------------------------------------ *)
 
 let save store ~dir =
+  guard @@ fun () ->
   mkdir_p (Filename.concat dir "docs");
   List.iter
     (fun doc_id ->
@@ -127,6 +170,7 @@ let save store ~dir =
   save_blobs "grants" Store.fold_grants
 
 let load ~dir =
+  guard @@ fun () ->
   let store = Store.create () in
   List.iter
     (fun file ->
@@ -159,6 +203,7 @@ module Keyfile = struct
   let sec_magic = "SSEC"
 
   let save_public (pub : Rsa.public) ~path =
+    guard @@ fun () ->
     let buf = Buffer.create 128 in
     Buffer.add_string buf pub_magic;
     write_lstring buf (Bignum.to_bytes_be pub.Rsa.n);
@@ -166,6 +211,7 @@ module Keyfile = struct
     write_file ~path (Buffer.contents buf)
 
   let load_public ~path =
+    guard @@ fun () ->
     let s = read_file path in
     if String.length s < 4 || String.sub s 0 4 <> pub_magic then
       invalid_arg "Keyfile: not a public key file";
@@ -175,6 +221,7 @@ module Keyfile = struct
     { Rsa.n = Bignum.of_bytes_be n; e = Bignum.of_bytes_be e }
 
   let save_keypair (kp : Rsa.keypair) ~path =
+    guard @@ fun () ->
     let buf = Buffer.create 256 in
     Buffer.add_string buf sec_magic;
     write_lstring buf (Bignum.to_bytes_be kp.Rsa.secret.Rsa.n);
@@ -183,6 +230,7 @@ module Keyfile = struct
     write_file ~path (Buffer.contents buf)
 
   let load_keypair ~path =
+    guard @@ fun () ->
     let s = read_file path in
     if String.length s < 4 || String.sub s 0 4 <> sec_magic then
       invalid_arg "Keyfile: not a secret key file";

@@ -11,20 +11,39 @@
     the stored chunks at load time; on-disk tampering therefore shows up
     exactly like a tampering DSP. *)
 
-val save : Store.t -> dir:string -> unit
-(** Creates [dir] (and subdirectories) if missing; overwrites existing
-    entries. Raises [Sys_error] on IO failure. *)
+type store_error = {
+  op : [ `Read | `Write | `Mkdir ];  (** the operation that failed *)
+  path : string;
+  message : string;  (** the underlying [Sys_error] text *)
+}
+(** Every IO failure surfaces as a typed [Error] — raw [Sys_error]s never
+    escape this module. Malformed file {e contents} still raise
+    [Invalid_argument] (they indicate tampering or corruption, not an IO
+    condition the caller can retry). *)
 
-val load : dir:string -> Store.t
-(** Raises [Sys_error] on IO failure, [Invalid_argument] on a malformed
-    file. Missing subdirectories are treated as empty. *)
+val string_of_error : store_error -> string
+
+val save : Store.t -> dir:string -> (unit, store_error) result
+(** Creates [dir] (and subdirectories) if missing; overwrites existing
+    entries. *)
+
+val load : dir:string -> (Store.t, store_error) result
+(** Raises [Invalid_argument] on a malformed file. Missing subdirectories
+    are treated as empty. *)
 
 (** Key files: ["SPUB"]/["SSEC"]-tagged binary encodings of RSA keys. *)
 module Keyfile : sig
-  val save_public : Sdds_crypto.Rsa.public -> path:string -> unit
-  val load_public : path:string -> Sdds_crypto.Rsa.public
-  val save_keypair : Sdds_crypto.Rsa.keypair -> path:string -> unit
-  val load_keypair : path:string -> Sdds_crypto.Rsa.keypair
-  (** Loaders raise [Invalid_argument] on malformed files, [Sys_error] on
-      IO failure. *)
+  val save_public :
+    Sdds_crypto.Rsa.public -> path:string -> (unit, store_error) result
+
+  val load_public :
+    path:string -> (Sdds_crypto.Rsa.public, store_error) result
+
+  val save_keypair :
+    Sdds_crypto.Rsa.keypair -> path:string -> (unit, store_error) result
+
+  val load_keypair :
+    path:string -> (Sdds_crypto.Rsa.keypair, store_error) result
+  (** Loaders raise [Invalid_argument] on malformed files; IO failures are
+      [Error]. *)
 end

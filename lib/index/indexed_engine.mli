@@ -26,6 +26,7 @@ val run :
   ?default:Sdds_core.Rule.sign ->
   ?query:Sdds_xpath.Ast.t ->
   ?suppress:bool ->
+  ?dispatch:bool ->
   ?use_index:bool ->
   Sdds_core.Rule.t list ->
   string ->
@@ -33,4 +34,5 @@ val run :
 (** [run rules encoded] evaluates the rule set over an encoded document.
     [use_index] (default [true]) enables skipping — it requires an
     [Indexed] encoding; with [false] (or a [Plain] encoding) every event
-    is fed, which is the no-index baseline. *)
+    is fed, which is the no-index baseline. [dispatch] is passed through to
+    [Engine.create] (tag-indexed token dispatch; default on). *)

@@ -90,6 +90,7 @@ type report = {
   skipped_bytes : int;
   events : int;
   suppressed_events : int;
+  token_visits : int;
   output_bytes : int;
 }
 
@@ -306,6 +307,7 @@ let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
                             events = res.Indexed_engine.events_fed;
                             suppressed_events =
                               st.Sdds_core.Engine.suppressed;
+                            token_visits = st.Sdds_core.Engine.token_visits;
                             output_bytes = out_bytes;
                           }
                         in

@@ -94,6 +94,7 @@ type report = {
   skipped_bytes : int;
   events : int;
   suppressed_events : int;
+  token_visits : int;  (** automaton transitions the engine actually ran *)
   output_bytes : int;
 }
 

@@ -49,10 +49,15 @@ module Host = struct
 
   (* Accumulate a chained command; returns [Ok (Some data)] when the final
      frame arrives, [Ok None] mid-chain, [Error ()] on a sequence-number
-     gap (a dropped or reordered frame must fail fast, not concatenate). *)
+     gap (a dropped or reordered frame must fail fast, not concatenate) or
+     a continuation frame with no chain open (a stale continuation from
+     before a SELECT must not silently start a fresh chain). *)
   let chain t (cmd : Apdu.command) =
+    match (Hashtbl.find_opt t.chains cmd.Apdu.ins, cmd.Apdu.p2) with
+    | None, p2 when p2 <> 0 -> Error ()
+    | existing, _ ->
     let buf, seq =
-      match Hashtbl.find_opt t.chains cmd.Apdu.ins with
+      match existing with
       | Some bs -> bs
       | None ->
           let bs = (Buffer.create 256, ref 0) in
@@ -98,6 +103,10 @@ module Host = struct
       match t.resolve cmd.Apdu.data with
       | Some doc ->
           t.doc <- Some doc;
+          (* A SELECT starts a fresh session: half-uploaded chains from an
+             aborted rules/query upload must not be concatenated with a
+             later upload for this (or any) document. *)
+          Hashtbl.reset t.chains;
           t.pending_rules <- None;
           t.pending_query <- None;
           t.response <- "";

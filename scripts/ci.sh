@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 CI gate: clean build, full test suite, and a tree-hygiene
+# check that no build artifacts are tracked.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== tree hygiene =="
+if git ls-files | grep -q '^_build/'; then
+  echo "error: _build/ artifacts are tracked in git" >&2
+  git ls-files | grep '^_build/' | head >&2
+  exit 1
+fi
+
+echo "CI OK"

@@ -336,6 +336,86 @@ let test_output_is_static_without_predicates () =
   let outs = Engine.run [ allow "//b"; deny "//d" ] (Dom.to_events doc) in
   Alcotest.(check bool) "no conditions" true (Output.is_static outs)
 
+let run_mode ~dispatch ?default ?query ?suppress rules events =
+  let t = Engine.create ?default ?query ?suppress ~dispatch rules in
+  let outs = List.concat_map (Engine.feed t) events in
+  Engine.finish t;
+  (outs, Engine.stats t)
+
+let check_reconciles what (st : Engine.stats) =
+  Alcotest.(check int)
+    (what ^ ": events = delivered + suppressed + filtered")
+    st.Engine.events
+    (st.Engine.delivered + st.Engine.suppressed + st.Engine.filtered)
+
+let test_engine_stats_reconcile () =
+  let events =
+    [
+      Event.Open "a";
+      Event.Open "b";
+      Event.Value "x";
+      Event.Close "b";
+      Event.Close "a";
+    ]
+  in
+  (* Text under a determined denial on an UNSUPPRESSED frame (suppression
+     off) is dropped without being delivered — it must count as filtered,
+     not vanish from the books. *)
+  let _, st = run_mode ~dispatch:true ~suppress:false [ deny "//b" ] events in
+  Alcotest.(check int) "filtered text counted" 1 st.Engine.filtered;
+  Alcotest.(check int) "rest delivered" 4 st.Engine.delivered;
+  check_reconciles "deny, no suppression" st;
+  (* With suppression on and an allow that cannot reach inside b, the b
+     subtree is consumed under suspension instead. *)
+  let _, st =
+    run_mode ~dispatch:true ~suppress:true
+      [ allow "/a"; deny "/a/b" ]
+      events
+  in
+  Alcotest.(check int) "subtree suppressed" 3 st.Engine.suppressed;
+  Alcotest.(check int) "nothing filtered" 0 st.Engine.filtered;
+  check_reconciles "deny, suppression" st;
+  (* Out-of-query-scope text on an unsuppressed frame hits the same leak:
+     the element is allowed but outside the query, suppression is off. *)
+  let query = Xp.parse "/a/zzz" in
+  let _, st =
+    run_mode ~dispatch:true ~suppress:false ~query [ allow "//a" ] events
+  in
+  Alcotest.(check bool) "out-of-scope text filtered" true
+    (st.Engine.filtered >= 1);
+  check_reconciles "query, no suppression" st
+
+(* The acceptance criterion for the dispatch layer: on a tag-rich document
+   with rules naming only a few tags, the tokens actually visited must drop
+   by at least 2x versus the naive scan-everything engine. *)
+let test_dispatch_reduces_token_visits () =
+  let doc = Generator.hospital (Rng.create 11L) ~patients:30 in
+  let events = Dom.to_events doc in
+  let rules =
+    [
+      allow "//patient";
+      deny "//ssn";
+      allow "//folder/prescription/drug";
+      deny "//comment";
+      deny {|//patient[age>"80"]|};
+    ]
+  in
+  let check ~suppress =
+    let outs_d, st_d = run_mode ~dispatch:true ~suppress rules events in
+    let outs_n, st_n = run_mode ~dispatch:false ~suppress rules events in
+    Alcotest.(check string)
+      (Printf.sprintf "identical output (suppress=%b)" suppress)
+      (Sdds_core.Output_codec.encode_list outs_n)
+      (Sdds_core.Output_codec.encode_list outs_d);
+    Alcotest.(check bool)
+      (Printf.sprintf "visits %d -> %d is >= 2x (suppress=%b)"
+         st_n.Engine.token_visits st_d.Engine.token_visits suppress)
+      true
+      (st_n.Engine.token_visits >= 2 * st_d.Engine.token_visits)
+  in
+  check ~suppress:true;
+  check ~suppress:false
+
 (* ------------------------------------------------------------------ *)
 (* Property tests: engine = oracle                                     *)
 (* ------------------------------------------------------------------ *)
@@ -418,6 +498,42 @@ let qcheck_suppression_equivalence =
         (view ?query ~suppress:false rules doc)
         (view ?query ~suppress:true rules doc))
 
+(* The differential guarantee behind the dispatch layer: the bucketed
+   engine's output stream is byte-for-byte the naive engine's (same
+   events, same condition-variable numbering, same order), its stats agree
+   except that it visits no MORE tokens, and both runs' accounting
+   reconciles. Run with suppression both on and off: 700 seeds x 2
+   configurations = 1400 fuzzed (document, ruleset, query) triples. *)
+let qcheck_dispatch_equals_naive =
+  QCheck2.Test.make ~name:"dispatch = naive scan, byte-identical" ~count:700
+    gen_case (fun seed ->
+      let doc, rules, query = expand_case ~with_query:true seed in
+      let events = Dom.to_events doc in
+      let check suppress =
+        let outs_d, s_d = run_mode ~dispatch:true ?query ~suppress rules events in
+        let outs_n, s_n =
+          run_mode ~dispatch:false ?query ~suppress rules events
+        in
+        let reconciles (st : Engine.stats) =
+          st.Engine.events
+          = st.Engine.delivered + st.Engine.suppressed + st.Engine.filtered
+        in
+        String.equal
+          (Sdds_core.Output_codec.encode_list outs_d)
+          (Sdds_core.Output_codec.encode_list outs_n)
+        && reconciles s_d && reconciles s_n
+        && s_d.Engine.events = s_n.Engine.events
+        && s_d.Engine.emitted = s_n.Engine.emitted
+        && s_d.Engine.delivered = s_n.Engine.delivered
+        && s_d.Engine.suppressed = s_n.Engine.suppressed
+        && s_d.Engine.filtered = s_n.Engine.filtered
+        && s_d.Engine.instances = s_n.Engine.instances
+        && s_d.Engine.peak_tokens = s_n.Engine.peak_tokens
+        && s_d.Engine.peak_state_words = s_n.Engine.peak_state_words
+        && s_d.Engine.token_visits <= s_n.Engine.token_visits
+      in
+      check true && check false)
+
 let suite =
   [
     Alcotest.test_case "cond simplify" `Quick test_cond_simplify;
@@ -456,10 +572,15 @@ let suite =
       test_subtree_skippable_pending_pred;
     Alcotest.test_case "output static" `Quick
       test_output_is_static_without_predicates;
+    Alcotest.test_case "engine stats reconcile" `Quick
+      test_engine_stats_reconcile;
+    Alcotest.test_case "dispatch reduces token visits" `Quick
+      test_dispatch_reduces_token_visits;
     QCheck_alcotest.to_alcotest qcheck_engine_matches_oracle;
     QCheck_alcotest.to_alcotest qcheck_engine_matches_oracle_query;
     QCheck_alcotest.to_alcotest qcheck_engine_default_allow;
     QCheck_alcotest.to_alcotest qcheck_suppression_equivalence;
+    QCheck_alcotest.to_alcotest qcheck_dispatch_equals_naive;
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -503,6 +503,10 @@ let rollback_suite =
 (* Persistence                                                         *)
 (* ------------------------------------------------------------------ *)
 
+let ok_io = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "store io: %s" (Sdds_dsp.Store_io.string_of_error e)
+
 let with_tmpdir f =
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -517,8 +521,8 @@ let with_tmpdir f =
 let test_store_roundtrip () =
   let w = make_world () in
   with_tmpdir (fun dir ->
-      Sdds_dsp.Store_io.save w.store ~dir;
-      let loaded = Sdds_dsp.Store_io.load ~dir in
+      ok_io (Sdds_dsp.Store_io.save w.store ~dir);
+      let loaded = ok_io (Sdds_dsp.Store_io.load ~dir) in
       Alcotest.(check (list string)) "documents" [ "hospital-1" ]
         (Store.list_documents loaded);
       (* A fresh card queries the reloaded store end to end. *)
@@ -535,7 +539,7 @@ let test_store_roundtrip () =
 let test_store_disk_tampering_detected () =
   let w = make_world () in
   with_tmpdir (fun dir ->
-      Sdds_dsp.Store_io.save w.store ~dir;
+      ok_io (Sdds_dsp.Store_io.save w.store ~dir);
       (* Corrupt one document file on disk (flip a late byte, inside some
          chunk's ciphertext). *)
       let docs = Filename.concat dir "docs" in
@@ -549,7 +553,7 @@ let test_store_disk_tampering_detected () =
       let oc = open_out_bin file in
       output_bytes oc b;
       close_out oc;
-      let loaded = Sdds_dsp.Store_io.load ~dir in
+      let loaded = ok_io (Sdds_dsp.Store_io.load ~dir) in
       let _, alice_kp, _ = Lazy.force identities in
       let card = Card.create ~profile:Cost.modern ~subject:"alice" alice_kp in
       let proxy = Proxy.create ~store:loaded ~card in
@@ -568,10 +572,10 @@ let test_keyfile_roundtrip () =
   with_tmpdir (fun dir ->
       let sk = Filename.concat dir "id.sk" in
       let pk = Filename.concat dir "id.pk" in
-      Sdds_dsp.Store_io.Keyfile.save_keypair kp ~path:sk;
-      Sdds_dsp.Store_io.Keyfile.save_public kp.Rsa.public ~path:pk;
-      let kp' = Sdds_dsp.Store_io.Keyfile.load_keypair ~path:sk in
-      let pub' = Sdds_dsp.Store_io.Keyfile.load_public ~path:pk in
+      ok_io (Sdds_dsp.Store_io.Keyfile.save_keypair kp ~path:sk);
+      ok_io (Sdds_dsp.Store_io.Keyfile.save_public kp.Rsa.public ~path:pk);
+      let kp' = ok_io (Sdds_dsp.Store_io.Keyfile.load_keypair ~path:sk) in
+      let pub' = ok_io (Sdds_dsp.Store_io.Keyfile.load_public ~path:pk) in
       Alcotest.(check bool) "public matches" true (pub' = kp.Rsa.public);
       Alcotest.(check bool) "keypair usable" true
         (let sig_ = Rsa.sign kp'.Rsa.secret "m" in

@@ -144,12 +144,28 @@ let qcheck_query_restricts =
 
 (* 7. Engine memory is bounded by depth x automaton size, never by
    document length: duplicating the document's content under a new root
-   (same depth + 1) must not double the peak state. *)
+   (same depth + 1) must not double the peak state.
+
+   Predicate-free rules only: a predicate instantiating near the new
+   root legitimately buffers candidate state proportional to its
+   anchor's subtree until it resolves (that is the paper's pending-
+   predicate cost), so the size-independence claim holds for the token
+   automata, not for unresolved predicate instances. *)
+let nopred_cfg = { cfg with Random_path.predicate_probability = 0.0 }
+
+let random_nopred_rules rng n =
+  List.init n (fun _ ->
+      {
+        Rule.sign = (if Rng.bool rng then Rule.Allow else Rule.Deny);
+        subject = "u";
+        path = Random_path.generate rng nopred_cfg ~tags ~values;
+      })
+
 let qcheck_memory_size_independent =
   QCheck2.Test.make ~name:"peak state does not track document size"
     ~count:150 seed_gen (fun seed ->
       let rng, doc = module_of seed in
-      let rules = random_rules rng (1 + Rng.int rng 3) in
+      let rules = random_nopred_rules rng (1 + Rng.int rng 3) in
       let peak d =
         let t = Engine.create rules in
         List.iter (fun ev -> ignore (Engine.feed t ev)) (Dom.to_events d);
@@ -160,6 +176,175 @@ let qcheck_memory_size_independent =
       (* Four copies of the content, one extra level: the peak may grow
          with the extra depth but must stay far below 4x. *)
       peak doubled <= (2 * peak doc) + 256)
+
+(* 9. Skip-soundness: whenever [subtree_skippable] says yes about a
+   subtree, that subtree contributes zero events to the authorized
+   view: excising the subtree's events from the input leaves the
+   reassembled view unchanged. Checked per subtree with the subtree's
+   exact descendant-tag set, over random docs, rules with predicates,
+   and queries.
+
+   Note the engine may still *emit* raw outputs while feeding a
+   skippable subtree — it suppresses on token aliveness while the skip
+   analysis reasons about completability, so annotated
+   [Open_node]/[Close_node] can appear, and even [Text_node]s under a
+   conservatively [Det_pending] frame (a conditional deny firing
+   inside an already-denied region leaves det pending although either
+   resolution yields deny). All of it is pruned at reassembly, which
+   is exactly what this property pins down. *)
+
+module SSet = Set.Make (String)
+
+let pred_cfg =
+  {
+    Random_path.default with
+    max_steps = 3;
+    predicate_probability = 0.5;
+    value_predicate_probability = 0.3;
+    nested_predicate_probability = 0.25;
+  }
+
+let random_pred_rules rng n =
+  List.init n (fun _ ->
+      {
+        Rule.sign = (if Rng.bool rng then Rule.Allow else Rule.Deny);
+        subject = "u";
+        path = Random_path.generate rng pred_cfg ~tags ~values;
+      })
+
+(* For each [Open] at index i: the matching close index and the set of
+   element tags strictly inside the subtree. *)
+let subtree_spans events =
+  let n = Array.length events in
+  let close_of = Array.make n (-1) in
+  let inner = Array.make n SSet.empty in
+  let stack = ref [] in
+  Array.iteri
+    (fun i ev ->
+      match ev with
+      | Event.Open tag ->
+          (* This element is *inside* every currently open ancestor. *)
+          List.iter (fun j -> inner.(j) <- SSet.add tag inner.(j)) !stack;
+          stack := i :: !stack
+      | Event.Close _ -> (
+          match !stack with
+          | j :: rest ->
+              close_of.(j) <- i;
+              stack := rest
+          | [] -> ())
+      | Event.Value _ -> ())
+    events;
+  (close_of, inner)
+
+let qcheck_skip_soundness =
+  QCheck2.Test.make
+    ~name:"skippable subtrees contribute nothing to the view" ~count:100
+    seed_gen (fun seed ->
+      let rng, doc = module_of seed in
+      let rules = random_pred_rules rng (1 + Rng.int rng 4) in
+      let query =
+        if Rng.bool rng then
+          Some (Random_path.generate rng pred_cfg ~tags ~values)
+        else None
+      in
+      let has_query = query <> None in
+      let events = Array.of_list (Dom.to_events doc) in
+      let close_of, inner = subtree_spans events in
+      let full_view =
+        Sdds_core.Reassembler.run ~has_query
+          (Engine.run ?query rules (Array.to_list events))
+      in
+      let view_equal a b =
+        match (a, b) with
+        | None, None -> true
+        | Some x, Some y -> Dom.equal x y
+        | None, Some _ | Some _, None -> false
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun i ev ->
+          match ev with
+          | Event.Open tag when !ok ->
+              (* Replay the prefix on a fresh engine and ask about the
+                 subtree at i. *)
+              let t = Engine.create ?query rules in
+              for k = 0 to i - 1 do
+                ignore (Engine.feed t events.(k))
+              done;
+              let tag_possible x = SSet.mem x inner.(i) in
+              if Engine.subtree_skippable t ~tag ~tag_possible ~nonempty:true
+              then begin
+                (* A run that never saw the subtree reassembles to the
+                   same view as the full run. *)
+                let t' = Engine.create ?query rules in
+                let outs = ref [] in
+                let fed = ref 0 in
+                Array.iteri
+                  (fun k ev ->
+                    if k < i || k > close_of.(i) then begin
+                      incr fed;
+                      outs := List.rev_append (Engine.feed t' ev) !outs
+                    end)
+                  events;
+                if !fed > 0 then Engine.finish t';
+                let excised =
+                  Sdds_core.Reassembler.run ~has_query (List.rev !outs)
+                in
+                if not (view_equal full_view excised) then ok := false
+              end
+          | _ -> ())
+        events;
+      !ok)
+
+(* 10. And the whole point of the analysis: an indexed run that actually
+   jumps over every skippable subtree reassembles the same view as the
+   full run. *)
+let qcheck_skip_view_equality =
+  QCheck2.Test.make ~name:"skipping skippable subtrees preserves the view"
+    ~count:200 seed_gen (fun seed ->
+      let rng, doc = module_of seed in
+      let rules = random_pred_rules rng (1 + Rng.int rng 4) in
+      let query =
+        if Rng.bool rng then
+          Some (Random_path.generate rng pred_cfg ~tags ~values)
+        else None
+      in
+      let events = Array.of_list (Dom.to_events doc) in
+      let close_of, inner = subtree_spans events in
+      let full =
+        Sdds_core.Reassembler.run ~has_query:(query <> None)
+          (Engine.run ?query rules (Array.to_list events))
+      in
+      let t = Engine.create ?query rules in
+      let outs = ref [] in
+      let fed = ref 0 in
+      let n = Array.length events in
+      let feed_ev ev =
+        incr fed;
+        outs := List.rev_append (Engine.feed t ev) !outs
+      in
+      let rec go i =
+        if i < n then
+          match events.(i) with
+          | Event.Open tag
+            when Engine.subtree_skippable t ~tag
+                   ~tag_possible:(fun x -> SSet.mem x inner.(i))
+                   ~nonempty:true ->
+              go (close_of.(i) + 1)
+          | ev ->
+              feed_ev ev;
+              go (i + 1)
+      in
+      go 0;
+      if !fed > 0 then Engine.finish t;
+      let skipped =
+        Sdds_core.Reassembler.run ~has_query:(query <> None)
+          (List.rev !outs)
+      in
+      match (full, skipped) with
+      | None, None -> true
+      | Some a, Some b -> Dom.equal a b
+      | None, Some _ | Some _, None -> false)
 
 (* 8. The compiled automaton size matches the AST size measure. *)
 let qcheck_state_count =
@@ -183,4 +368,6 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_query_restricts;
     QCheck_alcotest.to_alcotest qcheck_memory_size_independent;
     QCheck_alcotest.to_alcotest qcheck_state_count;
+    QCheck_alcotest.to_alcotest qcheck_skip_soundness;
+    QCheck_alcotest.to_alcotest qcheck_skip_view_equality;
   ]

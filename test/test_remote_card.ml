@@ -167,6 +167,47 @@ let test_remote_chain_gap () =
   Alcotest.(check bool) "gap rejected" true
     ((resp.Apdu.sw1, resp.Apdu.sw2) = Remote_card.Sw.bad_state)
 
+let test_select_clears_chain_state () =
+  (* An aborted chained upload must not survive a SELECT: the next upload
+     would otherwise be concatenated with the stale frames. *)
+  let w = Lazy.force world in
+  let host =
+    Sdds_soe.Remote_card.Host.create ~card:w.card ~resolve:(fun id ->
+        if String.equal id "remote-doc" then Some w.source else None)
+  in
+  let send ins p1 p2 data =
+    Sdds_soe.Remote_card.Host.process host
+      { Apdu.cla = 0x80; ins; p1; p2; data }
+  in
+  let ok (resp : Apdu.response) =
+    (resp.Apdu.sw1, resp.Apdu.sw2) = Remote_card.Sw.ok
+  in
+  ignore (send Remote_card.Ins.select 0 0 "remote-doc");
+  (* Start a rules upload and abandon it mid-chain. *)
+  Alcotest.(check bool) "first frame accepted" true
+    (ok (send Remote_card.Ins.rules 1 0 "half an upload"));
+  ignore (send Remote_card.Ins.select 0 0 "remote-doc");
+  (* A stale continuation frame (seq 1 of the abandoned chain) must be
+     rejected, not resumed and not treated as a fresh chain. *)
+  let stale = send Remote_card.Ins.rules 1 1 "stale continuation" in
+  Alcotest.(check bool) "stale continuation rejected" true
+    ((stale.Apdu.sw1, stale.Apdu.sw2) = Remote_card.Sw.bad_state);
+  (* A complete upload after the SELECT must evaluate cleanly — i.e. the
+     abandoned frames were dropped, not prepended. *)
+  ignore (send Remote_card.Ins.select 0 0 "remote-doc");
+  ignore (send Remote_card.Ins.grant 0 0 w.wrapped);
+  let frames =
+    Apdu.segment ~cla:0x80 ~ins:Remote_card.Ins.rules w.encrypted_rules
+  in
+  List.iter
+    (fun (f : Apdu.command) ->
+      Alcotest.(check bool) "upload frame accepted" true
+        (ok (send f.Apdu.ins f.Apdu.p1 f.Apdu.p2 f.Apdu.data)))
+    frames;
+  let resp = send Remote_card.Ins.evaluate 0 0 "" in
+  Alcotest.(check bool) "evaluate succeeds after re-upload" true
+    (ok resp || resp.Apdu.sw1 = fst Remote_card.Sw.more_data)
+
 let suite =
   [
     Alcotest.test_case "remote = direct" `Quick test_remote_equals_direct;
@@ -180,4 +221,6 @@ let suite =
     Alcotest.test_case "remote security mapping" `Quick
       test_remote_security_error_mapped;
     Alcotest.test_case "remote chain gap" `Quick test_remote_chain_gap;
+    Alcotest.test_case "select clears chain state" `Quick
+      test_select_clears_chain_state;
   ]
