@@ -231,8 +231,12 @@ let make_frame compiled ~dispatch ~ftag ~desc ~n_desc ~desc_words
   }
 
 let create ?(default = Rule.Deny) ?query ?(suppress = true) ?(dispatch = true)
-    rules =
-  let compiled = Compile.compile ?query rules in
+    ?compiled rules =
+  let compiled =
+    match compiled with
+    | Some c -> c
+    | None -> Compile.compile ?query rules
+  in
   let has_query = query <> None in
   let initial_tokens =
     List.filter_map

@@ -31,10 +31,15 @@ val create :
   ?query:Sdds_xpath.Ast.t ->
   ?suppress:bool ->
   ?dispatch:bool ->
+  ?compiled:Compile.t ->
   Rule.t list ->
   t
 (** [create rules] builds an evaluator for a rule set (already filtered to
-    the requesting subject). [default] is the sign above any rule
+    the requesting subject). [compiled] supplies a ready-made automaton set
+    and skips {!Compile.compile} — the prepared-evaluation cache hook; it
+    must have been compiled from exactly these [rules] and [query] (the
+    caller's responsibility — [query] is still needed to mark the stream as
+    query-scoped). [default] is the sign above any rule
     ([Deny] — closed world). [suppress] (default [true]) enables the
     suspension optimization; disabling it emits every event annotated,
     which the ablation benchmark uses. [dispatch] (default [true]) enables

@@ -14,13 +14,15 @@ type result = {
   reader_peak_words : int;
 }
 
-let run ?default ?query ?(suppress = true) ?dispatch ?(use_index = true) rules
-    encoded =
+let run ?default ?query ?(suppress = true) ?dispatch ?(use_index = true)
+    ?compiled rules encoded =
   let reader = Reader.create encoded in
   let indexed =
     use_index && (match Reader.mode reader with Encode.Indexed _ -> true | Encode.Plain -> false)
   in
-  let engine = Engine.create ?default ?query ~suppress ?dispatch rules in
+  let engine =
+    Engine.create ?default ?query ~suppress ?dispatch ?compiled rules
+  in
   let outputs = ref [] in
   let skipped_subtrees = ref 0 in
   let skipped_bytes = ref 0 in

@@ -28,11 +28,14 @@ val run :
   ?suppress:bool ->
   ?dispatch:bool ->
   ?use_index:bool ->
+  ?compiled:Sdds_core.Compile.t ->
   Sdds_core.Rule.t list ->
   string ->
   result
 (** [run rules encoded] evaluates the rule set over an encoded document.
     [use_index] (default [true]) enables skipping — it requires an
     [Indexed] encoding; with [false] (or a [Plain] encoding) every event
-    is fed, which is the no-index baseline. [dispatch] is passed through to
-    [Engine.create] (tag-indexed token dispatch; default on). *)
+    is fed, which is the no-index baseline. [dispatch] and [compiled] are
+    passed through to [Engine.create] (tag-indexed token dispatch, default
+    on; and a precompiled automaton set — the prepared-evaluation cache
+    hook). *)

@@ -2,12 +2,27 @@ module Store = Sdds_dsp.Store
 module Publish = Sdds_dsp.Publish
 module Card = Sdds_soe.Card
 module Apdu = Sdds_soe.Apdu
+module Remote = Sdds_soe.Remote_card
 module Reassembler = Sdds_core.Reassembler
 module Serializer = Sdds_xml.Serializer
 
 type t = { store : Store.t; card : Card.t }
 
 let create ~store ~card = { store; card }
+
+module Request = struct
+  type t = {
+    doc_id : string;
+    xpath : string option;
+    protect : bool;
+    delivery : [ `Pull | `Push ];
+    use_index : bool;
+  }
+
+  let make ?xpath ?(protect = false) ?(delivery = `Pull) ?(use_index = true)
+      doc_id =
+    { doc_id; xpath; protect; delivery; use_index }
+end
 
 type outcome = {
   view : Sdds_xml.Dom.t option;
@@ -21,12 +36,14 @@ type error =
   | No_grant
   | No_rules
   | Card_error of Card.error
+  | Protocol of string
 
 let pp_error ppf = function
   | Unknown_document id -> Format.fprintf ppf "unknown document %s" id
   | No_grant -> Format.pp_print_string ppf "no key grant for this subject"
   | No_rules -> Format.pp_print_string ppf "no access rules for this subject"
   | Card_error e -> Card.pp_error ppf e
+  | Protocol msg -> Format.fprintf ppf "protocol error: %s" msg
 
 let ( let* ) = Result.bind
 
@@ -74,10 +91,13 @@ let with_context t ~doc_id ~delivery ~xpath run =
                     Apdu.frame_count ~payload_bytes:request_bytes;
                 }))
 
-let evaluate_protected_inner t ~doc_id ~delivery ~xpath =
+let evaluate_protected_inner t ~doc_id ~delivery ~xpath ~use_index =
   with_context t ~doc_id ~delivery ~xpath
     (fun ~source ~encrypted_rules ~query ->
-      match Card.evaluate_protected t.card source ~encrypted_rules ?query () with
+      match
+        Card.evaluate_protected t.card source ~encrypted_rules ?query
+          ~use_index ()
+      with
       | Error e -> Error e
       | Ok (messages, card_report) ->
           let unsealer =
@@ -86,16 +106,332 @@ let evaluate_protected_inner t ~doc_id ~delivery ~xpath =
           List.iter (Sdds_soe.Guard.Unsealer.feed unsealer) messages;
           Ok (Sdds_soe.Guard.Unsealer.finish unsealer, card_report))
 
-let evaluate t ~doc_id ~delivery ~xpath =
+let evaluate t ~doc_id ~delivery ~xpath ~use_index =
   with_context t ~doc_id ~delivery ~xpath
     (fun ~source ~encrypted_rules ~query ->
-      match Card.evaluate t.card source ~encrypted_rules ?query () with
+      match Card.evaluate t.card source ~encrypted_rules ?query ~use_index () with
       | Error e -> Error e
       | Ok (outputs, card_report) ->
           Ok (Reassembler.run ~has_query:(query <> None) outputs, card_report))
 
-let query t ~doc_id ?(protect = false) ?xpath () =
-  if protect then evaluate_protected_inner t ~doc_id ~delivery:`Pull ~xpath
-  else evaluate t ~doc_id ~delivery:`Pull ~xpath
+let run t (r : Request.t) =
+  if r.Request.protect then
+    evaluate_protected_inner t ~doc_id:r.Request.doc_id
+      ~delivery:r.Request.delivery ~xpath:r.Request.xpath
+      ~use_index:r.Request.use_index
+  else
+    evaluate t ~doc_id:r.Request.doc_id ~delivery:r.Request.delivery
+      ~xpath:r.Request.xpath ~use_index:r.Request.use_index
 
-let receive_push t ~doc_id = evaluate t ~doc_id ~delivery:`Push ~xpath:None
+let query t ~doc_id ?(protect = false) ?xpath () =
+  run t { Request.doc_id; xpath; protect; delivery = `Pull; use_index = true }
+
+let receive_push t ~doc_id = run t (Request.make ~delivery:`Push doc_id)
+
+module Pool = struct
+  type served = {
+    view : Sdds_xml.Dom.t option;
+    xml : string option;
+    channel : int;
+    warm_setup : bool;
+    command_frames : int;
+    response_frames : int;
+    wire_bytes : int;
+  }
+
+  (* What the channel's card-side session holds after a completed setup;
+     a request that matches can skip straight to EVALUATE. *)
+  type memo = { m_doc : string; m_rules : string; m_xpath : string option }
+
+  type t = {
+    store : Store.t;
+    transport : Remote.Client.transport;
+    subject : string;
+    mutable free : int list;  (* open channels not serving a stream *)
+    mutable opened : int;  (* channels opened so far, basic included *)
+    limit : int;  (* channels the pool may open *)
+    memos : (int, memo) Hashtbl.t;
+    granted : (string, unit) Hashtbl.t;  (* grants already installed *)
+  }
+
+  let create ~store ~transport ~subject ?(channels = Apdu.max_channels) () =
+    if channels < 1 || channels > Apdu.max_channels then
+      invalid_arg "Pool.create: channels out of range";
+    {
+      store;
+      transport;
+      subject;
+      free = [ 0 ];
+      opened = 1;
+      limit = channels;
+      memos = Hashtbl.create 4;
+      granted = Hashtbl.create 8;
+    }
+
+  type phase =
+    | Wait_channel
+    | Setup of Apdu.command list  (* frames still to send *)
+    | Eval
+    | Drain
+    | Finished of (served, error) result
+
+  type stream = {
+    req : Request.t;
+    mutable rules : string;
+    mutable grant : string option;
+    mutable channel : int;  (* -1 until assigned *)
+    mutable warm : bool;
+    mutable phase : phase;
+    mutable cmds : int;
+    mutable resps : int;
+    mutable bytes : int;
+    buf : Buffer.t;  (* response accumulation *)
+  }
+
+  let send t st cmd =
+    st.cmds <- st.cmds + 1;
+    st.bytes <- st.bytes + String.length (Apdu.encode_command cmd);
+    let resp = t.transport cmd in
+    st.resps <- st.resps + 1;
+    st.bytes <- st.bytes + String.length (Apdu.encode_response resp);
+    resp
+
+  let release t st =
+    if st.channel >= 0 then begin
+      t.free <- t.free @ [ st.channel ];
+      st.channel <- -1
+    end
+
+  let finish t st result =
+    let result =
+      match result with
+      | Ok () ->
+          let encoded = Buffer.contents st.buf in
+          (match Sdds_core.Output_codec.decode_list encoded with
+          | outputs ->
+              let view =
+                Reassembler.run
+                  ~has_query:(st.req.Request.xpath <> None)
+                  outputs
+              in
+              Ok
+                {
+                  view;
+                  xml = Option.map (Serializer.to_string ~indent:true) view;
+                  channel = st.channel;
+                  warm_setup = st.warm;
+                  command_frames = st.cmds;
+                  response_frames = st.resps;
+                  wire_bytes = st.bytes;
+                }
+          | exception Invalid_argument msg ->
+              Error (Protocol ("bad response stream: " ^ msg)))
+      | Error e -> Error e
+    in
+    release t st;
+    st.phase <- Finished result
+
+  let sw_error st (resp : Apdu.response) =
+    let sw = (resp.Apdu.sw1, resp.Apdu.sw2) in
+    match Remote.of_sw ~doc_id:st.req.Request.doc_id sw with
+    | Some e -> Card_error e
+    | None ->
+        Protocol
+          (Printf.sprintf "SW %02X%02X" resp.Apdu.sw1 resp.Apdu.sw2)
+
+  (* Take a free channel, or open one with MANAGE CHANNEL if the pool is
+     still under its limit. The open frames are charged to the stream
+     that triggered them — amortized away once the channel is reused. *)
+  let acquire t st =
+    match t.free with
+    | ch :: rest ->
+        t.free <- rest;
+        Some (Ok ch)
+    | [] ->
+        if t.opened >= t.limit then None
+        else begin
+          let resp =
+            send t st
+              {
+                Apdu.cla = Apdu.base_cla;
+                ins = Remote.Ins.manage_channel;
+                p1 = 0;
+                p2 = 0;
+                data = "";
+              }
+          in
+          if
+            (resp.Apdu.sw1, resp.Apdu.sw2) = Remote.Sw.ok
+            && String.length resp.Apdu.payload = 1
+          then begin
+            t.opened <- t.opened + 1;
+            Some (Ok (Char.code resp.Apdu.payload.[0]))
+          end
+          else Some (Error (sw_error st resp))
+        end
+
+  let setup_frames t st =
+    let cla = Apdu.cla_of_channel st.channel in
+    let warm =
+      match Hashtbl.find_opt t.memos st.channel with
+      | Some m ->
+          String.equal m.m_doc st.req.Request.doc_id
+          && String.equal m.m_rules st.rules
+          && m.m_xpath = st.req.Request.xpath
+      | None -> false
+    in
+    st.warm <- warm;
+    if warm then []
+    else begin
+      let sel =
+        {
+          Apdu.cla;
+          ins = Remote.Ins.select;
+          p1 = 0;
+          p2 = 0;
+          data = st.req.Request.doc_id;
+        }
+      in
+      let grant =
+        match st.grant with
+        | Some w when not (Hashtbl.mem t.granted st.req.Request.doc_id) ->
+            [ { Apdu.cla; ins = Remote.Ins.grant; p1 = 0; p2 = 0; data = w } ]
+        | _ -> []
+      in
+      let rules = Apdu.segment ~cla ~ins:Remote.Ins.rules st.rules in
+      let query =
+        match st.req.Request.xpath with
+        | None -> []
+        | Some q -> Apdu.segment ~cla ~ins:Remote.Ins.query q
+      in
+      (sel :: grant) @ rules @ query
+    end
+
+  let eval_frame st =
+    {
+      Apdu.cla = Apdu.cla_of_channel st.channel;
+      ins = Remote.Ins.evaluate;
+      p1 = (match st.req.Request.delivery with `Push -> 1 | `Pull -> 0);
+      p2 = (if st.req.Request.use_index then 0 else 1);
+      data = "";
+    }
+
+  let handle_drain t st (resp : Apdu.response) =
+    Buffer.add_string st.buf resp.Apdu.payload;
+    if (resp.Apdu.sw1, resp.Apdu.sw2) = Remote.Sw.ok then finish t st (Ok ())
+    else if resp.Apdu.sw1 = fst Remote.Sw.more_data then st.phase <- Drain
+    else
+      (* An EVALUATE failure leaves the channel's setup intact — the memo
+         stays valid for the next request. *)
+      finish t st (Error (sw_error st resp))
+
+  (* Advance a stream by exactly one frame (or one channel-table action):
+     the serve loop round-robins over the streams, so frames from the N
+     requests interleave on the shared transport the way N independent
+     terminals would interleave on a shared card. *)
+  let step t st =
+    match st.phase with
+    | Finished _ -> ()
+    | Wait_channel -> (
+        match acquire t st with
+        | None -> ()  (* every channel busy: wait for a release *)
+        | Some (Error e) -> finish t st (Error e)
+        | Some (Ok ch) ->
+            st.channel <- ch;
+            st.phase <-
+              (match setup_frames t st with [] -> Eval | fs -> Setup fs))
+    | Setup [] -> st.phase <- Eval
+    | Setup (cmd :: rest) ->
+        let resp = send t st cmd in
+        if (resp.Apdu.sw1, resp.Apdu.sw2) = Remote.Sw.ok then begin
+          if cmd.Apdu.ins = Remote.Ins.grant then
+            Hashtbl.replace t.granted st.req.Request.doc_id ();
+          match rest with
+          | [] ->
+              Hashtbl.replace t.memos st.channel
+                {
+                  m_doc = st.req.Request.doc_id;
+                  m_rules = st.rules;
+                  m_xpath = st.req.Request.xpath;
+                };
+              st.phase <- Eval
+          | _ -> st.phase <- Setup rest
+        end
+        else begin
+          (* Half-done setup: whatever the channel session holds no longer
+             matches any memo. *)
+          Hashtbl.remove t.memos st.channel;
+          finish t st (Error (sw_error st resp))
+        end
+    | Eval -> handle_drain t st (send t st (eval_frame st))
+    | Drain ->
+        handle_drain t st
+          (send t st
+             {
+               Apdu.cla = Apdu.cla_of_channel st.channel;
+               ins = Remote.Ins.get_response;
+               p1 = 0;
+               p2 = 0;
+               data = "";
+             })
+
+  let init t (r : Request.t) =
+    let fresh phase =
+      {
+        req = r;
+        rules = "";
+        grant = None;
+        channel = -1;
+        warm = false;
+        phase;
+        cmds = 0;
+        resps = 0;
+        bytes = 0;
+        buf = Buffer.create 256;
+      }
+    in
+    let fail e = fresh (Finished (Error e)) in
+    if r.Request.protect then
+      fail
+        (Protocol
+           "protect requires a local card: Guard messages have no wire codec")
+    else
+      match Store.get_document t.store r.Request.doc_id with
+      | None -> fail (Unknown_document r.Request.doc_id)
+      | Some _ -> (
+          match
+            Store.get_rules t.store ~doc_id:r.Request.doc_id
+              ~subject:t.subject
+          with
+          | None -> fail No_rules
+          | Some rules ->
+              (* Malformed queries are the application's bug, reported
+                 synchronously — same contract as [run]. *)
+              (match r.Request.xpath with
+              | Some q -> ignore (Sdds_xpath.Parser.parse q)
+              | None -> ());
+              let st = fresh Wait_channel in
+              st.rules <- rules;
+              st.grant <-
+                Store.get_grant t.store ~doc_id:r.Request.doc_id
+                  ~subject:t.subject;
+              st)
+
+  let serve t reqs =
+    let streams = List.map (init t) reqs in
+    let active st =
+      match st.phase with Finished _ -> false | _ -> true
+    in
+    let rec loop () =
+      let live = List.filter active streams in
+      if live <> [] then begin
+        List.iter (step t) live;
+        loop ()
+      end
+    in
+    loop ();
+    List.map
+      (fun st ->
+        match st.phase with Finished r -> r | _ -> assert false)
+      streams
+end

@@ -8,11 +8,38 @@
     (push); the proxy fetches ciphertext and encrypted rules from the DSP,
     drives the card over APDU, reassembles the card's annotated output
     into the authorized view, and hands back XML. The proxy is untrusted:
-    it only ever handles ciphertext and already-authorized output. *)
+    it only ever handles ciphertext and already-authorized output.
+
+    Requests are described by a {!Request.t} value and executed with
+    {!run}; {!Pool} additionally multiplexes several requests over one
+    APDU transport using the card's logical channels. *)
 
 type t
 
 val create : store:Sdds_dsp.Store.t -> card:Sdds_soe.Card.t -> t
+
+(** A self-contained request description — the argument of {!run} and
+    {!Pool.serve}. Building the record separately from executing it lets
+    applications queue, retry and batch requests as plain values. *)
+module Request : sig
+  type t = {
+    doc_id : string;
+    xpath : string option;  (** user query composed with the access rules *)
+    protect : bool;  (** seal pending regions ({!Sdds_soe.Guard}) *)
+    delivery : [ `Pull | `Push ];
+    use_index : bool;  (** [false] = no-skip baseline *)
+  }
+
+  val make :
+    ?xpath:string ->
+    ?protect:bool ->
+    ?delivery:[ `Pull | `Push ] ->
+    ?use_index:bool ->
+    string ->
+    t
+  (** [make doc_id] with defaults: no query, no protection, [`Pull],
+      index on. *)
+end
 
 type outcome = {
   view : Sdds_xml.Dom.t option;  (** authorized (possibly query-filtered) view *)
@@ -27,8 +54,21 @@ type error =
   | No_grant  (** the DSP holds no wrapped key for this subject *)
   | No_rules  (** no rule blob for this (document, subject) pair *)
   | Card_error of Sdds_soe.Card.error
+      (** a card failure; over an APDU transport, reconstructed from the
+          status word with {!Sdds_soe.Remote_card.of_sw} *)
+  | Protocol of string
+      (** APDU-level failure that maps to no card error (unexpected
+          status word, undecodable response stream, unsupported request) *)
 
 val pp_error : Format.formatter -> error -> unit
+
+val run : t -> Request.t -> (outcome, error) result
+(** Execute one request against the proxy's local card. Installs the key
+    grant on the card on first use. With [protect] the card seals pending
+    text under one-time guard keys so this proxy — an untrusted
+    component — never sees data whose conditions resolve negatively.
+    Raises [Sdds_xpath.Parser.Error] on a malformed [xpath] (the
+    application's bug, reported synchronously). *)
 
 val query :
   t ->
@@ -37,17 +77,55 @@ val query :
   ?xpath:string ->
   unit ->
   (outcome, error) result
-(** Pull scenario: fetch, evaluate, reassemble. [xpath] is the user query
-    composed with the access rules on the card. Installs the key grant on
-    the card on first use. With [~protect:true] the card seals pending
-    text under one-time guard keys ([Sdds_soe.Guard]) so this proxy — an
-    untrusted component — never sees data whose conditions resolve
-    negatively. Raises [Sdds_xpath.Parser.Error] on a malformed [xpath]
-    (the application's bug, reported synchronously). *)
+(** Pull scenario. Deprecated spelling of
+    [run t (Request.make ?xpath ?protect doc_id)] — kept for existing
+    callers; new code should build a {!Request.t}. *)
 
 val receive_push :
   t -> doc_id:string -> (outcome, error) result
 (** Push scenario (selective dissemination): the same document flows past
     the card as a stream — every chunk crosses the link, the card decrypts
     only what the index cannot discard, and the authorized part is
-    delivered. *)
+    delivered. Deprecated spelling of
+    [run t (Request.make ~delivery:`Push doc_id)]. *)
+
+(** Multi-client serving: N request streams multiplexed over {e one} APDU
+    transport to one card, using ISO 7816 logical channels
+    ({!Sdds_soe.Remote_card}). The pool round-robins the streams at frame
+    granularity — exactly the interleaving N independent terminals would
+    produce on a shared card — and the card's per-channel sessions plus
+    its prepared-evaluation cache make the views byte-identical to
+    serving the requests one by one (the property tests enforce it). *)
+module Pool : sig
+  type t
+
+  val create :
+    store:Sdds_dsp.Store.t ->
+    transport:Sdds_soe.Remote_card.Client.transport ->
+    subject:string ->
+    ?channels:int ->
+    unit ->
+    t
+  (** [channels] (default {!Sdds_soe.Apdu.max_channels}) caps how many
+      logical channels the pool opens; channels are opened lazily with
+      MANAGE CHANNEL and reused across {!serve} calls, with the channel's
+      card-side session remembered so a repeat request skips the
+      select/grant/rules/query upload entirely (warm setup). *)
+
+  type served = {
+    view : Sdds_xml.Dom.t option;
+    xml : string option;
+    channel : int;  (** logical channel that served this request *)
+    warm_setup : bool;  (** setup upload skipped — channel already primed *)
+    command_frames : int;
+    response_frames : int;
+    wire_bytes : int;
+  }
+
+  val serve : t -> Request.t list -> (served, error) result list
+  (** Run the requests concurrently (frame-interleaved) and return their
+      results in request order. Requests beyond the channel budget queue
+      until a channel frees up. [protect] requests fail with {!Protocol}:
+      guard messages have no wire codec, protection needs a local card.
+      Raises [Sdds_xpath.Parser.Error] on a malformed [xpath]. *)
+end

@@ -3,6 +3,16 @@ type response = { sw1 : int; sw2 : int; payload : string }
 
 let sw_ok = (0x90, 0x00)
 let max_data = 255
+let base_cla = 0x80
+let max_channels = 4
+
+let channel_of_cla cla = cla land 0x03
+
+let cla_of_channel ch =
+  if ch < 0 || ch >= max_channels then invalid_arg "Apdu.cla_of_channel";
+  base_cla lor ch
+
+let valid_cla cla = cla land lnot 0x03 = base_cla
 
 let check_byte name v =
   if v < 0 || v > 0xff then invalid_arg ("Apdu: " ^ name ^ " out of range")

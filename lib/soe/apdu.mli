@@ -19,6 +19,29 @@ type response = { sw1 : int; sw2 : int; payload : string }
 val sw_ok : int * int
 (** 0x90, 0x00. *)
 
+(** {1 Logical channels}
+
+    Per ISO 7816-4, the two low bits of the class byte address one of four
+    logical channels, each an independent card session. Channel 0 is the
+    basic channel, always open; 1–3 are opened and closed with MANAGE
+    CHANNEL ({!Remote_card.Ins.manage_channel}). *)
+
+val base_cla : int
+(** The application class byte with channel bits cleared (0x80). *)
+
+val max_channels : int
+(** 4 — the CLA encoding has two channel bits. *)
+
+val channel_of_cla : int -> int
+(** The logical channel a class byte addresses (its two low bits). *)
+
+val cla_of_channel : int -> int
+(** [base_cla lor channel]. Raises [Invalid_argument] outside [0..3]. *)
+
+val valid_cla : int -> bool
+(** True iff the byte is [base_cla] with any channel bits — the host
+    rejects every other class. *)
+
 val encode_command : command -> string
 (** Raises [Invalid_argument] if a field is out of range or data exceeds
     255 bytes. *)

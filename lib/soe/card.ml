@@ -1,9 +1,34 @@
 module Rsa = Sdds_crypto.Rsa
+module Sha256 = Sdds_crypto.Sha256
 module Merkle = Sdds_crypto.Merkle
 module Rule = Sdds_core.Rule
+module Compile = Sdds_core.Compile
 module Output = Sdds_core.Output
 
 module Indexed_engine = Sdds_index.Indexed_engine
+
+(* A resident prepared evaluation: everything the card derives from one
+   (rule blob, query) pair before any document byte is processed. Keyed by
+   (doc_id, blob digest, query); keeping it across evaluations is what the
+   session layer amortizes. *)
+type prepared = {
+  p_key : string;  (* document key the entry was prepared under *)
+  p_version : int;  (* policy version parsed from the blob *)
+  p_rules : Rule.t list;  (* subject-filtered *)
+  p_compiled : Compile.t;
+  mutable p_root : string;  (* Merkle root whose signature was verified *)
+  p_bytes : int;  (* residency charge against the cache budget *)
+  mutable p_tick : int;  (* LRU clock at last use *)
+}
+
+type cache_stats = {
+  entries : int;
+  resident_bytes : int;
+  cache_budget_bytes : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
 
 type t = {
   prof : Cost.profile;
@@ -13,15 +38,46 @@ type t = {
   rule_versions : (string, int) Hashtbl.t;
       (* per document: highest policy version enforced so far (secure
          stable storage) — the anti-rollback high-water mark *)
+  cache : (string, prepared) Hashtbl.t;
+  cache_mem : Memory.t option;  (* None: caching disabled *)
+  mutable cache_clock : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
 
-let create ?(profile = Cost.egate) ~subject keypair =
+let create ?(profile = Cost.egate) ?cache_budget_bytes ~subject keypair =
+  let cache_budget =
+    match cache_budget_bytes with
+    | Some b -> b
+    | None -> profile.Cost.ram_bytes / 4
+  in
   {
     prof = profile;
     subj = subject;
     keypair;
     doc_keys = Hashtbl.create 8;
     rule_versions = Hashtbl.create 8;
+    cache = Hashtbl.create 8;
+    cache_mem =
+      (if cache_budget <= 0 then None
+       else Some (Memory.create ~budget_bytes:cache_budget));
+    cache_clock = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
+  }
+
+let cache_stats t =
+  {
+    entries = Hashtbl.length t.cache;
+    resident_bytes =
+      (match t.cache_mem with Some m -> Memory.used_bytes m | None -> 0);
+    cache_budget_bytes =
+      (match t.cache_mem with Some m -> Memory.budget_bytes m | None -> 0);
+    hits = t.cache_hits;
+    misses = t.cache_misses;
+    evictions = t.cache_evictions;
   }
 
 let subject t = t.subj
@@ -92,6 +148,7 @@ type report = {
   suppressed_events : int;
   token_visits : int;
   output_bytes : int;
+  prepared_hit : bool;
 }
 
 (* Exact wire size under the binary output codec. *)
@@ -104,6 +161,60 @@ let guard_drbg t source =
   Sdds_crypto.Drbg.create
     ~seed:("guard|" ^ t.subj ^ "|" ^ source.doc_id ^ "|"
           ^ Sdds_crypto.Rsa.fingerprint t.keypair.Rsa.public)
+
+(* ------------------------------------------------------------------ *)
+(* Prepared-evaluation cache                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cache_key ~doc_id ~encrypted_rules query =
+  doc_id ^ "\x00"
+  ^ Sha256.digest encrypted_rules
+  ^ "\x00"
+  ^ Option.fold ~none:"" ~some:Sdds_xpath.Ast.to_string query
+
+(* Residency charge: the packed automaton (2 bytes per state field, as the
+   evaluator accounting) plus the document key and fixed entry framing. *)
+let entry_bytes compiled = 64 + (2 * Compile.state_count compiled)
+
+let drop_entry t key p =
+  Hashtbl.remove t.cache key;
+  match t.cache_mem with
+  | Some mem -> Memory.release mem ~bytes:p.p_bytes
+  | None -> ()
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k p acc ->
+        match acc with
+        | Some (_, best) when best.p_tick <= p.p_tick -> acc
+        | _ -> Some (k, p))
+      t.cache None
+  in
+  match victim with
+  | Some (k, p) ->
+      drop_entry t k p;
+      t.cache_evictions <- t.cache_evictions + 1
+  | None -> ()
+
+(* Admit a freshly prepared entry, evicting least-recently-used residents
+   until it fits; an entry larger than the whole budget is simply not
+   cached (the evaluation itself already succeeded). *)
+let admit t ~key:ckey prepared_entry =
+  match t.cache_mem with
+  | None -> ()
+  | Some mem ->
+      let bytes = prepared_entry.p_bytes in
+      if bytes <= Memory.budget_bytes mem then begin
+        (match Hashtbl.find_opt t.cache ckey with
+        | Some old -> drop_entry t ckey old
+        | None -> ());
+        while Memory.used_bytes mem + bytes > Memory.budget_bytes mem do
+          evict_lru t
+        done;
+        Memory.alloc mem ~bytes;
+        Hashtbl.replace t.cache ckey prepared_entry
+      end
 
 (* Chunks fully contained in a skipped byte range are never consumed. *)
 let consumed_chunks ~n_chunks ~chunk_plain_bytes ~skipped_ranges =
@@ -125,38 +236,116 @@ let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
   | Some key -> (
       let meter = Cost.meter t.prof in
       let n_chunks = Array.length source.chunks in
-      (* 1. Publisher signature over the Merkle root. *)
+      (* Cache residents squeeze the evaluator's budget; entries admitted
+         by THIS evaluation only count from the next one (the automaton in
+         use is the evaluator's own working state either way). *)
+      let resident_before =
+        match t.cache_mem with Some m -> Memory.used_bytes m | None -> 0
+      in
       let root_msg =
         Wire.signed_root_message ~doc_id:source.doc_id
           ~merkle_root:source.merkle_root ~plain_length:source.plain_length
       in
-      if
-        not
-          (Rsa.verify source.publisher root_msg
-             ~signature:source.root_signature)
-      then Error Bad_signature
-      else begin
-        Cost.charge_rsa meter ~ops:1;
-        (* 2. Access rules: transferred, MAC-checked, decrypted, parsed. *)
-        Cost.charge_transfer meter ~bytes:(String.length encrypted_rules);
-        Cost.charge_hash meter ~bytes:(String.length encrypted_rules);
-        Cost.charge_decrypt meter ~bytes:(String.length encrypted_rules);
-        match
-          Wire.decrypt_rules ~key ~doc_id:source.doc_id ~subject:t.subj
-            ~publisher:source.publisher encrypted_rules
-        with
-        | Error msg -> Error (Bad_rules msg)
-        | Ok (version, rules) ->
-            let seen =
-              Option.value ~default:(-1)
-                (Hashtbl.find_opt t.rule_versions source.doc_id)
-            in
-            if version < seen then
-              Error (Replayed_rules { seen; offered = version })
+      let verify_root () =
+        if
+          Rsa.verify source.publisher root_msg
+            ~signature:source.root_signature
+        then begin
+          Cost.charge_rsa meter ~ops:1;
+          true
+        end
+        else false
+      in
+      let seen_version () =
+        Option.value ~default:(-1)
+          (Hashtbl.find_opt t.rule_versions source.doc_id)
+      in
+      (* 1+2. Prepare the evaluation: publisher signature over the Merkle
+         root, then the rule blob (transferred, MAC-checked, decrypted,
+         parsed, compiled). A resident prepared entry skips all of it —
+         except that an unseen root still pays its signature check — while
+         the anti-rollback high-water mark is enforced on both paths. *)
+      let prepare () =
+        let ckey =
+          cache_key ~doc_id:source.doc_id ~encrypted_rules query
+        in
+        let resident =
+          match Hashtbl.find_opt t.cache ckey with
+          | Some p when String.equal p.p_key key -> Some (ckey, p)
+          | Some p ->
+              (* the document was re-granted under a different key: the
+                 entry can never serve again *)
+              drop_entry t ckey p;
+              t.cache_evictions <- t.cache_evictions + 1;
+              None
+          | None -> None
+        in
+        match resident with
+        | Some (ckey, p) ->
+            let seen = seen_version () in
+            if p.p_version < seen then begin
+              (* a version bump was enforced since this entry was built:
+                 it must never serve again (rollback through the cache) *)
+              drop_entry t ckey p;
+              t.cache_evictions <- t.cache_evictions + 1;
+              Error (Replayed_rules { seen; offered = p.p_version })
+            end
+            else if
+              (not (String.equal p.p_root source.merkle_root))
+              && not (verify_root ())
+            then Error Bad_signature
             else begin
-            Hashtbl.replace t.rule_versions source.doc_id version;
+              p.p_root <- source.merkle_root;
+              Hashtbl.replace t.rule_versions source.doc_id
+                (max seen p.p_version);
+              t.cache_hits <- t.cache_hits + 1;
+              t.cache_clock <- t.cache_clock + 1;
+              p.p_tick <- t.cache_clock;
+              Ok (p.p_rules, p.p_compiled, true)
+            end
+        | None ->
+            if not (verify_root ()) then Error Bad_signature
+            else begin
+              Cost.charge_transfer meter
+                ~bytes:(String.length encrypted_rules);
+              Cost.charge_hash meter ~bytes:(String.length encrypted_rules);
+              Cost.charge_decrypt meter
+                ~bytes:(String.length encrypted_rules);
+              match
+                Wire.decrypt_rules ~key ~doc_id:source.doc_id ~subject:t.subj
+                  ~publisher:source.publisher encrypted_rules
+              with
+              | Error msg -> Error (Bad_rules msg)
+              | Ok (version, rules) ->
+                  let seen = seen_version () in
+                  if version < seen then
+                    Error (Replayed_rules { seen; offered = version })
+                  else begin
+                    Hashtbl.replace t.rule_versions source.doc_id version;
+                    let rules = Rule.for_subject t.subj rules in
+                    let compiled = Compile.compile ?query rules in
+                    Cost.charge_compile meter
+                      ~states:(Compile.state_count compiled);
+                    t.cache_misses <- t.cache_misses + 1;
+                    t.cache_clock <- t.cache_clock + 1;
+                    admit t ~key:ckey
+                      {
+                        p_key = key;
+                        p_version = version;
+                        p_rules = rules;
+                        p_compiled = compiled;
+                        p_root = source.merkle_root;
+                        p_bytes = entry_bytes compiled;
+                        p_tick = t.cache_clock;
+                      };
+                    Ok (rules, compiled, false)
+                  end
+            end
+      in
+      match prepare () with
+      | Error e -> Error e
+      | Ok (rules, compiled, prepared_hit) ->
             (
-            let rules = Rule.for_subject t.subj rules in
             (* 3. Decrypt chunks (simulation: all up front; charging
                happens per consumed chunk below). *)
             let bad = ref [] in
@@ -210,8 +399,11 @@ let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
             if String.length encoded <> source.plain_length then
               Error (Integrity_failure { chunk = n_chunks })
             else
-            (* 4. Stream through the engine with skipping. *)
-            match Indexed_engine.run ?query ~use_index rules encoded with
+            (* 4. Stream through the engine with skipping, reusing the
+               prepared automaton. *)
+            match
+              Indexed_engine.run ?query ~use_index ~compiled rules encoded
+            with
             | exception Invalid_argument _ -> (
                 (* Garbage reached the decoder: either the store tampered
                    with a chunk (its proof fails) or the chunks are
@@ -285,7 +477,9 @@ let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
                       + 128 (* fixed runtime state *)
                     in
                     let mem =
-                      Memory.create ~budget_bytes:t.prof.Cost.ram_bytes
+                      Memory.create
+                        ~budget_bytes:
+                          (max 1 (t.prof.Cost.ram_bytes - resident_before))
                     in
                     match Memory.record_bytes mem ~bytes:ram_bytes with
                     | exception Memory.Out_of_memory
@@ -309,11 +503,10 @@ let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
                               st.Sdds_core.Engine.suppressed;
                             token_visits = st.Sdds_core.Engine.token_visits;
                             output_bytes = out_bytes;
+                            prepared_hit;
                           }
                         in
-                        Ok (res.Indexed_engine.outputs, report))))
-            end
-      end)
+                        Ok (res.Indexed_engine.outputs, report)))))
 
 
 let evaluate_protected t source ~encrypted_rules ?query ?use_index () =

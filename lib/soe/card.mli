@@ -29,13 +29,43 @@
 type t
 
 val create :
-  ?profile:Cost.profile -> subject:string -> Sdds_crypto.Rsa.keypair -> t
+  ?profile:Cost.profile ->
+  ?cache_budget_bytes:int ->
+  subject:string ->
+  Sdds_crypto.Rsa.keypair ->
+  t
 (** A personalized card: the subject's identity and keypair live in secure
-    stable storage. Default profile: {!Cost.egate}. *)
+    stable storage. Default profile: {!Cost.egate}.
+
+    [cache_budget_bytes] bounds the prepared-evaluation cache (see
+    {!cache_stats}); it defaults to a quarter of the profile's RAM and
+    [0] disables caching. Resident entries are charged against the card's
+    RAM, so on the 1 KB e-gate the cache can hold at most a couple of
+    small policies — the {!Cost.fleet} profile is what lifts the
+    constraint for multi-client serving. *)
 
 val subject : t -> string
 val public_key : t -> Sdds_crypto.Rsa.public
 val profile : t -> Cost.profile
+
+type cache_stats = {
+  entries : int;  (** resident prepared evaluations *)
+  resident_bytes : int;  (** RAM currently held by the cache *)
+  cache_budget_bytes : int;  (** cache bound carved out of the RAM budget *)
+  hits : int;
+  misses : int;
+  evictions : int;
+      (** LRU displacements plus invalidations (re-key, version bump) *)
+}
+
+val cache_stats : t -> cache_stats
+(** Counters of the prepared-evaluation cache: entries are keyed by
+    (document, rule-blob digest, query) and hold the subject-filtered
+    rules, the compiled automata and the verified Merkle root, so a warm
+    {!evaluate} skips the blob MAC/decrypt/parse, the automaton
+    compilation and the root signature check. Eviction is LRU; an entry
+    never survives a policy-version bump (anti-rollback) or a re-grant
+    under a different document key. *)
 
 type error =
   | No_key of string  (** no document key installed for this id *)
@@ -96,6 +126,10 @@ type report = {
   suppressed_events : int;
   token_visits : int;  (** automaton transitions the engine actually ran *)
   output_bytes : int;
+  prepared_hit : bool;
+      (** this evaluation reused a resident prepared entry: no rule-blob
+          transfer/MAC/decrypt/parse, no automaton compilation, and no
+          root signature RSA (unless the root changed) were charged *)
 }
 
 val evaluate :

@@ -9,6 +9,7 @@ type profile = {
   event_us : float;
   token_us : float;
   rsa_op_ms : float;
+  compile_state_us : float;
 }
 
 let egate =
@@ -23,6 +24,7 @@ let egate =
     event_us = 6.0;
     token_us = 1.5;
     rsa_op_ms = 120.0;
+    compile_state_us = 45.0;
   }
 
 let modern =
@@ -37,6 +39,22 @@ let modern =
     event_us = 0.5;
     token_us = 0.1;
     rsa_op_ms = 8.0;
+    compile_state_us = 1.5;
+  }
+
+let fleet =
+  {
+    name = "fleet-se";
+    ram_bytes = 64 * 1024;
+    link_bytes_per_s = 1_000_000.0;
+    apdu_payload = 4096;
+    apdu_overhead_bytes = 12;
+    aes_block_us = 0.8;
+    sha_block_us = 1.2;
+    event_us = 0.5;
+    token_us = 0.1;
+    rsa_op_ms = 8.0;
+    compile_state_us = 1.5;
   }
 
 type meter = {
@@ -46,6 +64,7 @@ type meter = {
   mutable sha_us : float;
   mutable cpu_us : float;
   mutable rsa_us : float;
+  mutable compile_us : float;
   mutable bytes_transferred : int;
   mutable bytes_decrypted : int;
   mutable apdu_frames : int;
@@ -59,6 +78,7 @@ let meter prof =
     sha_us = 0.0;
     cpu_us = 0.0;
     rsa_us = 0.0;
+    compile_us = 0.0;
     bytes_transferred = 0;
     bytes_decrypted = 0;
     apdu_frames = 0;
@@ -102,11 +122,17 @@ let charge_events m ~events ~tokens =
 
 let charge_rsa m ~ops = m.rsa_us <- m.rsa_us +. (float_of_int ops *. m.prof.rsa_op_ms *. 1000.0)
 
+let charge_compile m ~states =
+  if states < 0 then invalid_arg "Cost.charge_compile";
+  m.compile_us <-
+    m.compile_us +. (float_of_int states *. m.prof.compile_state_us)
+
 type breakdown = {
   transfer_ms : float;
   crypto_ms : float;
   cpu_ms : float;
   rsa_ms : float;
+  compile_ms : float;
   total_ms : float;
   bytes_transferred : int;
   bytes_decrypted : int;
@@ -118,12 +144,14 @@ let read m =
   let crypto_ms = (m.aes_us +. m.sha_us) /. 1000.0 in
   let cpu_ms = m.cpu_us /. 1000.0 in
   let rsa_ms = m.rsa_us /. 1000.0 in
+  let compile_ms = m.compile_us /. 1000.0 in
   {
     transfer_ms;
     crypto_ms;
     cpu_ms;
     rsa_ms;
-    total_ms = transfer_ms +. crypto_ms +. cpu_ms +. rsa_ms;
+    compile_ms;
+    total_ms = transfer_ms +. crypto_ms +. cpu_ms +. rsa_ms +. compile_ms;
     bytes_transferred = m.bytes_transferred;
     bytes_decrypted = m.bytes_decrypted;
     apdu_frames = m.apdu_frames;
@@ -131,7 +159,7 @@ let read m =
 
 let pp_breakdown ppf b =
   Format.fprintf ppf
-    "total=%.1fms (xfer=%.1f crypto=%.1f cpu=%.1f rsa=%.1f) bytes: xfer=%d \
-     dec=%d frames=%d"
-    b.total_ms b.transfer_ms b.crypto_ms b.cpu_ms b.rsa_ms b.bytes_transferred
-    b.bytes_decrypted b.apdu_frames
+    "total=%.1fms (xfer=%.1f crypto=%.1f cpu=%.1f rsa=%.1f compile=%.1f) \
+     bytes: xfer=%d dec=%d frames=%d"
+    b.total_ms b.transfer_ms b.crypto_ms b.cpu_ms b.rsa_ms b.compile_ms
+    b.bytes_transferred b.bytes_decrypted b.apdu_frames

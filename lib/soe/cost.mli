@@ -23,6 +23,10 @@ type profile = {
   event_us : float;  (** fixed automaton cost per parsing event *)
   token_us : float;  (** cost per live token touched by an event *)
   rsa_op_ms : float;  (** private-key operation (session opening) *)
+  compile_state_us : float;
+      (** building one automaton state while preparing a rule set
+          (parse + NFA construction) — the fixed per-query setup the
+          prepared-evaluation cache amortizes *)
 }
 
 val egate : profile
@@ -31,6 +35,12 @@ val egate : profile
 val modern : profile
 (** A contemporary secure element (hardware AES, USB-CCID link, 16 KB
     RAM) — used to show where the crossovers move. *)
+
+val fleet : profile
+(** A serving-oriented secure element: {!modern}'s engine constants with a
+    64 KB RAM budget and a 1 MB/s link, sized so a prepared-evaluation
+    cache can hold many (document, policy, query) automata at once — the
+    profile the multi-client session experiments run on. *)
 
 (** Mutable meter accumulating charges, one per evaluation run. *)
 type meter
@@ -49,11 +59,17 @@ val charge_hash : meter -> bytes:int -> unit
 val charge_events : meter -> events:int -> tokens:int -> unit
 val charge_rsa : meter -> ops:int -> unit
 
+val charge_compile : meter -> states:int -> unit
+(** Automaton construction: [states] compiled states
+    ({!Sdds_core.Compile.state_count}) at [compile_state_us] each. Charged
+    once per prepared-cache miss; a warm hit skips it. *)
+
 type breakdown = {
   transfer_ms : float;
   crypto_ms : float;  (** AES + SHA *)
   cpu_ms : float;  (** automaton work *)
   rsa_ms : float;
+  compile_ms : float;  (** automaton construction (cache misses only) *)
   total_ms : float;
   bytes_transferred : int;
   bytes_decrypted : int;

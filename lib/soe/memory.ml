@@ -1,4 +1,4 @@
-type t = { budget : int; mutable peak : int }
+type t = { budget : int; mutable peak : int; mutable used : int }
 
 exception Out_of_memory of { need_bytes : int; budget_bytes : int }
 
@@ -6,7 +6,7 @@ let word_bytes = 4 (* the card CPU is 32-bit *)
 
 let create ~budget_bytes =
   if budget_bytes <= 0 then invalid_arg "Memory.create";
-  { budget = budget_bytes; peak = 0 }
+  { budget = budget_bytes; peak = 0; used = 0 }
 
 let record_bytes t ~bytes =
   if bytes > t.peak then t.peak <- bytes;
@@ -15,6 +15,19 @@ let record_bytes t ~bytes =
 
 let record t ~words = record_bytes t ~bytes:(words * word_bytes)
 
+let alloc t ~bytes =
+  if bytes < 0 then invalid_arg "Memory.alloc";
+  let need = t.used + bytes in
+  if need > t.budget then
+    raise (Out_of_memory { need_bytes = need; budget_bytes = t.budget });
+  t.used <- need;
+  if need > t.peak then t.peak <- need
+
+let release t ~bytes =
+  if bytes < 0 || bytes > t.used then invalid_arg "Memory.release";
+  t.used <- t.used - bytes
+
+let used_bytes t = t.used
 let peak_bytes t = t.peak
 let budget_bytes t = t.budget
 let headroom t = 1.0 -. (float_of_int t.peak /. float_of_int t.budget)

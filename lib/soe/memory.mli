@@ -19,6 +19,18 @@ val record : t -> words:int -> unit
 
 val record_bytes : t -> bytes:int -> unit
 
+val alloc : t -> bytes:int -> unit
+(** Allocate [bytes] of long-lived state (e.g. a resident cache entry),
+    raising {!Out_of_memory} — without charging — if it would overflow the
+    budget. Unlike {!record}, allocations accumulate until {!release}d. *)
+
+val release : t -> bytes:int -> unit
+(** Return an earlier {!alloc}. Raises [Invalid_argument] if more is
+    released than is currently held. *)
+
+val used_bytes : t -> int
+(** Bytes currently held by {!alloc}s. *)
+
 val peak_bytes : t -> int
 val budget_bytes : t -> int
 

@@ -1,6 +1,7 @@
 module Output_codec = Sdds_core.Output_codec
 
 module Ins = struct
+  let manage_channel = 0x70
   let select = 0xA0
   let grant = 0xA2
   let rules = 0xA4
@@ -13,19 +14,58 @@ module Sw = struct
   let ok = (0x90, 0x00)
   let more_data = (0x61, 0x00)
   let not_found = (0x6A, 0x88)
+  let stale_key = (0x6A, 0x82)
+  let bad_grant = (0x69, 0x84)
+  let bad_signature = (0x69, 0x88)
   let security = (0x69, 0x82)
+  let replayed = (0x69, 0x87)
   let memory = (0x6A, 0x84)
+  let integrity_sw1 = 0x66
   let bad_state = (0x69, 0x85)
   let bad_ins = (0x6D, 0x00)
+  let channel_closed = (0x68, 0x81)
+  let no_channel = (0x6A, 0x81)
 end
 
-let cla = 0x80
+let cla = Apdu.base_cla
 let max_response = 255
 
+(* One status word per {!Card.error} constructor, so the terminal can act on
+   the failure (retry the grant, refetch the document, surface revocation)
+   without a side channel. [Integrity_failure] carries the failing chunk in
+   sw2; the string payloads ([No_key]/[Stale_key] document ids, [Bad_rules]
+   diagnostics) do not cross the wire — [of_sw] reconstructs them from the
+   caller's context. *)
+let to_sw = function
+  | Card.No_key _ -> Sw.not_found
+  | Card.Stale_key _ -> Sw.stale_key
+  | Card.Bad_grant -> Sw.bad_grant
+  | Card.Bad_signature -> Sw.bad_signature
+  | Card.Bad_rules _ -> Sw.security
+  | Card.Replayed_rules _ -> Sw.replayed
+  | Card.Memory_exceeded _ -> Sw.memory
+  | Card.Integrity_failure { chunk } -> (Sw.integrity_sw1, chunk land 0xff)
+
+let of_sw ?(doc_id = "?") (sw1, sw2) =
+  let sw = (sw1, sw2) in
+  if sw = Sw.not_found then Some (Card.No_key doc_id)
+  else if sw = Sw.stale_key then Some (Card.Stale_key doc_id)
+  else if sw = Sw.bad_grant then Some Card.Bad_grant
+  else if sw = Sw.bad_signature then Some Card.Bad_signature
+  else if sw = Sw.security then Some (Card.Bad_rules "rule blob rejected")
+  else if sw = Sw.replayed then
+    Some (Card.Replayed_rules { seen = 0; offered = 0 })
+  else if sw = Sw.memory then
+    Some (Card.Memory_exceeded { need_bytes = 0; budget_bytes = 0 })
+  else if sw1 = Sw.integrity_sw1 then
+    Some (Card.Integrity_failure { chunk = sw2 })
+  else None
+
 module Host = struct
-  type t = {
-    card : Card.t;
-    resolve : string -> Card.doc_source option;
+  (* The per-channel slice of the protocol state: everything a SELECT
+     resets lives here, so channels cannot observe (or corrupt) each
+     other's half-uploaded chains or undrained responses. *)
+  type session = {
     mutable doc : Card.doc_source option;
     (* chained-command accumulators, keyed by instruction *)
     chains : (int, Buffer.t * int ref) Hashtbl.t;
@@ -34,10 +74,8 @@ module Host = struct
     mutable response : string;  (* bytes not yet drained *)
   }
 
-  let create ~card ~resolve =
+  let fresh_session () =
     {
-      card;
-      resolve;
       doc = None;
       chains = Hashtbl.create 4;
       pending_rules = None;
@@ -45,15 +83,33 @@ module Host = struct
       response = "";
     }
 
+  type t = {
+    card : Card.t;
+    resolve : string -> Card.doc_source option;
+    sessions : session option array;  (* slot index = channel number *)
+  }
+
+  let create ~card ~resolve =
+    let sessions = Array.make Apdu.max_channels None in
+    (* The basic channel is always open. *)
+    sessions.(0) <- Some (fresh_session ());
+    { card; resolve; sessions }
+
+  let open_channels t =
+    Array.fold_left
+      (fun n -> function None -> n | Some _ -> n + 1)
+      0 t.sessions
+
   let reply ?(payload = "") (sw1, sw2) = { Apdu.sw1; sw2; payload }
 
   (* Accumulate a chained command; returns [Ok (Some data)] when the final
      frame arrives, [Ok None] mid-chain, [Error ()] on a sequence-number
      gap (a dropped or reordered frame must fail fast, not concatenate) or
      a continuation frame with no chain open (a stale continuation from
-     before a SELECT must not silently start a fresh chain). *)
-  let chain t (cmd : Apdu.command) =
-    match (Hashtbl.find_opt t.chains cmd.Apdu.ins, cmd.Apdu.p2) with
+     before a SELECT — or from another channel — must not silently start a
+     fresh chain). *)
+  let chain s (cmd : Apdu.command) =
+    match (Hashtbl.find_opt s.chains cmd.Apdu.ins, cmd.Apdu.p2) with
     | None, p2 when p2 <> 0 -> Error ()
     | existing, _ ->
     let buf, seq =
@@ -61,60 +117,80 @@ module Host = struct
       | Some bs -> bs
       | None ->
           let bs = (Buffer.create 256, ref 0) in
-          Hashtbl.add t.chains cmd.Apdu.ins bs;
+          Hashtbl.add s.chains cmd.Apdu.ins bs;
           bs
     in
     if cmd.Apdu.p2 <> !seq land 0xff then begin
-      Hashtbl.remove t.chains cmd.Apdu.ins;
+      Hashtbl.remove s.chains cmd.Apdu.ins;
       Error ()
     end
     else begin
       incr seq;
       Buffer.add_string buf cmd.Apdu.data;
       if cmd.Apdu.p1 = 0 then begin
-        Hashtbl.remove t.chains cmd.Apdu.ins;
+        Hashtbl.remove s.chains cmd.Apdu.ins;
         Ok (Some (Buffer.contents buf))
       end
       else Ok None
     end
 
-  let error_sw = function
-    | Card.No_key _ | Card.Stale_key _ -> Sw.not_found
-    | Card.Bad_grant | Card.Bad_signature
-    | Card.Integrity_failure _
-    | Card.Bad_rules _ | Card.Replayed_rules _ ->
-        Sw.security
-    | Card.Memory_exceeded _ -> Sw.memory
-
-  let drain t =
-    let n = String.length t.response in
+  let drain s =
+    let n = String.length s.response in
     let take = min max_response n in
-    let payload = String.sub t.response 0 take in
-    t.response <- String.sub t.response take (n - take);
-    if String.length t.response = 0 then reply ~payload Sw.ok
+    let payload = String.sub s.response 0 take in
+    s.response <- String.sub s.response take (n - take);
+    if String.length s.response = 0 then reply ~payload Sw.ok
     else begin
       let sw1, _ = Sw.more_data in
-      reply ~payload (sw1, min 0xff (String.length t.response))
+      reply ~payload (sw1, min 0xff (String.length s.response))
     end
 
-  let process t (cmd : Apdu.command) =
-    if cmd.Apdu.cla <> cla then reply Sw.bad_ins
-    else if cmd.Apdu.ins = Ins.select then begin
+  let manage_channel t (cmd : Apdu.command) =
+    if cmd.Apdu.p1 = 0x00 && cmd.Apdu.p2 = 0x00 then begin
+      (* Open: allocate the lowest free channel and return its number. *)
+      let rec find i =
+        if i >= Apdu.max_channels then None
+        else match t.sessions.(i) with None -> Some i | Some _ -> find (i + 1)
+      in
+      match find 1 with
+      | None -> reply Sw.no_channel
+      | Some i ->
+          t.sessions.(i) <- Some (fresh_session ());
+          reply ~payload:(String.make 1 (Char.chr i)) Sw.ok
+    end
+    else if cmd.Apdu.p1 = 0x80 then begin
+      (* Close: the target channel is in p2; the basic channel cannot be
+         closed. Everything the session held (chains, pending response)
+         dies with it. *)
+      let target = cmd.Apdu.p2 in
+      if target <= 0 || target >= Apdu.max_channels then reply Sw.bad_state
+      else
+        match t.sessions.(target) with
+        | None -> reply Sw.bad_state
+        | Some _ ->
+            t.sessions.(target) <- None;
+            reply Sw.ok
+    end
+    else reply Sw.bad_state
+
+  let dispatch t s (cmd : Apdu.command) =
+    if cmd.Apdu.ins = Ins.select then begin
       match t.resolve cmd.Apdu.data with
       | Some doc ->
-          t.doc <- Some doc;
-          (* A SELECT starts a fresh session: half-uploaded chains from an
-             aborted rules/query upload must not be concatenated with a
-             later upload for this (or any) document. *)
-          Hashtbl.reset t.chains;
-          t.pending_rules <- None;
-          t.pending_query <- None;
-          t.response <- "";
+          s.doc <- Some doc;
+          (* A SELECT starts a fresh session on this channel: half-uploaded
+             chains from an aborted rules/query upload must not be
+             concatenated with a later upload for this (or any)
+             document. *)
+          Hashtbl.reset s.chains;
+          s.pending_rules <- None;
+          s.pending_query <- None;
+          s.response <- "";
           reply Sw.ok
       | None -> reply Sw.not_found
     end
     else if cmd.Apdu.ins = Ins.grant then begin
-      match t.doc with
+      match s.doc with
       | None -> reply Sw.bad_state
       | Some doc -> (
           match
@@ -122,38 +198,38 @@ module Host = struct
               ~wrapped:cmd.Apdu.data
           with
           | Ok () -> reply Sw.ok
-          | Error e -> reply (error_sw e))
+          | Error e -> reply (to_sw e))
     end
     else if cmd.Apdu.ins = Ins.rules then begin
-      if t.doc = None then reply Sw.bad_state
+      if s.doc = None then reply Sw.bad_state
       else begin
-        match chain t cmd with
+        match chain s cmd with
         | Error () -> reply Sw.bad_state
         | Ok None -> reply Sw.ok
         | Ok (Some blob) ->
-            t.pending_rules <- Some blob;
+            s.pending_rules <- Some blob;
             reply Sw.ok
       end
     end
     else if cmd.Apdu.ins = Ins.query then begin
-      if t.doc = None then reply Sw.bad_state
+      if s.doc = None then reply Sw.bad_state
       else begin
-        match chain t cmd with
+        match chain s cmd with
         | Error () -> reply Sw.bad_state
         | Ok None -> reply Sw.ok
         | Ok (Some q) ->
-            t.pending_query <- Some q;
+            s.pending_query <- Some q;
             reply Sw.ok
       end
     end
     else if cmd.Apdu.ins = Ins.evaluate then begin
-      match (t.doc, t.pending_rules) with
+      match (s.doc, s.pending_rules) with
       | None, _ | _, None -> reply Sw.bad_state
       | Some doc, Some encrypted_rules -> (
           let delivery = if cmd.Apdu.p1 = 1 then `Push else `Pull in
           let use_index = cmd.Apdu.p2 = 0 in
           let query =
-            match t.pending_query with
+            match s.pending_query with
             | None -> None
             | Some q -> (
                 match Sdds_xpath.Parser.parse q with
@@ -165,12 +241,23 @@ module Host = struct
               ?query ~use_index ()
           with
           | Ok (outputs, _report) ->
-              t.response <- Output_codec.encode_list outputs;
-              drain t
-          | Error e -> reply (error_sw e))
+              s.response <- Output_codec.encode_list outputs;
+              drain s
+          | Error e -> reply (to_sw e))
     end
-    else if cmd.Apdu.ins = Ins.get_response then drain t
+    else if cmd.Apdu.ins = Ins.get_response then drain s
     else reply Sw.bad_ins
+
+  let process t (cmd : Apdu.command) =
+    if not (Apdu.valid_cla cmd.Apdu.cla) then reply Sw.bad_ins
+    else begin
+      let ch = Apdu.channel_of_cla cmd.Apdu.cla in
+      match t.sessions.(ch) with
+      | None -> reply Sw.channel_closed
+      | Some s ->
+          if cmd.Apdu.ins = Ins.manage_channel then manage_channel t cmd
+          else dispatch t s cmd
+    end
 end
 
 module Client = struct
@@ -208,7 +295,7 @@ module Client = struct
         (Printf.sprintf "%s failed: SW %02X%02X" step resp.Apdu.sw1
            resp.Apdu.sw2)
 
-  let send_chained counters transport ~ins payload =
+  let send_chained counters transport ~cla ~ins payload =
     let frames = Apdu.segment ~cla ~ins payload in
     List.fold_left
       (fun acc frame ->
@@ -216,8 +303,34 @@ module Client = struct
         expect_ok "chained command" (send counters transport frame))
       (Ok ()) frames
 
+  let open_channel (transport : transport) =
+    let resp =
+      transport
+        { Apdu.cla; ins = Ins.manage_channel; p1 = 0; p2 = 0; data = "" }
+    in
+    if
+      (resp.Apdu.sw1, resp.Apdu.sw2) = Sw.ok
+      && String.length resp.Apdu.payload = 1
+    then Ok (Char.code resp.Apdu.payload.[0])
+    else
+      Error
+        (Printf.sprintf "open channel failed: SW %02X%02X" resp.Apdu.sw1
+           resp.Apdu.sw2)
+
+  let close_channel (transport : transport) channel =
+    expect_ok "close channel"
+      (transport
+         {
+           Apdu.cla;
+           ins = Ins.manage_channel;
+           p1 = 0x80;
+           p2 = channel;
+           data = "";
+         })
+
   let evaluate transport ~doc_id ?wrapped_grant ~encrypted_rules ?xpath
-      ?(push = false) ?(use_index = true) () =
+      ?(push = false) ?(use_index = true) ?(channel = 0) () =
+    let cla = Apdu.cla_of_channel channel in
     let counters = { cmds = 0; resps = 0; bytes = 0 } in
     let send1 ins ?(p1 = 0) ?(p2 = 0) data =
       send counters transport { Apdu.cla; ins; p1; p2; data }
@@ -229,12 +342,12 @@ module Client = struct
       | Some w -> expect_ok "grant" (send1 Ins.grant w)
     in
     let* () =
-      send_chained counters transport ~ins:Ins.rules encrypted_rules
+      send_chained counters transport ~cla ~ins:Ins.rules encrypted_rules
     in
     let* () =
       match xpath with
       | None -> Ok ()
-      | Some q -> send_chained counters transport ~ins:Ins.query q
+      | Some q -> send_chained counters transport ~cla ~ins:Ins.query q
     in
     let first =
       send1 Ins.evaluate

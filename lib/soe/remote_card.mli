@@ -16,14 +16,28 @@
     A [Client] talking to a [Host] over a direct function call must be
     indistinguishable from calling {!Card.evaluate} — the tests enforce
     it — while every byte that would cross the wire is visible and
-    countable. *)
+    countable.
 
-(** Instruction bytes of the command set: [select] a document by id,
-    install a wrapped key [grant], load the encrypted [rules] blob
-    (chained frames), set the optional XPath [query] (chained),
-    [evaluate] (p1 = 0 pull / 1 push; p2 = 0 with index / 1 without), and
-    [get_response] to drain the pending response. *)
+    {b Logical channels.} The two low CLA bits address one of
+    {!Apdu.max_channels} logical channels (ISO 7816-4). Each open channel
+    is an independent session — its own selected document, chained-upload
+    accumulators, pending rules/query and undrained response — so one
+    card serves several terminals (or several requests multiplexed by one
+    proxy) with their frames interleaved at will. Channel 0 is always
+    open; MANAGE CHANNEL opens and closes 1–3. Card-level state (the key
+    store, the anti-rollback version high-water marks and the prepared-
+    evaluation cache) is deliberately shared across channels: a policy
+    version enforced on one channel binds every other. *)
+
+(** Instruction bytes of the command set: [manage_channel] (p1 = 0 open,
+    assigned channel returned in the payload; p1 = 0x80 close, target in
+    p2), [select] a document by id, install a wrapped key [grant], load
+    the encrypted [rules] blob (chained frames), set the optional XPath
+    [query] (chained), [evaluate] (p1 = 0 pull / 1 push; p2 = 0 with
+    index / 1 without), and [get_response] to drain the pending
+    response. *)
 module Ins : sig
+  val manage_channel : int
   val select : int
   val grant : int
   val rules : int
@@ -33,27 +47,65 @@ module Ins : sig
 end
 
 (** Status words: [ok] (0x9000), [more_data] (0x61xx — response bytes
-    remain), [not_found], [security] (integrity / authority / stale key),
-    [memory], [bad_state] (command out of sequence), [bad_ins]. *)
+    remain), and one word per {!Card.error} constructor (see {!to_sw}),
+    plus [bad_state] (command out of sequence on this channel), [bad_ins]
+    (unknown instruction or class), [channel_closed] (frame addressed to a
+    channel that is not open) and [no_channel] (MANAGE CHANNEL open with
+    every channel in use). *)
 module Sw : sig
   val ok : int * int
   val more_data : int * int
-  val not_found : int * int
-  val security : int * int
-  val memory : int * int
+  val not_found : int * int  (** [No_key] *)
+
+  val stale_key : int * int  (** [Stale_key] — revocation in action *)
+
+  val bad_grant : int * int
+  val bad_signature : int * int
+  val security : int * int  (** [Bad_rules] (0x6982) *)
+
+  val replayed : int * int  (** [Replayed_rules] — anti-rollback *)
+
+  val memory : int * int  (** [Memory_exceeded] *)
+
+  val integrity_sw1 : int
+      (** [Integrity_failure]: sw1 = 0x66, sw2 = failing chunk mod 256 *)
+
   val bad_state : int * int
   val bad_ins : int * int
+  val channel_closed : int * int
+  val no_channel : int * int
 end
+
+val to_sw : Card.error -> int * int
+(** The single error-surface mapping: every layer ({!Host} replies,
+    {!Sdds_proxy.Proxy} decoding) goes through this one function, so a
+    card failure means the same thing on every path. *)
+
+val of_sw : ?doc_id:string -> int * int -> Card.error option
+(** Left inverse of {!to_sw} up to payloads: the constructor always
+    round-trips, and [to_sw (of_sw (to_sw e))] = [to_sw e]. String
+    payloads do not cross the wire — pass [doc_id] to rebuild
+    [No_key]/[Stale_key] from context (default ["?"]); the
+    [Replayed_rules]/[Memory_exceeded] counters come back zeroed. [None]
+    for protocol-level words ([bad_state], [channel_closed], ...). *)
 
 module Host : sig
   type t
 
   val create :
     card:Card.t -> resolve:(string -> Card.doc_source option) -> t
-  (** [resolve] maps a selected document id to its (DSP-served) source. *)
+  (** [resolve] maps a selected document id to its (DSP-served) source.
+      The basic channel (0) starts open; the session table is bounded by
+      {!Apdu.max_channels}. *)
 
   val process : t -> Apdu.command -> Apdu.response
-  (** Never raises: protocol violations map to status words. *)
+  (** Never raises: protocol violations map to status words. Frames on a
+      never-opened (or closed) channel get [Sw.channel_closed]; any
+      RULES/QUERY frame — first, continuation or stale — on a channel
+      with no document selected gets [Sw.bad_state]. *)
+
+  val open_channels : t -> int
+  (** Channels currently open (≥ 1: the basic channel). *)
 end
 
 module Client : sig
@@ -66,6 +118,12 @@ module Client : sig
     wire_bytes : int;  (** total bytes both ways, headers included *)
   }
 
+  val open_channel : transport -> (int, string) Result.t
+  (** MANAGE CHANNEL open on the basic channel; returns the assigned
+      channel number. *)
+
+  val close_channel : transport -> int -> (unit, string) Result.t
+
   val evaluate :
     transport ->
     doc_id:string ->
@@ -74,7 +132,9 @@ module Client : sig
     ?xpath:string ->
     ?push:bool ->
     ?use_index:bool ->
+    ?channel:int ->
     unit ->
     (result, string) Result.t
-  (** Full exchange: select, (grant), rules, (query), evaluate, drain. *)
+  (** Full exchange: select, (grant), rules, (query), evaluate, drain —
+      all frames addressed to [channel] (default 0, the basic channel). *)
 end

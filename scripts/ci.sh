@@ -11,6 +11,16 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== bench smoke (E15) =="
+dune exec bench/main.exe -- --smoke E15
+
+echo "== docs =="
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc
+else
+  echo "odoc not installed; skipping dune build @doc"
+fi
+
 echo "== tree hygiene =="
 if git ls-files | grep -q '^_build/'; then
   echo "error: _build/ artifacts are tracked in git" >&2

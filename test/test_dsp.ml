@@ -602,6 +602,11 @@ let test_protected_breakdown_consistent () =
     (Publish.encrypt_rules_for w.drbg ~publisher:w.publisher
        ~doc_key:w.doc_key ~doc_id:"hospital-1" ~subject:"alice" rules);
   let proxy = Proxy.create ~store:w.store ~card:w.alice in
+  (* Warm the card's prepared-evaluation cache so both measured runs pay
+     identical setup costs and the deltas isolate the guarded stream. *)
+  (match Proxy.query proxy ~doc_id:"hospital-1" () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "warm-up failed: %a" Proxy.pp_error e);
   let plain =
     match Proxy.query proxy ~doc_id:"hospital-1" () with
     | Ok o -> o.Proxy.card_report

@@ -26,4 +26,5 @@ let () =
       ("cost-extra", Test_soe.cost_suite_extra);
       ("guard-wire", Test_guard.wire_suite);
       ("protected-accounting", Test_dsp.protected_accounting_suite);
+      ("session", Test_session.suite);
     ]

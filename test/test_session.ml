@@ -1,0 +1,468 @@
+(* Multi-client serving: logical-channel sessions, the prepared-evaluation
+   cache, the pool's frame interleaving, and the unified status-word
+   mapping. *)
+
+module Card = Sdds_soe.Card
+module Cost = Sdds_soe.Cost
+module Apdu = Sdds_soe.Apdu
+module Remote = Sdds_soe.Remote_card
+module Proxy = Sdds_proxy.Proxy
+module Publish = Sdds_dsp.Publish
+module Store = Sdds_dsp.Store
+module Rule = Sdds_core.Rule
+module Reassembler = Sdds_core.Reassembler
+module Serializer = Sdds_xml.Serializer
+module Dom = Sdds_xml.Dom
+module Generator = Sdds_xml.Generator
+module Drbg = Sdds_crypto.Drbg
+module Rsa = Sdds_crypto.Rsa
+module Rng = Sdds_util.Rng
+
+(* One world: two published ward documents, rules and grants for subject
+   "u" in a DSP store. Cards and hosts are created per test — they carry
+   the mutable state under scrutiny. *)
+type world = {
+  store : Store.t;
+  user : Rsa.keypair;
+  publisher : Rsa.keypair;
+  doc_keys : (string * string) list;
+  rules : (string * Rule.t list) list;
+}
+
+let doc_ids = [ "ward-1"; "ward-2" ]
+
+let world =
+  lazy
+    (let drbg = Drbg.create ~seed:"session-world" in
+     let publisher = Rsa.generate drbg ~bits:512 in
+     let user = Rsa.generate drbg ~bits:512 in
+     let store = Store.create () in
+     let per_doc =
+       List.mapi
+         (fun i doc_id ->
+           let doc =
+             Generator.hospital (Rng.create (Int64.of_int (50 + i)))
+               ~patients:(4 + i)
+           in
+           let published, doc_key =
+             Publish.publish drbg ~publisher ~doc_id doc
+           in
+           Store.put_document store published;
+           let rules =
+             if i = 0 then
+               [ Rule.allow ~subject:"u" "//patient";
+                 Rule.deny ~subject:"u" "//ssn" ]
+             else [ Rule.allow ~subject:"u" "//patient/name" ]
+           in
+           Store.put_rules store ~doc_id ~subject:"u"
+             (Publish.encrypt_rules_for drbg ~publisher ~doc_key ~doc_id
+                ~subject:"u" rules);
+           Store.put_grant store ~doc_id ~subject:"u"
+             (Publish.grant drbg ~doc_key ~doc_id
+                ~recipient:user.Rsa.public);
+           (doc_id, doc_key, rules))
+         doc_ids
+     in
+     {
+       store;
+       user;
+       publisher;
+       doc_keys = List.map (fun (d, k, _) -> (d, k)) per_doc;
+       rules = List.map (fun (d, _, r) -> (d, r)) per_doc;
+     })
+
+let resolve w id =
+  Option.map
+    (fun p -> Publish.to_source p ~delivery:`Pull)
+    (Store.get_document w.store id)
+
+let fresh_card ?cache_budget_bytes w =
+  Card.create ~profile:Cost.modern ?cache_budget_bytes ~subject:"u" w.user
+
+let fresh_transport ?cache_budget_bytes w =
+  let card = fresh_card ?cache_budget_bytes w in
+  (card, Remote.Host.process (Remote.Host.create ~card ~resolve:(resolve w)))
+
+let stored_rules w doc_id =
+  Option.get (Store.get_rules w.store ~doc_id ~subject:"u")
+
+let stored_grant w doc_id =
+  Option.get (Store.get_grant w.store ~doc_id ~subject:"u")
+
+let render ~has_query outputs =
+  Option.map
+    (Serializer.to_string ~indent:true)
+    (Reassembler.run ~has_query outputs)
+
+(* The sequential reference for one request: a fresh card behind a fresh
+   host, driven by the plain single-channel client. *)
+let sequential w (r : Proxy.Request.t) =
+  let _, transport = fresh_transport w in
+  match
+    Remote.Client.evaluate transport ~doc_id:r.Proxy.Request.doc_id
+      ~wrapped_grant:(stored_grant w r.Proxy.Request.doc_id)
+      ~encrypted_rules:(stored_rules w r.Proxy.Request.doc_id)
+      ?xpath:r.Proxy.Request.xpath ()
+  with
+  | Error e -> Alcotest.fail ("sequential reference failed: " ^ e)
+  | Ok res ->
+      render
+        ~has_query:(r.Proxy.Request.xpath <> None)
+        res.Remote.Client.outputs
+
+let xpaths = [| None; Some "//patient"; Some "//patient/name" |]
+
+let random_request rng =
+  let doc_id = List.nth doc_ids (Rng.int rng (List.length doc_ids)) in
+  Proxy.Request.make ?xpath:xpaths.(Rng.int rng (Array.length xpaths)) doc_id
+
+let seed_gen = QCheck2.Gen.(int_bound 1_000_000)
+
+(* K clients multiplexed over one transport (frames interleaved round-
+   robin across logical channels, one shared card with a shared cache)
+   must produce views byte-identical to K isolated sequential clients. *)
+let qcheck_interleaved_equals_sequential =
+  QCheck2.Test.make ~name:"pool interleaving = sequential serving"
+    ~count:25 seed_gen (fun seed ->
+      let w = Lazy.force world in
+      let rng = Rng.create (Int64.of_int seed) in
+      let k = 2 + Rng.int rng 5 in
+      let reqs = List.init k (fun _ -> random_request rng) in
+      let _, transport = fresh_transport w in
+      let pool = Proxy.Pool.create ~store:w.store ~transport ~subject:"u" () in
+      let served = Proxy.Pool.serve pool reqs in
+      List.for_all2
+        (fun req result ->
+          match result with
+          | Error e ->
+              Alcotest.failf "pool request failed: %a" Proxy.pp_error e
+          | Ok s -> s.Proxy.Pool.xml = sequential w req)
+        reqs served)
+
+let test_pool_warm_reuse () =
+  let w = Lazy.force world in
+  let card, transport = fresh_transport w in
+  let pool = Proxy.Pool.create ~store:w.store ~transport ~subject:"u" () in
+  let req = Proxy.Request.make ~xpath:"//patient" "ward-1" in
+  let first =
+    match Proxy.Pool.serve pool [ req ] with
+    | [ Ok s ] -> s
+    | _ -> Alcotest.fail "first serve failed"
+  in
+  Alcotest.(check bool) "first serve is a cold setup" false
+    first.Proxy.Pool.warm_setup;
+  let second =
+    match Proxy.Pool.serve pool [ req ] with
+    | [ Ok s ] -> s
+    | _ -> Alcotest.fail "second serve failed"
+  in
+  (* Channel state matches: no select/grant/rules/query re-upload. *)
+  Alcotest.(check bool) "second serve reuses the primed channel" true
+    second.Proxy.Pool.warm_setup;
+  Alcotest.(check bool) "warm serve ships far fewer frames" true
+    (second.Proxy.Pool.command_frames < first.Proxy.Pool.command_frames);
+  Alcotest.(check (option string)) "same view" first.Proxy.Pool.xml
+    second.Proxy.Pool.xml;
+  (* And on the card side the prepared-evaluation cache fired. *)
+  let stats = Card.cache_stats card in
+  Alcotest.(check bool) "card cache hit" true (stats.Card.hits >= 1)
+
+let test_pool_rejects_protect () =
+  let w = Lazy.force world in
+  let _, transport = fresh_transport w in
+  let pool = Proxy.Pool.create ~store:w.store ~transport ~subject:"u" () in
+  match Proxy.Pool.serve pool [ Proxy.Request.make ~protect:true "ward-1" ] with
+  | [ Error (Proxy.Protocol _) ] -> ()
+  | _ -> Alcotest.fail "expected a Protocol error for protect over APDU"
+
+let test_run_equals_query () =
+  let w = Lazy.force world in
+  let proxy = Proxy.create ~store:w.store ~card:(fresh_card w) in
+  let via_run = Proxy.run proxy (Proxy.Request.make ~xpath:"//patient" "ward-1") in
+  let via_query = Proxy.query proxy ~doc_id:"ward-1" ~xpath:"//patient" () in
+  match (via_run, via_query) with
+  | Ok a, Ok b ->
+      Alcotest.(check (option string)) "wrapper = Request path" a.Proxy.xml
+        b.Proxy.xml
+  | _ -> Alcotest.fail "run/query disagree on success"
+
+(* --- logical channels ------------------------------------------------- *)
+
+let send transport ?(channel = 0) ins ?(p1 = 0) ?(p2 = 0) data =
+  transport { Apdu.cla = Apdu.cla_of_channel channel; ins; p1; p2; data }
+
+let sw (resp : Apdu.response) = (resp.Apdu.sw1, resp.Apdu.sw2)
+
+let check_sw name expected resp =
+  Alcotest.(check bool) name true (sw resp = expected)
+
+(* The cross-channel regression: a chained RULES upload in flight on one
+   channel must be invisible to every other channel, and any RULES/QUERY
+   frame on a channel with no document selected — first frame, final
+   frame or stale continuation — is bad_state. *)
+let test_cross_channel_chain_isolation () =
+  let w = Lazy.force world in
+  let _, transport = fresh_transport w in
+  check_sw "select on basic channel" Remote.Sw.ok
+    (send transport Remote.Ins.select "ward-1");
+  check_sw "grant on basic channel" Remote.Sw.ok
+    (send transport Remote.Ins.grant (stored_grant w "ward-1"));
+  (* Start (and leave dangling) a rules chain on channel 0. *)
+  check_sw "chain opened on channel 0" Remote.Sw.ok
+    (send transport Remote.Ins.rules ~p1:1 ~p2:0 "first half ");
+  (* Open a second channel; it has no selected document. *)
+  let channel =
+    match Remote.Client.open_channel transport with
+    | Ok ch -> ch
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "a fresh channel was assigned" true (channel > 0);
+  (* Every shape of RULES frame on the never-SELECTed channel: bad_state —
+     in particular the continuation must NOT splice into channel 0's
+     chain. *)
+  check_sw "continuation on fresh channel" Remote.Sw.bad_state
+    (send transport ~channel Remote.Ins.rules ~p1:0 ~p2:1 "poison");
+  check_sw "first frame on fresh channel" Remote.Sw.bad_state
+    (send transport ~channel Remote.Ins.rules ~p1:1 ~p2:0 "poison");
+  check_sw "query frame on fresh channel" Remote.Sw.bad_state
+    (send transport ~channel Remote.Ins.query ~p1:0 ~p2:0 "//x");
+  (* Channel 0's chain is unharmed: finish it and evaluate. *)
+  let blob = stored_rules w "ward-1" in
+  check_sw "select restarts channel 0 cleanly" Remote.Sw.ok
+    (send transport Remote.Ins.select "ward-1");
+  List.iter
+    (fun (f : Apdu.command) ->
+      check_sw "upload frame" Remote.Sw.ok (transport f))
+    (Apdu.segment ~cla:Apdu.base_cla ~ins:Remote.Ins.rules blob);
+  let resp = send transport Remote.Ins.evaluate "" in
+  Alcotest.(check bool) "evaluate on channel 0 succeeds" true
+    (sw resp = Remote.Sw.ok || resp.Apdu.sw1 = fst Remote.Sw.more_data);
+  (* The fresh channel still works once it SELECTs for itself. *)
+  check_sw "select on fresh channel" Remote.Sw.ok
+    (send transport ~channel Remote.Ins.select "ward-2")
+
+let test_channel_lifecycle () =
+  let w = Lazy.force world in
+  let _, transport = fresh_transport w in
+  (* Exhaust the channel table. *)
+  let opened =
+    List.init (Apdu.max_channels - 1) (fun _ ->
+        match Remote.Client.open_channel transport with
+        | Ok ch -> ch
+        | Error e -> Alcotest.fail e)
+  in
+  Alcotest.(check (list int)) "channels assigned lowest-first" [ 1; 2; 3 ]
+    opened;
+  (match Remote.Client.open_channel transport with
+  | Error _ -> ()
+  | Ok ch -> Alcotest.failf "fifth channel %d on a 4-slot table" ch);
+  (* Frames to a closed channel bounce. *)
+  (match Remote.Client.close_channel transport 2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_sw "frame on a closed channel" Remote.Sw.channel_closed
+    (send transport ~channel:2 Remote.Ins.select "ward-1");
+  (* The basic channel cannot be closed. *)
+  (match Remote.Client.close_channel transport 0 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "closed the basic channel");
+  (* The freed slot is reusable. *)
+  match Remote.Client.open_channel transport with
+  | Ok 2 -> ()
+  | Ok ch -> Alcotest.failf "expected slot 2 back, got %d" ch
+  | Error e -> Alcotest.fail e
+
+(* --- prepared-evaluation cache ---------------------------------------- *)
+
+let eval card source ~encrypted_rules ?query () =
+  match Card.evaluate card source ~encrypted_rules ?query () with
+  | Ok (outputs, report) -> (outputs, report)
+  | Error e -> Alcotest.failf "evaluate failed: %a" Card.pp_error e
+
+let parse q = Sdds_xpath.Parser.parse q
+
+let test_cache_hit_skips_setup_costs () =
+  let w = Lazy.force world in
+  let card = fresh_card w in
+  (match
+     Card.install_wrapped_key card ~doc_id:"ward-1"
+       ~wrapped:(stored_grant w "ward-1")
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "grant failed: %a" Card.pp_error e);
+  let source = Option.get (resolve w "ward-1") in
+  let encrypted_rules = stored_rules w "ward-1" in
+  let o1, r1 = eval card source ~encrypted_rules () in
+  let o2, r2 = eval card source ~encrypted_rules () in
+  Alcotest.(check bool) "cold run" false r1.Card.prepared_hit;
+  Alcotest.(check bool) "warm run" true r2.Card.prepared_hit;
+  Alcotest.(check string) "byte-identical output stream"
+    (Sdds_core.Output_codec.encode_list o1)
+    (Sdds_core.Output_codec.encode_list o2);
+  (* The warm run is charged neither the rule-blob transfer nor the
+     automaton compilation nor the root RSA. *)
+  Alcotest.(check bool) "warm run moves fewer bytes" true
+    (r2.Card.breakdown.Cost.bytes_transferred
+    < r1.Card.breakdown.Cost.bytes_transferred);
+  Alcotest.(check (float 1e-9)) "no compile charge when warm" 0.0
+    r2.Card.breakdown.Cost.compile_ms;
+  Alcotest.(check bool) "cold run paid compilation" true
+    (r1.Card.breakdown.Cost.compile_ms > 0.0);
+  Alcotest.(check bool) "warm run skips the RSA verify" true
+    (r2.Card.breakdown.Cost.rsa_ms < r1.Card.breakdown.Cost.rsa_ms)
+
+let test_lru_eviction_stays_fresh () =
+  let w = Lazy.force world in
+  let source = Option.get (resolve w "ward-1") in
+  let encrypted_rules = stored_rules w "ward-1" in
+  let queries =
+    [| parse "//patient"; parse "//patient/name"; parse "//diagnosis" |]
+  in
+  let install card =
+    match
+      Card.install_wrapped_key card ~doc_id:"ward-1"
+        ~wrapped:(stored_grant w "ward-1")
+    with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "grant failed: %a" Card.pp_error e
+  in
+  (* Measure the three entries' footprint on an uncapped card, then replay
+     on a card whose budget fits the first two but not all three. *)
+  let probe = fresh_card w in
+  install probe;
+  let reference =
+    Array.map
+      (fun q ->
+        let o, _ = eval probe source ~encrypted_rules ~query:q () in
+        Sdds_core.Output_codec.encode_list o)
+      queries
+  in
+  let full = (Card.cache_stats probe).Card.resident_bytes in
+  Alcotest.(check int) "three entries resident on the uncapped card" 3
+    (Card.cache_stats probe).Card.entries;
+  let card = fresh_card ~cache_budget_bytes:(full - 1) w in
+  install card;
+  let run i =
+    let o, _ = eval card source ~encrypted_rules ~query:queries.(i) () in
+    Alcotest.(check string)
+      (Printf.sprintf "query %d view is never stale" i)
+      reference.(i)
+      (Sdds_core.Output_codec.encode_list o)
+  in
+  run 0;
+  run 1;
+  run 2;
+  (* Admitting the third entry displaced the least-recently-used one. *)
+  let s = Card.cache_stats card in
+  Alcotest.(check bool) "LRU displacement happened" true
+    (s.Card.evictions >= 1);
+  Alcotest.(check bool) "cache stayed within budget" true
+    (s.Card.resident_bytes <= s.Card.cache_budget_bytes);
+  let misses_before = (Card.cache_stats card).Card.misses in
+  (* The evicted (oldest) entry must re-prepare, and still be correct. *)
+  run 0;
+  Alcotest.(check bool) "evicted entry re-prepares as a miss" true
+    ((Card.cache_stats card).Card.misses > misses_before)
+
+let test_cache_respects_rollback () =
+  let w = Lazy.force world in
+  let card = fresh_card w in
+  (match
+     Card.install_wrapped_key card ~doc_id:"ward-1"
+       ~wrapped:(stored_grant w "ward-1")
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "grant failed: %a" Card.pp_error e);
+  let source = Option.get (resolve w "ward-1") in
+  let v0 = stored_rules w "ward-1" in
+  let drbg = Drbg.create ~seed:"rollback-blobs" in
+  let v1 =
+    Publish.encrypt_rules_for drbg ~publisher:w.publisher
+      ~doc_key:(List.assoc "ward-1" w.doc_keys)
+      ~doc_id:"ward-1" ~subject:"u" ~version:1
+      [ Rule.allow ~subject:"u" "//patient/name" ]
+  in
+  let _ = eval card source ~encrypted_rules:v0 () in
+  let _, r = eval card source ~encrypted_rules:v0 () in
+  Alcotest.(check bool) "v0 is cached" true r.Card.prepared_hit;
+  let _ = eval card source ~encrypted_rules:v1 () in
+  (* v0's prepared entry is still resident — but serving it now would
+     undo the version bump. The hit path must drop it and refuse. *)
+  (match Card.evaluate card source ~encrypted_rules:v0 () with
+  | Error (Card.Replayed_rules { seen = 1; offered = 0 }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Card.pp_error e
+  | Ok _ -> Alcotest.fail "cached stale policy was served after a bump");
+  (* The cache survives the incident and still serves the new version. *)
+  let _, r1 = eval card source ~encrypted_rules:v1 () in
+  Alcotest.(check bool) "v1 still warm after the replay attempt" true
+    r1.Card.prepared_hit
+
+(* --- status-word mapping ---------------------------------------------- *)
+
+let constructor_name = function
+  | Card.No_key _ -> "No_key"
+  | Card.Stale_key _ -> "Stale_key"
+  | Card.Bad_grant -> "Bad_grant"
+  | Card.Bad_signature -> "Bad_signature"
+  | Card.Integrity_failure _ -> "Integrity_failure"
+  | Card.Memory_exceeded _ -> "Memory_exceeded"
+  | Card.Bad_rules _ -> "Bad_rules"
+  | Card.Replayed_rules _ -> "Replayed_rules"
+
+let error_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return (Card.No_key "doc");
+        return (Card.Stale_key "doc");
+        return Card.Bad_grant;
+        return Card.Bad_signature;
+        map (fun chunk -> Card.Integrity_failure { chunk }) (int_bound 1000);
+        map2
+          (fun need_bytes budget_bytes ->
+            Card.Memory_exceeded { need_bytes; budget_bytes })
+          (int_bound 10_000) (int_bound 10_000);
+        map (fun s -> Card.Bad_rules s) (string_size (int_bound 8));
+        map2
+          (fun seen offered -> Card.Replayed_rules { seen; offered })
+          (int_bound 100) (int_bound 100);
+      ])
+
+let qcheck_sw_roundtrip =
+  QCheck2.Test.make ~name:"status words round-trip every card error"
+    ~count:200 error_gen (fun e ->
+      let sw = Remote.to_sw e in
+      match Remote.of_sw ~doc_id:"doc" sw with
+      | None -> false
+      | Some e' ->
+          (* The constructor always survives; the word re-encodes
+             identically; and when the payload is representable on the
+             wire (chunk < 256, ids supplied from context) the value
+             itself round-trips. *)
+          String.equal (constructor_name e) (constructor_name e')
+          && Remote.to_sw e' = sw
+          &&
+          match e with
+          | Card.No_key _ | Card.Stale_key _ | Card.Bad_grant
+          | Card.Bad_signature ->
+              e = e'
+          | Card.Integrity_failure { chunk } when chunk < 256 -> e = e'
+          | _ -> true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_interleaved_equals_sequential;
+    Alcotest.test_case "pool warm reuse" `Quick test_pool_warm_reuse;
+    Alcotest.test_case "pool rejects protect" `Quick test_pool_rejects_protect;
+    Alcotest.test_case "run = query wrapper" `Quick test_run_equals_query;
+    Alcotest.test_case "cross-channel chain isolation" `Quick
+      test_cross_channel_chain_isolation;
+    Alcotest.test_case "channel lifecycle" `Quick test_channel_lifecycle;
+    Alcotest.test_case "cache hit skips setup costs" `Quick
+      test_cache_hit_skips_setup_costs;
+    Alcotest.test_case "LRU eviction stays fresh" `Quick
+      test_lru_eviction_stays_fresh;
+    Alcotest.test_case "cache respects rollback" `Quick
+      test_cache_respects_rollback;
+    QCheck_alcotest.to_alcotest qcheck_sw_roundtrip;
+  ]
