@@ -35,6 +35,11 @@ module Static_enc = Sdds_baseline.Static_enc
 module Server_side = Sdds_baseline.Server_side
 module Drbg = Sdds_crypto.Drbg
 module Rsa = Sdds_crypto.Rsa
+module Random_path = Sdds_xpath.Random_path
+module Compile = Sdds_core.Compile
+module Analyzer = Sdds_analysis.Analyzer
+module Diag = Sdds_analysis.Diag
+module Memory_bound = Sdds_analysis.Memory_bound
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -124,16 +129,43 @@ let record_session ~experiment ~case ~phase ~requests ~command_frames
       s_compile_ms = compile_ms }
     :: !session_records
 
+(* One record per static-analysis case: analyzer cost, rules pruned,
+   and the static memory bound next to the engine's measured peak on
+   the case's document. Dumped as a third array ("analysis") in
+   BENCH_engine.json. *)
+type analysis_record = {
+  a_case : string;
+  a_rules : int;
+  a_pruned : int;
+  a_diagnostics : int;
+  a_analyze_ns : float;
+  a_depth : int;
+  a_bound_state_words : int;
+  a_engine_peak_words : int;
+}
+
+let analysis_records : analysis_record list ref = ref []
+
+let record_analysis ~case ~rules ~pruned ~diagnostics ~analyze_ns ~depth
+    ~bound_state_words ~engine_peak_words =
+  analysis_records :=
+    { a_case = case; a_rules = rules; a_pruned = pruned;
+      a_diagnostics = diagnostics; a_analyze_ns = analyze_ns;
+      a_depth = depth; a_bound_state_words = bound_state_words;
+      a_engine_peak_words = engine_peak_words }
+    :: !analysis_records
+
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
 
 let write_bench_json () =
   let records = List.rev !engine_records in
   let sessions = List.rev !session_records in
-  if records = [] && sessions = [] then ()
+  let analyses = List.rev !analysis_records in
+  if records = [] && sessions = [] && analyses = [] then ()
   else begin
     let oc = open_out "BENCH_engine.json" in
-    Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/2\",\n";
+    Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/3\",\n";
     Printf.fprintf oc "  \"records\": [\n";
     List.iteri
       (fun i r ->
@@ -160,10 +192,24 @@ let write_bench_json () =
           (json_float r.s_compile_ms)
           (if i = List.length sessions - 1 then "" else ","))
       sessions;
+    Printf.fprintf oc "  ],\n  \"analysis\": [\n";
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"experiment\": \"E16\", \"case\": %S, \"rules\": %d, \
+           \"pruned\": %d, \"diagnostics\": %d, \"analyze_ns\": %s, \
+           \"depth\": %d, \"bound_state_words\": %d, \
+           \"engine_peak_words\": %d}%s\n"
+          r.a_case r.a_rules r.a_pruned r.a_diagnostics
+          (json_float r.a_analyze_ns) r.a_depth r.a_bound_state_words
+          r.a_engine_peak_words
+          (if i = List.length analyses - 1 then "" else ","))
+      analyses;
     Printf.fprintf oc "  ]\n}\n";
     close_out oc;
-    Printf.printf "\nwrote BENCH_engine.json (%d records, %d sessions)\n"
-      (List.length records) (List.length sessions)
+    Printf.printf
+      "\nwrote BENCH_engine.json (%d records, %d sessions, %d analyses)\n"
+      (List.length records) (List.length sessions) (List.length analyses)
   end
 
 (* Shared identities: RSA keygen is slow, reuse across experiments. *)
@@ -1062,6 +1108,95 @@ let e15_session_cache () =
      byte-identical: the cache is a pure accelerator."
 
 (* ------------------------------------------------------------------ *)
+(* E16: static policy analysis (cost, pruning, bound tightness)        *)
+(* ------------------------------------------------------------------ *)
+
+let e16_static_analysis () =
+  header "E16"
+    "static policy analyzer: cost, rules pruned, bound vs observed peak";
+  let rng = Rng.create 16L in
+  (* Three corpora: the redundancy-heavy agenda policy of E12, a plain
+     hospital policy with predicates, and a random rule set of the
+     property-test shape. *)
+  let agenda_doc = Generator.agenda rng ~courses:(if !smoke then 20 else 200) in
+  let agenda_rules =
+    List.concat_map
+      (fun tag ->
+        [ Rule.allow ~subject:"u" ("//" ^ tag);
+          Rule.allow ~subject:"u" ("//course/" ^ tag);
+          Rule.allow ~subject:"u" ("//courses//" ^ tag) ])
+      [ "title"; "credit"; "instructor"; "place"; "time" ]
+    @ [ Rule.deny ~subject:"u" "//instructor";
+        Rule.deny ~subject:"u" "//course/instructor" ]
+  in
+  let hospital_doc =
+    Generator.hospital rng ~patients:(if !smoke then 5 else 20)
+  in
+  let hospital_rules =
+    [ Rule.allow ~subject:"u" "//patient";
+      Rule.deny ~subject:"u" "//ssn";
+      Rule.allow ~subject:"u" "//patient/name";
+      Rule.deny ~subject:"u" "//admission[.//ssn]";
+      Rule.allow ~subject:"u" "//admission/diagnosis" ]
+  in
+  let tags = [| "a"; "b"; "c"; "d"; "e" |] in
+  let random_doc =
+    Generator.random_tree rng ~tags ~max_depth:6 ~max_children:4
+      ~text_probability:0.3
+  in
+  let cfg =
+    { Random_path.default with max_steps = 3; predicate_probability = 0.4 }
+  in
+  let random_rules =
+    List.init (if !smoke then 10 else 40) (fun _ ->
+        { Rule.sign = (if Rng.bool rng then Rule.Allow else Rule.Deny);
+          subject = "u";
+          path = Random_path.generate rng cfg ~tags ~values:[| "1"; "2" |] })
+  in
+  Printf.printf "%-16s %5s %6s %5s | %10s | %5s %11s %10s %6s\n" "case"
+    "rules" "pruned" "diags" "analyze_us" "depth" "bound_words"
+    "peak_words" "ratio";
+  List.iter
+    (fun (case, doc, rules) ->
+      let dict = Dom.distinct_tags doc in
+      let analyze () = Analyzer.run ~dictionary:dict rules in
+      let report = analyze () in
+      let ns = ns_of ~name:case (fun () -> ignore (analyze ())) in
+      let pruned = List.length rules - report.Analyzer.kept in
+      let diags = List.length report.Analyzer.diagnostics in
+      (* Bound tightness: the static bound restricted to the document's
+         own tag alphabet, against the engine's measured peak on that
+         document. *)
+      let depth = Dom.depth doc in
+      let bound =
+        Memory_bound.compute
+          ~tag_possible:(fun t -> List.mem t dict)
+          ~depth
+          (Compile.compile rules)
+      in
+      let eng = Engine.create rules in
+      List.iter (fun ev -> ignore (Engine.feed eng ev)) (Dom.to_events doc);
+      Engine.finish eng;
+      let peak = (Engine.stats eng).Engine.peak_state_words in
+      let bw = bound.Memory_bound.state_words in
+      if bw < peak then failwith (case ^ ": static bound below observed peak");
+      Printf.printf "%-16s %5d %6d %5d | %10.1f | %5d %11d %10d %6.1f\n"
+        case (List.length rules) pruned diags (ns /. 1e3) depth bw peak
+        (float_of_int bw /. float_of_int (max 1 peak));
+      record_analysis ~case ~rules:(List.length rules) ~pruned
+        ~diagnostics:diags ~analyze_ns:ns ~depth ~bound_state_words:bw
+        ~engine_peak_words:peak)
+    [ ("agenda-redundant", agenda_doc, agenda_rules);
+      ("hospital", hospital_doc, hospital_rules);
+      ("random", random_doc, random_rules) ];
+  print_endline
+    "\nshape check: analysis runs in microseconds (authoring/upload time,\n\
+     never per event); the redundancy-heavy set loses most of its rules;\n\
+     the static bound stays above every observed peak - the gap is the\n\
+     price of covering the worst document of that depth, not the\n\
+     benchmark's."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1082,6 +1217,7 @@ let experiments =
     ("E13", "view-latency", e13_view_latency);
     ("E14", "dispatch-ablation", e14_dispatch_ablation);
     ("E15", "session-cache", e15_session_cache);
+    ("E16", "static-analysis", e16_static_analysis);
   ]
 
 let () =

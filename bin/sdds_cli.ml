@@ -12,6 +12,9 @@
      update-rules replace a subject's policy in a store (no re-encryption)
      query        evaluate against a store directory through a simulated
                   smart card
+     analyze      static policy analysis: dead/shadowed rules, schema
+                  unsatisfiability, allow/deny overlaps with witnesses,
+                  and the static SOE memory bound
 
    Examples:
      sdds view doc.xml -r '+, alice, //patient' -r '-, alice, //ssn' -s alice
@@ -363,6 +366,121 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Query a store directory through a simulated card")
     Term.(const run $ store_arg $ id_arg $ subject_arg $ key_arg $ query_arg)
 
+(* analyze *)
+
+let analyze_cmd =
+  let rules_file_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "rules-file" ] ~docv:"FILE"
+          ~doc:"Rules file, one \"SIGN, SUBJECT, XPATH\" per line ('#' \
+                comments and blank lines ignored)")
+  in
+  let analyze_doc_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "doc" ] ~docv:"DOC.xml"
+          ~doc:"Check rule tags against this document's skip-index \
+                dictionary and use its tag alphabet for the memory bound")
+  in
+  let schema_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "schema" ] ~docv:"FILE"
+          ~doc:"DTD-lite schema (\"name = child1 child2 [#text]\" per \
+                line, first declaration is the root): enables \
+                unsatisfiability checks and bounds the depth")
+  in
+  let profile_arg =
+    Arg.(
+      value & opt (some (enum [ ("egate", Sdds_soe.Cost.egate);
+                                ("modern", Sdds_soe.Cost.modern);
+                                ("fleet", Sdds_soe.Cost.fleet) ])) None
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:"Card cost profile (egate|modern|fleet): its RAM budget \
+                turns the memory-bound diagnostic into an admission check")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "depth" ] ~docv:"N"
+          ~doc:"Document depth for the memory bound (default: schema's \
+                bound if finite, else 16)")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output")
+  in
+  let subject_filter_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "s"; "subject" ] ~docv:"SUBJECT"
+          ~doc:"Analyze only this subject's rules (as the card compiles \
+                them)")
+  in
+  let run rules rules_file subject query doc_path schema_path profile depth
+      json =
+    let file_rules =
+      match rules_file with
+      | None -> []
+      | Some path ->
+          read_file path |> String.split_on_char '\n'
+          |> List.map String.trim
+          |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    in
+    let rules = or_die (parse_rules (file_rules @ rules)) in
+    let rules =
+      match subject with
+      | None -> rules
+      | Some s -> Sdds_core.Rule.for_subject s rules
+    in
+    let query =
+      Option.map
+        (fun q ->
+          match Sdds_xpath.Parser.parse q with
+          | ast -> ast
+          | exception Sdds_xpath.Parser.Error (_, msg) -> or_die (Error msg))
+        query
+    in
+    let schema =
+      Option.map
+        (fun path ->
+          match Sdds_core.Schema.of_string (read_file path) with
+          | s -> s
+          | exception Invalid_argument msg -> or_die (Error msg))
+        schema_path
+    in
+    let dictionary =
+      Option.map
+        (fun path ->
+          let doc = or_die (load_doc path) in
+          Sdds_index.Dict.tags (Sdds_index.Dict.build doc))
+        doc_path
+    in
+    let budget_bytes =
+      Option.map (fun p -> p.Sdds_soe.Cost.ram_bytes) profile
+    in
+    let report =
+      Sdds_analysis.Analyzer.run ?schema ?dictionary ?depth ?budget_bytes
+        ?query rules
+    in
+    if json then
+      print_endline
+        (Sdds_analysis.Json.to_string (Sdds_analysis.Analyzer.to_json report))
+    else Format.printf "%a@?" Sdds_analysis.Analyzer.pp report;
+    if Sdds_analysis.Analyzer.has_errors report then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static policy analysis: dead and possibly-shadowed rules, \
+          schema/dictionary unsatisfiability, allow/deny overlaps with \
+          synthesized witness documents, and the static worst-case SOE \
+          memory bound. Exits 1 when any diagnostic is an error (internal \
+          failure, or bound over the profile's budget).")
+    Term.(
+      const run $ rules_arg $ rules_file_arg $ subject_filter_arg $ query_arg
+      $ analyze_doc_arg $ schema_arg $ profile_arg $ depth_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "sdds" ~version:"1.0.0"
@@ -375,7 +493,7 @@ let () =
     Cmd.eval ~catch:false
       (Cmd.group info
          [ view_cmd; encode_cmd; stats_cmd; demo_cmd; keygen_cmd;
-           publish_cmd; update_rules_cmd; query_cmd ])
+           publish_cmd; update_rules_cmd; query_cmd; analyze_cmd ])
   with
   | code -> exit code
   | exception Invalid_argument msg ->

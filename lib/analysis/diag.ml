@@ -1,0 +1,174 @@
+module Dom = Sdds_xml.Dom
+module Serializer = Sdds_xml.Serializer
+module Rule = Sdds_core.Rule
+
+type severity = Error | Warning | Info
+
+type overlap_relation = Same_node | Allow_below_deny | Deny_below_allow
+
+type kind =
+  | Dead_rule of { rule : int; covered_by : int; kept : int }
+  | Unsure_shadow of {
+      rule : int;
+      by : int;
+      candidate : Dom.t option;
+    }
+  | Unsat_schema of { rule : int }
+  | Unknown_tag of { rule : int; tag : string }
+  | Overlap of {
+      allow : int;
+      deny : int;
+      relation : overlap_relation;
+      winner : Rule.sign;
+      witness : Dom.t;
+      node : int;
+    }
+  | Memory_bound of {
+      bound_bytes : int;
+      budget_bytes : int option;
+      depth : int;
+      depth_from_schema : bool;
+    }
+  | Internal_error of { pass : string; message : string }
+
+type t = kind
+
+let severity = function
+  | Dead_rule _ | Unsat_schema _ | Unknown_tag _ -> Warning
+  | Unsure_shadow _ | Overlap _ -> Info
+  | Memory_bound { budget_bytes = Some b; bound_bytes; _ } when bound_bytes > b
+    ->
+      Error
+  | Memory_bound _ -> Info
+  | Internal_error _ -> Error
+
+let kind_slug = function
+  | Dead_rule _ -> "dead-rule"
+  | Unsure_shadow _ -> "unsure-shadow"
+  | Unsat_schema _ -> "unsat-schema"
+  | Unknown_tag _ -> "unknown-tag"
+  | Overlap _ -> "overlap"
+  | Memory_bound _ -> "memory-bound"
+  | Internal_error _ -> "internal-error"
+
+let slug = kind_slug
+
+let relation_slug = function
+  | Same_node -> "same-node"
+  | Allow_below_deny -> "allow-below-deny"
+  | Deny_below_allow -> "deny-below-allow"
+
+let sign_slug = function Rule.Allow -> "allow" | Rule.Deny -> "deny"
+
+let rule_text rules i =
+  if i >= 0 && i < Array.length rules then Rule.to_string rules.(i)
+  else Printf.sprintf "#%d" i
+
+let message ~rules = function
+  | Dead_rule { rule; covered_by; kept } ->
+      Printf.sprintf "rule %d (%s) is dead: subsumed by rule %d (%s)%s" rule
+        (rule_text rules rule) covered_by
+        (rule_text rules covered_by)
+        (if kept = covered_by then ""
+         else Printf.sprintf ", ultimately covered by kept rule %d" kept)
+  | Unsure_shadow { rule; by; candidate } ->
+      Printf.sprintf
+        "rule %d (%s) may be shadowed by rule %d (%s): no homomorphism, but \
+         no canonical counterexample refutes containment%s"
+        rule (rule_text rules rule) by (rule_text rules by)
+        (match candidate with
+        | None -> ""
+        | Some d -> "; candidate " ^ Serializer.to_string d)
+  | Unsat_schema { rule } ->
+      Printf.sprintf
+        "rule %d (%s) is unsatisfiable: its path matches no document the \
+         schema admits"
+        rule (rule_text rules rule)
+  | Unknown_tag { rule; tag } ->
+      Printf.sprintf
+        "rule %d (%s) cannot match this document: tag '%s' is not in its \
+         dictionary"
+        rule (rule_text rules rule) tag
+  | Overlap { allow; deny; relation; winner; witness; node } ->
+      Printf.sprintf
+        "rules %d (%s) and %d (%s) overlap (%s): on witness %s, %s wins at \
+         node %d"
+        allow (rule_text rules allow) deny (rule_text rules deny)
+        (match relation with
+        | Same_node -> "same node, denial takes precedence"
+        | Allow_below_deny -> "allow below deny, most-specific wins"
+        | Deny_below_allow -> "deny below allow")
+        (Serializer.to_string witness)
+        (sign_slug winner) node
+  | Memory_bound { bound_bytes; budget_bytes; depth; depth_from_schema } -> (
+      let base =
+        Printf.sprintf "static worst-case SOE RAM at depth %d%s: %dB" depth
+          (if depth_from_schema then " (from schema)" else " (assumed)")
+          bound_bytes
+      in
+      match budget_bytes with
+      | None -> base
+      | Some b when bound_bytes > b ->
+          Printf.sprintf "%s exceeds the %dB budget" base b
+      | Some b -> Printf.sprintf "%s fits the %dB budget" base b)
+  | Internal_error { pass; message } ->
+      Printf.sprintf "analysis pass '%s' failed: %s" pass message
+
+let to_json ~rules d =
+  let rule_field name i =
+    [ (name, Json.Int i); (name ^ "_text", Json.String (rule_text rules i)) ]
+  in
+  let fields =
+    match d with
+    | Dead_rule { rule; covered_by; kept } ->
+        rule_field "rule" rule
+        @ rule_field "covered_by" covered_by
+        @ [ ("kept", Json.Int kept) ]
+    | Unsure_shadow { rule; by; candidate } ->
+        rule_field "rule" rule @ rule_field "by" by
+        @ [
+            ( "candidate",
+              match candidate with
+              | None -> Json.Null
+              | Some doc -> Json.String (Serializer.to_string doc) );
+          ]
+    | Unsat_schema { rule } -> rule_field "rule" rule
+    | Unknown_tag { rule; tag } ->
+        rule_field "rule" rule @ [ ("tag", Json.String tag) ]
+    | Overlap { allow; deny; relation; winner; witness; node } ->
+        rule_field "allow" allow @ rule_field "deny" deny
+        @ [
+            ("relation", Json.String (relation_slug relation));
+            ("winner", Json.String (sign_slug winner));
+            ("witness", Json.String (Serializer.to_string witness));
+            ("node", Json.Int node);
+          ]
+    | Memory_bound { bound_bytes; budget_bytes; depth; depth_from_schema } ->
+        [
+          ("bound_bytes", Json.Int bound_bytes);
+          ( "budget_bytes",
+            match budget_bytes with None -> Json.Null | Some b -> Json.Int b );
+          ("depth", Json.Int depth);
+          ("depth_from_schema", Json.Bool depth_from_schema);
+        ]
+    | Internal_error { pass; message } ->
+        [ ("pass", Json.String pass); ("message", Json.String message) ]
+  in
+  Json.Obj
+    (("kind", Json.String (kind_slug d))
+    :: ( "severity",
+         Json.String
+           (match severity d with
+           | Error -> "error"
+           | Warning -> "warning"
+           | Info -> "info") )
+    :: fields)
+
+let pp ~rules ppf d =
+  let sev =
+    match severity d with
+    | Error -> "ERROR"
+    | Warning -> "WARN"
+    | Info -> "INFO"
+  in
+  Format.fprintf ppf "%-5s %-14s %s" sev (kind_slug d) (message ~rules d)

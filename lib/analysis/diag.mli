@@ -1,0 +1,88 @@
+(** Structured diagnostics of the static policy analyzer.
+
+    Every diagnostic carries a machine-checkable {e witness} where one
+    exists: the covering rule of a dead rule, a counterexample candidate
+    document for an unresolved shadowing claim, a synthesized document
+    exhibiting an allow/deny overlap together with the sign that wins on
+    it. Tests replay these witnesses through the declarative oracle
+    ({!Sdds_core.Oracle}) and the streaming engine, so an analyzer claim
+    is never just the analyzer's word. *)
+
+type severity = Error | Warning | Info
+
+type overlap_relation =
+  | Same_node  (** both rules select a common node: Denial-Takes-Precedence *)
+  | Allow_below_deny
+      (** the allow rule selects a node below a denied one:
+          Most-Specific-Object lets the allow win there *)
+  | Deny_below_allow  (** the deny wins below, under either policy *)
+
+type kind =
+  | Dead_rule of { rule : int; covered_by : int; kept : int }
+      (** [rule] is provably subsumed by [covered_by] (containment
+          witness); [kept] is the surviving representative at the end of
+          the subsumption chain. Indices are into the input rule list. *)
+  | Unsure_shadow of {
+      rule : int;
+      by : int;
+      candidate : Sdds_xml.Dom.t option;
+    }
+      (** No subsumption homomorphism was found, but no canonical
+          counterexample document refutes containment either — the
+          fragment's known incompleteness corner. [candidate] is the
+          canonical document that failed to refute (tests confirm it
+          indeed fails: every node [rule] selects on it, [by] selects
+          too). *)
+  | Unsat_schema of { rule : int }
+      (** The rule's path matches no document admitted by the declared
+          schema: the rule can never apply. *)
+  | Unknown_tag of { rule : int; tag : string }
+      (** A literal tag of the rule's path is absent from the analyzed
+          document's skip-index dictionary: the rule cannot match {e this}
+          document (the skip index will suppress its automaton outright). *)
+  | Overlap of {
+      allow : int;
+      deny : int;
+      relation : overlap_relation;
+      winner : Sdds_core.Rule.sign;
+      witness : Sdds_xml.Dom.t;
+      node : int;
+    }
+      (** Rules [allow] (positive) and [deny] (negative), same subject,
+          both reach node [node] (preorder id) of the synthesized
+          [witness] document — directly for [Same_node], via an
+          ancestor/descendant pair otherwise. [winner] is the decision the
+          conflict-resolution policy produces at that node, computed by
+          the oracle on the witness itself. *)
+  | Memory_bound of {
+      bound_bytes : int;
+      budget_bytes : int option;
+      depth : int;
+      depth_from_schema : bool;
+    }
+      (** Static worst-case SOE RAM for the compiled rule set at document
+          depth [depth] (derived from the schema when
+          [depth_from_schema]). An [Error] when a budget is given and
+          exceeded, [Info] otherwise. *)
+  | Internal_error of { pass : string; message : string }
+      (** An analysis pass raised — reported instead of propagated so one
+          broken pass cannot hide the others' findings. CI fails on it. *)
+
+type t = kind
+
+val severity : t -> severity
+
+val slug : t -> string
+(** Stable machine identifier of the kind — the ["kind"] field of
+    {!to_json} (["dead-rule"], ["overlap"], ...). *)
+
+val message : rules:Sdds_core.Rule.t array -> t -> string
+(** One-line human rendering; [rules] supplies the text of the rules the
+    indices point at. *)
+
+val to_json : rules:Sdds_core.Rule.t array -> t -> Json.t
+(** Machine rendering. Witness documents are embedded as serialized XML
+    strings under ["witness"]/["candidate"] keys. *)
+
+val pp : rules:Sdds_core.Rule.t array -> Format.formatter -> t -> unit
+(** [SEVERITY kind: message] — the text-mode report line. *)

@@ -1,0 +1,73 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | String s -> escape buf s
+    | List l ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            go x)
+          l;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape buf k;
+            Buffer.add_char buf ':';
+            go x)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | List (_ :: _ as l) ->
+      Format.fprintf ppf "[@[<v 1>";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Format.fprintf ppf ",";
+          Format.fprintf ppf "@,%a" pp x)
+        l;
+      Format.fprintf ppf "@]@,]"
+  | Obj (_ :: _ as fields) ->
+      Format.fprintf ppf "{@[<v 1>";
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Format.fprintf ppf ",";
+          let buf = Buffer.create 16 in
+          escape buf k;
+          Format.fprintf ppf "@,%s: %a" (Buffer.contents buf) pp x)
+        fields;
+      Format.fprintf ppf "@]@,}"
+  | v -> Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,20 @@
+(** Minimal JSON values and printing.
+
+    The analyzer's machine-readable output needs no parsing and no
+    external dependency; this is the same hand-rolled approach the
+    benchmark driver uses for its [BENCH_*.json] exports, packaged as a
+    value type so diagnostics can be composed before serialization. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. Strings are escaped per RFC 8259. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented rendering, two spaces per level. *)

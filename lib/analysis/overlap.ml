@@ -1,0 +1,107 @@
+module Dom = Sdds_xml.Dom
+module Eval = Sdds_xpath.Eval
+module Containment = Sdds_xpath.Containment
+module Rule = Sdds_core.Rule
+module Oracle = Sdds_core.Oracle
+
+(* Preorder-id -> parent-id map of an indexed document (root maps to no
+   entry). *)
+let parents indexed =
+  let tbl = Hashtbl.create 16 in
+  let rec walk (n : Eval.node) =
+    List.iter
+      (fun (c : Eval.node) ->
+        Hashtbl.replace tbl c.Eval.id n.Eval.id;
+        walk c)
+      n.Eval.children
+  in
+  walk indexed;
+  tbl
+
+let is_ancestor tbl ~anc id =
+  let rec up id =
+    match Hashtbl.find_opt tbl id with
+    | None -> false
+    | Some p -> p = anc || up p
+  in
+  up id
+
+(* Contested node on one candidate document, most direct conflict first:
+   a node both rules select beats an ancestor/descendant pair. *)
+let classify doc ~allow ~deny =
+  let indexed = Eval.index doc in
+  let ids_a = Eval.select allow.Rule.path indexed in
+  let ids_d = Eval.select deny.Rule.path indexed in
+  if ids_a = [] || ids_d = [] then None
+  else
+    match List.find_opt (fun id -> List.mem id ids_d) ids_a with
+    | Some id -> Some (Diag.Same_node, id)
+    | None -> (
+        let tbl = parents indexed in
+        let below anc_ids ids =
+          List.find_opt
+            (fun id -> List.exists (fun anc -> is_ancestor tbl ~anc id) anc_ids)
+            ids
+        in
+        match below ids_d ids_a with
+        | Some id -> Some (Diag.Allow_below_deny, id)
+        | None -> (
+            match below ids_a ids_d with
+            | Some id -> Some (Diag.Deny_below_allow, id)
+            | None -> None))
+
+(* Every document obtained by adding [sub] as an extra child of one
+   element of [doc]. Canonical instantiations of a single pattern cannot
+   exhibit cross-depth overlaps between two patterns (each instantiates
+   only its own structure); grafting one instantiation inside the other
+   covers the ancestor/descendant cases — e.g. an allow for
+   [//prescription/drug] under a deny for [//patient/prescription] only
+   conflicts on a document containing both shapes nested. *)
+let rec grafts sub = function
+  | Dom.Text _ -> []
+  | Dom.Element (tag, kids) ->
+      Dom.Element (tag, kids @ [ sub ])
+      :: List.concat
+           (List.mapi
+              (fun i k ->
+                List.map
+                  (fun k' ->
+                    Dom.Element
+                      (tag, List.mapi (fun j kj -> if j = i then k' else kj) kids))
+                  (grafts sub k))
+              kids)
+
+(* Candidate documents for one rule pair: each pattern's own canonical
+   instantiations first (they find same-node overlaps on the smallest
+   witness), then all cross-grafts. Capped — every candidate is verified
+   through the oracle, so dropping some only loses best-effort recall. *)
+let candidate_docs pa pd =
+  let da = Containment.canonical_docs pa in
+  let dd = Containment.canonical_docs pd in
+  let crossed =
+    List.concat_map
+      (fun a -> List.concat_map (fun d -> grafts a d @ grafts d a) dd)
+      da
+  in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  da @ dd @ take 256 crossed
+
+let find ~allow ~deny =
+  if not (String.equal allow.Rule.subject deny.Rule.subject) then None
+  else
+    let docs = candidate_docs allow.Rule.path deny.Rule.path in
+    let rec try_docs = function
+      | [] -> None
+      | doc :: rest -> (
+          match classify doc ~allow ~deny with
+          | None -> try_docs rest
+          | Some (relation, node) ->
+              let decisions =
+                Oracle.decisions ~rules:[ allow; deny ] doc
+              in
+              Some (relation, decisions.(node), doc, node))
+    in
+    try_docs docs

@@ -1,0 +1,26 @@
+(** Allow/deny overlap detection with synthesized witnesses.
+
+    Two same-subject rules of opposite sign {e overlap} when some
+    document has a node both reach — the situation the conflict
+    resolution policies (Denial-Takes-Precedence on the same node,
+    Most-Specific-Object across depths) exist to arbitrate. The analyzer
+    does not decide the winner from first principles: it synthesizes a
+    candidate document from the two patterns' canonical instantiations,
+    finds a contested node on it, and asks the declarative oracle which
+    sign the policy actually produces there. The witness ships in the
+    diagnostic, so a reader (or a test) can replay it.
+
+    Detection is best-effort: canonical instantiations do not enumerate
+    every joint structure two patterns admit, so absence of a reported
+    overlap is not a disjointness proof. Every {e reported} overlap is
+    real — the oracle confirmed it on a concrete document. *)
+
+val find :
+  allow:Sdds_core.Rule.t ->
+  deny:Sdds_core.Rule.t ->
+  (Diag.overlap_relation * Sdds_core.Rule.sign * Sdds_xml.Dom.t * int) option
+(** [find ~allow ~deny] is [Some (relation, winner, witness, node)] when a
+    synthesized document exhibits the overlap: both rules apply at (or
+    above, per [relation]) preorder node [node] of [witness], and the
+    oracle's decision there is [winner]. Rules must share a subject and
+    have the advertised signs. *)

@@ -328,13 +328,18 @@ let rec resolve t out inst b =
               if dep.value = None then begin
                 if b then begin
                   let emptied = ref false in
+                  (* Shortening can merge conjunctions that differed only
+                     in the resolved var — re-dedup, or an instance whose
+                     inner predicates keep coming true across sibling
+                     subtrees accumulates one copy per subtree. *)
                   dep.candidates <-
-                    List.map
-                      (fun c ->
-                        let c' = List.filter (fun v -> v <> inst.var) c in
-                        if c' = [] then emptied := true;
-                        c')
-                      dep.candidates;
+                    List.sort_uniq compare
+                      (List.map
+                         (fun c ->
+                           let c' = List.filter (fun v -> v <> inst.var) c in
+                           if c' = [] then emptied := true;
+                           c')
+                         dep.candidates);
                   if !emptied then resolve t out dep true
                 end
                 else
@@ -351,11 +356,18 @@ let add_rdep t v dep =
   | None -> Hashtbl.add t.rdeps v (ref [ dep ])
 
 (* Register a fired candidate (a conjunction of condition vars) on a
-   predicate instance. *)
+   predicate instance. Duplicate conjunctions are dropped: they resolve
+   identically to the first copy, and without the dedup an instance
+   anchored above a large subtree accumulates one copy per matching node
+   — pending-predicate state proportional to subtree SIZE. With it, the
+   live candidates are distinct subsets of the live (open-anchored)
+   condition vars, which is what makes peak state depth-bounded (and the
+   static memory bound of the analyzer sound) for predicate rules too.
+   [conds] is sorted, so structural equality is canonical. *)
 let add_candidate t out inst conds =
   if inst.value = None then begin
     if conds = [] then resolve t out inst true
-    else begin
+    else if not (List.mem conds inst.candidates) then begin
       inst.candidates <- conds :: inst.candidates;
       List.iter
         (fun v ->

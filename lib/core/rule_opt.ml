@@ -16,27 +16,50 @@ let subsumes ~by:r' r =
      | Rule.Deny, Rule.Allow -> false)
   && Containment.contains r'.Rule.path r.Rule.path
 
-let simplify rules =
-  (* Drop r when some other rule subsumes it STRICTLY, or an EARLIER rule
-     subsumes it mutually (equivalence classes keep their first member).
-     The subsumption relation is transitive (containment is, and the sign
-     compatibility {AA, DD, AD} composes), so every dropped rule is
-     covered by a chain that ends in a kept rule — the kept set yields
-     the same decisions on every document. This is order-independent up
-     to which representative of an equivalence class survives. *)
+type verdict = Kept | Subsumed of { by : int }
+
+(* Drop r when some other rule subsumes it STRICTLY, or an EARLIER rule
+   subsumes it mutually (equivalence classes keep their first member).
+   The subsumption relation is transitive (containment is, and the sign
+   compatibility {AA, DD, AD} composes), so every dropped rule is
+   covered by a chain that ends in a kept rule — the kept set yields
+   the same decisions on every document. This is order-independent up
+   to which representative of an equivalence class survives.
+
+   The verdict records WHICH rule did the covering: the witness the
+   static analyzer surfaces, and the link the chain in {!representative}
+   follows. *)
+let analyze rules =
   let arr = Array.of_list rules in
   let n = Array.length arr in
-  let dropped i =
-    let r = arr.(i) in
-    let rec scan j =
-      j < n
-      && ((j <> i
+  Array.init n (fun i ->
+      let r = arr.(i) in
+      let rec scan j =
+        if j >= n then Kept
+        else if
+          j <> i
           && subsumes ~by:arr.(j) r
-          && ((not (subsumes ~by:r arr.(j))) || j < i))
-         || scan (j + 1))
-    in
-    scan 0
-  in
-  List.filteri (fun i _ -> not (dropped i)) rules
+          && ((not (subsumes ~by:r arr.(j))) || j < i)
+        then Subsumed { by = j }
+        else scan (j + 1)
+      in
+      scan 0)
 
-let redundant_count rules = List.length rules - List.length (simplify rules)
+(* Chains terminate: a [Subsumed] link either strictly shrinks the target
+   set or (on mutual subsumption) strictly decreases the index, and strict
+   shrinkage survives composition with equivalences — so no cycle. *)
+let representative verdicts i =
+  let rec follow i =
+    match verdicts.(i) with Kept -> i | Subsumed { by } -> follow by
+  in
+  follow i
+
+let simplify_stats rules =
+  let verdicts = analyze rules in
+  let kept =
+    List.filteri (fun i _ -> verdicts.(i) = Kept) rules
+  in
+  (kept, List.length rules - List.length kept)
+
+let simplify rules = fst (simplify_stats rules)
+let redundant_count rules = snd (simplify_stats rules)

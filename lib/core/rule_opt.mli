@@ -19,10 +19,32 @@
     The simplification is subject-wise: rules of different subjects never
     interact. *)
 
+type verdict =
+  | Kept
+  | Subsumed of { by : int }
+      (** input index of a rule that covers this one (the witness) *)
+
+val analyze : Rule.t list -> verdict array
+(** One containment pass over the rule set, indexed like the input. This
+    is the single engine both {!simplify} (pruning) and the static
+    analyzer's dead-rule diagnostics are built on. *)
+
+val representative : verdict array -> int -> int
+(** Follow [Subsumed] links to the kept rule that ultimately covers the
+    given index (the index itself when kept). Always terminates. *)
+
+val subsumes : by:Rule.t -> Rule.t -> bool
+(** The pairwise test underlying {!analyze}: is the second rule provably
+    irrelevant in the presence of [by] on every document? *)
+
 val simplify : Rule.t list -> Rule.t list
 (** Returns a sublist of the input (order preserved) producing the same
     authorized view on every document, for every subject and default
     policy. *)
+
+val simplify_stats : Rule.t list -> Rule.t list * int
+(** The kept sublist and the number of dropped rules, from one
+    containment pass. *)
 
 val redundant_count : Rule.t list -> int
 (** [List.length rules - List.length (simplify rules)]. *)

@@ -1,0 +1,209 @@
+module Ast = Sdds_xpath.Ast
+
+type t = {
+  root : string;
+  children : (string, string list) Hashtbl.t;
+  text : (string, unit) Hashtbl.t;
+}
+
+let root t = t.root
+
+let declared t tag = String.equal tag t.root || Hashtbl.mem t.children tag
+
+let children t tag =
+  match Hashtbl.find_opt t.children tag with Some l -> l | None -> []
+
+let text_allowed t tag = Hashtbl.mem t.text tag
+
+let tags t =
+  let acc = ref [ t.root ] in
+  Hashtbl.iter
+    (fun parent kids ->
+      acc := parent :: List.rev_append kids !acc)
+    t.children;
+  List.sort_uniq String.compare !acc
+
+let make ~root decls =
+  let children = Hashtbl.create 16 in
+  let text = Hashtbl.create 16 in
+  List.iter
+    (fun (name, kids) ->
+      if Hashtbl.mem children name then
+        invalid_arg ("Schema: duplicate declaration of " ^ name);
+      let elems =
+        List.filter
+          (fun k ->
+            if String.equal k "#text" then begin
+              Hashtbl.replace text name ();
+              false
+            end
+            else true)
+          kids
+      in
+      Hashtbl.replace children name elems)
+    decls;
+  { root; children; text }
+
+(* Textual format, one declaration per line:
+     name = child1 child2 ... [#text]
+   The first declared element is the document root; '#' starts a comment;
+   blank lines are ignored. An element mentioned only on right-hand sides
+   is a leaf (no children, no text). *)
+let of_string s =
+  let decls =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           (* Whole-line comments only: '#' elsewhere is "#text". *)
+           if line = "" || line.[0] = '#' then None
+           else
+             match String.index_opt line '=' with
+             | None ->
+                 invalid_arg
+                   ("Schema.of_string: expected 'name = children': " ^ line)
+             | Some i ->
+                 let name = String.trim (String.sub line 0 i) in
+                 let rhs =
+                   String.sub line (i + 1) (String.length line - i - 1)
+                 in
+                 let kids =
+                   String.split_on_char ' ' rhs
+                   |> List.map String.trim
+                   |> List.filter (fun k -> k <> "")
+                 in
+                 if name = "" then
+                   invalid_arg "Schema.of_string: empty element name";
+                 Some (name, kids))
+  in
+  match decls with
+  | [] -> invalid_arg "Schema.of_string: no declarations"
+  | (root, _) :: _ -> make ~root decls
+
+(* ------------------------------------------------------------------ *)
+(* Depth bound                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Longest root-to-leaf element chain of any admitted document, or [None]
+   when the schema is recursive (a tag reachable from itself): admitted
+   documents then have unbounded depth. *)
+let depth_bound t =
+  (* DFS from the root with an explicit on-path set for cycle detection
+     and memoized heights. *)
+  let memo : (string, int option) Hashtbl.t = Hashtbl.create 16 in
+  let rec height on_path tag =
+    if List.mem tag on_path then None
+    else
+      match Hashtbl.find_opt memo tag with
+      | Some h -> h
+      | None ->
+          let on_path = tag :: on_path in
+          let h =
+            List.fold_left
+              (fun acc kid ->
+                match (acc, height on_path kid) with
+                | None, _ | _, None -> None
+                | Some a, Some hk -> Some (max a (hk + 1)))
+              (Some 1) (children t tag)
+          in
+          Hashtbl.replace memo tag h;
+          h
+  in
+  height [] t.root
+
+(* ------------------------------------------------------------------ *)
+(* Path satisfiability                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module SSet = Set.Make (String)
+
+(* Tags reachable (as strict descendants) from any tag in [from]. *)
+let reachable t from =
+  let rec grow seen frontier =
+    match frontier with
+    | [] -> seen
+    | tag :: rest ->
+        let kids =
+          List.filter (fun k -> not (SSet.mem k seen)) (children t tag)
+        in
+        grow
+          (List.fold_left (fun s k -> SSet.add k s) seen kids)
+          (kids @ rest)
+  in
+  SSet.fold (fun tag acc -> grow acc [ tag ]) from SSet.empty
+
+let step_candidates t ctx { Ast.axis; test; _ } =
+  let pool = match axis with Ast.Child ->
+      SSet.fold (fun tag acc ->
+          List.fold_left (fun s k -> SSet.add k s) acc (children t tag))
+        ctx SSet.empty
+    | Ast.Descendant -> reachable t ctx
+  in
+  match test with
+  | Ast.Any -> pool
+  | Ast.Name n -> if SSet.mem n pool then SSet.singleton n else SSet.empty
+
+(* Over-approximate the set of tags at which [steps], started from the
+   context set [ctx], can end on some admitted document. Predicates are
+   checked for satisfiability from their anchor's tag set (existence and
+   value targets alike need the predicate path to reach somewhere; a
+   value comparison additionally needs text at its end). The result is a
+   superset of the truly reachable tags, so emptiness is a sound
+   unsatisfiability proof. *)
+let rec sat_steps t ctx steps =
+  List.fold_left
+    (fun ctx step ->
+      if SSet.is_empty ctx then ctx
+      else
+        let cands = step_candidates t ctx step in
+        SSet.filter
+          (fun tag ->
+            List.for_all (sat_pred t (SSet.singleton tag)) step.Ast.preds)
+          cands)
+    ctx steps
+
+and sat_pred t anchor { Ast.ppath; target } =
+  let ends = sat_steps t anchor ppath in
+  match target with
+  | Ast.Exists -> not (SSet.is_empty ends)
+  | Ast.Value (op, lit) ->
+      (* The end node needs a text child; the comparison itself must be
+         satisfiable by some string. Every operator except a self-
+         contradiction is satisfiable, and single comparisons never
+         self-contradict, so text admission is the whole check. *)
+      ignore (op, lit);
+      SSet.exists (text_allowed t) ends
+
+(* The virtual root: a path's first step starts above the document root,
+   whose only "child" is the root element. *)
+let satisfiable t path =
+  match path.Ast.steps with
+  | [] -> true
+  | first :: rest ->
+      let ctx0 =
+        let matches tag =
+          match first.Ast.test with
+          | Ast.Any -> true
+          | Ast.Name n -> String.equal n tag
+        in
+        let pool =
+          match first.Ast.axis with
+          | Ast.Child -> SSet.singleton t.root
+          | Ast.Descendant -> SSet.add t.root (reachable t (SSet.singleton t.root))
+        in
+        SSet.filter matches pool
+      in
+      let ctx0 =
+        SSet.filter
+          (fun tag ->
+            List.for_all (sat_pred t (SSet.singleton tag)) first.Ast.preds)
+          ctx0
+      in
+      not (SSet.is_empty (sat_steps t ctx0 rest))
+
+let pp ppf t =
+  Format.fprintf ppf "root %s;" t.root;
+  Hashtbl.iter
+    (fun name kids ->
+      Format.fprintf ppf " %s = %s%s;" name (String.concat " " kids)
+        (if text_allowed t name then " #text" else ""))
+    t.children

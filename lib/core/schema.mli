@@ -1,0 +1,46 @@
+(** DTD-lite element schema.
+
+    A declared structure for documents: which elements each element may
+    contain, whether it may carry text, and which element is the root.
+    The static analyzer uses it two ways: rules whose paths cannot match
+    any admitted document are {e unsatisfiable} (dead at authoring time),
+    and a non-recursive schema bounds document depth, which turns the
+    SOE's per-level memory cost into a concrete worst-case byte bound
+    ({!Sdds_analysis.Memory_bound} in the analysis library).
+
+    The satisfiability test is an over-approximation of matchability
+    (predicates are checked for reachability, value comparisons only for
+    text admission), so an "unsatisfiable" claim is sound: no admitted
+    document matches the path. *)
+
+type t
+
+val make : root:string -> (string * string list) list -> t
+(** [make ~root decls]: each declaration maps an element name to its
+    allowed children; the pseudo-child ["#text"] allows text content.
+    Undeclared elements mentioned as children are leaves. Raises
+    [Invalid_argument] on duplicate declarations. *)
+
+val of_string : string -> t
+(** Parse the textual format: one [name = child1 child2 ... [#text]]
+    declaration per line, first declaration is the root, ['#'] starts a
+    whole-line comment. Raises [Invalid_argument] on malformed input. *)
+
+val root : t -> string
+val declared : t -> string -> bool
+val children : t -> string -> string list
+val text_allowed : t -> string -> bool
+
+val tags : t -> string list
+(** All element names the schema mentions, sorted. *)
+
+val depth_bound : t -> int option
+(** Maximum root-to-leaf element chain over all admitted documents
+    ([1] = the root alone); [None] when the schema is recursive. *)
+
+val satisfiable : t -> Sdds_xpath.Ast.t -> bool
+(** Can the path select at least one node of some admitted document?
+    Over-approximate: [false] is a proof of unsatisfiability, [true] is
+    not a guarantee of matchability. *)
+
+val pp : Format.formatter -> t -> unit

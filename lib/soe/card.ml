@@ -6,6 +6,7 @@ module Compile = Sdds_core.Compile
 module Output = Sdds_core.Output
 
 module Indexed_engine = Sdds_index.Indexed_engine
+module Memory_bound = Sdds_analysis.Memory_bound
 
 (* A resident prepared evaluation: everything the card derives from one
    (rule blob, query) pair before any document byte is processed. Keyed by
@@ -33,6 +34,10 @@ type cache_stats = {
 type t = {
   prof : Cost.profile;
   subj : string;
+  preflight_depth : int option;
+      (* static-admission document depth: when set, rule sets whose
+         analyzer memory bound at this depth exceeds the profile's RAM
+         are refused before any document byte is processed *)
   keypair : Rsa.keypair;
   doc_keys : (string, string) Hashtbl.t;
   rule_versions : (string, int) Hashtbl.t;
@@ -46,7 +51,8 @@ type t = {
   mutable cache_evictions : int;
 }
 
-let create ?(profile = Cost.egate) ?cache_budget_bytes ~subject keypair =
+let create ?(profile = Cost.egate) ?cache_budget_bytes ?preflight_depth
+    ~subject keypair =
   let cache_budget =
     match cache_budget_bytes with
     | Some b -> b
@@ -55,6 +61,7 @@ let create ?(profile = Cost.egate) ?cache_budget_bytes ~subject keypair =
   {
     prof = profile;
     subj = subject;
+    preflight_depth;
     keypair;
     doc_keys = Hashtbl.create 8;
     rule_versions = Hashtbl.create 8;
@@ -93,6 +100,7 @@ type error =
   | Memory_exceeded of { need_bytes : int; budget_bytes : int }
   | Bad_rules of string
   | Replayed_rules of { seen : int; offered : int }
+  | Rules_too_large of { bound_bytes : int; budget_bytes : int }
 
 let pp_error ppf = function
   | No_key id -> Format.fprintf ppf "no key for document %s" id
@@ -113,6 +121,11 @@ let pp_error ppf = function
         "stale policy: version %d offered after version %d was enforced \
          (rollback attempt)"
         offered seen
+  | Rules_too_large { bound_bytes; budget_bytes } ->
+      Format.fprintf ppf
+        "rule set refused: static memory bound %dB exceeds the %dB RAM \
+         budget"
+        bound_bytes budget_bytes
 
 let install_wrapped_key t ~doc_id ~wrapped =
   match Wire.unwrap_doc_key t.keypair.Rsa.secret ~doc_id wrapped with
@@ -215,6 +228,49 @@ let admit t ~key:ckey prepared_entry =
         Memory.alloc mem ~bytes;
         Hashtbl.replace t.cache ckey prepared_entry
       end
+
+(* ------------------------------------------------------------------ *)
+(* Static admission (analyzer memory bound)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* When the card was created with a preflight depth, a compiled rule set
+   is admitted only if the static worst-case bound of the analyzer fits
+   the profile's RAM — the upload-time refusal of §"provable SOE memory
+   bounds". Disabled by default: the bound is a worst case over ALL
+   documents of that depth, far above what typical documents reach. *)
+let check_bound t ~chunk_plain_bytes compiled =
+  match t.preflight_depth with
+  | None -> Ok ()
+  | Some depth ->
+      let b = Memory_bound.compute ~depth ~chunk_plain_bytes compiled in
+      let budget_bytes = t.prof.Cost.ram_bytes in
+      if b.Memory_bound.bound_bytes <= budget_bytes then Ok ()
+      else
+        Error
+          (Rules_too_large
+             { bound_bytes = b.Memory_bound.bound_bytes; budget_bytes })
+
+(* Upload-time admission: decrypt, compile and bound the offered blob
+   without touching any document state. Skipped silently (Ok) when
+   preflight is off, the key is not yet granted, or the blob is broken —
+   those paths keep their existing failure points in {!evaluate}. *)
+let preflight t ~doc_id ~publisher ?query ?(chunk_plain_bytes = 240)
+    ~encrypted_rules () =
+  match t.preflight_depth with
+  | None -> Ok ()
+  | Some _ -> (
+      match Hashtbl.find_opt t.doc_keys doc_id with
+      | None -> Ok ()
+      | Some key -> (
+          match
+            Wire.decrypt_rules ~key ~doc_id ~subject:t.subj ~publisher
+              encrypted_rules
+          with
+          | Error _ -> Ok ()
+          | Ok (_version, rules) ->
+              let rules = Rule.for_subject t.subj rules in
+              let compiled = Compile.compile ?query rules in
+              check_bound t ~chunk_plain_bytes compiled))
 
 (* Chunks fully contained in a skipped byte range are never consumed. *)
 let consumed_chunks ~n_chunks ~chunk_plain_bytes ~skipped_ranges =
@@ -324,6 +380,12 @@ let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
                     Hashtbl.replace t.rule_versions source.doc_id version;
                     let rules = Rule.for_subject t.subj rules in
                     let compiled = Compile.compile ?query rules in
+                    match
+                      check_bound t
+                        ~chunk_plain_bytes:source.chunk_plain_bytes compiled
+                    with
+                    | Error e -> Error e
+                    | Ok () ->
                     Cost.charge_compile meter
                       ~states:(Compile.state_count compiled);
                     t.cache_misses <- t.cache_misses + 1;

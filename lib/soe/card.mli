@@ -31,6 +31,7 @@ type t
 val create :
   ?profile:Cost.profile ->
   ?cache_budget_bytes:int ->
+  ?preflight_depth:int ->
   subject:string ->
   Sdds_crypto.Rsa.keypair ->
   t
@@ -42,7 +43,16 @@ val create :
     [0] disables caching. Resident entries are charged against the card's
     RAM, so on the 1 KB e-gate the cache can hold at most a couple of
     small policies — the {!Cost.fleet} profile is what lifts the
-    constraint for multi-client serving. *)
+    constraint for multi-client serving.
+
+    [preflight_depth] turns on static admission: rule sets whose
+    analyzer memory bound ({!Sdds_analysis.Memory_bound}) at that
+    document depth exceeds the profile's RAM are refused with
+    {!Rules_too_large} — at upload time through {!preflight}, and again
+    when an unprepared blob reaches {!evaluate}. Off by default: the
+    bound is a worst case over every document of that depth, so tight
+    budgets (the 1 KB e-gate) would refuse policies that evaluate fine
+    on shallow real documents. *)
 
 val subject : t -> string
 val public_key : t -> Sdds_crypto.Rsa.public
@@ -83,6 +93,10 @@ type error =
       (** anti-rollback: a genuinely-signed but older policy version was
           offered after a newer one had been enforced — the DSP replaying
           a stale blob to restore withdrawn access *)
+  | Rules_too_large of { bound_bytes : int; budget_bytes : int }
+      (** static admission refusal: the analyzer's worst-case memory
+          bound for the compiled rule set exceeds the card's RAM budget
+          (only with [preflight_depth], see {!create}) *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -93,6 +107,24 @@ val install_wrapped_key :
     meaningful here; key installation is out of the per-query path). *)
 
 val has_key : t -> doc_id:string -> bool
+
+val preflight :
+  t ->
+  doc_id:string ->
+  publisher:Sdds_crypto.Rsa.public ->
+  ?query:Sdds_xpath.Ast.t ->
+  ?chunk_plain_bytes:int ->
+  encrypted_rules:string ->
+  unit ->
+  (unit, error) result
+(** Upload-time static admission of a rule blob: decrypt, compile, and
+    check the analyzer memory bound against the profile's RAM, without
+    touching any document or cache state. Returns [Ok ()] when admission
+    is off ([preflight_depth] not set at {!create}), when no key for
+    [doc_id] is installed yet, or when the blob does not decrypt — those
+    cases keep their existing failure points in {!evaluate}. The only
+    error is {!Rules_too_large}. [chunk_plain_bytes] defaults to the
+    publisher's default chunk size. *)
 
 type doc_source = {
   doc_id : string;

@@ -20,6 +20,7 @@ module Sw = struct
   let security = (0x69, 0x82)
   let replayed = (0x69, 0x87)
   let memory = (0x6A, 0x84)
+  let rules_too_large = (0x6A, 0x80)
   let integrity_sw1 = 0x66
   let bad_state = (0x69, 0x85)
   let bad_ins = (0x6D, 0x00)
@@ -44,6 +45,7 @@ let to_sw = function
   | Card.Bad_rules _ -> Sw.security
   | Card.Replayed_rules _ -> Sw.replayed
   | Card.Memory_exceeded _ -> Sw.memory
+  | Card.Rules_too_large _ -> Sw.rules_too_large
   | Card.Integrity_failure { chunk } -> (Sw.integrity_sw1, chunk land 0xff)
 
 let of_sw ?(doc_id = "?") (sw1, sw2) =
@@ -57,6 +59,8 @@ let of_sw ?(doc_id = "?") (sw1, sw2) =
     Some (Card.Replayed_rules { seen = 0; offered = 0 })
   else if sw = Sw.memory then
     Some (Card.Memory_exceeded { need_bytes = 0; budget_bytes = 0 })
+  else if sw = Sw.rules_too_large then
+    Some (Card.Rules_too_large { bound_bytes = 0; budget_bytes = 0 })
   else if sw1 = Sw.integrity_sw1 then
     Some (Card.Integrity_failure { chunk = sw2 })
   else None
@@ -201,15 +205,35 @@ module Host = struct
           | Error e -> reply (to_sw e))
     end
     else if cmd.Apdu.ins = Ins.rules then begin
-      if s.doc = None then reply Sw.bad_state
-      else begin
-        match chain s cmd with
-        | Error () -> reply Sw.bad_state
-        | Ok None -> reply Sw.ok
-        | Ok (Some blob) ->
-            s.pending_rules <- Some blob;
-            reply Sw.ok
-      end
+      match s.doc with
+      | None -> reply Sw.bad_state
+      | Some doc -> (
+          match chain s cmd with
+          | Error () -> reply Sw.bad_state
+          | Ok None -> reply Sw.ok
+          | Ok (Some blob) -> (
+              (* Static admission at upload time: a blob whose analyzer
+                 memory bound cannot fit this card is refused here, with
+                 its own status word, before any evaluation is attempted.
+                 A no-op unless the card enables preflight. *)
+              let query =
+                match s.pending_query with
+                | None -> None
+                | Some q -> (
+                    match Sdds_xpath.Parser.parse q with
+                    | ast -> Some ast
+                    | exception Sdds_xpath.Parser.Error _ -> None)
+              in
+              match
+                Card.preflight t.card ~doc_id:doc.Card.doc_id
+                  ~publisher:doc.Card.publisher ?query
+                  ~chunk_plain_bytes:doc.Card.chunk_plain_bytes
+                  ~encrypted_rules:blob ()
+              with
+              | Error e -> reply (to_sw e)
+              | Ok () ->
+                  s.pending_rules <- Some blob;
+                  reply Sw.ok))
     end
     else if cmd.Apdu.ins = Ins.query then begin
       if s.doc = None then reply Sw.bad_state

@@ -67,6 +67,9 @@ module Sw : sig
 
   val memory : int * int  (** [Memory_exceeded] *)
 
+  val rules_too_large : int * int
+      (** [Rules_too_large] — static admission refused the policy *)
+
   val integrity_sw1 : int
       (** [Integrity_failure]: sw1 = 0x66, sw2 = failing chunk mod 256 *)
 

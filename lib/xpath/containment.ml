@@ -104,3 +104,143 @@ let hom qroot proot =
 let contains q p = hom (build q) (build p)
 
 let equivalent a b = contains a b && contains b a
+
+(* ------------------------------------------------------------------ *)
+(* Witness extraction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Dom = Sdds_xml.Dom
+
+(* A value satisfying every comparison anchored at a pattern node, drawn
+   from a small candidate pool derived from the literals themselves
+   (the literal, its numeric neighbours, lexicographic perturbations).
+   [`Unsat] when the pool cannot satisfy the conjunction — either the
+   comparisons genuinely contradict (x = "1" and x = "2") or they are
+   satisfiable only outside the pool; both make the canonical document
+   unbuildable, which degrades the verdict to [Unknown], never to a
+   wrong claim. *)
+let value_satisfying = function
+  | [] -> `No_text
+  | comparisons ->
+      let candidates =
+        List.concat_map
+          (fun (_, lit) ->
+            let numeric =
+              match float_of_string_opt lit with
+              | Some f ->
+                  [
+                    Printf.sprintf "%g" (f +. 1.0);
+                    Printf.sprintf "%g" (f -. 1.0);
+                  ]
+              | None -> []
+            in
+            (lit :: numeric) @ [ lit ^ "!"; "!" ^ lit; "" ])
+          comparisons
+      in
+      let ok v =
+        List.for_all (fun (op, lit) -> Ast.compare_values op v lit) comparisons
+      in
+      (match List.find_opt ok candidates with
+      | Some v -> `Text v
+      | None -> `Unsat)
+
+let rec names_of_steps steps acc =
+  List.fold_left
+    (fun acc { Ast.test; preds; _ } ->
+      let acc =
+        match test with Ast.Name n -> n :: acc | Ast.Any -> acc
+      in
+      List.fold_left (fun acc p -> names_of_steps p.Ast.ppath acc) acc preds)
+    acc steps
+
+let names_of path = names_of_steps path.Ast.steps []
+
+exception Unsat_pattern
+
+(* Instantiate the pattern tree as a concrete document: named tests keep
+   their name, wildcards take fresh tags, child edges become direct
+   children and descendant edges are stretched by [gap] intermediate
+   fresh elements; comparisons become a satisfying text child. By
+   construction the pattern selects its output node on the result (unless
+   a comparison set is unsatisfiable). *)
+let instantiate ~gap ~fresh root =
+  let rec node p =
+    let tag =
+      match p.label with
+      | Root -> invalid_arg "Containment.instantiate: nested root"
+      | Test (Ast.Name n) -> n
+      | Test Ast.Any -> fresh ()
+    in
+    let text =
+      match value_satisfying p.comparisons with
+      | `No_text -> []
+      | `Text v -> [ Dom.Text v ]
+      | `Unsat -> raise Unsat_pattern
+    in
+    Dom.Element (tag, text @ List.map edge p.edges)
+  and edge (axis, child) =
+    let base = node child in
+    match axis with
+    | Ast.Child -> base
+    | Ast.Descendant ->
+        let rec wrap n doc =
+          if n = 0 then doc else wrap (n - 1) (Dom.Element (fresh (), [ doc ]))
+        in
+        wrap gap base
+  in
+  match root.edges with
+  | [ (axis, top) ] ->
+      let base = node top in
+      (* The document has a single root element: a descendant edge from
+         the virtual root may interpose [gap] fresh elements above it. *)
+      let rec wrap n doc =
+        if n = 0 then doc else wrap (n - 1) (Dom.Element (fresh (), [ doc ]))
+      in
+      (match axis with
+      | Ast.Child -> base
+      | Ast.Descendant -> wrap gap base)
+  | _ -> invalid_arg "Containment.instantiate: malformed root"
+
+let fresh_gen avoid =
+  let taken = ref avoid in
+  let counter = ref 0 in
+  fun () ->
+    let rec next () =
+      let name = if !counter = 0 then "z" else Printf.sprintf "z%d" !counter in
+      incr counter;
+      if List.mem name !taken then next ()
+      else begin
+        taken := name :: !taken;
+        name
+      end
+    in
+    next ()
+
+let canonical_docs ?(avoid = []) path =
+  let root = build path in
+  let avoid = names_of path @ avoid in
+  List.filter_map
+    (fun gap ->
+      match instantiate ~gap ~fresh:(fresh_gen avoid) root with
+      | doc -> Some doc
+      | exception Unsat_pattern -> None)
+    [ 0; 1 ]
+
+type verdict =
+  | Contained
+  | Not_contained of Dom.t
+  | Unknown of Dom.t option
+
+let refuted_by q p doc =
+  let indexed = Eval.index doc in
+  let p_ids = Eval.select p indexed in
+  let q_ids = Eval.select q indexed in
+  p_ids <> [] && List.exists (fun id -> not (List.mem id q_ids)) p_ids
+
+let decide q p =
+  if contains q p then Contained
+  else
+    let docs = canonical_docs ~avoid:(names_of q) p in
+    match List.find_opt (refuted_by q p) docs with
+    | Some doc -> Not_contained doc
+    | None -> Unknown (match docs with d :: _ -> Some d | [] -> None)

@@ -21,3 +21,34 @@ val contains : Ast.t -> Ast.t -> bool
 
 val equivalent : Ast.t -> Ast.t -> bool
 (** Mutual containment. *)
+
+(** {1 Witness extraction}
+
+    The static analyzer wants more than a boolean: when containment fails
+    it wants {e evidence}. Non-containment is witnessed by a concrete
+    counterexample document on which [p] selects a node [q] misses — such
+    a document is a proof, independent of the homomorphism test's
+    incompleteness. Counterexample candidates are the {e canonical
+    instantiations} of [p] (à la Miklau & Suciu): wildcards become fresh
+    tags, descendant edges are stretched by 0 or 1 fresh elements,
+    comparisons become satisfying text. *)
+
+type verdict =
+  | Contained  (** homomorphism found: [p ⊆ q] on every document *)
+  | Not_contained of Sdds_xml.Dom.t
+      (** proof: on this document [p] selects a node that [q] does not *)
+  | Unknown of Sdds_xml.Dom.t option
+      (** no homomorphism, but every canonical candidate failed to refute:
+          the fragment's incompleteness corner. Carries the first
+          candidate (if any was buildable) so tests can replay it through
+          the oracle and confirm it indeed fails to refute. *)
+
+val decide : Ast.t -> Ast.t -> verdict
+(** [decide q p] refines [contains q p] with a witness. [Contained] and
+    [Not_contained] are sound claims; [Unknown] is an honest shrug. *)
+
+val canonical_docs : ?avoid:string list -> Ast.t -> Sdds_xml.Dom.t list
+(** The canonical instantiations of a pattern (empty when a comparison
+    set is unsatisfiable by the candidate pool). Fresh tags avoid the
+    pattern's own names and any in [avoid]. The pattern selects at least
+    its output node on each returned document. *)

@@ -11,8 +11,27 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== bench smoke (E15) =="
-dune exec bench/main.exe -- --smoke E15
+echo "== bench smoke (E15 E16) =="
+dune exec bench/main.exe -- --smoke E15 E16
+
+echo "== static policy analysis over examples/policies =="
+for rules in examples/policies/*.rules; do
+  base="${rules%.rules}"
+  set -- --rules-file "$rules" --json
+  [ -f "$base.schema" ] && set -- "$@" --schema "$base.schema"
+  [ -f "$base.xml" ] && set -- "$@" --doc "$base.xml"
+  out="$(dune exec bin/sdds_cli.exe -- analyze "$@")" || {
+    echo "error: sdds analyze failed on $rules" >&2
+    echo "$out" >&2
+    exit 1
+  }
+  if printf '%s' "$out" | grep -q '"internal-error"'; then
+    echo "error: analyzer internal error on $rules" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  echo "$rules: ok"
+done
 
 echo "== docs =="
 if command -v odoc >/dev/null 2>&1; then

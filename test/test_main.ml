@@ -27,4 +27,5 @@ let () =
       ("guard-wire", Test_guard.wire_suite);
       ("protected-accounting", Test_dsp.protected_accounting_suite);
       ("session", Test_session.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -408,6 +408,7 @@ let constructor_name = function
   | Card.Memory_exceeded _ -> "Memory_exceeded"
   | Card.Bad_rules _ -> "Bad_rules"
   | Card.Replayed_rules _ -> "Replayed_rules"
+  | Card.Rules_too_large _ -> "Rules_too_large"
 
 let error_gen =
   QCheck2.Gen.(
@@ -426,6 +427,10 @@ let error_gen =
         map2
           (fun seen offered -> Card.Replayed_rules { seen; offered })
           (int_bound 100) (int_bound 100);
+        map2
+          (fun bound_bytes budget_bytes ->
+            Card.Rules_too_large { bound_bytes; budget_bytes })
+          (int_bound 100_000) (int_bound 10_000);
       ])
 
 let qcheck_sw_roundtrip =
