@@ -38,6 +38,7 @@ module Rsa = Sdds_crypto.Rsa
 module Random_path = Sdds_xpath.Random_path
 module Compile = Sdds_core.Compile
 module Analyzer = Sdds_analysis.Analyzer
+module Fault = Sdds_fault.Fault
 module Diag = Sdds_analysis.Diag
 module Memory_bound = Sdds_analysis.Memory_bound
 
@@ -155,6 +156,34 @@ let record_analysis ~case ~rules ~pruned ~diagnostics ~analyze_ns ~depth
       a_engine_peak_words = engine_peak_words }
     :: !analysis_records
 
+(* One record per (case, fault-rate) point of the resilience experiment:
+   how throughput and simulated link latency degrade as the injector
+   drops, corrupts and tears. Dumped as a fourth array ("resilience") in
+   BENCH_engine.json. *)
+type resilience_record = {
+  r_case : string;
+  r_fault_rate : float;
+  r_requests : int;
+  r_ok : int;  (* requests that returned the exact authorized view *)
+  r_typed_errors : int;  (* requests that failed, with a typed error *)
+  r_retries : int;  (* recovery actions spent across the batch *)
+  r_injected : int;  (* faults the schedule actually injected *)
+  r_frames : int;  (* frames on the wire, retries included *)
+  r_wire_bytes : int;
+  r_link_ms_per_ok : float;  (* simulated serial-link ms per served view *)
+}
+
+let resilience_records : resilience_record list ref = ref []
+
+let record_resilience ~case ~fault_rate ~requests ~ok ~typed_errors ~retries
+    ~injected ~frames ~wire_bytes ~link_ms_per_ok =
+  resilience_records :=
+    { r_case = case; r_fault_rate = fault_rate; r_requests = requests;
+      r_ok = ok; r_typed_errors = typed_errors; r_retries = retries;
+      r_injected = injected; r_frames = frames; r_wire_bytes = wire_bytes;
+      r_link_ms_per_ok = link_ms_per_ok }
+    :: !resilience_records
+
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
 
@@ -162,10 +191,12 @@ let write_bench_json () =
   let records = List.rev !engine_records in
   let sessions = List.rev !session_records in
   let analyses = List.rev !analysis_records in
-  if records = [] && sessions = [] && analyses = [] then ()
+  let resiliences = List.rev !resilience_records in
+  if records = [] && sessions = [] && analyses = [] && resiliences = [] then
+    ()
   else begin
     let oc = open_out "BENCH_engine.json" in
-    Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/3\",\n";
+    Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/4\",\n";
     Printf.fprintf oc "  \"records\": [\n";
     List.iteri
       (fun i r ->
@@ -205,11 +236,27 @@ let write_bench_json () =
           r.a_engine_peak_words
           (if i = List.length analyses - 1 then "" else ","))
       analyses;
+    Printf.fprintf oc "  ],\n  \"resilience\": [\n";
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"experiment\": \"E17\", \"case\": %S, \"fault_rate\": %s, \
+           \"requests\": %d, \"ok\": %d, \"typed_errors\": %d, \
+           \"retries\": %d, \"injected\": %d, \"frames\": %d, \
+           \"wire_bytes\": %d, \"link_ms_per_ok\": %s}%s\n"
+          r.r_case (json_float r.r_fault_rate) r.r_requests r.r_ok
+          r.r_typed_errors r.r_retries r.r_injected r.r_frames
+          r.r_wire_bytes
+          (json_float r.r_link_ms_per_ok)
+          (if i = List.length resiliences - 1 then "" else ","))
+      resiliences;
     Printf.fprintf oc "  ]\n}\n";
     close_out oc;
     Printf.printf
-      "\nwrote BENCH_engine.json (%d records, %d sessions, %d analyses)\n"
+      "\nwrote BENCH_engine.json (%d records, %d sessions, %d analyses, %d \
+       resilience points)\n"
       (List.length records) (List.length sessions) (List.length analyses)
+      (List.length resiliences)
   end
 
 (* Shared identities: RSA keygen is slow, reuse across experiments. *)
@@ -1197,6 +1244,112 @@ let e16_static_analysis () =
      benchmark's."
 
 (* ------------------------------------------------------------------ *)
+(* E17: resilience under injected link faults (fleet profile)          *)
+(* ------------------------------------------------------------------ *)
+
+let e17_resilience () =
+  header "E17"
+    "resilience: pooled serving over a faulty APDU link (fleet profile)";
+  let rng = Rng.create 17L in
+  let doc = Generator.hospital rng ~patients:(if !smoke then 10 else 24) in
+  let rules =
+    [ Rule.allow ~subject:"u" "//patient"; Rule.deny ~subject:"u" "//ssn" ]
+  in
+  let queries =
+    [| None; Some "//patient"; Some "//patient/name"; Some "//admission" |]
+  in
+  let n = if !smoke then 4 else 16 in
+  let reqs =
+    List.init n (fun i ->
+        Proxy.Request.make ?xpath:queries.(i mod Array.length queries) "bench")
+  in
+  let rates =
+    if !smoke then [ 0.0; 0.05 ] else [ 0.0; 0.01; 0.02; 0.05; 0.1; 0.2 ]
+  in
+  (* One batch through a fresh world, pool and (possibly faulty) link. *)
+  let serve_through schedule =
+    let store, card, _, _ =
+      make_world ~profile:Cost.fleet ~doc ~rules ~subject:"u" ()
+    in
+    let host =
+      Remote_card.Host.create ~card ~resolve:(fun id ->
+          Option.map
+            (fun p -> Publish.to_source p ~delivery:`Pull)
+            (Store.get_document store id))
+    in
+    let link =
+      Fault.Link.wrap ~schedule
+        ~tear:(fun () -> Remote_card.Host.tear host)
+        (Remote_card.Host.process host)
+    in
+    let pool =
+      Proxy.Pool.create ~store ~transport:(Fault.Link.transport link)
+        ~subject:"u" ()
+    in
+    (Proxy.Pool.serve pool reqs, link)
+  in
+  (* Fault-free golden views: every Ok under faults must match these
+     byte-for-byte — the injector may cost retries or a typed error,
+     never a different view. *)
+  let golden =
+    List.map
+      (function
+        | Ok s -> s.Proxy.Pool.xml
+        | Error e ->
+            failwith (Format.asprintf "E17 golden: %a" Proxy.pp_error e))
+      (fst (serve_through Fault.Schedule.none))
+  in
+  Printf.printf
+    "document: %d bytes XML; %d requests/batch; retry budget %d\n\n"
+    (String.length (Serializer.to_string doc))
+    n
+    Remote_card.Retry.default.Remote_card.Retry.budget;
+  Printf.printf "%6s | %4s %6s %7s %8s | %8s %10s | %12s\n" "rate" "ok"
+    "errors" "retries" "injected" "frames" "wire_bytes" "link_ms/ok";
+  List.iteri
+    (fun i rate ->
+      let schedule =
+        if rate = 0.0 then Fault.Schedule.none
+        else Fault.Schedule.random ~seed:(Int64.of_int (1700 + i)) ~rate ()
+      in
+      let served, link = serve_through schedule in
+      let ok, errors, retries, wire =
+        List.fold_left2
+          (fun (ok, errors, retries, wire) res gold ->
+            match res with
+            | Ok s ->
+                if s.Proxy.Pool.xml <> gold then
+                  failwith "E17: a faulty run changed an authorized view";
+                ( ok + 1,
+                  errors,
+                  retries + s.Proxy.Pool.retries,
+                  wire + s.Proxy.Pool.wire_bytes )
+            | Error _ -> (ok, errors + 1, retries, wire))
+          (0, 0, 0, 0) served golden
+      in
+      let frames = Fault.Link.frames link in
+      let injected = Fault.Link.injected link in
+      let link_ms_per_ok =
+        if ok = 0 then Float.nan
+        else
+          1.0e3 *. float_of_int wire
+          /. Cost.fleet.Cost.link_bytes_per_s
+          /. float_of_int ok
+      in
+      Printf.printf "%6.2f | %4d %6d %7d %8d | %8d %10d | %12.1f\n" rate ok
+        errors retries injected frames wire link_ms_per_ok;
+      record_resilience
+        ~case:(Printf.sprintf "hospital-%d" n)
+        ~fault_rate:rate ~requests:n ~ok ~typed_errors:errors ~retries
+        ~injected ~frames ~wire_bytes:wire ~link_ms_per_ok)
+    rates;
+  print_endline
+    "\nshape check: every view served under faults is byte-identical to\n\
+     the fault-free golden run (checked above); low rates cost only\n\
+     retries, high rates start spending the budget and convert into\n\
+     typed errors - never into a wrong view."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1218,6 +1371,7 @@ let experiments =
     ("E14", "dispatch-ablation", e14_dispatch_ablation);
     ("E15", "session-cache", e15_session_cache);
     ("E16", "static-analysis", e16_static_analysis);
+    ("E17", "resilience", e17_resilience);
   ]
 
 let () =

@@ -339,32 +339,93 @@ let update_rules_cmd =
       const run $ store_arg $ id_arg $ publisher_arg $ rules_arg $ version_arg)
 
 let query_cmd =
-  let run store_dir doc_id subject key_path query =
+  let run store_dir doc_id subject key_path query fault_spec =
     let kp = or_die_io (Sdds_dsp.Store_io.Keyfile.load_keypair ~path:key_path) in
     let store = or_die_io (Sdds_dsp.Store_io.load ~dir:store_dir) in
     let card = Sdds_soe.Card.create ~profile:Sdds_soe.Cost.egate ~subject kp in
-    let proxy = Sdds_proxy.Proxy.create ~store ~card in
-    match Sdds_proxy.Proxy.query proxy ~doc_id ?xpath:query () with
-    | Error e ->
-        Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
-        exit 1
-    | Ok o ->
-        (match o.Sdds_proxy.Proxy.xml with
-        | Some xml -> print_endline xml
-        | None -> print_endline "<!-- nothing authorized -->");
-        let r = o.Sdds_proxy.Proxy.card_report in
-        Format.eprintf "card: %d/%d chunks, %.0f ms (simulated e-gate)@."
-          r.Sdds_soe.Card.chunks_consumed r.Sdds_soe.Card.chunks_total
-          r.Sdds_soe.Card.breakdown.Sdds_soe.Cost.total_ms
+    match fault_spec with
+    | None -> (
+        let proxy = Sdds_proxy.Proxy.create ~store ~card in
+        match Sdds_proxy.Proxy.query proxy ~doc_id ?xpath:query () with
+        | Error e ->
+            Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
+            exit 1
+        | Ok o ->
+            (match o.Sdds_proxy.Proxy.xml with
+            | Some xml -> print_endline xml
+            | None -> print_endline "<!-- nothing authorized -->");
+            let r = o.Sdds_proxy.Proxy.card_report in
+            Format.eprintf "card: %d/%d chunks, %.0f ms (simulated e-gate)@."
+              r.Sdds_soe.Card.chunks_consumed r.Sdds_soe.Card.chunks_total
+              r.Sdds_soe.Card.breakdown.Sdds_soe.Cost.total_ms)
+    | Some spec -> (
+        (* Serve the same request over an APDU link with a fault
+           injector spliced in; the resilient pool retries, replays and
+           re-establishes as needed. Link stats go to stderr so stdout
+           stays exactly the authorized view (diffable against a
+           fault-free run). *)
+        let schedule =
+          match Sdds_fault.Fault.Schedule.of_spec spec with
+          | Ok s -> s
+          | Error msg -> or_die (Error ("bad --fault-spec: " ^ msg))
+        in
+        let host =
+          Sdds_soe.Remote_card.Host.create ~card ~resolve:(fun id ->
+              Option.map
+                (fun p -> Sdds_dsp.Publish.to_source p ~delivery:`Pull)
+                (Sdds_dsp.Store.get_document store id))
+        in
+        let link =
+          Sdds_fault.Fault.Link.wrap ~schedule
+            ~tear:(fun () -> Sdds_soe.Remote_card.Host.tear host)
+            (Sdds_soe.Remote_card.Host.process host)
+        in
+        let pool =
+          Sdds_proxy.Proxy.Pool.create ~store
+            ~transport:(Sdds_fault.Fault.Link.transport link) ~subject ()
+        in
+        match
+          Sdds_proxy.Proxy.Pool.serve pool
+            [ Sdds_proxy.Proxy.Request.make ?xpath:query doc_id ]
+        with
+        | [ Ok s ] ->
+            (match s.Sdds_proxy.Proxy.Pool.xml with
+            | Some xml -> print_endline xml
+            | None -> print_endline "<!-- nothing authorized -->");
+            Format.eprintf "link: %d frames, %d faults injected, %d retries@."
+              (Sdds_fault.Fault.Link.frames link)
+              (Sdds_fault.Fault.Link.injected link)
+              s.Sdds_proxy.Proxy.Pool.retries
+        | [ Error e ] ->
+            Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
+            Format.eprintf "link: %d frames, %d faults injected@."
+              (Sdds_fault.Fault.Link.frames link)
+              (Sdds_fault.Fault.Link.injected link);
+            exit 1
+        | _ -> assert false)
   in
   let key_arg =
     Arg.(
       required & opt (some file) None
       & info [ "key" ] ~docv:"NAME.sk" ~doc:"The subject's secret key file")
   in
+  let fault_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "fault-spec" ] ~docv:"SPEC"
+          ~doc:
+            "Serve through a fault-injecting APDU link. SPEC is 'none', a \
+             comma list of \\@FRAME:KIND events, or seed=N,rate=F with an \
+             optional kinds=a+b filter (kinds: drop-command, drop-response, \
+             corrupt-command, corrupt-response, duplicate-command, \
+             spurious-status, tear). Same seed, same faults - failures \
+             replay deterministically.")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Query a store directory through a simulated card")
-    Term.(const run $ store_arg $ id_arg $ subject_arg $ key_arg $ query_arg)
+    Term.(
+      const run $ store_arg $ id_arg $ subject_arg $ key_arg $ query_arg
+      $ fault_arg)
 
 (* analyze *)
 

@@ -72,7 +72,9 @@ let () =
     Remote_card.Client.evaluate tracing ~doc_id:"ward" ~wrapped_grant:wrapped
       ~encrypted_rules ~xpath:"//patient/name" ()
   with
-  | Error e -> prerr_endline ("exchange failed: " ^ e)
+  | Error e ->
+      prerr_endline
+        ("exchange failed: " ^ Remote_card.Client.string_of_error e)
   | Ok r ->
       Printf.printf
         "\n%d command frames, %d response frames, %d bytes on the wire\n"

@@ -21,15 +21,17 @@ let read_lstring s pos =
 (* Typed IO errors                                                      *)
 (* ------------------------------------------------------------------ *)
 
-type store_error = {
-  op : [ `Read | `Write | `Mkdir ];
-  path : string;
-  message : string;
-}
+type io_op = [ `Read | `Write | `Mkdir | `Rename ]
+
+type store_error = { op : io_op; path : string; message : string }
 
 let string_of_error e =
   let op =
-    match e.op with `Read -> "read" | `Write -> "write" | `Mkdir -> "mkdir"
+    match e.op with
+    | `Read -> "read"
+    | `Write -> "write"
+    | `Mkdir -> "mkdir"
+    | `Rename -> "rename"
   in
   Printf.sprintf "cannot %s %s: %s" op e.path e.message
 
@@ -41,7 +43,19 @@ let io_fail op path message = raise (Io { op; path; message })
 
 let guard f = match f () with v -> Ok v | exception Io e -> Error e
 
-let write_file ~path content =
+(* ------------------------------------------------------------------ *)
+(* Fault injection hook                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type io_fault = Io_fail of string | Torn_write of { keep_bytes : int }
+
+let fault_hook : (io_op -> string -> io_fault option) ref =
+  ref (fun _ _ -> None)
+
+let set_fault_hook f = fault_hook := f
+let clear_fault_hook () = fault_hook := fun _ _ -> None
+
+let raw_write path content =
   match open_out_bin path with
   | exception Sys_error msg -> io_fail `Write path msg
   | oc -> (
@@ -53,7 +67,35 @@ let write_file ~path content =
       | () -> ()
       | exception Sys_error msg -> io_fail `Write path msg)
 
+(* Atomic publish: the bytes go to [path ^ ".tmp"], which is renamed over
+   [path] only once fully written. A crash (or an injected torn write)
+   mid-write leaves at worst a stray [.tmp] the loaders ignore — readers
+   only ever see the old complete file or the new complete file. *)
+let write_file ~path content =
+  let tmp = path ^ ".tmp" in
+  (match !fault_hook `Write path with
+  | Some (Io_fail msg) -> io_fail `Write path msg
+  | Some (Torn_write { keep_bytes }) ->
+      (* Simulated crash mid-write: a prefix of the bytes reaches the
+         temp file, the rename never happens. *)
+      let keep = min keep_bytes (String.length content) in
+      raw_write tmp (String.sub content 0 keep);
+      io_fail `Write path "torn write: crashed before publish"
+  | None -> ());
+  raw_write tmp content;
+  (match !fault_hook `Rename path with
+  | Some (Io_fail msg) -> io_fail `Rename path msg
+  | Some (Torn_write _) -> io_fail `Rename path "torn write before rename"
+  | None -> ());
+  match Sys.rename tmp path with
+  | () -> ()
+  | exception Sys_error msg -> io_fail `Rename path msg
+
 let read_file path =
+  (match !fault_hook `Read path with
+  | Some (Io_fail msg) -> io_fail `Read path msg
+  | Some (Torn_write _) -> io_fail `Read path "torn read"
+  | None -> ());
   match open_in_bin path with
   | exception Sys_error msg -> io_fail `Read path msg
   | ic -> (
@@ -185,8 +227,11 @@ let load ~dir =
         let doc_id = Hex.decode doc_hex in
         List.iter
           (fun subject_hex ->
-            put store ~doc_id ~subject:(Hex.decode subject_hex)
-              (read_file (Filename.concat d subject_hex)))
+            (* A stray [.tmp] is the residue of a torn write: the publish
+               never completed, so it is not part of the store. *)
+            if not (Filename.check_suffix subject_hex ".tmp") then
+              put store ~doc_id ~subject:(Hex.decode subject_hex)
+                (read_file (Filename.concat d subject_hex)))
           (list_dir d))
       (list_dir (Filename.concat dir kind))
   in

@@ -9,10 +9,19 @@
     [DIR/grants/<hex id>/<hex subject>] (names hex-encoded so ids and
     subjects can contain arbitrary bytes). Merkle trees are rebuilt from
     the stored chunks at load time; on-disk tampering therefore shows up
-    exactly like a tampering DSP. *)
+    exactly like a tampering DSP.
+
+    {b Crash safety.} Every file is published atomically: bytes are
+    written to [path ^ ".tmp"] and renamed over [path] only once
+    complete. An interrupted [sdds publish] (or an injected torn write)
+    leaves at worst a stray [.tmp], which the loaders skip — a reader
+    sees the old complete file or the new complete file, never a
+    half-written one. *)
+
+type io_op = [ `Read | `Write | `Mkdir | `Rename ]
 
 type store_error = {
-  op : [ `Read | `Write | `Mkdir ];  (** the operation that failed *)
+  op : io_op;  (** the operation that failed *)
   path : string;
   message : string;  (** the underlying [Sys_error] text *)
 }
@@ -22,6 +31,25 @@ type store_error = {
     condition the caller can retry). *)
 
 val string_of_error : store_error -> string
+
+(** {2 Fault injection}
+
+    A single global hook, consulted before each IO primitive, lets the
+    fault harness ({!Sdds_fault.Fault.Disk}) simulate disk failures and
+    torn writes deterministically. Production code never sets it. *)
+
+type io_fault =
+  | Io_fail of string  (** the operation fails with this message *)
+  | Torn_write of { keep_bytes : int }
+      (** simulated crash mid-write: only a [keep_bytes]-byte prefix
+          reaches the temp file, the rename never happens *)
+
+val set_fault_hook : (io_op -> string -> io_fault option) -> unit
+(** [set_fault_hook f]: before each primitive on [path], [f op path] is
+    consulted; [Some fault] injects that fault (surfacing as a typed
+    [Error] to the caller). *)
+
+val clear_fault_hook : unit -> unit
 
 val save : Store.t -> dir:string -> (unit, store_error) result
 (** Creates [dir] (and subdirectories) if missing; overwrites existing

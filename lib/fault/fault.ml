@@ -1,0 +1,278 @@
+module Rng = Sdds_util.Rng
+module Apdu = Sdds_soe.Apdu
+module Remote = Sdds_soe.Remote_card
+module Store_io = Sdds_dsp.Store_io
+
+type kind =
+  | Drop_command
+  | Drop_response
+  | Corrupt_command
+  | Corrupt_response
+  | Duplicate_command
+  | Spurious_status
+  | Tear
+
+let all_kinds =
+  [|
+    Drop_command;
+    Drop_response;
+    Corrupt_command;
+    Corrupt_response;
+    Duplicate_command;
+    Spurious_status;
+    Tear;
+  |]
+
+let kind_to_string = function
+  | Drop_command -> "drop-command"
+  | Drop_response -> "drop-response"
+  | Corrupt_command -> "corrupt-command"
+  | Corrupt_response -> "corrupt-response"
+  | Duplicate_command -> "duplicate-command"
+  | Spurious_status -> "spurious-status"
+  | Tear -> "tear"
+
+let kind_of_string = function
+  | "drop-command" -> Some Drop_command
+  | "drop-response" -> Some Drop_response
+  | "corrupt-command" -> Some Corrupt_command
+  | "corrupt-response" -> Some Corrupt_response
+  | "duplicate-command" -> Some Duplicate_command
+  | "spurious-status" -> Some Spurious_status
+  | "tear" -> Some Tear
+  | _ -> None
+
+type event = { frame : int; kind : kind }
+
+let event_to_string e = Printf.sprintf "@%d:%s" e.frame (kind_to_string e.kind)
+
+module Schedule = struct
+  type t = { decide : int -> kind option; describe : string }
+
+  let none = { decide = (fun _ -> None); describe = "none" }
+
+  let of_events events =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.replace tbl e.frame e.kind) events;
+    {
+      decide = Hashtbl.find_opt tbl;
+      describe =
+        (match events with
+        | [] -> "none"
+        | es -> String.concat "," (List.map event_to_string es));
+    }
+
+  (* Stateless per-frame randomness: the decision for frame [n] depends
+     only on [seed] and [n], so a schedule replays identically however
+     many frames the recovering host ends up sending, and a failing run
+     is reproducible from its seed alone. *)
+  let random ~seed ~rate ?(kinds = all_kinds) () =
+    let kinds = Array.copy kinds in
+    {
+      decide =
+        (fun frame ->
+          let rng =
+            Rng.create
+              (Int64.logxor seed
+                 (Int64.mul
+                    (Int64.of_int (frame + 1))
+                    0x9E3779B97F4A7C15L))
+          in
+          if Array.length kinds > 0 && Rng.float rng 1.0 < rate then
+            Some (Rng.pick rng kinds)
+          else None);
+      describe =
+        Printf.sprintf "seed=%Ld,rate=%g%s" seed rate
+          (if kinds = all_kinds then ""
+           else
+             ",kinds="
+             ^ String.concat "+"
+                 (Array.to_list (Array.map kind_to_string kinds)));
+    }
+
+  let of_spec spec =
+    let spec = String.trim spec in
+    if spec = "" || spec = "none" then Ok none
+    else if String.length spec > 0 && spec.[0] = '@' then begin
+      (* "@FRAME:KIND,@FRAME:KIND,..." — an explicit event list. *)
+      let parts = String.split_on_char ',' spec in
+      let rec go acc = function
+        | [] -> Ok (of_events (List.rev acc))
+        | p :: rest -> (
+            let p = String.trim p in
+            match String.index_opt p ':' with
+            | None -> Error (Printf.sprintf "bad fault event %S" p)
+            | Some i -> (
+                let frame_s = String.sub p 1 (i - 1) in
+                let kind_s =
+                  String.sub p (i + 1) (String.length p - i - 1)
+                in
+                match
+                  (int_of_string_opt frame_s, kind_of_string kind_s)
+                with
+                | Some frame, Some kind when frame >= 0 ->
+                    go ({ frame; kind } :: acc) rest
+                | _ -> Error (Printf.sprintf "bad fault event %S" p)))
+      in
+      go [] parts
+    end
+    else begin
+      (* "seed=N,rate=F[,kinds=a+b+c]" — a random schedule. *)
+      let seed = ref None and rate = ref None and kinds = ref None in
+      let parse_field field =
+        match String.index_opt field '=' with
+        | None -> Error (Printf.sprintf "bad fault field %S" field)
+        | Some i -> (
+            let k = String.trim (String.sub field 0 i) in
+            let v =
+              String.trim
+                (String.sub field (i + 1) (String.length field - i - 1))
+            in
+            match k with
+            | "seed" -> (
+                match Int64.of_string_opt v with
+                | Some s ->
+                    seed := Some s;
+                    Ok ()
+                | None -> Error (Printf.sprintf "bad seed %S" v))
+            | "rate" -> (
+                match float_of_string_opt v with
+                | Some r when r >= 0.0 && r <= 1.0 ->
+                    rate := Some r;
+                    Ok ()
+                | _ -> Error (Printf.sprintf "bad rate %S" v))
+            | "kinds" -> (
+                let names = String.split_on_char '+' v in
+                let rec collect acc = function
+                  | [] -> Ok (Array.of_list (List.rev acc))
+                  | n :: rest -> (
+                      match kind_of_string (String.trim n) with
+                      | Some kd -> collect (kd :: acc) rest
+                      | None ->
+                          Error (Printf.sprintf "unknown fault kind %S" n))
+                in
+                match collect [] names with
+                | Ok ks ->
+                    kinds := Some ks;
+                    Ok ()
+                | Error e -> Error e)
+            | _ -> Error (Printf.sprintf "unknown fault field %S" k))
+      in
+      let rec all = function
+        | [] -> (
+            match (!seed, !rate) with
+            | Some seed, Some rate ->
+                Ok (random ~seed ~rate ?kinds:!kinds ())
+            | _ -> Error "fault spec needs both seed= and rate=")
+        | f :: rest -> (
+            match parse_field f with Ok () -> all rest | Error e -> Error e)
+      in
+      all (String.split_on_char ',' spec)
+    end
+
+  let describe t = t.describe
+  let decide t frame = t.decide frame
+end
+
+(* ------------------------------------------------------------------ *)
+(* Lossy APDU link                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Link = struct
+  type t = {
+    inner : Remote.Client.transport;
+    schedule : Schedule.t;
+    on_tear : (unit -> unit) option;
+    mutable frame : int;
+    mutable trace : event list;  (* newest first *)
+  }
+
+  let wrap ~schedule ?tear inner =
+    { inner; schedule; on_tear = tear; frame = 0; trace = [] }
+
+  let sw (sw1, sw2) = { Apdu.sw1; sw2; payload = "" }
+
+  (* The modeled link layer checksums every frame, so corruption and
+     truncation are *detected*, in either direction: the terminal driver
+     sees a bad frame (or no frame) and reports the transient
+     [Sw.transport] word. A corrupted/ dropped command therefore never
+     reaches the card at all; a corrupted/dropped response means the
+     card *did* process the command but the terminal cannot know — which
+     is exactly why the host's duplicate-ack and block-retransmission
+     machinery exists. Nothing here ever delivers altered payload bytes:
+     Byzantine delivery would model a broken CRC, not a lossy serial
+     link. *)
+  let send t cmd =
+    let n = t.frame in
+    t.frame <- n + 1;
+    let inject kind =
+      t.trace <- { frame = n; kind } :: t.trace;
+      match kind with
+      | Drop_command | Corrupt_command -> sw Remote.Sw.transport
+      | Drop_response | Corrupt_response ->
+          let _ = t.inner cmd in
+          sw Remote.Sw.transport
+      | Duplicate_command ->
+          (* The line echoes the frame twice; the card answers both, the
+             terminal reads the second answer. *)
+          let _ = t.inner cmd in
+          t.inner cmd
+      | Spurious_status -> sw Remote.Sw.internal
+      | Tear -> (
+          match t.on_tear with
+          | Some f ->
+              f ();
+              sw Remote.Sw.transport
+          | None -> sw Remote.Sw.transport)
+    in
+    match Schedule.decide t.schedule n with
+    | None -> t.inner cmd
+    | Some kind -> inject kind
+
+  let transport t = send t
+  let frames t = t.frame
+  let injected t = List.length t.trace
+  let trace t = List.rev t.trace
+end
+
+(* ------------------------------------------------------------------ *)
+(* Faulty disk                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Disk = struct
+  type t = {
+    seed : int64;
+    fail_rate : float;
+    torn_rate : float;
+    mutable op : int;
+    mutable trace : (Store_io.io_op * string * Store_io.io_fault) list;
+  }
+
+  let arm ~seed ?(fail_rate = 0.0) ?(torn_rate = 0.0) () =
+    let t = { seed; fail_rate; torn_rate; op = 0; trace = [] } in
+    Store_io.set_fault_hook (fun op path ->
+        let n = t.op in
+        t.op <- n + 1;
+        let rng =
+          Rng.create
+            (Int64.logxor seed
+               (Int64.mul (Int64.of_int (n + 1)) 0x9E3779B97F4A7C15L))
+        in
+        let roll = Rng.float rng 1.0 in
+        let fault =
+          if op = `Write && roll < t.torn_rate then
+            Some (Store_io.Torn_write { keep_bytes = Rng.int rng 4096 })
+          else if roll < t.torn_rate +. t.fail_rate then
+            Some (Store_io.Io_fail "injected disk fault")
+          else None
+        in
+        (match fault with
+        | Some f -> t.trace <- (op, path, f) :: t.trace
+        | None -> ());
+        fault);
+    t
+
+  let disarm () = Store_io.clear_fault_hook ()
+  let injected t = List.length t.trace
+  let trace t = List.rev t.trace
+end

@@ -1,0 +1,126 @@
+(** Deterministic fault injection for the APDU link and the DSP disk.
+
+    The demo platform is the hostile case for reliability: a card that
+    can be torn out mid-evaluation, a 2 KB/s serial link that drops and
+    corrupts frames, a commodity DSP whose disk can fail. This module
+    injects exactly those faults, deterministically: a {!Schedule} maps
+    frame numbers to faults — either an explicit event list or a seeded
+    random process whose decision for frame [n] depends only on the seed
+    and [n] — so any failing run replays bit-identically from its seed,
+    and every injected fault is logged to a trace that can itself be
+    turned back into a schedule ({!Schedule.of_events}).
+
+    {b Fault model.} The modeled link layer checksums every frame, so
+    corruption and truncation are {e detected}: the terminal sees the
+    transient {!Sdds_soe.Remote_card.Sw.transport} word, never altered
+    payload bytes (Byzantine delivery would model a broken CRC, not a
+    lossy serial link). Dropped or corrupted {e commands} never reach
+    the card; dropped or corrupted {e responses} mean the card processed
+    a command whose answer the terminal never saw — the case the host's
+    duplicate-ack and block-retransmission machinery exists for. A
+    {!kind.Tear} models power loss: the card's volatile sessions vanish
+    mid-exchange (via the [tear] callback, typically
+    {!Sdds_soe.Remote_card.Host.tear}) and the terminal's frame is
+    lost. *)
+
+(** What can go wrong on one frame of the exchange. *)
+type kind =
+  | Drop_command  (** the command never reaches the card *)
+  | Drop_response  (** the card processes it; the answer is lost *)
+  | Corrupt_command  (** detected by the link CRC before the card *)
+  | Corrupt_response  (** detected by the link CRC at the terminal *)
+  | Duplicate_command
+      (** the line echoes the frame twice; the card answers both *)
+  | Spurious_status  (** the card answers a transient internal error *)
+  | Tear  (** power loss: all volatile card sessions reset *)
+
+val all_kinds : kind array
+
+val kind_to_string : kind -> string
+(** Kebab-case names ([drop-command], [tear], ...), stable: they appear
+    in [--fault-spec] and in traces. *)
+
+val kind_of_string : string -> kind option
+
+type event = { frame : int; kind : kind }
+(** One injected fault: [kind] hit the [frame]-th frame (0-based) sent
+    over the link. *)
+
+val event_to_string : event -> string
+(** ["@FRAME:KIND"], the [--fault-spec] event syntax. *)
+
+(** When to inject what. *)
+module Schedule : sig
+  type t
+
+  val none : t
+
+  val of_events : event list -> t
+  (** Inject exactly these events (at most one fault per frame; later
+      entries for the same frame win). Turning a {!Link.trace} back into
+      a schedule replays a recorded run. *)
+
+  val random : seed:int64 -> rate:float -> ?kinds:kind array -> unit -> t
+  (** Each frame independently faults with probability [rate], the kind
+      drawn uniformly from [kinds] (default {!all_kinds}). Stateless in
+      the frame number: replays identically regardless of how many
+      frames the recovering host ends up sending. *)
+
+  val of_spec : string -> (t, string) result
+  (** Parse the [--fault-spec] syntax: ["none"], an explicit event list
+      ["@3:tear,@10:drop-response"], or a random schedule
+      ["seed=42,rate=0.05"] / ["seed=42,rate=0.1,kinds=tear+drop-command"]. *)
+
+  val describe : t -> string
+  (** A spec string round-trippable through {!of_spec}. *)
+
+  val decide : t -> int -> kind option
+end
+
+(** A lossy link wrapped around any APDU transport. *)
+module Link : sig
+  type t
+
+  val wrap :
+    schedule:Schedule.t ->
+    ?tear:(unit -> unit) ->
+    Sdds_soe.Remote_card.Client.transport ->
+    t
+  (** [wrap ~schedule ?tear inner] interposes the schedule on [inner].
+      [tear] is invoked when a {!kind.Tear} fires — pass
+      [fun () -> Remote_card.Host.tear host]; without it a tear degrades
+      to a dropped command. *)
+
+  val transport : t -> Sdds_soe.Remote_card.Client.transport
+  (** The faulty transport to hand to {!Sdds_soe.Remote_card.Client} or
+      {!Sdds_proxy.Proxy}. *)
+
+  val frames : t -> int
+  (** Frames sent so far (the injector's frame counter). *)
+
+  val injected : t -> int
+  (** Faults injected so far. *)
+
+  val trace : t -> event list
+  (** Chronological log of every injected fault — feed it to
+      {!Schedule.of_events} to replay this exact run. *)
+end
+
+(** Deterministic disk faults, armed on {!Sdds_dsp.Store_io}'s global
+    fault hook. *)
+module Disk : sig
+  type t
+
+  val arm : seed:int64 -> ?fail_rate:float -> ?torn_rate:float -> unit -> t
+  (** Install the hook: each IO primitive independently fails with
+      probability [fail_rate] (typed [Io_fail]) and each write suffers a
+      torn write with probability [torn_rate] (a prefix reaches the temp
+      file, the rename never happens). Deterministic in [seed] and the
+      operation counter. Both rates default to 0. *)
+
+  val disarm : unit -> unit
+  (** Clear the hook (whatever installed it). *)
+
+  val injected : t -> int
+  val trace : t -> (Sdds_dsp.Store_io.io_op * string * Sdds_dsp.Store_io.io_fault) list
+end

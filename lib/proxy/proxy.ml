@@ -36,6 +36,7 @@ type error =
   | No_grant
   | No_rules
   | Card_error of Card.error
+  | Link_failure of { attempts : int }
   | Protocol of string
 
 let pp_error ppf = function
@@ -43,6 +44,9 @@ let pp_error ppf = function
   | No_grant -> Format.pp_print_string ppf "no key grant for this subject"
   | No_rules -> Format.pp_print_string ppf "no access rules for this subject"
   | Card_error e -> Card.pp_error ppf e
+  | Link_failure { attempts } ->
+      Format.fprintf ppf
+        "link failure: retry budget exhausted after %d retries" attempts
   | Protocol msg -> Format.fprintf ppf "protocol error: %s" msg
 
 let ( let* ) = Result.bind
@@ -114,7 +118,7 @@ let evaluate t ~doc_id ~delivery ~xpath ~use_index =
       | Ok (outputs, card_report) ->
           Ok (Reassembler.run ~has_query:(query <> None) outputs, card_report))
 
-let run t (r : Request.t) =
+let run_once t (r : Request.t) =
   if r.Request.protect then
     evaluate_protected_inner t ~doc_id:r.Request.doc_id
       ~delivery:r.Request.delivery ~xpath:r.Request.xpath
@@ -122,6 +126,39 @@ let run t (r : Request.t) =
   else
     evaluate t ~doc_id:r.Request.doc_id ~delivery:r.Request.delivery
       ~xpath:r.Request.xpath ~use_index:r.Request.use_index
+
+(* Force-refresh the card's key from the DSP. [ensure_key] skips the
+   install when the card already holds *a* key for the document, so after
+   the publisher rotates (revocation) the card would keep failing with
+   [Stale_key] forever even though a fresh grant sits in the store. *)
+let stale_evidence = function
+  | Card.Stale_key _ -> true
+  (* A rotation re-keys the rule blob too; decrypting the fresh blob
+     with the outdated key is a MAC failure, indistinguishable on the
+     card from tampering — so it is treated as possible staleness and
+     given the same one refresh. *)
+  | Card.Bad_rules _ -> true
+  | _ -> false
+
+let refresh_key t ~doc_id =
+  match Store.get_grant t.store ~doc_id ~subject:(Card.subject t.card) with
+  | None -> Error ()
+  | Some wrapped -> (
+      match Card.install_wrapped_key t.card ~doc_id ~wrapped with
+      | Ok () -> Ok ()
+      | Error _ -> Error ())
+
+let run t (r : Request.t) =
+  match run_once t r with
+  | Error (Card_error e) as stale when stale_evidence e -> (
+      (* Revocation in action: re-fetch the wrapped key and retry once.
+         If the store has no usable fresh grant (this subject was cut
+         off), report the original staleness, not the refresh's own
+         failure. *)
+      match refresh_key t ~doc_id:r.Request.doc_id with
+      | Ok () -> run_once t r
+      | Error () -> stale)
+  | result -> result
 
 let query t ~doc_id ?(protect = false) ?xpath () =
   run t { Request.doc_id; xpath; protect; delivery = `Pull; use_index = true }
@@ -137,6 +174,7 @@ module Pool = struct
     command_frames : int;
     response_frames : int;
     wire_bytes : int;
+    retries : int;
   }
 
   (* What the channel's card-side session holds after a completed setup;
@@ -147,23 +185,28 @@ module Pool = struct
     store : Store.t;
     transport : Remote.Client.transport;
     subject : string;
+    retry : Remote.Retry.t;
     mutable free : int list;  (* open channels not serving a stream *)
     mutable opened : int;  (* channels opened so far, basic included *)
     limit : int;  (* channels the pool may open *)
+    mutable epoch : int;  (* bumped on evidence of a card tear *)
     memos : (int, memo) Hashtbl.t;
     granted : (string, unit) Hashtbl.t;  (* grants already installed *)
   }
 
-  let create ~store ~transport ~subject ?(channels = Apdu.max_channels) () =
+  let create ~store ~transport ~subject ?(channels = Apdu.max_channels)
+      ?(retry = Remote.Retry.default) () =
     if channels < 1 || channels > Apdu.max_channels then
       invalid_arg "Pool.create: channels out of range";
     {
       store;
       transport;
       subject;
+      retry;
       free = [ 0 ];
       opened = 1;
       limit = channels;
+      epoch = 0;
       memos = Hashtbl.create 4;
       granted = Hashtbl.create 8;
     }
@@ -180,8 +223,13 @@ module Pool = struct
     mutable rules : string;
     mutable grant : string option;
     mutable channel : int;  (* -1 until assigned *)
+    mutable epoch : int;  (* pool epoch when the channel was assigned *)
     mutable warm : bool;
     mutable phase : phase;
+    mutable budget : int;  (* transient-fault retries left *)
+    mutable retries : int;
+    mutable rekeyed : bool;  (* one grant refresh per request *)
+    mutable resp_block : int;  (* next GET RESPONSE block to ask for *)
     mutable cmds : int;
     mutable resps : int;
     mutable bytes : int;
@@ -201,6 +249,13 @@ module Pool = struct
       t.free <- t.free @ [ st.channel ];
       st.channel <- -1
     end
+
+  (* Discard any partially accumulated response: recovery always replays
+     from EVALUATE, so the application can never see a view stitched
+     together across a tear. *)
+  let reset_partial st =
+    Buffer.clear st.buf;
+    st.resp_block <- 0
 
   let finish t st result =
     let result =
@@ -223,6 +278,7 @@ module Pool = struct
                   command_frames = st.cmds;
                   response_frames = st.resps;
                   wire_bytes = st.bytes;
+                  retries = st.retries;
                 }
           | exception Invalid_argument msg ->
               Error (Protocol ("bad response stream: " ^ msg)))
@@ -239,6 +295,74 @@ module Pool = struct
         Protocol
           (Printf.sprintf "SW %02X%02X" resp.Apdu.sw1 resp.Apdu.sw2)
 
+  (* Spend one unit of the stream's retry budget on a recovery action, or
+     fail the stream with a typed [Link_failure] once it is gone — the
+     pool can always say how the request ended. *)
+  let charge t st k =
+    if st.budget <= 0 then
+      finish t st (Error (Link_failure { attempts = t.retry.Remote.Retry.budget }))
+    else begin
+      st.budget <- st.budget - 1;
+      st.retries <- st.retries + 1;
+      k ()
+    end
+
+  (* Evidence that the card lost all volatile state (a frame answered
+     [channel_closed]: only a reset closes channels under the pool).
+     Everything channel-shaped the pool believed is now false: channels
+     1–3 are gone (only the basic channel survives a reset, fresh), every
+     memoized session is void. Bumping the epoch makes every stream still
+     holding a pre-tear channel re-acquire before its next frame — two
+     streams can never end up sharing a reassigned channel, which could
+     serve one of them the other's view. *)
+  let tear_evidence (t : t) =
+    t.epoch <- t.epoch + 1;
+    Hashtbl.reset t.memos;
+    t.free <- (if List.mem 0 t.free then [ 0 ] else []);
+    t.opened <- 1
+
+  let cold_setup t st setup_frames =
+    Hashtbl.remove t.memos st.channel;
+    reset_partial st;
+    st.phase <-
+      (match setup_frames t st with [] -> Eval | fs -> Setup fs)
+
+  let session_lost t st (resp : Apdu.response) setup_frames =
+    if (resp.Apdu.sw1, resp.Apdu.sw2) = Remote.Sw.channel_closed then begin
+      tear_evidence t;
+      (* The channel is dead — it must not go back to the free list. *)
+      st.channel <- -1;
+      reset_partial st;
+      charge t st (fun () -> st.phase <- Wait_channel)
+    end
+    else
+      (* [bad_state]: the channel is open but its session is fresh (a
+         tear took the basic channel's state, or a stale continuation) —
+         replay the whole setup on the same channel. *)
+      charge t st (fun () -> cold_setup t st setup_frames)
+
+  let fatal t st ~clear_memo e setup_frames =
+    match e with
+    | (Card.Stale_key _ | Card.Bad_rules _) when not st.rekeyed -> (
+        (* Revocation: the card's cached key predates a rotation. Fetch
+           the fresh wrapped grant and replay cold; without a usable
+           fresh grant the staleness is the real answer. *)
+        match
+          Store.get_grant t.store ~doc_id:st.req.Request.doc_id
+            ~subject:t.subject
+        with
+        | None -> finish t st (Error (Card_error e))
+        | Some w ->
+            st.rekeyed <- true;
+            st.grant <- Some w;
+            Hashtbl.remove t.granted st.req.Request.doc_id;
+            cold_setup t st setup_frames)
+    | _ ->
+        if clear_memo then Hashtbl.remove t.memos st.channel;
+        finish t st (Error (Card_error e))
+
+  type acquired = Got of int | Wait | Soft | Hard of error
+
   (* Take a free channel, or open one with MANAGE CHANNEL if the pool is
      still under its limit. The open frames are charged to the stream
      that triggered them — amortized away once the channel is reused. *)
@@ -246,9 +370,9 @@ module Pool = struct
     match t.free with
     | ch :: rest ->
         t.free <- rest;
-        Some (Ok ch)
+        Got ch
     | [] ->
-        if t.opened >= t.limit then None
+        if t.opened >= t.limit then Wait
         else begin
           let resp =
             send t st
@@ -260,14 +384,16 @@ module Pool = struct
                 data = "";
               }
           in
-          if
-            (resp.Apdu.sw1, resp.Apdu.sw2) = Remote.Sw.ok
-            && String.length resp.Apdu.payload = 1
-          then begin
+          let sw = (resp.Apdu.sw1, resp.Apdu.sw2) in
+          if sw = Remote.Sw.ok && String.length resp.Apdu.payload = 1 then begin
             t.opened <- t.opened + 1;
-            Some (Ok (Char.code resp.Apdu.payload.[0]))
+            Got (Char.code resp.Apdu.payload.[0])
           end
-          else Some (Error (sw_error st resp))
+          else if
+            sw = Remote.Sw.transport || sw = Remote.Sw.internal
+            || sw = Remote.Sw.no_channel
+          then Soft
+          else Hard (sw_error st resp)
         end
 
   let setup_frames t st =
@@ -316,74 +442,123 @@ module Pool = struct
       data = "";
     }
 
-  let handle_drain t st (resp : Apdu.response) =
-    Buffer.add_string st.buf resp.Apdu.payload;
-    if (resp.Apdu.sw1, resp.Apdu.sw2) = Remote.Sw.ok then finish t st (Ok ())
-    else if resp.Apdu.sw1 = fst Remote.Sw.more_data then st.phase <- Drain
-    else
-      (* An EVALUATE failure leaves the channel's setup intact — the memo
-         stays valid for the next request. *)
-      finish t st (Error (sw_error st resp))
-
   (* Advance a stream by exactly one frame (or one channel-table action):
      the serve loop round-robins over the streams, so frames from the N
      requests interleave on the shared transport the way N independent
-     terminals would interleave on a shared card. *)
-  let step t st =
+     terminals would interleave on a shared card.
+
+     Recovery is woven into the same state machine: a [Transient] word
+     leaves the phase unchanged (the identical frame is resent on the
+     next step — the host's duplicate-ack and block-retransmission make
+     that safe), a lost session replays the setup, and both spend from
+     the stream's bounded retry budget. *)
+  let step (t : t) st =
+    (* A channel assigned before the last observed tear may since have
+       been reassigned by the card: drop it before sending anything. *)
+    (match st.phase with
+    | Finished _ | Wait_channel -> ()
+    | Setup _ | Eval | Drain ->
+        if st.channel >= 0 && st.epoch <> t.epoch then begin
+          if st.channel = 0 then t.free <- t.free @ [ 0 ];
+          st.channel <- -1;
+          reset_partial st;
+          st.phase <- Wait_channel
+        end);
     match st.phase with
     | Finished _ -> ()
     | Wait_channel -> (
         match acquire t st with
-        | None -> ()  (* every channel busy: wait for a release *)
-        | Some (Error e) -> finish t st (Error e)
-        | Some (Ok ch) ->
+        | Wait -> ()  (* every channel busy: wait for a release *)
+        | Soft -> charge t st (fun () -> ())
+        | Hard e -> finish t st (Error e)
+        | Got ch ->
             st.channel <- ch;
+            st.epoch <- t.epoch;
             st.phase <-
               (match setup_frames t st with [] -> Eval | fs -> Setup fs))
     | Setup [] -> st.phase <- Eval
-    | Setup (cmd :: rest) ->
+    | Setup (cmd :: rest) -> (
         let resp = send t st cmd in
-        if (resp.Apdu.sw1, resp.Apdu.sw2) = Remote.Sw.ok then begin
-          if cmd.Apdu.ins = Remote.Ins.grant then
-            Hashtbl.replace t.granted st.req.Request.doc_id ();
-          match rest with
-          | [] ->
-              Hashtbl.replace t.memos st.channel
-                {
-                  m_doc = st.req.Request.doc_id;
-                  m_rules = st.rules;
-                  m_xpath = st.req.Request.xpath;
-                };
-              st.phase <- Eval
-          | _ -> st.phase <- Setup rest
-        end
-        else begin
-          (* Half-done setup: whatever the channel session holds no longer
-             matches any memo. *)
-          Hashtbl.remove t.memos st.channel;
-          finish t st (Error (sw_error st resp))
-        end
-    | Eval -> handle_drain t st (send t st (eval_frame st))
-    | Drain ->
-        handle_drain t st
-          (send t st
-             {
-               Apdu.cla = Apdu.cla_of_channel st.channel;
-               ins = Remote.Ins.get_response;
-               p1 = 0;
-               p2 = 0;
-               data = "";
-             })
+        match Remote.classify ~doc_id:st.req.Request.doc_id resp with
+        | Remote.Done -> (
+            if cmd.Apdu.ins = Remote.Ins.grant then
+              Hashtbl.replace t.granted st.req.Request.doc_id ();
+            match rest with
+            | [] ->
+                Hashtbl.replace t.memos st.channel
+                  {
+                    m_doc = st.req.Request.doc_id;
+                    m_rules = st.rules;
+                    m_xpath = st.req.Request.xpath;
+                  };
+                st.phase <- Eval
+            | _ -> st.phase <- Setup rest)
+        | Remote.Transient -> charge t st (fun () -> ())
+        | Remote.Session_lost -> session_lost t st resp setup_frames
+        | Remote.Fatal e -> fatal t st ~clear_memo:true e setup_frames
+        | Remote.More _ | Remote.Unknown _ ->
+            (* Half-done setup: whatever the channel session holds no
+               longer matches any memo. *)
+            Hashtbl.remove t.memos st.channel;
+            finish t st (Error (sw_error st resp)))
+    | Eval -> (
+        let resp = send t st (eval_frame st) in
+        match Remote.classify ~doc_id:st.req.Request.doc_id resp with
+        | Remote.Done ->
+            Buffer.add_string st.buf resp.Apdu.payload;
+            finish t st (Ok ())
+        | Remote.More _ ->
+            Buffer.add_string st.buf resp.Apdu.payload;
+            st.resp_block <- 1;
+            st.phase <- Drain
+        | Remote.Transient -> charge t st (fun () -> reset_partial st)
+        | Remote.Session_lost -> session_lost t st resp setup_frames
+        | Remote.Fatal e ->
+            (* An EVALUATE failure leaves the channel's setup intact —
+               the memo stays valid for the next request. *)
+            fatal t st ~clear_memo:false e setup_frames
+        | Remote.Unknown _ -> finish t st (Error (sw_error st resp)))
+    | Drain -> (
+        let resp =
+          send t st
+            {
+              Apdu.cla = Apdu.cla_of_channel st.channel;
+              ins = Remote.Ins.get_response;
+              p1 = 0;
+              p2 = st.resp_block land 0xff;
+              data = "";
+            }
+        in
+        match Remote.classify ~doc_id:st.req.Request.doc_id resp with
+        | Remote.Done ->
+            Buffer.add_string st.buf resp.Apdu.payload;
+            finish t st (Ok ())
+        | Remote.More _ ->
+            Buffer.add_string st.buf resp.Apdu.payload;
+            st.resp_block <- st.resp_block + 1;
+            st.phase <- Drain
+        | Remote.Transient ->
+            (* Re-ask for the same block: the host retransmits it
+               byte-identically if it had already been served. *)
+            charge t st (fun () -> ())
+        | Remote.Session_lost -> session_lost t st resp setup_frames
+        | Remote.Fatal e -> fatal t st ~clear_memo:false e setup_frames
+        | Remote.Unknown _ -> finish t st (Error (sw_error st resp)))
 
-  let init t (r : Request.t) =
+  let init (t : t) (r : Request.t) =
     let fresh phase =
       {
         req = r;
         rules = "";
         grant = None;
         channel = -1;
+        epoch = t.epoch;
         warm = false;
         phase;
+        budget = t.retry.Remote.Retry.budget;
+        retries = 0;
+        rekeyed = false;
+        resp_block = 0;
         cmds = 0;
         resps = 0;
         bytes = 0;

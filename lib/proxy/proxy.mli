@@ -56,6 +56,9 @@ type error =
   | Card_error of Sdds_soe.Card.error
       (** a card failure; over an APDU transport, reconstructed from the
           status word with {!Sdds_soe.Remote_card.of_sw} *)
+  | Link_failure of { attempts : int }
+      (** the transport kept faulting until the retry budget ([attempts])
+          was exhausted ({!Pool} only) *)
   | Protocol of string
       (** APDU-level failure that maps to no card error (unexpected
           status word, undecodable response stream, unsupported request) *)
@@ -64,11 +67,17 @@ val pp_error : Format.formatter -> error -> unit
 
 val run : t -> Request.t -> (outcome, error) result
 (** Execute one request against the proxy's local card. Installs the key
-    grant on the card on first use. With [protect] the card seals pending
-    text under one-time guard keys so this proxy — an untrusted
-    component — never sees data whose conditions resolve negatively.
-    Raises [Sdds_xpath.Parser.Error] on a malformed [xpath] (the
-    application's bug, reported synchronously). *)
+    grant on the card on first use; if the card's answer indicates a
+    possibly outdated key — [Stale_key] (the publisher rotated the
+    document's key, i.e. revocation), or [Bad_rules] (a rotation re-keys
+    the rule blob too, and the MAC failure is indistinguishable from
+    tampering on the card) — the fresh wrapped grant is re-fetched from
+    the DSP and the request retried once, so surviving subjects keep
+    working across a rotation without the application doing anything. With [protect] the card
+    seals pending text under one-time guard keys so this proxy — an
+    untrusted component — never sees data whose conditions resolve
+    negatively. Raises [Sdds_xpath.Parser.Error] on a malformed [xpath]
+    (the application's bug, reported synchronously). *)
 
 val query :
   t ->
@@ -95,7 +104,16 @@ val receive_push :
     granularity — exactly the interleaving N independent terminals would
     produce on a shared card — and the card's per-channel sessions plus
     its prepared-evaluation cache make the views byte-identical to
-    serving the requests one by one (the property tests enforce it). *)
+    serving the requests one by one (the property tests enforce it).
+
+    The pool is resilient: transient link faults resend the same frame,
+    a channel answering [channel_closed] (a card reset closed it) is
+    abandoned and the request re-acquires a fresh channel and replays
+    its setup, and [bad_state] (the session's volatile state is gone)
+    replays the setup on the same channel — all bounded by a per-request
+    retry budget, all discarding any partially drained response first.
+    A request therefore ends in exactly the authorized view or one typed
+    {!error} ([Link_failure] once the budget is spent). *)
 module Pool : sig
   type t
 
@@ -104,13 +122,16 @@ module Pool : sig
     transport:Sdds_soe.Remote_card.Client.transport ->
     subject:string ->
     ?channels:int ->
+    ?retry:Sdds_soe.Remote_card.Retry.t ->
     unit ->
     t
   (** [channels] (default {!Sdds_soe.Apdu.max_channels}) caps how many
       logical channels the pool opens; channels are opened lazily with
       MANAGE CHANNEL and reused across {!serve} calls, with the channel's
       card-side session remembered so a repeat request skips the
-      select/grant/rules/query upload entirely (warm setup). *)
+      select/grant/rules/query upload entirely (warm setup). [retry]
+      (default {!Sdds_soe.Remote_card.Retry.default}) sets each
+      request's fault-recovery budget. *)
 
   type served = {
     view : Sdds_xml.Dom.t option;
@@ -120,6 +141,7 @@ module Pool : sig
     command_frames : int;
     response_frames : int;
     wire_bytes : int;
+    retries : int;  (** recovery actions spent on this request *)
   }
 
   val serve : t -> Request.t list -> (served, error) result list

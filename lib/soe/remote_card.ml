@@ -26,6 +26,8 @@ module Sw = struct
   let bad_ins = (0x6D, 0x00)
   let channel_closed = (0x68, 0x81)
   let no_channel = (0x6A, 0x81)
+  let transport = (0x64, 0x00)
+  let internal = (0x6F, 0x00)
 end
 
 let cla = Apdu.base_cla
@@ -65,6 +67,44 @@ let of_sw ?(doc_id = "?") (sw1, sw2) =
     Some (Card.Integrity_failure { chunk = sw2 })
   else None
 
+type verdict =
+  | Done
+  | More of int
+  | Transient
+  | Session_lost
+  | Fatal of Card.error
+  | Unknown of int * int
+
+(* The single triage point for a response status word. [Transient] words
+   ([Sw.transport], [Sw.internal]) mean the frame may not have reached the
+   card — the link layer detected loss or corruption, or the card hiccuped
+   before processing — so resending the same frame is always safe.
+   [Session_lost] means the channel's volatile session state is gone (card
+   tear, or a continuation arriving on a fresh session): the setup must be
+   replayed before anything else can succeed. *)
+let classify ?doc_id (resp : Apdu.response) =
+  let sw = (resp.Apdu.sw1, resp.Apdu.sw2) in
+  if sw = Sw.ok then Done
+  else if resp.Apdu.sw1 = fst Sw.more_data then More resp.Apdu.sw2
+  else if sw = Sw.transport || sw = Sw.internal then Transient
+  else if sw = Sw.bad_state || sw = Sw.channel_closed then Session_lost
+  else
+    match of_sw ?doc_id sw with
+    | Some e -> Fatal e
+    | None -> Unknown (resp.Apdu.sw1, resp.Apdu.sw2)
+
+module Retry = struct
+  type t = { budget : int; base_backoff_ms : float; max_backoff_ms : float }
+
+  let default = { budget = 16; base_backoff_ms = 1.0; max_backoff_ms = 64.0 }
+
+  (* Simulated, not slept: retries on a deterministic harness must not
+     stall the test clock, so the exponential backoff is accumulated as a
+     cost figure the caller can report. *)
+  let backoff t ~consec =
+    min t.max_backoff_ms (t.base_backoff_ms *. (2.0 ** float_of_int consec))
+end
+
 module Host = struct
   (* The per-channel slice of the protocol state: everything a SELECT
      resets lives here, so channels cannot observe (or corrupt) each
@@ -73,18 +113,27 @@ module Host = struct
     mutable doc : Card.doc_source option;
     (* chained-command accumulators, keyed by instruction *)
     chains : (int, Buffer.t * int ref) Hashtbl.t;
+    (* ins -> p2 of the last accepted final frame, for duplicate acks *)
+    finished : (int, int) Hashtbl.t;
     mutable pending_rules : string option;
     mutable pending_query : string option;
     mutable response : string;  (* bytes not yet drained *)
+    mutable resp_block : int;  (* next response block to serve *)
+    mutable resp_last : Apdu.response option;  (* for retransmission *)
+    mutable resp_ready : bool;  (* an EVALUATE produced the stream *)
   }
 
   let fresh_session () =
     {
       doc = None;
       chains = Hashtbl.create 4;
+      finished = Hashtbl.create 4;
       pending_rules = None;
       pending_query = None;
       response = "";
+      resp_block = 0;
+      resp_last = None;
+      resp_ready = false;
     }
 
   type t = {
@@ -104,17 +153,33 @@ module Host = struct
       (fun n -> function None -> n | Some _ -> n + 1)
       0 t.sessions
 
+  (* Power loss / card extraction: every volatile session dies — logical
+     channels 1–3 close, the basic channel restarts fresh. Card-level
+     state (the key store, the anti-rollback high-water marks, the
+     prepared-evaluation cache) lives in non-volatile memory and
+     survives, which is what makes warm recovery after a tear cheap. *)
+  let tear t =
+    Array.fill t.sessions 0 (Array.length t.sessions) None;
+    t.sessions.(0) <- Some (fresh_session ())
+
   let reply ?(payload = "") (sw1, sw2) = { Apdu.sw1; sw2; payload }
 
   (* Accumulate a chained command; returns [Ok (Some data)] when the final
-     frame arrives, [Ok None] mid-chain, [Error ()] on a sequence-number
-     gap (a dropped or reordered frame must fail fast, not concatenate) or
-     a continuation frame with no chain open (a stale continuation from
-     before a SELECT — or from another channel — must not silently start a
-     fresh chain). *)
+     frame arrives, [Ok None] mid-chain or on a duplicate (retransmitted)
+     frame, [Error ()] on a sequence-number gap (a dropped or reordered
+     frame must fail fast, not concatenate) or a continuation frame with
+     no chain open (a stale continuation from before a SELECT — or from
+     another channel — must not silently start a fresh chain). A frame
+     whose sequence number is exactly the previous one is the link
+     retransmitting after a lost acknowledgement: it is acked again
+     without appending, so retries never duplicate payload bytes. *)
   let chain s (cmd : Apdu.command) =
     match (Hashtbl.find_opt s.chains cmd.Apdu.ins, cmd.Apdu.p2) with
-    | None, p2 when p2 <> 0 -> Error ()
+    | None, p2 when p2 <> 0 ->
+        (* No chain open. A retransmitted final frame (its ack was lost)
+           is recognized by its recorded sequence number and re-acked. *)
+        if Hashtbl.find_opt s.finished cmd.Apdu.ins = Some p2 then Ok None
+        else Error ()
     | existing, _ ->
     let buf, seq =
       match existing with
@@ -124,7 +189,10 @@ module Host = struct
           Hashtbl.add s.chains cmd.Apdu.ins bs;
           bs
     in
-    if cmd.Apdu.p2 <> !seq land 0xff then begin
+    if !seq > 0 && cmd.Apdu.p2 = (!seq - 1) land 0xff then
+      (* Duplicate of the frame just accepted: ack, don't append. *)
+      Ok None
+    else if cmd.Apdu.p2 <> !seq land 0xff then begin
       Hashtbl.remove s.chains cmd.Apdu.ins;
       Error ()
     end
@@ -133,21 +201,32 @@ module Host = struct
       Buffer.add_string buf cmd.Apdu.data;
       if cmd.Apdu.p1 = 0 then begin
         Hashtbl.remove s.chains cmd.Apdu.ins;
+        Hashtbl.replace s.finished cmd.Apdu.ins cmd.Apdu.p2;
         Ok (Some (Buffer.contents buf))
       end
       else Ok None
     end
 
-  let drain s =
+  (* Serve the next 255-byte block of the response stream and remember it:
+     a GET RESPONSE re-asking for the block just served (its response was
+     lost on the wire) gets a byte-identical retransmission instead of
+     silently skipping ahead — a dropped frame can cost time, never
+     payload integrity. *)
+  let serve_block s =
     let n = String.length s.response in
     let take = min max_response n in
     let payload = String.sub s.response 0 take in
     s.response <- String.sub s.response take (n - take);
-    if String.length s.response = 0 then reply ~payload Sw.ok
-    else begin
-      let sw1, _ = Sw.more_data in
-      reply ~payload (sw1, min 0xff (String.length s.response))
-    end
+    let resp =
+      if String.length s.response = 0 then reply ~payload Sw.ok
+      else begin
+        let sw1, _ = Sw.more_data in
+        reply ~payload (sw1, min 0xff (String.length s.response))
+      end
+    in
+    s.resp_last <- Some resp;
+    s.resp_block <- s.resp_block + 1;
+    resp
 
   let manage_channel t (cmd : Apdu.command) =
     if cmd.Apdu.p1 = 0x00 && cmd.Apdu.p2 = 0x00 then begin
@@ -187,9 +266,13 @@ module Host = struct
              concatenated with a later upload for this (or any)
              document. *)
           Hashtbl.reset s.chains;
+          Hashtbl.reset s.finished;
           s.pending_rules <- None;
           s.pending_query <- None;
           s.response <- "";
+          s.resp_block <- 0;
+          s.resp_last <- None;
+          s.resp_ready <- false;
           reply Sw.ok
       | None -> reply Sw.not_found
     end
@@ -230,7 +313,11 @@ module Host = struct
                   ~chunk_plain_bytes:doc.Card.chunk_plain_bytes
                   ~encrypted_rules:blob ()
               with
-              | Error e -> reply (to_sw e)
+              | Error e ->
+                  (* The upload failed for good: a retransmitted final
+                     frame must not be acked as if it had succeeded. *)
+                  Hashtbl.remove s.finished Ins.rules;
+                  reply (to_sw e)
               | Ok () ->
                   s.pending_rules <- Some blob;
                   reply Sw.ok))
@@ -266,10 +353,27 @@ module Host = struct
           with
           | Ok (outputs, _report) ->
               s.response <- Output_codec.encode_list outputs;
-              drain s
+              s.resp_block <- 0;
+              s.resp_last <- None;
+              s.resp_ready <- true;
+              serve_block s
           | Error e -> reply (to_sw e))
     end
-    else if cmd.Apdu.ins = Ins.get_response then drain s
+    else if cmd.Apdu.ins = Ins.get_response then begin
+      (* Block-sequenced drain (block index in p2, mod 256): a terminal
+         can only read forward one block at a time or re-read the block it
+         just received. Draining a session that never evaluated — e.g.
+         after a tear wiped the stream — is a state error, never a silent
+         empty success the terminal could mistake for a whole view. *)
+      if not s.resp_ready then reply Sw.bad_state
+      else if cmd.Apdu.p2 = s.resp_block land 0xff then serve_block s
+      else if s.resp_block > 0 && cmd.Apdu.p2 = (s.resp_block - 1) land 0xff
+      then
+        match s.resp_last with
+        | Some r -> r
+        | None -> reply Sw.bad_state
+      else reply Sw.bad_state
+    end
     else reply Sw.bad_ins
 
   let process t (cmd : Apdu.command) =
@@ -287,11 +391,30 @@ end
 module Client = struct
   type transport = Apdu.command -> Apdu.response
 
+  type error =
+    | Card of Card.error
+    | Link of { attempts : int; sw1 : int; sw2 : int }
+    | Protocol of string
+
+  let pp_error ppf = function
+    | Card e -> Card.pp_error ppf e
+    | Link { attempts; sw1; sw2 } ->
+        Format.fprintf ppf
+          "link failure: retry budget exhausted after %d retries (last SW \
+           %02X%02X)"
+          attempts sw1 sw2
+    | Protocol msg -> Format.fprintf ppf "protocol error: %s" msg
+
+  let string_of_error e = Format.asprintf "%a" pp_error e
+
   type result = {
     outputs : Sdds_core.Output.t list;
     command_frames : int;
     response_frames : int;
     wire_bytes : int;
+    retries : int;
+    reestablished : int;
+    backoff_ms : float;
   }
 
   type counters = {
@@ -310,23 +433,6 @@ module Client = struct
       counters.bytes + String.length (Apdu.encode_response resp);
     resp
 
-  let ( let* ) = Result.bind
-
-  let expect_ok step (resp : Apdu.response) =
-    if (resp.Apdu.sw1, resp.Apdu.sw2) = Sw.ok then Ok ()
-    else
-      Error
-        (Printf.sprintf "%s failed: SW %02X%02X" step resp.Apdu.sw1
-           resp.Apdu.sw2)
-
-  let send_chained counters transport ~cla ~ins payload =
-    let frames = Apdu.segment ~cla ~ins payload in
-    List.fold_left
-      (fun acc frame ->
-        let* () = acc in
-        expect_ok "chained command" (send counters transport frame))
-      (Ok ()) frames
-
   let open_channel (transport : transport) =
     let resp =
       transport
@@ -342,63 +448,175 @@ module Client = struct
            resp.Apdu.sw2)
 
   let close_channel (transport : transport) channel =
-    expect_ok "close channel"
-      (transport
-         {
-           Apdu.cla;
-           ins = Ins.manage_channel;
-           p1 = 0x80;
-           p2 = channel;
-           data = "";
-         })
+    let resp =
+      transport
+        {
+          Apdu.cla;
+          ins = Ins.manage_channel;
+          p1 = 0x80;
+          p2 = channel;
+          data = "";
+        }
+    in
+    if (resp.Apdu.sw1, resp.Apdu.sw2) = Sw.ok then Ok ()
+    else
+      Error
+        (Printf.sprintf "close channel failed: SW %02X%02X" resp.Apdu.sw1
+           resp.Apdu.sw2)
+
+  (* Internal control flow of [evaluate]; never escapes. *)
+  exception Give_up of error
+  exception Lost_session of int * int
 
   let evaluate transport ~doc_id ?wrapped_grant ~encrypted_rules ?xpath
-      ?(push = false) ?(use_index = true) ?(channel = 0) () =
-    let cla = Apdu.cla_of_channel channel in
+      ?(push = false) ?(use_index = true) ?(channel = 0)
+      ?(retry = Retry.default) () =
     let counters = { cmds = 0; resps = 0; bytes = 0 } in
-    let send1 ins ?(p1 = 0) ?(p2 = 0) data =
-      send counters transport { Apdu.cla; ins; p1; p2; data }
+    let budget = ref retry.Retry.budget in
+    let retries = ref 0 and reest = ref 0 and backoff = ref 0.0 in
+    let chan = ref channel in
+    (* Send one frame, absorbing transient link faults under the retry
+       budget; a lost session escapes to the re-establishment loop. *)
+    let exec cmd =
+      let rec go consec =
+        let resp = send counters transport cmd in
+        match classify ~doc_id resp with
+        | Transient ->
+            if !budget <= 0 then
+              raise
+                (Give_up
+                   (Link
+                      {
+                        attempts = retry.Retry.budget;
+                        sw1 = resp.Apdu.sw1;
+                        sw2 = resp.Apdu.sw2;
+                      }))
+            else begin
+              decr budget;
+              incr retries;
+              backoff := !backoff +. Retry.backoff retry ~consec;
+              go (consec + 1)
+            end
+        | Session_lost -> raise (Lost_session (resp.Apdu.sw1, resp.Apdu.sw2))
+        | Done | More _ | Fatal _ | Unknown _ -> resp
+      in
+      go 0
     in
-    let* () = expect_ok "select" (send1 Ins.select doc_id) in
-    let* () =
-      match wrapped_grant with
-      | None -> Ok ()
-      | Some w -> expect_ok "grant" (send1 Ins.grant w)
+    let expect_ok step resp =
+      match classify ~doc_id resp with
+      | Done -> ()
+      | Fatal e -> raise (Give_up (Card e))
+      | More _ ->
+          raise (Give_up (Protocol (step ^ ": unexpected continuation status")))
+      | Unknown (sw1, sw2) ->
+          raise
+            (Give_up
+               (Protocol
+                  (Printf.sprintf "%s failed: SW %02X%02X" step sw1 sw2)))
+      | Transient | Session_lost -> assert false (* absorbed by [exec] *)
     in
-    let* () =
-      send_chained counters transport ~cla ~ins:Ins.rules encrypted_rules
+    let frame ins ?(p1 = 0) ?(p2 = 0) data =
+      { Apdu.cla = Apdu.cla_of_channel !chan; ins; p1; p2; data }
     in
-    let* () =
-      match xpath with
-      | None -> Ok ()
-      | Some q -> send_chained counters transport ~cla ~ins:Ins.query q
+    let setup () =
+      expect_ok "select" (exec (frame Ins.select doc_id));
+      (match wrapped_grant with
+      | None -> ()
+      | Some w -> expect_ok "grant" (exec (frame Ins.grant w)));
+      let chained ins payload =
+        List.iter
+          (fun f -> expect_ok "chained command" (exec f))
+          (Apdu.segment ~cla:(Apdu.cla_of_channel !chan) ~ins payload)
+      in
+      chained Ins.rules encrypted_rules;
+      match xpath with None -> () | Some q -> chained Ins.query q
     in
-    let first =
-      send1 Ins.evaluate
-        ~p1:(if push then 1 else 0)
-        ~p2:(if use_index then 0 else 1)
-        ""
+    (* Drain with explicit block numbers: a retried GET RESPONSE re-asks
+       for the block whose answer was lost, and the host retransmits it
+       byte-identically — dropped frames never skip response bytes. *)
+    let drain () =
+      let buf = Buffer.create 256 in
+      let rec go block (resp : Apdu.response) =
+        match classify ~doc_id resp with
+        | Done ->
+            Buffer.add_string buf resp.Apdu.payload;
+            Buffer.contents buf
+        | More _ ->
+            Buffer.add_string buf resp.Apdu.payload;
+            go (block + 1)
+              (exec (frame Ins.get_response ~p2:((block + 1) land 0xff) ""))
+        | Fatal e -> raise (Give_up (Card e))
+        | Unknown (sw1, sw2) ->
+            raise
+              (Give_up
+                 (Protocol
+                    (Printf.sprintf "evaluate failed: SW %02X%02X" sw1 sw2)))
+        | Transient | Session_lost -> assert false (* absorbed by [exec] *)
+      in
+      go 0
+        (exec
+           (frame Ins.evaluate
+              ~p1:(if push then 1 else 0)
+              ~p2:(if use_index then 0 else 1)
+              ""))
     in
-    (* Drain: accept OK (done) or 61xx (more data). *)
-    let rec drain acc (resp : Apdu.response) =
-      let acc = acc ^ resp.Apdu.payload in
-      if (resp.Apdu.sw1, resp.Apdu.sw2) = Sw.ok then Ok acc
-      else if resp.Apdu.sw1 = fst Sw.more_data then
-        drain acc (send1 Ins.get_response "")
-      else
-        Error
-          (Printf.sprintf "evaluate failed: SW %02X%02X" resp.Apdu.sw1
-             resp.Apdu.sw2)
-    in
-    let* encoded = drain "" first in
-    match Output_codec.decode_list encoded with
-    | outputs ->
-        Ok
+    let reopen () =
+      (* Our logical channel died with the card's volatile state (tear):
+         acquire a fresh one over the always-open basic channel. *)
+      let resp =
+        exec
           {
-            outputs;
-            command_frames = counters.cmds;
-            response_frames = counters.resps;
-            wire_bytes = counters.bytes;
+            Apdu.cla = Apdu.base_cla;
+            ins = Ins.manage_channel;
+            p1 = 0;
+            p2 = 0;
+            data = "";
           }
-    | exception Invalid_argument msg -> Error ("bad response stream: " ^ msg)
+      in
+      match classify ~doc_id resp with
+      | Done when String.length resp.Apdu.payload = 1 ->
+          chan := Char.code resp.Apdu.payload.[0]
+      | _ ->
+          raise
+            (Give_up
+               (Protocol "cannot reopen a logical channel after card reset"))
+    in
+    (* Session loop: on evidence that the card lost our session (tear,
+       channel eviction), discard any partial response and replay the
+       whole setup — the card's stable key store and prepared-evaluation
+       cache make the replay cheap — until the budget runs out. *)
+    let rec session () =
+      match
+        setup ();
+        drain ()
+      with
+      | encoded -> encoded
+      | exception Lost_session (sw1, sw2) ->
+          if !budget <= 0 then
+            raise (Give_up (Link { attempts = retry.Retry.budget; sw1; sw2 }))
+          else begin
+            decr budget;
+            incr reest;
+            backoff := !backoff +. Retry.backoff retry ~consec:0;
+            if (sw1, sw2) = Sw.channel_closed && !chan <> 0 then reopen ();
+            session ()
+          end
+    in
+    match session () with
+    | encoded -> (
+        match Output_codec.decode_list encoded with
+        | outputs ->
+            Ok
+              {
+                outputs;
+                command_frames = counters.cmds;
+                response_frames = counters.resps;
+                wire_bytes = counters.bytes;
+                retries = !retries;
+                reestablished = !reest;
+                backoff_ms = !backoff;
+              }
+        | exception Invalid_argument msg ->
+            Error (Protocol ("bad response stream: " ^ msg)))
+    | exception Give_up e -> Error e
 end

@@ -27,15 +27,31 @@
     open; MANAGE CHANNEL opens and closes 1–3. Card-level state (the key
     store, the anti-rollback version high-water marks and the prepared-
     evaluation cache) is deliberately shared across channels: a policy
-    version enforced on one channel binds every other. *)
+    version enforced on one channel binds every other.
+
+    {b Fault tolerance.} The link is not assumed reliable: the protocol
+    is designed so every fault is either {e detected} (the modeled link
+    layer checksums frames, so corruption and truncation surface as the
+    transient {!Sw.transport} word, never as silently altered payload) or
+    {e idempotent} (retransmitted chain frames are recognized by sequence
+    number and re-acked without appending; GET RESPONSE names the block
+    it wants, so a re-ask after a lost answer gets a byte-identical
+    retransmission). A card tear — power loss wiping all volatile
+    sessions, modeled by {!Host.tear} — surfaces as
+    [bad_state]/[channel_closed], and {!Client.evaluate} recovers by
+    replaying the whole session setup, which the card's stable
+    prepared-evaluation cache makes cheap. The net effect, enforced by
+    the qcheck harness in [test/test_fault.ml]: the client returns either
+    the exact authorized view or one typed {!Client.error} — never a
+    truncated or corrupted view. *)
 
 (** Instruction bytes of the command set: [manage_channel] (p1 = 0 open,
     assigned channel returned in the payload; p1 = 0x80 close, target in
     p2), [select] a document by id, install a wrapped key [grant], load
     the encrypted [rules] blob (chained frames), set the optional XPath
     [query] (chained), [evaluate] (p1 = 0 pull / 1 push; p2 = 0 with
-    index / 1 without), and [get_response] to drain the pending
-    response. *)
+    index / 1 without), and [get_response] to drain the pending response
+    (p2 = requested block index mod 256). *)
 module Ins : sig
   val manage_channel : int
   val select : int
@@ -51,7 +67,10 @@ end
     plus [bad_state] (command out of sequence on this channel), [bad_ins]
     (unknown instruction or class), [channel_closed] (frame addressed to a
     channel that is not open) and [no_channel] (MANAGE CHANNEL open with
-    every channel in use). *)
+    every channel in use), and two {e transient} words: [transport]
+    (0x6400 — the link layer detected loss or corruption; the frame was
+    not processed and may safely be resent) and [internal] (0x6F00 — the
+    card hiccuped before processing; equally safe to resend). *)
 module Sw : sig
   val ok : int * int
   val more_data : int * int
@@ -77,6 +96,12 @@ module Sw : sig
   val bad_ins : int * int
   val channel_closed : int * int
   val no_channel : int * int
+
+  val transport : int * int
+      (** Transient: link-layer loss/corruption, nothing processed. *)
+
+  val internal : int * int
+      (** Transient: card-side hiccup before processing. *)
 end
 
 val to_sw : Card.error -> int * int
@@ -90,7 +115,42 @@ val of_sw : ?doc_id:string -> int * int -> Card.error option
     payloads do not cross the wire — pass [doc_id] to rebuild
     [No_key]/[Stale_key] from context (default ["?"]); the
     [Replayed_rules]/[Memory_exceeded] counters come back zeroed. [None]
-    for protocol-level words ([bad_state], [channel_closed], ...). *)
+    for protocol-level words ([bad_state], [channel_closed],
+    [transport], [internal], ...). *)
+
+(** Triage of a response status word into the action it calls for. *)
+type verdict =
+  | Done  (** 0x9000 — command succeeded *)
+  | More of int  (** 0x61xx — response bytes remain (hint in the arg) *)
+  | Transient
+      (** {!Sw.transport} or {!Sw.internal} — resend the same frame *)
+  | Session_lost
+      (** [bad_state]/[channel_closed] — volatile session gone (tear or
+          eviction): replay the session setup *)
+  | Fatal of Card.error  (** a card-level refusal; retrying won't help *)
+  | Unknown of int * int  (** a status word outside the protocol *)
+
+val classify : ?doc_id:string -> Apdu.response -> verdict
+(** The one decision point both {!Client} and {!Sdds_proxy.Proxy} use to
+    tell transient faults from fatal refusals. [doc_id] feeds {!of_sw}'s
+    payload reconstruction. *)
+
+(** Retry policy for transient faults and session re-establishment. *)
+module Retry : sig
+  type t = {
+    budget : int;  (** total retries across the whole exchange *)
+    base_backoff_ms : float;
+    max_backoff_ms : float;
+  }
+
+  val default : t
+  (** budget 16, backoff 1 ms doubling to a 64 ms cap. *)
+
+  val backoff : t -> consec:int -> float
+  (** Simulated exponential backoff for the [consec]-th consecutive
+      retry of one frame: [min max (base * 2^consec)]. Accumulated as a
+      cost figure, never slept. *)
+end
 
 module Host : sig
   type t
@@ -105,7 +165,15 @@ module Host : sig
   (** Never raises: protocol violations map to status words. Frames on a
       never-opened (or closed) channel get [Sw.channel_closed]; any
       RULES/QUERY frame — first, continuation or stale — on a channel
-      with no document selected gets [Sw.bad_state]. *)
+      with no document selected gets [Sw.bad_state]; a GET RESPONSE
+      before any EVALUATE on the session gets [Sw.bad_state] (never a
+      silent empty view). *)
+
+  val tear : t -> unit
+  (** Card tear (power loss / extraction): every volatile session dies —
+      logical channels 1–3 close, the basic channel restarts fresh.
+      Card-level stable state (key store, anti-rollback marks, the
+      prepared-evaluation cache) survives. *)
 
   val open_channels : t -> int
   (** Channels currently open (≥ 1: the basic channel). *)
@@ -114,11 +182,27 @@ end
 module Client : sig
   type transport = Apdu.command -> Apdu.response
 
+  (** What an exchange can fail with — exactly one of: *)
+  type error =
+    | Card of Card.error  (** the card refused; retrying won't help *)
+    | Link of { attempts : int; sw1 : int; sw2 : int }
+        (** the retry budget ran out; [sw1]/[sw2] is the last transient
+            word seen *)
+    | Protocol of string
+        (** the peer broke the protocol (undecodable response stream,
+            unknown status word) *)
+
+  val pp_error : Format.formatter -> error -> unit
+  val string_of_error : error -> string
+
   type result = {
     outputs : Sdds_core.Output.t list;
     command_frames : int;  (** frames sent terminal to card *)
     response_frames : int;  (** frames received card to terminal *)
     wire_bytes : int;  (** total bytes both ways, headers included *)
+    retries : int;  (** frames resent after a transient fault *)
+    reestablished : int;  (** sessions replayed after a tear/eviction *)
+    backoff_ms : float;  (** simulated backoff accumulated over retries *)
   }
 
   val open_channel : transport -> (int, string) Result.t
@@ -136,8 +220,20 @@ module Client : sig
     ?push:bool ->
     ?use_index:bool ->
     ?channel:int ->
+    ?retry:Retry.t ->
     unit ->
-    (result, string) Result.t
+    (result, error) Result.t
   (** Full exchange: select, (grant), rules, (query), evaluate, drain —
-      all frames addressed to [channel] (default 0, the basic channel). *)
+      all frames addressed to [channel] (default 0, the basic channel).
+
+      Resilient: transient faults ({!Sw.transport}, {!Sw.internal}) are
+      absorbed by resending the frame; a lost session ([bad_state] /
+      [channel_closed] — card tear or channel eviction) discards any
+      partial response and replays the whole setup, reopening a logical
+      channel if ours died with the card's volatile state. Both spend
+      from [retry]'s budget (a re-establishment costs one unit plus its
+      frames' own retries); when it runs out the exchange fails with
+      [Link]. The guarantee: [Ok r] carries exactly the authorized view
+      — bit-for-bit what a fault-free run returns — and any [Error] is
+      typed. *)
 end

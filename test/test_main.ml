@@ -28,4 +28,5 @@ let () =
       ("protected-accounting", Test_dsp.protected_accounting_suite);
       ("session", Test_session.suite);
       ("analysis", Test_analysis.suite);
+      ("fault", Test_fault.suite);
     ]

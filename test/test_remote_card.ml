@@ -70,7 +70,7 @@ let test_remote_equals_direct () =
     Remote_card.Client.evaluate w.transport ~doc_id:"remote-doc"
       ~wrapped_grant:w.wrapped ~encrypted_rules:w.encrypted_rules ()
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Remote_card.Client.string_of_error e)
   | Ok r ->
       let view = Reassembler.run ~has_query:false r.Remote_card.Client.outputs in
       Alcotest.check dom_opt "view through APDU = oracle"
@@ -90,7 +90,7 @@ let test_remote_with_query () =
     Remote_card.Client.evaluate w.transport ~doc_id:"remote-doc"
       ~encrypted_rules:w.encrypted_rules ~xpath:"//patient/name" ()
   with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Remote_card.Client.string_of_error e)
   | Ok r ->
       let view = Reassembler.run ~has_query:true r.Remote_card.Client.outputs in
       Alcotest.check dom_opt "query through APDU"
@@ -105,10 +105,9 @@ let test_remote_unknown_document () =
     Remote_card.Client.evaluate w.transport ~doc_id:"nope"
       ~encrypted_rules:w.encrypted_rules ()
   with
-  | Error msg ->
-      Alcotest.(check bool) "names the step" true
-        (String.length msg > 0
-        && String.sub msg 0 6 = "select")
+  | Error (Remote_card.Client.Card (Card.No_key id)) ->
+      Alcotest.(check string) "names the document" "nope" id
+  | Error e -> Alcotest.fail (Remote_card.Client.string_of_error e)
   | Ok _ -> Alcotest.fail "expected select failure"
 
 let test_remote_out_of_sequence () =
@@ -141,12 +140,8 @@ let test_remote_security_error_mapped () =
     Remote_card.Client.evaluate w.transport ~doc_id:"remote-doc"
       ~encrypted_rules:(Bytes.to_string bad) ()
   with
-  | Error msg ->
-      Alcotest.(check bool) "6982 surfaced" true
-        (String.length msg >= 4
-        &&
-        let tail = String.sub msg (String.length msg - 4) 4 in
-        String.equal tail "6982")
+  | Error (Remote_card.Client.Card (Card.Bad_rules _)) -> ()
+  | Error e -> Alcotest.fail (Remote_card.Client.string_of_error e)
   | Ok _ -> Alcotest.fail "expected security error"
 
 let test_remote_chain_gap () =

@@ -104,7 +104,9 @@ let sequential w (r : Proxy.Request.t) =
       ~encrypted_rules:(stored_rules w r.Proxy.Request.doc_id)
       ?xpath:r.Proxy.Request.xpath ()
   with
-  | Error e -> Alcotest.fail ("sequential reference failed: " ^ e)
+  | Error e ->
+      Alcotest.fail
+        ("sequential reference failed: " ^ Remote.Client.string_of_error e)
   | Ok res ->
       render
         ~has_query:(r.Proxy.Request.xpath <> None)
