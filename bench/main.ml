@@ -41,6 +41,7 @@ module Analyzer = Sdds_analysis.Analyzer
 module Fault = Sdds_fault.Fault
 module Diag = Sdds_analysis.Diag
 module Memory_bound = Sdds_analysis.Memory_bound
+module Obs = Sdds_obs.Obs
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -175,6 +176,35 @@ type resilience_record = {
 
 let resilience_records : resilience_record list ref = ref []
 
+(* One record per (case, observability mode) of the overhead experiment:
+   ns/event with tracing off / metrics-only / sampled / full, plus the
+   skip-prune counters the full scope collected. Dumped as a fifth array
+   ("obs") in BENCH_engine.json. *)
+type obs_record = {
+  o_case : string;
+  o_mode : string;  (* "off" | "metrics" | "sampled" | "full" *)
+  o_events : int;
+  o_ns_per_event : float;
+  o_overhead_pct : float;  (* relative to the "off" mode *)
+  o_trace_events : int;  (* events resident in the ring after one run *)
+  o_dropped : int;
+  o_skip_considered : int;
+  o_skipped_subtrees : int;
+  o_skipped_bytes : int;
+}
+
+let obs_records : obs_record list ref = ref []
+
+let record_obs ~case ~mode ~events ~ns_per_event ~overhead_pct ~trace_events
+    ~dropped ~skip_considered ~skipped_subtrees ~skipped_bytes =
+  obs_records :=
+    { o_case = case; o_mode = mode; o_events = events;
+      o_ns_per_event = ns_per_event; o_overhead_pct = overhead_pct;
+      o_trace_events = trace_events; o_dropped = dropped;
+      o_skip_considered = skip_considered;
+      o_skipped_subtrees = skipped_subtrees; o_skipped_bytes = skipped_bytes }
+    :: !obs_records
+
 let record_resilience ~case ~fault_rate ~requests ~ok ~typed_errors ~retries
     ~injected ~frames ~wire_bytes ~link_ms_per_ok =
   resilience_records :=
@@ -192,11 +222,14 @@ let write_bench_json () =
   let sessions = List.rev !session_records in
   let analyses = List.rev !analysis_records in
   let resiliences = List.rev !resilience_records in
-  if records = [] && sessions = [] && analyses = [] && resiliences = [] then
-    ()
+  let obses = List.rev !obs_records in
+  if
+    records = [] && sessions = [] && analyses = [] && resiliences = []
+    && obses = []
+  then ()
   else begin
     let oc = open_out "BENCH_engine.json" in
-    Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/4\",\n";
+    Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/5\",\n";
     Printf.fprintf oc "  \"records\": [\n";
     List.iteri
       (fun i r ->
@@ -250,13 +283,28 @@ let write_bench_json () =
           (json_float r.r_link_ms_per_ok)
           (if i = List.length resiliences - 1 then "" else ","))
       resiliences;
+    Printf.fprintf oc "  ],\n  \"obs\": [\n";
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"experiment\": \"E18\", \"case\": %S, \"mode\": %S, \
+           \"events\": %d, \"ns_per_event\": %s, \"overhead_pct\": %s, \
+           \"trace_events\": %d, \"dropped\": %d, \"skip_considered\": %d, \
+           \"skipped_subtrees\": %d, \"skipped_bytes\": %d}%s\n"
+          r.o_case r.o_mode r.o_events
+          (json_float r.o_ns_per_event)
+          (json_float r.o_overhead_pct)
+          r.o_trace_events r.o_dropped r.o_skip_considered
+          r.o_skipped_subtrees r.o_skipped_bytes
+          (if i = List.length obses - 1 then "" else ","))
+      obses;
     Printf.fprintf oc "  ]\n}\n";
     close_out oc;
     Printf.printf
       "\nwrote BENCH_engine.json (%d records, %d sessions, %d analyses, %d \
-       resilience points)\n"
+       resilience points, %d obs points)\n"
       (List.length records) (List.length sessions) (List.length analyses)
-      (List.length resiliences)
+      (List.length resiliences) (List.length obses)
   end
 
 (* Shared identities: RSA keygen is slow, reuse across experiments. *)
@@ -1107,10 +1155,12 @@ let e15_session_cache () =
         make_world ~profile:Cost.fleet ~doc ~rules ~subject:"u" ()
       in
       let host =
-        Remote_card.Host.create ~card:card2 ~resolve:(fun id ->
+        Remote_card.Host.create ~card:card2
+          ~resolve:(fun id ->
             Option.map
               (fun p -> Publish.to_source p ~delivery:`Pull)
               (Store.get_document store2 id))
+          ()
       in
       let pool =
         Proxy.Pool.create ~store:store2
@@ -1272,10 +1322,12 @@ let e17_resilience () =
       make_world ~profile:Cost.fleet ~doc ~rules ~subject:"u" ()
     in
     let host =
-      Remote_card.Host.create ~card ~resolve:(fun id ->
+      Remote_card.Host.create ~card
+        ~resolve:(fun id ->
           Option.map
             (fun p -> Publish.to_source p ~delivery:`Pull)
             (Store.get_document store id))
+        ()
     in
     let link =
       Fault.Link.wrap ~schedule
@@ -1350,6 +1402,119 @@ let e17_resilience () =
      typed errors - never into a wrong view."
 
 (* ------------------------------------------------------------------ *)
+(* E18: observability overhead                                         *)
+(* ------------------------------------------------------------------ *)
+
+let e18_observability () =
+  header "E18"
+    "observability overhead: indexed evaluation with tracing off / \
+     metrics-only / sampled / full (wall clock)";
+  let rng = Rng.create 14L in
+  (* The E14 document and rule set, so the prune histogram below reads
+     against the dispatch-ablation numbers. *)
+  let doc = Generator.hospital rng ~patients:(if !smoke then 10 else 60) in
+  let rules =
+    [
+      Rule.allow ~subject:"u" "//patient";
+      Rule.deny ~subject:"u" "//ssn";
+      Rule.allow ~subject:"u" "//folder/prescription/drug";
+      Rule.deny ~subject:"u" "//comment";
+      Rule.deny ~subject:"u" {|//patient[age>"80"]|};
+    ]
+  in
+  let encoded =
+    Encode.encode ~mode:(Encode.Indexed { recursive = true }) doc
+  in
+  let mk_obs = function
+    | "off" -> None
+    | "metrics" -> Some (Obs.create ~tracing:false ())
+    | "sampled" -> Some (Obs.create ~sample_1_in:8 ())
+    | "full" -> Some (Obs.create ())
+    | m -> invalid_arg m
+  in
+  (* Warm up caches before the first measured mode, so "off" (measured
+     first, the baseline) is not charged the cold start. *)
+  for _ = 1 to 3 do
+    ignore (Indexed_engine.run rules encoded)
+  done;
+  Printf.printf "%-8s %12s %10s %10s %9s\n" "mode" "ns/event" "overhead"
+    "trace_ev" "dropped";
+  let baseline = ref Float.nan in
+  List.iter
+    (fun mode ->
+      (* Steady-state cost: one long-lived scope reused across iterations,
+         the way the CLI holds one scope per invocation. *)
+      let obs = mk_obs mode in
+      let ns =
+        ns_of ~name:("obs-" ^ mode) (fun () ->
+            ignore (Indexed_engine.run ?obs rules encoded))
+      in
+      (* A fresh scope for the recorded-event and skip-metric numbers. *)
+      let fresh = mk_obs mode in
+      let res = Indexed_engine.run ?obs:fresh rules encoded in
+      let events = res.Indexed_engine.events_fed in
+      let per_event = ns /. float_of_int (max 1 events) in
+      if mode = "off" then baseline := per_event;
+      let overhead = 100.0 *. (per_event -. !baseline) /. !baseline in
+      let trace_ev, dropped, considered =
+        match fresh with
+        | None -> (0, 0, 0)
+        | Some o ->
+            ( Obs.Tracer.recorded o.Obs.tracer,
+              Obs.Tracer.dropped o.Obs.tracer,
+              Obs.Metrics.counter_value o.Obs.metrics "skip.considered" )
+      in
+      record_obs ~case:"hospital" ~mode ~events ~ns_per_event:per_event
+        ~overhead_pct:overhead ~trace_events:trace_ev ~dropped
+        ~skip_considered:considered
+        ~skipped_subtrees:res.Indexed_engine.skipped_subtrees
+        ~skipped_bytes:res.Indexed_engine.skipped_bytes;
+      Printf.printf "%-8s %12.0f %9.1f%% %10d %9d\n" mode per_event overhead
+        trace_ev dropped)
+    [ "off"; "metrics"; "sampled"; "full" ];
+  (* Prune-ratio histogram: a narrow rule set over the same document —
+     the E14 rules touch every department, so nothing is skippable; one
+     deep allow makes the index jump everything else, and the scope's
+     [skip.*] cells record what was jumped and how big it was. *)
+  let prune_obs = Obs.create () in
+  let prune_res =
+    Indexed_engine.run ~obs:prune_obs
+      [ Rule.allow ~subject:"u" "//folder/prescription/drug" ]
+      encoded
+  in
+  let m = prune_obs.Obs.metrics in
+  let considered = Obs.Metrics.counter_value m "skip.considered" in
+  let pruned = Obs.Metrics.counter_value m "skip.pruned_subtrees" in
+  record_obs ~case:"hospital-prune" ~mode:"full"
+    ~events:prune_res.Indexed_engine.events_fed ~ns_per_event:Float.nan
+    ~overhead_pct:Float.nan
+    ~trace_events:(Obs.Tracer.recorded prune_obs.Obs.tracer)
+    ~dropped:(Obs.Tracer.dropped prune_obs.Obs.tracer)
+    ~skip_considered:considered
+    ~skipped_subtrees:prune_res.Indexed_engine.skipped_subtrees
+    ~skipped_bytes:prune_res.Indexed_engine.skipped_bytes;
+  Printf.printf
+    "\nskip-prune under a narrow rule set (//folder/prescription/drug) on \
+     the E14 document:\n\
+     %d/%d considered subtrees pruned (%.0f%%), %d bytes jumped; \
+     pruned-subtree sizes (log2 buckets):\n"
+    pruned considered
+    (100.0 *. float_of_int pruned /. float_of_int (max 1 considered))
+    prune_res.Indexed_engine.skipped_bytes;
+  (match List.assoc_opt "skip.subtree_bytes" (Obs.Metrics.snapshot m) with
+  | Some (Obs.Metrics.Histogram_v { buckets; _ }) ->
+      List.iter
+        (fun (ub, n) ->
+          if n > 0 then Printf.printf "  <= %6d bytes: %d\n" ub n)
+        buckets
+  | _ -> ());
+  print_endline
+    "\nshape check: the metrics-only path stays within noise of tracing\n\
+     off (a cell update is a single store; the registry is only read at\n\
+     snapshot time); full tracing pays a ring write per span/instant and\n\
+     sampling sits in between, scaling with the kept fraction."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1372,6 +1537,7 @@ let experiments =
     ("E15", "session-cache", e15_session_cache);
     ("E16", "static-analysis", e16_static_analysis);
     ("E17", "resilience", e17_resilience);
+    ("E18", "observability", e18_observability);
   ]
 
 let () =

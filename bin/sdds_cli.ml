@@ -12,6 +12,8 @@
      update-rules replace a subject's policy in a store (no re-encryption)
      query        evaluate against a store directory through a simulated
                   smart card
+     trace        query with end-to-end tracing, exporting a Chrome
+                  trace_event file and a metrics snapshot
      analyze      static policy analysis: dead/shadowed rules, schema
                   unsatisfiability, allow/deny overlaps with witnesses,
                   and the static SOE memory bound
@@ -77,6 +79,71 @@ let or_die = function
 
 let or_die_io r =
   or_die (Result.map_error Sdds_dsp.Store_io.string_of_error r)
+
+(* Observability plumbing shared by query / trace / analyze. *)
+
+let trace_flag =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record spans and metrics for this invocation (implied by \
+           $(b,--trace-out)). Without an output flag the summary goes to \
+           stderr.")
+
+let trace_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the span trace to FILE: Chrome trace_event JSON (open in \
+           about:tracing or Perfetto), or JSONL when FILE ends in .jsonl.")
+
+let metrics_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the metrics snapshot to FILE: JSON, or Prometheus text \
+           when FILE ends in .prom.")
+
+let write_text path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+let obs_scope ~trace ~trace_out ~metrics_out =
+  if trace || Option.is_some trace_out || Option.is_some metrics_out then
+    Some
+      (Sdds_obs.Obs.create ~tracing:(trace || Option.is_some trace_out) ())
+  else None
+
+let obs_export obs ~trace_out ~metrics_out =
+  match obs with
+  | None -> ()
+  | Some o ->
+      let tr = o.Sdds_obs.Obs.tracer in
+      if Sdds_obs.Obs.Tracer.enabled tr then
+        Format.eprintf "trace: %d events, %d root spans, %d dropped@."
+          (Sdds_obs.Obs.Tracer.recorded tr)
+          (Sdds_obs.Obs.Tracer.root_spans tr)
+          (Sdds_obs.Obs.Tracer.dropped tr);
+      (match trace_out with
+      | None -> ()
+      | Some path ->
+          write_text path
+            (if Filename.check_suffix path ".jsonl" then
+               Sdds_obs.Obs.Tracer.to_jsonl tr
+             else Sdds_obs.Obs.Tracer.to_chrome tr);
+          Format.eprintf "trace: wrote %s@." path);
+      (match metrics_out with
+      | None -> ()
+      | Some path ->
+          let m = o.Sdds_obs.Obs.metrics in
+          write_text path
+            (if Filename.check_suffix path ".prom" then
+               Sdds_obs.Obs.Metrics.to_prometheus m
+             else Sdds_obs.Obs.Metrics.to_json m);
+          Format.eprintf "metrics: wrote %s@." path)
 
 (* view *)
 
@@ -338,94 +405,125 @@ let update_rules_cmd =
     Term.(
       const run $ store_arg $ id_arg $ publisher_arg $ rules_arg $ version_arg)
 
+let key_arg =
+  Arg.(
+    required & opt (some file) None
+    & info [ "key" ] ~docv:"NAME.sk" ~doc:"The subject's secret key file")
+
+let fault_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "fault-spec" ] ~docv:"SPEC"
+        ~doc:
+          "Serve through a fault-injecting APDU link. SPEC is 'none', a \
+           comma list of \\@FRAME:KIND events, or seed=N,rate=F with an \
+           optional kinds=a+b filter (kinds: drop-command, drop-response, \
+           corrupt-command, corrupt-response, duplicate-command, \
+           spurious-status, tear). Same seed, same faults - failures \
+           replay deterministically.")
+
+(* Shared body of [query] and [trace]. A plain query goes through the
+   in-process proxy; with a fault spec or an observability scope it is
+   served over the APDU host through the resilient pool, so traced runs
+   show the full nesting (proxy.request > apdu > card.evaluate >
+   engine.stream) the paper's architecture actually has. Stdout is the
+   authorized view in every mode; stats go to stderr. *)
+let query_run ~force_trace store_dir doc_id subject key_path query fault_spec
+    trace trace_out metrics_out =
+  let trace_out =
+    (* [sdds trace] without --trace-out still owes the user a file. *)
+    if force_trace && trace_out = None then Some "trace.json" else trace_out
+  in
+  let obs =
+    obs_scope ~trace:(trace || force_trace) ~trace_out ~metrics_out
+  in
+  let kp = or_die_io (Sdds_dsp.Store_io.Keyfile.load_keypair ~path:key_path) in
+  let store = or_die_io (Sdds_dsp.Store_io.load ~dir:store_dir) in
+  let card =
+    Sdds_soe.Card.create ?obs ~profile:Sdds_soe.Cost.egate ~subject kp
+  in
+  match (fault_spec, obs) with
+  | None, None -> (
+      let proxy = Sdds_proxy.Proxy.create ~store ~card in
+      match Sdds_proxy.Proxy.query proxy ~doc_id ?xpath:query () with
+      | Error e ->
+          Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
+          exit 1
+      | Ok o ->
+          (match o.Sdds_proxy.Proxy.xml with
+          | Some xml -> print_endline xml
+          | None -> print_endline "<!-- nothing authorized -->");
+          let r = o.Sdds_proxy.Proxy.card_report in
+          Format.eprintf "card: %d/%d chunks, %.0f ms (simulated e-gate)@."
+            r.Sdds_soe.Card.chunks_consumed r.Sdds_soe.Card.chunks_total
+            r.Sdds_soe.Card.breakdown.Sdds_soe.Cost.total_ms)
+  | _ -> (
+      let schedule =
+        match fault_spec with
+        | None -> Sdds_fault.Fault.Schedule.none
+        | Some spec -> (
+            match Sdds_fault.Fault.Schedule.of_spec spec with
+            | Ok s -> s
+            | Error msg -> or_die (Error ("bad --fault-spec: " ^ msg)))
+      in
+      let host =
+        Sdds_soe.Remote_card.Host.create ?obs ~card
+          ~resolve:(fun id ->
+            Option.map
+              (fun p -> Sdds_dsp.Publish.to_source p ~delivery:`Pull)
+              (Sdds_dsp.Store.get_document store id))
+          ()
+      in
+      let link =
+        Sdds_fault.Fault.Link.wrap ?obs ~schedule
+          ~tear:(fun () -> Sdds_soe.Remote_card.Host.tear host)
+          (Sdds_soe.Remote_card.Host.process host)
+      in
+      let pool =
+        Sdds_proxy.Proxy.Pool.create ?obs ~store
+          ~transport:(Sdds_fault.Fault.Link.transport link) ~subject ()
+      in
+      match
+        Sdds_proxy.Proxy.Pool.serve pool
+          [ Sdds_proxy.Proxy.Request.make ?xpath:query doc_id ]
+      with
+      | [ Ok s ] ->
+          (match s.Sdds_proxy.Proxy.Pool.xml with
+          | Some xml -> print_endline xml
+          | None -> print_endline "<!-- nothing authorized -->");
+          Format.eprintf "link: %d frames, %d faults injected, %d retries@."
+            (Sdds_fault.Fault.Link.frames link)
+            (Sdds_fault.Fault.Link.injected link)
+            s.Sdds_proxy.Proxy.Pool.retries;
+          obs_export obs ~trace_out ~metrics_out
+      | [ Error e ] ->
+          Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
+          Format.eprintf "link: %d frames, %d faults injected@."
+            (Sdds_fault.Fault.Link.frames link)
+            (Sdds_fault.Fault.Link.injected link);
+          obs_export obs ~trace_out ~metrics_out;
+          exit 1
+      | _ -> assert false)
+
 let query_cmd =
-  let run store_dir doc_id subject key_path query fault_spec =
-    let kp = or_die_io (Sdds_dsp.Store_io.Keyfile.load_keypair ~path:key_path) in
-    let store = or_die_io (Sdds_dsp.Store_io.load ~dir:store_dir) in
-    let card = Sdds_soe.Card.create ~profile:Sdds_soe.Cost.egate ~subject kp in
-    match fault_spec with
-    | None -> (
-        let proxy = Sdds_proxy.Proxy.create ~store ~card in
-        match Sdds_proxy.Proxy.query proxy ~doc_id ?xpath:query () with
-        | Error e ->
-            Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
-            exit 1
-        | Ok o ->
-            (match o.Sdds_proxy.Proxy.xml with
-            | Some xml -> print_endline xml
-            | None -> print_endline "<!-- nothing authorized -->");
-            let r = o.Sdds_proxy.Proxy.card_report in
-            Format.eprintf "card: %d/%d chunks, %.0f ms (simulated e-gate)@."
-              r.Sdds_soe.Card.chunks_consumed r.Sdds_soe.Card.chunks_total
-              r.Sdds_soe.Card.breakdown.Sdds_soe.Cost.total_ms)
-    | Some spec -> (
-        (* Serve the same request over an APDU link with a fault
-           injector spliced in; the resilient pool retries, replays and
-           re-establishes as needed. Link stats go to stderr so stdout
-           stays exactly the authorized view (diffable against a
-           fault-free run). *)
-        let schedule =
-          match Sdds_fault.Fault.Schedule.of_spec spec with
-          | Ok s -> s
-          | Error msg -> or_die (Error ("bad --fault-spec: " ^ msg))
-        in
-        let host =
-          Sdds_soe.Remote_card.Host.create ~card ~resolve:(fun id ->
-              Option.map
-                (fun p -> Sdds_dsp.Publish.to_source p ~delivery:`Pull)
-                (Sdds_dsp.Store.get_document store id))
-        in
-        let link =
-          Sdds_fault.Fault.Link.wrap ~schedule
-            ~tear:(fun () -> Sdds_soe.Remote_card.Host.tear host)
-            (Sdds_soe.Remote_card.Host.process host)
-        in
-        let pool =
-          Sdds_proxy.Proxy.Pool.create ~store
-            ~transport:(Sdds_fault.Fault.Link.transport link) ~subject ()
-        in
-        match
-          Sdds_proxy.Proxy.Pool.serve pool
-            [ Sdds_proxy.Proxy.Request.make ?xpath:query doc_id ]
-        with
-        | [ Ok s ] ->
-            (match s.Sdds_proxy.Proxy.Pool.xml with
-            | Some xml -> print_endline xml
-            | None -> print_endline "<!-- nothing authorized -->");
-            Format.eprintf "link: %d frames, %d faults injected, %d retries@."
-              (Sdds_fault.Fault.Link.frames link)
-              (Sdds_fault.Fault.Link.injected link)
-              s.Sdds_proxy.Proxy.Pool.retries
-        | [ Error e ] ->
-            Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
-            Format.eprintf "link: %d frames, %d faults injected@."
-              (Sdds_fault.Fault.Link.frames link)
-              (Sdds_fault.Fault.Link.injected link);
-            exit 1
-        | _ -> assert false)
-  in
-  let key_arg =
-    Arg.(
-      required & opt (some file) None
-      & info [ "key" ] ~docv:"NAME.sk" ~doc:"The subject's secret key file")
-  in
-  let fault_arg =
-    Arg.(
-      value & opt (some string) None
-      & info [ "fault-spec" ] ~docv:"SPEC"
-          ~doc:
-            "Serve through a fault-injecting APDU link. SPEC is 'none', a \
-             comma list of \\@FRAME:KIND events, or seed=N,rate=F with an \
-             optional kinds=a+b filter (kinds: drop-command, drop-response, \
-             corrupt-command, corrupt-response, duplicate-command, \
-             spurious-status, tear). Same seed, same faults - failures \
-             replay deterministically.")
-  in
   Cmd.v
     (Cmd.info "query" ~doc:"Query a store directory through a simulated card")
     Term.(
-      const run $ store_arg $ id_arg $ subject_arg $ key_arg $ query_arg
-      $ fault_arg)
+      const (query_run ~force_trace:false)
+      $ store_arg $ id_arg $ subject_arg $ key_arg $ query_arg $ fault_arg
+      $ trace_flag $ trace_out_arg $ metrics_out_arg)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Query with end-to-end tracing: like $(b,query), but spans are \
+          always recorded and exported (default $(b,trace.json), Chrome \
+          trace_event format — open in about:tracing or Perfetto).")
+    Term.(
+      const (query_run ~force_trace:true)
+      $ store_arg $ id_arg $ subject_arg $ key_arg $ query_arg $ fault_arg
+      $ trace_flag $ trace_out_arg $ metrics_out_arg)
 
 (* analyze *)
 
@@ -479,7 +577,8 @@ let analyze_cmd =
                 them)")
   in
   let run rules rules_file subject query doc_path schema_path profile depth
-      json =
+      json trace trace_out metrics_out =
+    let obs = obs_scope ~trace ~trace_out ~metrics_out in
     let file_rules =
       match rules_file with
       | None -> []
@@ -521,13 +620,18 @@ let analyze_cmd =
       Option.map (fun p -> p.Sdds_soe.Cost.ram_bytes) profile
     in
     let report =
-      Sdds_analysis.Analyzer.run ?schema ?dictionary ?depth ?budget_bytes
-        ?query rules
+      Sdds_obs.Obs.Tracer.with_span (Sdds_obs.Obs.tracer obs)
+        ~args:[ ("rules", string_of_int (List.length rules)) ]
+        "analyze"
+        (fun () ->
+          Sdds_analysis.Analyzer.run ?schema ?dictionary ?depth ?budget_bytes
+            ?query rules)
     in
     if json then
       print_endline
         (Sdds_analysis.Json.to_string (Sdds_analysis.Analyzer.to_json report))
     else Format.printf "%a@?" Sdds_analysis.Analyzer.pp report;
+    obs_export obs ~trace_out ~metrics_out;
     if Sdds_analysis.Analyzer.has_errors report then exit 1
   in
   Cmd.v
@@ -540,7 +644,8 @@ let analyze_cmd =
           failure, or bound over the profile's budget).")
     Term.(
       const run $ rules_arg $ rules_file_arg $ subject_filter_arg $ query_arg
-      $ analyze_doc_arg $ schema_arg $ profile_arg $ depth_arg $ json_arg)
+      $ analyze_doc_arg $ schema_arg $ profile_arg $ depth_arg $ json_arg
+      $ trace_flag $ trace_out_arg $ metrics_out_arg)
 
 let () =
   let info =
@@ -554,7 +659,7 @@ let () =
     Cmd.eval ~catch:false
       (Cmd.group info
          [ view_cmd; encode_cmd; stats_cmd; demo_cmd; keygen_cmd;
-           publish_cmd; update_rules_cmd; query_cmd; analyze_cmd ])
+           publish_cmd; update_rules_cmd; query_cmd; trace_cmd; analyze_cmd ])
   with
   | code -> exit code
   | exception Invalid_argument msg ->

@@ -53,6 +53,7 @@ let () =
         if id = "ward" then
           Some (Publish.to_source published ~delivery:`Pull)
         else None)
+      ()
   in
 
   print_endline "== APDU trace (terminal -> card -> terminal) ==";

@@ -1,6 +1,7 @@
 module Ast = Sdds_xpath.Ast
 module Event = Sdds_xml.Event
 module SMap = Map.Make (String)
+module Obs = Sdds_obs.Obs
 
 type stats = {
   mutable events : int;
@@ -13,6 +14,54 @@ type stats = {
   mutable peak_state_words : int;
   mutable token_visits : int;
 }
+
+(* The accounting cells: plain mutable counters/gauges from the metrics
+   registry. The engine increments them directly (same cost as the record
+   fields they replaced) and, when an [Obs.t] scope is supplied, attaches
+   them so the registry aggregates across evaluations — {!stats} is a
+   view over these cells, not a second set of increments. *)
+type cells = {
+  c_events : Obs.Metrics.Counter.t;
+  c_emitted : Obs.Metrics.Counter.t;
+  c_delivered : Obs.Metrics.Counter.t;
+  c_suppressed : Obs.Metrics.Counter.t;
+  c_filtered : Obs.Metrics.Counter.t;
+  c_instances : Obs.Metrics.Counter.t;
+  c_token_visits : Obs.Metrics.Counter.t;
+  g_tokens : Obs.Metrics.Gauge.t;
+  g_state_words : Obs.Metrics.Gauge.t;
+  g_depth : Obs.Metrics.Gauge.t;
+  g_pending : Obs.Metrics.Gauge.t;
+}
+
+let make_cells obs =
+  let cells =
+    {
+      c_events = Obs.Metrics.Counter.create ();
+      c_emitted = Obs.Metrics.Counter.create ();
+      c_delivered = Obs.Metrics.Counter.create ();
+      c_suppressed = Obs.Metrics.Counter.create ();
+      c_filtered = Obs.Metrics.Counter.create ();
+      c_instances = Obs.Metrics.Counter.create ();
+      c_token_visits = Obs.Metrics.Counter.create ();
+      g_tokens = Obs.Metrics.Gauge.create ();
+      g_state_words = Obs.Metrics.Gauge.create ();
+      g_depth = Obs.Metrics.Gauge.create ();
+      g_pending = Obs.Metrics.Gauge.create ();
+    }
+  in
+  Obs.attach_counter obs "engine.events" cells.c_events;
+  Obs.attach_counter obs "engine.emitted" cells.c_emitted;
+  Obs.attach_counter obs "engine.delivered" cells.c_delivered;
+  Obs.attach_counter obs "engine.suppressed" cells.c_suppressed;
+  Obs.attach_counter obs "engine.filtered" cells.c_filtered;
+  Obs.attach_counter obs "engine.instances" cells.c_instances;
+  Obs.attach_counter obs "engine.token_visits" cells.c_token_visits;
+  Obs.attach_gauge obs "engine.live_tokens" cells.g_tokens;
+  Obs.attach_gauge obs "engine.state_words" cells.g_state_words;
+  Obs.attach_gauge obs "engine.frame_depth" cells.g_depth;
+  Obs.attach_gauge obs "engine.pending_instances" cells.g_pending;
+  cells
 
 type inst = {
   var : int;
@@ -73,7 +122,7 @@ type t = {
   live : (int, inst) Hashtbl.t;
   rdeps : (int, inst list ref) Hashtbl.t;
   mutable closed_root : bool;
-  st : stats;
+  st : cells;
 }
 
 let owner_key = function
@@ -230,8 +279,8 @@ let make_frame compiled ~dispatch ~ftag ~desc ~n_desc ~desc_words
     anchored;
   }
 
-let create ?(default = Rule.Deny) ?query ?(suppress = true) ?(dispatch = true)
-    ?compiled rules =
+let create ?obs ?(default = Rule.Deny) ?query ?(suppress = true)
+    ?(dispatch = true) ?compiled rules =
   let compiled =
     match compiled with
     | Some c -> c
@@ -264,18 +313,7 @@ let create ?(default = Rule.Deny) ?query ?(suppress = true) ?(dispatch = true)
     live = Hashtbl.create 64;
     rdeps = Hashtbl.create 64;
     closed_root = false;
-    st =
-      {
-        events = 0;
-        emitted = 0;
-        delivered = 0;
-        suppressed = 0;
-        filtered = 0;
-        instances = 0;
-        peak_tokens = 0;
-        peak_state_words = 0;
-        token_visits = 0;
-      };
+    st = make_cells obs;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -302,10 +340,10 @@ let state_words t =
 let live_tokens t = List.fold_left (fun a f -> a + f.n_tokens) 0 t.frames
 
 let bump_peaks t =
-  let tokens = live_tokens t in
-  if tokens > t.st.peak_tokens then t.st.peak_tokens <- tokens;
-  let words = state_words t in
-  if words > t.st.peak_state_words then t.st.peak_state_words <- words
+  Obs.Metrics.Gauge.set t.st.g_tokens (live_tokens t);
+  Obs.Metrics.Gauge.set t.st.g_state_words (state_words t);
+  Obs.Metrics.Gauge.set t.st.g_depth (List.length t.frames - 1);
+  Obs.Metrics.Gauge.set t.st.g_pending (Hashtbl.length t.live)
 
 (* ------------------------------------------------------------------ *)
 (* Condition resolution                                                *)
@@ -440,7 +478,7 @@ let open_tag t tag =
                 { var = t.next_var; cpred; value = None; candidates = [] }
               in
               t.next_var <- t.next_var + 1;
-              t.st.instances <- t.st.instances + 1;
+              Obs.Metrics.Counter.inc t.st.c_instances;
               Hashtbl.add created pred_id inst;
               Hashtbl.add t.live inst.var inst;
               anchored_here := inst :: !anchored_here;
@@ -505,7 +543,7 @@ let open_tag t tag =
             end
       in
       let visited = visited_tokens parent tag in
-      t.st.token_visits <- t.st.token_visits + List.length visited;
+      Obs.Metrics.Counter.add t.st.c_token_visits (List.length visited);
       List.iter advance visited;
       let tokens = List.sort_uniq compare_tokens !new_tokens in
       (* Conflict resolution (Denial-Takes-Precedence at this node,
@@ -596,14 +634,14 @@ let open_tag t tag =
           ~watchers:!new_watchers ~anchored:!anchored_here tokens
       in
       t.frames <- frame :: t.frames;
-      if suppressed then t.st.suppressed <- t.st.suppressed + 1
+      if suppressed then Obs.Metrics.Counter.inc t.st.c_suppressed
       else begin
-        t.st.delivered <- t.st.delivered + 1;
+        Obs.Metrics.Counter.inc t.st.c_delivered;
         out := Output.Open_node { tag; neg; pos; query } :: !out
       end;
       bump_peaks t;
       let outs = List.rev !out in
-      t.st.emitted <- t.st.emitted + List.length outs;
+      Obs.Metrics.Counter.add t.st.c_emitted (List.length outs);
       outs
 
 (* ------------------------------------------------------------------ *)
@@ -632,14 +670,14 @@ let value t v =
          weight. A dropped value on an *unsuppressed* frame is counted as
          filtered so the accounting reconciles:
          events = delivered + suppressed + filtered. *)
-      if f.suppressed then t.st.suppressed <- t.st.suppressed + 1
+      if f.suppressed then Obs.Metrics.Counter.inc t.st.c_suppressed
       else if f.det <> Det_deny && f.scope <> Out_scope then begin
-        t.st.delivered <- t.st.delivered + 1;
+        Obs.Metrics.Counter.inc t.st.c_delivered;
         out := Output.Text_node v :: !out
       end
-      else t.st.filtered <- t.st.filtered + 1;
+      else Obs.Metrics.Counter.inc t.st.c_filtered;
       let outs = List.rev !out in
-      t.st.emitted <- t.st.emitted + List.length outs;
+      Obs.Metrics.Counter.add t.st.c_emitted (List.length outs);
       outs
 
 (* ------------------------------------------------------------------ *)
@@ -665,19 +703,19 @@ let close t tag =
           Hashtbl.remove t.live inst.var)
         f.anchored;
       if not f.suppressed then begin
-        t.st.delivered <- t.st.delivered + 1;
+        Obs.Metrics.Counter.inc t.st.c_delivered;
         out := Output.Close_node tag :: !out
       end
-      else t.st.suppressed <- t.st.suppressed + 1;
+      else Obs.Metrics.Counter.inc t.st.c_suppressed;
       (match rest with
       | [ _root ] -> t.closed_root <- true
       | _ -> ());
       let outs = List.rev !out in
-      t.st.emitted <- t.st.emitted + List.length outs;
+      Obs.Metrics.Counter.add t.st.c_emitted (List.length outs);
       outs
 
 let feed t ev =
-  t.st.events <- t.st.events + 1;
+  Obs.Metrics.Counter.inc t.st.c_events;
   match ev with
   | Event.Open tag -> open_tag t tag
   | Event.Value v -> value t v
@@ -688,8 +726,8 @@ let finish t =
   | [ _root ] when t.closed_root -> ()
   | _ -> invalid_arg "Engine.finish: document incomplete"
 
-let run ?default ?query ?suppress ?dispatch rules events =
-  let t = create ?default ?query ?suppress ?dispatch rules in
+let run ?obs ?default ?query ?suppress ?dispatch rules events =
+  let t = create ?obs ?default ?query ?suppress ?dispatch rules in
   let outs = List.concat_map (feed t) events in
   finish t;
   outs
@@ -805,5 +843,19 @@ let subtree_skippable t ~tag ~tag_possible ~nonempty =
                         sp.Compile.source = Compile.Query_src))))
       with Not_skippable -> false)
 
-let stats t = t.st
+(* The legacy record, built fresh from the cells: a compatibility view,
+   not live state. *)
+let stats t =
+  {
+    events = Obs.Metrics.Counter.value t.st.c_events;
+    emitted = Obs.Metrics.Counter.value t.st.c_emitted;
+    delivered = Obs.Metrics.Counter.value t.st.c_delivered;
+    suppressed = Obs.Metrics.Counter.value t.st.c_suppressed;
+    filtered = Obs.Metrics.Counter.value t.st.c_filtered;
+    instances = Obs.Metrics.Counter.value t.st.c_instances;
+    peak_tokens = Obs.Metrics.Gauge.peak t.st.g_tokens;
+    peak_state_words = Obs.Metrics.Gauge.peak t.st.g_state_words;
+    token_visits = Obs.Metrics.Counter.value t.st.c_token_visits;
+  }
+
 let depth t = List.length t.frames - 1

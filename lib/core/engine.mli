@@ -27,6 +27,7 @@
 type t
 
 val create :
+  ?obs:Sdds_obs.Obs.t ->
   ?default:Rule.sign ->
   ?query:Sdds_xpath.Ast.t ->
   ?suppress:bool ->
@@ -50,7 +51,16 @@ val create :
     map. Disabling it reproduces the naive linear scan over every live
     token — both modes produce byte-identical output streams (the
     differential tests enforce this), and the naive mode serves as the
-    oracle. *)
+    oracle.
+
+    [obs] attaches the engine's accounting cells to a metrics registry
+    (names [engine.events], [engine.delivered], [engine.suppressed],
+    [engine.filtered], [engine.emitted], [engine.instances],
+    [engine.token_visits]; gauges [engine.live_tokens],
+    [engine.state_words], [engine.frame_depth],
+    [engine.pending_instances]). The cells exist either way — {!stats} is
+    a view over them — so instrumented and uninstrumented runs are
+    behaviourally identical. *)
 
 val feed : t -> Sdds_xml.Event.t -> Output.t list
 (** Process one event. Raises [Invalid_argument] on a non-well-formed
@@ -62,6 +72,7 @@ val finish : t -> unit
     Raises [Invalid_argument] otherwise. *)
 
 val run :
+  ?obs:Sdds_obs.Obs.t ->
   ?default:Rule.sign ->
   ?query:Sdds_xpath.Ast.t ->
   ?suppress:bool ->

@@ -2,6 +2,7 @@ module Rng = Sdds_util.Rng
 module Apdu = Sdds_soe.Apdu
 module Remote = Sdds_soe.Remote_card
 module Store_io = Sdds_dsp.Store_io
+module Obs = Sdds_obs.Obs
 
 type kind =
   | Drop_command
@@ -179,16 +180,19 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Link = struct
+  type traced = { event : event; span : int }
+
   type t = {
     inner : Remote.Client.transport;
     schedule : Schedule.t;
     on_tear : (unit -> unit) option;
+    obs : Obs.t option;
     mutable frame : int;
-    mutable trace : event list;  (* newest first *)
+    mutable trace : traced list;  (* newest first *)
   }
 
-  let wrap ~schedule ?tear inner =
-    { inner; schedule; on_tear = tear; frame = 0; trace = [] }
+  let wrap ?obs ~schedule ?tear inner =
+    { inner; schedule; on_tear = tear; obs; frame = 0; trace = [] }
 
   let sw (sw1, sw2) = { Apdu.sw1; sw2; payload = "" }
 
@@ -206,7 +210,17 @@ module Link = struct
     let n = t.frame in
     t.frame <- n + 1;
     let inject kind =
-      t.trace <- { frame = n; kind } :: t.trace;
+      (* Record which request span the fault landed in: the pool re-roots
+         the span stack at the request before every exchange, so
+         [current] is the victim request (or [none] outside tracing). *)
+      let tr = Obs.tracer t.obs in
+      let span = Obs.Tracer.current tr in
+      t.trace <- { event = { frame = n; kind }; span } :: t.trace;
+      Obs.inc t.obs "fault.injected" 1;
+      Obs.Tracer.instant tr
+        ~args:
+          [ ("kind", kind_to_string kind); ("frame", string_of_int n) ]
+        "fault";
       match kind with
       | Drop_command | Corrupt_command -> sw Remote.Sw.transport
       | Drop_response | Corrupt_response ->
@@ -232,7 +246,8 @@ module Link = struct
   let transport t = send t
   let frames t = t.frame
   let injected t = List.length t.trace
-  let trace t = List.rev t.trace
+  let trace t = List.rev_map (fun x -> x.event) t.trace
+  let traced t = List.rev t.trace
 end
 
 (* ------------------------------------------------------------------ *)

@@ -81,7 +81,15 @@ end
 module Link : sig
   type t
 
+  type traced = { event : event; span : int }
+  (** One injected fault plus the tracer span it landed in —
+      [Sdds_obs.Obs.Tracer.none] (0) when the link was wrapped without an
+      observability scope or the fault fired outside any span. Merging
+      {!traced} with the tracer's export yields a single timeline of
+      requests and the faults that hit them. *)
+
   val wrap :
+    ?obs:Sdds_obs.Obs.t ->
     schedule:Schedule.t ->
     ?tear:(unit -> unit) ->
     Sdds_soe.Remote_card.Client.transport ->
@@ -89,7 +97,11 @@ module Link : sig
   (** [wrap ~schedule ?tear inner] interposes the schedule on [inner].
       [tear] is invoked when a {!kind.Tear} fires — pass
       [fun () -> Remote_card.Host.tear host]; without it a tear degrades
-      to a dropped command. *)
+      to a dropped command.
+
+      [obs] logs every injection as a [fault] instant on the current
+      request span, counts [fault.injected], and records the span id in
+      {!traced}. *)
 
   val transport : t -> Sdds_soe.Remote_card.Client.transport
   (** The faulty transport to hand to {!Sdds_soe.Remote_card.Client} or
@@ -104,6 +116,9 @@ module Link : sig
   val trace : t -> event list
   (** Chronological log of every injected fault — feed it to
       {!Schedule.of_events} to replay this exact run. *)
+
+  val traced : t -> traced list
+  (** The same log with the span each fault was correlated to. *)
 end
 
 (** Deterministic disk faults, armed on {!Sdds_dsp.Store_io}'s global

@@ -1,6 +1,7 @@
 module Engine = Sdds_core.Engine
 module Reassembler = Sdds_core.Reassembler
 module Event = Sdds_xml.Event
+module Obs = Sdds_obs.Obs
 
 type result = {
   outputs : Sdds_core.Output.t list;
@@ -14,14 +15,15 @@ type result = {
   reader_peak_words : int;
 }
 
-let run ?default ?query ?(suppress = true) ?dispatch ?(use_index = true)
+let run ?obs ?default ?query ?(suppress = true) ?dispatch ?(use_index = true)
     ?compiled rules encoded =
+  let tr = Obs.tracer obs in
   let reader = Reader.create encoded in
   let indexed =
     use_index && (match Reader.mode reader with Encode.Indexed _ -> true | Encode.Plain -> false)
   in
   let engine =
-    Engine.create ?default ?query ~suppress ?dispatch ?compiled rules
+    Engine.create ?obs ?default ?query ~suppress ?dispatch ?compiled rules
   in
   let outputs = ref [] in
   let skipped_subtrees = ref 0 in
@@ -43,6 +45,7 @@ let run ?default ?query ?(suppress = true) ?dispatch ?(use_index = true)
               &&
               match tags with
               | Some tags ->
+                  Obs.inc obs "skip.considered" 1;
                   Engine.subtree_skippable engine ~tag
                     ~tag_possible:(Reader.tag_possible reader tags)
                     ~nonempty:true
@@ -53,17 +56,33 @@ let run ?default ?query ?(suppress = true) ?dispatch ?(use_index = true)
               let len = Reader.skip_subtree reader in
               skipped_bytes := !skipped_bytes + len;
               skipped_ranges := (start, len) :: !skipped_ranges;
-              incr skipped_subtrees
+              incr skipped_subtrees;
+              Obs.inc obs "skip.pruned_subtrees" 1;
+              Obs.inc obs "skip.pruned_bytes" len;
+              Obs.observe obs "skip.subtree_bytes" len;
+              Obs.Tracer.instant tr
+                ~args:
+                  [ ("tag", tag); ("offset", string_of_int start);
+                    ("bytes", string_of_int len) ]
+                "skip.prune"
             end
             else feed (Event.Open tag))
         | Reader.Text v -> feed (Event.Value v)
         | Reader.Close tag -> feed (Event.Close tag));
         loop ()
   in
-  loop ();
-  (* The root subtree itself may have been skipped — the engine then saw
-     nothing at all, and the view is empty. *)
-  if !events_fed > 0 then Engine.finish engine;
+  let span = Obs.Tracer.start tr "engine.stream" in
+  Obs.Tracer.with_parent tr span (fun () ->
+      loop ();
+      (* The root subtree itself may have been skipped — the engine then
+         saw nothing at all, and the view is empty. *)
+      if !events_fed > 0 then Engine.finish engine);
+  Obs.Tracer.stop tr
+    ~args:
+      [ ("events", string_of_int !events_fed);
+        ("skipped_subtrees", string_of_int !skipped_subtrees);
+        ("skipped_bytes", string_of_int !skipped_bytes) ]
+    span;
   let outputs = List.rev !outputs in
   let view = Reassembler.run ?default ~has_query:(query <> None) outputs in
   {

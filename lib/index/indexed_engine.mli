@@ -23,6 +23,7 @@ type result = {
 }
 
 val run :
+  ?obs:Sdds_obs.Obs.t ->
   ?default:Sdds_core.Rule.sign ->
   ?query:Sdds_xpath.Ast.t ->
   ?suppress:bool ->
@@ -38,4 +39,9 @@ val run :
     is fed, which is the no-index baseline. [dispatch] and [compiled] are
     passed through to [Engine.create] (tag-indexed token dispatch, default
     on; and a precompiled automaton set — the prepared-evaluation cache
-    hook). *)
+    hook).
+
+    [obs] wraps the pass in an [engine.stream] span (one [skip.prune]
+    instant per jumped subtree) and feeds the [skip.*] metrics
+    ([considered], [pruned_subtrees], [pruned_bytes], and the
+    [subtree_bytes] histogram) alongside the engine's own cells. *)

@@ -1,0 +1,556 @@
+module Clock = struct
+  type t = unit -> int64
+
+  let system () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+  let manual ?(start_ns = 0L) ?(step_ns = 1000L) () =
+    let t = ref start_ns in
+    fun () ->
+      let v = !t in
+      t := Int64.add !t step_ns;
+      v
+end
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers (no dependency on the analysis writer: obs sits below
+   every other library).                                               *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let json_args args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_string k ^ ":" ^ json_string v) args)
+  ^ "}"
+
+module Metrics = struct
+  module Counter = struct
+    type t = { mutable n : int; mutable registered : bool }
+
+    let create () = { n = 0; registered = false }
+    let inc c = c.n <- c.n + 1
+    let add c k = c.n <- c.n + k
+    let value c = c.n
+  end
+
+  module Gauge = struct
+    type t = { mutable v : int; mutable p : int; mutable registered : bool }
+
+    let create () = { v = 0; p = 0; registered = false }
+
+    let set g x =
+      g.v <- x;
+      if x > g.p then g.p <- x
+
+    let value g = g.v
+    let peak g = g.p
+  end
+
+  module Histogram = struct
+    let max_buckets = 63
+
+    type t = {
+      counts : int array;
+      mutable total : int;
+      mutable sum : int;
+      mutable registered : bool;
+    }
+
+    let create () =
+      { counts = Array.make max_buckets 0; total = 0; sum = 0;
+        registered = false }
+
+    (* Smallest [i] with [v < 2^i]: 0 -> 0, 1 -> 1, 255 -> 8, ... *)
+    let bucket_of v =
+      let rec go i =
+        if i >= max_buckets - 1 || v < 1 lsl i then i else go (i + 1)
+      in
+      go 0
+
+    let observe h v =
+      let v = max 0 v in
+      let i = bucket_of v in
+      h.counts.(i) <- h.counts.(i) + 1;
+      h.total <- h.total + 1;
+      h.sum <- h.sum + v
+
+    let count h = h.total
+    let sum h = h.sum
+
+    let last_nonempty h =
+      let rec go i = if i < 0 then -1 else if h.counts.(i) > 0 then i else go (i - 1) in
+      go (max_buckets - 1)
+
+    let buckets h =
+      let hi = last_nonempty h in
+      List.init (hi + 1) (fun i -> ((1 lsl i) - 1, h.counts.(i)))
+  end
+
+  (* Per kind: registry-owned cells (get-or-create) and attached
+     component cells (multi-bound). The hot path touches only the cell;
+     the registry is read at snapshot time. *)
+  type t = {
+    own_c : (string, Counter.t) Hashtbl.t;
+    own_g : (string, Gauge.t) Hashtbl.t;
+    own_h : (string, Histogram.t) Hashtbl.t;
+    att_c : (string, Counter.t list ref) Hashtbl.t;
+    att_g : (string, Gauge.t list ref) Hashtbl.t;
+    att_h : (string, Histogram.t list ref) Hashtbl.t;
+  }
+
+  let create () =
+    {
+      own_c = Hashtbl.create 32;
+      own_g = Hashtbl.create 16;
+      own_h = Hashtbl.create 16;
+      att_c = Hashtbl.create 32;
+      att_g = Hashtbl.create 16;
+      att_h = Hashtbl.create 16;
+    }
+
+  let get_or_create tbl make name =
+    match Hashtbl.find_opt tbl name with
+    | Some c -> c
+    | None ->
+        let c = make () in
+        Hashtbl.add tbl name c;
+        c
+
+  let counter t name = get_or_create t.own_c Counter.create name
+  let gauge t name = get_or_create t.own_g Gauge.create name
+  let histogram t name = get_or_create t.own_h Histogram.create name
+
+  (* O(1): long-lived scopes attach a fresh set of cells per evaluation
+     (every [Engine.create]), so a membership scan of the per-name list
+     would turn the hot path quadratic over a session. The flag on the
+     cell carries the only promise we need — a registered cell is never
+     double-counted. *)
+  let attach tbl name cell =
+    match Hashtbl.find_opt tbl name with
+    | Some l -> l := cell :: !l
+    | None -> Hashtbl.add tbl name (ref [ cell ])
+
+  let attach_counter t name (c : Counter.t) =
+    if not c.Counter.registered then begin
+      c.Counter.registered <- true;
+      attach t.att_c name c
+    end
+
+  let attach_gauge t name (g : Gauge.t) =
+    if not g.Gauge.registered then begin
+      g.Gauge.registered <- true;
+      attach t.att_g name g
+    end
+
+  let attach_histogram t name (h : Histogram.t) =
+    if not h.Histogram.registered then begin
+      h.Histogram.registered <- true;
+      attach t.att_h name h
+    end
+
+  type value =
+    | Counter_v of int
+    | Gauge_v of { value : int; peak : int }
+    | Histogram_v of { count : int; sum : int; buckets : (int * int) list }
+
+  let cells tbl att name =
+    Option.to_list (Hashtbl.find_opt tbl name)
+    @ (match Hashtbl.find_opt att name with Some l -> !l | None -> [])
+
+  let counter_value t name =
+    List.fold_left (fun a c -> a + Counter.value c) 0 (cells t.own_c t.att_c name)
+
+  let gauge_value t name =
+    List.fold_left
+      (fun (v, p) g -> (v + Gauge.value g, max p (Gauge.peak g)))
+      (0, 0)
+      (cells t.own_g t.att_g name)
+
+  let histogram_value t name =
+    let hs = cells t.own_h t.att_h name in
+    let count = List.fold_left (fun a h -> a + Histogram.count h) 0 hs in
+    let sum = List.fold_left (fun a h -> a + Histogram.sum h) 0 hs in
+    let hi =
+      List.fold_left (fun a h -> max a (Histogram.last_nonempty h)) (-1) hs
+    in
+    let buckets =
+      List.init (hi + 1) (fun i ->
+          ( (1 lsl i) - 1,
+            List.fold_left (fun a h -> a + h.Histogram.counts.(i)) 0 hs ))
+    in
+    (count, sum, buckets)
+
+  let names tbl att =
+    Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+    @ Hashtbl.fold (fun k _ acc -> k :: acc) att []
+
+  let snapshot t =
+    let c = List.sort_uniq String.compare (names t.own_c t.att_c) in
+    let g = List.sort_uniq String.compare (names t.own_g t.att_g) in
+    let h = List.sort_uniq String.compare (names t.own_h t.att_h) in
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (List.map (fun n -> (n, Counter_v (counter_value t n))) c
+      @ List.map
+          (fun n ->
+            let value, peak = gauge_value t n in
+            (n, Gauge_v { value; peak }))
+          g
+      @ List.map
+          (fun n ->
+            let count, sum, buckets = histogram_value t n in
+            (n, Histogram_v { count; sum; buckets }))
+          h)
+
+  let mangle name =
+    "sdds_"
+    ^ String.map (fun c -> if c = '.' || c = '-' then '_' else c) name
+
+  let to_prometheus t =
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun (name, v) ->
+        let m = mangle name in
+        match v with
+        | Counter_v n ->
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" m);
+            Buffer.add_string buf (Printf.sprintf "%s %d\n" m n)
+        | Gauge_v { value; peak } ->
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" m);
+            Buffer.add_string buf (Printf.sprintf "%s %d\n" m value);
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s_peak gauge\n" m);
+            Buffer.add_string buf (Printf.sprintf "%s_peak %d\n" m peak)
+        | Histogram_v { count; sum; buckets } ->
+            Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" m);
+            let cum = ref 0 in
+            List.iter
+              (fun (le, n) ->
+                cum := !cum + n;
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" m le !cum))
+              buckets;
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m count);
+            Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" m sum);
+            Buffer.add_string buf (Printf.sprintf "%s_count %d\n" m count))
+      (snapshot t);
+    Buffer.contents buf
+
+  let to_json t =
+    let snap = snapshot t in
+    let pick f = List.filter_map f snap in
+    let counters =
+      pick (function
+        | n, Counter_v v -> Some (Printf.sprintf "%s:%d" (json_string n) v)
+        | _ -> None)
+    in
+    let gauges =
+      pick (function
+        | n, Gauge_v { value; peak } ->
+            Some
+              (Printf.sprintf "%s:{\"value\":%d,\"peak\":%d}" (json_string n)
+                 value peak)
+        | _ -> None)
+    in
+    let histograms =
+      pick (function
+        | n, Histogram_v { count; sum; buckets } ->
+            let bs =
+              String.concat ","
+                (List.map (fun (le, c) -> Printf.sprintf "[%d,%d]" le c) buckets)
+            in
+            Some
+              (Printf.sprintf "%s:{\"count\":%d,\"sum\":%d,\"buckets\":[%s]}"
+                 (json_string n) count sum bs)
+        | _ -> None)
+    in
+    Printf.sprintf
+      "{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}}"
+      (String.concat "," counters)
+      (String.concat "," gauges)
+      (String.concat "," histograms)
+end
+
+module Tracer = struct
+  type span = int
+
+  let none = 0
+
+  type ev = {
+    e_span : bool;
+    e_id : int;
+    e_parent : int;
+    e_name : string;
+    e_start : int64;
+    e_dur : int64;
+    e_args : (string * string) list;
+  }
+
+  let dummy_ev =
+    { e_span = false; e_id = 0; e_parent = 0; e_name = ""; e_start = 0L;
+      e_dur = 0L; e_args = [] }
+
+  type open_span = {
+    o_name : string;
+    o_parent : int;
+    o_start : int64;
+    o_args : (string * string) list;
+  }
+
+  type t = {
+    on : bool;
+    clock : Clock.t;
+    cap : int;
+    sample : int;
+    ring : ev array;
+    mutable head : int;  (* index of the oldest event *)
+    mutable len : int;
+    mutable dropped : int;
+    mutable next_id : int;
+    mutable stack : int list;  (* implicit current-span path *)
+    opens : (int, open_span) Hashtbl.t;
+    mutable roots_seen : int;  (* root candidates, for sampling *)
+  }
+
+  let disabled =
+    {
+      on = false;
+      clock = (fun () -> 0L);
+      cap = 0;
+      sample = 1;
+      ring = [||];
+      head = 0;
+      len = 0;
+      dropped = 0;
+      next_id = 1;
+      stack = [];
+      opens = Hashtbl.create 1;
+      roots_seen = 0;
+    }
+
+  let create ?(clock = Clock.system) ?(capacity = 65536) ?(sample_1_in = 1) () =
+    if capacity < 1 then invalid_arg "Tracer.create: capacity < 1";
+    if sample_1_in < 1 then invalid_arg "Tracer.create: sample_1_in < 1";
+    {
+      on = true;
+      clock;
+      cap = capacity;
+      sample = sample_1_in;
+      ring = Array.make capacity dummy_ev;
+      head = 0;
+      len = 0;
+      dropped = 0;
+      next_id = 1;
+      stack = [];
+      opens = Hashtbl.create 64;
+      roots_seen = 0;
+    }
+
+  let enabled t = t.on
+  let now t = if t.on then t.clock () else 0L
+
+  let push t ev =
+    if t.len < t.cap then begin
+      t.ring.((t.head + t.len) mod t.cap) <- ev;
+      t.len <- t.len + 1
+    end
+    else begin
+      t.ring.(t.head) <- ev;
+      t.head <- (t.head + 1) mod t.cap;
+      t.dropped <- t.dropped + 1
+    end
+
+  let current t = match t.stack with s :: _ -> s | [] -> none
+
+  (* Negative ids are sampled-out spans: they propagate through
+     [parent]/[current] so a sampled-out root suppresses its whole
+     subtree, and every operation on them is a no-op. *)
+  let fresh t ~parent name args =
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Hashtbl.replace t.opens id
+      { o_name = name; o_parent = parent; o_start = t.clock (); o_args = args };
+    id
+
+  let start t ?parent ?(args = []) name =
+    if not t.on then none
+    else
+      let parent = match parent with Some p -> p | None -> current t in
+      if parent < 0 then -1
+      else if parent = none then begin
+        let n = t.roots_seen in
+        t.roots_seen <- n + 1;
+        if t.sample > 1 && n mod t.sample <> 0 then -1
+        else fresh t ~parent:none name args
+      end
+      else fresh t ~parent name args
+
+  let stop t ?(args = []) span =
+    if t.on && span > 0 then
+      match Hashtbl.find_opt t.opens span with
+      | None -> ()
+      | Some o ->
+          Hashtbl.remove t.opens span;
+          let stop_ns = t.clock () in
+          push t
+            {
+              e_span = true;
+              e_id = span;
+              e_parent = o.o_parent;
+              e_name = o.o_name;
+              e_start = o.o_start;
+              e_dur = Int64.sub stop_ns o.o_start;
+              e_args = o.o_args @ args;
+            }
+
+  let with_parent t span f =
+    if not t.on then f ()
+    else begin
+      t.stack <- span :: t.stack;
+      Fun.protect
+        ~finally:(fun () ->
+          match t.stack with _ :: rest -> t.stack <- rest | [] -> ())
+        f
+    end
+
+  let with_span t ?args name f =
+    if not t.on then f ()
+    else begin
+      let id = start t ?args name in
+      t.stack <- id :: t.stack;
+      Fun.protect
+        ~finally:(fun () ->
+          (match t.stack with _ :: rest -> t.stack <- rest | [] -> ());
+          stop t id)
+        f
+    end
+
+  let instant t ?(args = []) name =
+    if t.on then begin
+      let parent = current t in
+      if parent >= 0 then begin
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        push t
+          {
+            e_span = false;
+            e_id = id;
+            e_parent = parent;
+            e_name = name;
+            e_start = t.clock ();
+            e_dur = 0L;
+            e_args = args;
+          }
+      end
+    end
+
+  let events t = List.init t.len (fun i -> t.ring.((t.head + i) mod t.cap))
+  let recorded t = t.len
+  let dropped t = t.dropped
+
+  let root_spans t =
+    List.length (List.filter (fun e -> e.e_span && e.e_parent = none) (events t))
+
+  let to_jsonl t =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun e ->
+        if e.e_span then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"type\":\"span\",\"id\":%d,\"parent\":%d,\"name\":%s,\"ts_ns\":%Ld,\"dur_ns\":%Ld,\"args\":%s}\n"
+               e.e_id e.e_parent (json_string e.e_name) e.e_start e.e_dur
+               (json_args e.e_args))
+        else
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"type\":\"instant\",\"id\":%d,\"parent\":%d,\"name\":%s,\"ts_ns\":%Ld,\"args\":%s}\n"
+               e.e_id e.e_parent (json_string e.e_name) e.e_start
+               (json_args e.e_args)))
+      (events t);
+    Buffer.contents buf
+
+  (* Deterministic µs rendering: ns / 1000 with a 3-digit fraction, no
+     float formatting involved. *)
+  let us ns = Printf.sprintf "%Ld.%03Ld" (Int64.div ns 1000L) (Int64.rem ns 1000L)
+
+  let to_chrome t =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    let first = ref true in
+    List.iter
+      (fun e ->
+        if !first then first := false else Buffer.add_char buf ',';
+        let args =
+          json_args
+            (e.e_args
+            @ [ ("span_id", string_of_int e.e_id);
+                ("parent", string_of_int e.e_parent) ])
+        in
+        if e.e_span then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":%s,\"cat\":\"sdds\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%s,\"dur\":%s,\"args\":%s}"
+               (json_string e.e_name) (us e.e_start) (us e.e_dur) args)
+        else
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":%s,\"cat\":\"sdds\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":1,\"ts\":%s,\"args\":%s}"
+               (json_string e.e_name) (us e.e_start) args))
+      (events t);
+    Buffer.add_string buf "]}";
+    Buffer.contents buf
+end
+
+type t = { tracer : Tracer.t; metrics : Metrics.t }
+
+let create ?clock ?(tracing = true) ?capacity ?sample_1_in () =
+  {
+    tracer =
+      (if tracing then Tracer.create ?clock ?capacity ?sample_1_in ()
+       else Tracer.disabled);
+    metrics = Metrics.create ();
+  }
+
+let tracer = function None -> Tracer.disabled | Some o -> o.tracer
+
+let inc o name by =
+  match o with
+  | None -> ()
+  | Some o -> Metrics.Counter.add (Metrics.counter o.metrics name) by
+
+let set_gauge o name v =
+  match o with
+  | None -> ()
+  | Some o -> Metrics.Gauge.set (Metrics.gauge o.metrics name) v
+
+let observe o name v =
+  match o with
+  | None -> ()
+  | Some o -> Metrics.Histogram.observe (Metrics.histogram o.metrics name) v
+
+let attach_counter o name c =
+  match o with None -> () | Some o -> Metrics.attach_counter o.metrics name c
+
+let attach_gauge o name g =
+  match o with None -> () | Some o -> Metrics.attach_gauge o.metrics name g
+
+let attach_histogram o name h =
+  match o with None -> () | Some o -> Metrics.attach_histogram o.metrics name h

@@ -1,0 +1,235 @@
+(** End-to-end observability: a span tracer and a metrics registry shared
+    by every layer of the SOE pipeline.
+
+    The paper's argument is quantitative — a ~1 KB-RAM card over a 2 KB/s
+    link only works because evaluation streams and the skip index prunes —
+    so the pipeline needs one place that can answer "where did this
+    request's bytes and milliseconds go" across host, link and card. This
+    module provides it without coupling the layers to each other:
+
+    - {!Tracer} records parent/child {e spans} (and point {e instants})
+      into a bounded ring buffer, with an injected clock so traces are
+      deterministic under test, and exports both JSONL and the Chrome
+      [trace_event] format (opens directly in [about:tracing] / Perfetto);
+    - {!Metrics} is a registry of named counters, gauges and log-bucketed
+      histograms with a Prometheus-style text exporter and a JSON
+      snapshot. Components keep their own increment {e cells} (a plain
+      mutable int — the hot path stays a single store) and {e attach} them
+      to the registry, which aggregates at snapshot time; the legacy stats
+      records ([Engine.stats], [Card.cache_stats], [Pool.served]) are thin
+      views over the same cells, so there is one accounting source of
+      truth.
+
+    Everything takes an [Obs.t option]: [None] is the zero-overhead path —
+    no registry, a disabled tracer, and observable behaviour byte-identical
+    to an uninstrumented run (the qcheck tests enforce this). *)
+
+(** Injected time source, in nanoseconds. *)
+module Clock : sig
+  type t = unit -> int64
+
+  val system : t
+  (** Wall clock ([Unix.gettimeofday]), in nanoseconds. *)
+
+  val manual : ?start_ns:int64 -> ?step_ns:int64 -> unit -> t
+  (** A deterministic clock for tests: the first call returns [start_ns]
+      (default 0) and every call advances by [step_ns] (default 1000).
+      Fixed clock + fixed seeds ⇒ byte-identical trace exports. *)
+end
+
+(** Named counters, gauges and log₂-bucketed histograms. *)
+module Metrics : sig
+  (** A monotonic event count. The cell is what instrumented code holds
+      and increments directly; registration is separate ({!attach_counter})
+      so the hot path never touches a hash table. *)
+  module Counter : sig
+    type t
+
+    val create : unit -> t
+    val inc : t -> unit
+    val add : t -> int -> unit
+    val value : t -> int
+  end
+
+  (** A sampled level (live tokens, stack depth, resident bytes): tracks
+      the current value and the peak ever set. *)
+  module Gauge : sig
+    type t
+
+    val create : unit -> t
+    val set : t -> int -> unit
+    val value : t -> int
+    val peak : t -> int
+  end
+
+  (** A distribution over non-negative integers in log₂ buckets: bucket
+      [i] counts observations [v] with [v < 2{^i}] (and not in a lower
+      bucket), so 63 buckets cover the whole [int] range — latencies and
+      byte sizes at any scale, in constant memory. *)
+  module Histogram : sig
+    type t
+
+    val create : unit -> t
+    val observe : t -> int -> unit
+    (** Negative values are clamped to 0. *)
+
+    val count : t -> int
+    val sum : t -> int
+
+    val buckets : t -> (int * int) list
+    (** Non-cumulative [(upper_bound, count)] pairs up to the highest
+        non-empty bucket; bucket [i] reports upper bound [2{^i} - 1]. *)
+  end
+
+  type t
+  (** A registry: a mutable map from metric names (dotted lowercase, e.g.
+      ["engine.token_visits"]) to cells. A name aggregates {e all} cells
+      registered under it — the registry-owned cell created by
+      {!counter}/{!gauge}/{!histogram} plus every attached component
+      cell — at snapshot time: counters and histogram buckets sum, gauges
+      sum their current values and take the max of their peaks. *)
+
+  val create : unit -> t
+
+  val counter : t -> string -> Counter.t
+  (** Get or create the registry-owned cell for this name. *)
+
+  val gauge : t -> string -> Gauge.t
+  val histogram : t -> string -> Histogram.t
+
+  val attach_counter : t -> string -> Counter.t -> unit
+  (** Register a component-owned cell under a name. The component keeps
+      incrementing its own cell; the registry only reads it at snapshot
+      time. O(1): attaching a cell that is already registered (anywhere)
+      is a no-op, so per-evaluation components can attach unconditionally
+      without scanning. *)
+
+  val attach_gauge : t -> string -> Gauge.t -> unit
+  val attach_histogram : t -> string -> Histogram.t -> unit
+
+  type value =
+    | Counter_v of int
+    | Gauge_v of { value : int; peak : int }
+    | Histogram_v of { count : int; sum : int; buckets : (int * int) list }
+
+  val snapshot : t -> (string * value) list
+  (** Aggregated view of every registered name, sorted by name. *)
+
+  val counter_value : t -> string -> int
+  (** Aggregated count for one name; 0 when absent. *)
+
+  val to_prometheus : t -> string
+  (** Prometheus text exposition: names are mangled ([.] → [_], prefixed
+      [sdds_]), gauges additionally export a [_peak] series, histograms
+      export cumulative [_bucket{le="..."}] series plus [_sum] and
+      [_count]. *)
+
+  val to_json : t -> string
+  (** One JSON object:
+      [{"counters":{...},"gauges":{...},"histograms":{...}}]. *)
+end
+
+(** Spans and instants in a bounded ring buffer. *)
+module Tracer : sig
+  type span = int
+  (** A span id. [0] ({!none}) means "no span"; negative ids are
+      sampled-out spans — both are accepted everywhere and recorded
+      nowhere, so instrumentation never branches on the sampling
+      decision. *)
+
+  val none : span
+
+  type t
+
+  val disabled : t
+  (** The no-op tracer: every operation returns immediately, {!now} is 0.
+      [Obs.tracer None] returns it, making [None] the zero-overhead
+      path. *)
+
+  val create : ?clock:Clock.t -> ?capacity:int -> ?sample_1_in:int -> unit -> t
+  (** [capacity] (default 65536) bounds the ring buffer: once full, the
+      oldest events are overwritten and counted in {!dropped}.
+      [sample_1_in] (default 1 = keep everything) keeps every n-th {e root}
+      span — a sampled-out root suppresses its whole subtree, so sampled
+      traces contain only complete request trees. The decision is a
+      deterministic counter, not a coin flip. *)
+
+  val enabled : t -> bool
+  val now : t -> int64
+
+  val start : t -> ?parent:span -> ?args:(string * string) list -> string -> span
+  (** Open a span. [parent] defaults to the {!current} span; pass
+      [~parent:none] to force a root (the per-request root spans of the
+      pool, whose streams interleave and cannot use the implicit stack).
+      Returns a non-positive id when disabled or sampled out. *)
+
+  val stop : t -> ?args:(string * string) list -> span -> unit
+  (** Close a span and commit it to the ring ([args] are appended to the
+      start args). No-op on {!none} / sampled-out ids. *)
+
+  val with_span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** [start] + push on the implicit stack + run + pop + [stop],
+      exception-safe. Synchronous code gets parent/child nesting for
+      free. *)
+
+  val with_parent : t -> span -> (unit -> 'a) -> 'a
+  (** Run with the implicit stack re-rooted at an explicit span: the
+      pool's frame-interleaved streams wrap each transport exchange so
+      card spans and fault instants attach to the right request. *)
+
+  val current : t -> span
+  (** Innermost span of the implicit stack ({!none} when empty). *)
+
+  val instant : t -> ?args:(string * string) list -> string -> unit
+  (** A point event attached to the current span (fault injections,
+      prune decisions). *)
+
+  val recorded : t -> int
+  (** Events currently resident in the ring. *)
+
+  val dropped : t -> int
+  (** Events overwritten after the ring filled. *)
+
+  val root_spans : t -> int
+  (** Completed spans with no parent currently in the ring. *)
+
+  val to_jsonl : t -> string
+  (** One JSON object per line, oldest first; spans commit on [stop], so
+      children precede their parent. Span lines carry
+      [type/id/parent/name/ts_ns/dur_ns/args], instants the same minus
+      [dur_ns]. *)
+
+  val to_chrome : t -> string
+  (** Chrome [trace_event] JSON ([{"traceEvents":[...]}]): spans as
+      complete ([ph:"X"]) events with microsecond [ts]/[dur], instants as
+      [ph:"i"]. Load the file in [about:tracing] or
+      {{:https://ui.perfetto.dev}Perfetto}. *)
+end
+
+type t = { tracer : Tracer.t; metrics : Metrics.t }
+(** One observability scope — typically one per CLI invocation or test,
+    threaded as [?obs] through card, engine, proxy and fault layers so
+    all of them share a trace and a registry. *)
+
+val create :
+  ?clock:Clock.t ->
+  ?tracing:bool ->
+  ?capacity:int ->
+  ?sample_1_in:int ->
+  unit ->
+  t
+(** Fresh scope. [tracing:false] pairs a {e disabled} tracer with a live
+    registry — metrics without trace overhead. *)
+
+(** {2 [Obs.t option] conveniences}
+
+    Instrumented code holds an [t option] and calls these; all of them
+    are no-ops on [None]. *)
+
+val tracer : t option -> Tracer.t
+val inc : t option -> string -> int -> unit
+val set_gauge : t option -> string -> int -> unit
+val observe : t option -> string -> int -> unit
+val attach_counter : t option -> string -> Metrics.Counter.t -> unit
+val attach_gauge : t option -> string -> Metrics.Gauge.t -> unit
+val attach_histogram : t option -> string -> Metrics.Histogram.t -> unit

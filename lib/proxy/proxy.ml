@@ -5,6 +5,7 @@ module Apdu = Sdds_soe.Apdu
 module Remote = Sdds_soe.Remote_card
 module Reassembler = Sdds_core.Reassembler
 module Serializer = Sdds_xml.Serializer
+module Obs = Sdds_obs.Obs
 
 type t = { store : Store.t; card : Card.t }
 
@@ -149,6 +150,14 @@ let refresh_key t ~doc_id =
       | Error _ -> Error ())
 
 let run t (r : Request.t) =
+  let obs = Card.obs t.card in
+  Obs.inc obs "proxy.requests" 1;
+  Obs.Tracer.with_span (Obs.tracer obs)
+    ~args:
+      [ ("doc_id", r.Request.doc_id);
+        ("xpath", Option.value ~default:"" r.Request.xpath) ]
+    "proxy.request"
+  @@ fun () ->
   match run_once t r with
   | Error (Card_error e) as stale when stale_evidence e -> (
       (* Revocation in action: re-fetch the wrapped key and retry once.
@@ -156,7 +165,9 @@ let run t (r : Request.t) =
          off), report the original staleness, not the refresh's own
          failure. *)
       match refresh_key t ~doc_id:r.Request.doc_id with
-      | Ok () -> run_once t r
+      | Ok () ->
+          Obs.inc obs "proxy.rekeys" 1;
+          run_once t r
       | Error () -> stale)
   | result -> result
 
@@ -192,9 +203,10 @@ module Pool = struct
     mutable epoch : int;  (* bumped on evidence of a card tear *)
     memos : (int, memo) Hashtbl.t;
     granted : (string, unit) Hashtbl.t;  (* grants already installed *)
+    obs : Obs.t option;
   }
 
-  let create ~store ~transport ~subject ?(channels = Apdu.max_channels)
+  let create ?obs ~store ~transport ~subject ?(channels = Apdu.max_channels)
       ?(retry = Remote.Retry.default) () =
     if channels < 1 || channels > Apdu.max_channels then
       invalid_arg "Pool.create: channels out of range";
@@ -209,6 +221,7 @@ module Pool = struct
       epoch = 0;
       memos = Hashtbl.create 4;
       granted = Hashtbl.create 8;
+      obs;
     }
 
   type phase =
@@ -227,21 +240,31 @@ module Pool = struct
     mutable warm : bool;
     mutable phase : phase;
     mutable budget : int;  (* transient-fault retries left *)
-    mutable retries : int;
     mutable rekeyed : bool;  (* one grant refresh per request *)
     mutable resp_block : int;  (* next GET RESPONSE block to ask for *)
-    mutable cmds : int;
-    mutable resps : int;
-    mutable bytes : int;
+    span : Obs.Tracer.span;  (* per-request root span; stopped in finish *)
+    cmds : Obs.Metrics.Counter.t;
+    resps : Obs.Metrics.Counter.t;
+    bytes : Obs.Metrics.Counter.t;
+    retries : Obs.Metrics.Counter.t;
     buf : Buffer.t;  (* response accumulation *)
   }
 
+  (* The serve loop interleaves frames of many streams on one transport,
+     so the implicit span stack cannot know which request a frame belongs
+     to: re-root it at the stream's span for the duration of the
+     exchange — host-side APDU spans then nest under the right request. *)
   let send t st cmd =
-    st.cmds <- st.cmds + 1;
-    st.bytes <- st.bytes + String.length (Apdu.encode_command cmd);
-    let resp = t.transport cmd in
-    st.resps <- st.resps + 1;
-    st.bytes <- st.bytes + String.length (Apdu.encode_response resp);
+    Obs.Metrics.Counter.inc st.cmds;
+    Obs.Metrics.Counter.add st.bytes
+      (String.length (Apdu.encode_command cmd));
+    let resp =
+      Obs.Tracer.with_parent (Obs.tracer t.obs) st.span (fun () ->
+          t.transport cmd)
+    in
+    Obs.Metrics.Counter.inc st.resps;
+    Obs.Metrics.Counter.add st.bytes
+      (String.length (Apdu.encode_response resp));
     resp
 
   let release t st =
@@ -275,16 +298,22 @@ module Pool = struct
                   xml = Option.map (Serializer.to_string ~indent:true) view;
                   channel = st.channel;
                   warm_setup = st.warm;
-                  command_frames = st.cmds;
-                  response_frames = st.resps;
-                  wire_bytes = st.bytes;
-                  retries = st.retries;
+                  command_frames = Obs.Metrics.Counter.value st.cmds;
+                  response_frames = Obs.Metrics.Counter.value st.resps;
+                  wire_bytes = Obs.Metrics.Counter.value st.bytes;
+                  retries = Obs.Metrics.Counter.value st.retries;
                 }
           | exception Invalid_argument msg ->
               Error (Protocol ("bad response stream: " ^ msg)))
       | Error e -> Error e
     in
     release t st;
+    Obs.Tracer.stop (Obs.tracer t.obs)
+      ~args:
+        [ ( "outcome",
+            match result with Ok _ -> "ok" | Error _ -> "error" );
+          ("warm", string_of_bool st.warm) ]
+      st.span;
     st.phase <- Finished result
 
   let sw_error st (resp : Apdu.response) =
@@ -303,7 +332,7 @@ module Pool = struct
       finish t st (Error (Link_failure { attempts = t.retry.Remote.Retry.budget }))
     else begin
       st.budget <- st.budget - 1;
-      st.retries <- st.retries + 1;
+      Obs.Metrics.Counter.inc st.retries;
       k ()
     end
 
@@ -316,6 +345,7 @@ module Pool = struct
      streams can never end up sharing a reassigned channel, which could
      serve one of them the other's view. *)
   let tear_evidence (t : t) =
+    Obs.inc t.obs "pool.tear_evidence" 1;
     t.epoch <- t.epoch + 1;
     Hashtbl.reset t.memos;
     t.free <- (if List.mem 0 t.free then [ 0 ] else []);
@@ -355,6 +385,7 @@ module Pool = struct
         | Some w ->
             st.rekeyed <- true;
             st.grant <- Some w;
+            Obs.inc t.obs "pool.rekeys" 1;
             Hashtbl.remove t.granted st.req.Request.doc_id;
             cold_setup t st setup_frames)
     | _ ->
@@ -387,6 +418,7 @@ module Pool = struct
           let sw = (resp.Apdu.sw1, resp.Apdu.sw2) in
           if sw = Remote.Sw.ok && String.length resp.Apdu.payload = 1 then begin
             t.opened <- t.opened + 1;
+            Obs.inc t.obs "pool.channels_opened" 1;
             Got (Char.code resp.Apdu.payload.[0])
           end
           else if
@@ -407,7 +439,10 @@ module Pool = struct
       | None -> false
     in
     st.warm <- warm;
-    if warm then []
+    if warm then begin
+      Obs.inc t.obs "pool.warm_setups" 1;
+      []
+    end
     else begin
       let sel =
         {
@@ -547,6 +582,22 @@ module Pool = struct
 
   let init (t : t) (r : Request.t) =
     let fresh phase =
+      let cmds = Obs.Metrics.Counter.create () in
+      let resps = Obs.Metrics.Counter.create () in
+      let bytes = Obs.Metrics.Counter.create () in
+      let retries = Obs.Metrics.Counter.create () in
+      Obs.attach_counter t.obs "pool.command_frames" cmds;
+      Obs.attach_counter t.obs "pool.response_frames" resps;
+      Obs.attach_counter t.obs "pool.wire_bytes" bytes;
+      Obs.attach_counter t.obs "pool.retries" retries;
+      Obs.inc t.obs "pool.requests" 1;
+      let span =
+        Obs.Tracer.start (Obs.tracer t.obs) ~parent:Obs.Tracer.none
+          ~args:
+            [ ("doc_id", r.Request.doc_id);
+              ("xpath", Option.value ~default:"" r.Request.xpath) ]
+          "proxy.request"
+      in
       {
         req = r;
         rules = "";
@@ -556,16 +607,25 @@ module Pool = struct
         warm = false;
         phase;
         budget = t.retry.Remote.Retry.budget;
-        retries = 0;
         rekeyed = false;
         resp_block = 0;
-        cmds = 0;
-        resps = 0;
-        bytes = 0;
+        span;
+        cmds;
+        resps;
+        bytes;
+        retries;
         buf = Buffer.create 256;
       }
     in
-    let fail e = fresh (Finished (Error e)) in
+    let fail e =
+      let st = fresh (Finished (Error e)) in
+      (* Rejected before any frame: close the root span here, since the
+         stream never reaches [finish]. *)
+      Obs.Tracer.stop (Obs.tracer t.obs)
+        ~args:[ ("outcome", "rejected") ]
+        st.span;
+      st
+    in
     if r.Request.protect then
       fail
         (Protocol

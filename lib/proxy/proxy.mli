@@ -118,6 +118,7 @@ module Pool : sig
   type t
 
   val create :
+    ?obs:Sdds_obs.Obs.t ->
     store:Sdds_dsp.Store.t ->
     transport:Sdds_soe.Remote_card.Client.transport ->
     subject:string ->
@@ -131,7 +132,16 @@ module Pool : sig
       card-side session remembered so a repeat request skips the
       select/grant/rules/query upload entirely (warm setup). [retry]
       (default {!Sdds_soe.Remote_card.Retry.default}) sets each
-      request's fault-recovery budget. *)
+      request's fault-recovery budget.
+
+      [obs] opens one [proxy.request] root span per served request
+      (every transport exchange re-roots the implicit span stack at it,
+      so host-side [apdu] spans nest under the right request even though
+      the streams interleave), attaches each stream's frame/byte/retry
+      cells under the [pool.*] metric names — {!served} is a view over
+      the same cells — and counts channel churn
+      ([pool.channels_opened], [pool.warm_setups], [pool.rekeys],
+      [pool.tear_evidence]). *)
 
   type served = {
     view : Sdds_xml.Dom.t option;

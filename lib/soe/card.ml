@@ -7,6 +7,7 @@ module Output = Sdds_core.Output
 
 module Indexed_engine = Sdds_index.Indexed_engine
 module Memory_bound = Sdds_analysis.Memory_bound
+module Obs = Sdds_obs.Obs
 
 (* A resident prepared evaluation: everything the card derives from one
    (rule blob, query) pair before any document byte is processed. Keyed by
@@ -46,18 +47,25 @@ type t = {
   cache : (string, prepared) Hashtbl.t;
   cache_mem : Memory.t option;  (* None: caching disabled *)
   mutable cache_clock : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable cache_evictions : int;
+  obs : Obs.t option;
+  c_hits : Obs.Metrics.Counter.t;
+  c_misses : Obs.Metrics.Counter.t;
+  c_evictions : Obs.Metrics.Counter.t;
 }
 
-let create ?(profile = Cost.egate) ?cache_budget_bytes ?preflight_depth
+let create ?obs ?(profile = Cost.egate) ?cache_budget_bytes ?preflight_depth
     ~subject keypair =
   let cache_budget =
     match cache_budget_bytes with
     | Some b -> b
     | None -> profile.Cost.ram_bytes / 4
   in
+  let c_hits = Obs.Metrics.Counter.create () in
+  let c_misses = Obs.Metrics.Counter.create () in
+  let c_evictions = Obs.Metrics.Counter.create () in
+  Obs.attach_counter obs "card.cache.hits" c_hits;
+  Obs.attach_counter obs "card.cache.misses" c_misses;
+  Obs.attach_counter obs "card.cache.evictions" c_evictions;
   {
     prof = profile;
     subj = subject;
@@ -70,9 +78,10 @@ let create ?(profile = Cost.egate) ?cache_budget_bytes ?preflight_depth
       (if cache_budget <= 0 then None
        else Some (Memory.create ~budget_bytes:cache_budget));
     cache_clock = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-    cache_evictions = 0;
+    obs;
+    c_hits;
+    c_misses;
+    c_evictions;
   }
 
 let cache_stats t =
@@ -82,14 +91,15 @@ let cache_stats t =
       (match t.cache_mem with Some m -> Memory.used_bytes m | None -> 0);
     cache_budget_bytes =
       (match t.cache_mem with Some m -> Memory.budget_bytes m | None -> 0);
-    hits = t.cache_hits;
-    misses = t.cache_misses;
-    evictions = t.cache_evictions;
+    hits = Obs.Metrics.Counter.value t.c_hits;
+    misses = Obs.Metrics.Counter.value t.c_misses;
+    evictions = Obs.Metrics.Counter.value t.c_evictions;
   }
 
 let subject t = t.subj
 let public_key t = t.keypair.Rsa.public
 let profile t = t.prof
+let obs t = t.obs
 
 type error =
   | No_key of string
@@ -207,7 +217,7 @@ let evict_lru t =
   match victim with
   | Some (k, p) ->
       drop_entry t k p;
-      t.cache_evictions <- t.cache_evictions + 1
+      Obs.Metrics.Counter.inc t.c_evictions
   | None -> ()
 
 (* Admit a freshly prepared entry, evicting least-recently-used residents
@@ -287,6 +297,10 @@ let consumed_chunks ~n_chunks ~chunk_plain_bytes ~skipped_ranges =
   consumed
 
 let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
+  Obs.Tracer.with_span (Obs.tracer t.obs)
+    ~args:[ ("doc_id", source.doc_id); ("subject", t.subj) ]
+    "card.evaluate"
+  @@ fun () ->
   match Hashtbl.find_opt t.doc_keys source.doc_id with
   | None -> Error (No_key source.doc_id)
   | Some key -> (
@@ -332,7 +346,7 @@ let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
               (* the document was re-granted under a different key: the
                  entry can never serve again *)
               drop_entry t ckey p;
-              t.cache_evictions <- t.cache_evictions + 1;
+              Obs.Metrics.Counter.inc t.c_evictions;
               None
           | None -> None
         in
@@ -343,7 +357,7 @@ let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
               (* a version bump was enforced since this entry was built:
                  it must never serve again (rollback through the cache) *)
               drop_entry t ckey p;
-              t.cache_evictions <- t.cache_evictions + 1;
+              Obs.Metrics.Counter.inc t.c_evictions;
               Error (Replayed_rules { seen; offered = p.p_version })
             end
             else if
@@ -354,7 +368,7 @@ let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
               p.p_root <- source.merkle_root;
               Hashtbl.replace t.rule_versions source.doc_id
                 (max seen p.p_version);
-              t.cache_hits <- t.cache_hits + 1;
+              Obs.Metrics.Counter.inc t.c_hits;
               t.cache_clock <- t.cache_clock + 1;
               p.p_tick <- t.cache_clock;
               Ok (p.p_rules, p.p_compiled, true)
@@ -388,7 +402,7 @@ let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
                     | Ok () ->
                     Cost.charge_compile meter
                       ~states:(Compile.state_count compiled);
-                    t.cache_misses <- t.cache_misses + 1;
+                    Obs.Metrics.Counter.inc t.c_misses;
                     t.cache_clock <- t.cache_clock + 1;
                     admit t ~key:ckey
                       {
@@ -464,7 +478,8 @@ let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
             (* 4. Stream through the engine with skipping, reusing the
                prepared automaton. *)
             match
-              Indexed_engine.run ?query ~use_index ~compiled rules encoded
+              Indexed_engine.run ?obs:t.obs ?query ~use_index ~compiled
+                rules encoded
             with
             | exception Invalid_argument _ -> (
                 (* Garbage reached the decoder: either the store tampered
@@ -548,6 +563,10 @@ let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
                         { need_bytes; budget_bytes } ->
                         Error (Memory_exceeded { need_bytes; budget_bytes })
                     | () ->
+                        Obs.inc t.obs "card.evaluations" 1;
+                        Obs.set_gauge t.obs "card.ram_peak_bytes"
+                          (Memory.peak_bytes mem);
+                        Obs.observe t.obs "card.output_bytes" out_bytes;
                         let report =
                           {
                             breakdown = Cost.read meter;

@@ -29,6 +29,7 @@
 type t
 
 val create :
+  ?obs:Sdds_obs.Obs.t ->
   ?profile:Cost.profile ->
   ?cache_budget_bytes:int ->
   ?preflight_depth:int ->
@@ -37,6 +38,12 @@ val create :
   t
 (** A personalized card: the subject's identity and keypair live in secure
     stable storage. Default profile: {!Cost.egate}.
+
+    [obs] attaches the card's cache counters to the metrics registry
+    ([card.cache.hits]/[misses]/[evictions] — {!cache_stats} is a view
+    over the same cells), wraps each {!evaluate} in a [card.evaluate]
+    span, and threads the scope into the engine run, so engine spans and
+    metrics land in the same trace.
 
     [cache_budget_bytes] bounds the prepared-evaluation cache (see
     {!cache_stats}); it defaults to a quarter of the profile's RAM and
@@ -57,6 +64,11 @@ val create :
 val subject : t -> string
 val public_key : t -> Sdds_crypto.Rsa.public
 val profile : t -> Cost.profile
+
+val obs : t -> Sdds_obs.Obs.t option
+(** The observability scope the card was created with, so co-located
+    layers (the terminal proxy) can join the same trace and registry
+    without being handed the scope separately. *)
 
 type cache_stats = {
   entries : int;  (** resident prepared evaluations *)

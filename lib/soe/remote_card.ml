@@ -1,4 +1,5 @@
 module Output_codec = Sdds_core.Output_codec
+module Obs = Sdds_obs.Obs
 
 module Ins = struct
   let manage_channel = 0x70
@@ -8,6 +9,16 @@ module Ins = struct
   let query = 0xA6
   let evaluate = 0xB0
   let get_response = 0xC0
+
+  let name ins =
+    if ins = manage_channel then "MANAGE_CHANNEL"
+    else if ins = select then "SELECT"
+    else if ins = grant then "GRANT"
+    else if ins = rules then "RULES"
+    else if ins = query then "QUERY"
+    else if ins = evaluate then "EVALUATE"
+    else if ins = get_response then "GET_RESPONSE"
+    else Printf.sprintf "INS_%02X" (ins land 0xff)
 end
 
 module Sw = struct
@@ -140,13 +151,26 @@ module Host = struct
     card : Card.t;
     resolve : string -> Card.doc_source option;
     sessions : session option array;  (* slot index = channel number *)
+    obs : Obs.t option;
+    c_cmds : Obs.Metrics.Counter.t;
+    c_tears : Obs.Metrics.Counter.t;
+    h_frame_bytes : Obs.Metrics.Histogram.t;
+    h_rtt_ns : Obs.Metrics.Histogram.t;
   }
 
-  let create ~card ~resolve =
+  let create ?obs ~card ~resolve () =
     let sessions = Array.make Apdu.max_channels None in
     (* The basic channel is always open. *)
     sessions.(0) <- Some (fresh_session ());
-    { card; resolve; sessions }
+    let c_cmds = Obs.Metrics.Counter.create () in
+    let c_tears = Obs.Metrics.Counter.create () in
+    let h_frame_bytes = Obs.Metrics.Histogram.create () in
+    let h_rtt_ns = Obs.Metrics.Histogram.create () in
+    Obs.attach_counter obs "apdu.commands" c_cmds;
+    Obs.attach_counter obs "card.tears" c_tears;
+    Obs.attach_histogram obs "apdu.frame_bytes" h_frame_bytes;
+    Obs.attach_histogram obs "apdu.rtt_ns" h_rtt_ns;
+    { card; resolve; sessions; obs; c_cmds; c_tears; h_frame_bytes; h_rtt_ns }
 
   let open_channels t =
     Array.fold_left
@@ -159,6 +183,8 @@ module Host = struct
      prepared-evaluation cache) lives in non-volatile memory and
      survives, which is what makes warm recovery after a tear cheap. *)
   let tear t =
+    Obs.Metrics.Counter.inc t.c_tears;
+    Obs.Tracer.instant (Obs.tracer t.obs) "card.tear";
     Array.fill t.sessions 0 (Array.length t.sessions) None;
     t.sessions.(0) <- Some (fresh_session ())
 
@@ -377,15 +403,36 @@ module Host = struct
     else reply Sw.bad_ins
 
   let process t (cmd : Apdu.command) =
-    if not (Apdu.valid_cla cmd.Apdu.cla) then reply Sw.bad_ins
-    else begin
-      let ch = Apdu.channel_of_cla cmd.Apdu.cla in
-      match t.sessions.(ch) with
-      | None -> reply Sw.channel_closed
-      | Some s ->
-          if cmd.Apdu.ins = Ins.manage_channel then manage_channel t cmd
-          else dispatch t s cmd
-    end
+    let tr = Obs.tracer t.obs in
+    Obs.Metrics.Counter.inc t.c_cmds;
+    let t0 = Obs.Tracer.now tr in
+    let resp =
+      Obs.Tracer.with_span tr
+        ~args:
+          [ ("ins", Ins.name cmd.Apdu.ins);
+            ( "channel",
+              if Apdu.valid_cla cmd.Apdu.cla then
+                string_of_int (Apdu.channel_of_cla cmd.Apdu.cla)
+              else "?" ) ]
+        "apdu"
+      @@ fun () ->
+      if not (Apdu.valid_cla cmd.Apdu.cla) then reply Sw.bad_ins
+      else begin
+        let ch = Apdu.channel_of_cla cmd.Apdu.cla in
+        match t.sessions.(ch) with
+        | None -> reply Sw.channel_closed
+        | Some s ->
+            if cmd.Apdu.ins = Ins.manage_channel then manage_channel t cmd
+            else dispatch t s cmd
+      end
+    in
+    Obs.Metrics.Histogram.observe t.h_frame_bytes
+      (String.length (Apdu.encode_command cmd)
+      + String.length (Apdu.encode_response resp));
+    if Obs.Tracer.enabled tr then
+      Obs.Metrics.Histogram.observe t.h_rtt_ns
+        (Int64.to_int (Int64.sub (Obs.Tracer.now tr) t0));
+    resp
 end
 
 module Client = struct

@@ -156,10 +156,21 @@ module Host : sig
   type t
 
   val create :
-    card:Card.t -> resolve:(string -> Card.doc_source option) -> t
+    ?obs:Sdds_obs.Obs.t ->
+    card:Card.t ->
+    resolve:(string -> Card.doc_source option) ->
+    unit ->
+    t
   (** [resolve] maps a selected document id to its (DSP-served) source.
       The basic channel (0) starts open; the session table is bounded by
-      {!Apdu.max_channels}. *)
+      {!Apdu.max_channels}.
+
+      [obs] wraps every processed frame in an [apdu] span (instruction
+      name and channel as args) nested under whatever request span is
+      current, counts [apdu.commands] and [card.tears], and feeds the
+      [apdu.frame_bytes] and (when tracing) [apdu.rtt_ns] histograms.
+      Pass the same scope to {!Card.create} so card and engine spans
+      nest inside the APDU exchanges. *)
 
   val process : t -> Apdu.command -> Apdu.response
   (** Never raises: protocol violations map to status words. Frames on a

@@ -11,8 +11,34 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== bench smoke (E15 E16 E17) =="
-dune exec bench/main.exe -- --smoke E15 E16 E17
+echo "== bench smoke (E15 E16 E17 E18) =="
+dune exec bench/main.exe -- --smoke E15 E16 E17 E18
+
+echo "== BENCH_engine.json schema check =="
+# The smoke run above rewrites BENCH_engine.json; the schema must be /5
+# and carry the E18 "obs" array (observability overhead points).
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json, sys
+with open("BENCH_engine.json") as f:
+    d = json.load(f)
+assert d["schema"] == "sdds-bench-engine/5", d["schema"]
+obs = d["obs"]
+assert len(obs) >= 1, "empty obs array"
+modes = {r["mode"] for r in obs if r["experiment"] == "E18"}
+assert {"off", "metrics", "sampled", "full"} <= modes, modes
+for r in obs:
+    for k in ("case", "mode", "events", "trace_events", "dropped",
+              "skip_considered", "skipped_subtrees", "skipped_bytes"):
+        assert k in r, k
+print("BENCH_engine.json: schema /5, %d obs points" % len(obs))
+EOF
+else
+  grep -q '"schema": "sdds-bench-engine/5"' BENCH_engine.json
+  grep -q '"obs": \[' BENCH_engine.json
+  grep -q '"mode": "full"' BENCH_engine.json
+  echo "BENCH_engine.json: schema /5 (python3 unavailable; grep check)"
+fi
 
 echo "== fault soak: fixed-seed lossy links must converge to the golden view =="
 # End-to-end through the CLI: publish a store, take the fault-free view
@@ -44,6 +70,51 @@ for spec in "seed=1,rate=0.3" "seed=2,rate=0.3" "seed=3,rate=0.3" "@3:tear"; do
   }
   echo "fault-spec $spec: view identical ($(tail -1 "$soak/err.txt"))"
 done
+
+echo "== trace export smoke =="
+# A traced query must still produce the golden view, and the exports must
+# be well-formed: a Chrome trace with at least one proxy.request root
+# span, and a metrics snapshot whose counters reconcile.
+dune exec bin/sdds_cli.exe -- query --store "$soak/store" --id clinical \
+  -s alice --key "$soak/alice.sk" --fault-spec "seed=7,rate=0.2" \
+  --trace-out "$soak/trace.json" --metrics-out "$soak/metrics.json" \
+  >"$soak/traced.xml" 2>"$soak/err.txt" || {
+  echo "error: traced query failed" >&2
+  cat "$soak/err.txt" >&2
+  exit 1
+}
+cmp -s "$soak/golden.xml" "$soak/traced.xml" || {
+  echo "error: tracing changed the authorized view" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$soak/trace.json" "$soak/metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+roots = [e for e in events
+         if e.get("ph") == "X" and e.get("name") == "proxy.request"
+         and e.get("args", {}).get("parent") == "0"]
+assert roots, "no proxy.request root span in the trace"
+assert any(e.get("name") == "apdu" for e in events), "no apdu spans"
+with open(sys.argv[2]) as f:
+    m = json.load(f)
+c = m["counters"]
+assert c["engine.events"] == (c["engine.delivered"] + c["engine.suppressed"]
+                              + c["engine.filtered"]), c
+# Dropped commands never reach the host, so under injection the host sees
+# at most the frames the pool sent (duplicates are injected line-side).
+assert c["pool.command_frames"] >= 1 and c["apdu.commands"] >= 1, c
+print("trace: %d events, %d root request span(s); metrics reconcile"
+      % (len(events), len(roots)))
+EOF
+else
+  grep -q '"traceEvents":' "$soak/trace.json"
+  grep -q '"name":"proxy.request"' "$soak/trace.json"
+  grep -q '"counters":' "$soak/metrics.json"
+  echo "trace/metrics exports present (python3 unavailable; grep check)"
+fi
 
 echo "== static policy analysis over examples/policies =="
 for rules in examples/policies/*.rules; do

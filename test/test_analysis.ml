@@ -402,7 +402,8 @@ let test_admission_status_word () =
       (Remote.Host.create ~card:c ~resolve:(fun id ->
            if id = doc_id then
              Some (Publish.to_source published ~delivery:`Pull)
-           else None))
+           else None)
+         ())
   in
   let send ins data =
     host { Apdu.cla = Apdu.base_cla; ins; p1 = 0; p2 = 0; data }

@@ -60,7 +60,7 @@ let resolve w id =
 
 let fresh_host w =
   let card = Card.create ~profile:Cost.modern ~subject:"u" w.user in
-  Remote.Host.create ~card ~resolve:(resolve w)
+  Remote.Host.create ~card ~resolve:(resolve w) ()
 
 let stored_rules w = Option.get (Store.get_rules w.store ~doc_id ~subject:"u")
 let stored_grant w = Option.get (Store.get_grant w.store ~doc_id ~subject:"u")

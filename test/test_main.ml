@@ -29,4 +29,5 @@ let () =
       ("session", Test_session.suite);
       ("analysis", Test_analysis.suite);
       ("fault", Test_fault.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,421 @@
+(* Observability: metrics registry semantics, tracer nesting/sampling/
+   ring bounds, the two export formats, and the subsystem's contract with
+   the rest of the pipeline — zero behavioural overhead (qcheck),
+   deterministic exports under a fixed clock and fault seed, one
+   accounting source of truth (legacy stats records = registry cells),
+   and fault/span correlation. *)
+
+module Obs = Sdds_obs.Obs
+module Rng = Sdds_util.Rng
+module Dom = Sdds_xml.Dom
+module Generator = Sdds_xml.Generator
+module Random_path = Sdds_xpath.Random_path
+module Rule = Sdds_core.Rule
+module Encode = Sdds_index.Encode
+module Indexed_engine = Sdds_index.Indexed_engine
+module Card = Sdds_soe.Card
+module Cost = Sdds_soe.Cost
+module Remote = Sdds_soe.Remote_card
+module Proxy = Sdds_proxy.Proxy
+module Fault = Sdds_fault.Fault
+module Publish = Sdds_dsp.Publish
+module Store = Sdds_dsp.Store
+module Drbg = Sdds_crypto.Drbg
+module Rsa = Sdds_crypto.Rsa
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_gauge_histogram () =
+  let c = Obs.Metrics.Counter.create () in
+  Obs.Metrics.Counter.inc c;
+  Obs.Metrics.Counter.add c 4;
+  Alcotest.(check int) "counter" 5 (Obs.Metrics.Counter.value c);
+  let g = Obs.Metrics.Gauge.create () in
+  Obs.Metrics.Gauge.set g 7;
+  Obs.Metrics.Gauge.set g 3;
+  Alcotest.(check int) "gauge value" 3 (Obs.Metrics.Gauge.value g);
+  Alcotest.(check int) "gauge peak" 7 (Obs.Metrics.Gauge.peak g);
+  let h = Obs.Metrics.Histogram.create () in
+  List.iter (Obs.Metrics.Histogram.observe h) [ 0; 1; 1; 2; 100; -5 ];
+  Alcotest.(check int) "hist count" 6 (Obs.Metrics.Histogram.count h);
+  (* The -5 clamps to 0. *)
+  Alcotest.(check int) "hist sum" 104 (Obs.Metrics.Histogram.sum h);
+  (* log2 buckets: v < 2^i. 0 -> le 0; 1 -> le 1; 2 -> le 3; 100 -> le 127. *)
+  Alcotest.(check (list (pair int int)))
+    "hist buckets"
+    [ (0, 2); (1, 2); (3, 1); (7, 0); (15, 0); (31, 0); (63, 0); (127, 1) ]
+    (Obs.Metrics.Histogram.buckets h)
+
+let test_registry_aggregates_attached_cells () =
+  let m = Obs.Metrics.create () in
+  let a = Obs.Metrics.Counter.create () and b = Obs.Metrics.Counter.create () in
+  Obs.Metrics.attach_counter m "x.count" a;
+  Obs.Metrics.attach_counter m "x.count" b;
+  (* Attaching the same cell twice must not double-count it. *)
+  Obs.Metrics.attach_counter m "x.count" a;
+  Obs.Metrics.Counter.add a 2;
+  Obs.Metrics.Counter.add b 3;
+  Alcotest.(check int) "counters sum" 5 (Obs.Metrics.counter_value m "x.count");
+  Alcotest.(check int) "absent name is 0" 0 (Obs.Metrics.counter_value m "y");
+  let g1 = Obs.Metrics.Gauge.create () and g2 = Obs.Metrics.Gauge.create () in
+  Obs.Metrics.attach_gauge m "x.level" g1;
+  Obs.Metrics.attach_gauge m "x.level" g2;
+  Obs.Metrics.Gauge.set g1 10;
+  Obs.Metrics.Gauge.set g1 4;
+  Obs.Metrics.Gauge.set g2 6;
+  (match List.assoc_opt "x.level" (Obs.Metrics.snapshot m) with
+  | Some (Obs.Metrics.Gauge_v { value; peak }) ->
+      Alcotest.(check int) "gauges sum values" 10 value;
+      Alcotest.(check int) "gauges max peaks" 10 peak
+  | _ -> Alcotest.fail "gauge missing from snapshot");
+  let snap = Obs.Metrics.snapshot m in
+  Alcotest.(check (list string))
+    "snapshot sorted by name" [ "x.count"; "x.level" ] (List.map fst snap)
+
+let test_exporters () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.Counter.add (Obs.Metrics.counter m "apdu.commands") 3;
+  Obs.Metrics.Gauge.set (Obs.Metrics.gauge m "card.ram_peak_bytes") 900;
+  Obs.Metrics.Histogram.observe (Obs.Metrics.histogram m "apdu.frame_bytes") 5;
+  let prom = Obs.Metrics.to_prometheus m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("prometheus has " ^ needle) true
+        (contains prom needle))
+    [
+      "sdds_apdu_commands 3";
+      "sdds_card_ram_peak_bytes 900";
+      "sdds_card_ram_peak_bytes_peak 900";
+      "sdds_apdu_frame_bytes_bucket{le=\"7\"} 1";
+      "sdds_apdu_frame_bytes_bucket{le=\"+Inf\"} 1";
+      "sdds_apdu_frame_bytes_sum 5";
+    ];
+  let json = Obs.Metrics.to_json m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json has " ^ needle) true (contains json needle))
+    [
+      "\"counters\":{\"apdu.commands\":3}";
+      "\"card.ram_peak_bytes\":{\"value\":900,\"peak\":900}";
+      "\"apdu.frame_bytes\":{\"count\":1,\"sum\":5,";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let manual_tracer ?capacity ?sample_1_in () =
+  Obs.Tracer.create ~clock:(Obs.Clock.manual ()) ?capacity ?sample_1_in ()
+
+let test_disabled_tracer_is_inert () =
+  let tr = Obs.Tracer.disabled in
+  Alcotest.(check bool) "not enabled" false (Obs.Tracer.enabled tr);
+  let ran = ref false in
+  let sp = Obs.Tracer.start tr "x" in
+  Obs.Tracer.stop tr sp;
+  Obs.Tracer.with_span tr "y" (fun () -> ran := true);
+  Obs.Tracer.instant tr "z";
+  Alcotest.(check bool) "body ran" true !ran;
+  Alcotest.(check bool) "no real span id" true (sp <= 0);
+  Alcotest.(check int) "nothing recorded" 0 (Obs.Tracer.recorded tr);
+  Alcotest.(check string) "empty export" "" (Obs.Tracer.to_jsonl tr)
+
+let test_nesting_and_exports () =
+  let tr = manual_tracer () in
+  Obs.Tracer.with_span tr "outer" (fun () ->
+      Obs.Tracer.instant tr ~args:[ ("k", "v") ] "tick";
+      Obs.Tracer.with_span tr "inner" (fun () -> ()));
+  Alcotest.(check int) "one root" 1 (Obs.Tracer.root_spans tr);
+  let jsonl = Obs.Tracer.to_jsonl tr in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  Alcotest.(check int) "three events" 3 (List.length lines);
+  (* Spans commit on stop: instant, then inner, then outer. *)
+  (match lines with
+  | [ l1; l2; l3 ] ->
+      Alcotest.(check bool) "instant on the outer span" true
+        (contains l1 "\"type\":\"instant\"" && contains l1 "\"parent\":1"
+        && contains l1 "\"name\":\"tick\"" && contains l1 "\"k\":\"v\"");
+      (* Instants draw from the same id counter: outer=1, tick=2, inner=3. *)
+      Alcotest.(check bool) "inner nests under outer" true
+        (contains l2 "\"id\":3" && contains l2 "\"parent\":1");
+      Alcotest.(check bool) "outer is a root" true
+        (contains l3 "\"id\":1" && contains l3 "\"parent\":0")
+  | _ -> Alcotest.fail "expected exactly three lines");
+  let chrome = Obs.Tracer.to_chrome tr in
+  Alcotest.(check bool) "chrome wrapper" true
+    (contains chrome "\"traceEvents\":[");
+  Alcotest.(check bool) "complete span events" true
+    (contains chrome "\"ph\":\"X\"" && contains chrome "\"ph\":\"i\"")
+
+let test_sampling_keeps_whole_trees () =
+  let tr = manual_tracer ~sample_1_in:2 () in
+  for _ = 1 to 6 do
+    Obs.Tracer.with_span tr "root" (fun () ->
+        Obs.Tracer.with_span tr "child" (fun () -> ()))
+  done;
+  (* Every other root is kept, each with its child — never an orphan. *)
+  Alcotest.(check int) "half the roots" 3 (Obs.Tracer.root_spans tr);
+  Alcotest.(check int) "children follow their root" 6 (Obs.Tracer.recorded tr)
+
+let test_ring_is_bounded () =
+  let tr = manual_tracer ~capacity:8 () in
+  for _ = 1 to 50 do
+    Obs.Tracer.with_span tr "s" (fun () -> ())
+  done;
+  Alcotest.(check int) "ring holds capacity" 8 (Obs.Tracer.recorded tr);
+  Alcotest.(check int) "overwrites counted" 42 (Obs.Tracer.dropped tr)
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline contracts                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Zero overhead: on random documents and rule sets, an indexed-engine
+   pass observes the exact same behaviour with no scope, a metrics-only
+   scope, and a fully tracing scope. *)
+let qcheck_zero_overhead =
+  QCheck2.Test.make ~name:"observability never changes behaviour" ~count:40
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 5))
+    (fun (seed, nrules) ->
+      let tags = Generator.department_tags in
+      let doc =
+        Generator.random_tree
+          (Rng.create (Int64.of_int (seed + 1)))
+          ~tags ~max_depth:5 ~max_children:4 ~text_probability:0.3
+      in
+      let rrng = Rng.create (Int64.of_int ((seed * 2) + 1)) in
+      let cfg =
+        { Random_path.default with max_steps = 3; predicate_probability = 0.3 }
+      in
+      let rules =
+        List.init nrules (fun _ ->
+            {
+              Rule.sign = (if Rng.bool rrng then Rule.Allow else Rule.Deny);
+              subject = "u";
+              path =
+                Random_path.generate rrng cfg ~tags ~values:[| "1"; "x" |];
+            })
+      in
+      let encoded =
+        Encode.encode ~mode:(Encode.Indexed { recursive = true }) doc
+      in
+      let run obs = Indexed_engine.run ?obs rules encoded in
+      let plain = run None in
+      let metrics_only = run (Some (Obs.create ~tracing:false ())) in
+      let full = run (Some (Obs.create ~clock:(Obs.Clock.manual ()) ())) in
+      let same (a : Indexed_engine.result) (b : Indexed_engine.result) =
+        a.outputs = b.outputs
+        && Option.equal Dom.equal a.view b.view
+        && a.skipped_subtrees = b.skipped_subtrees
+        && a.skipped_bytes = b.skipped_bytes
+        && a.skipped_ranges = b.skipped_ranges
+        && a.consumed_bytes = b.consumed_bytes
+        && a.events_fed = b.events_fed
+        && a.engine_stats = b.engine_stats
+        && a.reader_peak_words = b.reader_peak_words
+      in
+      same plain metrics_only && same plain full)
+
+(* One world for the end-to-end tests, shared (keygen is slow). *)
+type world = { store : Store.t; user : Rsa.keypair }
+
+let doc_id = "ward"
+
+let world =
+  lazy
+    (let drbg = Drbg.create ~seed:"obs-world" in
+     let publisher = Rsa.generate drbg ~bits:512 in
+     let user = Rsa.generate drbg ~bits:512 in
+     let store = Store.create () in
+     let doc = Generator.hospital (Rng.create 19L) ~patients:5 in
+     let published, doc_key = Publish.publish drbg ~publisher ~doc_id doc in
+     Store.put_document store published;
+     let rules =
+       [ Rule.allow ~subject:"u" "//patient"; Rule.deny ~subject:"u" "//ssn" ]
+     in
+     Store.put_rules store ~doc_id ~subject:"u"
+       (Publish.encrypt_rules_for drbg ~publisher ~doc_key ~doc_id
+          ~subject:"u" rules);
+     Store.put_grant store ~doc_id ~subject:"u"
+       (Publish.grant drbg ~doc_key ~doc_id ~recipient:user.Rsa.public);
+     { store; user })
+
+let requests =
+  [
+    Proxy.Request.make doc_id;
+    Proxy.Request.make ~xpath:"//patient/name" doc_id;
+  ]
+
+(* A full pool run under one scope; returns (obs, link, served). *)
+let traced_pool_run ?(schedule = Fault.Schedule.none) () =
+  let w = Lazy.force world in
+  let obs = Obs.create ~clock:(Obs.Clock.manual ()) () in
+  let card = Card.create ~obs ~profile:Cost.modern ~subject:"u" w.user in
+  let host =
+    Remote.Host.create ~obs ~card
+      ~resolve:(fun id ->
+        Option.map
+          (fun p -> Publish.to_source p ~delivery:`Pull)
+          (Store.get_document w.store id))
+      ()
+  in
+  let link =
+    Fault.Link.wrap ~obs ~schedule
+      ~tear:(fun () -> Remote.Host.tear host)
+      (Remote.Host.process host)
+  in
+  let pool =
+    Proxy.Pool.create ~obs ~store:w.store
+      ~transport:(Fault.Link.transport link) ~subject:"u" ()
+  in
+  let served = Proxy.Pool.serve pool requests in
+  (obs, card, link, served)
+
+(* Determinism: fixed clock + fixed fault seed => byte-identical trace
+   exports across two independent runs. *)
+let test_deterministic_trace () =
+  let run () =
+    let obs, _, _, _ =
+      traced_pool_run
+        ~schedule:(Fault.Schedule.random ~seed:99L ~rate:0.1 ())
+        ()
+    in
+    (Obs.Tracer.to_jsonl obs.Obs.tracer, Obs.Tracer.to_chrome obs.Obs.tracer)
+  in
+  let j1, c1 = run () in
+  let j2, c2 = run () in
+  Alcotest.(check string) "identical JSONL" j1 j2;
+  Alcotest.(check string) "identical Chrome trace" c1 c2;
+  Alcotest.(check bool) "trace is non-trivial" true
+    (contains j1 "\"name\":\"proxy.request\"" && contains j1 "\"name\":\"apdu\"")
+
+(* One accounting source of truth: the legacy stats records and the
+   registry aggregate the very same cells. *)
+let test_registry_reconciles_with_legacy_views () =
+  let obs, card, _, served = traced_pool_run () in
+  let served =
+    List.map
+      (function
+        | Ok s -> s
+        | Error e -> Alcotest.failf "request failed: %a" Proxy.pp_error e)
+      served
+  in
+  let cv = Obs.Metrics.counter_value obs.Obs.metrics in
+  let sum f = List.fold_left (fun a s -> a + f s) 0 served in
+  Alcotest.(check int) "command frames"
+    (sum (fun s -> s.Proxy.Pool.command_frames))
+    (cv "pool.command_frames");
+  Alcotest.(check int) "response frames"
+    (sum (fun s -> s.Proxy.Pool.response_frames))
+    (cv "pool.response_frames");
+  Alcotest.(check int) "wire bytes"
+    (sum (fun s -> s.Proxy.Pool.wire_bytes))
+    (cv "pool.wire_bytes");
+  Alcotest.(check int) "retries"
+    (sum (fun s -> s.Proxy.Pool.retries))
+    (cv "pool.retries");
+  (* The host counted exactly the frames the pool sent. *)
+  Alcotest.(check int) "apdu commands = pool command frames"
+    (cv "pool.command_frames") (cv "apdu.commands");
+  let cs = Card.cache_stats card in
+  Alcotest.(check int) "cache hits" cs.Card.hits (cv "card.cache.hits");
+  Alcotest.(check int) "cache misses" cs.Card.misses (cv "card.cache.misses");
+  Alcotest.(check int) "cache evictions" cs.Card.evictions
+    (cv "card.cache.evictions");
+  Alcotest.(check int) "one evaluation per request" (List.length served)
+    (cv "card.evaluations");
+  (* The engine identity from the stats doc holds on the registry too. *)
+  Alcotest.(check int) "events = delivered + suppressed + filtered"
+    (cv "engine.events")
+    (cv "engine.delivered" + cv "engine.suppressed" + cv "engine.filtered")
+
+let test_engine_cells_are_the_stats () =
+  let obs = Obs.create ~tracing:false () in
+  let doc = Generator.hospital (Rng.create 5L) ~patients:4 in
+  let rules =
+    [ Rule.allow ~subject:"u" "//patient"; Rule.deny ~subject:"u" "//ssn" ]
+  in
+  let encoded =
+    Encode.encode ~mode:(Encode.Indexed { recursive = true }) doc
+  in
+  let res = Indexed_engine.run ~obs rules encoded in
+  let st = res.Indexed_engine.engine_stats in
+  let cv = Obs.Metrics.counter_value obs.Obs.metrics in
+  Alcotest.(check int) "events" st.Sdds_core.Engine.events (cv "engine.events");
+  Alcotest.(check int) "emitted" st.Sdds_core.Engine.emitted
+    (cv "engine.emitted");
+  Alcotest.(check int) "token visits" st.Sdds_core.Engine.token_visits
+    (cv "engine.token_visits");
+  (match List.assoc_opt "engine.live_tokens" (Obs.Metrics.snapshot obs.Obs.metrics) with
+  | Some (Obs.Metrics.Gauge_v { peak; _ }) ->
+      Alcotest.(check int) "peak tokens is the gauge peak"
+        st.Sdds_core.Engine.peak_tokens peak
+  | _ -> Alcotest.fail "engine.live_tokens missing");
+  Alcotest.(check int) "pruned subtrees" res.Indexed_engine.skipped_subtrees
+    (cv "skip.pruned_subtrees");
+  Alcotest.(check int) "pruned bytes" res.Indexed_engine.skipped_bytes
+    (cv "skip.pruned_bytes")
+
+(* Fault/span correlation: an injected fault lands on the request span
+   that was active, and that span is a recorded proxy.request root. *)
+let test_fault_correlates_with_request_span () =
+  let obs, _, link, served =
+    traced_pool_run
+      ~schedule:
+        (Fault.Schedule.of_events
+           [ { Fault.frame = 9; kind = Fault.Drop_response } ])
+      ()
+  in
+  List.iter
+    (function
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "request failed: %a" Proxy.pp_error e)
+    served;
+  (match Fault.Link.traced link with
+  | [ { Fault.Link.event = { frame = 9; _ }; span } ] ->
+      Alcotest.(check bool) "fault carries a real span id" true (span > 0);
+      let jsonl = Obs.Tracer.to_jsonl obs.Obs.tracer in
+      Alcotest.(check bool) "the span is a recorded request root" true
+        (contains jsonl
+           (Printf.sprintf "\"id\":%d,\"parent\":0,\"name\":\"proxy.request\""
+              span));
+      Alcotest.(check bool) "the fault instant is on that span" true
+        (contains jsonl
+           (Printf.sprintf
+              "\"parent\":%d,\"name\":\"fault\",\"ts_ns\":" span))
+  | l -> Alcotest.failf "expected exactly the scheduled fault, got %d" (List.length l));
+  Alcotest.(check int) "fault.injected counted" 1
+    (Obs.Metrics.counter_value obs.Obs.metrics "fault.injected")
+
+let suite =
+  [
+    Alcotest.test_case "counter, gauge, histogram cells" `Quick
+      test_counter_gauge_histogram;
+    Alcotest.test_case "registry aggregates attached cells" `Quick
+      test_registry_aggregates_attached_cells;
+    Alcotest.test_case "prometheus and json exporters" `Quick test_exporters;
+    Alcotest.test_case "disabled tracer is inert" `Quick
+      test_disabled_tracer_is_inert;
+    Alcotest.test_case "nesting and both export formats" `Quick
+      test_nesting_and_exports;
+    Alcotest.test_case "sampling keeps whole trees" `Quick
+      test_sampling_keeps_whole_trees;
+    Alcotest.test_case "ring buffer is bounded" `Quick test_ring_is_bounded;
+    QCheck_alcotest.to_alcotest qcheck_zero_overhead;
+    Alcotest.test_case "fixed clock + fault seed: identical exports" `Quick
+      test_deterministic_trace;
+    Alcotest.test_case "registry reconciles with legacy stats views" `Quick
+      test_registry_reconciles_with_legacy_views;
+    Alcotest.test_case "engine cells are the stats record" `Quick
+      test_engine_cells_are_the_stats;
+    Alcotest.test_case "faults correlate with request spans" `Quick
+      test_fault_correlates_with_request_span;
+  ]

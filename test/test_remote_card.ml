@@ -51,8 +51,10 @@ let world =
      let source = Publish.to_source published ~delivery:`Pull in
      let card = Card.create ~profile:Cost.modern ~subject:"u" user in
      let host =
-       Remote_card.Host.create ~card ~resolve:(fun id ->
+       Remote_card.Host.create ~card
+         ~resolve:(fun id ->
            if String.equal id "remote-doc" then Some source else None)
+         ()
      in
      {
        doc;
@@ -114,7 +116,7 @@ let test_remote_out_of_sequence () =
   let w = Lazy.force world in
   (* Evaluate without selecting or loading rules on a fresh host. *)
   let host =
-    Remote_card.Host.create ~card:w.card ~resolve:(fun _ -> Some w.source)
+    Remote_card.Host.create ~card:w.card ~resolve:(fun _ -> Some w.source) ()
   in
   let resp =
     Remote_card.Host.process host
@@ -149,8 +151,9 @@ let test_remote_chain_gap () =
      concatenate. *)
   let w = Lazy.force world in
   let host =
-    Sdds_soe.Remote_card.Host.create ~card:w.card ~resolve:(fun _ ->
-        Some w.source)
+    Sdds_soe.Remote_card.Host.create ~card:w.card
+      ~resolve:(fun _ -> Some w.source)
+      ()
   in
   let send ins p1 p2 data =
     Sdds_soe.Remote_card.Host.process host
@@ -167,8 +170,10 @@ let test_select_clears_chain_state () =
      would otherwise be concatenated with the stale frames. *)
   let w = Lazy.force world in
   let host =
-    Sdds_soe.Remote_card.Host.create ~card:w.card ~resolve:(fun id ->
+    Sdds_soe.Remote_card.Host.create ~card:w.card
+      ~resolve:(fun id ->
         if String.equal id "remote-doc" then Some w.source else None)
+      ()
   in
   let send ins p1 p2 data =
     Sdds_soe.Remote_card.Host.process host

@@ -81,7 +81,7 @@ let fresh_card ?cache_budget_bytes w =
 
 let fresh_transport ?cache_budget_bytes w =
   let card = fresh_card ?cache_budget_bytes w in
-  (card, Remote.Host.process (Remote.Host.create ~card ~resolve:(resolve w)))
+  (card, Remote.Host.process (Remote.Host.create ~card ~resolve:(resolve w) ()))
 
 let stored_rules w doc_id =
   Option.get (Store.get_rules w.store ~doc_id ~subject:"u")
