@@ -14,6 +14,8 @@
                   smart card
      trace        query with end-to-end tracing, exporting a Chrome
                   trace_event file and a metrics snapshot
+     fleet        synthetic zipfian workload through a multi-card fleet
+                  with affinity routing (E19 in miniature)
      analyze      static policy analysis: dead/shadowed rules, schema
                   unsatisfiability, allow/deny overlaps with witnesses,
                   and the static SOE memory bound
@@ -422,14 +424,26 @@ let fault_arg =
            spurious-status, tear). Same seed, same faults - failures \
            replay deterministically.")
 
+let cards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "cards" ] ~docv:"N"
+        ~doc:
+          "Serve through a fleet of N simulated cards behind the \
+           affinity-routing scheduler instead of a single card (N > 1 \
+           implies the APDU path; with $(b,--fault-spec), each card \
+           suffers an independent per-card derivation of the schedule).")
+
 (* Shared body of [query] and [trace]. A plain query goes through the
    in-process proxy; with a fault spec or an observability scope it is
    served over the APDU host through the resilient pool, so traced runs
    show the full nesting (proxy.request > apdu > card.evaluate >
-   engine.stream) the paper's architecture actually has. Stdout is the
-   authorized view in every mode; stats go to stderr. *)
+   engine.stream) the paper's architecture actually has. With --cards N
+   (N > 1) the request is admitted, routed and served by the
+   multi-card fleet scheduler. Stdout is the authorized view in every
+   mode; stats go to stderr. *)
 let query_run ~force_trace store_dir doc_id subject key_path query fault_spec
-    trace trace_out metrics_out =
+    cards trace trace_out metrics_out =
   let trace_out =
     (* [sdds trace] without --trace-out still owes the user a file. *)
     if force_trace && trace_out = None then Some "trace.json" else trace_out
@@ -439,6 +453,64 @@ let query_run ~force_trace store_dir doc_id subject key_path query fault_spec
   in
   let kp = or_die_io (Sdds_dsp.Store_io.Keyfile.load_keypair ~path:key_path) in
   let store = or_die_io (Sdds_dsp.Store_io.load ~dir:store_dir) in
+  let schedule_of_spec () =
+    match fault_spec with
+    | None -> Sdds_fault.Fault.Schedule.none
+    | Some spec -> (
+        match Sdds_fault.Fault.Schedule.of_spec spec with
+        | Ok s -> s
+        | Error msg -> or_die (Error ("bad --fault-spec: " ^ msg)))
+  in
+  if cards > 1 then begin
+    let schedule = schedule_of_spec () in
+    let resolve id =
+      Option.map
+        (fun p -> Sdds_dsp.Publish.to_source p ~delivery:`Pull)
+        (Sdds_dsp.Store.get_document store id)
+    in
+    let transports =
+      Array.init cards (fun i ->
+          let card =
+            Sdds_soe.Card.create ?obs ~profile:Sdds_soe.Cost.fleet ~subject kp
+          in
+          let host = Sdds_soe.Remote_card.Host.create ?obs ~card ~resolve () in
+          let link =
+            Sdds_fault.Fault.Link.wrap ?obs
+              ~schedule:(Sdds_fault.Fault.Schedule.for_card schedule i)
+              ~tear:(fun () -> Sdds_soe.Remote_card.Host.tear host)
+              (Sdds_soe.Remote_card.Host.process host)
+          in
+          Sdds_fault.Fault.Link.transport link)
+    in
+    let fleet = Sdds_proxy.Fleet.create ?obs ~store ~subject transports in
+    match
+      Sdds_proxy.Fleet.serve fleet
+        [ Sdds_proxy.Proxy.Request.make ?xpath:query doc_id ]
+    with
+    | [ o ] -> (
+        let st = Sdds_proxy.Fleet.stats fleet in
+        match o.Sdds_proxy.Fleet.result with
+        | Ok s ->
+            (match s.Sdds_proxy.Proxy.Pool.xml with
+            | Some xml -> print_endline xml
+            | None -> print_endline "<!-- nothing authorized -->");
+            Format.eprintf
+              "fleet: %d cards, served by card %d (%s), %d reroutes, %.2f \
+               ms simulated@."
+              cards o.Sdds_proxy.Fleet.card
+              (if o.Sdds_proxy.Fleet.affinity then "affinity" else "fallback")
+              o.Sdds_proxy.Fleet.reroutes
+              (o.Sdds_proxy.Fleet.latency_s *. 1.0e3);
+            obs_export obs ~trace_out ~metrics_out
+        | Error e ->
+            Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
+            Format.eprintf "fleet: %d reroutes, %d rejected@."
+              st.Sdds_proxy.Fleet.reroutes st.Sdds_proxy.Fleet.rejected;
+            obs_export obs ~trace_out ~metrics_out;
+            exit 1)
+    | _ -> assert false
+  end
+  else
   let card =
     Sdds_soe.Card.create ?obs ~profile:Sdds_soe.Cost.egate ~subject kp
   in
@@ -511,7 +583,7 @@ let query_cmd =
     Term.(
       const (query_run ~force_trace:false)
       $ store_arg $ id_arg $ subject_arg $ key_arg $ query_arg $ fault_arg
-      $ trace_flag $ trace_out_arg $ metrics_out_arg)
+      $ cards_arg $ trace_flag $ trace_out_arg $ metrics_out_arg)
 
 let trace_cmd =
   Cmd.v
@@ -523,7 +595,222 @@ let trace_cmd =
     Term.(
       const (query_run ~force_trace:true)
       $ store_arg $ id_arg $ subject_arg $ key_arg $ query_arg $ fault_arg
-      $ trace_flag $ trace_out_arg $ metrics_out_arg)
+      $ cards_arg $ trace_flag $ trace_out_arg $ metrics_out_arg)
+
+(* fleet: self-contained synthetic serving run (E19 in miniature) *)
+
+let fleet_cmd =
+  let fleet_cards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "cards" ] ~docv:"N" ~doc:"Number of simulated cards")
+  in
+  let streams_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "streams" ] ~docv:"N"
+          ~doc:"Concurrent request streams in the batch")
+  in
+  let docs_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "docs" ] ~docv:"N"
+          ~doc:"Synthetic documents published (zipf(1.1) popularity)")
+  in
+  let routing_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("affinity", `Affinity); ("least-loaded", `Least_loaded);
+               ("random", `Random) ])
+          `Affinity
+      & info [ "routing" ] ~docv:"POLICY"
+          ~doc:"Routing policy: $(b,affinity), $(b,least-loaded) or \
+                $(b,random)")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Deterministic seed for keys, documents and the request mix")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Single-line JSON output")
+  in
+  let run cards streams docs routing seed fault_spec json =
+    if cards < 1 || streams < 1 || docs < 1 then
+      or_die (Error "--cards, --streams and --docs must be at least 1");
+    let drbg = Sdds_crypto.Drbg.create ~seed:(Printf.sprintf "sdds-fleet|%d" seed) in
+    let publisher = Sdds_crypto.Rsa.generate drbg ~bits:512 in
+    let user = Sdds_crypto.Rsa.generate drbg ~bits:512 in
+    let store = Sdds_dsp.Store.create () in
+    let doc_ids = Array.init docs (fun i -> Printf.sprintf "doc%02d" i) in
+    Array.iteri
+      (fun i doc_id ->
+        let doc =
+          Sdds_xml.Generator.hospital
+            (Sdds_util.Rng.create (Int64.of_int ((seed * 131) + i)))
+            ~patients:(1 + (i mod 3))
+        in
+        let published, doc_key =
+          Sdds_dsp.Publish.publish drbg ~publisher ~doc_id doc
+        in
+        Sdds_dsp.Store.put_document store published;
+        (* Distinct rule sets so each (doc, rules digest) affinity key is
+           its own point on the hash ring. *)
+        let rules =
+          [ Sdds_core.Rule.allow ~subject:"u" "//patient";
+            Sdds_core.Rule.deny ~subject:"u"
+              (if i mod 2 = 0 then "//ssn" else "//diagnosis") ]
+        in
+        Sdds_dsp.Store.put_rules store ~doc_id ~subject:"u"
+          (Sdds_dsp.Publish.encrypt_rules_for drbg ~publisher ~doc_key
+             ~doc_id ~subject:"u" rules);
+        Sdds_dsp.Store.put_grant store ~doc_id ~subject:"u"
+          (Sdds_dsp.Publish.grant drbg ~doc_key ~doc_id
+             ~recipient:user.Sdds_crypto.Rsa.public))
+      doc_ids;
+    let resolve id =
+      Option.map
+        (fun p -> Sdds_dsp.Publish.to_source p ~delivery:`Pull)
+        (Sdds_dsp.Store.get_document store id)
+    in
+    let schedule =
+      match fault_spec with
+      | None -> Sdds_fault.Fault.Schedule.none
+      | Some spec -> (
+          match Sdds_fault.Fault.Schedule.of_spec spec with
+          | Ok s -> s
+          | Error msg -> or_die (Error ("bad --fault-spec: " ^ msg)))
+    in
+    let links =
+      Array.init cards (fun i ->
+          let card =
+            Sdds_soe.Card.create ~profile:Sdds_soe.Cost.fleet ~subject:"u"
+              user
+          in
+          let host = Sdds_soe.Remote_card.Host.create ~card ~resolve () in
+          Sdds_fault.Fault.Link.wrap
+            ~schedule:(Sdds_fault.Fault.Schedule.for_card schedule i)
+            ~tear:(fun () -> Sdds_soe.Remote_card.Host.tear host)
+            (Sdds_soe.Remote_card.Host.process host))
+    in
+    let routing =
+      match routing with
+      | `Affinity -> Sdds_proxy.Fleet.Affinity
+      | `Least_loaded -> Sdds_proxy.Fleet.Least_loaded
+      | `Random -> Sdds_proxy.Fleet.Random (Int64.of_int (seed + 7))
+    in
+    let fleet =
+      Sdds_proxy.Fleet.create ~routing ~store ~subject:"u"
+        (Array.map Sdds_fault.Fault.Link.transport links)
+    in
+    (* Zipf(1.1) popularity: a hot head rewards affinity routing. *)
+    let cum =
+      let w =
+        Array.init docs (fun k ->
+            1.0 /. Float.pow (float_of_int (k + 1)) 1.1)
+      in
+      let total = Array.fold_left ( +. ) 0.0 w in
+      let acc = ref 0.0 in
+      Array.map
+        (fun x ->
+          acc := !acc +. (x /. total);
+          !acc)
+        w
+    in
+    let rng =
+      Sdds_util.Rng.create (Int64.of_int ((seed * 7919) + (cards * 1000) + streams))
+    in
+    let pick_doc () =
+      let u = float_of_int (Sdds_util.Rng.int rng 1_000_000) /. 1.0e6 in
+      let rec go k = if k >= docs - 1 || u <= cum.(k) then k else go (k + 1) in
+      doc_ids.(go 0)
+    in
+    let xpaths = [| None; Some "//patient/name"; Some "//patient" |] in
+    let reqs =
+      List.init streams (fun i ->
+          Sdds_proxy.Proxy.Request.make
+            ?xpath:xpaths.(i mod Array.length xpaths)
+            (pick_doc ()))
+    in
+    let outs = Sdds_proxy.Fleet.serve fleet reqs in
+    let st = Sdds_proxy.Fleet.stats fleet in
+    let lat =
+      List.filter_map
+        (fun (o : Sdds_proxy.Fleet.outcome) ->
+          match o.Sdds_proxy.Fleet.result with
+          | Ok _ -> Some (o.Sdds_proxy.Fleet.latency_s *. 1.0e3)
+          | Error _ -> None)
+        outs
+      |> Array.of_list
+    in
+    Array.sort compare lat;
+    let ok = Array.length lat in
+    let errors =
+      List.length outs - ok - st.Sdds_proxy.Fleet.rejected
+    in
+    let percentile p =
+      let n = Array.length lat in
+      if n = 0 then 0.0
+      else lat.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+    in
+    let injected =
+      Array.fold_left
+        (fun n l -> n + Sdds_fault.Fault.Link.injected l)
+        0 links
+    in
+    let served_by =
+      String.concat ","
+        (Array.to_list (Array.map string_of_int st.Sdds_proxy.Fleet.served_by))
+    in
+    if json then
+      Printf.printf
+        "{\"cards\":%d,\"streams\":%d,\"docs\":%d,\"routing\":%S,\"seed\":%d,\
+         \"ok\":%d,\"errors\":%d,\"rejected\":%d,\"affinity_hits\":%d,\
+         \"fallbacks\":%d,\"reroutes\":%d,\"queue_peak\":%d,\
+         \"served_by\":[%s],\"faults_injected\":%d,\"p50_ms\":%.3f,\
+         \"p95_ms\":%.3f,\"p99_ms\":%.3f}\n"
+        cards streams docs
+        (match routing with
+        | Sdds_proxy.Fleet.Affinity -> "affinity"
+        | Sdds_proxy.Fleet.Least_loaded -> "least-loaded"
+        | Sdds_proxy.Fleet.Random _ -> "random")
+        seed ok errors st.Sdds_proxy.Fleet.rejected
+        st.Sdds_proxy.Fleet.affinity_hits st.Sdds_proxy.Fleet.fallbacks
+        st.Sdds_proxy.Fleet.reroutes st.Sdds_proxy.Fleet.queue_peak served_by
+        injected (percentile 0.50) (percentile 0.95) (percentile 0.99)
+    else begin
+      Printf.printf "fleet: %d cards, %d streams over %d documents (seed %d)\n"
+        cards streams docs seed;
+      Printf.printf
+        "  ok %d  errors %d  rejected %d  (faults injected %d)\n" ok errors
+        st.Sdds_proxy.Fleet.rejected injected;
+      Printf.printf
+        "  routing: affinity hits %d, fallbacks %d, reroutes %d, queue \
+         peak %d\n"
+        st.Sdds_proxy.Fleet.affinity_hits st.Sdds_proxy.Fleet.fallbacks
+        st.Sdds_proxy.Fleet.reroutes st.Sdds_proxy.Fleet.queue_peak;
+      Printf.printf "  served by card: %s\n" served_by;
+      Printf.printf
+        "  simulated latency: p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n"
+        (percentile 0.50) (percentile 0.95) (percentile 0.99)
+    end
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Serve a synthetic zipfian workload through a multi-card fleet: \
+          publishes $(b,--docs) documents in-memory, fires $(b,--streams) \
+          concurrent requests at $(b,--cards) simulated cards behind the \
+          admission-controlled affinity scheduler, and reports routing \
+          counters and simulated latency percentiles. Deterministic for a \
+          given $(b,--seed); $(b,--fault-spec) derives an independent \
+          per-card fault schedule.")
+    Term.(
+      const run $ fleet_cards_arg $ streams_arg $ docs_arg $ routing_arg
+      $ seed_arg $ fault_arg $ json_arg)
 
 (* analyze *)
 
@@ -659,7 +946,8 @@ let () =
     Cmd.eval ~catch:false
       (Cmd.group info
          [ view_cmd; encode_cmd; stats_cmd; demo_cmd; keygen_cmd;
-           publish_cmd; update_rules_cmd; query_cmd; trace_cmd; analyze_cmd ])
+           publish_cmd; update_rules_cmd; query_cmd; trace_cmd; fleet_cmd;
+           analyze_cmd ])
   with
   | code -> exit code
   | exception Invalid_argument msg ->

@@ -48,26 +48,40 @@ type event = { frame : int; kind : kind }
 let event_to_string e = Printf.sprintf "@%d:%s" e.frame (kind_to_string e.kind)
 
 module Schedule = struct
-  type t = { decide : int -> kind option; describe : string }
+  type t = {
+    decide : int -> kind option;
+    describe : string;
+    (* Derive the schedule a sibling link (another card of a fleet)
+       sees: random schedules mix the salt into their seed so each card
+       suffers an independent fault stream; deterministic schedules
+       (none, explicit events) apply to every card as-is — they are
+       positional, and a directed test wants the same event everywhere. *)
+    salted : int64 -> t;
+  }
 
-  let none = { decide = (fun _ -> None); describe = "none" }
+  let rec none =
+    { decide = (fun _ -> None); describe = "none"; salted = (fun _ -> none) }
 
   let of_events events =
     let tbl = Hashtbl.create 16 in
     List.iter (fun e -> Hashtbl.replace tbl e.frame e.kind) events;
-    {
-      decide = Hashtbl.find_opt tbl;
-      describe =
-        (match events with
-        | [] -> "none"
-        | es -> String.concat "," (List.map event_to_string es));
-    }
+    let rec t =
+      {
+        decide = Hashtbl.find_opt tbl;
+        describe =
+          (match events with
+          | [] -> "none"
+          | es -> String.concat "," (List.map event_to_string es));
+        salted = (fun _ -> t);
+      }
+    in
+    t
 
   (* Stateless per-frame randomness: the decision for frame [n] depends
      only on [seed] and [n], so a schedule replays identically however
      many frames the recovering host ends up sending, and a failing run
      is reproducible from its seed alone. *)
-  let random ~seed ~rate ?(kinds = all_kinds) () =
+  let rec random ~seed ~rate ?(kinds = all_kinds) () =
     let kinds = Array.copy kinds in
     {
       decide =
@@ -89,7 +103,15 @@ module Schedule = struct
              ",kinds="
              ^ String.concat "+"
                  (Array.to_list (Array.map kind_to_string kinds)));
+      salted =
+        (fun salt ->
+          random ~seed:(Int64.logxor seed salt) ~rate ~kinds ());
     }
+
+  (* Distinct odd multiplier from the per-frame one, so card i's frame
+     stream is not a shifted alias of card 0's. *)
+  let for_card t card =
+    t.salted (Int64.mul (Int64.of_int (card + 1)) 0xBF58476D1CE4E5B9L)
 
   let of_spec spec =
     let spec = String.trim spec in

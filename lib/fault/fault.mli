@@ -66,6 +66,15 @@ module Schedule : sig
       the frame number: replays identically regardless of how many
       frames the recovering host ends up sending. *)
 
+  val for_card : t -> int -> t
+  (** [for_card t i] is the schedule card [i] of a fleet sees behind a
+      shared spec: a {!random} schedule reseeds with the card index mixed
+      in, so each card suffers an independent (but still deterministic,
+      replayable) fault stream; [none] and explicit {!of_events}
+      schedules apply to every card as-is — they are positional, and a
+      directed test wants the same event on whichever card it targets.
+      [describe] of a derived schedule shows the mixed seed. *)
+
   val of_spec : string -> (t, string) result
   (** Parse the [--fault-spec] syntax: ["none"], an explicit event list
       ["@3:tear,@10:drop-response"], or a random schedule

@@ -1,0 +1,405 @@
+(* Fleet-scale sharded serving: N simulated cards, each behind its own
+   [Remote_card.Host] transport and [Proxy.Pool], under one cooperative
+   scheduler. See fleet.mli for the contract. *)
+
+module Store = Sdds_dsp.Store
+module Apdu = Sdds_soe.Apdu
+module Cost = Sdds_soe.Cost
+module Rng = Sdds_util.Rng
+module Obs = Sdds_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Consistent-hash ring                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Ring = struct
+  (* [vnodes] virtual points per member, FNV-1a-hashed onto an unsigned
+     64-bit circle. Immutable: [add]/[remove] rebuild from the member
+     list, and because every member's points stay where they are, a
+     resize only moves the keys whose successor point changed — the
+     property test pins it. *)
+  type t = { vnodes : int; members : int list; points : (int64 * int) array }
+
+  let fnv1a64 s =
+    let h = ref 0xCBF29CE484222325L in
+    String.iter
+      (fun c ->
+        h :=
+          Int64.mul
+            (Int64.logxor !h (Int64.of_int (Char.code c)))
+            0x100000001B3L)
+      s;
+    !h
+
+  let create ?(vnodes = 64) members =
+    if vnodes < 1 then invalid_arg "Ring.create: vnodes < 1";
+    let members = List.sort_uniq compare members in
+    let points =
+      Array.of_list
+        (List.concat_map
+           (fun m ->
+             List.init vnodes (fun r ->
+                 (fnv1a64 (Printf.sprintf "card-%d/%d" m r), m)))
+           members)
+    in
+    Array.sort
+      (fun (a, ma) (b, mb) ->
+        match Int64.unsigned_compare a b with 0 -> compare ma mb | c -> c)
+      points;
+    { vnodes; members; points }
+
+  let members t = t.members
+  let add t m = create ~vnodes:t.vnodes (m :: t.members)
+  let remove t m = create ~vnodes:t.vnodes (List.filter (( <> ) m) t.members)
+
+  (* Successor point of the key's hash, wrapping past the top of the
+     circle back to the first point. *)
+  let lookup t key =
+    let n = Array.length t.points in
+    if n = 0 then invalid_arg "Ring.lookup: empty ring";
+    let h = fnv1a64 key in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then
+          search (mid + 1) hi
+        else search lo mid
+    in
+    if Int64.unsigned_compare (fst t.points.(n - 1)) h < 0 then
+      snd t.points.(0)
+    else snd t.points.(search 0 (n - 1))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fleet                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type routing = Affinity | Least_loaded | Random of int64
+
+type outcome = {
+  result : (Proxy.Pool.served, Proxy.error) result;
+  card : int;
+  affinity : bool;
+  reroutes : int;
+  latency_s : float;
+}
+
+(* One request in flight. [floor] carries simulated time already spent
+   on a card that failed the request away (re-route), so the reported
+   latency never goes backwards when the request restarts on a
+   less-loaded card. *)
+type job = {
+  index : int;
+  req : Proxy.Request.t;
+  mutable j_affinity : bool;
+  mutable j_reroutes : int;
+  mutable floor : float;
+  span : Obs.Tracer.span;
+}
+
+type slot = {
+  id : int;
+  pool : Proxy.Pool.t;
+  queue : job Queue.t;  (* admitted, waiting for a pool slot *)
+  mutable active : (job * Proxy.Pool.stream) list;
+  clock : float ref;  (* simulated seconds of link time *)
+  mutable served : int;
+  g_depth : Obs.Metrics.Gauge.t;
+}
+
+type t = {
+  slots : slot array;
+  ring : Ring.t;
+  routing : routing;
+  rng : Rng.t option;  (* [Random] routing only *)
+  store : Store.t;
+  subject : string;
+  queue_limit : int;
+  max_reroutes : int;
+  channels : int;
+  obs : Obs.t option;
+  mutable requests : int;
+  mutable affinity_hits : int;
+  mutable fallbacks : int;
+  mutable reroutes : int;
+  mutable rejected : int;
+  mutable q_peak : int;
+}
+
+type stats = {
+  requests : int;
+  affinity_hits : int;
+  fallbacks : int;
+  reroutes : int;
+  rejected : int;
+  served_by : int array;
+  queue_peak : int;
+}
+
+let card_count t = Array.length t.slots
+let clock t card = !(t.slots.(card).clock)
+
+let create ?obs ?(routing = Affinity) ?(queue_limit = 64) ?(max_reroutes = 1)
+    ?(channels = Apdu.max_channels) ?retry
+    ?(link_bytes_per_s = Cost.fleet.Cost.link_bytes_per_s) ~store ~subject
+    transports =
+  let n = Array.length transports in
+  if n < 1 then invalid_arg "Fleet.create: no cards";
+  if queue_limit < 1 then invalid_arg "Fleet.create: queue_limit < 1";
+  let slots =
+    Array.init n (fun i ->
+        let g_depth = Obs.Metrics.Gauge.create () in
+        Obs.attach_gauge obs
+          (Printf.sprintf "fleet.card%d.queue_depth" i)
+          g_depth;
+        let clock = ref 0.0 in
+        (* Every frame the pool exchanges with card [i] advances that
+           card's simulated clock by its wire time: queueing delay then
+           shows up as tail latency without any wall clock involved. *)
+        let transport cmd =
+          let resp = transports.(i) cmd in
+          clock :=
+            !clock
+            +. float_of_int
+                 (String.length (Apdu.encode_command cmd)
+                 + String.length (Apdu.encode_response resp))
+               /. link_bytes_per_s;
+          resp
+        in
+        {
+          id = i;
+          pool =
+            Proxy.Pool.create ?obs ~store ~transport ~subject ~channels
+              ?retry ();
+          queue = Queue.create ();
+          active = [];
+          clock;
+          served = 0;
+          g_depth;
+        })
+  in
+  {
+    slots;
+    ring = Ring.create (List.init n Fun.id);
+    routing;
+    rng =
+      (match routing with Random seed -> Some (Rng.create seed) | _ -> None);
+    store;
+    subject;
+    queue_limit;
+    max_reroutes;
+    channels;
+    obs;
+    requests = 0;
+    affinity_hits = 0;
+    fallbacks = 0;
+    reroutes = 0;
+    rejected = 0;
+    q_peak = 0;
+  }
+
+let load s = Queue.length s.queue + List.length s.active
+let room t s = load s < t.queue_limit
+
+let set_depth s = Obs.Metrics.Gauge.set s.g_depth (load s)
+
+let note_depth t s =
+  t.q_peak <- max t.q_peak (load s);
+  set_depth s
+
+(* The affinity key: the document and the digest of this subject's rule
+   blob — exactly what keys the card's prepared-evaluation cache, so
+   repeat requests for a (document, subject) pair land on the card whose
+   cache is already warm for them. *)
+let affinity_key t (r : Proxy.Request.t) =
+  let subject = Option.value ~default:t.subject r.Proxy.Request.subject in
+  let digest =
+    match
+      Store.get_rules t.store ~doc_id:r.Proxy.Request.doc_id ~subject
+    with
+    | Some rules -> Printf.sprintf "%Lx" (Ring.fnv1a64 rules)
+    | None -> subject  (* no rules: routing is moot, stay deterministic *)
+  in
+  r.Proxy.Request.doc_id ^ "\x00" ^ digest
+
+let least_loaded ?excluding t =
+  let best = ref None in
+  Array.iter
+    (fun s ->
+      if Some s.id <> excluding && room t s then
+        match !best with
+        | Some b when load b <= load s -> ()
+        | _ -> best := Some s)
+    t.slots;
+  !best
+
+(* Pick the serving card, or refuse: [None] means every bounded queue is
+   full — admission control in action. Affinity consults the hash ring
+   first and falls back to the least-loaded card when the ring's choice
+   has no room; both decisions are counted so the routing mix is
+   observable. *)
+let route t req =
+  match t.routing with
+  | Least_loaded -> (
+      match least_loaded t with
+      | Some s -> Some (s, false)
+      | None -> None)
+  | Random _ -> (
+      let rng = Option.get t.rng in
+      let s = t.slots.(Rng.int rng (Array.length t.slots)) in
+      if room t s then Some (s, false)
+      else
+        match least_loaded t with
+        | Some s -> Some (s, false)
+        | None -> None)
+  | Affinity -> (
+      let s = t.slots.(Ring.lookup t.ring (affinity_key t req)) in
+      if room t s then begin
+        t.affinity_hits <- t.affinity_hits + 1;
+        Obs.inc t.obs "fleet.affinity_hits" 1;
+        Some (s, true)
+      end
+      else
+        match least_loaded t with
+        | Some s ->
+            t.fallbacks <- t.fallbacks + 1;
+            Obs.inc t.obs "fleet.fallbacks" 1;
+            Some (s, false)
+        | None -> None)
+
+let serve t reqs =
+  let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
+  let results : outcome option array = Array.make n None in
+  let remaining = ref 0 in
+  (* The batch arrives at simulated t = 0 *of this call*: latency is
+     measured against each card's clock at entry, so clocks carrying
+     over from earlier batches (they must — warm state persists) do not
+     inflate later batches' latencies. *)
+  let starts = Array.map (fun s -> !(s.clock)) t.slots in
+  let tracer = Obs.tracer t.obs in
+  let finish job card latency result outcome_tag =
+    results.(job.index) <-
+      Some
+        {
+          result;
+          card;
+          affinity = job.j_affinity;
+          reroutes = job.j_reroutes;
+          latency_s = latency;
+        };
+    decr remaining;
+    Obs.Tracer.stop tracer
+      ~args:
+        [ ("outcome", outcome_tag);
+          ("card", string_of_int card);
+          ("reroutes", string_of_int job.j_reroutes) ]
+      job.span
+  in
+  (* Admission: route every request up front (the whole batch "arrives"
+     at simulated t = 0); a request no card has queue room for is
+     refused now with a typed error — the bounded per-card queues are
+     the admission control. *)
+  Array.iteri
+    (fun index req ->
+      t.requests <- t.requests + 1;
+      Obs.inc t.obs "fleet.requests" 1;
+      let span =
+        Obs.Tracer.start tracer ~parent:Obs.Tracer.none
+          ~args:
+            [ ("doc_id", req.Proxy.Request.doc_id);
+              ( "subject",
+                Option.value ~default:t.subject req.Proxy.Request.subject )
+            ]
+          "fleet.request"
+      in
+      let job =
+        { index; req; j_affinity = false; j_reroutes = 0; floor = 0.0; span }
+      in
+      incr remaining;
+      match route t req with
+      | None ->
+          t.rejected <- t.rejected + 1;
+          Obs.inc t.obs "fleet.rejected" 1;
+          finish job (-1) 0.0 (Error Proxy.Overloaded) "rejected"
+      | Some (slot, aff) ->
+          job.j_affinity <- aff;
+          Queue.add job slot.queue;
+          note_depth t slot)
+    reqs;
+  (* A budget-exhausted request (its card kept tearing or its link kept
+     faulting past the pool's per-card epoch recovery) is re-routed to
+     another card rather than failed, while the allowance lasts. *)
+  let reroute job failed =
+    if job.j_reroutes >= t.max_reroutes then false
+    else
+      match least_loaded ~excluding:failed t with
+      | Some s ->
+          job.j_reroutes <- job.j_reroutes + 1;
+          job.j_affinity <- false;
+          t.reroutes <- t.reroutes + 1;
+          Obs.inc t.obs "fleet.reroutes" 1;
+          Queue.add job s.queue;
+          note_depth t s;
+          true
+      | None -> false
+  in
+  (* Cooperative scheduler: round-robin over the cards; each card feeds
+     its pool up to [channels] concurrent streams from its FIFO queue
+     and advances every active stream by one frame per turn — the same
+     frame interleaving N independent terminals would produce, except
+     across N cards at once. *)
+  while !remaining > 0 do
+    Array.iter
+      (fun slot ->
+        while
+          List.length slot.active < t.channels
+          && not (Queue.is_empty slot.queue)
+        do
+          let job = Queue.take slot.queue in
+          let stream = Proxy.Pool.start slot.pool job.req in
+          slot.active <- slot.active @ [ (job, stream) ]
+        done;
+        set_depth slot;
+        List.iter
+          (fun (_, stream) -> Proxy.Pool.step slot.pool stream)
+          slot.active;
+        let still_active =
+          List.filter
+            (fun (job, stream) ->
+              match Proxy.Pool.result stream with
+              | None -> true
+              | Some result ->
+                  let latency =
+                    max job.floor (!(slot.clock) -. starts.(slot.id))
+                  in
+                  (match result with
+                  | Error (Proxy.Link_failure _ as e) ->
+                      job.floor <- latency;
+                      if not (reroute job slot.id) then
+                        finish job slot.id latency (Error e) "error"
+                  | Ok served ->
+                      slot.served <- slot.served + 1;
+                      finish job slot.id latency (Ok served) "ok"
+                  | Error e -> finish job slot.id latency (Error e) "error");
+                  false)
+            slot.active
+        in
+        slot.active <- still_active;
+        set_depth slot)
+      t.slots
+  done;
+  Array.to_list
+    (Array.map (function Some o -> o | None -> assert false) results)
+
+let stats (t : t) =
+  {
+    requests = t.requests;
+    affinity_hits = t.affinity_hits;
+    fallbacks = t.fallbacks;
+    reroutes = t.reroutes;
+    rejected = t.rejected;
+    served_by = Array.map (fun s -> s.served) t.slots;
+    queue_peak = t.q_peak;
+  }

@@ -1,0 +1,133 @@
+(** Fleet-scale sharded serving: one DSP front-end over N simulated
+    cards.
+
+    One card multiplexes at most {!Sdds_soe.Apdu.max_channels} logical
+    channels, which caps a single {!Proxy.Pool} at four concurrent
+    streams — nowhere near the subject population a DSP is meant to
+    serve. The fleet decouples stream multiplexing from the single card:
+    it fronts N cards (each with its own {!Sdds_soe.Remote_card.Host}
+    transport and its own [Pool], hence its own channel pool, epoch-based
+    tear recovery and warm-setup memos) behind one cooperative scheduler
+    that admits, routes, interleaves and — when a card keeps failing —
+    re-routes requests.
+
+    {b Admission and queues.} Each card has a bounded FIFO queue
+    ([queue_limit] covers queued plus in-flight streams). A request no
+    card has room for is refused {e at admission} with
+    {!Proxy.error.Overloaded} — load shedding happens before any frame is
+    spent, never by silently dropping an accepted request.
+
+    {b Affinity routing.} The default routing hashes (doc_id, digest of
+    the subject's rule blob) — exactly what keys the card's
+    prepared-evaluation cache — onto a consistent-hash {!Ring} of cards,
+    so repeat requests for a (document, subject) pair land where the
+    cache is warm; when the ring's choice is full the request falls back
+    to the least-loaded card. The ring's virtual points make affinity
+    survive a fleet resize: adding or removing a card only remaps the
+    keys whose successor point changed. [Least_loaded] and seeded
+    [Random] routing exist as baselines (the E19 bench compares their
+    warm-hit rates against affinity's).
+
+    {b Re-routing.} Transient faults and card tears are absorbed {e per
+    card} by the pool's own retry budget and epoch machinery; only when
+    a card exhausts a request's budget ({!Proxy.error.Link_failure})
+    does the fleet move the request to another card, up to
+    [max_reroutes] times, counting every move.
+
+    {b Simulated time.} Each card advances its own clock by the wire
+    time of every frame it exchanges ([link_bytes_per_s]); a request's
+    [latency_s] is its serving card's clock at completion (never less
+    than the time already burned on cards it was re-routed away from),
+    so queueing delay surfaces as tail latency deterministically, with
+    no wall clock involved.
+
+    [obs] wiring: [fleet.request] root spans (outcome, card and re-route
+    count as args), per-card [fleet.cardN.queue_depth] gauges, and the
+    routing-decision counters [fleet.requests], [fleet.affinity_hits],
+    [fleet.fallbacks], [fleet.reroutes], [fleet.rejected]. *)
+
+(** The consistent-hash ring affinity routing uses, exposed for direct
+    testing (resize stability) and reuse. Members are card indices. *)
+module Ring : sig
+  type t
+
+  val create : ?vnodes:int -> int list -> t
+  (** [vnodes] virtual points per member (default 64); duplicates in the
+      member list are dropped. *)
+
+  val members : t -> int list
+  (** Sorted, unique. *)
+
+  val add : t -> int -> t
+  val remove : t -> int -> t
+
+  val lookup : t -> string -> int
+  (** The member owning the key: successor point of the key's hash on
+      the circle. Raises [Invalid_argument] on an empty ring. *)
+
+  val fnv1a64 : string -> int64
+  (** The ring's hash (FNV-1a, 64-bit), exposed so callers can digest
+      payloads (e.g. rule blobs) consistently with the ring. *)
+end
+
+type t
+
+(** How requests are assigned to cards. *)
+type routing =
+  | Affinity  (** hash ring on (doc_id, rules digest); least-loaded fallback *)
+  | Least_loaded
+  | Random of int64  (** uniform, seeded — the warm-cache baseline *)
+
+val create :
+  ?obs:Sdds_obs.Obs.t ->
+  ?routing:routing ->
+  ?queue_limit:int ->
+  ?max_reroutes:int ->
+  ?channels:int ->
+  ?retry:Sdds_soe.Remote_card.Retry.t ->
+  ?link_bytes_per_s:float ->
+  store:Sdds_dsp.Store.t ->
+  subject:string ->
+  Sdds_soe.Remote_card.Client.transport array ->
+  t
+(** [create ~store ~subject transports] fronts one card per transport
+    (the caller owns the hosts and may interpose per-card fault links —
+    see {!Sdds_fault.Fault.Schedule.for_card}). Defaults: [Affinity]
+    routing, [queue_limit] 64 per card, [max_reroutes] 1, [channels]
+    {!Sdds_soe.Apdu.max_channels} per card, the default retry budget,
+    and {!Sdds_soe.Cost.fleet}'s link throughput. [subject] is the
+    default subject; per-request overrides ride in
+    {!Proxy.Request.t.subject}. *)
+
+type outcome = {
+  result : (Proxy.Pool.served, Proxy.error) result;
+  card : int;  (** card that completed (or last tried); -1 if rejected *)
+  affinity : bool;  (** served by the ring's choice, no fallback/re-route *)
+  reroutes : int;
+  latency_s : float;  (** simulated seconds, queueing included *)
+}
+
+val serve : t -> Proxy.Request.t list -> outcome list
+(** Serve a batch (all arriving at simulated t = 0), results in request
+    order. Every request ends in the exact authorized view or one typed
+    {!Proxy.error} — the fleet differential property in
+    [test/test_fleet.ml] holds it to the single-card golden run under
+    arbitrary seeded per-card fault schedules. State (queues drained,
+    channels, memos, clocks) persists across calls, so a later batch
+    finds warm caches. *)
+
+type stats = {
+  requests : int;
+  affinity_hits : int;
+  fallbacks : int;  (** ring choice was full; went least-loaded *)
+  reroutes : int;
+  rejected : int;  (** refused at admission ([Overloaded]) *)
+  served_by : int array;  (** successful completions per card *)
+  queue_peak : int;  (** deepest any card's queue ever got *)
+}
+
+val stats : t -> stats
+val card_count : t -> int
+
+val clock : t -> int -> float
+(** A card's simulated clock (seconds of link time it has served). *)

@@ -18,11 +18,12 @@ module Request = struct
     protect : bool;
     delivery : [ `Pull | `Push ];
     use_index : bool;
+    subject : string option;
   }
 
   let make ?xpath ?(protect = false) ?(delivery = `Pull) ?(use_index = true)
-      doc_id =
-    { doc_id; xpath; protect; delivery; use_index }
+      ?subject doc_id =
+    { doc_id; xpath; protect; delivery; use_index; subject }
 end
 
 type outcome = {
@@ -38,6 +39,7 @@ type error =
   | No_rules
   | Card_error of Card.error
   | Link_failure of { attempts : int }
+  | Overloaded
   | Protocol of string
 
 let pp_error ppf = function
@@ -48,16 +50,17 @@ let pp_error ppf = function
   | Link_failure { attempts } ->
       Format.fprintf ppf
         "link failure: retry budget exhausted after %d retries" attempts
+  | Overloaded ->
+      Format.pp_print_string ppf
+        "overloaded: admission control refused the request (every queue full)"
   | Protocol msg -> Format.fprintf ppf "protocol error: %s" msg
 
 let ( let* ) = Result.bind
 
-let ensure_key t ~doc_id =
+let ensure_key t ~doc_id ~subject =
   if Card.has_key t.card ~doc_id then Ok ()
   else
-    match
-      Store.get_grant t.store ~doc_id ~subject:(Card.subject t.card)
-    with
+    match Store.get_grant t.store ~doc_id ~subject with
     | None -> Error No_grant
     | Some wrapped -> (
         match Card.install_wrapped_key t.card ~doc_id ~wrapped with
@@ -68,12 +71,11 @@ let ensure_key t ~doc_id =
    card holds its key, fetch the encrypted policy, parse the query, then
    hand (source, rules, query) to the evaluation strategy, which returns
    the view and the card report. *)
-let with_context t ~doc_id ~delivery ~xpath run =
-  let subject = Card.subject t.card in
+let with_context t ~doc_id ~subject ~delivery ~xpath run =
   match Store.get_document t.store doc_id with
   | None -> Error (Unknown_document doc_id)
   | Some published -> (
-      let* () = ensure_key t ~doc_id in
+      let* () = ensure_key t ~doc_id ~subject in
       match Store.get_rules t.store ~doc_id ~subject with
       | None -> Error No_rules
       | Some encrypted_rules -> (
@@ -96,8 +98,8 @@ let with_context t ~doc_id ~delivery ~xpath run =
                     Apdu.frame_count ~payload_bytes:request_bytes;
                 }))
 
-let evaluate_protected_inner t ~doc_id ~delivery ~xpath ~use_index =
-  with_context t ~doc_id ~delivery ~xpath
+let evaluate_protected_inner t ~doc_id ~subject ~delivery ~xpath ~use_index =
+  with_context t ~doc_id ~subject ~delivery ~xpath
     (fun ~source ~encrypted_rules ~query ->
       match
         Card.evaluate_protected t.card source ~encrypted_rules ?query
@@ -111,22 +113,32 @@ let evaluate_protected_inner t ~doc_id ~delivery ~xpath ~use_index =
           List.iter (Sdds_soe.Guard.Unsealer.feed unsealer) messages;
           Ok (Sdds_soe.Guard.Unsealer.finish unsealer, card_report))
 
-let evaluate t ~doc_id ~delivery ~xpath ~use_index =
-  with_context t ~doc_id ~delivery ~xpath
+let evaluate t ~doc_id ~subject ~delivery ~xpath ~use_index =
+  with_context t ~doc_id ~subject ~delivery ~xpath
     (fun ~source ~encrypted_rules ~query ->
       match Card.evaluate t.card source ~encrypted_rules ?query ~use_index () with
       | Error e -> Error e
       | Ok (outputs, card_report) ->
           Ok (Reassembler.run ~has_query:(query <> None) outputs, card_report))
 
+(* The request's subject defaults to the card's own identity; a fleet
+   front-end serving a whole population overrides it per request (the
+   store's rules and grants are per (document, subject), but every
+   subject's grant wraps the same document key, so any card can serve any
+   subject it holds a usable grant for). *)
+let request_subject t (r : Request.t) =
+  Option.value ~default:(Card.subject t.card) r.Request.subject
+
 let run_once t (r : Request.t) =
+  let subject = request_subject t r in
   if r.Request.protect then
-    evaluate_protected_inner t ~doc_id:r.Request.doc_id
+    evaluate_protected_inner t ~doc_id:r.Request.doc_id ~subject
       ~delivery:r.Request.delivery ~xpath:r.Request.xpath
       ~use_index:r.Request.use_index
   else
-    evaluate t ~doc_id:r.Request.doc_id ~delivery:r.Request.delivery
-      ~xpath:r.Request.xpath ~use_index:r.Request.use_index
+    evaluate t ~doc_id:r.Request.doc_id ~subject
+      ~delivery:r.Request.delivery ~xpath:r.Request.xpath
+      ~use_index:r.Request.use_index
 
 (* Force-refresh the card's key from the DSP. [ensure_key] skips the
    install when the card already holds *a* key for the document, so after
@@ -141,8 +153,8 @@ let stale_evidence = function
   | Card.Bad_rules _ -> true
   | _ -> false
 
-let refresh_key t ~doc_id =
-  match Store.get_grant t.store ~doc_id ~subject:(Card.subject t.card) with
+let refresh_key t ~doc_id ~subject =
+  match Store.get_grant t.store ~doc_id ~subject with
   | None -> Error ()
   | Some wrapped -> (
       match Card.install_wrapped_key t.card ~doc_id ~wrapped with
@@ -164,7 +176,9 @@ let run t (r : Request.t) =
          If the store has no usable fresh grant (this subject was cut
          off), report the original staleness, not the refresh's own
          failure. *)
-      match refresh_key t ~doc_id:r.Request.doc_id with
+      match
+        refresh_key t ~doc_id:r.Request.doc_id ~subject:(request_subject t r)
+      with
       | Ok () ->
           Obs.inc obs "proxy.rekeys" 1;
           run_once t r
@@ -172,7 +186,15 @@ let run t (r : Request.t) =
   | result -> result
 
 let query t ~doc_id ?(protect = false) ?xpath () =
-  run t { Request.doc_id; xpath; protect; delivery = `Pull; use_index = true }
+  run t
+    {
+      Request.doc_id;
+      xpath;
+      protect;
+      delivery = `Pull;
+      use_index = true;
+      subject = None;
+    }
 
 let receive_push t ~doc_id = run t (Request.make ~delivery:`Push doc_id)
 
@@ -249,6 +271,9 @@ module Pool = struct
     retries : Obs.Metrics.Counter.t;
     buf : Buffer.t;  (* response accumulation *)
   }
+
+  let stream_subject t (r : Request.t) =
+    Option.value ~default:t.subject r.Request.subject
 
   (* The serve loop interleaves frames of many streams on one transport,
      so the implicit span stack cannot know which request a frame belongs
@@ -379,7 +404,7 @@ module Pool = struct
            fresh grant the staleness is the real answer. *)
         match
           Store.get_grant t.store ~doc_id:st.req.Request.doc_id
-            ~subject:t.subject
+            ~subject:(stream_subject t st.req)
         with
         | None -> finish t st (Error (Card_error e))
         | Some w ->
@@ -634,9 +659,9 @@ module Pool = struct
       match Store.get_document t.store r.Request.doc_id with
       | None -> fail (Unknown_document r.Request.doc_id)
       | Some _ -> (
+          let subject = stream_subject t r in
           match
-            Store.get_rules t.store ~doc_id:r.Request.doc_id
-              ~subject:t.subject
+            Store.get_rules t.store ~doc_id:r.Request.doc_id ~subject
           with
           | None -> fail No_rules
           | Some rules ->
@@ -648,8 +673,7 @@ module Pool = struct
               let st = fresh Wait_channel in
               st.rules <- rules;
               st.grant <-
-                Store.get_grant t.store ~doc_id:r.Request.doc_id
-                  ~subject:t.subject;
+                Store.get_grant t.store ~doc_id:r.Request.doc_id ~subject;
               st)
 
   let serve t reqs =
@@ -669,4 +693,11 @@ module Pool = struct
       (fun st ->
         match st.phase with Finished r -> r | _ -> assert false)
       streams
+
+  (* Incremental spelling of [serve], for external schedulers (the
+     {!Fleet}) that interleave this pool's streams with other pools':
+     [start] admits a request, each [step] advances it by at most one
+     frame, [result] is [Some] once it finished. *)
+  let start = init
+  let result st = match st.phase with Finished r -> Some r | _ -> None
 end

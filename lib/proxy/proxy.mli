@@ -28,6 +28,15 @@ module Request : sig
     protect : bool;  (** seal pending regions ({!Sdds_soe.Guard}) *)
     delivery : [ `Pull | `Push ];
     use_index : bool;  (** [false] = no-skip baseline *)
+    subject : string option;
+        (** fetch this subject's (rules, grant) from the DSP instead of
+            the executor's default ({!run} defaults to the card's own
+            identity, {!Pool} and {!Fleet} to their [subject] argument).
+            The card still enforces its own identity — rule blobs are
+            MAC-bound to the card's subject — so an override only
+            succeeds on a card provisioned for that subject; anything
+            else surfaces as a typed card error, never as another
+            subject's view. *)
   }
 
   val make :
@@ -35,10 +44,11 @@ module Request : sig
     ?protect:bool ->
     ?delivery:[ `Pull | `Push ] ->
     ?use_index:bool ->
+    ?subject:string ->
     string ->
     t
   (** [make doc_id] with defaults: no query, no protection, [`Pull],
-      index on. *)
+      index on, the executor's default subject. *)
 end
 
 type outcome = {
@@ -59,6 +69,9 @@ type error =
   | Link_failure of { attempts : int }
       (** the transport kept faulting until the retry budget ([attempts])
           was exhausted ({!Pool} only) *)
+  | Overloaded
+      (** admission control refused the request: every per-card queue of
+          the {!Fleet} was full *)
   | Protocol of string
       (** APDU-level failure that maps to no card error (unexpected
           status word, undecodable response stream, unsupported request) *)
@@ -160,4 +173,24 @@ module Pool : sig
       until a channel frees up. [protect] requests fail with {!Protocol}:
       guard messages have no wire codec, protection needs a local card.
       Raises [Sdds_xpath.Parser.Error] on a malformed [xpath]. *)
+
+  (** {2 Incremental serving}
+
+      The spelling external schedulers use ({!Sdds_proxy.Fleet}
+      interleaves the streams of many single-card pools): [start] admits
+      a request as a stream, each [step] advances it by at most one APDU
+      frame (a no-op once finished, or while every channel is busy), and
+      [result] is [Some] once the stream finished. [serve] is the
+      round-robin closure of these three. *)
+
+  type stream
+
+  val start : t -> Request.t -> stream
+  (** Admit one request. Failures detected before any frame (unknown
+      document, no rules, [protect]) surface as an already-finished
+      stream, not an exception — same contract as {!serve}. Raises
+      [Sdds_xpath.Parser.Error] on a malformed [xpath]. *)
+
+  val step : t -> stream -> unit
+  val result : stream -> (served, error) result option
 end

@@ -116,16 +116,93 @@ module Retry = struct
     min t.max_backoff_ms (t.base_backoff_ms *. (2.0 ** float_of_int consec))
 end
 
+(* The chained-command reassembly state machine, one per channel session.
+   Extracted so the retransmission semantics are testable in isolation:
+   the qcheck properties drive [feed] directly with frame counts spanning
+   the 256-frame sequence-number wraparound, which would need >64 KiB
+   observable uploads through the full card stack otherwise. *)
+module Chain = struct
+  type t = {
+    (* open accumulators, keyed by instruction *)
+    chains : (int, Buffer.t * int ref) Hashtbl.t;
+    (* ins -> (p2, data) of the last accepted final frame. This is the
+       completion marker a retransmitted final frame is recognized by.
+       Recording the frame's identity — not just its sequence number —
+       matters: a single-frame chain finishes at p2 = 0 and a 257-frame
+       chain finishes at p2 ≡ 0 (mod 256), both indistinguishable from a
+       fresh chain opener by p2 alone. *)
+    finished : (int, int * string) Hashtbl.t;
+  }
+
+  type verdict =
+    | Accepted  (* continuation frame appended *)
+    | Completed of string  (* final frame arrived: the whole payload *)
+    | Duplicate  (* retransmission recognized: ack again, execute nothing *)
+    | Rejected  (* sequence gap or stale continuation *)
+
+  let create () = { chains = Hashtbl.create 4; finished = Hashtbl.create 4 }
+
+  let reset t =
+    Hashtbl.reset t.chains;
+    Hashtbl.reset t.finished
+
+  (* The completion failed for good (e.g. preflight refused the blob): a
+     retransmitted final frame must not be acked as if it had
+     succeeded. *)
+  let forget t ins = Hashtbl.remove t.finished ins
+
+  let feed t (cmd : Apdu.command) =
+    match Hashtbl.find_opt t.chains cmd.Apdu.ins with
+    | None
+      when cmd.Apdu.p1 = 0
+           && Hashtbl.find_opt t.finished cmd.Apdu.ins
+              = Some (cmd.Apdu.p2, cmd.Apdu.data) ->
+        (* The final frame of the chain we just completed, retransmitted
+           because its ack was lost: re-ack it, whatever its p2 — p2 = 0
+           (a single-frame chain, or a final frame aliasing to 0 mod 256)
+           must not silently open a fresh chain and re-execute. *)
+        Duplicate
+    | None when cmd.Apdu.p2 <> 0 ->
+        (* A continuation (or unrecognized final) with no chain open: a
+           stale frame from before a SELECT or from an aborted upload —
+           it must not start a fresh chain. *)
+        Rejected
+    | existing -> (
+        let buf, seq =
+          match existing with
+          | Some bs -> bs
+          | None ->
+              let bs = (Buffer.create 256, ref 0) in
+              Hashtbl.add t.chains cmd.Apdu.ins bs;
+              bs
+        in
+        if !seq > 0 && cmd.Apdu.p2 = (!seq - 1) land 0xff then
+          (* Duplicate of the frame just accepted: ack, don't append. *)
+          Duplicate
+        else if cmd.Apdu.p2 <> !seq land 0xff then begin
+          Hashtbl.remove t.chains cmd.Apdu.ins;
+          Rejected
+        end
+        else begin
+          incr seq;
+          Buffer.add_string buf cmd.Apdu.data;
+          if cmd.Apdu.p1 = 0 then begin
+            Hashtbl.remove t.chains cmd.Apdu.ins;
+            Hashtbl.replace t.finished cmd.Apdu.ins
+              (cmd.Apdu.p2, cmd.Apdu.data);
+            Completed (Buffer.contents buf)
+          end
+          else Accepted
+        end)
+end
+
 module Host = struct
   (* The per-channel slice of the protocol state: everything a SELECT
      resets lives here, so channels cannot observe (or corrupt) each
      other's half-uploaded chains or undrained responses. *)
   type session = {
     mutable doc : Card.doc_source option;
-    (* chained-command accumulators, keyed by instruction *)
-    chains : (int, Buffer.t * int ref) Hashtbl.t;
-    (* ins -> p2 of the last accepted final frame, for duplicate acks *)
-    finished : (int, int) Hashtbl.t;
+    chain : Chain.t;  (* chained-command accumulators *)
     mutable pending_rules : string option;
     mutable pending_query : string option;
     mutable response : string;  (* bytes not yet drained *)
@@ -137,8 +214,7 @@ module Host = struct
   let fresh_session () =
     {
       doc = None;
-      chains = Hashtbl.create 4;
-      finished = Hashtbl.create 4;
+      chain = Chain.create ();
       pending_rules = None;
       pending_query = None;
       response = "";
@@ -189,49 +265,6 @@ module Host = struct
     t.sessions.(0) <- Some (fresh_session ())
 
   let reply ?(payload = "") (sw1, sw2) = { Apdu.sw1; sw2; payload }
-
-  (* Accumulate a chained command; returns [Ok (Some data)] when the final
-     frame arrives, [Ok None] mid-chain or on a duplicate (retransmitted)
-     frame, [Error ()] on a sequence-number gap (a dropped or reordered
-     frame must fail fast, not concatenate) or a continuation frame with
-     no chain open (a stale continuation from before a SELECT — or from
-     another channel — must not silently start a fresh chain). A frame
-     whose sequence number is exactly the previous one is the link
-     retransmitting after a lost acknowledgement: it is acked again
-     without appending, so retries never duplicate payload bytes. *)
-  let chain s (cmd : Apdu.command) =
-    match (Hashtbl.find_opt s.chains cmd.Apdu.ins, cmd.Apdu.p2) with
-    | None, p2 when p2 <> 0 ->
-        (* No chain open. A retransmitted final frame (its ack was lost)
-           is recognized by its recorded sequence number and re-acked. *)
-        if Hashtbl.find_opt s.finished cmd.Apdu.ins = Some p2 then Ok None
-        else Error ()
-    | existing, _ ->
-    let buf, seq =
-      match existing with
-      | Some bs -> bs
-      | None ->
-          let bs = (Buffer.create 256, ref 0) in
-          Hashtbl.add s.chains cmd.Apdu.ins bs;
-          bs
-    in
-    if !seq > 0 && cmd.Apdu.p2 = (!seq - 1) land 0xff then
-      (* Duplicate of the frame just accepted: ack, don't append. *)
-      Ok None
-    else if cmd.Apdu.p2 <> !seq land 0xff then begin
-      Hashtbl.remove s.chains cmd.Apdu.ins;
-      Error ()
-    end
-    else begin
-      incr seq;
-      Buffer.add_string buf cmd.Apdu.data;
-      if cmd.Apdu.p1 = 0 then begin
-        Hashtbl.remove s.chains cmd.Apdu.ins;
-        Hashtbl.replace s.finished cmd.Apdu.ins cmd.Apdu.p2;
-        Ok (Some (Buffer.contents buf))
-      end
-      else Ok None
-    end
 
   (* Serve the next 255-byte block of the response stream and remember it:
      a GET RESPONSE re-asking for the block just served (its response was
@@ -291,8 +324,7 @@ module Host = struct
              chains from an aborted rules/query upload must not be
              concatenated with a later upload for this (or any)
              document. *)
-          Hashtbl.reset s.chains;
-          Hashtbl.reset s.finished;
+          Chain.reset s.chain;
           s.pending_rules <- None;
           s.pending_query <- None;
           s.response <- "";
@@ -317,10 +349,10 @@ module Host = struct
       match s.doc with
       | None -> reply Sw.bad_state
       | Some doc -> (
-          match chain s cmd with
-          | Error () -> reply Sw.bad_state
-          | Ok None -> reply Sw.ok
-          | Ok (Some blob) -> (
+          match Chain.feed s.chain cmd with
+          | Chain.Rejected -> reply Sw.bad_state
+          | Chain.Accepted | Chain.Duplicate -> reply Sw.ok
+          | Chain.Completed blob -> (
               (* Static admission at upload time: a blob whose analyzer
                  memory bound cannot fit this card is refused here, with
                  its own status word, before any evaluation is attempted.
@@ -342,7 +374,7 @@ module Host = struct
               | Error e ->
                   (* The upload failed for good: a retransmitted final
                      frame must not be acked as if it had succeeded. *)
-                  Hashtbl.remove s.finished Ins.rules;
+                  Chain.forget s.chain Ins.rules;
                   reply (to_sw e)
               | Ok () ->
                   s.pending_rules <- Some blob;
@@ -351,10 +383,10 @@ module Host = struct
     else if cmd.Apdu.ins = Ins.query then begin
       if s.doc = None then reply Sw.bad_state
       else begin
-        match chain s cmd with
-        | Error () -> reply Sw.bad_state
-        | Ok None -> reply Sw.ok
-        | Ok (Some q) ->
+        match Chain.feed s.chain cmd with
+        | Chain.Rejected -> reply Sw.bad_state
+        | Chain.Accepted | Chain.Duplicate -> reply Sw.ok
+        | Chain.Completed q ->
             s.pending_query <- Some q;
             reply Sw.ok
       end

@@ -152,6 +152,45 @@ module Retry : sig
       cost figure, never slept. *)
 end
 
+(** The host-side chained-command reassembly state machine (one per
+    channel session), exposed so its retransmission semantics are
+    directly testable: the regression properties drive {!Chain.feed} with
+    frame counts spanning the 256-frame sequence-number wraparound.
+
+    The invariant the fault tolerance rests on: feeding the frames of one
+    {!Apdu.segment} run, with any frame retransmitted any number of times
+    (adjacent duplicates — the link layer's failure mode), completes the
+    chain {e exactly once} with the exact payload. The completion marker
+    records the final frame's identity — sequence number {e and} payload
+    — not just its p2: a single-frame chain finishes at p2 = 0, and a
+    257-frame chain finishes at p2 ≡ 0 (mod 256), both of which a
+    p2-keyed marker would confuse with a fresh chain opener, silently
+    re-executing the instruction on a duplicate. *)
+module Chain : sig
+  type t
+
+  type verdict =
+    | Accepted  (** continuation frame appended *)
+    | Completed of string  (** final frame arrived: the whole payload *)
+    | Duplicate
+        (** retransmitted frame recognized: ack again, execute nothing *)
+    | Rejected  (** sequence gap or stale continuation *)
+
+  val create : unit -> t
+
+  val reset : t -> unit
+  (** Forget every open chain and completion marker (what a SELECT does). *)
+
+  val forget : t -> int -> unit
+  (** Drop the completion marker for one instruction: the completed
+      upload was refused for good (e.g. static admission), so a
+      retransmitted final frame must not be re-acked as a success. *)
+
+  val feed : t -> Apdu.command -> verdict
+  (** Feed one chained frame (sequence number in p2 mod 256; p1 = 1
+      continuation, 0 final), keyed by the command's instruction byte. *)
+end
+
 module Host : sig
   type t
 

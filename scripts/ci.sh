@@ -11,18 +11,19 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== bench smoke (E15 E16 E17 E18) =="
-dune exec bench/main.exe -- --smoke E15 E16 E17 E18
+echo "== bench smoke (E15 E16 E17 E18 E19) =="
+dune exec bench/main.exe -- --smoke E15 E16 E17 E18 E19
 
 echo "== BENCH_engine.json schema check =="
-# The smoke run above rewrites BENCH_engine.json; the schema must be /5
-# and carry the E18 "obs" array (observability overhead points).
+# The smoke run above rewrites BENCH_engine.json; the schema must be /6
+# and carry the E18 "obs" array (observability overhead points) plus the
+# E19 "fleet" array (cards x streams serving points).
 if command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json, sys
 with open("BENCH_engine.json") as f:
     d = json.load(f)
-assert d["schema"] == "sdds-bench-engine/5", d["schema"]
+assert d["schema"] == "sdds-bench-engine/6", d["schema"]
 obs = d["obs"]
 assert len(obs) >= 1, "empty obs array"
 modes = {r["mode"] for r in obs if r["experiment"] == "E18"}
@@ -31,13 +32,51 @@ for r in obs:
     for k in ("case", "mode", "events", "trace_events", "dropped",
               "skip_considered", "skipped_subtrees", "skipped_bytes"):
         assert k in r, k
-print("BENCH_engine.json: schema /5, %d obs points" % len(obs))
+fleet = d["fleet"]
+assert len(fleet) >= 1, "empty fleet array"
+for r in fleet:
+    assert r["experiment"] == "E19", r
+    for k in ("cards", "streams", "routing", "phase", "ok", "errors",
+              "rejected", "affinity_hits", "fallbacks", "reroutes",
+              "warm_setups", "cache_hit_pct", "queue_peak",
+              "p50_ms", "p95_ms", "p99_ms"):
+        assert k in r, k
+assert {r["routing"] for r in fleet} == {"affinity", "random"}
+assert {r["phase"] for r in fleet} == {"cold", "warm"}
+print("BENCH_engine.json: schema /6, %d obs + %d fleet points"
+      % (len(obs), len(fleet)))
 EOF
 else
-  grep -q '"schema": "sdds-bench-engine/5"' BENCH_engine.json
+  grep -q '"schema": "sdds-bench-engine/6"' BENCH_engine.json
   grep -q '"obs": \[' BENCH_engine.json
   grep -q '"mode": "full"' BENCH_engine.json
-  echo "BENCH_engine.json: schema /5 (python3 unavailable; grep check)"
+  grep -q '"fleet": \[' BENCH_engine.json
+  grep -q '"experiment": "E19"' BENCH_engine.json
+  echo "BENCH_engine.json: schema /6 (python3 unavailable; grep check)"
+fi
+
+echo "== fleet smoke: 2 cards x 16 streams, fixed seed =="
+# The multi-card scheduler must serve every stream (no typed errors, no
+# admission rejections at this size) and affinity routing must actually
+# land repeat (doc, rules) keys on their ring card.
+fleet_out="$(dune exec bin/sdds_cli.exe -- fleet --cards 2 --streams 16 --seed 7 --json)"
+echo "$fleet_out"
+if command -v python3 >/dev/null 2>&1; then
+  FLEET_JSON="$fleet_out" python3 - <<'EOF'
+import json, os
+r = json.loads(os.environ["FLEET_JSON"])
+assert r["ok"] == 16, r
+assert r["errors"] == 0 and r["rejected"] == 0, r
+assert r["affinity_hits"] > 0, r
+assert r["p50_ms"] > 0 and r["p99_ms"] >= r["p50_ms"], r
+print("fleet smoke: 16/16 ok, %d affinity hits" % r["affinity_hits"])
+EOF
+else
+  printf '%s' "$fleet_out" | grep -q '"ok":16'
+  printf '%s' "$fleet_out" | grep -q '"errors":0'
+  printf '%s' "$fleet_out" | grep -q '"rejected":0'
+  printf '%s' "$fleet_out" | grep -qv '"affinity_hits":0,'
+  echo "fleet smoke ok (python3 unavailable; grep check)"
 fi
 
 echo "== fault soak: fixed-seed lossy links must converge to the golden view =="

@@ -119,7 +119,8 @@ let qcheck_soundness =
           | Ok xml -> xml = want  (* the exact authorized view *)
           | Error
               ( Proxy.Link_failure _ | Proxy.Card_error _ | Proxy.Protocol _
-              | Proxy.Unknown_document _ | Proxy.No_grant | Proxy.No_rules ) ->
+              | Proxy.Unknown_document _ | Proxy.No_grant | Proxy.No_rules
+              | Proxy.Overloaded ) ->
               true)
         views (Lazy.force golden))
 

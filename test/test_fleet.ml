@@ -1,0 +1,531 @@
+(* Fleet-scale sharded serving, and the chain-protocol replay fixes it
+   leans on: the exactly-once chain completion (duplicate final frames,
+   including at the 256-frame sequence wraparound), the consistent-hash
+   ring's resize stability, admission control, re-routing, and the fleet
+   differential oracle (every fleet-served request equals the
+   single-card golden view or a typed error, under per-card faults). *)
+
+module Card = Sdds_soe.Card
+module Cost = Sdds_soe.Cost
+module Apdu = Sdds_soe.Apdu
+module Remote = Sdds_soe.Remote_card
+module Proxy = Sdds_proxy.Proxy
+module Fleet = Sdds_proxy.Fleet
+module Fault = Sdds_fault.Fault
+module Publish = Sdds_dsp.Publish
+module Store = Sdds_dsp.Store
+module Rule = Sdds_core.Rule
+module Generator = Sdds_xml.Generator
+module Drbg = Sdds_crypto.Drbg
+module Rsa = Sdds_crypto.Rsa
+module Rng = Sdds_util.Rng
+module Obs = Sdds_obs.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Chain protocol: exactly-once completion under retransmission        *)
+(* ------------------------------------------------------------------ *)
+
+let chain_frame ?(p1 = 0) ?(p2 = 0) data =
+  { Apdu.cla = Apdu.base_cla; ins = Remote.Ins.rules; p1; p2; data }
+
+(* The replay hole this PR closes: a single-frame chain finishes at
+   p2 = 0, which a p2-keyed completion marker cannot tell from a fresh
+   chain opener — the duplicated final frame silently re-executed. *)
+let test_chain_single_frame_duplicate () =
+  let ch = Remote.Chain.create () in
+  (match Remote.Chain.feed ch (chain_frame "abc") with
+  | Remote.Chain.Completed p -> Alcotest.(check string) "payload" "abc" p
+  | _ -> Alcotest.fail "single final frame must complete");
+  match Remote.Chain.feed ch (chain_frame "abc") with
+  | Remote.Chain.Duplicate -> ()
+  | Remote.Chain.Completed _ ->
+      Alcotest.fail "duplicated final frame re-executed the instruction"
+  | _ -> Alcotest.fail "duplicated final frame must be re-acked"
+
+(* The same hole one lap later: frame 257 carries p2 = 256 mod 256 = 0. *)
+let test_chain_wraparound_duplicate () =
+  let payload =
+    String.init ((256 * 255) + 9) (fun i -> Char.chr ((i * 31) land 0xff))
+  in
+  let frames = Apdu.segment ~cla:Apdu.base_cla ~ins:Remote.Ins.rules payload in
+  Alcotest.(check int) "spans the wraparound" 257 (List.length frames);
+  let final = List.nth frames 256 in
+  Alcotest.(check int) "final frame lands on p2 = 0" 0 final.Apdu.p2;
+  let ch = Remote.Chain.create () in
+  let completed = ref None in
+  List.iter
+    (fun f ->
+      match Remote.Chain.feed ch f with
+      | Remote.Chain.Completed p -> completed := Some p
+      | Remote.Chain.Accepted -> ()
+      | Remote.Chain.Duplicate | Remote.Chain.Rejected ->
+          Alcotest.fail "clean chain must be accepted")
+    frames;
+  Alcotest.(check bool) "completed with the exact payload" true
+    (!completed = Some payload);
+  (match Remote.Chain.feed ch final with
+  | Remote.Chain.Duplicate -> ()
+  | Remote.Chain.Completed _ ->
+      Alcotest.fail "retransmitted wraparound final started a fresh chain"
+  | _ -> Alcotest.fail "retransmitted final must be re-acked");
+  (* A stale mid-chain continuation after completion is a protocol
+     error, not a silent restart. *)
+  match Remote.Chain.feed ch (chain_frame ~p1:1 ~p2:5 "stale") with
+  | Remote.Chain.Rejected -> ()
+  | _ -> Alcotest.fail "stale continuation must be rejected"
+
+(* [forget] exists for uploads refused for good (static admission): the
+   marker is dropped, so the "same" frame executes afresh. *)
+let test_chain_forget_clears_marker () =
+  let ch = Remote.Chain.create () in
+  (match Remote.Chain.feed ch (chain_frame "abc") with
+  | Remote.Chain.Completed _ -> ()
+  | _ -> Alcotest.fail "must complete");
+  Remote.Chain.forget ch Remote.Ins.rules;
+  match Remote.Chain.feed ch (chain_frame "abc") with
+  | Remote.Chain.Completed p -> Alcotest.(check string) "payload" "abc" p
+  | _ -> Alcotest.fail "forgotten marker must not re-ack"
+
+(* The invariant, property-tested across the 256-frame boundary: feeding
+   one [Apdu.segment] run with any frame retransmitted (adjacent
+   duplicates, the link's failure mode) completes exactly once with the
+   exact payload, and never rejects. *)
+let qcheck_chain_exactly_once =
+  QCheck2.Test.make
+    ~name:"chain completes exactly once under duplicates (256 wraparound)"
+    ~count:25
+    QCheck2.Gen.(
+      triple
+        (oneofl [ 1; 2; 3; 254; 255; 256; 257; 258 ])
+        (int_range 1 255) (int_bound 1_000_000))
+    (fun (frames, last_len, seed) ->
+      let len = ((frames - 1) * 255) + last_len in
+      let payload =
+        String.init len (fun i -> Char.chr ((i * 131 + seed) land 0xff))
+      in
+      let cmds =
+        Apdu.segment ~cla:Apdu.base_cla ~ins:Remote.Ins.rules payload
+      in
+      assert (List.length cmds = frames);
+      let rng = Rng.create (Int64.of_int (seed + 1)) in
+      let ch = Remote.Chain.create () in
+      let completions = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun f ->
+          let deliveries = 1 + (if Rng.int rng 100 < 30 then 1 else 0) in
+          for _ = 1 to deliveries do
+            match Remote.Chain.feed ch f with
+            | Remote.Chain.Completed p -> completions := p :: !completions
+            | Remote.Chain.Accepted | Remote.Chain.Duplicate -> ()
+            | Remote.Chain.Rejected -> ok := false
+          done)
+        cmds;
+      !ok && !completions = [ payload ])
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: duplicated final frames through the full APDU stack     *)
+(* ------------------------------------------------------------------ *)
+
+let run_eval ~store ~user ~grant ~blob schedule =
+  let resolve id =
+    Option.map
+      (fun p -> Publish.to_source p ~delivery:`Pull)
+      (Store.get_document store id)
+  in
+  let card = Card.create ~profile:Cost.modern ~subject:"u" user in
+  let host = Remote.Host.create ~card ~resolve () in
+  let link =
+    Fault.Link.wrap ~schedule
+      ~tear:(fun () -> Remote.Host.tear host)
+      (Remote.Host.process host)
+  in
+  let r =
+    Remote.Client.evaluate
+      (Fault.Link.transport link)
+      ~doc_id:"ward" ~wrapped_grant:grant ~encrypted_rules:blob ()
+  in
+  (r, link)
+
+let outputs_of name = function
+  | Ok r, _ -> r.Remote.Client.outputs
+  | Error e, _ ->
+      Alcotest.failf "%s failed: %s" name (Remote.Client.string_of_error e)
+
+(* Satellite: a rules blob that fits one frame — the upload IS its own
+   final frame (p1 = 0, p2 = 0) — duplicated on the wire. The view must
+   equal the clean run's. *)
+let test_single_frame_upload_duplicate_end_to_end () =
+  let drbg = Drbg.create ~seed:"fleet-single-frame" in
+  let publisher = Rsa.generate drbg ~bits:512 in
+  let user = Rsa.generate drbg ~bits:512 in
+  let store = Store.create () in
+  let doc = Generator.hospital (Rng.create 7L) ~patients:2 in
+  let published, doc_key = Publish.publish drbg ~publisher ~doc_id:"ward" doc in
+  Store.put_document store published;
+  let blob =
+    Publish.encrypt_rules_for drbg ~publisher ~doc_key ~doc_id:"ward"
+      ~subject:"u"
+      [ Rule.allow ~subject:"u" "//patient" ]
+  in
+  Alcotest.(check int) "the upload fits one frame" 1
+    (Apdu.frame_count ~payload_bytes:(String.length blob));
+  let grant =
+    Publish.grant drbg ~doc_key ~doc_id:"ward" ~recipient:user.Rsa.public
+  in
+  let clean =
+    outputs_of "clean" (run_eval ~store ~user ~grant ~blob Fault.Schedule.none)
+  in
+  (* Frames 0–1 are SELECT and GRANT; frame 2 is the whole rules chain. *)
+  let r, link =
+    run_eval ~store ~user ~grant ~blob
+      (Fault.Schedule.of_events
+         [ { Fault.frame = 2; kind = Fault.Duplicate_command } ])
+  in
+  Alcotest.(check int) "the duplicate fired" 1 (Fault.Link.injected link);
+  Alcotest.(check bool) "duplicated single-frame upload: exact view" true
+    (outputs_of "duplicated" (r, link) = clean)
+
+(* Satellite: a 257-frame upload, whose final frame lands on
+   p2 = 256 mod 256 = 0, with that final frame duplicated. Pre-fix the
+   duplicate opened a fresh one-frame "chain" whose garbage payload
+   replaced the rules and the evaluation failed; post-fix it is re-acked
+   and the view is exact. *)
+let test_wraparound_upload_duplicate_end_to_end () =
+  let drbg = Drbg.create ~seed:"fleet-wraparound" in
+  let publisher = Rsa.generate drbg ~bits:512 in
+  let user = Rsa.generate drbg ~bits:512 in
+  let store = Store.create () in
+  let doc = Generator.hospital (Rng.create 9L) ~patients:1 in
+  let published, doc_key = Publish.publish drbg ~publisher ~doc_id:"ward" doc in
+  Store.put_document store published;
+  (* Pad the rule set until the encrypted blob segments into exactly 257
+     frames; ciphertext grows ~1 byte per plaintext byte, so aiming at
+     the middle of the 255-byte-wide window converges in a few steps. *)
+  let blob_for pad =
+    Publish.encrypt_rules_for drbg ~publisher ~doc_key ~doc_id:"ward"
+      ~subject:"u"
+      [ Rule.allow ~subject:"u" "//patient";
+        Rule.deny ~subject:"u" ("//" ^ String.make pad 'z') ]
+  in
+  let target = (257 * 255) - 127 in
+  let rec tune pad guard =
+    if guard = 0 then Alcotest.fail "could not tune a 257-frame blob"
+    else
+      let blob = blob_for pad in
+      if Apdu.frame_count ~payload_bytes:(String.length blob) = 257 then blob
+      else tune (max 1 (pad + target - String.length blob)) (guard - 1)
+  in
+  let blob = tune 65000 20 in
+  let grant =
+    Publish.grant drbg ~doc_key ~doc_id:"ward" ~recipient:user.Rsa.public
+  in
+  let clean =
+    outputs_of "clean" (run_eval ~store ~user ~grant ~blob Fault.Schedule.none)
+  in
+  (* SELECT (0), GRANT (1), then 257 rules frames: the final one is
+     frame 2 + 256 = 258. *)
+  let r, link =
+    run_eval ~store ~user ~grant ~blob
+      (Fault.Schedule.of_events
+         [ { Fault.frame = 258; kind = Fault.Duplicate_command } ])
+  in
+  Alcotest.(check int) "the duplicate fired" 1 (Fault.Link.injected link);
+  Alcotest.(check bool) "duplicated wraparound final: exact view" true
+    (outputs_of "duplicated" (r, link) = clean)
+
+(* ------------------------------------------------------------------ *)
+(* Consistent-hash ring                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_basics () =
+  let ring = Fleet.Ring.create [ 2; 0; 1; 1 ] in
+  Alcotest.(check (list int)) "members sorted, deduped" [ 0; 1; 2 ]
+    (Fleet.Ring.members ring);
+  let owner = Fleet.Ring.lookup ring "some-key" in
+  Alcotest.(check bool) "owner is a member" true (List.mem owner [ 0; 1; 2 ]);
+  Alcotest.(check int) "lookup is deterministic" owner
+    (Fleet.Ring.lookup ring "some-key");
+  Alcotest.check_raises "empty ring refuses lookups"
+    (Invalid_argument "Ring.lookup: empty ring") (fun () ->
+      ignore (Fleet.Ring.lookup (Fleet.Ring.create []) "k"))
+
+(* Resize stability — why the fleet's affinity survives adding or
+   removing a card: growing the ring only moves keys TO the new member,
+   and shrinking it back restores the exact original mapping. *)
+let qcheck_ring_resize_stability =
+  QCheck2.Test.make ~name:"ring resize moves only the changed member's keys"
+    ~count:50
+    QCheck2.Gen.(pair (int_range 1 8) (int_bound 1_000_000))
+    (fun (n, seed) ->
+      let ring = Fleet.Ring.create (List.init n Fun.id) in
+      let keys = List.init 100 (fun i -> Printf.sprintf "key-%d-%d" seed i) in
+      let before = List.map (Fleet.Ring.lookup ring) keys in
+      let grown = Fleet.Ring.add ring n in
+      List.for_all2
+        (fun k b ->
+          let a = Fleet.Ring.lookup grown k in
+          a = b || a = n)
+        keys before
+      && Fleet.Ring.members (Fleet.Ring.remove grown n)
+         = Fleet.Ring.members ring
+      && List.for_all2
+           (fun k b -> Fleet.Ring.lookup (Fleet.Ring.remove grown n) k = b)
+           keys before)
+
+(* ------------------------------------------------------------------ *)
+(* Fleet world: several published documents, one subject               *)
+(* ------------------------------------------------------------------ *)
+
+type fworld = { store : Store.t; user : Rsa.keypair }
+
+let ndocs = 6
+let fdoc i = Printf.sprintf "doc%d" i
+
+let make_fleet_world () =
+  let drbg = Drbg.create ~seed:"fleet-world" in
+  let publisher = Rsa.generate drbg ~bits:512 in
+  let user = Rsa.generate drbg ~bits:512 in
+  let store = Store.create () in
+  List.iter
+    (fun i ->
+      let doc_id = fdoc i in
+      let doc =
+        Generator.hospital
+          (Rng.create (Int64.of_int (101 + i)))
+          ~patients:(1 + (i mod 3))
+      in
+      let published, doc_key = Publish.publish drbg ~publisher ~doc_id doc in
+      Store.put_document store published;
+      (* Distinct rule sets per document, so each (doc, rules digest)
+         affinity key is its own point on the ring. *)
+      let rules =
+        Rule.allow ~subject:"u" "//patient"
+        ::
+        (if i mod 2 = 0 then [ Rule.deny ~subject:"u" "//ssn" ]
+         else [ Rule.deny ~subject:"u" "//diagnosis" ])
+      in
+      Store.put_rules store ~doc_id ~subject:"u"
+        (Publish.encrypt_rules_for drbg ~publisher ~doc_key ~doc_id
+           ~subject:"u" rules);
+      Store.put_grant store ~doc_id ~subject:"u"
+        (Publish.grant drbg ~doc_key ~doc_id ~recipient:user.Rsa.public))
+    (List.init ndocs Fun.id);
+  { store; user }
+
+let fleet_world = lazy (make_fleet_world ())
+
+let fleet_resolve w id =
+  Option.map
+    (fun p -> Publish.to_source p ~delivery:`Pull)
+    (Store.get_document w.store id)
+
+let fresh_hosts w n =
+  Array.init n (fun _ ->
+      let card = Card.create ~profile:Cost.modern ~subject:"u" w.user in
+      Remote.Host.create ~card ~resolve:(fleet_resolve w) ())
+
+(* The differential reference: the same request through the plain
+   single-card [Proxy.run], fault-free. *)
+let golden_tbl : (string * string option, string option) Hashtbl.t =
+  Hashtbl.create 16
+
+let fleet_golden w doc_id xpath =
+  match Hashtbl.find_opt golden_tbl (doc_id, xpath) with
+  | Some xml -> xml
+  | None ->
+      let card = Card.create ~profile:Cost.modern ~subject:"u" w.user in
+      let proxy = Proxy.create ~store:w.store ~card in
+      let xml =
+        match Proxy.run proxy (Proxy.Request.make ?xpath doc_id) with
+        | Ok o -> o.Proxy.xml
+        | Error e -> Alcotest.failf "golden run failed: %a" Proxy.pp_error e
+      in
+      Hashtbl.add golden_tbl (doc_id, xpath) xml;
+      xml
+
+(* ------------------------------------------------------------------ *)
+(* Fleet behaviour                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A zipf-flavoured pull of the document population: doc0 takes half the
+   traffic, the rest spreads thin — the mix that makes affinity pay. *)
+let pick_doc i =
+  if i mod 2 = 0 then 0 else 1 + (i * 7 mod (ndocs - 1))
+
+let test_fleet_serves_batch_exactly () =
+  let w = Lazy.force fleet_world in
+  let obs = Obs.create ~tracing:false () in
+  let hosts = fresh_hosts w 2 in
+  let fleet =
+    Fleet.create ~obs ~store:w.store ~subject:"u"
+      (Array.map Remote.Host.process hosts)
+  in
+  let reqs = List.init 24 (fun i -> Proxy.Request.make (fdoc (pick_doc i))) in
+  let outs = Fleet.serve fleet reqs in
+  List.iter2
+    (fun (r : Proxy.Request.t) (o : Fleet.outcome) ->
+      match o.Fleet.result with
+      | Ok s ->
+          Alcotest.(check (option string))
+            "fleet view = single-card view"
+            (fleet_golden w r.Proxy.Request.doc_id None)
+            s.Proxy.Pool.xml;
+          Alcotest.(check bool) "latency is simulated time" true
+            (o.Fleet.latency_s > 0.0)
+      | Error e -> Alcotest.failf "fleet request failed: %a" Proxy.pp_error e)
+    reqs outs;
+  let st = Fleet.stats fleet in
+  Alcotest.(check int) "every request counted" 24 st.Fleet.requests;
+  Alcotest.(check int) "no rejections" 0 st.Fleet.rejected;
+  Alcotest.(check bool) "affinity routed" true (st.Fleet.affinity_hits > 0);
+  Alcotest.(check int) "all completions accounted" 24
+    (Array.fold_left ( + ) 0 st.Fleet.served_by);
+  Alcotest.(check int) "requests counter" 24
+    (Obs.Metrics.counter_value obs.Obs.metrics "fleet.requests");
+  Alcotest.(check int) "affinity counter mirrors stats"
+    st.Fleet.affinity_hits
+    (Obs.Metrics.counter_value obs.Obs.metrics "fleet.affinity_hits");
+  (* Affinity's point: a second identical batch finds the per-channel
+     session memos of the cards the first batch warmed. *)
+  let again = Fleet.serve fleet reqs in
+  let warm =
+    List.fold_left
+      (fun n (o : Fleet.outcome) ->
+        match o.Fleet.result with
+        | Ok s when s.Proxy.Pool.warm_setup -> n + 1
+        | _ -> n)
+      0 again
+  in
+  Alcotest.(check bool) "repeat batch hits warm setups" true (warm > 0)
+
+let test_fleet_admission_control () =
+  let w = Lazy.force fleet_world in
+  let hosts = fresh_hosts w 1 in
+  let fleet =
+    Fleet.create ~queue_limit:2 ~store:w.store ~subject:"u"
+      (Array.map Remote.Host.process hosts)
+  in
+  let outs =
+    Fleet.serve fleet (List.init 8 (fun _ -> Proxy.Request.make (fdoc 0)))
+  in
+  let ok, rejected =
+    List.partition
+      (fun (o : Fleet.outcome) -> Result.is_ok o.Fleet.result)
+      outs
+  in
+  Alcotest.(check int) "bounded queue admits its limit" 2 (List.length ok);
+  Alcotest.(check int) "the rest are refused" 6 (List.length rejected);
+  List.iter
+    (fun (o : Fleet.outcome) ->
+      match o.Fleet.result with
+      | Error Proxy.Overloaded -> ()
+      | Error e -> Alcotest.failf "wrong refusal: %a" Proxy.pp_error e
+      | Ok _ -> assert false)
+    rejected;
+  let st = Fleet.stats fleet in
+  Alcotest.(check int) "rejections counted" 6 st.Fleet.rejected;
+  Alcotest.(check int) "queue peak at the limit" 2 st.Fleet.queue_peak
+
+let test_fleet_reroutes_off_a_dead_card () =
+  let w = Lazy.force fleet_world in
+  let hosts = fresh_hosts w 2 in
+  (* Card 0's link drops every command; card 1 is clean. Least-loaded
+     routing sends the lone request to card 0 first. *)
+  let dead =
+    Fault.Link.wrap
+      ~schedule:
+        (Fault.Schedule.random ~seed:1L ~rate:1.0
+           ~kinds:[| Fault.Drop_command |] ())
+      ~tear:(fun () -> Remote.Host.tear hosts.(0))
+      (Remote.Host.process hosts.(0))
+  in
+  let fleet =
+    Fleet.create ~routing:Fleet.Least_loaded ~store:w.store ~subject:"u"
+      [| Fault.Link.transport dead; Remote.Host.process hosts.(1) |]
+  in
+  match Fleet.serve fleet [ Proxy.Request.make (fdoc 0) ] with
+  | [ o ] ->
+      (match o.Fleet.result with
+      | Ok s ->
+          Alcotest.(check (option string))
+            "re-routed request serves the exact view"
+            (fleet_golden w (fdoc 0) None)
+            s.Proxy.Pool.xml
+      | Error e -> Alcotest.failf "re-route failed: %a" Proxy.pp_error e);
+      Alcotest.(check int) "served by the healthy card" 1 o.Fleet.card;
+      Alcotest.(check int) "one re-route" 1 o.Fleet.reroutes;
+      Alcotest.(check int) "re-route counted" 1 (Fleet.stats fleet).Fleet.reroutes
+  | _ -> Alcotest.fail "one request, one outcome"
+
+(* The fleet differential oracle: under arbitrary seeded per-card fault
+   schedules, every fleet-served request is the exact single-card golden
+   view or one typed error — sharding plus re-routing never stitches,
+   truncates or cross-serves a view. *)
+let qcheck_fleet_differential =
+  QCheck2.Test.make ~name:"fleet = single-card golden view or typed error"
+    ~count:15
+    QCheck2.Gen.(
+      pair (int_bound 1_000_000) (map (fun r -> 0.25 *. r) (float_range 0.0 1.0)))
+    (fun (seed, rate) ->
+      let w = Lazy.force fleet_world in
+      let hosts = fresh_hosts w 3 in
+      let base = Fault.Schedule.random ~seed:(Int64.of_int seed) ~rate () in
+      let transports =
+        Array.mapi
+          (fun i host ->
+            Fault.Link.transport
+              (Fault.Link.wrap
+                 ~schedule:(Fault.Schedule.for_card base i)
+                 ~tear:(fun () -> Remote.Host.tear host)
+                 (Remote.Host.process host)))
+          hosts
+      in
+      let fleet = Fleet.create ~store:w.store ~subject:"u" transports in
+      let rng = Rng.create (Int64.of_int (seed + 7)) in
+      let reqs =
+        List.init 18 (fun _ ->
+            let doc = fdoc (Rng.int rng ndocs) in
+            let xpath =
+              match Rng.int rng 3 with
+              | 0 -> Some "//patient/name"
+              | _ -> None
+            in
+            Proxy.Request.make ?xpath doc)
+      in
+      List.for_all2
+        (fun (r : Proxy.Request.t) (o : Fleet.outcome) ->
+          match o.Fleet.result with
+          | Ok s ->
+              s.Proxy.Pool.xml
+              = fleet_golden w r.Proxy.Request.doc_id r.Proxy.Request.xpath
+          | Error
+              ( Proxy.Link_failure _ | Proxy.Card_error _ | Proxy.Protocol _
+              | Proxy.Unknown_document _ | Proxy.No_grant | Proxy.No_rules
+              | Proxy.Overloaded ) ->
+              true)
+        reqs (Fleet.serve fleet reqs))
+
+let suite =
+  [
+    Alcotest.test_case "single-frame duplicate final is re-acked" `Quick
+      test_chain_single_frame_duplicate;
+    Alcotest.test_case "wraparound duplicate final is re-acked" `Quick
+      test_chain_wraparound_duplicate;
+    Alcotest.test_case "forget clears the completion marker" `Quick
+      test_chain_forget_clears_marker;
+    QCheck_alcotest.to_alcotest qcheck_chain_exactly_once;
+    Alcotest.test_case "single-frame upload survives duplication" `Quick
+      test_single_frame_upload_duplicate_end_to_end;
+    Alcotest.test_case "257-frame upload survives final duplication" `Quick
+      test_wraparound_upload_duplicate_end_to_end;
+    Alcotest.test_case "ring basics" `Quick test_ring_basics;
+    QCheck_alcotest.to_alcotest qcheck_ring_resize_stability;
+    Alcotest.test_case "fleet serves a batch exactly" `Quick
+      test_fleet_serves_batch_exactly;
+    Alcotest.test_case "admission control refuses overload" `Quick
+      test_fleet_admission_control;
+    Alcotest.test_case "fleet re-routes off a dead card" `Quick
+      test_fleet_reroutes_off_a_dead_card;
+    QCheck_alcotest.to_alcotest qcheck_fleet_differential;
+  ]

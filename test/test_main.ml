@@ -29,5 +29,6 @@ let () =
       ("session", Test_session.suite);
       ("analysis", Test_analysis.suite);
       ("fault", Test_fault.suite);
+      ("fleet", Test_fleet.suite);
       ("obs", Test_obs.suite);
     ]
