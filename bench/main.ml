@@ -243,6 +243,41 @@ let record_fleet ~cards ~streams ~routing ~phase ~ok ~errors ~rejected
       f_p50_ms = p50_ms; f_p95_ms = p95_ms; f_p99_ms = p99_ms }
     :: !fleet_records
 
+(* One record per (subscribers, distinct rule sets) cell of the
+   dissemination sweep: the clustering plan, evaluations run vs the
+   per-subscriber baseline, and simulated delivery-latency percentiles
+   for the clustered gateway against naive sequential pushes. Dumped as
+   a seventh array ("dissem") in BENCH_engine.json. *)
+type dissem_record = {
+  d_subscribers : int;
+  d_distinct : int;  (* distinct policies in the population *)
+  d_clusters : int;
+  d_mux_clusters : int;
+  d_solo_clusters : int;
+  d_evaluations : int;
+  d_naive_evaluations : int;
+  d_saved : int;
+  d_fanout : float;  (* subscribers per evaluation *)
+  d_p50_ms : float;  (* clustered gateway delivery *)
+  d_p95_ms : float;
+  d_naive_p50_ms : float;  (* sequential per-subscriber pushes *)
+  d_naive_p95_ms : float;
+}
+
+let dissem_records : dissem_record list ref = ref []
+
+let record_dissem ~subscribers ~distinct ~clusters ~mux_clusters
+    ~solo_clusters ~evaluations ~naive_evaluations ~saved ~fanout ~p50_ms
+    ~p95_ms ~naive_p50_ms ~naive_p95_ms =
+  dissem_records :=
+    { d_subscribers = subscribers; d_distinct = distinct;
+      d_clusters = clusters; d_mux_clusters = mux_clusters;
+      d_solo_clusters = solo_clusters; d_evaluations = evaluations;
+      d_naive_evaluations = naive_evaluations; d_saved = saved;
+      d_fanout = fanout; d_p50_ms = p50_ms; d_p95_ms = p95_ms;
+      d_naive_p50_ms = naive_p50_ms; d_naive_p95_ms = naive_p95_ms }
+    :: !dissem_records
+
 let record_resilience ~case ~fault_rate ~requests ~ok ~typed_errors ~retries
     ~injected ~frames ~wire_bytes ~link_ms_per_ok =
   resilience_records :=
@@ -262,13 +297,14 @@ let write_bench_json () =
   let resiliences = List.rev !resilience_records in
   let obses = List.rev !obs_records in
   let fleets = List.rev !fleet_records in
+  let dissems = List.rev !dissem_records in
   if
     records = [] && sessions = [] && analyses = [] && resiliences = []
-    && obses = [] && fleets = []
+    && obses = [] && fleets = [] && dissems = []
   then ()
   else begin
     let oc = open_out "BENCH_engine.json" in
-    Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/6\",\n";
+    Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/7\",\n";
     Printf.fprintf oc "  \"records\": [\n";
     List.iteri
       (fun i r ->
@@ -355,13 +391,33 @@ let write_bench_json () =
           (json_float r.f_p99_ms)
           (if i = List.length fleets - 1 then "" else ","))
       fleets;
+    Printf.fprintf oc "  ],\n  \"dissem\": [\n";
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"experiment\": \"E20\", \"subscribers\": %d, \
+           \"distinct\": %d, \"clusters\": %d, \"mux_clusters\": %d, \
+           \"solo_clusters\": %d, \"evaluations\": %d, \
+           \"naive_evaluations\": %d, \"saved\": %d, \"fanout\": %s, \
+           \"p50_ms\": %s, \"p95_ms\": %s, \"naive_p50_ms\": %s, \
+           \"naive_p95_ms\": %s}%s\n"
+          r.d_subscribers r.d_distinct r.d_clusters r.d_mux_clusters
+          r.d_solo_clusters r.d_evaluations r.d_naive_evaluations r.d_saved
+          (json_float r.d_fanout) (json_float r.d_p50_ms)
+          (json_float r.d_p95_ms)
+          (json_float r.d_naive_p50_ms)
+          (json_float r.d_naive_p95_ms)
+          (if i = List.length dissems - 1 then "" else ","))
+      dissems;
     Printf.fprintf oc "  ]\n}\n";
     close_out oc;
     Printf.printf
       "\nwrote BENCH_engine.json (%d records, %d sessions, %d analyses, %d \
-       resilience points, %d obs points, %d fleet points)\n"
+       resilience points, %d obs points, %d fleet points, %d dissem \
+       points)\n"
       (List.length records) (List.length sessions) (List.length analyses)
       (List.length resiliences) (List.length obses) (List.length fleets)
+      (List.length dissems)
   end
 
 (* Shared identities: RSA keygen is slow, reuse across experiments. *)
@@ -392,7 +448,7 @@ let make_world ?(profile = Cost.egate) ?chunk_bytes ~doc ~rules ~subject () =
 
 let query_report ?xpath store card =
   let proxy = Proxy.create ~store ~card in
-  match Proxy.query proxy ~doc_id:"bench" ?xpath () with
+  match Proxy.run proxy (Proxy.Request.make ?xpath "bench") with
   | Ok o -> Ok o
   | Error e -> Error (Format.asprintf "%a" Proxy.pp_error e)
 
@@ -515,7 +571,7 @@ let e3_skip_benefit () =
         (* The proxy always uses the index; for the baseline, call the card
            directly. *)
         if use_index then
-          match Proxy.query proxy ~doc_id:"bench" () with
+          match Proxy.run proxy (Proxy.Request.make "bench") with
           | Ok o -> o.Proxy.card_report
           | Error e -> failwith (Format.asprintf "%a" Proxy.pp_error e)
         else begin
@@ -727,7 +783,7 @@ let e7_dissemination () =
           make_world ~profile ~chunk_bytes:64 ~doc ~rules ~subject:"u" ()
         in
         let proxy = Proxy.create ~store ~card in
-        match Proxy.receive_push proxy ~doc_id:"bench" with
+        match Proxy.run proxy (Proxy.Request.make ~delivery:`Push "bench") with
         | Ok o ->
             let r = o.Proxy.card_report in
             let items =
@@ -1779,6 +1835,181 @@ let e19_fleet () =
      card outgrow the channel pool."
 
 (* ------------------------------------------------------------------ *)
+(* E20: dissemination fan-out — clustered shared rule evaluation       *)
+(* ------------------------------------------------------------------ *)
+
+let e20_dissem () =
+  header "E20"
+    "dissemination fan-out: subscribers x policy-overlap sweep, \
+     clustered shared evaluation on the gateway card vs naive \
+     per-subscriber pushes";
+  let drbg = Drbg.create ~seed:"bench-dissem" in
+  let publisher, user = Lazy.force ids in
+  let doc =
+    Generator.hospital (Rng.create 2020L) ~patients:(if !smoke then 2 else 6)
+  in
+  let deny_tags =
+    [| "//ssn"; "//diagnosis"; "//comment"; "//prescription"; "//folder";
+       "//address"; "//phone"; "//age" |]
+  in
+  (* Policy [k]: same allow, k-indexed denials — distinct canonical
+     texts. Every third policy carries a value predicate, so it cannot
+     join the merged-automaton walk and is evaluated solo: the sweep
+     exercises both kinds of sharing (identical-set clustering for
+     everyone, the shared walk for the predicate-free clusters). *)
+  let policy k subject =
+    let base =
+      Rule.allow ~subject "//patient"
+      :: Rule.deny ~subject deny_tags.(k mod Array.length deny_tags)
+      ::
+      (if k >= Array.length deny_tags then
+         [ Rule.deny ~subject
+             deny_tags.((k / Array.length deny_tags)
+                        mod Array.length deny_tags) ]
+       else [])
+    in
+    if k mod 3 = 2 then
+      base @ [ Rule.deny ~subject {|//patient[age>"60"]/folder|} ]
+    else base
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then Float.nan
+    else sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+  in
+  let n_list = if !smoke then [ 8 ] else [ 4; 16; 64 ] in
+  Printf.printf
+    "%5s %8s | %4s %4s %4s | %5s %5s %5s %7s | %9s %9s %10s %10s\n" "subs"
+    "distinct" "clus" "mux" "solo" "eval" "naive" "saved" "fanout" "p50ms"
+    "p95ms" "naive-p50" "naive-p95";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun distinct ->
+          let doc_id = Printf.sprintf "dissem-%d-%d" n distinct in
+          let published, doc_key =
+            Publish.publish drbg ~publisher ~doc_id doc
+          in
+          let store = Store.create () in
+          Store.put_document store published;
+          let subjects =
+            List.init n (fun i -> Printf.sprintf "sub%03d" i)
+          in
+          List.iteri
+            (fun i subject ->
+              Store.put_rules store ~doc_id ~subject
+                (Publish.encrypt_rules_for drbg ~publisher ~doc_key ~doc_id
+                   ~subject
+                   (policy (i mod distinct) subject));
+              Store.put_grant store ~doc_id ~subject
+                (Publish.grant drbg ~doc_key ~doc_id
+                   ~recipient:user.Rsa.public))
+            subjects;
+          (* Clustered: one disseminate batch on the gateway card. *)
+          let gateway =
+            Card.create ~profile:Cost.fleet ~subject:"#gateway" user
+          in
+          (match
+             Card.install_wrapped_key gateway ~doc_id
+               ~wrapped:
+                 (Publish.grant drbg ~doc_key ~doc_id
+                    ~recipient:user.Rsa.public)
+           with
+          | Ok () -> ()
+          | Error e ->
+              failwith (Format.asprintf "%a" Card.pp_error e));
+          let source = Publish.to_source published ~delivery:`Push in
+          let blobs =
+            List.map
+              (fun s ->
+                (s, Option.get (Store.get_rules store ~doc_id ~subject:s)))
+              subjects
+          in
+          let stats, dissem_ms =
+            match Card.disseminate gateway source ~subscribers:blobs () with
+            | Error e ->
+                failwith (Format.asprintf "%a" Card.pp_error e)
+            | Ok (results, report) ->
+                List.iter
+                  (fun (s, r) ->
+                    match r with
+                    | Ok _ -> ()
+                    | Error e ->
+                        failwith
+                          (Format.asprintf "%s: %a" s Card.pp_error e))
+                  results;
+                ( report.Card.sharing,
+                  report.Card.dissem_breakdown.Cost.total_ms )
+          in
+          (* Every subscriber's view completes with the shared batch. *)
+          let clustered_lat =
+            Array.make n dissem_ms
+          in
+          (* Naive baseline: the gateway pushes to each subscriber in
+             turn — signature, integrity, decryption and evaluation
+             re-run every time; subscriber i waits for all j <= i. *)
+          let clock = ref 0.0 in
+          let naive_lat =
+            Array.of_list
+              (List.map
+                 (fun s ->
+                   let card =
+                     Card.create ~profile:Cost.fleet ~subject:s user
+                   in
+                   let proxy = Sdds_proxy.Proxy.create ~store ~card in
+                   match
+                     Sdds_proxy.Proxy.run proxy
+                       (Proxy.Request.make ~delivery:`Push doc_id)
+                   with
+                   | Error e ->
+                       failwith
+                         (Format.asprintf "naive %s: %a" s Proxy.pp_error e)
+                   | Ok o ->
+                       clock :=
+                         !clock
+                         +. o.Proxy.card_report.Card.breakdown
+                              .Cost.total_ms;
+                       !clock)
+                 subjects)
+          in
+          Array.sort compare clustered_lat;
+          Array.sort compare naive_lat;
+          let p50 = percentile clustered_lat 0.50
+          and p95 = percentile clustered_lat 0.95
+          and np50 = percentile naive_lat 0.50
+          and np95 = percentile naive_lat 0.95 in
+          let saved =
+            stats.Sdds_dissem.Fanout.naive_evaluations
+            - stats.Sdds_dissem.Fanout.evaluations
+          in
+          let fanout = Sdds_dissem.Fanout.fanout_ratio stats in
+          Printf.printf
+            "%5d %8d | %4d %4d %4d | %5d %5d %5d %6.1fx | %9.1f %9.1f \
+             %10.1f %10.1f\n"
+            n distinct stats.Sdds_dissem.Fanout.clusters
+            stats.Sdds_dissem.Fanout.mux_clusters
+            stats.Sdds_dissem.Fanout.solo_clusters
+            stats.Sdds_dissem.Fanout.evaluations
+            stats.Sdds_dissem.Fanout.naive_evaluations saved fanout p50 p95
+            np50 np95;
+          record_dissem ~subscribers:n ~distinct
+            ~clusters:stats.Sdds_dissem.Fanout.clusters
+            ~mux_clusters:stats.Sdds_dissem.Fanout.mux_clusters
+            ~solo_clusters:stats.Sdds_dissem.Fanout.solo_clusters
+            ~evaluations:stats.Sdds_dissem.Fanout.evaluations
+            ~naive_evaluations:stats.Sdds_dissem.Fanout.naive_evaluations
+            ~saved ~fanout ~p50_ms:p50 ~p95_ms:p95 ~naive_p50_ms:np50
+            ~naive_p95_ms:np95)
+        (List.filter (fun d -> d <= n) [ 1; 4; 8; 16; 64 ]))
+    n_list;
+  print_endline
+    "\nshape check: with overlap (distinct < subscribers) the clustered\n\
+     gateway runs strictly fewer evaluations than the per-subscriber\n\
+     baseline, all predicate-free clusters ride one merged walk, and\n\
+     naive tail latency grows linearly with the population while the\n\
+     shared batch stays near-flat."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1803,6 +2034,7 @@ let experiments =
     ("E17", "resilience", e17_resilience);
     ("E18", "observability", e18_observability);
     ("E19", "fleet", e19_fleet);
+    ("E20", "dissem", e20_dissem);
   ]
 
 let () =

@@ -16,6 +16,9 @@
                   trace_event file and a metrics snapshot
      fleet        synthetic zipfian workload through a multi-card fleet
                   with affinity routing (E19 in miniature)
+     disseminate  push one encrypted document to N subscribers through
+                  the gateway card's clustered fan-out (shared rule
+                  evaluation, per-subscriber views)
      analyze      static policy analysis: dead/shadowed rules, schema
                   unsatisfiability, allow/deny overlaps with witnesses,
                   and the static SOE memory bound
@@ -228,7 +231,10 @@ let demo_cmd =
       Sdds_soe.Card.create ~profile:Sdds_soe.Cost.egate ~subject user
     in
     let proxy = Sdds_proxy.Proxy.create ~store ~card in
-    match Sdds_proxy.Proxy.query proxy ~doc_id:"cli-doc" ?xpath:query () with
+    match
+      Sdds_proxy.Proxy.run proxy
+        (Sdds_proxy.Proxy.Request.make ?xpath:query "cli-doc")
+    with
     | Error e ->
         Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
         exit 1
@@ -434,14 +440,17 @@ let cards_arg =
            implies the APDU path; with $(b,--fault-spec), each card \
            suffers an independent per-card derivation of the schedule).")
 
-(* Shared body of [query] and [trace]. A plain query goes through the
-   in-process proxy; with a fault spec or an observability scope it is
-   served over the APDU host through the resilient pool, so traced runs
-   show the full nesting (proxy.request > apdu > card.evaluate >
-   engine.stream) the paper's architecture actually has. With --cards N
-   (N > 1) the request is admitted, routed and served by the
-   multi-card fleet scheduler. Stdout is the authorized view in every
-   mode; stats go to stderr. *)
+(* Shared body of [query] and [trace]. Every deployment shape is served
+   through the same unified client session: a plain query rides a local
+   card ([Client.direct]); with a fault spec or an observability scope
+   it goes over the APDU host through the resilient pool
+   ([Client.pooled]), so traced runs show the full nesting
+   (proxy.request > apdu > card.evaluate > engine.stream) the paper's
+   architecture actually has; with --cards N (N > 1) it is admitted,
+   routed and served by the multi-card fleet scheduler
+   ([Client.fleet]). Only the session construction differs — the
+   serving and reporting path is one. Stdout is the authorized view in
+   every mode; stats go to stderr. *)
 let query_run ~force_trace store_dir doc_id subject key_path query fault_spec
     cards trace trace_out metrics_out =
   let trace_out =
@@ -453,7 +462,7 @@ let query_run ~force_trace store_dir doc_id subject key_path query fault_spec
   in
   let kp = or_die_io (Sdds_dsp.Store_io.Keyfile.load_keypair ~path:key_path) in
   let store = or_die_io (Sdds_dsp.Store_io.load ~dir:store_dir) in
-  let schedule_of_spec () =
+  let schedule =
     match fault_spec with
     | None -> Sdds_fault.Fault.Schedule.none
     | Some spec -> (
@@ -461,121 +470,76 @@ let query_run ~force_trace store_dir doc_id subject key_path query fault_spec
         | Ok s -> s
         | Error msg -> or_die (Error ("bad --fault-spec: " ^ msg)))
   in
-  if cards > 1 then begin
-    let schedule = schedule_of_spec () in
-    let resolve id =
-      Option.map
-        (fun p -> Sdds_dsp.Publish.to_source p ~delivery:`Pull)
-        (Sdds_dsp.Store.get_document store id)
-    in
-    let transports =
-      Array.init cards (fun i ->
-          let card =
-            Sdds_soe.Card.create ?obs ~profile:Sdds_soe.Cost.fleet ~subject kp
-          in
-          let host = Sdds_soe.Remote_card.Host.create ?obs ~card ~resolve () in
-          let link =
-            Sdds_fault.Fault.Link.wrap ?obs
-              ~schedule:(Sdds_fault.Fault.Schedule.for_card schedule i)
-              ~tear:(fun () -> Sdds_soe.Remote_card.Host.tear host)
-              (Sdds_soe.Remote_card.Host.process host)
-          in
-          Sdds_fault.Fault.Link.transport link)
-    in
-    let fleet = Sdds_proxy.Fleet.create ?obs ~store ~subject transports in
-    match
-      Sdds_proxy.Fleet.serve fleet
-        [ Sdds_proxy.Proxy.Request.make ?xpath:query doc_id ]
-    with
-    | [ o ] -> (
-        let st = Sdds_proxy.Fleet.stats fleet in
-        match o.Sdds_proxy.Fleet.result with
-        | Ok s ->
-            (match s.Sdds_proxy.Proxy.Pool.xml with
-            | Some xml -> print_endline xml
-            | None -> print_endline "<!-- nothing authorized -->");
-            Format.eprintf
-              "fleet: %d cards, served by card %d (%s), %d reroutes, %.2f \
-               ms simulated@."
-              cards o.Sdds_proxy.Fleet.card
-              (if o.Sdds_proxy.Fleet.affinity then "affinity" else "fallback")
-              o.Sdds_proxy.Fleet.reroutes
-              (o.Sdds_proxy.Fleet.latency_s *. 1.0e3);
-            obs_export obs ~trace_out ~metrics_out
-        | Error e ->
-            Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
-            Format.eprintf "fleet: %d reroutes, %d rejected@."
-              st.Sdds_proxy.Fleet.reroutes st.Sdds_proxy.Fleet.rejected;
-            obs_export obs ~trace_out ~metrics_out;
-            exit 1)
-    | _ -> assert false
-  end
-  else
-  let card =
-    Sdds_soe.Card.create ?obs ~profile:Sdds_soe.Cost.egate ~subject kp
+  let resolve id =
+    Option.map
+      (fun p -> Sdds_dsp.Publish.to_source p ~delivery:`Pull)
+      (Sdds_dsp.Store.get_document store id)
   in
-  match (fault_spec, obs) with
-  | None, None -> (
-      let proxy = Sdds_proxy.Proxy.create ~store ~card in
-      match Sdds_proxy.Proxy.query proxy ~doc_id ?xpath:query () with
-      | Error e ->
-          Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
-          exit 1
-      | Ok o ->
-          (match o.Sdds_proxy.Proxy.xml with
-          | Some xml -> print_endline xml
-          | None -> print_endline "<!-- nothing authorized -->");
-          let r = o.Sdds_proxy.Proxy.card_report in
-          Format.eprintf "card: %d/%d chunks, %.0f ms (simulated e-gate)@."
-            r.Sdds_soe.Card.chunks_consumed r.Sdds_soe.Card.chunks_total
-            r.Sdds_soe.Card.breakdown.Sdds_soe.Cost.total_ms)
-  | _ -> (
-      let schedule =
-        match fault_spec with
-        | None -> Sdds_fault.Fault.Schedule.none
-        | Some spec -> (
-            match Sdds_fault.Fault.Schedule.of_spec spec with
-            | Ok s -> s
-            | Error msg -> or_die (Error ("bad --fault-spec: " ^ msg)))
+  let faulty_link ~profile i =
+    let card = Sdds_soe.Card.create ?obs ~profile ~subject kp in
+    let host = Sdds_soe.Remote_card.Host.create ?obs ~card ~resolve () in
+    Sdds_fault.Fault.Link.wrap ?obs
+      ~schedule:(Sdds_fault.Fault.Schedule.for_card schedule i)
+      ~tear:(fun () -> Sdds_soe.Remote_card.Host.tear host)
+      (Sdds_soe.Remote_card.Host.process host)
+  in
+  let client, report_extra =
+    if cards > 1 then begin
+      let links =
+        Array.init cards (faulty_link ~profile:Sdds_soe.Cost.fleet)
       in
-      let host =
-        Sdds_soe.Remote_card.Host.create ?obs ~card
-          ~resolve:(fun id ->
-            Option.map
-              (fun p -> Sdds_dsp.Publish.to_source p ~delivery:`Pull)
-              (Sdds_dsp.Store.get_document store id))
-          ()
+      let fleet =
+        Sdds_proxy.Fleet.create ?obs ~store ~subject
+          (Array.map Sdds_fault.Fault.Link.transport links)
       in
-      let link =
-        Sdds_fault.Fault.Link.wrap ?obs ~schedule
-          ~tear:(fun () -> Sdds_soe.Remote_card.Host.tear host)
-          (Sdds_soe.Remote_card.Host.process host)
-      in
+      ( Sdds_proxy.Client.fleet fleet,
+        fun () ->
+          let st = Sdds_proxy.Fleet.stats fleet in
+          Format.eprintf
+            "fleet: %d cards, %d affinity hits, %d fallbacks, %d \
+             reroutes, %d rejected@."
+            cards st.Sdds_proxy.Fleet.affinity_hits
+            st.Sdds_proxy.Fleet.fallbacks st.Sdds_proxy.Fleet.reroutes
+            st.Sdds_proxy.Fleet.rejected )
+    end
+    else if fault_spec <> None || Option.is_some obs then begin
+      let link = faulty_link ~profile:Sdds_soe.Cost.egate 0 in
       let pool =
         Sdds_proxy.Proxy.Pool.create ?obs ~store
           ~transport:(Sdds_fault.Fault.Link.transport link) ~subject ()
       in
-      match
-        Sdds_proxy.Proxy.Pool.serve pool
-          [ Sdds_proxy.Proxy.Request.make ?xpath:query doc_id ]
-      with
-      | [ Ok s ] ->
-          (match s.Sdds_proxy.Proxy.Pool.xml with
-          | Some xml -> print_endline xml
-          | None -> print_endline "<!-- nothing authorized -->");
-          Format.eprintf "link: %d frames, %d faults injected, %d retries@."
-            (Sdds_fault.Fault.Link.frames link)
-            (Sdds_fault.Fault.Link.injected link)
-            s.Sdds_proxy.Proxy.Pool.retries;
-          obs_export obs ~trace_out ~metrics_out
-      | [ Error e ] ->
-          Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
+      ( Sdds_proxy.Client.pooled pool,
+        fun () ->
           Format.eprintf "link: %d frames, %d faults injected@."
             (Sdds_fault.Fault.Link.frames link)
-            (Sdds_fault.Fault.Link.injected link);
-          obs_export obs ~trace_out ~metrics_out;
-          exit 1
-      | _ -> assert false)
+            (Sdds_fault.Fault.Link.injected link) )
+    end
+    else
+      let card =
+        Sdds_soe.Card.create ?obs ~profile:Sdds_soe.Cost.egate ~subject kp
+      in
+      (Sdds_proxy.Client.direct ~store ~card, fun () -> ())
+  in
+  match Sdds_proxy.Client.query client ?xpath:query doc_id with
+  | Ok s ->
+      (match s.Sdds_proxy.Proxy.Pool.xml with
+      | Some xml -> print_endline xml
+      | None -> print_endline "<!-- nothing authorized -->");
+      Format.eprintf
+        "served (%s): channel %d%s, %d+%d frames, %dB wire, %d retries@."
+        (Sdds_proxy.Client.backend_name client)
+        s.Sdds_proxy.Proxy.Pool.channel
+        (if s.Sdds_proxy.Proxy.Pool.warm_setup then " warm" else "")
+        s.Sdds_proxy.Proxy.Pool.command_frames
+        s.Sdds_proxy.Proxy.Pool.response_frames
+        s.Sdds_proxy.Proxy.Pool.wire_bytes s.Sdds_proxy.Proxy.Pool.retries;
+      report_extra ();
+      obs_export obs ~trace_out ~metrics_out
+  | Error e ->
+      Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
+      report_extra ();
+      obs_export obs ~trace_out ~metrics_out;
+      exit 1
 
 let query_cmd =
   Cmd.v
@@ -812,16 +776,162 @@ let fleet_cmd =
       const run $ fleet_cards_arg $ streams_arg $ docs_arg $ routing_arg
       $ seed_arg $ fault_arg $ json_arg)
 
+(* disseminate: publish once, deliver to every subject named in the
+   rules through the gateway card's clustered fan-out. *)
+
+let rules_file_arg =
+  Arg.(
+    value & opt (some file) None
+    & info [ "rules-file" ] ~docv:"FILE"
+        ~doc:"Rules file, one \"SIGN, SUBJECT, XPATH\" per line ('#' \
+              comments and blank lines ignored)")
+
+let load_rules_file = function
+  | None -> []
+  | Some path ->
+      read_file path |> String.split_on_char '\n'
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let disseminate_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Single-line JSON output")
+  in
+  let run doc_path rules rules_file json trace trace_out metrics_out =
+    let obs = obs_scope ~trace ~trace_out ~metrics_out in
+    let doc = or_die (load_doc doc_path) in
+    let rules = or_die (parse_rules (load_rules_file rules_file @ rules)) in
+    if rules = [] then
+      or_die (Error "no subscribers: give rules with -r or --rules-file");
+    let subjects =
+      List.sort_uniq String.compare
+        (List.map (fun r -> r.Sdds_core.Rule.subject) rules)
+    in
+    (* Plan before any crypto: a rules-digest collision (or a duplicated
+       subject) refuses the publish, and the planner's typed error names
+       the offending subscriber pair instead of surfacing later as a raw
+       card failure. *)
+    let population =
+      List.map (fun s -> (s, Sdds_core.Rule.for_subject s rules)) subjects
+    in
+    (match Sdds_dissem.Cluster.plan population with
+    | Ok _ -> ()
+    | Error e ->
+        or_die
+          (Error
+             (Format.asprintf "cannot disseminate: %a"
+                Sdds_dissem.Cluster.pp_error e)));
+    let drbg = Sdds_crypto.Drbg.create ~seed:"sdds-cli-dissem" in
+    let publisher = Sdds_crypto.Rsa.generate drbg ~bits:512 in
+    let gateway = Sdds_crypto.Rsa.generate drbg ~bits:512 in
+    let published, doc_key =
+      Sdds_dsp.Publish.publish drbg ~publisher ~doc_id:"cli-doc" doc
+    in
+    let store = Sdds_dsp.Store.create () in
+    Sdds_dsp.Store.put_document store published;
+    List.iter
+      (fun (subject, rs) ->
+        Sdds_dsp.Store.put_rules store ~doc_id:"cli-doc" ~subject
+          (Sdds_dsp.Publish.encrypt_rules_for drbg ~publisher ~doc_key
+             ~doc_id:"cli-doc" ~subject rs))
+      population;
+    Sdds_dsp.Store.put_grant store ~doc_id:"cli-doc" ~subject:"#gateway"
+      (Sdds_dsp.Publish.grant drbg ~doc_key ~doc_id:"cli-doc"
+         ~recipient:gateway.Sdds_crypto.Rsa.public);
+    let card =
+      Sdds_soe.Card.create ?obs ~profile:Sdds_soe.Cost.fleet
+        ~subject:"#gateway" gateway
+    in
+    let client = Sdds_proxy.Client.direct ~store ~card in
+    match Sdds_proxy.Client.deliver client ~doc_id:"cli-doc" subjects with
+    | Error e ->
+        Format.eprintf "sdds: %a@." Sdds_proxy.Proxy.pp_error e;
+        obs_export obs ~trace_out ~metrics_out;
+        exit 1
+    | Ok (per, stats) ->
+        (* A direct session always reports sharing stats. *)
+        let st = Option.get stats in
+        let elements (s : Sdds_proxy.Proxy.Pool.served) =
+          match s.Sdds_proxy.Proxy.Pool.view with
+          | Some v -> Sdds_xml.Dom.node_count v
+          | None -> 0
+        in
+        if json then begin
+          let delivered =
+            String.concat ","
+              (List.map
+                 (fun (subject, r) ->
+                   match r with
+                   | Ok s ->
+                       Printf.sprintf
+                         "{\"subject\":%S,\"elements\":%d,\"wire_bytes\":%d}"
+                         subject (elements s)
+                         s.Sdds_proxy.Proxy.Pool.wire_bytes
+                   | Error e ->
+                       Printf.sprintf "{\"subject\":%S,\"error\":%S}" subject
+                         (Format.asprintf "%a" Sdds_proxy.Proxy.pp_error e))
+                 per)
+          in
+          Printf.printf
+            "{\"subscribers\":%d,\"clusters\":%d,\"mux_clusters\":%d,\
+             \"solo_clusters\":%d,\"evaluations\":%d,\
+             \"naive_evaluations\":%d,\"saved\":%d,\"fanout\":%.3f,\
+             \"delivered\":[%s]}\n"
+            st.Sdds_dissem.Fanout.subscribers st.Sdds_dissem.Fanout.clusters
+            st.Sdds_dissem.Fanout.mux_clusters
+            st.Sdds_dissem.Fanout.solo_clusters
+            st.Sdds_dissem.Fanout.evaluations
+            st.Sdds_dissem.Fanout.naive_evaluations
+            (st.Sdds_dissem.Fanout.naive_evaluations
+            - st.Sdds_dissem.Fanout.evaluations)
+            (Sdds_dissem.Fanout.fanout_ratio st)
+            delivered
+        end
+        else begin
+          List.iter
+            (fun (subject, r) ->
+              match r with
+              | Ok s ->
+                  Printf.printf "%-14s view=%4d elements, %5dB wire\n"
+                    subject (elements s) s.Sdds_proxy.Proxy.Pool.wire_bytes
+              | Error e ->
+                  Format.printf "%-14s ERROR: %a@." subject
+                    Sdds_proxy.Proxy.pp_error e)
+            per;
+          Printf.printf
+            "clusters: %d over %d subscribers (%d shared-walk, %d solo)\n"
+            st.Sdds_dissem.Fanout.clusters st.Sdds_dissem.Fanout.subscribers
+            st.Sdds_dissem.Fanout.mux_clusters
+            st.Sdds_dissem.Fanout.solo_clusters;
+          Printf.printf
+            "evaluations: %d vs %d naive (saved %d, fan-out x%.2f)\n"
+            st.Sdds_dissem.Fanout.evaluations
+            st.Sdds_dissem.Fanout.naive_evaluations
+            (st.Sdds_dissem.Fanout.naive_evaluations
+            - st.Sdds_dissem.Fanout.evaluations)
+            (Sdds_dissem.Fanout.fanout_ratio st)
+        end;
+        obs_export obs ~trace_out ~metrics_out
+  in
+  Cmd.v
+    (Cmd.info "disseminate"
+       ~doc:
+         "Push one encrypted document to every subject named in the \
+          rules, through the gateway card's clustered fan-out: identical \
+          rule sets are evaluated once, predicate-free clusters share a \
+          single merged-automaton walk, and each subscriber still \
+          receives exactly its own authorized view. Reports the sharing \
+          accounting (clusters, evaluations vs the per-subscriber \
+          baseline, fan-out ratio). A rules-digest collision or \
+          duplicated subject refuses the whole publish, naming the \
+          offending subscriber pair.")
+    Term.(
+      const run $ doc_arg $ rules_arg $ rules_file_arg $ json_arg
+      $ trace_flag $ trace_out_arg $ metrics_out_arg)
+
 (* analyze *)
 
 let analyze_cmd =
-  let rules_file_arg =
-    Arg.(
-      value & opt (some file) None
-      & info [ "rules-file" ] ~docv:"FILE"
-          ~doc:"Rules file, one \"SIGN, SUBJECT, XPATH\" per line ('#' \
-                comments and blank lines ignored)")
-  in
   let analyze_doc_arg =
     Arg.(
       value & opt (some file) None
@@ -866,15 +976,7 @@ let analyze_cmd =
   let run rules rules_file subject query doc_path schema_path profile depth
       json trace trace_out metrics_out =
     let obs = obs_scope ~trace ~trace_out ~metrics_out in
-    let file_rules =
-      match rules_file with
-      | None -> []
-      | Some path ->
-          read_file path |> String.split_on_char '\n'
-          |> List.map String.trim
-          |> List.filter (fun l -> l <> "" && l.[0] <> '#')
-    in
-    let rules = or_die (parse_rules (file_rules @ rules)) in
+    let rules = or_die (parse_rules (load_rules_file rules_file @ rules)) in
     let rules =
       match subject with
       | None -> rules
@@ -947,7 +1049,7 @@ let () =
       (Cmd.group info
          [ view_cmd; encode_cmd; stats_cmd; demo_cmd; keygen_cmd;
            publish_cmd; update_rules_cmd; query_cmd; trace_cmd; fleet_cmd;
-           analyze_cmd ])
+           disseminate_cmd; analyze_cmd ])
   with
   | code -> exit code
   | exception Invalid_argument msg ->

@@ -94,7 +94,7 @@ let () =
   List.iter
     (fun (name, card) ->
       let proxy = Proxy.create ~store ~card in
-      match Proxy.query proxy ~doc_id:"ward-db" () with
+      match Proxy.run proxy (Proxy.Request.make "ward-db") with
       | Error e -> Format.printf "%-11s ERROR: %a@." name Proxy.pp_error e
       | Ok o ->
           let r = o.Proxy.card_report in
@@ -116,8 +116,8 @@ let () =
   let doctor_card = List.assoc "doctor" users in
   let proxy = Proxy.create ~store ~card:doctor_card in
   (match
-     Proxy.query proxy ~doc_id:"ward-db"
-       ~xpath:{|//patient[age>"60"]/name|} ()
+     Proxy.run proxy
+       (Proxy.Request.make ~xpath:{|//patient[age>"60"]/name|} "ward-db")
    with
   | Error e -> Format.printf "ERROR: %a@." Proxy.pp_error e
   | Ok o -> (
@@ -157,7 +157,7 @@ let () =
   (* Verify the new policy is enforced end to end. *)
   let researcher_card = List.assoc "researcher" users in
   let proxy = Proxy.create ~store ~card:researcher_card in
-  match Proxy.query proxy ~doc_id:"ward-db" ~xpath:"//prescription" () with
+  match Proxy.run proxy (Proxy.Request.make ~xpath:"//prescription" "ward-db") with
   | Ok { Proxy.view = None; _ } ->
       print_endline "researcher now sees no prescriptions - policy enforced"
   | Ok _ -> print_endline "UNEXPECTED: prescriptions still visible"

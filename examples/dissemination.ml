@@ -76,7 +76,7 @@ let () =
   List.iter
     (fun (subject, card) ->
       let proxy = Proxy.create ~store ~card in
-      match Proxy.receive_push proxy ~doc_id:"feed-2026-07-05" with
+      match Proxy.run proxy (Proxy.Request.make ~delivery:`Push "feed-2026-07-05") with
       | Error e -> Format.printf "%-11s ERROR: %a@." subject Proxy.pp_error e
       | Ok o ->
           let r = o.Proxy.card_report in
@@ -101,7 +101,7 @@ let () =
   print_endline "\n== A sports fan's view, first items ==";
   let _, sports_card = List.nth cards 1 in
   let proxy = Proxy.create ~store ~card:sports_card in
-  match Proxy.receive_push proxy ~doc_id:"feed-2026-07-05" with
+  match Proxy.run proxy (Proxy.Request.make ~delivery:`Push "feed-2026-07-05") with
   | Error e -> Format.printf "ERROR: %a@." Proxy.pp_error e
   | Ok { Proxy.view = Some v; _ } ->
       let items =

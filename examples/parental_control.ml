@@ -31,7 +31,7 @@ let count_items view =
 
 let show store card label =
   let proxy = Proxy.create ~store ~card in
-  match Proxy.receive_push proxy ~doc_id:"kids-feed" with
+  match Proxy.run proxy (Proxy.Request.make ~delivery:`Push "kids-feed") with
   | Error e -> Format.printf "%-18s ERROR: %a@." label Proxy.pp_error e
   | Ok o ->
       Printf.printf "%-18s sees %3d items (%d of %d chunks decrypted)\n" label
@@ -105,8 +105,9 @@ let () =
     (Bytes.to_string forged);
   let teen_card = List.assoc "teen" cards in
   (match
-     Proxy.receive_push (Proxy.create ~store ~card:teen_card)
-       ~doc_id:"kids-feed"
+     Proxy.run
+     (Proxy.create ~store ~card:teen_card)
+     (Proxy.Request.make ~delivery:`Push "kids-feed")
    with
   | Error e -> Format.printf "card says: %a@." Proxy.pp_error e
   | Ok _ -> print_endline "UNEXPECTED: forged rules accepted");

@@ -1,0 +1,19 @@
+module Rule = Sdds_core.Rule
+module Containment = Sdds_xpath.Containment
+
+let rule_covers (a : Rule.t) (b : Rule.t) =
+  a.Rule.sign = b.Rule.sign && Containment.contains a.Rule.path b.Rule.path
+
+let subsumes a b =
+  List.for_all (fun rb -> List.exists (fun ra -> rule_covers ra rb) a) b
+
+let related_pairs sets =
+  let n = Array.length sets in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if subsumes sets.(i) sets.(j) || subsumes sets.(j) sets.(i) then
+        incr count
+    done
+  done;
+  !count

@@ -1,0 +1,22 @@
+(** Cross-rule-set sharing analysis, for the dissemination clusterer.
+
+    Two subscribers whose rule sets are not byte-identical may still be
+    related: one set can {e subsume} the other (every rule of A is
+    contained, same-signed, in a rule of B). The clusterer only merges
+    identical sets — subsumption is not equivalence of authorized views,
+    because suppression boundaries differ — but the relation is exactly
+    the "how much latent overlap does this population carry" statistic
+    the dissemination plan reports, and the analyzer's containment test
+    ({!Sdds_xpath.Containment}) already decides it soundly. *)
+
+val subsumes : Sdds_core.Rule.t list -> Sdds_core.Rule.t list -> bool
+(** [subsumes a b]: every rule of [b] is contained (same sign, object
+    containment per {!Sdds_xpath.Containment.contains}) in some rule of
+    [a]. Sound and incomplete, like the underlying homomorphism test;
+    reflexive. Subjects are ignored — the caller compares rule sets
+    already filtered per subscriber. *)
+
+val related_pairs : Sdds_core.Rule.t list array -> int
+(** Number of unordered pairs [(i, j)], [i < j], of distinct rule sets
+    where one subsumes the other — the population's latent-overlap count
+    reported by the dissemination plan. *)

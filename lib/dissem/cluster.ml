@@ -1,0 +1,159 @@
+module Rule = Sdds_core.Rule
+module Compile = Sdds_core.Compile
+
+type cluster = {
+  digest : int64;
+  canonical : string;
+  members : string list;
+  rules : Rule.t list;
+  compiled : Compile.t;
+  has_preds : bool;
+}
+
+type t = {
+  clusters : cluster array;
+  assignment : (string * int) list;
+  mux : int list;
+  solo : int list;
+  related_pairs : int;
+}
+
+type error =
+  | Collision of { subject_a : string; subject_b : string; digest : int64 }
+  | Duplicate_subject of string
+
+let pp_error ppf = function
+  | Collision { subject_a; subject_b; digest } ->
+      Format.fprintf ppf
+        "rules-digest collision: subscribers %s and %s have different rule \
+         sets with the same digest %s — refusing to cluster them"
+        subject_a subject_b
+        (Sdds_util.Fnv.to_hex digest)
+  | Duplicate_subject s ->
+      Format.fprintf ppf
+        "subscriber %s is listed twice with different rule sets" s
+
+(* The subject names the recipient, not the policy: the population is
+   already subject-filtered, so two subscribers whose rules have the
+   same signed paths in the same order must share a cluster regardless
+   of what they are called. The canonical line therefore drops the
+   subject field of {!Rule.to_string}. *)
+let canonical rules =
+  String.concat "\n"
+    (List.map
+       (fun (r : Rule.t) ->
+         Format.asprintf "%a, %a" Rule.pp_sign r.Rule.sign Sdds_xpath.Ast.pp
+           r.Rule.path)
+       rules)
+
+let pred_free (c : Compile.t) =
+  Array.length c.Compile.preds = 0
+  && Array.for_all
+       (fun sp ->
+         Array.for_all
+           (fun st -> st.Compile.step_preds = [])
+           sp.Compile.cpath)
+       c.Compile.spines
+
+exception Bad of error
+
+let plan ?(digest = Sdds_util.Fnv.fnv1a64) subscribers =
+  try
+    (* Group by canonical text — always correct; digests come second. *)
+    let by_text : (string, Rule.t list * string list ref) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    List.iter
+      (fun (subject, rules) ->
+        let key = canonical rules in
+        match Hashtbl.find_opt by_text key with
+        | Some (_, members) ->
+            if not (List.mem subject !members) then
+              members := subject :: !members
+        | None -> Hashtbl.add by_text key (rules, ref [ subject ]))
+      subscribers;
+    (* One subject must map to exactly one text. *)
+    let texts_of : (string, string) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (subject, rules) ->
+        let key = canonical rules in
+        match Hashtbl.find_opt texts_of subject with
+        | Some key' when not (String.equal key key') ->
+            raise (Bad (Duplicate_subject subject))
+        | Some _ -> ()
+        | None -> Hashtbl.add texts_of subject key)
+      subscribers;
+    (* Digest each distinct text; a digest shared by two texts is a
+       refusal, attributed to the first member of each text's group.
+       Groups are sorted before the scan so both the plan and any
+       refusal are independent of subscriber listing order. *)
+    let raw =
+      List.sort
+        (fun (da, ka, _, _) (db, kb, _, _) ->
+          match Int64.unsigned_compare da db with
+          | 0 -> String.compare ka kb
+          | c -> c)
+        (Hashtbl.fold
+           (fun key (rules, members) acc ->
+             (digest key, key, rules, List.sort compare !members) :: acc)
+           by_text [])
+    in
+    let rec check_collisions = function
+      | (d, _, _, ma :: _) :: ((d', _, _, mb :: _) :: _ as rest) ->
+          if Int64.equal d d' then
+            raise
+              (Bad (Collision { subject_a = ma; subject_b = mb; digest = d }))
+          else check_collisions rest
+      | _ -> ()
+    in
+    check_collisions raw;
+    let clusters =
+      Array.of_list
+        (List.map
+           (fun (d, key, rules, members) ->
+             let compiled = Compile.compile rules in
+             {
+               digest = d;
+               canonical = key;
+               members;
+               rules;
+               compiled;
+               has_preds = not (pred_free compiled);
+             })
+           raw)
+    in
+    let assignment =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold
+           (fun subject key acc ->
+             let idx = ref (-1) in
+             Array.iteri
+               (fun i c -> if String.equal c.canonical key then idx := i)
+               clusters;
+             (subject, !idx) :: acc)
+           texts_of [])
+    in
+    let mux = ref [] and solo = ref [] in
+    Array.iteri
+      (fun i c ->
+        if c.has_preds then solo := i :: !solo else mux := i :: !mux)
+      clusters;
+    let related_pairs =
+      Sdds_analysis.Sharing.related_pairs
+        (Array.map (fun c -> c.rules) clusters)
+    in
+    Ok
+      {
+        clusters;
+        assignment;
+        mux = List.rev !mux;
+        solo = List.rev !solo;
+        related_pairs;
+      }
+  with Bad e -> Error e
+
+let evaluations t =
+  (if t.mux = [] then 0 else 1) + List.length t.solo
+
+let cluster_of t subject = List.assoc_opt subject t.assignment

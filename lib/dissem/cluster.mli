@@ -1,0 +1,76 @@
+(** Subscriber clustering for shared rule evaluation.
+
+    A dissemination run serves N subscribers, each with its own rule
+    set, from one document stream. Subscribers whose rule sets are
+    {e identical} can share literally everything — one compiled
+    automaton, one evaluation, one output stream — so the first level of
+    sharing is grouping subscribers by their rule set. The group key is
+    the canonical text of the (parsed, subject-filtered) rules, digested
+    with the same FNV-1a hash the fleet's affinity ring uses
+    ({!Sdds_util.Fnv}), so "same digest" means the same thing to routing
+    and to cluster formation.
+
+    Correctness never rests on the digest: clusters are formed on the
+    canonical {e text}, and a digest shared by two different texts is
+    reported as a typed {!error.Collision} naming the subscriber pair —
+    never silently merged (which would serve one subscriber the other's
+    view).
+
+    The plan is {e canonical}: the same population produces the same
+    plan (same cluster order, same member order) regardless of the order
+    subscribers were listed in — the property test pins it. *)
+
+type cluster = {
+  digest : int64;  (** FNV-1a of [canonical] *)
+  canonical : string;  (** one rule per line: ["sign, xpath"] *)
+  members : string list;  (** subjects, sorted *)
+  rules : Sdds_core.Rule.t list;  (** the shared rule set *)
+  compiled : Sdds_core.Compile.t;
+  has_preds : bool;
+      (** the compiled set carries predicate paths: it cannot join the
+          merged-automaton walk ({!Mux}) and is evaluated solo *)
+}
+
+type t = {
+  clusters : cluster array;  (** sorted by digest (unique — no collision) *)
+  assignment : (string * int) list;
+      (** subject -> index into [clusters]; sorted by subject *)
+  mux : int list;  (** predicate-free clusters: share one token walk *)
+  solo : int list;  (** clusters evaluated by a private engine each *)
+  related_pairs : int;
+      (** distinct rule-set pairs where one subsumes the other
+          ({!Sdds_analysis.Sharing}) — latent overlap beyond identity *)
+}
+
+type error =
+  | Collision of { subject_a : string; subject_b : string; digest : int64 }
+      (** two different rule-set texts share a digest; merging them
+          would cross-serve views, so the plan refuses *)
+  | Duplicate_subject of string
+      (** one subject listed twice with different rule sets: there is no
+          single view to deliver it *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val canonical : Sdds_core.Rule.t list -> string
+(** The cluster key: one ["sign, xpath"] line per rule, in the given
+    order (rule order is semantically significant — it is part of the
+    identity, not normalized away). The subject is deliberately absent:
+    it names the recipient, not the policy, so subscribers with
+    identical signed paths cluster together whatever they are called. *)
+
+val plan :
+  ?digest:(string -> int64) ->
+  (string * Sdds_core.Rule.t list) list ->
+  (t, error) result
+(** [plan subscribers] clusters a population. A subject listed twice
+    with the same rules is one member. [digest] (default
+    {!Sdds_util.Fnv.fnv1a64}) exists to inject collisions in tests. *)
+
+val evaluations : t -> int
+(** Engine passes the plan needs: one shared walk for all [mux]
+    clusters (if any) plus one per [solo] cluster. The naive baseline is
+    [List.length assignment]. *)
+
+val cluster_of : t -> string -> int option
+(** The cluster index serving a subject. *)

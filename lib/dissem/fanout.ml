@@ -1,0 +1,108 @@
+module Engine = Sdds_core.Engine
+module Output = Sdds_core.Output
+module Obs = Sdds_obs.Obs
+
+type stats = {
+  subscribers : int;
+  clusters : int;
+  mux_clusters : int;
+  solo_clusters : int;
+  evaluations : int;
+  naive_evaluations : int;
+  related_pairs : int;
+  trie_nodes : int;
+  mux_token_visits : int;
+}
+
+let fanout_ratio st =
+  if st.evaluations = 0 then 0.
+  else float_of_int st.subscribers /. float_of_int st.evaluations
+
+let cluster_span obs ~shared (c : Cluster.cluster) f =
+  Obs.Tracer.with_span (Obs.tracer obs)
+    ~args:
+      [ ("digest", Sdds_util.Fnv.to_hex c.Cluster.digest);
+        ("members", string_of_int (List.length c.Cluster.members));
+        ("shared", string_of_bool shared) ]
+    "dissem.cluster" f
+
+let run_plan ?obs (plan : Cluster.t) events =
+      let n = List.length plan.Cluster.assignment in
+      Obs.Tracer.with_span (Obs.tracer obs)
+        ~args:
+          [ ("subscribers", string_of_int n);
+            ( "clusters",
+              string_of_int (Array.length plan.Cluster.clusters) );
+            ("evaluations", string_of_int (Cluster.evaluations plan)) ]
+        "dissem.publish"
+      @@ fun () ->
+      let per_cluster =
+        Array.make (Array.length plan.Cluster.clusters) []
+      in
+      (* One shared walk for every predicate-free cluster. *)
+      let trie_nodes = ref 0 and mux_visits = ref 0 in
+      (match plan.Cluster.mux with
+      | [] -> ()
+      | mux_ids ->
+          Obs.Tracer.with_span (Obs.tracer obs)
+            ~args:
+              [ ("clusters", string_of_int (List.length mux_ids)) ]
+            "dissem.mux"
+          @@ fun () ->
+          let ids = Array.of_list mux_ids in
+          let compiled =
+            Array.map
+              (fun i -> plan.Cluster.clusters.(i).Cluster.compiled)
+              ids
+          in
+          let m = Mux.create compiled in
+          List.iter (Mux.feed m) events;
+          Mux.finish m;
+          trie_nodes := Mux.node_count m;
+          mux_visits := Mux.token_visits m;
+          let outs = Mux.outputs m in
+          Array.iteri
+            (fun k i ->
+              cluster_span obs ~shared:true plan.Cluster.clusters.(i)
+                (fun () -> per_cluster.(i) <- outs.(k)))
+            ids);
+      (* Predicate-carrying clusters evaluate solo, from the same event
+         pass — they still share the decode and the digest-level
+         grouping of identical subscribers. *)
+      List.iter
+        (fun i ->
+          let c = plan.Cluster.clusters.(i) in
+          cluster_span obs ~shared:false c (fun () ->
+              per_cluster.(i) <- Engine.run ?obs c.Cluster.rules events))
+        plan.Cluster.solo;
+      let delivered =
+        List.map
+          (fun (subject, i) -> (subject, per_cluster.(i)))
+          plan.Cluster.assignment
+      in
+      let evaluations = Cluster.evaluations plan in
+      let stats =
+        {
+          subscribers = n;
+          clusters = Array.length plan.Cluster.clusters;
+          mux_clusters = List.length plan.Cluster.mux;
+          solo_clusters = List.length plan.Cluster.solo;
+          evaluations;
+          naive_evaluations = n;
+          related_pairs = plan.Cluster.related_pairs;
+          trie_nodes = !trie_nodes;
+          mux_token_visits = !mux_visits;
+        }
+      in
+      Obs.inc obs "dissem.subscribers" n;
+      Obs.inc obs "dissem.clusters" stats.clusters;
+      Obs.inc obs "dissem.evaluations" evaluations;
+      Obs.inc obs "dissem.evaluations_saved" (n - evaluations);
+      Obs.set_gauge obs "dissem.fanout"
+        (int_of_float (1000. *. fanout_ratio stats));
+      (delivered, stats)
+
+let run ?obs subscribers events =
+  match Cluster.plan subscribers with
+  | Error e -> Error e
+  | Ok plan -> Ok (run_plan ?obs plan events)

@@ -20,16 +20,7 @@ module Ring = struct
      property test pins it. *)
   type t = { vnodes : int; members : int list; points : (int64 * int) array }
 
-  let fnv1a64 s =
-    let h = ref 0xCBF29CE484222325L in
-    String.iter
-      (fun c ->
-        h :=
-          Int64.mul
-            (Int64.logxor !h (Int64.of_int (Char.code c)))
-            0x100000001B3L)
-      s;
-    !h
+  let fnv1a64 = Sdds_util.Fnv.fnv1a64
 
   let create ?(vnodes = 64) members =
     if vnodes < 1 then invalid_arg "Ring.create: vnodes < 1";
@@ -90,7 +81,6 @@ type outcome = {
    latency never goes backwards when the request restarts on a
    less-loaded card. *)
 type job = {
-  index : int;
   req : Proxy.Request.t;
   mutable j_affinity : bool;
   mutable j_reroutes : int;
@@ -98,11 +88,22 @@ type job = {
   span : Obs.Tracer.span;
 }
 
+(* A request admitted through the incremental API. [starts] snapshots
+   every card's clock at admission: latency is measured against the
+   serving card's clock then, so clocks carried over from earlier work
+   do not inflate it. Admission exchanges no frames, so for a batch the
+   per-stream snapshots all equal the batch-entry clocks. *)
+type stream = {
+  s_job : job;
+  starts : float array;
+  mutable outcome : outcome option;
+}
+
 type slot = {
   id : int;
   pool : Proxy.Pool.t;
-  queue : job Queue.t;  (* admitted, waiting for a pool slot *)
-  mutable active : (job * Proxy.Pool.stream) list;
+  queue : stream Queue.t;  (* admitted, waiting for a pool slot *)
+  mutable active : (stream * Proxy.Pool.stream) list;
   clock : float ref;  (* simulated seconds of link time *)
   mutable served : int;
   g_depth : Obs.Metrics.Gauge.t;
@@ -268,130 +269,136 @@ let route t req =
             Some (s, false)
         | None -> None)
 
-let serve t reqs =
-  let reqs = Array.of_list reqs in
-  let n = Array.length reqs in
-  let results : outcome option array = Array.make n None in
-  let remaining = ref 0 in
-  (* The batch arrives at simulated t = 0 *of this call*: latency is
-     measured against each card's clock at entry, so clocks carrying
-     over from earlier batches (they must — warm state persists) do not
-     inflate later batches' latencies. *)
-  let starts = Array.map (fun s -> !(s.clock)) t.slots in
-  let tracer = Obs.tracer t.obs in
-  let finish job card latency result outcome_tag =
-    results.(job.index) <-
-      Some
-        {
-          result;
-          card;
-          affinity = job.j_affinity;
-          reroutes = job.j_reroutes;
-          latency_s = latency;
-        };
-    decr remaining;
-    Obs.Tracer.stop tracer
+let finish t st card latency result outcome_tag =
+  let job = st.s_job in
+  st.outcome <-
+    Some
+      {
+        result;
+        card;
+        affinity = job.j_affinity;
+        reroutes = job.j_reroutes;
+        latency_s = latency;
+      };
+  Obs.Tracer.stop (Obs.tracer t.obs)
+    ~args:
+      [ ("outcome", outcome_tag);
+        ("card", string_of_int card);
+        ("reroutes", string_of_int job.j_reroutes) ]
+    job.span
+
+(* A budget-exhausted request (its card kept tearing or its link kept
+   faulting past the pool's per-card epoch recovery) is re-routed to
+   another card rather than failed, while the allowance lasts. *)
+let reroute t st failed =
+  let job = st.s_job in
+  if job.j_reroutes >= t.max_reroutes then false
+  else
+    match least_loaded ~excluding:failed t with
+    | Some s ->
+        job.j_reroutes <- job.j_reroutes + 1;
+        job.j_affinity <- false;
+        t.reroutes <- t.reroutes + 1;
+        Obs.inc t.obs "fleet.reroutes" 1;
+        Queue.add st s.queue;
+        note_depth t s;
+        true
+    | None -> false
+
+(* Admission: route the request now (it "arrives" at the current
+   simulated time); a request no card has queue room for is refused
+   immediately with a typed error — the bounded per-card queues are the
+   admission control. *)
+let start (t : t) req =
+  t.requests <- t.requests + 1;
+  Obs.inc t.obs "fleet.requests" 1;
+  let span =
+    Obs.Tracer.start (Obs.tracer t.obs) ~parent:Obs.Tracer.none
       ~args:
-        [ ("outcome", outcome_tag);
-          ("card", string_of_int card);
-          ("reroutes", string_of_int job.j_reroutes) ]
-      job.span
+        [ ("doc_id", req.Proxy.Request.doc_id);
+          ( "subject",
+            Option.value ~default:t.subject req.Proxy.Request.subject ) ]
+      "fleet.request"
   in
-  (* Admission: route every request up front (the whole batch "arrives"
-     at simulated t = 0); a request no card has queue room for is
-     refused now with a typed error — the bounded per-card queues are
-     the admission control. *)
-  Array.iteri
-    (fun index req ->
-      t.requests <- t.requests + 1;
-      Obs.inc t.obs "fleet.requests" 1;
-      let span =
-        Obs.Tracer.start tracer ~parent:Obs.Tracer.none
-          ~args:
-            [ ("doc_id", req.Proxy.Request.doc_id);
-              ( "subject",
-                Option.value ~default:t.subject req.Proxy.Request.subject )
-            ]
-          "fleet.request"
-      in
-      let job =
-        { index; req; j_affinity = false; j_reroutes = 0; floor = 0.0; span }
-      in
-      incr remaining;
-      match route t req with
-      | None ->
-          t.rejected <- t.rejected + 1;
-          Obs.inc t.obs "fleet.rejected" 1;
-          finish job (-1) 0.0 (Error Proxy.Overloaded) "rejected"
-      | Some (slot, aff) ->
-          job.j_affinity <- aff;
-          Queue.add job slot.queue;
-          note_depth t slot)
-    reqs;
-  (* A budget-exhausted request (its card kept tearing or its link kept
-     faulting past the pool's per-card epoch recovery) is re-routed to
-     another card rather than failed, while the allowance lasts. *)
-  let reroute job failed =
-    if job.j_reroutes >= t.max_reroutes then false
-    else
-      match least_loaded ~excluding:failed t with
-      | Some s ->
-          job.j_reroutes <- job.j_reroutes + 1;
-          job.j_affinity <- false;
-          t.reroutes <- t.reroutes + 1;
-          Obs.inc t.obs "fleet.reroutes" 1;
-          Queue.add job s.queue;
-          note_depth t s;
-          true
-      | None -> false
+  let job = { req; j_affinity = false; j_reroutes = 0; floor = 0.0; span } in
+  let st =
+    {
+      s_job = job;
+      starts = Array.map (fun s -> !(s.clock)) t.slots;
+      outcome = None;
+    }
   in
-  (* Cooperative scheduler: round-robin over the cards; each card feeds
-     its pool up to [channels] concurrent streams from its FIFO queue
-     and advances every active stream by one frame per turn — the same
-     frame interleaving N independent terminals would produce, except
-     across N cards at once. *)
-  while !remaining > 0 do
-    Array.iter
-      (fun slot ->
-        while
-          List.length slot.active < t.channels
-          && not (Queue.is_empty slot.queue)
-        do
-          let job = Queue.take slot.queue in
-          let stream = Proxy.Pool.start slot.pool job.req in
-          slot.active <- slot.active @ [ (job, stream) ]
-        done;
-        set_depth slot;
-        List.iter
-          (fun (_, stream) -> Proxy.Pool.step slot.pool stream)
-          slot.active;
-        let still_active =
-          List.filter
-            (fun (job, stream) ->
-              match Proxy.Pool.result stream with
-              | None -> true
-              | Some result ->
-                  let latency =
-                    max job.floor (!(slot.clock) -. starts.(slot.id))
-                  in
-                  (match result with
-                  | Error (Proxy.Link_failure _ as e) ->
-                      job.floor <- latency;
-                      if not (reroute job slot.id) then
-                        finish job slot.id latency (Error e) "error"
-                  | Ok served ->
-                      slot.served <- slot.served + 1;
-                      finish job slot.id latency (Ok served) "ok"
-                  | Error e -> finish job slot.id latency (Error e) "error");
-                  false)
-            slot.active
-        in
-        slot.active <- still_active;
-        set_depth slot)
-      t.slots
+  (match route t req with
+  | None ->
+      t.rejected <- t.rejected + 1;
+      Obs.inc t.obs "fleet.rejected" 1;
+      finish t st (-1) 0.0 (Error Proxy.Overloaded) "rejected"
+  | Some (slot, aff) ->
+      job.j_affinity <- aff;
+      Queue.add st slot.queue;
+      note_depth t slot);
+  st
+
+(* One scheduler turn: round-robin over the cards; each card feeds its
+   pool up to [channels] concurrent streams from its FIFO queue and
+   advances every active stream by one frame — the same frame
+   interleaving N independent terminals would produce, except across N
+   cards at once. *)
+let turn t =
+  Array.iter
+    (fun slot ->
+      while
+        List.length slot.active < t.channels
+        && not (Queue.is_empty slot.queue)
+      do
+        let st = Queue.take slot.queue in
+        let stream = Proxy.Pool.start slot.pool st.s_job.req in
+        slot.active <- slot.active @ [ (st, stream) ]
+      done;
+      set_depth slot;
+      List.iter
+        (fun (_, stream) -> Proxy.Pool.step slot.pool stream)
+        slot.active;
+      let still_active =
+        List.filter
+          (fun (st, stream) ->
+            match Proxy.Pool.result stream with
+            | None -> true
+            | Some result ->
+                let job = st.s_job in
+                let latency =
+                  max job.floor (!(slot.clock) -. st.starts.(slot.id))
+                in
+                (match result with
+                | Error (Proxy.Link_failure _ as e) ->
+                    job.floor <- latency;
+                    if not (reroute t st slot.id) then
+                      finish t st slot.id latency (Error e) "error"
+                | Ok served ->
+                    slot.served <- slot.served + 1;
+                    finish t st slot.id latency (Ok served) "ok"
+                | Error e -> finish t st slot.id latency (Error e) "error");
+                false)
+          slot.active
+      in
+      slot.active <- still_active;
+      set_depth slot)
+    t.slots
+
+(* The fleet is a shared scheduler: advancing one stream means running a
+   whole turn — every active stream moves, which is exactly what any
+   single caller waiting on its own stream wants anyway. *)
+let step t (_ : stream) = turn t
+let result st = st.outcome
+
+let serve t reqs =
+  let streams = List.map (start t) reqs in
+  while List.exists (fun st -> st.outcome = None) streams do
+    turn t
   done;
-  Array.to_list
-    (Array.map (function Some o -> o | None -> assert false) results)
+  List.map
+    (fun st -> match st.outcome with Some o -> o | None -> assert false)
+    streams
 
 let stats (t : t) =
   {

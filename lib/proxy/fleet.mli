@@ -116,6 +116,23 @@ val serve : t -> Proxy.Request.t list -> outcome list
     channels, memos, clocks) persists across calls, so a later batch
     finds warm caches. *)
 
+(** {2 Incremental serving}
+
+    The {!Proxy.BACKEND} spelling of {!serve}, for the unified client:
+    [start] admits and routes one request (a refusal surfaces as an
+    already-finished stream with [Overloaded]), [step] runs one turn of
+    the fleet's cooperative scheduler — the fleet is a shared scheduler,
+    so {e every} active stream advances, which is what a caller waiting
+    on its own stream wants anyway — and [result] is [Some] once the
+    request finished. [serve] is admission of the whole batch followed
+    by turns until done; the interleaving is identical. *)
+
+type stream
+
+val start : t -> Proxy.Request.t -> stream
+val step : t -> stream -> unit
+val result : stream -> outcome option
+
 type stats = {
   requests : int;
   affinity_hits : int;

@@ -185,19 +185,6 @@ let run t (r : Request.t) =
       | Error () -> stale)
   | result -> result
 
-let query t ~doc_id ?(protect = false) ?xpath () =
-  run t
-    {
-      Request.doc_id;
-      xpath;
-      protect;
-      delivery = `Pull;
-      use_index = true;
-      subject = None;
-    }
-
-let receive_push t ~doc_id = run t (Request.make ~delivery:`Push doc_id)
-
 module Pool = struct
   type served = {
     view : Sdds_xml.Dom.t option;
@@ -700,4 +687,16 @@ module Pool = struct
      frame, [result] is [Some] once it finished. *)
   let start = init
   let result st = match st.phase with Finished r -> Some r | _ -> None
+end
+
+(* The executor contract {!Sdds_proxy.Client} dispatches over: admit a
+   request, advance it, collect its result. {!Pool} satisfies it
+   directly; the single-card and fleet executors adapt to it. *)
+module type BACKEND = sig
+  type t
+  type stream
+
+  val start : t -> Request.t -> stream
+  val step : t -> stream -> unit
+  val result : stream -> (Pool.served, error) result option
 end

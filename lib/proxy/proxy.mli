@@ -92,25 +92,6 @@ val run : t -> Request.t -> (outcome, error) result
     negatively. Raises [Sdds_xpath.Parser.Error] on a malformed [xpath]
     (the application's bug, reported synchronously). *)
 
-val query :
-  t ->
-  doc_id:string ->
-  ?protect:bool ->
-  ?xpath:string ->
-  unit ->
-  (outcome, error) result
-(** Pull scenario. Deprecated spelling of
-    [run t (Request.make ?xpath ?protect doc_id)] — kept for existing
-    callers; new code should build a {!Request.t}. *)
-
-val receive_push :
-  t -> doc_id:string -> (outcome, error) result
-(** Push scenario (selective dissemination): the same document flows past
-    the card as a stream — every chunk crosses the link, the card decrypts
-    only what the index cannot discard, and the authorized part is
-    delivered. Deprecated spelling of
-    [run t (Request.make ~delivery:`Push doc_id)]. *)
-
 (** Multi-client serving: N request streams multiplexed over {e one} APDU
     transport to one card, using ISO 7816 logical channels
     ({!Sdds_soe.Remote_card}). The pool round-robins the streams at frame
@@ -193,4 +174,20 @@ module Pool : sig
 
   val step : t -> stream -> unit
   val result : stream -> (served, error) result option
+end
+
+(** The executor contract the unified client ({!Sdds_proxy.Client})
+    dispatches over — the incremental-serving triple, uniform across a
+    single local card, a channel {!Pool} and a multi-card
+    {!Sdds_proxy.Fleet}: [start] admits a {!Request.t} (pre-admission
+    failures surface as an already-finished stream), [step] advances it,
+    [result] is [Some] once it finished. {!Pool} satisfies the signature
+    as-is. *)
+module type BACKEND = sig
+  type t
+  type stream
+
+  val start : t -> Request.t -> stream
+  val step : t -> stream -> unit
+  val result : stream -> (Pool.served, error) result option
 end

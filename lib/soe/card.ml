@@ -590,6 +590,219 @@ let evaluate t source ~encrypted_rules ?query ?(use_index = true) () =
                         Ok (res.Indexed_engine.outputs, report)))))
 
 
+(* ------------------------------------------------------------------ *)
+(* Dissemination: one stream, N subscribers, clustered evaluation      *)
+(* ------------------------------------------------------------------ *)
+
+type dissem_report = {
+  dissem_breakdown : Cost.breakdown;
+  sharing : Sdds_dissem.Fanout.stats;
+  dissem_output_bytes : int;  (* sum over all subscriber streams *)
+  dissem_events : int;  (* events in the single decode pass *)
+  rejected : int;  (* subscribers refused before clustering *)
+}
+
+(* Dissemination watermarks live in the same stable-storage table as the
+   card's own, under keys that cannot collide with a bare doc_id. *)
+let dissem_version_key ~doc_id ~subject = doc_id ^ "\x00" ^ subject
+
+let disseminate t source ~subscribers () =
+  Obs.Tracer.with_span (Obs.tracer t.obs)
+    ~args:
+      [ ("doc_id", source.doc_id);
+        ("subscribers", string_of_int (List.length subscribers)) ]
+    "card.disseminate"
+  @@ fun () ->
+  match Hashtbl.find_opt t.doc_keys source.doc_id with
+  | None -> Error (No_key source.doc_id)
+  | Some key ->
+      let meter = Cost.meter t.prof in
+      let n_chunks = Array.length source.chunks in
+      let root_msg =
+        Wire.signed_root_message ~doc_id:source.doc_id
+          ~merkle_root:source.merkle_root ~plain_length:source.plain_length
+      in
+      if
+        not
+          (Rsa.verify source.publisher root_msg
+             ~signature:source.root_signature)
+      then Error Bad_signature
+      else begin
+        Cost.charge_rsa meter ~ops:1;
+        (* Dissemination pushes whole authorized views: every chunk is
+           transferred, decrypted and proof-checked — once, for the whole
+           population. *)
+        let bad = ref [] in
+        let plain_parts =
+          Array.mapi
+            (fun i cipher ->
+              match
+                Wire.decrypt_chunk ~key ~doc_id:source.doc_id ~index:i
+                  cipher
+              with
+              | Some plain -> plain
+              | None ->
+                  bad := i :: !bad;
+                  let len =
+                    min source.chunk_plain_bytes
+                      (source.plain_length - (i * source.chunk_plain_bytes))
+                  in
+                  String.make (max 0 len) '\000')
+            source.chunks
+        in
+        let encoded = String.concat "" (Array.to_list plain_parts) in
+        let integrity_failure = ref None in
+        Array.iteri
+          (fun i cipher ->
+            if !integrity_failure = None then begin
+              let proof =
+                try source.prove i with Invalid_argument _ -> []
+              in
+              Cost.charge_transfer meter ~bytes:(String.length cipher);
+              Cost.charge_decrypt meter ~bytes:(String.length cipher);
+              Cost.charge_hash meter ~bytes:(String.length cipher);
+              Cost.charge_hash meter ~bytes:(64 * List.length proof);
+              if
+                not
+                  (Merkle.verify ~root:source.merkle_root
+                     ~leaf_count:source.leaf_count ~index:i ~leaf:cipher
+                     proof)
+              then integrity_failure := Some i
+            end)
+          source.chunks;
+        match !integrity_failure with
+        | Some chunk -> Error (Integrity_failure { chunk })
+        | None -> (
+            if !bad <> [] then Error (Stale_key source.doc_id)
+            else if String.length encoded <> source.plain_length then
+              Error (Integrity_failure { chunk = n_chunks })
+            else
+              match Sdds_index.Reader.to_events encoded with
+              | exception Invalid_argument _ ->
+                  Error (Integrity_failure { chunk = 0 })
+              | events -> (
+                  (* Per-subscriber preparation: each blob is MAC-checked,
+                     decrypted and version-gated independently; a broken
+                     blob rejects its subscriber, never the publish.
+                     Watermarks are read against the pre-publish snapshot
+                     (listing order cannot matter) and advanced only when
+                     the publish goes through. *)
+                  let new_marks : (string, int) Hashtbl.t =
+                    Hashtbl.create 8
+                  in
+                  let prepared =
+                    List.map
+                      (fun (subject, blob) ->
+                        Cost.charge_transfer meter
+                          ~bytes:(String.length blob);
+                        Cost.charge_hash meter ~bytes:(String.length blob);
+                        Cost.charge_decrypt meter
+                          ~bytes:(String.length blob);
+                        match
+                          Wire.decrypt_rules ~key ~doc_id:source.doc_id
+                            ~subject ~publisher:source.publisher blob
+                        with
+                        | Error msg -> (subject, Error (Bad_rules msg))
+                        | Ok (version, rules) ->
+                            let seen =
+                              Option.value ~default:(-1)
+                                (Hashtbl.find_opt t.rule_versions
+                                   (dissem_version_key
+                                      ~doc_id:source.doc_id ~subject))
+                            in
+                            if version < seen then
+                              ( subject,
+                                Error
+                                  (Replayed_rules { seen; offered = version })
+                              )
+                            else begin
+                              let cur =
+                                Option.value ~default:seen
+                                  (Hashtbl.find_opt new_marks subject)
+                              in
+                              Hashtbl.replace new_marks subject
+                                (max cur version);
+                              (subject, Ok (Rule.for_subject subject rules))
+                            end)
+                      subscribers
+                  in
+                  let population =
+                    List.filter_map
+                      (fun (s, r) ->
+                        match r with
+                        | Ok rules -> Some (s, rules)
+                        | Error _ -> None)
+                      prepared
+                  in
+                  match Sdds_dissem.Cluster.plan population with
+                  | Error e ->
+                      Error
+                        (Bad_rules
+                           (Format.asprintf "%a"
+                              Sdds_dissem.Cluster.pp_error e))
+                  | Ok plan ->
+                      Hashtbl.iter
+                        (fun subject v ->
+                          Hashtbl.replace t.rule_versions
+                            (dissem_version_key ~doc_id:source.doc_id
+                               ~subject)
+                            v)
+                        new_marks;
+                      (* Compilation is per cluster, not per subscriber —
+                         the first dividend of the digest grouping. *)
+                      Array.iter
+                        (fun c ->
+                          Cost.charge_compile meter
+                            ~states:
+                              (Compile.state_count
+                                 c.Sdds_dissem.Cluster.compiled))
+                        plan.Sdds_dissem.Cluster.clusters;
+                      let delivered, stats =
+                        Sdds_dissem.Fanout.run_plan ?obs:t.obs plan events
+                      in
+                      let n_events = List.length events in
+                      (* One event pass per evaluation actually run; the
+                         mux walk's trie-token work stands in for the
+                         per-engine token visits it replaces. *)
+                      Cost.charge_events meter
+                        ~events:
+                          (n_events * stats.Sdds_dissem.Fanout.evaluations)
+                        ~tokens:stats.Sdds_dissem.Fanout.mux_token_visits;
+                      (* Sharing saves evaluations, not uploads: every
+                         subscriber's stream crosses the link. *)
+                      let out_bytes =
+                        List.fold_left
+                          (fun acc (_, outs) ->
+                            acc + output_wire_bytes outs)
+                          0 delivered
+                      in
+                      Cost.charge_transfer meter ~bytes:out_bytes;
+                      let results =
+                        List.map
+                          (fun (subject, r) ->
+                            match r with
+                            | Error e -> (subject, Error e)
+                            | Ok _ ->
+                                ( subject,
+                                  Ok
+                                    (Option.value ~default:[]
+                                       (List.assoc_opt subject delivered))
+                                ))
+                          prepared
+                      in
+                      Obs.inc t.obs "card.disseminations" 1;
+                      Ok
+                        ( results,
+                          {
+                            dissem_breakdown = Cost.read meter;
+                            sharing = stats;
+                            dissem_output_bytes = out_bytes;
+                            dissem_events = n_events;
+                            rejected =
+                              List.length prepared - List.length population;
+                          } )))
+      end
+
 let evaluate_protected t source ~encrypted_rules ?query ?use_index () =
   match evaluate t source ~encrypted_rules ?query ?use_index () with
   | Error e -> Error e

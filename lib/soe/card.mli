@@ -192,6 +192,46 @@ val output_wire_bytes : Sdds_core.Output.t list -> int
 (** Serialized size of the output stream crossing the card → terminal
     link ([Sdds_core.Output_codec]). *)
 
+type dissem_report = {
+  dissem_breakdown : Cost.breakdown;
+  sharing : Sdds_dissem.Fanout.stats;
+      (** clustering and shared-evaluation accounting *)
+  dissem_output_bytes : int;
+      (** sum of every subscriber's serialized output stream — sharing
+          saves evaluations, not uploads *)
+  dissem_events : int;  (** events in the single decode pass *)
+  rejected : int;
+      (** subscribers refused individually (bad blob, stale version)
+          before clustering *)
+}
+
+val disseminate :
+  t ->
+  doc_source ->
+  subscribers:(string * string) list ->
+  unit ->
+  ( (string * (Sdds_core.Output.t list, error) result) list * dissem_report,
+    error )
+  result
+(** One encrypted stream, N subscribers — the dissemination gateway. The
+    card (holding the document key) verifies the root signature and
+    decrypts/proof-checks every chunk {e once}, decrypts each
+    subscriber's [(subject, encrypted rule blob)] independently, clusters
+    identical rule sets by digest ({!Sdds_dissem.Cluster}) and drives the
+    predicate-free clusters through one merged walk
+    ({!Sdds_dissem.Mux}), then demultiplexes: each subscriber's output
+    equals a private {!evaluate} under its own rules.
+
+    Per-subscriber failures (undecryptable blob → [Bad_rules], version
+    rollback → [Replayed_rules]) reject that subscriber only; results
+    come back in listing order. Global failures — no key, bad signature,
+    integrity, a rules-digest collision or a subject listed with two
+    different rule sets (both reported as [Bad_rules] with the planner's
+    message naming the offenders) — fail the whole publish, and
+    watermarks only advance when the publish goes through. Dissemination
+    targets gateway-class profiles ({!Cost.fleet}); it does not enforce
+    the per-evaluation RAM budget of the 1 KB e-gate path. *)
+
 val evaluate_protected :
   t ->
   doc_source ->

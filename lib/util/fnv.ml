@@ -1,0 +1,12 @@
+let fnv1a64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001B3L)
+    s;
+  !h
+
+let to_hex = Printf.sprintf "%Lx"

@@ -1,0 +1,13 @@
+(** FNV-1a, 64-bit: the repo's one non-cryptographic string hash.
+
+    Used wherever two components must agree on a digest without shipping
+    it — the fleet's consistent-hash ring and the dissemination
+    clusterer both digest rule blobs with it, so "same digest" means the
+    same thing to routing and to cluster formation. *)
+
+val fnv1a64 : string -> int64
+(** Unsigned 64-bit FNV-1a of the bytes (offset basis
+    [0xCBF29CE484222325], prime [0x100000001B3]). *)
+
+val to_hex : int64 -> string
+(** Lower-case hex rendering of a digest ([%Lx]). *)

@@ -11,19 +11,30 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== bench smoke (E15 E16 E17 E18 E19) =="
-dune exec bench/main.exe -- --smoke E15 E16 E17 E18 E19
+echo "== wrapper gate: retired Proxy.query / receive_push must not return =="
+# The unified client (Sdds_proxy.Client) replaced the per-deployment
+# wrappers; a reappearing call site means a regression to the old API.
+if grep -rnE 'Proxy\.query\b|receive_push' \
+     --include='*.ml' --include='*.mli' lib bin bench test examples; then
+  echo "error: retired Proxy.query / receive_push identifiers found" >&2
+  exit 1
+fi
+echo "wrapper gate: clean"
+
+echo "== bench smoke (E15 E16 E17 E18 E19 E20) =="
+dune exec bench/main.exe -- --smoke E15 E16 E17 E18 E19 E20
 
 echo "== BENCH_engine.json schema check =="
-# The smoke run above rewrites BENCH_engine.json; the schema must be /6
-# and carry the E18 "obs" array (observability overhead points) plus the
-# E19 "fleet" array (cards x streams serving points).
+# The smoke run above rewrites BENCH_engine.json; the schema must be /7
+# and carry the E18 "obs" array (observability overhead points), the
+# E19 "fleet" array (cards x streams serving points) and the E20
+# "dissem" array (subscribers x overlap dissemination points).
 if command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json, sys
 with open("BENCH_engine.json") as f:
     d = json.load(f)
-assert d["schema"] == "sdds-bench-engine/6", d["schema"]
+assert d["schema"] == "sdds-bench-engine/7", d["schema"]
 obs = d["obs"]
 assert len(obs) >= 1, "empty obs array"
 modes = {r["mode"] for r in obs if r["experiment"] == "E18"}
@@ -43,16 +54,35 @@ for r in fleet:
         assert k in r, k
 assert {r["routing"] for r in fleet} == {"affinity", "random"}
 assert {r["phase"] for r in fleet} == {"cold", "warm"}
-print("BENCH_engine.json: schema /6, %d obs + %d fleet points"
-      % (len(obs), len(fleet)))
+dissem = d["dissem"]
+assert len(dissem) >= 1, "empty dissem array"
+for r in dissem:
+    assert r["experiment"] == "E20", r
+    for k in ("subscribers", "distinct", "clusters", "mux_clusters",
+              "solo_clusters", "evaluations", "naive_evaluations",
+              "saved", "fanout", "p50_ms", "p95_ms", "naive_p50_ms",
+              "naive_p95_ms"):
+        assert k in r, k
+    assert r["evaluations"] <= r["naive_evaluations"], r
+# Sharing must actually happen: wherever two or more subscribers share a
+# rules digest (distinct < subscribers), strictly fewer evaluations run
+# than the per-subscriber baseline.
+shared = [r for r in dissem if r["distinct"] < r["subscribers"]]
+assert shared, "no overlapping population in the sweep"
+for r in shared:
+    assert r["evaluations"] < r["naive_evaluations"], r
+print("BENCH_engine.json: schema /7, %d obs + %d fleet + %d dissem points"
+      % (len(obs), len(fleet), len(dissem)))
 EOF
 else
-  grep -q '"schema": "sdds-bench-engine/6"' BENCH_engine.json
+  grep -q '"schema": "sdds-bench-engine/7"' BENCH_engine.json
   grep -q '"obs": \[' BENCH_engine.json
   grep -q '"mode": "full"' BENCH_engine.json
   grep -q '"fleet": \[' BENCH_engine.json
   grep -q '"experiment": "E19"' BENCH_engine.json
-  echo "BENCH_engine.json: schema /6 (python3 unavailable; grep check)"
+  grep -q '"dissem": \[' BENCH_engine.json
+  grep -q '"experiment": "E20"' BENCH_engine.json
+  echo "BENCH_engine.json: schema /7 (python3 unavailable; grep check)"
 fi
 
 echo "== fleet smoke: 2 cards x 16 streams, fixed seed =="
@@ -78,6 +108,40 @@ else
   printf '%s' "$fleet_out" | grep -qv '"affinity_hits":0,'
   echo "fleet smoke ok (python3 unavailable; grep check)"
 fi
+
+echo "== disseminate smoke: clustered fan-out shares evaluations =="
+# Three subscribers, two with byte-identical policies: the gateway must
+# cluster them, run strictly fewer evaluations than the per-subscriber
+# baseline, and still deliver a per-subscriber view to everyone.
+dsm="$(mktemp -d)"
+cat >"$dsm/rules.txt" <<'RULES'
++, alice, //patient
+-, alice, //ssn
++, bob, //patient
+-, bob, //ssn
++, carol, //department
+RULES
+dissem_out="$(dune exec bin/sdds_cli.exe -- disseminate \
+  examples/policies/clinical.xml --rules-file "$dsm/rules.txt" --json)"
+echo "$dissem_out"
+if command -v python3 >/dev/null 2>&1; then
+  DISSEM_JSON="$dissem_out" python3 - <<'EOF'
+import json, os
+r = json.loads(os.environ["DISSEM_JSON"])
+assert r["subscribers"] == 3 and r["clusters"] == 2, r
+assert r["evaluations"] < r["naive_evaluations"], r
+assert len(r["delivered"]) == 3, r
+assert all("error" not in s for s in r["delivered"]), r
+print("disseminate smoke: %d clusters, %d/%d evaluations (saved %d)"
+      % (r["clusters"], r["evaluations"], r["naive_evaluations"], r["saved"]))
+EOF
+else
+  printf '%s' "$dissem_out" | grep -q '"subscribers":3'
+  printf '%s' "$dissem_out" | grep -q '"clusters":2'
+  printf '%s' "$dissem_out" | grep -qv '"error"'
+  echo "disseminate smoke ok (python3 unavailable; grep check)"
+fi
+rm -rf "$dsm"
 
 echo "== fault soak: fixed-seed lossy links must converge to the golden view =="
 # End-to-end through the CLI: publish a store, take the fault-free view

@@ -1,0 +1,234 @@
+module Cluster = Sdds_dissem.Cluster
+module Fanout = Sdds_dissem.Fanout
+module Mux = Sdds_dissem.Mux
+module Engine = Sdds_core.Engine
+module Rule = Sdds_core.Rule
+module Compile = Sdds_core.Compile
+module Dom = Sdds_xml.Dom
+module Generator = Sdds_xml.Generator
+module Random_path = Sdds_xpath.Random_path
+module Rng = Sdds_util.Rng
+
+let tags = [| "a"; "b"; "c"; "d"; "e" |]
+let values = [| "1"; "2"; "x" |]
+
+let random_doc rng =
+  Generator.random_tree rng ~tags ~max_depth:6 ~max_children:4
+    ~text_probability:0.3
+
+let path_cfg ~predicate_probability =
+  { Random_path.default with max_steps = 3; predicate_probability }
+
+let random_rules rng ~predicate_probability n =
+  List.init n (fun _ ->
+      let sign = if Rng.float rng 1.0 < 0.5 then Rule.Allow else Rule.Deny in
+      {
+        Rule.sign;
+        subject = "u";
+        path =
+          Random_path.generate rng
+            (path_cfg ~predicate_probability)
+            ~tags ~values;
+      })
+
+(* A subscriber population with forced sharing: a small pool of rule
+   sets, each subscriber drawing from the pool or minting a fresh set.
+   [predicate_probability] > 0 exercises the solo path alongside the
+   mux. *)
+let random_population rng ~predicate_probability =
+  let pool_size = 1 + Rng.int rng 3 in
+  let pool =
+    Array.init pool_size (fun _ ->
+        random_rules rng ~predicate_probability (1 + Rng.int rng 4))
+  in
+  let n = 2 + Rng.int rng 7 in
+  List.init n (fun i ->
+      let rules =
+        if Rng.float rng 1.0 < 0.6 then pool.(Rng.int rng pool_size)
+        else random_rules rng ~predicate_probability (1 + Rng.int rng 4)
+      in
+      (Printf.sprintf "s%02d" i, rules))
+
+let seed_gen = QCheck2.Gen.(int_bound 1_000_000)
+
+let run_fanout subscribers events =
+  match Fanout.run subscribers events with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "plan refused: %a" Cluster.pp_error e
+
+(* The tentpole property: clustered output = per-subscriber naive
+   oracle, structurally identical, for every subscriber. *)
+let differential ~predicate_probability ~name ~count =
+  QCheck2.Test.make ~name ~count seed_gen (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let doc = random_doc rng in
+      let events = Dom.to_events doc in
+      let subscribers = random_population rng ~predicate_probability in
+      let delivered, stats = run_fanout subscribers events in
+      List.length delivered = List.length subscribers
+      && stats.Fanout.evaluations <= stats.Fanout.naive_evaluations
+      && List.for_all
+           (fun (subject, outs) ->
+             let rules = List.assoc subject subscribers in
+             outs = Engine.run rules events)
+           delivered)
+
+let test_differential_pred_free =
+  differential ~predicate_probability:0.0
+    ~name:"clustered = naive oracle (pred-free)" ~count:150
+
+let test_differential_mixed =
+  differential ~predicate_probability:0.4
+    ~name:"clustered = naive oracle (mixed predicates)" ~count:150
+
+(* Satellite: cluster membership and outputs are stable under
+   subscriber insertion order. *)
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+let plan_fingerprint (p : Cluster.t) =
+  ( Array.to_list
+      (Array.map (fun c -> (c.Cluster.digest, c.Cluster.members)) p.Cluster.clusters),
+    p.Cluster.assignment,
+    p.Cluster.mux,
+    p.Cluster.solo )
+
+let test_insertion_order_stable =
+  QCheck2.Test.make ~name:"clusters stable under insertion order" ~count:150
+    seed_gen (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let doc = random_doc rng in
+      let events = Dom.to_events doc in
+      let subscribers = random_population rng ~predicate_probability:0.2 in
+      let permuted = shuffle rng subscribers in
+      let plan l =
+        match Cluster.plan l with
+        | Ok p -> p
+        | Error e -> Alcotest.failf "plan refused: %a" Cluster.pp_error e
+      in
+      plan_fingerprint (plan subscribers) = plan_fingerprint (plan permuted)
+      && run_fanout subscribers events = run_fanout permuted events)
+
+(* Identical rule sets collapse to one shared evaluation. *)
+let test_identical_sets_share () =
+  let rules = [ Rule.allow ~subject:"u" "//a"; Rule.deny ~subject:"u" "//b" ] in
+  let subscribers = List.init 5 (fun i -> (Printf.sprintf "s%d" i, rules)) in
+  match Cluster.plan subscribers with
+  | Error e -> Alcotest.failf "plan refused: %a" Cluster.pp_error e
+  | Ok p ->
+      Alcotest.(check int) "one cluster" 1 (Array.length p.Cluster.clusters);
+      Alcotest.(check int) "one evaluation" 1 (Cluster.evaluations p);
+      Alcotest.(check (list string)) "members"
+        [ "s0"; "s1"; "s2"; "s3"; "s4" ]
+        p.Cluster.clusters.(0).Cluster.members
+
+(* The realistic card-path shape: each subscriber's rules carry its own
+   subject (they were filtered out of a per-subscriber blob). Identical
+   policies must still cluster — the canonical key drops the subject. *)
+let test_same_policy_different_subjects () =
+  let policy s =
+    [ Rule.allow ~subject:s "//patient"; Rule.deny ~subject:s "//ssn" ]
+  in
+  let subscribers =
+    [ ("alice", policy "alice"); ("bob", policy "bob");
+      ("carol", [ Rule.allow ~subject:"carol" "//department" ]) ]
+  in
+  match Cluster.plan subscribers with
+  | Error e -> Alcotest.failf "plan refused: %a" Cluster.pp_error e
+  | Ok p ->
+      Alcotest.(check int) "two clusters" 2 (Array.length p.Cluster.clusters);
+      Alcotest.(check bool) "alice and bob share" true
+        (Cluster.cluster_of p "alice" = Cluster.cluster_of p "bob");
+      Alcotest.(check bool) "carol is alone" true
+        (Cluster.cluster_of p "carol" <> Cluster.cluster_of p "alice")
+
+(* Satellite: a digest collision between distinct rule sets is a typed
+   refusal naming the colliding pair — deterministically, whatever the
+   listing order. *)
+let test_collision_reported () =
+  let a = [ Rule.allow ~subject:"u" "//a" ] in
+  let b = [ Rule.deny ~subject:"u" "//b" ] in
+  let subscribers =
+    [ ("carol", a); ("alice", a); ("bob", b); ("dave", b) ]
+  in
+  let check l =
+    match Cluster.plan ~digest:(fun _ -> 42L) l with
+    | Error (Cluster.Collision { subject_a; subject_b; digest }) ->
+        Alcotest.(check int64) "digest" 42L digest;
+        (* First member (sorted) of each colliding group, in canonical
+           cluster order. *)
+        Alcotest.(check (pair string string))
+          "colliding pair" ("alice", "bob")
+          (min subject_a subject_b, max subject_a subject_b)
+    | Error e -> Alcotest.failf "wrong refusal: %a" Cluster.pp_error e
+    | Ok _ -> Alcotest.fail "collision went undetected"
+  in
+  check subscribers;
+  check (List.rev subscribers)
+
+let test_duplicate_subject () =
+  let subscribers =
+    [
+      ("alice", [ Rule.allow ~subject:"u" "//a" ]);
+      ("alice", [ Rule.deny ~subject:"u" "//b" ]);
+    ]
+  in
+  match Cluster.plan subscribers with
+  | Error (Cluster.Duplicate_subject "alice") -> ()
+  | Error e -> Alcotest.failf "wrong refusal: %a" Cluster.pp_error e
+  | Ok _ -> Alcotest.fail "duplicate subject went undetected"
+
+(* Same subject listed twice with the same rules is fine (dedup). *)
+let test_duplicate_listing_ok () =
+  let rules = [ Rule.allow ~subject:"u" "//a" ] in
+  match Cluster.plan [ ("alice", rules); ("alice", rules) ] with
+  | Error e -> Alcotest.failf "plan refused: %a" Cluster.pp_error e
+  | Ok p ->
+      Alcotest.(check int) "one cluster" 1 (Array.length p.Cluster.clusters);
+      Alcotest.(check int) "one assignment" 1
+        (List.length p.Cluster.assignment)
+
+(* The mux refuses predicate-carrying rule sets outright. *)
+let test_mux_rejects_predicates () =
+  let compiled =
+    Compile.compile [ Rule.allow ~subject:"u" {|//a[b>"1"]|} ]
+  in
+  Alcotest.check_raises "predicates refused"
+    (Invalid_argument "Mux.create: predicate rule set") (fun () ->
+      ignore (Mux.create [| compiled |]))
+
+(* Sharing accounting: with guaranteed digest sharing, the shared
+   evaluation count is strictly below the naive N. *)
+let test_stats_saved () =
+  let rng = Rng.create 7L in
+  let doc = random_doc rng in
+  let events = Dom.to_events doc in
+  let rules = [ Rule.allow ~subject:"u" "//a" ] in
+  let subscribers = List.init 4 (fun i -> (Printf.sprintf "s%d" i, rules)) in
+  let _, stats = run_fanout subscribers events in
+  Alcotest.(check int) "naive" 4 stats.Fanout.naive_evaluations;
+  Alcotest.(check int) "shared" 1 stats.Fanout.evaluations;
+  Alcotest.(check bool) "ratio" true (Fanout.fanout_ratio stats = 4.0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest test_differential_pred_free;
+    QCheck_alcotest.to_alcotest test_differential_mixed;
+    QCheck_alcotest.to_alcotest test_insertion_order_stable;
+    Alcotest.test_case "identical sets share" `Quick test_identical_sets_share;
+    Alcotest.test_case "same policy, different subjects" `Quick
+      test_same_policy_different_subjects;
+    Alcotest.test_case "collision reported" `Quick test_collision_reported;
+    Alcotest.test_case "duplicate subject" `Quick test_duplicate_subject;
+    Alcotest.test_case "duplicate listing ok" `Quick test_duplicate_listing_ok;
+    Alcotest.test_case "mux rejects predicates" `Quick
+      test_mux_rejects_predicates;
+    Alcotest.test_case "sharing stats" `Quick test_stats_saved;
+  ]

@@ -124,7 +124,7 @@ let test_publish_shape () =
 let test_pull_view_matches_oracle () =
   let w = Lazy.force world in
   let proxy = Proxy.create ~store:w.store ~card:w.alice in
-  match Proxy.query proxy ~doc_id:"hospital-1" () with
+  match Proxy.run proxy (Proxy.Request.make "hospital-1") with
   | Error e -> Alcotest.failf "query failed: %a" Proxy.pp_error e
   | Ok outcome ->
       Alcotest.check dom_opt "view = oracle"
@@ -142,7 +142,7 @@ let test_narrow_policy_skips_chunks () =
      irrelevant by their tag bitmaps and never transferred. *)
   let w = Lazy.force world in
   let proxy = Proxy.create ~store:w.store ~card:w.bob in
-  match Proxy.query proxy ~doc_id:"hospital-1" () with
+  match Proxy.run proxy (Proxy.Request.make "hospital-1") with
   | Error e -> Alcotest.failf "query failed: %a" Proxy.pp_error e
   | Ok outcome ->
       let r = outcome.Proxy.card_report in
@@ -156,7 +156,7 @@ let test_pull_with_query () =
   let w = Lazy.force world in
   let proxy = Proxy.create ~store:w.store ~card:w.alice in
   match
-    Proxy.query proxy ~doc_id:"hospital-1" ~xpath:"//patient/name" ()
+    Proxy.run proxy (Proxy.Request.make ~xpath:"//patient/name" "hospital-1")
   with
   | Error e -> Alcotest.failf "query failed: %a" Proxy.pp_error e
   | Ok outcome ->
@@ -169,12 +169,12 @@ let test_pull_with_query () =
 let test_per_subject_views_differ () =
   let w = Lazy.force world in
   let va =
-    match Proxy.query (Proxy.create ~store:w.store ~card:w.alice) ~doc_id:"hospital-1" () with
+    match Proxy.run (Proxy.create ~store:w.store ~card:w.alice) (Proxy.Request.make "hospital-1") with
     | Ok o -> o.Proxy.view
     | Error e -> Alcotest.failf "alice failed: %a" Proxy.pp_error e
   in
   let vb =
-    match Proxy.query (Proxy.create ~store:w.store ~card:w.bob) ~doc_id:"hospital-1" () with
+    match Proxy.run (Proxy.create ~store:w.store ~card:w.bob) (Proxy.Request.make "hospital-1") with
     | Ok o -> o.Proxy.view
     | Error e -> Alcotest.failf "bob failed: %a" Proxy.pp_error e
   in
@@ -186,14 +186,14 @@ let test_per_subject_views_differ () =
 let test_unknown_document_and_missing_grants () =
   let w = Lazy.force world in
   let proxy = Proxy.create ~store:w.store ~card:w.alice in
-  (match Proxy.query proxy ~doc_id:"nope" () with
+  (match Proxy.run proxy (Proxy.Request.make "nope") with
   | Error (Proxy.Unknown_document "nope") -> ()
   | _ -> Alcotest.fail "expected Unknown_document");
   (* A stranger with no grant. *)
   let d = Drbg.create ~seed:"eve" in
   let eve = Card.create ~subject:"eve" (Rsa.generate d ~bits:512) in
   let proxy_eve = Proxy.create ~store:w.store ~card:eve in
-  match Proxy.query proxy_eve ~doc_id:"hospital-1" () with
+  match Proxy.run proxy_eve (Proxy.Request.make "hospital-1") with
   | Error Proxy.No_grant -> ()
   | _ -> Alcotest.fail "expected No_grant"
 
@@ -203,12 +203,12 @@ let test_push_costs_more_transfer () =
   let w = Lazy.force world in
   let proxy = Proxy.create ~store:w.store ~card:w.bob in
   let pull =
-    match Proxy.query proxy ~doc_id:"hospital-1" () with
+    match Proxy.run proxy (Proxy.Request.make "hospital-1") with
     | Ok o -> o.Proxy.card_report
     | Error e -> Alcotest.failf "pull failed: %a" Proxy.pp_error e
   in
   let push =
-    match Proxy.receive_push proxy ~doc_id:"hospital-1" with
+    match Proxy.run proxy (Proxy.Request.make ~delivery:`Push "hospital-1") with
     | Ok o -> o.Proxy.card_report
     | Error e -> Alcotest.failf "push failed: %a" Proxy.pp_error e
   in
@@ -242,7 +242,7 @@ let test_policy_update_no_reencryption () =
      redistribution. *)
   Alcotest.(check bool) "chunks untouched" true
     (before.Publish.chunks = after.Publish.chunks);
-  match Proxy.query proxy ~doc_id:"hospital-1" () with
+  match Proxy.run proxy (Proxy.Request.make "hospital-1") with
   | Error e -> Alcotest.failf "query failed: %a" Proxy.pp_error e
   | Ok outcome ->
       Alcotest.check dom_opt "new policy enforced"
@@ -259,7 +259,7 @@ let consumed_chunk_attack tamper =
   let w = make_world () in
   tamper w.store;
   let proxy = Proxy.create ~store:w.store ~card:w.alice in
-  Proxy.query proxy ~doc_id:"hospital-1" ()
+  Proxy.run proxy (Proxy.Request.make "hospital-1")
 
 let expect_integrity = function
   | Error (Proxy.Card_error (Card.Integrity_failure _)) -> ()
@@ -288,7 +288,7 @@ let test_tamper_truncate_detected () =
   Store.tamper_truncate w.store ~doc_id:"hospital-1"
     ~keep_chunks:(Array.length p.Publish.chunks - 2);
   let proxy = Proxy.create ~store:w.store ~card:w.alice in
-  match Proxy.query proxy ~doc_id:"hospital-1" () with
+  match Proxy.run proxy (Proxy.Request.make "hospital-1") with
   | Error (Proxy.Card_error (Card.Integrity_failure _)) -> ()
   | Error e -> Alcotest.failf "expected failure, got %a" Proxy.pp_error e
   | Ok _ -> Alcotest.fail "truncation went undetected"
@@ -302,7 +302,7 @@ let test_egate_ram_budget_enforced () =
      does not. *)
   let w = make_world ~profile:Cost.egate ~patients:3 () in
   let proxy = Proxy.create ~store:w.store ~card:w.alice in
-  (match Proxy.query proxy ~doc_id:"hospital-1" () with
+  (match Proxy.run proxy (Proxy.Request.make "hospital-1") with
   | Ok o ->
       Alcotest.(check bool) "fits in 1KB" true
         (o.Proxy.card_report.Card.ram_peak_bytes <= 1024)
@@ -320,7 +320,7 @@ let test_egate_ram_budget_enforced () =
   Store.put_rules w.store ~doc_id:"hospital-1" ~subject:"alice"
     (Publish.encrypt_rules_for w.drbg ~publisher:w.publisher
        ~doc_key:w.doc_key ~doc_id:"hospital-1" ~subject:"alice" heavy);
-  match Proxy.query proxy ~doc_id:"hospital-1" () with
+  match Proxy.run proxy (Proxy.Request.make "hospital-1") with
   | Error (Proxy.Card_error (Card.Memory_exceeded _)) -> ()
   | Error e -> Alcotest.failf "expected memory error, got %a" Proxy.pp_error e
   | Ok o ->
@@ -363,12 +363,12 @@ let test_protected_query_same_view () =
        ~doc_key:w.doc_key ~doc_id:"hospital-1" ~subject:"alice" rules);
   let proxy = Proxy.create ~store:w.store ~card:w.alice in
   let plain =
-    match Proxy.query proxy ~doc_id:"hospital-1" () with
+    match Proxy.run proxy (Proxy.Request.make "hospital-1") with
     | Ok o -> o.Proxy.view
     | Error e -> Alcotest.failf "plain failed: %a" Proxy.pp_error e
   in
   let protected_view =
-    match Proxy.query proxy ~doc_id:"hospital-1" ~protect:true () with
+    match Proxy.run proxy (Proxy.Request.make ~protect:true "hospital-1") with
     | Ok o -> o.Proxy.view
     | Error e -> Alcotest.failf "protected failed: %a" Proxy.pp_error e
   in
@@ -393,20 +393,20 @@ let test_lazy_revocation_is_not_enough () =
   let w = make_world () in
   let proxy = Proxy.create ~store:w.store ~card:w.alice in
   (* First query installs the key on alice's card. *)
-  (match Proxy.query proxy ~doc_id:"hospital-1" () with
+  (match Proxy.run proxy (Proxy.Request.make "hospital-1") with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "setup failed: %a" Proxy.pp_error e);
   (* "Revoke" by dropping the grant only: a card already holding the key
      is unaffected — the cautionary half of the revocation story. *)
   Store.put_grant w.store ~doc_id:"hospital-1" ~subject:"alice" "";
-  match Proxy.query proxy ~doc_id:"hospital-1" () with
+  match Proxy.run proxy (Proxy.Request.make "hospital-1") with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "lazy revocation should not block: %a" Proxy.pp_error e
 
 let test_rotation_revokes () =
   let w = make_world () in
   let proxy = Proxy.create ~store:w.store ~card:w.alice in
-  (match Proxy.query proxy ~doc_id:"hospital-1" () with
+  (match Proxy.run proxy (Proxy.Request.make "hospital-1") with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "setup failed: %a" Proxy.pp_error e);
   (* Rotate the document key; re-grant bob but not alice. *)
@@ -424,7 +424,7 @@ let test_rotation_revokes () =
   Store.put_grant w.store ~doc_id:"hospital-1" ~subject:"alice" "";
   (* Alice's stale key no longer opens anything — and the failure names
      the cause, not a tampering false-positive. *)
-  (match Proxy.query proxy ~doc_id:"hospital-1" () with
+  (match Proxy.run proxy (Proxy.Request.make "hospital-1") with
   | Error (Proxy.Card_error (Card.Stale_key _))
   | Error (Proxy.Card_error (Card.Bad_rules _)) ->
       (* (the rule blob was also re-keyed, whichever check fires first) *)
@@ -433,7 +433,7 @@ let test_rotation_revokes () =
   | Ok _ -> Alcotest.fail "revoked alice still reads");
   (* Bob transitions to the new key transparently. *)
   let bob_proxy = Proxy.create ~store:w.store ~card:w.bob in
-  match Proxy.query bob_proxy ~doc_id:"hospital-1" () with
+  match Proxy.run bob_proxy (Proxy.Request.make "hospital-1") with
   | Ok o ->
       Alcotest.check dom_opt "bob still reads"
         (Oracle.authorized_view ~rules:bob_rules w.doc)
@@ -461,7 +461,7 @@ let test_reader_cannot_self_escalate () =
   in
   Store.put_rules w.store ~doc_id:"hospital-1" ~subject:"alice" forged;
   let proxy = Proxy.create ~store:w.store ~card:w.alice in
-  match Proxy.query proxy ~doc_id:"hospital-1" () with
+  match Proxy.run proxy (Proxy.Request.make "hospital-1") with
   | Error (Proxy.Card_error (Card.Bad_rules _)) -> ()
   | Error e -> Alcotest.failf "unexpected error: %a" Proxy.pp_error e
   | Ok _ -> Alcotest.fail "self-escalation went through"
@@ -484,12 +484,12 @@ let test_policy_rollback_rejected () =
     (Publish.encrypt_rules_for w.drbg ~publisher:w.publisher
        ~doc_key:w.doc_key ~doc_id:"hospital-1" ~subject:"alice" ~version:1
        [ Rule.allow ~subject:"alice" "//admission" ]);
-  (match Proxy.query proxy ~doc_id:"hospital-1" () with
+  (match Proxy.run proxy (Proxy.Request.make "hospital-1") with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "v1 failed: %a" Proxy.pp_error e);
   (* Replay v0. *)
   Store.put_rules w.store ~doc_id:"hospital-1" ~subject:"alice" loose_blob;
-  match Proxy.query proxy ~doc_id:"hospital-1" () with
+  match Proxy.run proxy (Proxy.Request.make "hospital-1") with
   | Error (Proxy.Card_error (Card.Replayed_rules { seen = 1; offered = 0 })) ->
       ()
   | Error e -> Alcotest.failf "unexpected error: %a" Proxy.pp_error e
@@ -529,7 +529,7 @@ let test_store_roundtrip () =
       let _, alice_kp, _ = Lazy.force identities in
       let card = Card.create ~profile:Cost.modern ~subject:"alice" alice_kp in
       let proxy = Proxy.create ~store:loaded ~card in
-      match Proxy.query proxy ~doc_id:"hospital-1" () with
+      match Proxy.run proxy (Proxy.Request.make "hospital-1") with
       | Ok o ->
           Alcotest.check dom_opt "view survives persistence"
             (Oracle.authorized_view ~rules:alice_rules w.doc)
@@ -557,7 +557,7 @@ let test_store_disk_tampering_detected () =
       let _, alice_kp, _ = Lazy.force identities in
       let card = Card.create ~profile:Cost.modern ~subject:"alice" alice_kp in
       let proxy = Proxy.create ~store:loaded ~card in
-      match Proxy.query proxy ~doc_id:"hospital-1" () with
+      match Proxy.run proxy (Proxy.Request.make "hospital-1") with
       | Error (Proxy.Card_error (Card.Integrity_failure _))
       | Error (Proxy.Card_error (Card.Stale_key _))
       | Error (Proxy.Card_error Card.Bad_signature)
@@ -604,16 +604,16 @@ let test_protected_breakdown_consistent () =
   let proxy = Proxy.create ~store:w.store ~card:w.alice in
   (* Warm the card's prepared-evaluation cache so both measured runs pay
      identical setup costs and the deltas isolate the guarded stream. *)
-  (match Proxy.query proxy ~doc_id:"hospital-1" () with
+  (match Proxy.run proxy (Proxy.Request.make "hospital-1") with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "warm-up failed: %a" Proxy.pp_error e);
   let plain =
-    match Proxy.query proxy ~doc_id:"hospital-1" () with
+    match Proxy.run proxy (Proxy.Request.make "hospital-1") with
     | Ok o -> o.Proxy.card_report
     | Error e -> Alcotest.failf "plain failed: %a" Proxy.pp_error e
   in
   let prot =
-    match Proxy.query proxy ~doc_id:"hospital-1" ~protect:true () with
+    match Proxy.run proxy (Proxy.Request.make ~protect:true "hospital-1") with
     | Ok o -> o.Proxy.card_report
     | Error e -> Alcotest.failf "protected failed: %a" Proxy.pp_error e
   in

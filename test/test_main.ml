@@ -31,4 +31,5 @@ let () =
       ("fault", Test_fault.suite);
       ("fleet", Test_fleet.suite);
       ("obs", Test_obs.suite);
+      ("dissem", Test_dissem.suite);
     ]

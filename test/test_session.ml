@@ -181,7 +181,7 @@ let test_run_equals_query () =
   let w = Lazy.force world in
   let proxy = Proxy.create ~store:w.store ~card:(fresh_card w) in
   let via_run = Proxy.run proxy (Proxy.Request.make ~xpath:"//patient" "ward-1") in
-  let via_query = Proxy.query proxy ~doc_id:"ward-1" ~xpath:"//patient" () in
+  let via_query = Proxy.run proxy (Proxy.Request.make ~xpath:"//patient" "ward-1") in
   match (via_run, via_query) with
   | Ok a, Ok b ->
       Alcotest.(check (option string)) "wrapper = Request path" a.Proxy.xml
