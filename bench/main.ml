@@ -43,6 +43,8 @@ module Fault = Sdds_fault.Fault
 module Diag = Sdds_analysis.Diag
 module Memory_bound = Sdds_analysis.Memory_bound
 module Obs = Sdds_obs.Obs
+module Pmodel = Sdds_protocol.Model
+module Explore = Sdds_protocol.Explore
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -278,6 +280,42 @@ let record_dissem ~subscribers ~distinct ~clusters ~mux_clusters
       d_naive_p50_ms = naive_p50_ms; d_naive_p95_ms = naive_p95_ms }
     :: !dissem_records
 
+(* One record per (model, fault alphabet, depth) cell of the protocol
+   checker sweep: search-space size, throughput, and whether the run
+   produced a counterexample (the pre-fix fixture rows must; the current
+   rows must not). Dumped as an eighth array ("check") in
+   BENCH_engine.json. *)
+type check_record = {
+  k_model : string;  (* "current" | "pre-fix" *)
+  k_alphabet : string;  (* "duplicate" | "loss" | "full" *)
+  k_kinds : int;  (* fault kinds in the alphabet *)
+  k_depth : int;
+  k_fault_budget : int;
+  k_states : int;  (* states expanded *)
+  k_transitions : int;
+  k_dedup_hits : int;
+  k_terminal_ok : int;
+  k_terminal_failed : int;
+  k_violations : int;  (* 0 or 1: the search stops at the first *)
+  k_cex_frames : int;  (* minimized schedule length; 0 when clean *)
+  k_ms : float;
+  k_states_per_s : float;
+}
+
+let check_records : check_record list ref = ref []
+
+let record_check ~model ~alphabet ~kinds ~depth ~fault_budget ~states
+    ~transitions ~dedup_hits ~terminal_ok ~terminal_failed ~violations
+    ~cex_frames ~ms ~states_per_s =
+  check_records :=
+    { k_model = model; k_alphabet = alphabet; k_kinds = kinds;
+      k_depth = depth; k_fault_budget = fault_budget; k_states = states;
+      k_transitions = transitions; k_dedup_hits = dedup_hits;
+      k_terminal_ok = terminal_ok; k_terminal_failed = terminal_failed;
+      k_violations = violations; k_cex_frames = cex_frames; k_ms = ms;
+      k_states_per_s = states_per_s }
+    :: !check_records
+
 let record_resilience ~case ~fault_rate ~requests ~ok ~typed_errors ~retries
     ~injected ~frames ~wire_bytes ~link_ms_per_ok =
   resilience_records :=
@@ -298,13 +336,14 @@ let write_bench_json () =
   let obses = List.rev !obs_records in
   let fleets = List.rev !fleet_records in
   let dissems = List.rev !dissem_records in
+  let checks = List.rev !check_records in
   if
     records = [] && sessions = [] && analyses = [] && resiliences = []
-    && obses = [] && fleets = [] && dissems = []
+    && obses = [] && fleets = [] && dissems = [] && checks = []
   then ()
   else begin
     let oc = open_out "BENCH_engine.json" in
-    Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/7\",\n";
+    Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/8\",\n";
     Printf.fprintf oc "  \"records\": [\n";
     List.iteri
       (fun i r ->
@@ -409,15 +448,32 @@ let write_bench_json () =
           (json_float r.d_naive_p95_ms)
           (if i = List.length dissems - 1 then "" else ","))
       dissems;
+    Printf.fprintf oc "  ],\n  \"check\": [\n";
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"experiment\": \"E21\", \"model\": %S, \"alphabet\": %S, \
+           \"kinds\": %d, \"depth\": %d, \"fault_budget\": %d, \
+           \"states\": %d, \"transitions\": %d, \"dedup_hits\": %d, \
+           \"terminal_ok\": %d, \"terminal_failed\": %d, \
+           \"violations\": %d, \"cex_frames\": %d, \"ms\": %s, \
+           \"states_per_s\": %s}%s\n"
+          r.k_model r.k_alphabet r.k_kinds r.k_depth r.k_fault_budget
+          r.k_states r.k_transitions r.k_dedup_hits r.k_terminal_ok
+          r.k_terminal_failed r.k_violations r.k_cex_frames
+          (json_float r.k_ms)
+          (json_float r.k_states_per_s)
+          (if i = List.length checks - 1 then "" else ","))
+      checks;
     Printf.fprintf oc "  ]\n}\n";
     close_out oc;
     Printf.printf
       "\nwrote BENCH_engine.json (%d records, %d sessions, %d analyses, %d \
        resilience points, %d obs points, %d fleet points, %d dissem \
-       points)\n"
+       points, %d check points)\n"
       (List.length records) (List.length sessions) (List.length analyses)
       (List.length resiliences) (List.length obses) (List.length fleets)
-      (List.length dissems)
+      (List.length dissems) (List.length checks)
   end
 
 (* Shared identities: RSA keygen is slow, reuse across experiments. *)
@@ -2010,6 +2066,73 @@ let e20_dissem () =
      shared batch stays near-flat."
 
 (* ------------------------------------------------------------------ *)
+(* E21: protocol model checking — states/sec, depth x alphabet sweep   *)
+(* ------------------------------------------------------------------ *)
+
+let e21_protocol_check () =
+  header "E21"
+    "protocol model checker: bounded exploration of the host x card x \
+     fault product, depth x fault-alphabet sweep on the production \
+     protocol and the preserved pre-fix fixture";
+  let full = Pmodel.current.Pmodel.alphabet in
+  let alphabets =
+    [
+      ("duplicate", [ Fault.Duplicate_command ]);
+      ( "loss",
+        [ Fault.Drop_command; Fault.Drop_response; Fault.Duplicate_command ] );
+      ("full", full);
+    ]
+  in
+  let models = [ ("current", Pmodel.current); ("pre-fix", Pmodel.pre_fix) ] in
+  let depths = if !smoke then [ 8 ] else [ 8; 10; 12; 14 ] in
+  Printf.printf "%8s %10s %6s | %8s %8s %8s | %4s %6s | %4s %7s | %8s %10s\n"
+    "model" "alphabet" "depth" "states" "trans" "dedup" "ok" "failed" "viol"
+    "cex-fr" "ms" "states/s";
+  List.iter
+    (fun (mname, base) ->
+      List.iter
+        (fun (aname, alphabet) ->
+          List.iter
+            (fun depth ->
+              let config = { base with Pmodel.alphabet } in
+              let t0 = Sys.time () in
+              let r = Explore.run ~depth config in
+              let dt = Sys.time () -. t0 in
+              let s = r.Explore.stats in
+              let violations, cex_frames =
+                match r.Explore.cex with
+                | None -> (0, 0)
+                | Some c -> (1, c.Sdds_protocol.Cex.steps)
+              in
+              let states_per_s =
+                float_of_int s.Explore.expanded /. Float.max dt 1e-9
+              in
+              Printf.printf
+                "%8s %10s %6d | %8d %8d %8d | %4d %6d | %4d %7d | %8.1f \
+                 %10.0f\n%!"
+                mname aname depth s.Explore.expanded s.Explore.transitions
+                s.Explore.dedup_hits s.Explore.terminal_ok
+                s.Explore.terminal_failed violations cex_frames (dt *. 1000.)
+                states_per_s;
+              record_check ~model:mname ~alphabet:aname
+                ~kinds:(List.length alphabet) ~depth
+                ~fault_budget:config.Pmodel.fault_budget
+                ~states:s.Explore.expanded ~transitions:s.Explore.transitions
+                ~dedup_hits:s.Explore.dedup_hits
+                ~terminal_ok:s.Explore.terminal_ok
+                ~terminal_failed:s.Explore.terminal_failed ~violations
+                ~cex_frames ~ms:(dt *. 1000.) ~states_per_s)
+            depths)
+        alphabets)
+    models;
+  print_endline
+    "\nNote: every current row must report 0 violations; every pre-fix row \n\
+     whose alphabet includes duplicate-command must report 1 — the \n\
+     wraparound hole, minimized to a single duplicated frame. Dedup \n\
+     collapses the product sharply, so deeper bounds exhaust the \n\
+     reachable space instead of growing exponentially."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -2035,6 +2158,7 @@ let experiments =
     ("E18", "observability", e18_observability);
     ("E19", "fleet", e19_fleet);
     ("E20", "dissem", e20_dissem);
+    ("E21", "protocol-check", e21_protocol_check);
   ]
 
 let () =

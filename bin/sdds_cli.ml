@@ -22,6 +22,9 @@
      analyze      static policy analysis: dead/shadowed rules, schema
                   unsatisfiability, allow/deny overlaps with witnesses,
                   and the static SOE memory bound
+     check        bounded exhaustive model checking of the APDU session
+                  protocol composed with the fault adversary; violations
+                  emit minimized --fault-spec counterexamples
 
    Examples:
      sdds view doc.xml -r '+, alice, //patient' -r '-, alice, //ssn' -s alice
@@ -468,7 +471,11 @@ let query_run ~force_trace store_dir doc_id subject key_path query fault_spec
     | Some spec -> (
         match Sdds_fault.Fault.Schedule.of_spec spec with
         | Ok s -> s
-        | Error msg -> or_die (Error ("bad --fault-spec: " ^ msg)))
+        | Error e ->
+            or_die
+              (Error
+                 ("bad --fault-spec: "
+                 ^ Sdds_fault.Fault.Schedule.string_of_parse_error e)))
   in
   let resolve id =
     Option.map
@@ -646,7 +653,11 @@ let fleet_cmd =
       | Some spec -> (
           match Sdds_fault.Fault.Schedule.of_spec spec with
           | Ok s -> s
-          | Error msg -> or_die (Error ("bad --fault-spec: " ^ msg)))
+          | Error e ->
+            or_die
+              (Error
+                 ("bad --fault-spec: "
+                 ^ Sdds_fault.Fault.Schedule.string_of_parse_error e)))
     in
     let links =
       Array.init cards (fun i ->
@@ -1036,6 +1047,203 @@ let analyze_cmd =
       $ analyze_doc_arg $ schema_arg $ profile_arg $ depth_arg $ json_arg
       $ trace_flag $ trace_out_arg $ metrics_out_arg)
 
+let check_cmd =
+  let module Model = Sdds_protocol.Model in
+  let module Explore = Sdds_protocol.Explore in
+  let module Invariant = Sdds_protocol.Invariant in
+  let module Cex = Sdds_protocol.Cex in
+  let module Json = Sdds_analysis.Json in
+  let depth_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "depth" ] ~docv:"N"
+          ~doc:"Explore every interleaving up to N frames")
+  in
+  let model_arg =
+    Arg.(
+      value
+      & opt (enum [ ("current", `Current); ("pre-fix", `Pre_fix) ]) `Current
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "$(b,current) checks the production chain semantics; \
+             $(b,pre-fix) checks the preserved pre-fix fixture \
+             (p2-keyed completion markers), on which the checker must \
+             find the duplicate-final-frame hole")
+  in
+  let faults_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "faults" ] ~docv:"KINDS"
+          ~doc:
+            "Restrict the fault alphabet, e.g. \
+             $(b,duplicate-command+drop-response) (default: all kinds)")
+  in
+  let fault_budget_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fault-budget" ] ~docv:"N"
+          ~doc:"Faults the adversary may inject per trace (default 2)")
+  in
+  let frames_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "frames" ] ~docv:"N"
+          ~doc:"Frames per rules upload (default: 3, or 5 on pre-fix)")
+  in
+  let modulus_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "modulus" ] ~docv:"N"
+          ~doc:"Downscaled sequence/block modulus (default 4)")
+  in
+  let block_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "block" ] ~docv:"BYTES"
+          ~doc:"Downscaled response block size (default 3)")
+  in
+  let query_flag =
+    Arg.(
+      value & flag
+      & info [ "query" ] ~doc:"Upload a query chain in each exchange")
+  in
+  let rollback_flag =
+    Arg.(
+      value & flag
+      & info [ "rollback" ]
+          ~doc:
+            "Run a second exchange that uploads an older policy version, \
+             exercising the anti-rollback path")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int Explore.default_max_states
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"Stop after expanding N states (safety cap)")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output")
+  in
+  let run depth model faults fault_budget frames modulus block query rollback
+      max_states json =
+    let base =
+      match model with `Current -> Model.current | `Pre_fix -> Model.pre_fix
+    in
+    let alphabet =
+      match faults with
+      | None -> base.Model.alphabet
+      | Some spec ->
+          List.map
+            (fun name ->
+              match Sdds_fault.Fault.kind_of_string (String.trim name) with
+              | Some k -> k
+              | None -> or_die (Error ("unknown fault kind: " ^ name)))
+            (String.split_on_char '+' spec)
+    in
+    let config =
+      {
+        base with
+        Model.alphabet;
+        fault_budget =
+          Option.value fault_budget ~default:base.Model.fault_budget;
+        rules_frames = Option.value frames ~default:base.Model.rules_frames;
+        modulus = Option.value modulus ~default:base.Model.modulus;
+        block = Option.value block ~default:base.Model.block;
+        with_query = query || base.Model.with_query;
+        versions = (if rollback then [ 2; 1 ] else base.Model.versions);
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let result = Explore.run ~max_states ~depth config in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let s = result.Explore.stats in
+    let states_per_s =
+      if elapsed > 0. then float_of_int s.Explore.expanded /. elapsed else 0.
+    in
+    let model_name =
+      match model with `Current -> "current" | `Pre_fix -> "pre-fix"
+    in
+    if json then begin
+      let violations =
+        match result.Explore.cex with
+        | None -> []
+        | Some cex ->
+            [
+              Json.Obj
+                [
+                  ( "invariant",
+                    Json.String
+                      (Invariant.name cex.Cex.violation.Invariant.which) );
+                  ("detail", Json.String cex.Cex.violation.Invariant.detail);
+                  ("spec", Json.String cex.Cex.spec);
+                  ("steps", Json.Int cex.Cex.steps);
+                  ( "trace",
+                    Json.List
+                      (List.map (fun l -> Json.String l) cex.Cex.trace) );
+                ];
+            ]
+      in
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("model", Json.String model_name);
+                ("depth", Json.Int depth);
+                ( "faults",
+                  Json.List
+                    (List.map
+                       (fun k ->
+                         Json.String (Sdds_fault.Fault.kind_to_string k))
+                       config.Model.alphabet) );
+                ("fault_budget", Json.Int config.Model.fault_budget);
+                ("states", Json.Int s.Explore.expanded);
+                ("transitions", Json.Int s.Explore.transitions);
+                ("dedup_hits", Json.Int s.Explore.dedup_hits);
+                ("terminal_ok", Json.Int s.Explore.terminal_ok);
+                ("terminal_failed", Json.Int s.Explore.terminal_failed);
+                ("max_depth", Json.Int s.Explore.max_depth);
+                ("truncated", Json.Bool s.Explore.truncated);
+                ( "states_per_s",
+                  Json.String (Printf.sprintf "%.0f" states_per_s) );
+                ("violations", Json.List violations);
+              ]))
+    end
+    else begin
+      Printf.printf
+        "model %s: depth %d, %d fault kinds, budget %d: %d states, %d \
+         transitions (%d dedup), %d ok / %d failed terminals%s in %.2fs \
+         (%.0f states/s)\n"
+        model_name depth
+        (List.length config.Model.alphabet)
+        config.Model.fault_budget s.Explore.expanded s.Explore.transitions
+        s.Explore.dedup_hits s.Explore.terminal_ok s.Explore.terminal_failed
+        (if s.Explore.truncated then " [truncated]" else "")
+        elapsed states_per_s;
+      match result.Explore.cex with
+      | None -> print_endline "no invariant violations"
+      | Some cex ->
+          Format.printf "%a@." Cex.pp cex;
+          Printf.printf "replay: sdds query ... --fault-spec '%s'\n"
+            cex.Cex.spec
+    end;
+    if result.Explore.cex <> None then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Bounded exhaustive model checking of the APDU session protocol: \
+          explores every interleaving of the host driver, the (production) \
+          card transition function and a budgeted fault adversary up to a \
+          depth, checking exactly-once chain execution, channel isolation, \
+          byte-identical block retransmission, convergence, anti-rollback \
+          and view integrity. Violations print a minimized counterexample \
+          whose fault schedule replays through $(b,--fault-spec). Exits 1 \
+          when a violation is found.")
+    Term.(
+      const run $ depth_arg $ model_arg $ faults_arg $ fault_budget_arg
+      $ frames_arg $ modulus_arg $ block_arg $ query_flag $ rollback_flag
+      $ max_states_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "sdds" ~version:"1.0.0"
@@ -1049,7 +1257,7 @@ let () =
       (Cmd.group info
          [ view_cmd; encode_cmd; stats_cmd; demo_cmd; keygen_cmd;
            publish_cmd; update_rules_cmd; query_cmd; trace_cmd; fleet_cmd;
-           disseminate_cmd; analyze_cmd ])
+           disseminate_cmd; analyze_cmd; check_cmd ])
   with
   | code -> exit code
   | exception Invalid_argument msg ->

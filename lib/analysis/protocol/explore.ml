@@ -1,0 +1,247 @@
+(* Bounded breadth-first exploration of the {!Model} product, with
+   FNV-hashed canonical-state dedup, a memoized fault-free-closure
+   convergence check, and greedy counterexample minimization. *)
+
+module Protocol = Sdds_soe.Protocol
+module Fault = Sdds_fault.Fault
+module Fnv = Sdds_util.Fnv
+
+module Keytbl = Hashtbl.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash k = Int64.to_int (Fnv.fnv1a64 k) land max_int
+end)
+
+type stats = {
+  expanded : int;  (** states dequeued and expanded *)
+  transitions : int;  (** apply calls that produced a successor *)
+  dedup_hits : int;  (** successors already in the visited set *)
+  terminal_ok : int;
+  terminal_failed : int;
+  max_depth : int;  (** deepest frame count reached *)
+  truncated : bool;  (** the state cap stopped the search early *)
+}
+
+type result = { cex : Cex.t option; stats : stats }
+
+(* How long a fault-free run may take from anywhere before we call it a
+   livelock: every exchange costs its frames plus restart slack, once
+   per budget unit the host may burn on recovering. *)
+let convergence_cap config =
+  let per_exchange =
+    config.Model.rules_frames + config.Model.response_blocks + 8
+  in
+  (List.length config.Model.versions * per_exchange)
+  * (config.Model.retry_budget + 1)
+  + 16
+
+(* The fault-free closure from [st]: [None] if it reaches a terminal
+   state, [Some reason] if it cycles or exceeds the cap — a violation of
+   the convergence invariant. Memoized across the whole search in
+   [cache] (key → verdict); states on the current path are tracked for
+   cycle detection. *)
+let converges config cache st =
+  let cap = convergence_cap config in
+  let rec go seen st n =
+    match Model.halted st with
+    | Some _ -> None
+    | None ->
+        if n > cap then
+          Some
+            (Printf.sprintf
+               "fault-free continuation still running after %d frames \
+                (livelock)"
+               cap)
+        else
+          let k = Model.key st in
+          match Hashtbl.find_opt cache k with
+          | Some verdict -> verdict
+          | None ->
+              if List.exists (String.equal k) seen then
+                Some "fault-free continuation cycles (livelock)"
+              else
+                let verdict =
+                  match Model.apply config st None with
+                  | None -> None
+                  | Some tr -> go (k :: seen) tr.Model.state (n + 1)
+                in
+                Hashtbl.replace cache k verdict;
+                verdict
+  in
+  go [] st 0
+
+(* Replay a per-frame choice list from the initial state: the first
+   invariant violation it produces, or — if the run survives the whole
+   schedule — a convergence verdict on where it ended up. This is the
+   predicate minimization shrinks against, and the oracle the tests use
+   to confirm an emitted counterexample actually violates. *)
+let replay config choices =
+  let rec go st = function
+    | [] -> (
+        match converges config (Hashtbl.create 64) st with
+        | None -> None
+        | Some reason ->
+            Some { Invariant.which = Invariant.Convergence; detail = reason })
+    | c :: rest -> (
+        match Model.apply config st c with
+        | None -> None
+        | Some tr -> (
+            match tr.Model.violations with
+            | v :: _ -> Some v
+            | [] -> go tr.Model.state rest))
+  in
+  go (Model.start config) choices
+
+(* Greedy minimization: drop each injected fault if the violation (any
+   violation) survives without it, then trim clean trailing frames. The
+   result replays deterministically, so what [sdds check] prints is the
+   smallest schedule this greedy pass can reach, not just the BFS
+   witness. *)
+let minimize config choices =
+  let arr = Array.of_list choices in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | None -> ()
+      | Some _ ->
+          arr.(i) <- None;
+          if replay config (Array.to_list arr) = None then arr.(i) <- c)
+    arr;
+  let choices = ref (Array.to_list arr) in
+  let shorter l = List.filteri (fun i _ -> i < List.length l - 1) l in
+  let continue = ref true in
+  while !continue do
+    let cand = shorter !choices in
+    if List.length cand < List.length !choices && replay config cand <> None
+    then choices := cand
+    else continue := false
+  done;
+  !choices
+
+(* One narrated line per frame of a schedule, for humans reading a
+   counterexample. *)
+let narrate config choices =
+  let lines = ref [] in
+  let rec go st frame = function
+    | [] -> ()
+    | c :: rest -> (
+        match Model.command config st.Model.host with
+        | None -> ()
+        | Some cmd -> (
+            match Model.apply config st c with
+            | None -> ()
+            | Some tr ->
+                let line =
+                  Printf.sprintf "frame %d: %s p1=%02X p2=%02X%s%s -> sw %02X%02X%s"
+                    frame
+                    (Protocol.Ins.name cmd.Sdds_soe.Apdu.ins)
+                    cmd.Sdds_soe.Apdu.p1 cmd.Sdds_soe.Apdu.p2
+                    (if String.equal cmd.Sdds_soe.Apdu.data "" then ""
+                     else Printf.sprintf " data=%S" cmd.Sdds_soe.Apdu.data)
+                    (match c with
+                    | None -> ""
+                    | Some k -> " [" ^ Fault.kind_to_string k ^ "]")
+                    tr.Model.reply.Sdds_soe.Apdu.sw1
+                    tr.Model.reply.Sdds_soe.Apdu.sw2
+                    (match tr.Model.violations with
+                    | [] -> ""
+                    | v :: _ ->
+                        Printf.sprintf "  !! %s" (Invariant.name v.Invariant.which))
+                in
+                lines := line :: !lines;
+                if tr.Model.violations = [] then go tr.Model.state (frame + 1) rest))
+  in
+  go (Model.start config) 0 choices;
+  List.rev !lines
+
+let default_max_states = 2_000_000
+
+let run ?(max_states = default_max_states) ~depth config =
+  let visited = Keytbl.create 4096 in
+  let conv_cache = Hashtbl.create 1024 in
+  let expanded = ref 0
+  and transitions = ref 0
+  and dedup_hits = ref 0
+  and terminal_ok = ref 0
+  and terminal_failed = ref 0
+  and max_depth = ref 0
+  and truncated = ref false in
+  let found = ref None in
+  let q = Queue.create () in
+  let st0 = Model.start config in
+  Keytbl.replace visited (Model.key st0) ();
+  Queue.add (st0, [], 0) q;
+  while !found = None && not (Queue.is_empty q) do
+    if !expanded >= max_states then begin
+      truncated := true;
+      Queue.clear q
+    end
+    else begin
+      let st, rev_choices, d = Queue.pop q in
+      incr expanded;
+      if d > !max_depth then max_depth := d;
+      (match converges config conv_cache st with
+      | Some reason ->
+          found :=
+            Some
+              ( List.rev rev_choices,
+                { Invariant.which = Invariant.Convergence; detail = reason } )
+      | None -> ());
+      match Model.halted st with
+      | Some (Ok ()) -> incr terminal_ok
+      | Some (Error _) -> incr terminal_failed
+      | None ->
+          if d < depth && !found = None then
+            let choices =
+              None
+              ::
+              (if st.Model.faults_left > 0 then
+                 List.map Option.some config.Model.alphabet
+               else [])
+            in
+            List.iter
+              (fun c ->
+                if !found = None then
+                  match Model.apply config st c with
+                  | None -> ()
+                  | Some tr -> (
+                      incr transitions;
+                      match tr.Model.violations with
+                      | v :: _ ->
+                          found := Some (List.rev (c :: rev_choices), v)
+                      | [] ->
+                          let k = Model.key tr.Model.state in
+                          if Keytbl.mem visited k then incr dedup_hits
+                          else begin
+                            Keytbl.replace visited k ();
+                            Queue.add (tr.Model.state, c :: rev_choices, d + 1) q
+                          end))
+              choices
+    end
+  done;
+  let cex =
+    Option.map
+      (fun (choices, violation) ->
+        let choices = minimize config choices in
+        (* Re-judge on the minimized schedule: shrinking may surface the
+           violation earlier or as a different (still real) invariant. *)
+        let violation =
+          match replay config choices with Some v -> v | None -> violation
+        in
+        Cex.make ~violation ~choices ~trace:(narrate config choices))
+      !found
+  in
+  {
+    cex;
+    stats =
+      {
+        expanded = !expanded;
+        transitions = !transitions;
+        dedup_hits = !dedup_hits;
+        terminal_ok = !terminal_ok;
+        terminal_failed = !terminal_failed;
+        max_depth = !max_depth;
+        truncated = !truncated;
+      };
+  }

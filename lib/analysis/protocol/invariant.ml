@@ -1,0 +1,48 @@
+type t =
+  | Exactly_once
+  | Isolation
+  | Retransmission
+  | Convergence
+  | Anti_rollback
+  | View_integrity
+
+let all =
+  [
+    Exactly_once;
+    Isolation;
+    Retransmission;
+    Convergence;
+    Anti_rollback;
+    View_integrity;
+  ]
+
+let name = function
+  | Exactly_once -> "exactly-once"
+  | Isolation -> "channel-isolation"
+  | Retransmission -> "retransmission"
+  | Convergence -> "convergence"
+  | Anti_rollback -> "anti-rollback"
+  | View_integrity -> "view-integrity"
+
+let describe = function
+  | Exactly_once ->
+      "every chained upload executes exactly once per session, and only \
+       payloads the host actually sent"
+  | Isolation ->
+      "a frame addressed to one logical channel never alters another \
+       channel's session"
+  | Retransmission ->
+      "a re-asked response block is retransmitted byte-identically, status \
+       word included"
+  | Convergence ->
+      "once faults stop, every exchange reaches the exact view or a typed \
+       failure — no livelock"
+  | Anti_rollback ->
+      "the card never evaluates a policy version below its high-water mark"
+  | View_integrity ->
+      "an exchange that completes drains exactly the authorized view"
+
+type violation = { which : t; detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s: %s" (name v.which) v.detail

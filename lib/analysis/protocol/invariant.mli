@@ -1,0 +1,41 @@
+(** The safety properties the protocol checker monitors.
+
+    Each invariant is judged on the observable {!Sdds_soe.Protocol.action}
+    alphabet of the pure card machine plus the model host's bookkeeping,
+    never on internal card state — what the checker flags is what a
+    terminal or an auditor could actually witness. *)
+
+type t =
+  | Exactly_once
+      (** A completed chained upload (RULES/QUERY) executes exactly once
+          per session, and only with a payload the host uploaded — the
+          property the PR 6 duplicate-final-frame holes violated. *)
+  | Isolation
+      (** A frame addressed to one logical channel leaves every other
+          channel's session untouched. *)
+  | Retransmission
+      (** A GET RESPONSE re-asking for the block just served gets a
+          byte-identical retransmission (payload and status word). *)
+  | Convergence
+      (** From every reachable state, the fault-free continuation
+          terminates (exact view or typed failure) within a bounded
+          number of steps: the retry/restart machinery cannot livelock. *)
+  | Anti_rollback
+      (** The card never evaluates a policy version below its stable
+          high-water mark. *)
+  | View_integrity
+      (** When the host driver believes the exchange completed, the bytes
+          it drained are exactly the authorized view for the uploaded
+          policy version. *)
+
+val all : t list
+
+val name : t -> string
+(** Stable kebab-case names ([exactly-once], [channel-isolation], ...):
+    they appear in [sdds check] output, JSON reports and ci gates. *)
+
+val describe : t -> string
+
+type violation = { which : t; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -113,40 +113,90 @@ module Schedule = struct
   let for_card t card =
     t.salted (Int64.mul (Int64.of_int (card + 1)) 0xBF58476D1CE4E5B9L)
 
+  type parse_error = { pos : int; msg : string }
+
+  let string_of_parse_error e =
+    Printf.sprintf "at char %d: %s" e.pos e.msg
+
+  let pp_parse_error ppf e =
+    Format.pp_print_string ppf (string_of_parse_error e)
+
+  let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+  (* Comma-split with byte offsets into the original string, each field
+     trimmed: a parse error can point at the offending token, which
+     matters once specs are machine-emitted counterexamples that a human
+     copy-pastes (and maybe mangles) into [--fault-spec]. *)
+  let fields_of spec =
+    let rec go start acc =
+      match String.index_from_opt spec start ',' with
+      | None ->
+          List.rev ((start, String.sub spec start (String.length spec - start)) :: acc)
+      | Some i -> go (i + 1) ((start, String.sub spec start (i - start)) :: acc)
+    in
+    List.map
+      (fun (off, f) ->
+        let m = String.length f in
+        let a = ref 0 in
+        while !a < m && is_space f.[!a] do incr a done;
+        let b = ref m in
+        while !b > !a && is_space f.[!b - 1] do decr b done;
+        (off + !a, String.sub f !a (!b - !a)))
+      (go 0 [])
+
   let of_spec spec =
-    let spec = String.trim spec in
-    if spec = "" || spec = "none" then Ok none
-    else if String.length spec > 0 && spec.[0] = '@' then begin
+    let err pos msg = Error { pos; msg } in
+    let n = String.length spec in
+    let lead = ref 0 in
+    while !lead < n && is_space spec.[!lead] do incr lead done;
+    let stop = ref n in
+    while !stop > !lead && is_space spec.[!stop - 1] do decr stop done;
+    let body = String.sub spec !lead (!stop - !lead) in
+    let base = !lead in
+    if body = "" || body = "none" then Ok none
+    else if body.[0] = '@' then begin
       (* "@FRAME:KIND,@FRAME:KIND,..." — an explicit event list. *)
-      let parts = String.split_on_char ',' spec in
       let rec go acc = function
         | [] -> Ok (of_events (List.rev acc))
-        | p :: rest -> (
-            let p = String.trim p in
-            match String.index_opt p ':' with
-            | None -> Error (Printf.sprintf "bad fault event %S" p)
-            | Some i -> (
-                let frame_s = String.sub p 1 (i - 1) in
-                let kind_s =
-                  String.sub p (i + 1) (String.length p - i - 1)
-                in
-                match
-                  (int_of_string_opt frame_s, kind_of_string kind_s)
-                with
-                | Some frame, Some kind when frame >= 0 ->
-                    go ({ frame; kind } :: acc) rest
-                | _ -> Error (Printf.sprintf "bad fault event %S" p)))
+        | (off, p) :: rest -> (
+            let off = base + off in
+            if p = "" then err off "empty fault event"
+            else if p.[0] <> '@' then
+              err off (Printf.sprintf "expected @FRAME:KIND, got %S" p)
+            else
+              match String.index_opt p ':' with
+              | None ->
+                  err off (Printf.sprintf "missing ':' in fault event %S" p)
+              | Some i -> (
+                  let frame_s = String.sub p 1 (i - 1) in
+                  let kind_s = String.sub p (i + 1) (String.length p - i - 1) in
+                  match int_of_string_opt frame_s with
+                  | None ->
+                      err (off + 1)
+                        (Printf.sprintf "bad frame number %S" frame_s)
+                  | Some frame when frame < 0 ->
+                      err (off + 1)
+                        (Printf.sprintf "negative frame number %d" frame)
+                  | Some frame -> (
+                      match kind_of_string kind_s with
+                      | None ->
+                          err (off + i + 1)
+                            (Printf.sprintf "unknown fault kind %S" kind_s)
+                      | Some kind -> go ({ frame; kind } :: acc) rest)))
       in
-      go [] parts
+      go [] (fields_of body)
     end
     else begin
       (* "seed=N,rate=F[,kinds=a+b+c]" — a random schedule. *)
       let seed = ref None and rate = ref None and kinds = ref None in
-      let parse_field field =
+      let parse_field (off, field) =
+        let off = base + off in
         match String.index_opt field '=' with
-        | None -> Error (Printf.sprintf "bad fault field %S" field)
+        | None ->
+            err off (Printf.sprintf "expected KEY=VALUE, got %S" field)
         | Some i -> (
             let k = String.trim (String.sub field 0 i) in
+            let voff = off + i + 1 in
             let v =
               String.trim
                 (String.sub field (i + 1) (String.length field - i - 1))
@@ -157,43 +207,43 @@ module Schedule = struct
                 | Some s ->
                     seed := Some s;
                     Ok ()
-                | None -> Error (Printf.sprintf "bad seed %S" v))
+                | None -> err voff (Printf.sprintf "bad seed %S" v))
             | "rate" -> (
                 match float_of_string_opt v with
                 | Some r when r >= 0.0 && r <= 1.0 ->
                     rate := Some r;
                     Ok ()
-                | _ -> Error (Printf.sprintf "bad rate %S" v))
+                | _ -> err voff (Printf.sprintf "bad rate %S (want 0..1)" v))
             | "kinds" -> (
                 let names = String.split_on_char '+' v in
                 let rec collect acc = function
                   | [] -> Ok (Array.of_list (List.rev acc))
-                  | n :: rest -> (
-                      match kind_of_string (String.trim n) with
+                  | nm :: rest -> (
+                      match kind_of_string (String.trim nm) with
                       | Some kd -> collect (kd :: acc) rest
                       | None ->
-                          Error (Printf.sprintf "unknown fault kind %S" n))
+                          err voff (Printf.sprintf "unknown fault kind %S" nm))
                 in
                 match collect [] names with
                 | Ok ks ->
                     kinds := Some ks;
                     Ok ()
                 | Error e -> Error e)
-            | _ -> Error (Printf.sprintf "unknown fault field %S" k))
+            | _ -> err off (Printf.sprintf "unknown fault field %S" k))
       in
       let rec all = function
         | [] -> (
             match (!seed, !rate) with
-            | Some seed, Some rate ->
-                Ok (random ~seed ~rate ?kinds:!kinds ())
-            | _ -> Error "fault spec needs both seed= and rate=")
+            | Some seed, Some rate -> Ok (random ~seed ~rate ?kinds:!kinds ())
+            | _ -> err base "fault spec needs both seed= and rate=")
         | f :: rest -> (
             match parse_field f with Ok () -> all rest | Error e -> Error e)
       in
-      all (String.split_on_char ',' spec)
+      all (fields_of body)
     end
 
   let describe t = t.describe
+  let to_spec = describe
   let decide t frame = t.decide frame
 end
 

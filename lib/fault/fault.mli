@@ -75,13 +75,28 @@ module Schedule : sig
       directed test wants the same event on whichever card it targets.
       [describe] of a derived schedule shows the mixed seed. *)
 
-  val of_spec : string -> (t, string) result
+  type parse_error = { pos : int; msg : string }
+  (** A malformed spec: [pos] is the byte offset of the offending token
+      in the string as given (so an editor or error message can point at
+      it), [msg] says what was expected. *)
+
+  val string_of_parse_error : parse_error -> string
+  val pp_parse_error : Format.formatter -> parse_error -> unit
+
+  val of_spec : string -> (t, parse_error) result
   (** Parse the [--fault-spec] syntax: ["none"], an explicit event list
       ["@3:tear,@10:drop-response"], or a random schedule
       ["seed=42,rate=0.05"] / ["seed=42,rate=0.1,kinds=tear+drop-command"]. *)
 
   val describe : t -> string
   (** A spec string round-trippable through {!of_spec}. *)
+
+  val to_spec : t -> string
+  (** Alias of {!describe}, named for the contract: for any schedule
+      built by {!none}, {!of_events} or {!random},
+      [of_spec (to_spec t)] succeeds and the result takes the same
+      {!decide} decision on every frame — the protocol checker's
+      counterexamples rely on it to be copy-pasteable. *)
 
   val decide : t -> int -> kind option
 end

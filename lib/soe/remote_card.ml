@@ -1,48 +1,14 @@
 module Output_codec = Sdds_core.Output_codec
 module Obs = Sdds_obs.Obs
 
-module Ins = struct
-  let manage_channel = 0x70
-  let select = 0xA0
-  let grant = 0xA2
-  let rules = 0xA4
-  let query = 0xA6
-  let evaluate = 0xB0
-  let get_response = 0xC0
-
-  let name ins =
-    if ins = manage_channel then "MANAGE_CHANNEL"
-    else if ins = select then "SELECT"
-    else if ins = grant then "GRANT"
-    else if ins = rules then "RULES"
-    else if ins = query then "QUERY"
-    else if ins = evaluate then "EVALUATE"
-    else if ins = get_response then "GET_RESPONSE"
-    else Printf.sprintf "INS_%02X" (ins land 0xff)
-end
-
-module Sw = struct
-  let ok = (0x90, 0x00)
-  let more_data = (0x61, 0x00)
-  let not_found = (0x6A, 0x88)
-  let stale_key = (0x6A, 0x82)
-  let bad_grant = (0x69, 0x84)
-  let bad_signature = (0x69, 0x88)
-  let security = (0x69, 0x82)
-  let replayed = (0x69, 0x87)
-  let memory = (0x6A, 0x84)
-  let rules_too_large = (0x6A, 0x80)
-  let integrity_sw1 = 0x66
-  let bad_state = (0x69, 0x85)
-  let bad_ins = (0x6D, 0x00)
-  let channel_closed = (0x68, 0x81)
-  let no_channel = (0x6A, 0x81)
-  let transport = (0x64, 0x00)
-  let internal = (0x6F, 0x00)
-end
+(* Ins, Sw and the chain automaton live in {!Protocol}: the protocol
+   logic is a pure transition function there, and this module is the
+   imperative production driver over it. The aliases keep this module's
+   public face (and every call site) unchanged. *)
+module Ins = Protocol.Ins
+module Sw = Protocol.Sw
 
 let cla = Apdu.base_cla
-let max_response = 255
 
 (* One status word per {!Card.error} constructor, so the terminal can act on
    the failure (retry the grant, refetch the document, surface revocation)
@@ -116,23 +82,13 @@ module Retry = struct
     min t.max_backoff_ms (t.base_backoff_ms *. (2.0 ** float_of_int consec))
 end
 
-(* The chained-command reassembly state machine, one per channel session.
-   Extracted so the retransmission semantics are testable in isolation:
-   the qcheck properties drive [feed] directly with frame counts spanning
+(* The chained-command reassembly state machine, one per channel session:
+   a mutable facade over the pure {!Protocol.Chain}, kept because the
+   regression properties drive [feed] directly with frame counts spanning
    the 256-frame sequence-number wraparound, which would need >64 KiB
    observable uploads through the full card stack otherwise. *)
 module Chain = struct
-  type t = {
-    (* open accumulators, keyed by instruction *)
-    chains : (int, Buffer.t * int ref) Hashtbl.t;
-    (* ins -> (p2, data) of the last accepted final frame. This is the
-       completion marker a retransmitted final frame is recognized by.
-       Recording the frame's identity — not just its sequence number —
-       matters: a single-frame chain finishes at p2 = 0 and a 257-frame
-       chain finishes at p2 ≡ 0 (mod 256), both indistinguishable from a
-       fresh chain opener by p2 alone. *)
-    finished : (int, int * string) Hashtbl.t;
-  }
+  type t = { mutable state : Protocol.Chain.t }
 
   type verdict =
     | Accepted  (* continuation frame appended *)
@@ -140,93 +96,25 @@ module Chain = struct
     | Duplicate  (* retransmission recognized: ack again, execute nothing *)
     | Rejected  (* sequence gap or stale continuation *)
 
-  let create () = { chains = Hashtbl.create 4; finished = Hashtbl.create 4 }
-
-  let reset t =
-    Hashtbl.reset t.chains;
-    Hashtbl.reset t.finished
-
-  (* The completion failed for good (e.g. preflight refused the blob): a
-     retransmitted final frame must not be acked as if it had
-     succeeded. *)
-  let forget t ins = Hashtbl.remove t.finished ins
+  let create () = { state = Protocol.Chain.empty }
+  let reset t = t.state <- Protocol.Chain.empty
+  let forget t ins = t.state <- Protocol.Chain.forget t.state ins
 
   let feed t (cmd : Apdu.command) =
-    match Hashtbl.find_opt t.chains cmd.Apdu.ins with
-    | None
-      when cmd.Apdu.p1 = 0
-           && Hashtbl.find_opt t.finished cmd.Apdu.ins
-              = Some (cmd.Apdu.p2, cmd.Apdu.data) ->
-        (* The final frame of the chain we just completed, retransmitted
-           because its ack was lost: re-ack it, whatever its p2 — p2 = 0
-           (a single-frame chain, or a final frame aliasing to 0 mod 256)
-           must not silently open a fresh chain and re-execute. *)
-        Duplicate
-    | None when cmd.Apdu.p2 <> 0 ->
-        (* A continuation (or unrecognized final) with no chain open: a
-           stale frame from before a SELECT or from an aborted upload —
-           it must not start a fresh chain. *)
-        Rejected
-    | existing -> (
-        let buf, seq =
-          match existing with
-          | Some bs -> bs
-          | None ->
-              let bs = (Buffer.create 256, ref 0) in
-              Hashtbl.add t.chains cmd.Apdu.ins bs;
-              bs
-        in
-        if !seq > 0 && cmd.Apdu.p2 = (!seq - 1) land 0xff then
-          (* Duplicate of the frame just accepted: ack, don't append. *)
-          Duplicate
-        else if cmd.Apdu.p2 <> !seq land 0xff then begin
-          Hashtbl.remove t.chains cmd.Apdu.ins;
-          Rejected
-        end
-        else begin
-          incr seq;
-          Buffer.add_string buf cmd.Apdu.data;
-          if cmd.Apdu.p1 = 0 then begin
-            Hashtbl.remove t.chains cmd.Apdu.ins;
-            Hashtbl.replace t.finished cmd.Apdu.ins
-              (cmd.Apdu.p2, cmd.Apdu.data);
-            Completed (Buffer.contents buf)
-          end
-          else Accepted
-        end)
+    let state, verdict = Protocol.Chain.feed t.state cmd in
+    t.state <- state;
+    match verdict with
+    | Protocol.Chain.Accepted -> Accepted
+    | Protocol.Chain.Completed payload -> Completed payload
+    | Protocol.Chain.Duplicate -> Duplicate
+    | Protocol.Chain.Rejected -> Rejected
 end
 
 module Host = struct
-  (* The per-channel slice of the protocol state: everything a SELECT
-     resets lives here, so channels cannot observe (or corrupt) each
-     other's half-uploaded chains or undrained responses. *)
-  type session = {
-    mutable doc : Card.doc_source option;
-    chain : Chain.t;  (* chained-command accumulators *)
-    mutable pending_rules : string option;
-    mutable pending_query : string option;
-    mutable response : string;  (* bytes not yet drained *)
-    mutable resp_block : int;  (* next response block to serve *)
-    mutable resp_last : Apdu.response option;  (* for retransmission *)
-    mutable resp_ready : bool;  (* an EVALUATE produced the stream *)
-  }
-
-  let fresh_session () =
-    {
-      doc = None;
-      chain = Chain.create ();
-      pending_rules = None;
-      pending_query = None;
-      response = "";
-      resp_block = 0;
-      resp_last = None;
-      resp_ready = false;
-    }
-
   type t = {
-    card : Card.t;
-    resolve : string -> Card.doc_source option;
-    sessions : session option array;  (* slot index = channel number *)
+    backend : Card.doc_source Protocol.backend;
+    semantics : Protocol.chain_semantics;
+    mutable state : Card.doc_source Protocol.state;
     obs : Obs.t option;
     c_cmds : Obs.Metrics.Counter.t;
     c_tears : Obs.Metrics.Counter.t;
@@ -234,10 +122,49 @@ module Host = struct
     h_rtt_ns : Obs.Metrics.Histogram.t;
   }
 
-  let create ?obs ~card ~resolve () =
-    let sessions = Array.make Apdu.max_channels None in
-    (* The basic channel is always open. *)
-    sessions.(0) <- Some (fresh_session ());
+  let parse_query = function
+    | None -> None
+    | Some q -> (
+        match Sdds_xpath.Parser.parse q with
+        | ast -> Some ast
+        | exception Sdds_xpath.Parser.Error _ -> None)
+
+  (* The card-level effects behind the pure machine: SELECT resolution,
+     grant installation, upload-time static admission (a no-op unless the
+     card enables preflight) and policy evaluation, each mapped to its
+     status word through [to_sw]. *)
+  let backend ~card ~resolve : Card.doc_source Protocol.backend =
+    {
+      Protocol.resolve;
+      install_grant =
+        (fun doc ~wrapped ->
+          match
+            Card.install_wrapped_key card ~doc_id:doc.Card.doc_id ~wrapped
+          with
+          | Ok () -> Ok ()
+          | Error e -> Error (to_sw e));
+      accept_rules =
+        (fun doc ~query blob ->
+          match
+            Card.preflight card ~doc_id:doc.Card.doc_id
+              ~publisher:doc.Card.publisher ?query:(parse_query query)
+              ~chunk_plain_bytes:doc.Card.chunk_plain_bytes
+              ~encrypted_rules:blob ()
+          with
+          | Ok () -> Ok ()
+          | Error e -> Error (to_sw e));
+      evaluate =
+        (fun doc ~rules ~query ~push ~use_index ->
+          let delivery = if push then `Push else `Pull in
+          match
+            Card.evaluate card { doc with Card.delivery }
+              ~encrypted_rules:rules ?query:(parse_query query) ~use_index ()
+          with
+          | Ok (outputs, _report) -> Ok (Output_codec.encode_list outputs)
+          | Error e -> Error (to_sw e));
+    }
+
+  let create ?obs ?(semantics = Protocol.Identity_marker) ~card ~resolve () =
     let c_cmds = Obs.Metrics.Counter.create () in
     let c_tears = Obs.Metrics.Counter.create () in
     let h_frame_bytes = Obs.Metrics.Histogram.create () in
@@ -246,12 +173,18 @@ module Host = struct
     Obs.attach_counter obs "card.tears" c_tears;
     Obs.attach_histogram obs "apdu.frame_bytes" h_frame_bytes;
     Obs.attach_histogram obs "apdu.rtt_ns" h_rtt_ns;
-    { card; resolve; sessions; obs; c_cmds; c_tears; h_frame_bytes; h_rtt_ns }
+    {
+      backend = backend ~card ~resolve;
+      semantics;
+      state = Protocol.initial ();
+      obs;
+      c_cmds;
+      c_tears;
+      h_frame_bytes;
+      h_rtt_ns;
+    }
 
-  let open_channels t =
-    Array.fold_left
-      (fun n -> function None -> n | Some _ -> n + 1)
-      0 t.sessions
+  let open_channels t = Protocol.open_channels t.state
 
   (* Power loss / card extraction: every volatile session dies — logical
      channels 1–3 close, the basic channel restarts fresh. Card-level
@@ -261,178 +194,8 @@ module Host = struct
   let tear t =
     Obs.Metrics.Counter.inc t.c_tears;
     Obs.Tracer.instant (Obs.tracer t.obs) "card.tear";
-    Array.fill t.sessions 0 (Array.length t.sessions) None;
-    t.sessions.(0) <- Some (fresh_session ())
-
-  let reply ?(payload = "") (sw1, sw2) = { Apdu.sw1; sw2; payload }
-
-  (* Serve the next 255-byte block of the response stream and remember it:
-     a GET RESPONSE re-asking for the block just served (its response was
-     lost on the wire) gets a byte-identical retransmission instead of
-     silently skipping ahead — a dropped frame can cost time, never
-     payload integrity. *)
-  let serve_block s =
-    let n = String.length s.response in
-    let take = min max_response n in
-    let payload = String.sub s.response 0 take in
-    s.response <- String.sub s.response take (n - take);
-    let resp =
-      if String.length s.response = 0 then reply ~payload Sw.ok
-      else begin
-        let sw1, _ = Sw.more_data in
-        reply ~payload (sw1, min 0xff (String.length s.response))
-      end
-    in
-    s.resp_last <- Some resp;
-    s.resp_block <- s.resp_block + 1;
-    resp
-
-  let manage_channel t (cmd : Apdu.command) =
-    if cmd.Apdu.p1 = 0x00 && cmd.Apdu.p2 = 0x00 then begin
-      (* Open: allocate the lowest free channel and return its number. *)
-      let rec find i =
-        if i >= Apdu.max_channels then None
-        else match t.sessions.(i) with None -> Some i | Some _ -> find (i + 1)
-      in
-      match find 1 with
-      | None -> reply Sw.no_channel
-      | Some i ->
-          t.sessions.(i) <- Some (fresh_session ());
-          reply ~payload:(String.make 1 (Char.chr i)) Sw.ok
-    end
-    else if cmd.Apdu.p1 = 0x80 then begin
-      (* Close: the target channel is in p2; the basic channel cannot be
-         closed. Everything the session held (chains, pending response)
-         dies with it. *)
-      let target = cmd.Apdu.p2 in
-      if target <= 0 || target >= Apdu.max_channels then reply Sw.bad_state
-      else
-        match t.sessions.(target) with
-        | None -> reply Sw.bad_state
-        | Some _ ->
-            t.sessions.(target) <- None;
-            reply Sw.ok
-    end
-    else reply Sw.bad_state
-
-  let dispatch t s (cmd : Apdu.command) =
-    if cmd.Apdu.ins = Ins.select then begin
-      match t.resolve cmd.Apdu.data with
-      | Some doc ->
-          s.doc <- Some doc;
-          (* A SELECT starts a fresh session on this channel: half-uploaded
-             chains from an aborted rules/query upload must not be
-             concatenated with a later upload for this (or any)
-             document. *)
-          Chain.reset s.chain;
-          s.pending_rules <- None;
-          s.pending_query <- None;
-          s.response <- "";
-          s.resp_block <- 0;
-          s.resp_last <- None;
-          s.resp_ready <- false;
-          reply Sw.ok
-      | None -> reply Sw.not_found
-    end
-    else if cmd.Apdu.ins = Ins.grant then begin
-      match s.doc with
-      | None -> reply Sw.bad_state
-      | Some doc -> (
-          match
-            Card.install_wrapped_key t.card ~doc_id:doc.Card.doc_id
-              ~wrapped:cmd.Apdu.data
-          with
-          | Ok () -> reply Sw.ok
-          | Error e -> reply (to_sw e))
-    end
-    else if cmd.Apdu.ins = Ins.rules then begin
-      match s.doc with
-      | None -> reply Sw.bad_state
-      | Some doc -> (
-          match Chain.feed s.chain cmd with
-          | Chain.Rejected -> reply Sw.bad_state
-          | Chain.Accepted | Chain.Duplicate -> reply Sw.ok
-          | Chain.Completed blob -> (
-              (* Static admission at upload time: a blob whose analyzer
-                 memory bound cannot fit this card is refused here, with
-                 its own status word, before any evaluation is attempted.
-                 A no-op unless the card enables preflight. *)
-              let query =
-                match s.pending_query with
-                | None -> None
-                | Some q -> (
-                    match Sdds_xpath.Parser.parse q with
-                    | ast -> Some ast
-                    | exception Sdds_xpath.Parser.Error _ -> None)
-              in
-              match
-                Card.preflight t.card ~doc_id:doc.Card.doc_id
-                  ~publisher:doc.Card.publisher ?query
-                  ~chunk_plain_bytes:doc.Card.chunk_plain_bytes
-                  ~encrypted_rules:blob ()
-              with
-              | Error e ->
-                  (* The upload failed for good: a retransmitted final
-                     frame must not be acked as if it had succeeded. *)
-                  Chain.forget s.chain Ins.rules;
-                  reply (to_sw e)
-              | Ok () ->
-                  s.pending_rules <- Some blob;
-                  reply Sw.ok))
-    end
-    else if cmd.Apdu.ins = Ins.query then begin
-      if s.doc = None then reply Sw.bad_state
-      else begin
-        match Chain.feed s.chain cmd with
-        | Chain.Rejected -> reply Sw.bad_state
-        | Chain.Accepted | Chain.Duplicate -> reply Sw.ok
-        | Chain.Completed q ->
-            s.pending_query <- Some q;
-            reply Sw.ok
-      end
-    end
-    else if cmd.Apdu.ins = Ins.evaluate then begin
-      match (s.doc, s.pending_rules) with
-      | None, _ | _, None -> reply Sw.bad_state
-      | Some doc, Some encrypted_rules -> (
-          let delivery = if cmd.Apdu.p1 = 1 then `Push else `Pull in
-          let use_index = cmd.Apdu.p2 = 0 in
-          let query =
-            match s.pending_query with
-            | None -> None
-            | Some q -> (
-                match Sdds_xpath.Parser.parse q with
-                | ast -> Some ast
-                | exception Sdds_xpath.Parser.Error _ -> None)
-          in
-          match
-            Card.evaluate t.card { doc with Card.delivery } ~encrypted_rules
-              ?query ~use_index ()
-          with
-          | Ok (outputs, _report) ->
-              s.response <- Output_codec.encode_list outputs;
-              s.resp_block <- 0;
-              s.resp_last <- None;
-              s.resp_ready <- true;
-              serve_block s
-          | Error e -> reply (to_sw e))
-    end
-    else if cmd.Apdu.ins = Ins.get_response then begin
-      (* Block-sequenced drain (block index in p2, mod 256): a terminal
-         can only read forward one block at a time or re-read the block it
-         just received. Draining a session that never evaluated — e.g.
-         after a tear wiped the stream — is a state error, never a silent
-         empty success the terminal could mistake for a whole view. *)
-      if not s.resp_ready then reply Sw.bad_state
-      else if cmd.Apdu.p2 = s.resp_block land 0xff then serve_block s
-      else if s.resp_block > 0 && cmd.Apdu.p2 = (s.resp_block - 1) land 0xff
-      then
-        match s.resp_last with
-        | Some r -> r
-        | None -> reply Sw.bad_state
-      else reply Sw.bad_state
-    end
-    else reply Sw.bad_ins
+    let state, _ = Protocol.step ~backend:t.backend t.state Protocol.Tear in
+    t.state <- state
 
   let process t (cmd : Apdu.command) =
     let tr = Obs.tracer t.obs in
@@ -448,15 +211,16 @@ module Host = struct
               else "?" ) ]
         "apdu"
       @@ fun () ->
-      if not (Apdu.valid_cla cmd.Apdu.cla) then reply Sw.bad_ins
-      else begin
-        let ch = Apdu.channel_of_cla cmd.Apdu.cla in
-        match t.sessions.(ch) with
-        | None -> reply Sw.channel_closed
-        | Some s ->
-            if cmd.Apdu.ins = Ins.manage_channel then manage_channel t cmd
-            else dispatch t s cmd
-      end
+      let state, actions =
+        Protocol.step ~backend:t.backend ~semantics:t.semantics t.state
+          (Protocol.Command cmd)
+      in
+      t.state <- state;
+      match Protocol.response_of actions with
+      | Some resp -> resp
+      | None ->
+          (* Unreachable: a [Command] step always replies. *)
+          { Apdu.sw1 = fst Sw.internal; sw2 = snd Sw.internal; payload = "" }
     in
     Obs.Metrics.Histogram.observe t.h_frame_bytes
       (String.length (Apdu.encode_command cmd)
@@ -466,6 +230,7 @@ module Host = struct
         (Int64.to_int (Int64.sub (Obs.Tracer.now tr) t0));
     resp
 end
+
 
 module Client = struct
   type transport = Apdu.command -> Apdu.response

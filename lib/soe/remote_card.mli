@@ -196,6 +196,7 @@ module Host : sig
 
   val create :
     ?obs:Sdds_obs.Obs.t ->
+    ?semantics:Protocol.chain_semantics ->
     card:Card.t ->
     resolve:(string -> Card.doc_source option) ->
     unit ->
@@ -203,6 +204,12 @@ module Host : sig
   (** [resolve] maps a selected document id to its (DSP-served) source.
       The basic channel (0) starts open; the session table is bounded by
       {!Apdu.max_channels}.
+
+      [semantics] (default {!Protocol.Identity_marker}) selects the chain
+      completion-marker semantics; {!Protocol.P2_marker} resurrects the
+      pre-fix duplicate-final-frame hole and exists only so the protocol
+      checker's counterexamples can be replayed against a real host that
+      actually has the bug. Never use it in production.
 
       [obs] wraps every processed frame in an [apdu] span (instruction
       name and channel as args) nested under whatever request span is

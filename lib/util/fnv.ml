@@ -1,12 +1,13 @@
-let fnv1a64 s =
-  let h = ref 0xCBF29CE484222325L in
-  String.iter
-    (fun c ->
-      h :=
-        Int64.mul
-          (Int64.logxor !h (Int64.of_int (Char.code c)))
-          0x100000001B3L)
-    s;
+let seed = 0xCBF29CE484222325L
+let prime = 0x100000001B3L
+
+let feed_char h c =
+  Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) prime
+
+let feed h s =
+  let h = ref h in
+  String.iter (fun c -> h := feed_char !h c) s;
   !h
 
+let fnv1a64 s = feed seed s
 let to_hex = Printf.sprintf "%Lx"

@@ -1,13 +1,29 @@
 (** FNV-1a, 64-bit: the repo's one non-cryptographic string hash.
 
     Used wherever two components must agree on a digest without shipping
-    it — the fleet's consistent-hash ring and the dissemination
-    clusterer both digest rule blobs with it, so "same digest" means the
-    same thing to routing and to cluster formation. *)
+    it — the fleet's consistent-hash ring, the dissemination clusterer
+    (both digest rule blobs with it, so "same digest" means the same
+    thing to routing and to cluster formation) and the protocol model
+    checker's visited-set keys.
+
+    The hash is a left fold, exposed incrementally: hashing a
+    concatenation equals feeding the pieces in order —
+    [fnv1a64 (a ^ b) = feed (feed seed a) b] — so callers can digest
+    streams without materializing them. *)
+
+val seed : int64
+(** The FNV-1a offset basis, [0xCBF29CE484222325]: the state before any
+    byte has been fed. *)
+
+val feed_char : int64 -> char -> int64
+(** Fold one byte into a running hash: [(h lxor byte) * prime] with
+    prime [0x100000001B3]. *)
+
+val feed : int64 -> string -> int64
+(** Fold every byte of the string, left to right. *)
 
 val fnv1a64 : string -> int64
-(** Unsigned 64-bit FNV-1a of the bytes (offset basis
-    [0xCBF29CE484222325], prime [0x100000001B3]). *)
+(** Unsigned 64-bit FNV-1a of the bytes: [feed seed s]. *)
 
 val to_hex : int64 -> string
 (** Lower-case hex rendering of a digest ([%Lx]). *)

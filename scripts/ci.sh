@@ -21,20 +21,21 @@ if grep -rnE 'Proxy\.query\b|receive_push' \
 fi
 echo "wrapper gate: clean"
 
-echo "== bench smoke (E15 E16 E17 E18 E19 E20) =="
-dune exec bench/main.exe -- --smoke E15 E16 E17 E18 E19 E20
+echo "== bench smoke (E15 E16 E17 E18 E19 E20 E21) =="
+dune exec bench/main.exe -- --smoke E15 E16 E17 E18 E19 E20 E21
 
 echo "== BENCH_engine.json schema check =="
-# The smoke run above rewrites BENCH_engine.json; the schema must be /7
+# The smoke run above rewrites BENCH_engine.json; the schema must be /8
 # and carry the E18 "obs" array (observability overhead points), the
-# E19 "fleet" array (cards x streams serving points) and the E20
-# "dissem" array (subscribers x overlap dissemination points).
+# E19 "fleet" array (cards x streams serving points), the E20 "dissem"
+# array (subscribers x overlap dissemination points) and the E21
+# "check" array (protocol model checker sweep points).
 if command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json, sys
 with open("BENCH_engine.json") as f:
     d = json.load(f)
-assert d["schema"] == "sdds-bench-engine/7", d["schema"]
+assert d["schema"] == "sdds-bench-engine/8", d["schema"]
 obs = d["obs"]
 assert len(obs) >= 1, "empty obs array"
 modes = {r["mode"] for r in obs if r["experiment"] == "E18"}
@@ -71,18 +72,40 @@ shared = [r for r in dissem if r["distinct"] < r["subscribers"]]
 assert shared, "no overlapping population in the sweep"
 for r in shared:
     assert r["evaluations"] < r["naive_evaluations"], r
-print("BENCH_engine.json: schema /7, %d obs + %d fleet + %d dissem points"
-      % (len(obs), len(fleet), len(dissem)))
+check = d["check"]
+assert len(check) >= 1, "empty check array"
+for r in check:
+    assert r["experiment"] == "E21", r
+    for k in ("model", "alphabet", "kinds", "depth", "fault_budget",
+              "states", "transitions", "dedup_hits", "terminal_ok",
+              "terminal_failed", "violations", "cex_frames", "ms",
+              "states_per_s"):
+        assert k in r, k
+# The production protocol must verify clean; the preserved pre-fix
+# fixture must yield exactly one minimized counterexample per row
+# (every smoke alphabet contains duplicate-command).
+cur = [r for r in check if r["model"] == "current"]
+assert cur, "no current-model rows in the check sweep"
+for r in cur:
+    assert r["violations"] == 0, r
+pre = [r for r in check if r["model"] == "pre-fix"]
+assert pre, "no pre-fix rows in the check sweep"
+for r in pre:
+    assert r["violations"] == 1 and r["cex_frames"] >= 1, r
+print("BENCH_engine.json: schema /8, %d obs + %d fleet + %d dissem + %d "
+      "check points" % (len(obs), len(fleet), len(dissem), len(check)))
 EOF
 else
-  grep -q '"schema": "sdds-bench-engine/7"' BENCH_engine.json
+  grep -q '"schema": "sdds-bench-engine/8"' BENCH_engine.json
   grep -q '"obs": \[' BENCH_engine.json
   grep -q '"mode": "full"' BENCH_engine.json
   grep -q '"fleet": \[' BENCH_engine.json
   grep -q '"experiment": "E19"' BENCH_engine.json
   grep -q '"dissem": \[' BENCH_engine.json
   grep -q '"experiment": "E20"' BENCH_engine.json
-  echo "BENCH_engine.json: schema /7 (python3 unavailable; grep check)"
+  grep -q '"check": \[' BENCH_engine.json
+  grep -q '"experiment": "E21"' BENCH_engine.json
+  echo "BENCH_engine.json: schema /8 (python3 unavailable; grep check)"
 fi
 
 echo "== fleet smoke: 2 cards x 16 streams, fixed seed =="
@@ -173,6 +196,47 @@ for spec in "seed=1,rate=0.3" "seed=2,rate=0.3" "seed=3,rate=0.3" "@3:tear"; do
   }
   echo "fault-spec $spec: view identical ($(tail -1 "$soak/err.txt"))"
 done
+
+echo "== protocol model check gate =="
+# The checker must verify the production protocol clean to depth 12 and
+# rediscover the PR 6 duplicate-final-frame hole on the preserved
+# pre-fix fixture, as a minimized counterexample whose fault spec
+# replays through the real stack.
+dune exec bin/sdds_cli.exe -- check --depth 12
+if check_out="$(dune exec bin/sdds_cli.exe -- check --model pre-fix --depth 12 2>&1)"; then
+  echo "error: checker found no violation on the pre-fix fixture" >&2
+  echo "$check_out" >&2
+  exit 1
+fi
+echo "$check_out"
+cex_spec="$(printf '%s\n' "$check_out" \
+  | sed -n "s/.*--fault-spec '\([^']*\)'.*/\1/p" | head -1)"
+if [ -z "$cex_spec" ]; then
+  echo "error: pre-fix counterexample carries no replay spec" >&2
+  exit 1
+fi
+case "$cex_spec" in
+*duplicate-command*) ;;
+*)
+  echo "error: pre-fix counterexample is not the duplicate-frame hole: $cex_spec" >&2
+  exit 1
+  ;;
+esac
+# Soundness end-to-end: the counterexample schedule, replayed against the
+# real FIXED stack via --fault-spec, must leave the authorized view
+# byte-identical to golden.
+dune exec bin/sdds_cli.exe -- query --store "$soak/store" --id clinical \
+  -s alice --key "$soak/alice.sk" --fault-spec "$cex_spec" \
+  >"$soak/cex.xml" 2>/dev/null || {
+  echo "error: counterexample replay failed on the fixed stack" >&2
+  exit 1
+}
+cmp -s "$soak/golden.xml" "$soak/cex.xml" || {
+  echo "error: counterexample replay changed the authorized view" >&2
+  exit 1
+}
+echo "protocol check: current clean at depth 12; pre-fix hole found,"
+echo "  spec '$cex_spec' replays to the golden view on the fixed stack"
 
 echo "== trace export smoke =="
 # A traced query must still produce the golden view, and the exports must

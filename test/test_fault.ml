@@ -455,10 +455,12 @@ let test_undecodable_stream_is_protocol_error () =
   | Error e -> Alcotest.fail (Remote.Client.string_of_error e)
   | Ok _ -> Alcotest.fail "garbage decoded as a view"
 
+let fail_parse e = Alcotest.fail (Fault.Schedule.string_of_parse_error e)
+
 let test_fault_spec_parsing () =
   (match Fault.Schedule.of_spec "none" with
   | Ok s -> Alcotest.(check string) "none" "none" (Fault.Schedule.describe s)
-  | Error e -> Alcotest.fail e);
+  | Error e -> fail_parse e);
   (match Fault.Schedule.of_spec "@3:tear,@10:drop-response" with
   | Ok s ->
       Alcotest.(check (option string)) "event fires" (Some "tear")
@@ -466,19 +468,19 @@ let test_fault_spec_parsing () =
       Alcotest.(check (option string)) "silent frame" None
         (Option.map Fault.kind_to_string (Fault.Schedule.decide s 4));
       Alcotest.(check string) "round-trips" "@3:tear,@10:drop-response"
-        (Fault.Schedule.describe s)
-  | Error e -> Alcotest.fail e);
+        (Fault.Schedule.to_spec s)
+  | Error e -> fail_parse e);
   (match Fault.Schedule.of_spec "seed=42,rate=0.25,kinds=tear+drop-command" with
   | Ok s ->
-      let described = Fault.Schedule.describe s in
+      let described = Fault.Schedule.to_spec s in
       (match Fault.Schedule.of_spec described with
       | Ok s' ->
           Alcotest.(check bool) "describe round-trips through of_spec" true
             (List.for_all
                (fun n -> Fault.Schedule.decide s n = Fault.Schedule.decide s' n)
                (List.init 200 Fun.id))
-      | Error e -> Alcotest.fail e)
-  | Error e -> Alcotest.fail e);
+      | Error e -> fail_parse e)
+  | Error e -> fail_parse e);
   List.iter
     (fun bad ->
       match Fault.Schedule.of_spec bad with
@@ -486,6 +488,82 @@ let test_fault_spec_parsing () =
       | Ok _ -> Alcotest.failf "accepted bad spec %S" bad)
     [ "seed=42"; "rate=0.5"; "seed=x,rate=0.5"; "seed=1,rate=2.0";
       "@x:tear"; "@3:melt"; "seed=1,rate=0.1,kinds=melt" ]
+
+(* A malformed spec fails with a *position*: the offset of the offending
+   token in the string as given, leading whitespace included. *)
+let test_fault_spec_errors_positioned () =
+  let mentions needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i =
+      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  let expect spec pos frag =
+    match Fault.Schedule.of_spec spec with
+    | Ok _ -> Alcotest.failf "accepted bad spec %S" spec
+    | Error e ->
+        Alcotest.(check int) (Printf.sprintf "pos of error in %S" spec) pos
+          e.Fault.Schedule.pos;
+        if not (mentions frag (Fault.Schedule.string_of_parse_error e)) then
+          Alcotest.failf "error for %S says %S, expected it to mention %S"
+            spec
+            (Fault.Schedule.string_of_parse_error e)
+            frag
+  in
+  expect "@3:tear,@x:tear" 9 "bad frame number";
+  expect "@3:melt" 3 "unknown fault kind";
+  expect "  @-1:tear" 3 "negative frame";
+  expect "@3tear" 0 "missing ':'";
+  expect "seed=1,rate=oops" 12 "bad rate";
+  expect "seed=zz,rate=0.1" 5 "bad seed";
+  expect "seed=1,rate=0.1,kinds=melt" 22 "unknown fault kind";
+  expect "seed=1,rate=0.1,color=red" 16 "unknown fault field";
+  expect "rate=0.5" 0 "needs both"
+
+(* of_spec ∘ to_spec = id (up to per-frame decisions), over both spec
+   families: explicit event lists and seeded random schedules. *)
+let qcheck_spec_round_trip =
+  let kind_gen =
+    QCheck2.Gen.map
+      (fun i -> Fault.all_kinds.(i mod Array.length Fault.all_kinds))
+      QCheck2.Gen.(int_bound (Array.length Fault.all_kinds - 1))
+  in
+  let schedule_gen =
+    QCheck2.Gen.(
+      bind bool (fun random ->
+          if random then
+            map3
+              (fun seed rate_pct kept ->
+                let kinds =
+                  match kept with
+                  | [] -> None
+                  | ks -> Some (Array.of_list ks)
+                in
+                Fault.Schedule.random ~seed:(Int64.of_int seed)
+                  ~rate:(float_of_int rate_pct /. 100.) ?kinds ())
+              (int_bound 1_000_000) (int_bound 100)
+              (list_size (int_bound 4) kind_gen)
+          else
+            map
+              (fun events ->
+                Fault.Schedule.of_events
+                  (List.map (fun (f, k) -> { Fault.frame = f; kind = k }) events))
+              (list_size (int_bound 6) (pair (int_bound 40) kind_gen))))
+  in
+  QCheck2.Test.make ~name:"of_spec (to_spec s) decides like s" ~count:200
+    schedule_gen (fun s ->
+      match Fault.Schedule.of_spec (Fault.Schedule.to_spec s) with
+      | Error e ->
+          QCheck2.Test.fail_report
+            (Printf.sprintf "to_spec %S does not re-parse: %s"
+               (Fault.Schedule.to_spec s)
+               (Fault.Schedule.string_of_parse_error e))
+      | Ok s' ->
+          Fault.Schedule.to_spec s' = Fault.Schedule.to_spec s
+          && List.for_all
+               (fun n -> Fault.Schedule.decide s n = Fault.Schedule.decide s' n)
+               (List.init 64 Fun.id))
 
 (* ------------------------------------------------------------------ *)
 (* Crash-safe store                                                     *)
@@ -588,6 +666,9 @@ let suite =
     Alcotest.test_case "undecodable stream is a protocol error" `Quick
       test_undecodable_stream_is_protocol_error;
     Alcotest.test_case "fault-spec parsing" `Quick test_fault_spec_parsing;
+    Alcotest.test_case "fault-spec errors carry a position" `Quick
+      test_fault_spec_errors_positioned;
+    QCheck_alcotest.to_alcotest qcheck_spec_round_trip;
     Alcotest.test_case "torn write never corrupts the store" `Quick
       test_torn_write_never_corrupts_store;
     Alcotest.test_case "rename fault is typed" `Quick

@@ -32,4 +32,5 @@ let () =
       ("fleet", Test_fleet.suite);
       ("obs", Test_obs.suite);
       ("dissem", Test_dissem.suite);
+      ("protocol-check", Test_protocol.suite);
     ]

@@ -1,4 +1,5 @@
 module Varint = Sdds_util.Varint
+module Fnv = Sdds_util.Fnv
 module Bitset = Sdds_util.Bitset
 module Hex = Sdds_util.Hex
 module Rng = Sdds_util.Rng
@@ -186,6 +187,50 @@ let test_rng_shuffle_permutation () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
 
+(* FNV-1a 64: three subsystems (the fleet ring, the dissemination
+   clusterer, the protocol checker's visited set) agree on this hash, so
+   pin it to the published reference vectors, not just to itself. *)
+let test_fnv_reference_vectors () =
+  List.iter
+    (fun (input, expect) ->
+      Alcotest.(check string)
+        (Printf.sprintf "fnv1a64 %S" input)
+        expect
+        (Fnv.to_hex (Fnv.fnv1a64 input)))
+    [
+      ("", "cbf29ce484222325");
+      ("a", "af63dc4c8601ec8c");
+      ("b", "af63df4c8601f1a5");
+      ("c", "af63de4c8601eff2");
+      ("foobar", "85944171f73967e8");
+      ("hello world", "779a65e7023cd2e7");
+      ("chongo was here!\n", "46810940eff5f915");
+    ]
+
+let test_fnv_incremental_matches_one_shot () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  Alcotest.(check string)
+    "feed seed = fnv1a64"
+    (Fnv.to_hex (Fnv.fnv1a64 s))
+    (Fnv.to_hex (Fnv.feed Fnv.seed s));
+  let by_char =
+    String.fold_left (fun h c -> Fnv.feed_char h c) Fnv.seed s
+  in
+  Alcotest.(check string)
+    "char-at-a-time = one-shot"
+    (Fnv.to_hex (Fnv.fnv1a64 s))
+    (Fnv.to_hex by_char)
+
+(* Splitting the input anywhere and feeding the pieces in order gives
+   the hash of the concatenation: the property streaming callers rely
+   on. *)
+let qcheck_fnv_split_equivalence =
+  QCheck2.Test.make ~name:"fnv: feed (feed seed a) b = fnv1a64 (a ^ b)"
+    ~count:500
+    QCheck2.Gen.(pair (string_size (int_bound 64)) (string_size (int_bound 64)))
+    (fun (a, b) ->
+      Fnv.feed (Fnv.feed Fnv.seed a) b = Fnv.fnv1a64 (a ^ b))
+
 let suite =
   [
     Alcotest.test_case "varint basic" `Quick test_varint_basic;
@@ -210,4 +255,9 @@ let suite =
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
     Alcotest.test_case "rng pick_weighted" `Quick test_rng_pick_weighted;
     Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "fnv reference vectors" `Quick
+      test_fnv_reference_vectors;
+    Alcotest.test_case "fnv incremental = one-shot" `Quick
+      test_fnv_incremental_matches_one_shot;
+    QCheck_alcotest.to_alcotest qcheck_fnv_split_equivalence;
   ]
