@@ -245,6 +245,39 @@ let record_fleet ~cards ~streams ~routing ~phase ~ok ~errors ~rejected
       f_p50_ms = p50_ms; f_p95_ms = p95_ms; f_p99_ms = p99_ms }
     :: !fleet_records
 
+(* One record per phase of the chaos survivability run (E22): steady
+   state, churn (a card killed under load) and recovered (the card
+   revived). Availability is served-over-offered within the phase;
+   migrations/deaths/revives/standby hits are phase deltas. Dumped as a
+   ninth array ("chaos") in BENCH_engine.json. *)
+type chaos_record = {
+  c_phase : string;
+  c_requests : int;
+  c_ok : int;
+  c_errors : int;
+  c_rejected : int;
+  c_migrations : int;
+  c_deaths : int;
+  c_revives : int;
+  c_standby_hits : int;
+  c_availability_pct : float;
+  c_p50_ms : float;
+  c_p95_ms : float;
+  c_p99_ms : float;
+}
+
+let chaos_records : chaos_record list ref = ref []
+
+let record_chaos ~phase ~requests ~ok ~errors ~rejected ~migrations ~deaths
+    ~revives ~standby_hits ~availability_pct ~p50_ms ~p95_ms ~p99_ms =
+  chaos_records :=
+    { c_phase = phase; c_requests = requests; c_ok = ok; c_errors = errors;
+      c_rejected = rejected; c_migrations = migrations; c_deaths = deaths;
+      c_revives = revives; c_standby_hits = standby_hits;
+      c_availability_pct = availability_pct; c_p50_ms = p50_ms;
+      c_p95_ms = p95_ms; c_p99_ms = p99_ms }
+    :: !chaos_records
+
 (* One record per (subscribers, distinct rule sets) cell of the
    dissemination sweep: the clustering plan, evaluations run vs the
    per-subscriber baseline, and simulated delivery-latency percentiles
@@ -337,13 +370,15 @@ let write_bench_json () =
   let fleets = List.rev !fleet_records in
   let dissems = List.rev !dissem_records in
   let checks = List.rev !check_records in
+  let chaoses = List.rev !chaos_records in
   if
     records = [] && sessions = [] && analyses = [] && resiliences = []
     && obses = [] && fleets = [] && dissems = [] && checks = []
+    && chaoses = []
   then ()
   else begin
     let oc = open_out "BENCH_engine.json" in
-    Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/8\",\n";
+    Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/9\",\n";
     Printf.fprintf oc "  \"records\": [\n";
     List.iteri
       (fun i r ->
@@ -465,15 +500,31 @@ let write_bench_json () =
           (json_float r.k_states_per_s)
           (if i = List.length checks - 1 then "" else ","))
       checks;
+    Printf.fprintf oc "  ],\n  \"chaos\": [\n";
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"experiment\": \"E22\", \"phase\": %S, \"requests\": %d, \
+           \"ok\": %d, \"errors\": %d, \"rejected\": %d, \
+           \"migrations\": %d, \"deaths\": %d, \"revives\": %d, \
+           \"standby_hits\": %d, \"availability_pct\": %s, \"p50_ms\": %s, \
+           \"p95_ms\": %s, \"p99_ms\": %s}%s\n"
+          r.c_phase r.c_requests r.c_ok r.c_errors r.c_rejected
+          r.c_migrations r.c_deaths r.c_revives r.c_standby_hits
+          (json_float r.c_availability_pct)
+          (json_float r.c_p50_ms) (json_float r.c_p95_ms)
+          (json_float r.c_p99_ms)
+          (if i = List.length chaoses - 1 then "" else ","))
+      chaoses;
     Printf.fprintf oc "  ]\n}\n";
     close_out oc;
     Printf.printf
       "\nwrote BENCH_engine.json (%d records, %d sessions, %d analyses, %d \
        resilience points, %d obs points, %d fleet points, %d dissem \
-       points, %d check points)\n"
+       points, %d check points, %d chaos points)\n"
       (List.length records) (List.length sessions) (List.length analyses)
       (List.length resiliences) (List.length obses) (List.length fleets)
-      (List.length dissems) (List.length checks)
+      (List.length dissems) (List.length checks) (List.length chaoses)
   end
 
 (* Shared identities: RSA keygen is slow, reuse across experiments. *)
@@ -2133,6 +2184,164 @@ let e21_protocol_check () =
      reachable space instead of growing exponentially."
 
 (* ------------------------------------------------------------------ *)
+(* E22: chaos — availability and tail latency across a kill/revive     *)
+(* ------------------------------------------------------------------ *)
+
+let e22_chaos () =
+  header "E22"
+    "fleet survivability: per-phase availability and tail latency across \
+     steady -> churn (kill the busiest card) -> recovered (revive it), \
+     with hot-key standby replication on";
+  let ndocs = if !smoke then 4 else 8 in
+  let per_phase = if !smoke then 24 else 120 in
+  let cards = 3 in
+  let drbg = Drbg.create ~seed:"bench-chaos" in
+  let publisher, user = Lazy.force ids in
+  let store = Store.create () in
+  let doc_ids = Array.init ndocs (fun i -> Printf.sprintf "chaos%02d" i) in
+  Array.iteri
+    (fun i doc_id ->
+      let doc =
+        Generator.hospital
+          (Rng.create (Int64.of_int (2200 + i)))
+          ~patients:(1 + (i mod 3))
+      in
+      let published, doc_key = Publish.publish drbg ~publisher ~doc_id doc in
+      Store.put_document store published;
+      let rules =
+        [ Rule.allow ~subject:"u" "//patient";
+          Rule.deny ~subject:"u"
+            (if i mod 2 = 0 then "//ssn" else "//diagnosis") ]
+      in
+      Store.put_rules store ~doc_id ~subject:"u"
+        (Publish.encrypt_rules_for drbg ~publisher ~doc_key ~doc_id
+           ~subject:"u" rules);
+      Store.put_grant store ~doc_id ~subject:"u"
+        (Publish.grant drbg ~doc_key ~doc_id ~recipient:user.Rsa.public))
+    doc_ids;
+  let resolve id =
+    Option.map
+      (fun p -> Publish.to_source p ~delivery:`Pull)
+      (Store.get_document store id)
+  in
+  (* The zipf head is what hot-key standby replication protects: the
+     busiest card is, with high probability, the head key's primary. *)
+  let cum =
+    let w =
+      Array.init ndocs (fun k ->
+          1.0 /. Float.pow (float_of_int (k + 1)) 1.1)
+    in
+    let total = Array.fold_left ( +. ) 0.0 w in
+    let acc = ref 0.0 in
+    Array.map
+      (fun x ->
+        acc := !acc +. (x /. total);
+        !acc)
+      w
+  in
+  let pick_doc rng =
+    let u = float_of_int (Rng.int rng 1_000_000) /. 1.0e6 in
+    let rec go k = if k >= ndocs - 1 || u <= cum.(k) then k else go (k + 1) in
+    doc_ids.(go 0)
+  in
+  let xpaths = [| None; Some "//patient/name"; Some "//patient" |] in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then Float.nan
+    else sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+  in
+  let hosts =
+    Array.init cards (fun _ ->
+        Remote_card.Host.create
+          ~card:(Card.create ~profile:Cost.fleet ~subject:"u" user)
+          ~resolve ())
+  in
+  let cutouts = Array.init cards (fun _ -> Fault.Cutout.create ()) in
+  let transports =
+    Array.mapi
+      (fun i host ->
+        Fault.Cutout.wrap cutouts.(i) (Remote_card.Host.process host))
+      hosts
+  in
+  let fleet =
+    Fleet.create ~queue_limit:64 ~standby_k:2 ~store ~subject:"u" transports
+  in
+  let rng = Rng.create 220013L in
+  let reqs () =
+    List.init per_phase (fun i ->
+        Proxy.Request.make
+          ?xpath:xpaths.(i mod Array.length xpaths)
+          (pick_doc rng))
+  in
+  let prev = ref (Fleet.stats fleet) in
+  Printf.printf "%-10s | %4s %4s %4s | %4s %5s %4s | %6s | %8s %8s %8s\n"
+    "phase" "ok" "err" "rej" "migr" "death" "stby" "avail%" "p50ms" "p95ms"
+    "p99ms";
+  let run_phase phase =
+    (match phase with
+    | "churn" ->
+        (* Kill the card carrying the most traffic so far: power cutout
+           plus a host tear (its volatile channel table dies with it). *)
+        let st = Fleet.stats fleet in
+        let victim = ref 0 in
+        Array.iteri
+          (fun i n -> if n > st.Fleet.served_by.(!victim) then victim := i)
+          st.Fleet.served_by;
+        Remote_card.Host.tear hosts.(!victim);
+        Fault.Cutout.kill cutouts.(!victim)
+    | "recovered" ->
+        Array.iteri
+          (fun i c ->
+            if Fault.Cutout.is_down c then begin
+              Fault.Cutout.revive c;
+              if Fleet.state fleet i = Fleet.Dead then Fleet.revive_card fleet i
+            end)
+          cutouts
+    | _ -> ());
+    let outs = Fleet.serve fleet (reqs ()) in
+    let lat =
+      List.filter_map
+        (fun (o : Fleet.outcome) ->
+          match o.Fleet.result with
+          | Ok _ -> Some (o.Fleet.latency_s *. 1.0e3)
+          | Error _ -> None)
+        outs
+      |> Array.of_list
+    in
+    Array.sort compare lat;
+    let ok = Array.length lat in
+    let st = Fleet.stats fleet in
+    let p = !prev in
+    prev := st;
+    let rejected = st.Fleet.rejected - p.Fleet.rejected in
+    let errors = List.length outs - ok - rejected in
+    let migrations = st.Fleet.migrations - p.Fleet.migrations in
+    let deaths = st.Fleet.deaths - p.Fleet.deaths in
+    let revives = st.Fleet.revives - p.Fleet.revives in
+    let standby_hits = st.Fleet.standby_hits - p.Fleet.standby_hits in
+    let availability =
+      100.0 *. float_of_int ok /. float_of_int (List.length outs)
+    in
+    let p50 = percentile lat 0.50
+    and p95 = percentile lat 0.95
+    and p99 = percentile lat 0.99 in
+    Printf.printf "%-10s | %4d %4d %4d | %4d %5d %4d | %5.1f%% | %8.2f \
+                   %8.2f %8.2f\n"
+      phase ok errors rejected migrations deaths standby_hits availability
+      p50 p95 p99;
+    record_chaos ~phase ~requests:(List.length outs) ~ok ~errors ~rejected
+      ~migrations ~deaths ~revives ~standby_hits
+      ~availability_pct:availability ~p50_ms:p50 ~p95_ms:p95 ~p99_ms:p99
+  in
+  List.iter run_phase [ "steady"; "churn"; "recovered" ];
+  print_endline
+    "\nshape check: steady serves everything; the churn phase absorbs the\n\
+     kill with migrations (the zipf-head keys fail over to their\n\
+     pre-warmed standby, so errors stay 0 and only typed admission\n\
+     refusals appear under the capacity dip); recovered returns to full\n\
+     availability with the revived card back in the ring as joining."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -2159,6 +2368,7 @@ let experiments =
     ("E19", "fleet", e19_fleet);
     ("E20", "dissem", e20_dissem);
     ("E21", "protocol-check", e21_protocol_check);
+    ("E22", "chaos", e22_chaos);
   ]
 
 let () =

@@ -787,6 +787,286 @@ let fleet_cmd =
       const run $ fleet_cards_arg $ streams_arg $ docs_arg $ routing_arg
       $ seed_arg $ fault_arg $ json_arg)
 
+(* chaos: the fleet survivability soak — a seeded campaign of kills,
+   revives, resizes and tears against a steady stream, differentially
+   checked, with divergences minimized into a replayable spec. *)
+
+let chaos_cmd =
+  let cards_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "cards" ] ~docv:"N" ~doc:"Initial number of simulated cards")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "requests" ] ~docv:"N" ~doc:"Length of the request stream")
+  in
+  let docs_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "docs" ] ~docv:"N"
+          ~doc:"Synthetic documents published (zipf(1.1) popularity)")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for keys, documents, the request mix, the frame-fault \
+                schedule and the campaign")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "rate" ] ~docv:"P"
+          ~doc:"Frame-fault probability per frame (ignored with \
+                $(b,--fault-spec))")
+  in
+  let kills_arg =
+    Arg.(value & opt int 2 & info [ "kills" ] ~docv:"N" ~doc:"Card kills")
+  in
+  let revives_arg =
+    Arg.(value & opt int 1 & info [ "revives" ] ~docv:"N" ~doc:"Card revives")
+  in
+  let resizes_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "resizes" ] ~docv:"N" ~doc:"Fleet resizes (add/remove)")
+  in
+  let standby_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "standby-k" ] ~docv:"K"
+          ~doc:"Hot-key replication: the K hottest affinity keys get a \
+                pre-warmed standby card")
+  in
+  let campaign_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "campaign" ] ~docv:"SPEC"
+          ~doc:"Replay an explicit campaign (\"@AT:kill:C,@AT:add,...\") \
+                instead of the seeded random one — the spec a failing run \
+                prints")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Single-line JSON output")
+  in
+  let run cards requests docs seed rate kills revives resizes standby_k
+      campaign_spec fault_spec json =
+    if cards < 1 || requests < 10 || docs < 1 then
+      or_die (Error "--cards >= 1, --requests >= 10, --docs >= 1 required");
+    let schedule =
+      match fault_spec with
+      | Some spec -> (
+          match Sdds_fault.Fault.Schedule.of_spec spec with
+          | Ok s -> s
+          | Error e ->
+              or_die
+                (Error
+                   ("bad --fault-spec: "
+                   ^ Sdds_fault.Fault.Schedule.string_of_parse_error e)))
+      | None ->
+          Sdds_fault.Fault.Schedule.random
+            ~seed:(Int64.of_int (seed * 31))
+            ~rate ()
+    in
+    let campaign =
+      match campaign_spec with
+      | Some spec -> (
+          match Sdds_fault.Fault.Campaign.of_spec spec with
+          | Ok c -> c
+          | Error e ->
+              or_die
+                (Error
+                   ("bad --campaign: "
+                   ^ Sdds_fault.Fault.Schedule.string_of_parse_error e)))
+      | None ->
+          Sdds_fault.Fault.Campaign.random
+            ~seed:(Int64.of_int (seed * 131))
+            ~requests ~cards ~kills ~revives ~resizes ()
+    in
+    (* The whole world rebuilds from the seed — that is what makes a
+       failing (campaign, stream-length) pair replayable and what makes
+       minimization's re-runs sound. *)
+    let build_world () =
+      let drbg =
+        Sdds_crypto.Drbg.create ~seed:(Printf.sprintf "sdds-chaos|%d" seed)
+      in
+      let publisher = Sdds_crypto.Rsa.generate drbg ~bits:512 in
+      let user = Sdds_crypto.Rsa.generate drbg ~bits:512 in
+      let store = Sdds_dsp.Store.create () in
+      let doc_ids = Array.init docs (fun i -> Printf.sprintf "doc%02d" i) in
+      Array.iteri
+        (fun i doc_id ->
+          let doc =
+            Sdds_xml.Generator.hospital
+              (Sdds_util.Rng.create (Int64.of_int ((seed * 131) + i)))
+              ~patients:(1 + (i mod 3))
+          in
+          let published, doc_key =
+            Sdds_dsp.Publish.publish drbg ~publisher ~doc_id doc
+          in
+          Sdds_dsp.Store.put_document store published;
+          let rules =
+            [ Sdds_core.Rule.allow ~subject:"u" "//patient";
+              Sdds_core.Rule.deny ~subject:"u"
+                (if i mod 2 = 0 then "//ssn" else "//diagnosis") ]
+          in
+          Sdds_dsp.Store.put_rules store ~doc_id ~subject:"u"
+            (Sdds_dsp.Publish.encrypt_rules_for drbg ~publisher ~doc_key
+               ~doc_id ~subject:"u" rules);
+          Sdds_dsp.Store.put_grant store ~doc_id ~subject:"u"
+            (Sdds_dsp.Publish.grant drbg ~doc_key ~doc_id
+               ~recipient:user.Sdds_crypto.Rsa.public))
+        doc_ids;
+      let resolve id =
+        Option.map
+          (fun p -> Sdds_dsp.Publish.to_source p ~delivery:`Pull)
+          (Sdds_dsp.Store.get_document store id)
+      in
+      let make_card () =
+        let card =
+          Sdds_soe.Card.create ~profile:Sdds_soe.Cost.fleet ~subject:"u" user
+        in
+        let host = Sdds_soe.Remote_card.Host.create ~card ~resolve () in
+        ( Sdds_soe.Remote_card.Host.process host,
+          fun () -> Sdds_soe.Remote_card.Host.tear host )
+      in
+      let golden_tbl = Hashtbl.create 32 in
+      let golden (r : Sdds_proxy.Proxy.Request.t) =
+        let key = (r.Sdds_proxy.Proxy.Request.doc_id, r.Sdds_proxy.Proxy.Request.xpath) in
+        match Hashtbl.find_opt golden_tbl key with
+        | Some xml -> xml
+        | None ->
+            let card =
+              Sdds_soe.Card.create ~profile:Sdds_soe.Cost.fleet ~subject:"u"
+                user
+            in
+            let proxy = Sdds_proxy.Proxy.create ~store ~card in
+            let xml =
+              match Sdds_proxy.Proxy.run proxy r with
+              | Ok o -> o.Sdds_proxy.Proxy.xml
+              | Error e ->
+                  or_die
+                    (Error
+                       (Format.asprintf "golden run failed: %a"
+                          Sdds_proxy.Proxy.pp_error e))
+            in
+            Hashtbl.add golden_tbl key xml;
+            xml
+      in
+      (* Zipf(1.1) popularity, same mix as [sdds fleet]. *)
+      let cum =
+        let w =
+          Array.init docs (fun k ->
+              1.0 /. Float.pow (float_of_int (k + 1)) 1.1)
+        in
+        let total = Array.fold_left ( +. ) 0.0 w in
+        let acc = ref 0.0 in
+        Array.map
+          (fun x ->
+            acc := !acc +. (x /. total);
+            !acc)
+          w
+      in
+      let rng = Sdds_util.Rng.create (Int64.of_int ((seed * 7919) + cards)) in
+      let pick_doc () =
+        let u = float_of_int (Sdds_util.Rng.int rng 1_000_000) /. 1.0e6 in
+        let rec go k =
+          if k >= docs - 1 || u <= cum.(k) then k else go (k + 1)
+        in
+        doc_ids.(go 0)
+      in
+      let xpaths = [| None; Some "//patient/name"; Some "//patient" |] in
+      let reqs =
+        List.init requests (fun i ->
+            Sdds_proxy.Proxy.Request.make
+              ?xpath:xpaths.(i mod Array.length xpaths)
+              (pick_doc ()))
+      in
+      (store, make_card, golden, reqs)
+    in
+    let run_once campaign n =
+      let store, make_card, golden, reqs = build_world () in
+      let reqs = List.filteri (fun i _ -> i < n) reqs in
+      Sdds_proxy.Chaos.run ~cards ~standby_k ~store ~subject:"u" ~make_card
+        ~golden ~schedule ~campaign reqs
+    in
+    let report = run_once campaign requests in
+    let st = report.Sdds_proxy.Chaos.stats in
+    let failed = Sdds_proxy.Chaos.diverged report in
+    if json then
+      Printf.printf
+        "{\"cards\":%d,\"requests\":%d,\"seed\":%d,\"ok\":%d,\"errors\":%d,\
+         \"rejected\":%d,\"divergences\":%d,\"convergence_failures\":%d,\
+         \"faults_injected\":%d,\"kills\":%d,\"migrations\":%d,\
+         \"deaths\":%d,\"revives\":%d,\"drains\":%d,\"cards_added\":%d,\
+         \"standby_hits\":%d,\"probes\":%d,\"campaign\":%S,\"schedule\":%S}\n"
+        cards report.Sdds_proxy.Chaos.requests seed
+        report.Sdds_proxy.Chaos.ok
+        (List.length report.Sdds_proxy.Chaos.errors)
+        report.Sdds_proxy.Chaos.rejected
+        (List.length report.Sdds_proxy.Chaos.divergences)
+        (List.length report.Sdds_proxy.Chaos.convergence_failures)
+        report.Sdds_proxy.Chaos.injected report.Sdds_proxy.Chaos.kills
+        st.Sdds_proxy.Fleet.migrations st.Sdds_proxy.Fleet.deaths
+        st.Sdds_proxy.Fleet.revives st.Sdds_proxy.Fleet.drains
+        st.Sdds_proxy.Fleet.added st.Sdds_proxy.Fleet.standby_hits
+        st.Sdds_proxy.Fleet.probes
+        (Sdds_fault.Fault.Campaign.to_spec campaign)
+        (Sdds_fault.Fault.Schedule.to_spec schedule)
+    else begin
+      Printf.printf
+        "chaos: %d requests over %d cards (seed %d)\n  campaign: %s\n  \
+         schedule: %s\n"
+        report.Sdds_proxy.Chaos.requests cards seed
+        (Sdds_fault.Fault.Campaign.to_spec campaign)
+        (Sdds_fault.Fault.Schedule.to_spec schedule);
+      Printf.printf
+        "  ok %d  errors %d  rejected %d  (faults injected %d, kills %d)\n"
+        report.Sdds_proxy.Chaos.ok
+        (List.length report.Sdds_proxy.Chaos.errors)
+        report.Sdds_proxy.Chaos.rejected report.Sdds_proxy.Chaos.injected
+        report.Sdds_proxy.Chaos.kills;
+      Printf.printf
+        "  lifecycle: migrations %d  deaths %d  revives %d  drains %d  \
+         added %d  probes %d  standby hits %d\n"
+        st.Sdds_proxy.Fleet.migrations st.Sdds_proxy.Fleet.deaths
+        st.Sdds_proxy.Fleet.revives st.Sdds_proxy.Fleet.drains
+        st.Sdds_proxy.Fleet.added st.Sdds_proxy.Fleet.probes
+        st.Sdds_proxy.Fleet.standby_hits;
+      Printf.printf "  divergences %d  convergence failures %d\n"
+        (List.length report.Sdds_proxy.Chaos.divergences)
+        (List.length report.Sdds_proxy.Chaos.convergence_failures)
+    end;
+    if failed then begin
+      let min_campaign, min_n =
+        Sdds_proxy.Chaos.minimize ~rerun:run_once campaign ~requests
+      in
+      Printf.eprintf
+        "chaos: DIVERGED — minimized replay:\n  sdds chaos --seed %d \
+         --cards %d --requests %d --campaign '%s' --fault-spec '%s'\n"
+        seed cards min_n
+        (Sdds_fault.Fault.Campaign.to_spec min_campaign)
+        (Sdds_fault.Fault.Schedule.to_spec schedule);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Fleet survivability soak: drive a steady zipfian stream through a \
+          card fleet while a seeded campaign kills, revives, adds, drains \
+          and tears cards and a frame-fault schedule corrupts the links; \
+          every completed request is differentially checked against the \
+          fault-free golden view and a final clean pass must converge. \
+          Deterministic for a given $(b,--seed); a divergence is minimized \
+          into a replayable $(b,--campaign) spec and exits 1.")
+    Term.(
+      const run $ cards_arg $ requests_arg $ docs_arg $ seed_arg $ rate_arg
+      $ kills_arg $ revives_arg $ resizes_arg $ standby_arg $ campaign_arg
+      $ fault_arg $ json_arg)
+
 (* disseminate: publish once, deliver to every subject named in the
    rules through the gateway card's clustered fan-out. *)
 
@@ -1257,7 +1537,7 @@ let () =
       (Cmd.group info
          [ view_cmd; encode_cmd; stats_cmd; demo_cmd; keygen_cmd;
            publish_cmd; update_rules_cmd; query_cmd; trace_cmd; fleet_cmd;
-           disseminate_cmd; analyze_cmd; check_cmd ])
+           chaos_cmd; disseminate_cmd; analyze_cmd; check_cmd ])
   with
   | code -> exit code
   | exception Invalid_argument msg ->

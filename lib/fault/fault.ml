@@ -80,8 +80,10 @@ module Schedule = struct
   (* Stateless per-frame randomness: the decision for frame [n] depends
      only on [seed] and [n], so a schedule replays identically however
      many frames the recovering host ends up sending, and a failing run
-     is reproducible from its seed alone. *)
-  let rec random ~seed ~rate ?(kinds = all_kinds) () =
+     is reproducible from its seed alone. [ramp] varies the rate over
+     time — the effective rate at frame [n] is
+     [clamp 0 1 (rate + ramp * n / 1000)] — still stateless in [n]. *)
+  let rec random ~seed ~rate ?(ramp = 0.0) ?(kinds = all_kinds) () =
     let kinds = Array.copy kinds in
     {
       decide =
@@ -93,11 +95,16 @@ module Schedule = struct
                     (Int64.of_int (frame + 1))
                     0x9E3779B97F4A7C15L))
           in
-          if Array.length kinds > 0 && Rng.float rng 1.0 < rate then
+          let eff =
+            min 1.0
+              (max 0.0 (rate +. (ramp *. float_of_int frame /. 1000.0)))
+          in
+          if Array.length kinds > 0 && Rng.float rng 1.0 < eff then
             Some (Rng.pick rng kinds)
           else None);
       describe =
-        Printf.sprintf "seed=%Ld,rate=%g%s" seed rate
+        Printf.sprintf "seed=%Ld,rate=%g%s%s" seed rate
+          (if ramp = 0.0 then "" else Printf.sprintf ",ramp=%g" ramp)
           (if kinds = all_kinds then ""
            else
              ",kinds="
@@ -105,7 +112,45 @@ module Schedule = struct
                  (Array.to_list (Array.map kind_to_string kinds)));
       salted =
         (fun salt ->
-          random ~seed:(Int64.logxor seed salt) ~rate ~kinds ());
+          random ~seed:(Int64.logxor seed salt) ~rate ~ramp ~kinds ());
+    }
+
+  (* Time-phased composition: frames 0..len1-1 go to the first segment
+     (frame numbers as the segment sees them restart at 0), the next
+     len2 to the second, and so on; [tail] decides every frame past the
+     segments, likewise renumbered from 0. Campaigns use this to turn
+     fault pressure on and off across a long run. *)
+  let rec concat segments tail =
+    List.iter
+      (fun (len, s) ->
+        if len < 1 then invalid_arg "Schedule.concat: segment length < 1";
+        (* A concat *tail* nests fine (its spec flattens into the same
+           segment list), but a concat segment would put ';' inside a
+           segment and break the spec round-trip. *)
+        if String.contains s.describe ';' then
+          invalid_arg "Schedule.concat: a segment cannot itself be a concat")
+      segments;
+    let decide frame =
+      let rec go frame = function
+        | [] -> tail.decide frame
+        | (len, s) :: rest ->
+            if frame < len then s.decide frame else go (frame - len) rest
+      in
+      go frame segments
+    in
+    {
+      decide;
+      describe =
+        String.concat ";"
+          (List.map
+             (fun (len, s) -> Printf.sprintf "#%d:%s" len s.describe)
+             segments
+          @ [ tail.describe ]);
+      salted =
+        (fun salt ->
+          concat
+            (List.map (fun (len, s) -> (len, s.salted salt)) segments)
+            (tail.salted salt));
     }
 
   (* Distinct odd multiplier from the per-frame one, so card i's frame
@@ -144,7 +189,10 @@ module Schedule = struct
         (off + !a, String.sub f !a (!b - !a)))
       (go 0 [])
 
-  let of_spec spec =
+  (* One segmentless spec ("none" | "@F:KIND,..." | "seed=,rate=,...");
+     [outer] is the byte offset of [spec] within the caller's string, so
+     error positions stay accurate inside concat segments. *)
+  let of_spec_simple ~outer spec =
     let err pos msg = Error { pos; msg } in
     let n = String.length spec in
     let lead = ref 0 in
@@ -152,7 +200,7 @@ module Schedule = struct
     let stop = ref n in
     while !stop > !lead && is_space spec.[!stop - 1] do decr stop done;
     let body = String.sub spec !lead (!stop - !lead) in
-    let base = !lead in
+    let base = outer + !lead in
     if body = "" || body = "none" then Ok none
     else if body.[0] = '@' then begin
       (* "@FRAME:KIND,@FRAME:KIND,..." — an explicit event list. *)
@@ -187,8 +235,9 @@ module Schedule = struct
       go [] (fields_of body)
     end
     else begin
-      (* "seed=N,rate=F[,kinds=a+b+c]" — a random schedule. *)
+      (* "seed=N,rate=F[,ramp=G][,kinds=a+b+c]" — a random schedule. *)
       let seed = ref None and rate = ref None and kinds = ref None in
+      let ramp = ref 0.0 in
       let parse_field (off, field) =
         let off = base + off in
         match String.index_opt field '=' with
@@ -214,6 +263,12 @@ module Schedule = struct
                     rate := Some r;
                     Ok ()
                 | _ -> err voff (Printf.sprintf "bad rate %S (want 0..1)" v))
+            | "ramp" -> (
+                match float_of_string_opt v with
+                | Some g ->
+                    ramp := g;
+                    Ok ()
+                | None -> err voff (Printf.sprintf "bad ramp %S" v))
             | "kinds" -> (
                 let names = String.split_on_char '+' v in
                 let rec collect acc = function
@@ -234,13 +289,74 @@ module Schedule = struct
       let rec all = function
         | [] -> (
             match (!seed, !rate) with
-            | Some seed, Some rate -> Ok (random ~seed ~rate ?kinds:!kinds ())
+            | Some seed, Some rate ->
+                Ok (random ~seed ~rate ~ramp:!ramp ?kinds:!kinds ())
             | _ -> err base "fault spec needs both seed= and rate=")
         | f :: rest -> (
             match parse_field f with Ok () -> all rest | Error e -> Error e)
       in
       all (fields_of body)
     end
+
+  (* ';' splits concat segments: every chunk but the last must be
+     "#LEN:SPEC"; the last is the tail schedule. A spec without ';' is a
+     plain segmentless schedule. *)
+  let of_spec spec =
+    let err pos msg = Error { pos; msg } in
+    let chunks =
+      let rec go start acc =
+        match String.index_from_opt spec start ';' with
+        | None ->
+            List.rev
+              ((start, String.sub spec start (String.length spec - start))
+              :: acc)
+        | Some i -> go (i + 1) ((start, String.sub spec start (i - start)) :: acc)
+      in
+      go 0 []
+    in
+    match chunks with
+    | [ (_, whole) ] -> of_spec_simple ~outer:0 whole
+    | chunks -> (
+        let rec split_last acc = function
+          | [] -> assert false
+          | [ last ] -> (List.rev acc, last)
+          | c :: rest -> split_last (c :: acc) rest
+        in
+        let segs, (tail_off, tail_s) = split_last [] chunks in
+        let parse_segment (off, chunk) =
+          let m = String.length chunk in
+          let a = ref 0 in
+          while !a < m && is_space chunk.[!a] do incr a done;
+          if !a >= m || chunk.[!a] <> '#' then
+            err (off + !a) "expected #LEN:SPEC before ';'"
+          else
+            match String.index_from_opt chunk !a ':' with
+            | None -> err (off + !a) "missing ':' after segment length"
+            | Some i -> (
+                let len_s = String.sub chunk (!a + 1) (i - !a - 1) in
+                match int_of_string_opt (String.trim len_s) with
+                | Some len when len >= 1 -> (
+                    let rest = String.sub chunk (i + 1) (m - i - 1) in
+                    match of_spec_simple ~outer:(off + i + 1) rest with
+                    | Ok s -> Ok (len, s)
+                    | Error e -> Error e)
+                | _ ->
+                    err (off + !a + 1)
+                      (Printf.sprintf "bad segment length %S" len_s))
+        in
+        let rec all acc = function
+          | [] -> Ok (List.rev acc)
+          | c :: rest -> (
+              match parse_segment c with
+              | Ok seg -> all (seg :: acc) rest
+              | Error e -> Error e)
+        in
+        match all [] segs with
+        | Error e -> Error e
+        | Ok segs -> (
+            match of_spec_simple ~outer:tail_off tail_s with
+            | Ok tail -> Ok (concat segs tail)
+            | Error e -> Error e))
 
   let describe t = t.describe
   let to_spec = describe
@@ -320,6 +436,179 @@ module Link = struct
   let injected t = List.length t.trace
   let trace t = List.rev_map (fun x -> x.event) t.trace
   let traced t = List.rev t.trace
+end
+
+(* ------------------------------------------------------------------ *)
+(* Cutout: a card's power/link switch                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Cutout = struct
+  type t = { mutable down : bool; mutable kills : int }
+
+  let create () = { down = false; kills = 0 }
+
+  let kill t =
+    if not t.down then begin
+      t.down <- true;
+      t.kills <- t.kills + 1
+    end
+
+  let revive t = t.down <- false
+  let is_down t = t.down
+  let kills t = t.kills
+
+  (* While down, every frame answers the transport word — exactly what a
+     terminal sees from an unplugged reader: the command never reaches
+     any card and no bytes come back. *)
+  let wrap t (inner : Remote.Client.transport) : Remote.Client.transport =
+   fun cmd ->
+    if t.down then
+      { Apdu.sw1 = fst Remote.Sw.transport;
+        sw2 = snd Remote.Sw.transport;
+        payload = "" }
+    else inner cmd
+end
+
+(* ------------------------------------------------------------------ *)
+(* Campaign: fleet-level chaos, scheduled against the request stream    *)
+(* ------------------------------------------------------------------ *)
+
+module Campaign = struct
+  type action =
+    | Kill of int
+    | Revive of int
+    | Add_card
+    | Remove_card of int
+    | Tear of int
+
+  type event = { at : int; action : action }
+
+  type t = event list
+
+  let events = Fun.id
+
+  let of_events evs =
+    List.sort (fun a b -> compare (a.at, a.action) (b.at, b.action)) evs
+
+  let action_to_string = function
+    | Kill c -> Printf.sprintf "kill:%d" c
+    | Revive c -> Printf.sprintf "revive:%d" c
+    | Add_card -> "add"
+    | Remove_card c -> Printf.sprintf "remove:%d" c
+    | Tear c -> Printf.sprintf "tear:%d" c
+
+  let event_to_string e = Printf.sprintf "@%d:%s" e.at (action_to_string e.action)
+
+  let to_spec = function
+    | [] -> "none"
+    | evs -> String.concat "," (List.map event_to_string evs)
+
+  (* Same surface syntax as fault-event specs ("@AT:ACTION[:CARD]"), and
+     the same positioned error type, so CLI plumbing and error rendering
+     are shared. *)
+  let of_spec spec =
+    let err pos msg = Error { Schedule.pos; msg } in
+    let body = String.trim spec in
+    if body = "" || body = "none" then Ok []
+    else
+      let parts = String.split_on_char ',' body in
+      let rec go acc off = function
+        | [] -> Ok (of_events (List.rev acc))
+        | p :: rest -> (
+            let next_off = off + String.length p + 1 in
+            let p' = String.trim p in
+            if p' = "" then err off "empty campaign event"
+            else if p'.[0] <> '@' then
+              err off (Printf.sprintf "expected @AT:ACTION, got %S" p')
+            else
+              match String.index_opt p' ':' with
+              | None -> err off (Printf.sprintf "missing ':' in %S" p')
+              | Some i -> (
+                  let at_s = String.sub p' 1 (i - 1) in
+                  let rest_s =
+                    String.sub p' (i + 1) (String.length p' - i - 1)
+                  in
+                  match int_of_string_opt at_s with
+                  | None -> err (off + 1) (Printf.sprintf "bad position %S" at_s)
+                  | Some at when at < 0 ->
+                      err (off + 1) (Printf.sprintf "negative position %d" at)
+                  | Some at -> (
+                      let with_card name k =
+                        match String.index_opt rest_s ':' with
+                        | None ->
+                            err (off + i + 1)
+                              (Printf.sprintf "%s needs a card index" name)
+                        | Some j -> (
+                            let c_s =
+                              String.sub rest_s (j + 1)
+                                (String.length rest_s - j - 1)
+                            in
+                            match int_of_string_opt c_s with
+                            | Some c when c >= 0 ->
+                                go ({ at; action = k c } :: acc) next_off rest
+                            | _ ->
+                                err
+                                  (off + i + j + 2)
+                                  (Printf.sprintf "bad card index %S" c_s))
+                      in
+                      if rest_s = "add" then
+                        go ({ at; action = Add_card } :: acc) next_off rest
+                      else if String.length rest_s >= 4
+                              && String.sub rest_s 0 4 = "kill" then
+                        with_card "kill" (fun c -> Kill c)
+                      else if String.length rest_s >= 6
+                              && String.sub rest_s 0 6 = "revive" then
+                        with_card "revive" (fun c -> Revive c)
+                      else if String.length rest_s >= 6
+                              && String.sub rest_s 0 6 = "remove" then
+                        with_card "remove" (fun c -> Remove_card c)
+                      else if String.length rest_s >= 4
+                              && String.sub rest_s 0 4 = "tear" then
+                        with_card "tear" (fun c -> Tear c)
+                      else
+                        err (off + i + 1)
+                          (Printf.sprintf "unknown campaign action %S" rest_s))))
+      in
+      go [] 0 parts
+
+  (* A coherent random campaign: kills hit distinct cards in the middle
+     80% of the stream, each revive restores a previously killed card
+     strictly later, resizes alternate add/remove. Deterministic in
+     [seed]; the runner treats redundant actions (killing a dead card)
+     as no-ops, so any generated campaign is safe to apply. *)
+  let random ~seed ~requests ~cards ?(kills = 2) ?(revives = 1)
+      ?(resizes = 1) () =
+    if requests < 10 then invalid_arg "Campaign.random: requests < 10";
+    if cards < 1 then invalid_arg "Campaign.random: cards < 1";
+    let rng = Rng.create seed in
+    let pos lo hi = lo + Rng.int rng (max 1 (hi - lo)) in
+    let lo = requests / 10 and hi = 9 * requests / 10 in
+    let kills = min kills cards in
+    let killed =
+      let pool = Array.init cards Fun.id in
+      for i = cards - 1 downto 1 do
+        let j = Rng.int rng (i + 1) in
+        let tmp = pool.(i) in
+        pool.(i) <- pool.(j);
+        pool.(j) <- tmp
+      done;
+      Array.to_list (Array.sub pool 0 kills)
+    in
+    let kill_evs =
+      List.map (fun c -> { at = pos lo hi; action = Kill c }) killed
+    in
+    let revive_evs =
+      List.filteri (fun i _ -> i < revives) kill_evs
+      |> List.map (fun e ->
+             let c = match e.action with Kill c -> c | _ -> assert false in
+             { at = pos (min (e.at + 1) hi) (hi + 1); action = Revive c })
+    in
+    let resize_evs =
+      List.init resizes (fun i ->
+          if i mod 2 = 0 then { at = pos lo hi; action = Add_card }
+          else { at = pos lo hi; action = Remove_card (Rng.int rng cards) })
+    in
+    of_events (kill_evs @ revive_evs @ resize_evs)
 end
 
 (* ------------------------------------------------------------------ *)

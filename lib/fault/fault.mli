@@ -60,11 +60,26 @@ module Schedule : sig
       entries for the same frame win). Turning a {!Link.trace} back into
       a schedule replays a recorded run. *)
 
-  val random : seed:int64 -> rate:float -> ?kinds:kind array -> unit -> t
+  val random :
+    seed:int64 -> rate:float -> ?ramp:float -> ?kinds:kind array -> unit -> t
   (** Each frame independently faults with probability [rate], the kind
       drawn uniformly from [kinds] (default {!all_kinds}). Stateless in
       the frame number: replays identically regardless of how many
-      frames the recovering host ends up sending. *)
+      frames the recovering host ends up sending. [ramp] (default 0)
+      makes the rate time-varying: the effective rate at frame [n] is
+      [rate + ramp * n / 1000], clamped to [0, 1] — a campaign can turn
+      the screw gradually instead of hammering from frame 0. *)
+
+  val concat : (int * t) list -> t -> t
+  (** [concat [(len1, s1); ...] tail] — time-phased composition: the
+      first [len1] frames are decided by [s1] (which sees frames
+      renumbered from 0), the next [len2] by [s2], and every frame past
+      the segments by [tail] (renumbered likewise). Spec syntax:
+      segments joined with [';'], each segment ["#LEN:SPEC"], the tail a
+      plain spec — ["#200:none;#50:seed=1,rate=0.3;seed=1,rate=0.05"]
+      runs clean for 200 frames, hammers for 50, then settles. Raises
+      [Invalid_argument] on a segment length < 1 or a segment that is
+      itself a concat (the tail may be — it flattens). *)
 
   val for_card : t -> int -> t
   (** [for_card t i] is the schedule card [i] of a fleet sees behind a
@@ -143,6 +158,84 @@ module Link : sig
 
   val traced : t -> traced list
   (** The same log with the span each fault was correlated to. *)
+end
+
+(** A card's power/link switch: while down, every frame answers the
+    transient transport word — what a terminal sees from an unplugged
+    reader. Wrap it {e outside} a {!Link} so a killed card stays dead
+    regardless of the frame-fault schedule; flip it from a
+    {!Campaign}. *)
+module Cutout : sig
+  type t
+
+  val create : unit -> t
+
+  val kill : t -> unit
+  (** Cut the card off (idempotent; counted once per edge). *)
+
+  val revive : t -> unit
+  (** Restore the link. The card's volatile sessions are gone if the
+      kill modeled power loss — pair with a host tear at kill time. *)
+
+  val is_down : t -> bool
+
+  val kills : t -> int
+  (** Down-edges so far. *)
+
+  val wrap :
+    t ->
+    Sdds_soe.Remote_card.Client.transport ->
+    Sdds_soe.Remote_card.Client.transport
+end
+
+(** A fleet-level chaos schedule: kills, revives, resizes and tears
+    pinned to {e request indices} of a steady stream (frame-level faults
+    stay with {!Schedule}). Replayable: {!to_spec}/{!of_spec} round-trip
+    the event list, and {!random} is deterministic in its seed — the
+    [sdds chaos] harness minimizes any divergence into one of these
+    specs. *)
+module Campaign : sig
+  type action =
+    | Kill of int  (** cut card [i]'s power (cutout down + tear) *)
+    | Revive of int  (** power card [i] back up and rejoin it *)
+    | Add_card  (** grow the fleet by one fresh card *)
+    | Remove_card of int  (** drain card [i] gracefully *)
+    | Tear of int  (** a lone tear: power blip without losing the link *)
+
+  type event = { at : int; action : action }
+  (** [action] fires when the [at]-th request (0-based) of the stream is
+      admitted. *)
+
+  type t
+
+  val of_events : event list -> t
+  (** Sorted by position; the runner applies same-position events in the
+      sorted order. *)
+
+  val events : t -> event list
+
+  val random :
+    seed:int64 ->
+    requests:int ->
+    cards:int ->
+    ?kills:int ->
+    ?revives:int ->
+    ?resizes:int ->
+    unit ->
+    t
+  (** A coherent seeded campaign: [kills] (default 2) distinct cards die
+      in the middle 80% of the stream, [revives] (default 1) of them
+      come back strictly later, [resizes] (default 1) alternate
+      add/remove. Redundant actions (killing a dead card, removing a
+      gone one) are safe: runners treat them as no-ops. *)
+
+  val to_spec : t -> string
+  (** ["@AT:kill:C,@AT:revive:C,@AT:add,@AT:remove:C,@AT:tear:C"] (or
+      ["none"]); [of_spec (to_spec t)] yields the same events. *)
+
+  val of_spec : string -> (t, Schedule.parse_error) result
+
+  val event_to_string : event -> string
 end
 
 (** Deterministic disk faults, armed on {!Sdds_dsp.Store_io}'s global

@@ -118,6 +118,13 @@ module Metrics : sig
   val counter_value : t -> string -> int
   (** Aggregated count for one name; 0 when absent. *)
 
+  val gauge_value : t -> string -> int * int
+  (** Combined (value, peak) over every cell — owned and attached —
+      registered under the name. Like {!counter_value}, this is the
+      registry-as-source-of-truth read path: component-owned cells
+      (e.g. the fleet's per-card state gauges) are visible here without
+      the component exposing its own accessor. *)
+
   val to_prometheus : t -> string
   (** Prometheus text exposition: names are mangled ([.] → [_], prefixed
       [sdds_]), gauges additionally export a [_peak] series, histograms

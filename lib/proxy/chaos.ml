@@ -1,0 +1,254 @@
+(* The chaos soak harness behind [sdds chaos]: a seeded, replayable
+   campaign of card kills, revives, resizes and tears interleaved with
+   frame-level faults against a steady request stream, continuously
+   checked against the fault-free golden view. See chaos.mli. *)
+
+module Apdu = Sdds_soe.Apdu
+module Remote = Sdds_soe.Remote_card
+module Fault = Sdds_fault.Fault
+module Obs = Sdds_obs.Obs
+
+type card_stack = {
+  cutout : Fault.Cutout.t;
+  link : Fault.Link.t;
+  tear : unit -> unit;
+  raw : Remote.Client.transport;
+}
+
+type divergence = {
+  index : int;
+  doc_id : string;
+  xpath : string option;
+  got : string option;
+  expected : string option;
+}
+
+type report = {
+  requests : int;
+  ok : int;
+  rejected : int;
+  errors : (int * string * Proxy.error) list;
+  divergences : divergence list;
+  convergence_failures : divergence list;
+  injected : int;
+  kills : int;
+  stats : Fleet.stats;
+}
+
+let xml_of (served : Proxy.Pool.served) = served.Proxy.Pool.xml
+
+(* One deterministic soak. The per-card fault stack, outside in:
+   [Cutout] (a killed card answers the transport word regardless of the
+   frame schedule) over [Fault.Link] (seeded frame faults, salted per
+   card) over the raw host transport. The gate drops the frame-fault
+   layer — never the cutout — for the convergence phase. *)
+let run ?obs ?(cards = 3) ?(queue_limit = 64) ?(max_reroutes = 2)
+    ?(standby_k = 2) ?probe_budget ~store ~subject ~make_card ~golden
+    ~schedule ~campaign requests =
+  let faults_on = ref true in
+  let stacks = ref [] in
+  (* assoc card index -> stack *)
+  let make_stack i =
+    let raw, tear = make_card () in
+    let link =
+      Fault.Link.wrap ?obs ~schedule:(Fault.Schedule.for_card schedule i)
+        ~tear raw
+    in
+    let cutout = Fault.Cutout.create () in
+    let stack = { cutout; link; tear; raw } in
+    stacks := (i, stack) :: !stacks;
+    let faulty = Fault.Link.transport link in
+    let transport cmd =
+      Fault.Cutout.wrap cutout (if !faults_on then faulty else raw) cmd
+    in
+    (stack, transport)
+  in
+  let transports =
+    Array.init cards (fun i ->
+        let _, transport = make_stack i in
+        transport)
+  in
+  let fleet =
+    Fleet.create ?obs ~queue_limit ~max_reroutes ?probe_budget ~standby_k
+      ~store ~subject transports
+  in
+  let apply = function
+    | Fault.Campaign.Kill c -> (
+        match List.assoc_opt c !stacks with
+        | Some s ->
+            (* Power loss: volatile sessions die with the link. *)
+            s.tear ();
+            Fault.Cutout.kill s.cutout
+        | None -> ())
+    | Fault.Campaign.Revive c -> (
+        match List.assoc_opt c !stacks with
+        | Some s ->
+            Fault.Cutout.revive s.cutout;
+            if c < Fleet.card_count fleet && Fleet.state fleet c = Fleet.Dead
+            then Fleet.revive_card fleet c
+        | None -> ())
+    | Fault.Campaign.Add_card ->
+        let i = Fleet.card_count fleet in
+        let _, transport = make_stack i in
+        ignore (Fleet.add_card fleet transport)
+    | Fault.Campaign.Remove_card c ->
+        if c < Fleet.card_count fleet then Fleet.remove_card fleet c
+    | Fault.Campaign.Tear c -> (
+        match List.assoc_opt c !stacks with Some s -> s.tear () | None -> ())
+  in
+  (* Admission loop: one request and one scheduler turn per tick — a
+     steady stream with real concurrency, so campaign events land while
+     earlier requests are genuinely in flight. Events at position [i]
+     fire just before request [i] is admitted. *)
+  let pending = ref (Fault.Campaign.events campaign) in
+  let fire_until i =
+    let rec go () =
+      match !pending with
+      | { Fault.Campaign.at; action } :: rest when at <= i ->
+          pending := rest;
+          apply action;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let streams =
+    List.mapi
+      (fun i req ->
+        fire_until i;
+        let st = Fleet.start fleet req in
+        Fleet.turn fleet;
+        (i, req, st))
+      requests
+  in
+  fire_until max_int;
+  while
+    List.exists (fun (_, _, st) -> Fleet.result st = None) streams
+  do
+    Fleet.turn fleet
+  done;
+  (* Differential: every completed request is the golden view or a
+     typed error — never a wrong view, never a hang. *)
+  let ok = ref 0 and rejected = ref 0 in
+  let errors = ref [] and divergences = ref [] in
+  List.iter
+    (fun (i, (req : Proxy.Request.t), st) ->
+      match (Option.get (Fleet.result st)).Fleet.result with
+      | Ok served ->
+          incr ok;
+          let expected = golden req in
+          let got = xml_of served in
+          if got <> expected then
+            divergences :=
+              {
+                index = i;
+                doc_id = req.Proxy.Request.doc_id;
+                xpath = req.Proxy.Request.xpath;
+                got;
+                expected;
+              }
+              :: !divergences
+      | Error Proxy.Overloaded -> incr rejected
+      | Error e -> errors := (i, req.Proxy.Request.doc_id, e) :: !errors)
+    streams;
+  (* Convergence: with frame faults off (cutouts stay — dead is dead),
+     one clean pass over the distinct requests must reproduce the golden
+     views exactly, provided a live card remains. *)
+  faults_on := false;
+  let convergence_failures = ref [] in
+  let any_live =
+    Array.exists
+      (function Fleet.Up | Fleet.Joining -> true | _ -> false)
+      (Fleet.stats fleet).Fleet.states
+  in
+  if any_live then begin
+    let distinct =
+      List.sort_uniq compare
+        (List.map
+           (fun (r : Proxy.Request.t) ->
+             (r.Proxy.Request.doc_id, r.Proxy.Request.xpath))
+           requests)
+    in
+    List.iteri
+      (fun i (doc_id, xpath) ->
+        let req = Proxy.Request.make ?xpath doc_id in
+        match Fleet.serve fleet [ req ] with
+        | [ { Fleet.result = Ok served; _ } ]
+          when xml_of served = golden req ->
+            ()
+        | [ { Fleet.result; _ } ] ->
+            convergence_failures :=
+              {
+                index = i;
+                doc_id;
+                xpath;
+                got =
+                  (match result with
+                  | Ok served -> xml_of served
+                  | Error _ -> None);
+                expected = golden req;
+              }
+              :: !convergence_failures
+        | _ -> assert false)
+      distinct
+  end;
+  let injected =
+    List.fold_left (fun n (_, s) -> n + Fault.Link.injected s.link) 0 !stacks
+  in
+  let kills =
+    List.fold_left (fun n (_, s) -> n + Fault.Cutout.kills s.cutout) 0 !stacks
+  in
+  {
+    requests = List.length requests;
+    ok = !ok;
+    rejected = !rejected;
+    errors = List.rev !errors;
+    divergences = List.rev !divergences;
+    convergence_failures = List.rev !convergence_failures;
+    injected;
+    kills;
+    stats = Fleet.stats fleet;
+  }
+
+let diverged r = r.divergences <> [] || r.convergence_failures <> []
+
+(* Greedy minimization: drop campaign events one at a time while the
+   failure reproduces, then shorten the request stream from the back.
+   [rerun] rebuilds the whole world (fresh cards, fresh fleet) for every
+   candidate — determinism is what makes this sound, and what makes the
+   minimized (campaign, request-count) pair replayable as a spec. *)
+let minimize ~rerun campaign ~requests =
+  let still_fails c n = diverged (rerun c n) in
+  let events = ref (Fault.Campaign.events campaign) in
+  let n = ref requests in
+  let shrunk = ref true in
+  while !shrunk do
+    shrunk := false;
+    (* one pass of single-event removal *)
+    let rec pass kept = function
+      | [] -> ()
+      | ev :: rest ->
+          let candidate =
+            Fault.Campaign.of_events (List.rev_append kept rest)
+          in
+          if still_fails candidate !n then begin
+            events := Fault.Campaign.events candidate;
+            shrunk := true;
+            pass kept rest
+          end
+          else pass (ev :: kept) rest
+    in
+    pass [] !events;
+    (* halve the stream while the failure survives *)
+    let rec cut () =
+      let half = !n / 2 in
+      if half >= 10 && still_fails (Fault.Campaign.of_events !events) half
+      then begin
+        n := half;
+        shrunk := true;
+        cut ()
+      end
+    in
+    cut ()
+  done;
+  (Fault.Campaign.of_events !events, !n)

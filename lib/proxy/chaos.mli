@@ -1,0 +1,85 @@
+(** The chaos soak harness: fleet survivability under a seeded,
+    replayable campaign.
+
+    One {!run} drives a steady request stream through a {!Fleet} while a
+    {!Sdds_fault.Fault.Campaign} kills, revives, adds, drains and tears
+    cards at pinned request indices and a
+    {!Sdds_fault.Fault.Schedule} faults individual frames — then holds
+    every completed request to the fault-free golden view. The
+    differential invariant is the fleet one, extended across churn:
+    every request ends in the {e exact} authorized view or one typed
+    {!Proxy.error}; a wrong view is a divergence, full stop. After the
+    stream drains, a convergence pass with frame faults disabled (dead
+    cards stay dead) must reproduce every distinct golden view — the
+    fleet is not merely failing safe, it has recovered.
+
+    Everything is deterministic in the (campaign, schedule, request
+    stream) triple, which is what makes {!minimize} sound: a divergence
+    shrinks, by re-running fresh worlds, to a minimal replayable
+    campaign and stream length — the [--campaign]/[--fault-spec] pair
+    [sdds chaos --replay] accepts. *)
+
+(** One wrong view: request [index] of the stream produced [got] where
+    the fault-free single-card run produces [expected]. *)
+type divergence = {
+  index : int;
+  doc_id : string;
+  xpath : string option;
+  got : string option;
+  expected : string option;
+}
+
+type report = {
+  requests : int;
+  ok : int;  (** completed with the golden view or a correct variant *)
+  rejected : int;  (** typed [Overloaded] refusals (admission control) *)
+  errors : (int * string * Proxy.error) list;
+      (** non-[Overloaded] typed errors: (stream index, doc_id, error) *)
+  divergences : divergence list;  (** wrong views — must be empty *)
+  convergence_failures : divergence list;
+      (** clean-pass requests that still failed or mismatched *)
+  injected : int;  (** frame faults injected across all links *)
+  kills : int;  (** cutout down-edges across all cards *)
+  stats : Fleet.stats;
+}
+
+val run :
+  ?obs:Sdds_obs.Obs.t ->
+  ?cards:int ->
+  ?queue_limit:int ->
+  ?max_reroutes:int ->
+  ?standby_k:int ->
+  ?probe_budget:int ->
+  store:Sdds_dsp.Store.t ->
+  subject:string ->
+  make_card:(unit -> Sdds_soe.Remote_card.Client.transport * (unit -> unit)) ->
+  golden:(Proxy.Request.t -> string option) ->
+  schedule:Sdds_fault.Fault.Schedule.t ->
+  campaign:Sdds_fault.Fault.Campaign.t ->
+  Proxy.Request.t list ->
+  report
+(** [make_card ()] returns a fresh card's raw transport and its tear
+    hook (host + card, provisioned for [subject]) — called once per
+    initial card ([cards], default 3) and once per [Add_card]. Each card
+    gets the stack cutout-over-fault-link-over-raw, the link's schedule
+    salted per card ({!Sdds_fault.Fault.Schedule.for_card}). [golden]
+    is the fault-free reference view, typically the single-card
+    [Proxy.run] memoized. Defaults: [max_reroutes] 2, [standby_k] 2.
+    The admission loop interleaves one {!Fleet.start} and one
+    {!Fleet.turn} per request, so campaign events land while earlier
+    requests are in flight. *)
+
+val diverged : report -> bool
+(** Divergences or convergence failures present. *)
+
+val minimize :
+  rerun:(Sdds_fault.Fault.Campaign.t -> int -> report) ->
+  Sdds_fault.Fault.Campaign.t ->
+  requests:int ->
+  Sdds_fault.Fault.Campaign.t * int
+(** [minimize ~rerun campaign ~requests] greedily shrinks a failing run:
+    drop campaign events one at a time, then halve the stream length (not
+    below 10), keeping every shrink for which [rerun candidate n] still
+    {!diverged} — [rerun] must rebuild the world from scratch so each
+    candidate replays deterministically. Returns the minimal
+    still-failing (campaign, stream length). *)

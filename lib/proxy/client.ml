@@ -72,6 +72,10 @@ let backend_name = function
   | Pooled _ -> "pool"
   | Fleeted _ -> "fleet"
 
+let fleet_handle = function
+  | Fleeted f -> Some f
+  | Direct _ | Pooled _ -> None
+
 let serve t reqs =
   let (Session ((module B), b)) = packed t in
   let streams = List.map (B.start b) reqs in

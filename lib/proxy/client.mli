@@ -35,6 +35,14 @@ val fleet : Fleet.t -> t
 val backend_name : t -> string
 (** ["direct"], ["pool"] or ["fleet"] — for logs and reports. *)
 
+val fleet_handle : t -> Fleet.t option
+(** The underlying fleet of a {!fleet} session, for admin operations
+    that have no meaning on the other executors — live resize
+    ({!Fleet.add_card}, {!Fleet.remove_card}), {!Fleet.revive_card} and
+    {!Fleet.stats}. All are safe between {!serve} calls, and resize is
+    safe even {e during} one driven from another stream: the fleet's
+    scheduler migrates affected requests instead of failing them. *)
+
 val serve :
   t -> Proxy.Request.t list -> (Proxy.Pool.served, Proxy.error) result list
 (** Execute a batch, results in request order. Direct sessions run the

@@ -1,10 +1,12 @@
 (* Fleet-scale sharded serving: N simulated cards, each behind its own
    [Remote_card.Host] transport and [Proxy.Pool], under one cooperative
-   scheduler. See fleet.mli for the contract. *)
+   scheduler that survives churn — cards die, drain, join and revive
+   mid-run. See fleet.mli for the contract. *)
 
 module Store = Sdds_dsp.Store
 module Apdu = Sdds_soe.Apdu
 module Cost = Sdds_soe.Cost
+module Remote = Sdds_soe.Remote_card
 module Rng = Sdds_util.Rng
 module Obs = Sdds_obs.Obs
 
@@ -66,6 +68,17 @@ end
 (* Fleet                                                                *)
 (* ------------------------------------------------------------------ *)
 
+type lifecycle = Up | Draining | Dead | Joining
+
+let lifecycle_to_string = function
+  | Up -> "up"
+  | Draining -> "draining"
+  | Dead -> "dead"
+  | Joining -> "joining"
+
+(* The gauge encoding of a card's state (documented in the mli). *)
+let lifecycle_index = function Up -> 0 | Draining -> 1 | Dead -> 2 | Joining -> 3
+
 type routing = Affinity | Least_loaded | Random of int64
 
 type outcome = {
@@ -73,17 +86,22 @@ type outcome = {
   card : int;
   affinity : bool;
   reroutes : int;
+  migrations : int;
   latency_s : float;
 }
 
 (* One request in flight. [floor] carries simulated time already spent
-   on a card that failed the request away (re-route), so the reported
-   latency never goes backwards when the request restarts on a
-   less-loaded card. *)
+   on a card that failed the request away (re-route or migration), so
+   the reported latency never goes backwards when the request restarts
+   on a less-loaded card. [key] is the affinity key, computed once at
+   admission so migration re-plans onto the same ring successor the
+   routing would pick. *)
 type job = {
   req : Proxy.Request.t;
+  key : string option;  (* [Affinity] routing only *)
   mutable j_affinity : bool;
   mutable j_reroutes : int;
+  mutable j_migrations : int;
   mutable floor : float;
   span : Obs.Tracer.span;
 }
@@ -91,27 +109,31 @@ type job = {
 (* A request admitted through the incremental API. [starts] snapshots
    every card's clock at admission: latency is measured against the
    serving card's clock then, so clocks carried over from earlier work
-   do not inflate it. Admission exchanges no frames, so for a batch the
-   per-stream snapshots all equal the batch-entry clocks. *)
+   do not inflate it. [pinned] is the (rules, grant) pair the stream was
+   first planned with — migration re-uploads exactly this policy. *)
 type stream = {
   s_job : job;
   starts : float array;
+  mutable pinned : (string * string option) option;
   mutable outcome : outcome option;
 }
 
 type slot = {
   id : int;
-  pool : Proxy.Pool.t;
+  mutable pool : Proxy.Pool.t;  (* replaced on revive (fresh epochs) *)
+  transport : Remote.Client.transport;  (* clock-wrapped; probes use it too *)
   queue : stream Queue.t;  (* admitted, waiting for a pool slot *)
   mutable active : (stream * Proxy.Pool.stream) list;
+  mutable state : lifecycle;
   clock : float ref;  (* simulated seconds of link time *)
   mutable served : int;
   g_depth : Obs.Metrics.Gauge.t;
+  g_state : Obs.Metrics.Gauge.t;
 }
 
 type t = {
-  slots : slot array;
-  ring : Ring.t;
+  mutable slots : slot array;  (* grows under [add_card]; ids are stable *)
+  mutable ring : Ring.t;  (* holds exactly the routable (live) cards *)
   routing : routing;
   rng : Rng.t option;  (* [Random] routing only *)
   store : Store.t;
@@ -119,6 +141,11 @@ type t = {
   queue_limit : int;
   max_reroutes : int;
   channels : int;
+  probe_budget : int;
+  standby_k : int;
+  retry : Remote.Retry.t option;
+  link_bytes_per_s : float;
+  heat : (string, int) Hashtbl.t;  (* affinity-key request counts *)
   obs : Obs.t option;
   mutable requests : int;
   mutable affinity_hits : int;
@@ -126,6 +153,13 @@ type t = {
   mutable reroutes : int;
   mutable rejected : int;
   mutable q_peak : int;
+  mutable migrations : int;
+  mutable deaths : int;
+  mutable revives : int;
+  mutable drains : int;
+  mutable added : int;
+  mutable probes : int;
+  mutable standby_hits : int;
 }
 
 type stats = {
@@ -136,49 +170,73 @@ type stats = {
   rejected : int;
   served_by : int array;
   queue_peak : int;
+  migrations : int;
+  deaths : int;
+  revives : int;
+  drains : int;
+  added : int;
+  probes : int;
+  standby_hits : int;
+  states : lifecycle array;
 }
 
 let card_count t = Array.length t.slots
 let clock t card = !(t.slots.(card).clock)
+let state t card = t.slots.(card).state
+let live s = match s.state with Up | Joining -> true | Draining | Dead -> false
+
+let set_state t slot st =
+  slot.state <- st;
+  ignore t;
+  Obs.Metrics.Gauge.set slot.g_state (lifecycle_index st)
+
+let make_slot ?obs ?retry ~store ~subject ~channels ~link_bytes_per_s ~state
+    id raw =
+  let g_depth = Obs.Metrics.Gauge.create () in
+  Obs.attach_gauge obs (Printf.sprintf "fleet.card%d.queue_depth" id) g_depth;
+  let g_state = Obs.Metrics.Gauge.create () in
+  Obs.attach_gauge obs (Printf.sprintf "fleet.card%d.state" id) g_state;
+  Obs.Metrics.Gauge.set g_state (lifecycle_index state);
+  let clock = ref 0.0 in
+  (* Every frame exchanged with this card — requests and health probes
+     alike — advances its simulated clock by its wire time: queueing
+     delay shows up as tail latency without any wall clock involved. *)
+  let transport cmd =
+    let resp = raw cmd in
+    clock :=
+      !clock
+      +. float_of_int
+           (String.length (Apdu.encode_command cmd)
+           + String.length (Apdu.encode_response resp))
+         /. link_bytes_per_s;
+    resp
+  in
+  {
+    id;
+    pool = Proxy.Pool.create ?obs ~store ~transport ~subject ~channels ?retry ();
+    transport;
+    queue = Queue.create ();
+    active = [];
+    state;
+    clock;
+    served = 0;
+    g_depth;
+    g_state;
+  }
 
 let create ?obs ?(routing = Affinity) ?(queue_limit = 64) ?(max_reroutes = 1)
     ?(channels = Apdu.max_channels) ?retry
-    ?(link_bytes_per_s = Cost.fleet.Cost.link_bytes_per_s) ~store ~subject
-    transports =
+    ?(link_bytes_per_s = Cost.fleet.Cost.link_bytes_per_s) ?(probe_budget = 3)
+    ?(standby_k = 0) ~store ~subject transports =
   let n = Array.length transports in
   if n < 1 then invalid_arg "Fleet.create: no cards";
   if queue_limit < 1 then invalid_arg "Fleet.create: queue_limit < 1";
+  if probe_budget < 1 then invalid_arg "Fleet.create: probe_budget < 1";
+  if standby_k < 0 then invalid_arg "Fleet.create: standby_k < 0";
   let slots =
     Array.init n (fun i ->
-        let g_depth = Obs.Metrics.Gauge.create () in
-        Obs.attach_gauge obs
-          (Printf.sprintf "fleet.card%d.queue_depth" i)
-          g_depth;
-        let clock = ref 0.0 in
-        (* Every frame the pool exchanges with card [i] advances that
-           card's simulated clock by its wire time: queueing delay then
-           shows up as tail latency without any wall clock involved. *)
-        let transport cmd =
-          let resp = transports.(i) cmd in
-          clock :=
-            !clock
-            +. float_of_int
-                 (String.length (Apdu.encode_command cmd)
-                 + String.length (Apdu.encode_response resp))
-               /. link_bytes_per_s;
-          resp
-        in
-        {
-          id = i;
-          pool =
-            Proxy.Pool.create ?obs ~store ~transport ~subject ~channels
-              ?retry ();
-          queue = Queue.create ();
-          active = [];
-          clock;
-          served = 0;
-          g_depth;
-        })
+        make_slot ?obs ?retry ~store ~subject ~channels ~link_bytes_per_s
+          ~state:Up i transports.(i))
   in
   {
     slots;
@@ -191,6 +249,11 @@ let create ?obs ?(routing = Affinity) ?(queue_limit = 64) ?(max_reroutes = 1)
     queue_limit;
     max_reroutes;
     channels;
+    probe_budget;
+    standby_k;
+    retry;
+    link_bytes_per_s;
+    heat = Hashtbl.create 64;
     obs;
     requests = 0;
     affinity_hits = 0;
@@ -198,6 +261,13 @@ let create ?obs ?(routing = Affinity) ?(queue_limit = 64) ?(max_reroutes = 1)
     reroutes = 0;
     rejected = 0;
     q_peak = 0;
+    migrations = 0;
+    deaths = 0;
+    revives = 0;
+    drains = 0;
+    added = 0;
+    probes = 0;
+    standby_hits = 0;
   }
 
 let load s = Queue.length s.queue + List.length s.active
@@ -208,6 +278,12 @@ let set_depth s = Obs.Metrics.Gauge.set s.g_depth (load s)
 let note_depth t s =
   t.q_peak <- max t.q_peak (load s);
   set_depth s
+
+(* A stream admitted before [add_card] has no clock snapshot for the new
+   card; the new card's clock started at 0, which is exactly the right
+   baseline for it. *)
+let start_of st (slot : slot) =
+  if slot.id < Array.length st.starts then st.starts.(slot.id) else 0.0
 
 (* The affinity key: the document and the digest of this subject's rule
    blob — exactly what keys the card's prepared-evaluation cache, so
@@ -228,19 +304,54 @@ let least_loaded ?excluding t =
   let best = ref None in
   Array.iter
     (fun s ->
-      if Some s.id <> excluding && room t s then
+      if Some s.id <> excluding && live s && room t s then
         match !best with
         | Some b when load b <= load s -> ()
         | _ -> best := Some s)
     t.slots;
   !best
 
-(* Pick the serving card, or refuse: [None] means every bounded queue is
-   full — admission control in action. Affinity consults the hash ring
-   first and falls back to the least-loaded card when the ring's choice
-   has no room; both decisions are counted so the routing mix is
-   observable. *)
-let route t req =
+(* ------------------------------------------------------------------ *)
+(* Hot-key standby                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bump_heat (t : t) key =
+  let h = 1 + Option.value ~default:0 (Hashtbl.find_opt t.heat key) in
+  Hashtbl.replace t.heat key h;
+  h
+
+(* A key is hot when it has real traffic and fewer than [standby_k] keys
+   are hotter — the zipf head. The scan is over distinct affinity keys
+   (documents × subjects), which is small compared to request volume. *)
+let is_hot t key heat =
+  t.standby_k > 0 && heat >= 4
+  && Hashtbl.fold
+       (fun k h n -> if k <> key && h > heat then n + 1 else n)
+       t.heat 0
+     < t.standby_k
+
+(* The standby for a key is the ring's answer once the primary is gone —
+   the card that *will* inherit the key on the primary's death. Keeping
+   it warm (a fraction of the hot key's traffic routes there) turns the
+   primary's death into a warm failover instead of a cold cache miss. *)
+let standby_of t key ~primary =
+  match Ring.members t.ring with
+  | [] | [ _ ] -> None
+  | _ -> (
+      let r' = Ring.remove t.ring primary in
+      match Ring.members r' with [] -> None | _ -> Some (Ring.lookup r' key))
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Pick the serving card, or refuse: [None] means no live card has queue
+   room — admission control in action. Affinity consults the hash ring
+   (which holds exactly the live cards) and falls back to the
+   least-loaded live card when the ring's choice has no room; a hot
+   key's standby takes every 4th request to stay warm. All decisions are
+   counted so the routing mix is observable. *)
+let route (t : t) (job : job) =
   match t.routing with
   | Least_loaded -> (
       match least_loaded t with
@@ -249,27 +360,47 @@ let route t req =
   | Random _ -> (
       let rng = Option.get t.rng in
       let s = t.slots.(Rng.int rng (Array.length t.slots)) in
-      if room t s then Some (s, false)
+      if live s && room t s then Some (s, false)
       else
         match least_loaded t with
         | Some s -> Some (s, false)
         | None -> None)
   | Affinity -> (
-      let s = t.slots.(Ring.lookup t.ring (affinity_key t req)) in
-      if room t s then begin
-        t.affinity_hits <- t.affinity_hits + 1;
-        Obs.inc t.obs "fleet.affinity_hits" 1;
-        Some (s, true)
-      end
-      else
+      let fallback () =
         match least_loaded t with
         | Some s ->
             t.fallbacks <- t.fallbacks + 1;
             Obs.inc t.obs "fleet.fallbacks" 1;
             Some (s, false)
-        | None -> None)
+        | None -> None
+      in
+      match (Ring.members t.ring, job.key) with
+      | [], _ | _, None -> fallback ()
+      | _ :: _, Some key -> (
+          let heat = bump_heat t key in
+          let primary = Ring.lookup t.ring key in
+          let choice, is_standby =
+            match
+              if is_hot t key heat then standby_of t key ~primary else None
+            with
+            | Some sb when heat mod 4 = 0 -> (sb, true)
+            | _ -> (primary, false)
+          in
+          let s = t.slots.(choice) in
+          if room t s then
+            if is_standby then begin
+              t.standby_hits <- t.standby_hits + 1;
+              Obs.inc t.obs "fleet.standby_hits" 1;
+              Some (s, false)
+            end
+            else begin
+              t.affinity_hits <- t.affinity_hits + 1;
+              Obs.inc t.obs "fleet.affinity_hits" 1;
+              Some (s, true)
+            end
+          else fallback ()))
 
-let finish t st card latency result outcome_tag =
+let finish (t : t) st card latency result outcome_tag =
   let job = st.s_job in
   st.outcome <-
     Some
@@ -278,19 +409,21 @@ let finish t st card latency result outcome_tag =
         card;
         affinity = job.j_affinity;
         reroutes = job.j_reroutes;
+        migrations = job.j_migrations;
         latency_s = latency;
       };
   Obs.Tracer.stop (Obs.tracer t.obs)
     ~args:
       [ ("outcome", outcome_tag);
         ("card", string_of_int card);
-        ("reroutes", string_of_int job.j_reroutes) ]
+        ("reroutes", string_of_int job.j_reroutes);
+        ("migrations", string_of_int job.j_migrations) ]
     job.span
 
 (* A budget-exhausted request (its card kept tearing or its link kept
    faulting past the pool's per-card epoch recovery) is re-routed to
    another card rather than failed, while the allowance lasts. *)
-let reroute t st failed =
+let reroute (t : t) st failed =
   let job = st.s_job in
   if job.j_reroutes >= t.max_reroutes then false
   else
@@ -305,8 +438,144 @@ let reroute t st failed =
         true
     | None -> false
 
+(* ------------------------------------------------------------------ *)
+(* Lifecycle: probing, migration, resize                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Liveness probe: an instruction no card implements, on the basic
+   channel. A live card answers the [bad_ins] word — proof of life that
+   touches no session state; only a dead link (or a frame fault) yields
+   the transient transport word. The typed budget bounds what a dead
+   card can cost: [probe_budget] tiny frames once, instead of every
+   subsequent request's full retry budget. *)
+let probe_frame =
+  { Apdu.cla = Apdu.base_cla; ins = 0xEE; p1 = 0; p2 = 0; data = "" }
+
+let probe_alive (t : t) slot =
+  let rec go left =
+    if left <= 0 then false
+    else begin
+      t.probes <- t.probes + 1;
+      Obs.inc t.obs "fleet.probes" 1;
+      let resp = slot.transport probe_frame in
+      let sw = (resp.Apdu.sw1, resp.Apdu.sw2) in
+      if sw = Remote.Sw.transport || sw = Remote.Sw.internal then go (left - 1)
+      else true
+    end
+  in
+  go t.probe_budget
+
+(* Re-plan one stream away from [from] (dying or draining): the ring —
+   which no longer contains [from] — names the successor that inherits
+   the request's affinity key, so a migrated hot key lands exactly on
+   its (pre-warmed) standby. The move is a migration, not a re-route: it
+   does not spend the job's re-route allowance, and the re-planned
+   stream re-uploads the policy pinned at admission. *)
+let migrate_stream (t : t) st ~(from : slot) ~reason =
+  let job = st.s_job in
+  job.floor <- max job.floor (!(from.clock) -. start_of st from);
+  let target =
+    match job.key with
+    | Some key when Ring.members t.ring <> [] -> (
+        let s = t.slots.(Ring.lookup t.ring key) in
+        if room t s then Some s else least_loaded ~excluding:from.id t)
+    | _ -> least_loaded ~excluding:from.id t
+  in
+  match target with
+  | None ->
+      (* Nowhere to go: every surviving queue is full (or no card
+         survives). The refusal is typed, never a hang. *)
+      t.rejected <- t.rejected + 1;
+      Obs.inc t.obs "fleet.rejected" 1;
+      finish t st from.id job.floor (Error Proxy.Overloaded) "migration-refused"
+  | Some target ->
+      job.j_migrations <- job.j_migrations + 1;
+      t.migrations <- t.migrations + 1;
+      Obs.inc t.obs "fleet.migrations" 1;
+      let tr = Obs.tracer t.obs in
+      Obs.Tracer.with_parent tr job.span (fun () ->
+          Obs.Tracer.with_span tr
+            ~args:
+              [ ("from", string_of_int from.id);
+                ("to", string_of_int target.id);
+                ("reason", reason) ]
+            "fleet.migrate"
+            (fun () -> ()));
+      Queue.add st target.queue;
+      note_depth t target
+
+(* Evacuate a card: queued streams re-plan in FIFO order; in-flight pool
+   streams are aborted (their channel state dies with the card anyway)
+   and re-plan after them. Warm re-establishment happens on the target:
+   re-SELECT, rules re-upload — against the pinned policy — and the
+   card-side prepared cache make the replay cheap when the target is the
+   key's pre-warmed standby. *)
+let migrate_all t slot ~reason =
+  let queued = List.rev (Queue.fold (fun acc st -> st :: acc) [] slot.queue) in
+  Queue.clear slot.queue;
+  let actives = slot.active in
+  slot.active <- [];
+  List.iter (fun (_, ps) -> Proxy.Pool.abort slot.pool ps) actives;
+  List.iter
+    (fun st -> migrate_stream t st ~from:slot ~reason)
+    (queued @ List.map fst actives);
+  set_depth slot
+
+let mark_dead (t : t) slot =
+  set_state t slot Dead;
+  t.ring <- Ring.remove t.ring slot.id;
+  t.deaths <- t.deaths + 1;
+  Obs.inc t.obs "fleet.deaths" 1
+
+let add_card (t : t) raw =
+  let id = Array.length t.slots in
+  let slot =
+    make_slot ?obs:t.obs ?retry:t.retry ~store:t.store ~subject:t.subject
+      ~channels:t.channels ~link_bytes_per_s:t.link_bytes_per_s ~state:Joining
+      id raw
+  in
+  t.slots <- Array.append t.slots [| slot |];
+  t.ring <- Ring.add t.ring id;
+  t.added <- t.added + 1;
+  Obs.inc t.obs "fleet.cards_added" 1;
+  id
+
+let remove_card (t : t) i =
+  if i < 0 || i >= Array.length t.slots then
+    invalid_arg "Fleet.remove_card: no such card";
+  let slot = t.slots.(i) in
+  if live slot then begin
+    set_state t slot Draining;
+    t.ring <- Ring.remove t.ring i;
+    t.drains <- t.drains + 1;
+    Obs.inc t.obs "fleet.drains" 1;
+    migrate_all t slot ~reason:"drain"
+  end
+
+let revive_card (t : t) i =
+  if i < 0 || i >= Array.length t.slots then
+    invalid_arg "Fleet.revive_card: no such card";
+  let slot = t.slots.(i) in
+  if not (live slot) then begin
+    (* The card's non-volatile state (keys, watermarks, prepared cache)
+       survived; its volatile channel table did not. A fresh pool starts
+       from a clean epoch — the first requests re-establish sessions and
+       hit the surviving prepared cache warm. *)
+    slot.pool <-
+      Proxy.Pool.create ?obs:t.obs ~store:t.store ~transport:slot.transport
+        ~subject:t.subject ~channels:t.channels ?retry:t.retry ();
+    set_state t slot Joining;
+    t.ring <- Ring.add t.ring i;
+    t.revives <- t.revives + 1;
+    Obs.inc t.obs "fleet.revives" 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                           *)
+(* ------------------------------------------------------------------ *)
+
 (* Admission: route the request now (it "arrives" at the current
-   simulated time); a request no card has queue room for is refused
+   simulated time); a request no live card has queue room for is refused
    immediately with a typed error — the bounded per-card queues are the
    admission control. *)
 let start (t : t) req =
@@ -320,15 +589,31 @@ let start (t : t) req =
             Option.value ~default:t.subject req.Proxy.Request.subject ) ]
       "fleet.request"
   in
-  let job = { req; j_affinity = false; j_reroutes = 0; floor = 0.0; span } in
+  let key =
+    match t.routing with
+    | Affinity -> Some (affinity_key t req)
+    | Least_loaded | Random _ -> None
+  in
+  let job =
+    {
+      req;
+      key;
+      j_affinity = false;
+      j_reroutes = 0;
+      j_migrations = 0;
+      floor = 0.0;
+      span;
+    }
+  in
   let st =
     {
       s_job = job;
       starts = Array.map (fun s -> !(s.clock)) t.slots;
+      pinned = None;
       outcome = None;
     }
   in
-  (match route t req with
+  (match route t job with
   | None ->
       t.rejected <- t.rejected + 1;
       Obs.inc t.obs "fleet.rejected" 1;
@@ -339,50 +624,78 @@ let start (t : t) req =
       note_depth t slot);
   st
 
-(* One scheduler turn: round-robin over the cards; each card feeds its
+(* One scheduler turn: round-robin over the live cards; each feeds its
    pool up to [channels] concurrent streams from its FIFO queue and
    advances every active stream by one frame — the same frame
    interleaving N independent terminals would produce, except across N
-   cards at once. *)
+   cards at once. A request finishing in [Link_failure] triggers the
+   probe cycle: a card that fails every probe is declared dead once and
+   evacuated, instead of burning every later request's retry budget. *)
 let turn t =
   Array.iter
     (fun slot ->
-      while
-        List.length slot.active < t.channels
-        && not (Queue.is_empty slot.queue)
-      do
-        let st = Queue.take slot.queue in
-        let stream = Proxy.Pool.start slot.pool st.s_job.req in
-        slot.active <- slot.active @ [ (st, stream) ]
-      done;
-      set_depth slot;
-      List.iter
-        (fun (_, stream) -> Proxy.Pool.step slot.pool stream)
-        slot.active;
-      let still_active =
-        List.filter
-          (fun (st, stream) ->
-            match Proxy.Pool.result stream with
-            | None -> true
-            | Some result ->
-                let job = st.s_job in
-                let latency =
-                  max job.floor (!(slot.clock) -. st.starts.(slot.id))
-                in
-                (match result with
-                | Error (Proxy.Link_failure _ as e) ->
-                    job.floor <- latency;
-                    if not (reroute t st slot.id) then
-                      finish t st slot.id latency (Error e) "error"
-                | Ok served ->
-                    slot.served <- slot.served + 1;
-                    finish t st slot.id latency (Ok served) "ok"
-                | Error e -> finish t st slot.id latency (Error e) "error");
-                false)
-          slot.active
-      in
-      slot.active <- still_active;
-      set_depth slot)
+      if live slot then begin
+        while
+          List.length slot.active < t.channels
+          && not (Queue.is_empty slot.queue)
+        do
+          let st = Queue.take slot.queue in
+          let stream = Proxy.Pool.start slot.pool st.s_job.req in
+          (match st.pinned with
+          | None ->
+              (* First planning: pin the policy this request will carry
+                 through any migration. Streams that failed admission
+                 inside the pool (no rules, unknown doc) finish before
+                 ever uploading — nothing to pin. *)
+              if Proxy.Pool.result stream = None then
+                st.pinned <- Some (Proxy.Pool.session_state stream)
+          | Some (rules, grant) -> Proxy.Pool.pin stream ~rules ~grant);
+          slot.active <- slot.active @ [ (st, stream) ]
+        done;
+        set_depth slot;
+        List.iter
+          (fun (_, stream) -> Proxy.Pool.step slot.pool stream)
+          slot.active;
+        let died = ref false in
+        let still_active =
+          List.filter
+            (fun (st, stream) ->
+              match Proxy.Pool.result stream with
+              | None -> true
+              | Some result ->
+                  let job = st.s_job in
+                  let latency =
+                    max job.floor (!(slot.clock) -. start_of st slot)
+                  in
+                  (match result with
+                  | Error (Proxy.Link_failure _ as e) ->
+                      job.floor <- latency;
+                      let alive = (not !died) && probe_alive t slot in
+                      if not alive then begin
+                        (* Mark the death immediately so this victim's
+                           migration (and its ring lookup) already
+                           excludes the dead card; the remaining streams
+                           evacuate after the scan. *)
+                        if not !died then begin
+                          died := true;
+                          mark_dead t slot
+                        end;
+                        migrate_stream t st ~from:slot ~reason:"death"
+                      end
+                      else if not (reroute t st slot.id) then
+                        finish t st slot.id latency (Error e) "error"
+                  | Ok served ->
+                      slot.served <- slot.served + 1;
+                      if slot.state = Joining then set_state t slot Up;
+                      finish t st slot.id latency (Ok served) "ok"
+                  | Error e -> finish t st slot.id latency (Error e) "error");
+                  false)
+            slot.active
+        in
+        slot.active <- still_active;
+        if !died then migrate_all t slot ~reason:"death";
+        set_depth slot
+      end)
     t.slots
 
 (* The fleet is a shared scheduler: advancing one stream means running a
@@ -409,4 +722,12 @@ let stats (t : t) =
     rejected = t.rejected;
     served_by = Array.map (fun s -> s.served) t.slots;
     queue_peak = t.q_peak;
+    migrations = t.migrations;
+    deaths = t.deaths;
+    revives = t.revives;
+    drains = t.drains;
+    added = t.added;
+    probes = t.probes;
+    standby_hits = t.standby_hits;
+    states = Array.map (fun s -> s.state) t.slots;
   }

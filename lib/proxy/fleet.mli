@@ -1,5 +1,5 @@
 (** Fleet-scale sharded serving: one DSP front-end over N simulated
-    cards.
+    cards, surviving churn.
 
     One card multiplexes at most {!Sdds_soe.Apdu.max_channels} logical
     channels, which caps a single {!Proxy.Pool} at four concurrent
@@ -34,17 +34,57 @@
     does the fleet move the request to another card, up to
     [max_reroutes] times, counting every move.
 
-    {b Simulated time.} Each card advances its own clock by the wire
-    time of every frame it exchanges ([link_bytes_per_s]); a request's
-    [latency_s] is its serving card's clock at completion (never less
-    than the time already burned on cards it was re-routed away from),
-    so queueing delay surfaces as tail latency deterministically, with
-    no wall clock involved.
+    {b Card lifecycle.} Every card is in one {!lifecycle} state. A
+    request ending in [Link_failure] triggers a health probe cycle: an
+    unimplemented instruction on the basic channel, answered by any live
+    card with the [bad_ins] status word and by a dead link with the
+    transient transport word. A card failing [probe_budget] consecutive
+    probes is declared [Dead] {e once} — [probe_budget] tiny frames,
+    instead of every subsequent request burning its full retry budget —
+    leaves the ring, and is evacuated. {!remove_card} drains a card
+    gracefully ([Draining]); {!add_card} and {!revive_card} bring
+    capacity in as [Joining], promoted to [Up] on the first successful
+    serve.
 
-    [obs] wiring: [fleet.request] root spans (outcome, card and re-route
-    count as args), per-card [fleet.cardN.queue_depth] gauges, and the
-    routing-decision counters [fleet.requests], [fleet.affinity_hits],
-    [fleet.fallbacks], [fleet.reroutes], [fleet.rejected]. *)
+    {b Session migration.} Evacuating a card (death or drain) re-plans
+    its queued streams in FIFO order and aborts its in-flight pool
+    streams ({!Proxy.Pool.abort} — their channel state dies with the
+    card anyway), re-planning them after. The target is the ring's
+    successor for the request's affinity key — the ring no longer
+    contains the evacuated card, so a migrated hot key lands exactly on
+    its pre-warmed standby. Re-establishment on the target is the normal
+    warm path (re-SELECT, rules re-upload, prepared-cache hit), and the
+    re-uploaded policy is the one pinned at first admission
+    ({!Proxy.Pool.pin}): a store rollback mid-flight can never downgrade
+    a migrated session. Migration does not spend the request's re-route
+    allowance; a stream with nowhere to go (every surviving queue full,
+    or no survivor) is refused with the typed [Overloaded], never hung.
+
+    {b Hot-key standby.} With [standby_k] > 0, the [standby_k] hottest
+    affinity keys (by request count — the zipf head) are replicated: the
+    key's {e standby} is [Ring.lookup (Ring.remove ring primary) key],
+    i.e. precisely the card that will inherit the key if the primary
+    dies, and every 4th request for a hot key routes there to keep its
+    session cache warm. The primary's death then fails over warm — no
+    client-visible [Link_failure], no cold re-upload storm.
+
+    {b Simulated time.} Each card advances its own clock by the wire
+    time of every frame it exchanges ([link_bytes_per_s]) — health
+    probes included; a request's [latency_s] is its serving card's clock
+    at completion (never less than the time already burned on cards it
+    was re-routed or migrated away from), so queueing delay surfaces as
+    tail latency deterministically, with no wall clock involved.
+
+    [obs] wiring: [fleet.request] root spans (outcome, card, re-route
+    and migration counts as args) with [fleet.migrate] child spans
+    (from/to/reason) per migration; per-card [fleet.cardN.queue_depth]
+    and [fleet.cardN.state] gauges (0 = up, 1 = draining, 2 = dead,
+    3 = joining); and counters [fleet.requests], [fleet.affinity_hits],
+    [fleet.fallbacks], [fleet.reroutes], [fleet.rejected],
+    [fleet.migrations], [fleet.deaths], [fleet.revives], [fleet.drains],
+    [fleet.cards_added], [fleet.probes], [fleet.standby_hits]. The
+    registry is the source of truth: {!stats} mirrors the same counters,
+    and the reconciliation test holds them equal. *)
 
 (** The consistent-hash ring affinity routing uses, exposed for direct
     testing (resize stability) and reuse. Members are card indices. *)
@@ -78,6 +118,18 @@ type routing =
   | Least_loaded
   | Random of int64  (** uniform, seeded — the warm-cache baseline *)
 
+(** A card's position in the fleet. [Up] and [Joining] cards are
+    routable (in the ring); [Draining] and [Dead] cards are not and hold
+    no streams — evacuation is immediate, not lazy. *)
+type lifecycle =
+  | Up
+  | Draining  (** {!remove_card}: evacuated gracefully, never declared dead *)
+  | Dead  (** failed a full probe budget; revivable *)
+  | Joining  (** fresh or revived; [Up] after its first successful serve *)
+
+val lifecycle_to_string : lifecycle -> string
+(** ["up"], ["draining"], ["dead"], ["joining"]. *)
+
 val create :
   ?obs:Sdds_obs.Obs.t ->
   ?routing:routing ->
@@ -86,24 +138,28 @@ val create :
   ?channels:int ->
   ?retry:Sdds_soe.Remote_card.Retry.t ->
   ?link_bytes_per_s:float ->
+  ?probe_budget:int ->
+  ?standby_k:int ->
   store:Sdds_dsp.Store.t ->
   subject:string ->
   Sdds_soe.Remote_card.Client.transport array ->
   t
 (** [create ~store ~subject transports] fronts one card per transport
     (the caller owns the hosts and may interpose per-card fault links —
-    see {!Sdds_fault.Fault.Schedule.for_card}). Defaults: [Affinity]
-    routing, [queue_limit] 64 per card, [max_reroutes] 1, [channels]
+    see {!Sdds_fault.Fault.Schedule.for_card} — and power cutouts,
+    {!Sdds_fault.Fault.Cutout}). Defaults: [Affinity] routing,
+    [queue_limit] 64 per card, [max_reroutes] 1, [channels]
     {!Sdds_soe.Apdu.max_channels} per card, the default retry budget,
-    and {!Sdds_soe.Cost.fleet}'s link throughput. [subject] is the
-    default subject; per-request overrides ride in
-    {!Proxy.Request.t.subject}. *)
+    {!Sdds_soe.Cost.fleet}'s link throughput, [probe_budget] 3, and
+    [standby_k] 0 (hot-key replication off). [subject] is the default
+    subject; per-request overrides ride in {!Proxy.Request.t.subject}. *)
 
 type outcome = {
   result : (Proxy.Pool.served, Proxy.error) result;
   card : int;  (** card that completed (or last tried); -1 if rejected *)
   affinity : bool;  (** served by the ring's choice, no fallback/re-route *)
   reroutes : int;
+  migrations : int;  (** times this request was evacuated off a card *)
   latency_s : float;  (** simulated seconds, queueing included *)
 }
 
@@ -112,9 +168,35 @@ val serve : t -> Proxy.Request.t list -> outcome list
     order. Every request ends in the exact authorized view or one typed
     {!Proxy.error} — the fleet differential property in
     [test/test_fleet.ml] holds it to the single-card golden run under
-    arbitrary seeded per-card fault schedules. State (queues drained,
-    channels, memos, clocks) persists across calls, so a later batch
-    finds warm caches. *)
+    arbitrary seeded per-card fault schedules, and the chaos harness
+    ([sdds chaos]) extends the same check across kills, revives and
+    resizes. State (queues drained, channels, memos, clocks, lifecycle)
+    persists across calls, so a later batch finds warm caches. *)
+
+(** {2 Live resize and recovery}
+
+    All three are safe mid-run, between {!turn}s of the scheduler —
+    that is the point. *)
+
+val add_card : t -> Sdds_soe.Remote_card.Client.transport -> int
+(** Grow the fleet by one fresh card ([Joining], immediately routable);
+    returns its index. Card indices are stable: a card never changes or
+    reuses an index. *)
+
+val remove_card : t -> int -> unit
+(** Drain card [i]: it leaves the ring, its queued and in-flight streams
+    migrate to the survivors, and it accepts nothing more ([Draining]).
+    A no-op on a card already out of service. Raises [Invalid_argument]
+    on an out-of-range index. *)
+
+val revive_card : t -> int -> unit
+(** Return a [Dead] (or [Draining]) card to service as [Joining], with a
+    fresh pool (clean epoch — the card's volatile channel table died
+    with it; its non-volatile state, including the prepared cache and
+    anti-rollback watermarks, survived). A no-op on a live card. Raises
+    [Invalid_argument] on an out-of-range index. *)
+
+val state : t -> int -> lifecycle
 
 (** {2 Incremental serving}
 
@@ -133,14 +215,27 @@ val start : t -> Proxy.Request.t -> stream
 val step : t -> stream -> unit
 val result : stream -> outcome option
 
+val turn : t -> unit
+(** One scheduler turn, explicitly — what {!step} runs. Chaos harnesses
+    alternate [start]s and [turn]s to keep a steady stream in flight
+    while killing and resizing between turns. *)
+
 type stats = {
   requests : int;
   affinity_hits : int;
   fallbacks : int;  (** ring choice was full; went least-loaded *)
   reroutes : int;
-  rejected : int;  (** refused at admission ([Overloaded]) *)
+  rejected : int;  (** refused at admission or mid-migration ([Overloaded]) *)
   served_by : int array;  (** successful completions per card *)
   queue_peak : int;  (** deepest any card's queue ever got *)
+  migrations : int;  (** streams evacuated off a draining/dead card *)
+  deaths : int;  (** cards declared dead after a failed probe budget *)
+  revives : int;
+  drains : int;  (** graceful {!remove_card} evacuations *)
+  added : int;  (** cards added by {!add_card} *)
+  probes : int;  (** health-probe frames sent *)
+  standby_hits : int;  (** hot-key requests routed to the warm standby *)
+  states : lifecycle array;  (** current lifecycle, per card *)
 }
 
 val stats : t -> stats

@@ -429,9 +429,28 @@ module Pool = struct
           in
           let sw = (resp.Apdu.sw1, resp.Apdu.sw2) in
           if sw = Remote.Sw.ok && String.length resp.Apdu.payload = 1 then begin
-            t.opened <- t.opened + 1;
-            Obs.inc t.obs "pool.channels_opened" 1;
-            Got (Char.code resp.Apdu.payload.[0])
+            let ch = Char.code resp.Apdu.payload.[0] in
+            if ch < 1 || ch >= Apdu.max_channels then
+              (* No real card answers a channel number outside 1..3: the
+                 response payload was corrupted in flight. *)
+              Soft
+            else begin
+              (* The pool opens channels sequentially and never closes
+                 them, so a healthy open always returns exactly
+                 [t.opened]. A lower number means the card's channel
+                 table reset underneath us (a tear the pool has not yet
+                 observed through [channel_closed]) and the card is
+                 re-issuing a number some stream still believes it
+                 holds. Without the epoch bump here, two streams would
+                 interleave well-formed frames on one channel and one
+                 could be served the other's view. A higher number
+                 (a duplicated open consumed an extra slot) is merely
+                 leaked capacity — account past it. *)
+              if ch < t.opened then tear_evidence t;
+              t.opened <- max t.opened (ch + 1);
+              Obs.inc t.obs "pool.channels_opened" 1;
+              Got ch
+            end
           end
           else if
             sw = Remote.Sw.transport || sw = Remote.Sw.internal
@@ -687,6 +706,39 @@ module Pool = struct
      frame, [result] is [Some] once it finished. *)
   let start = init
   let result st = match st.phase with Finished r -> Some r | _ -> None
+
+  (* Migration hooks ({!Fleet}): a stream abandoned on a dying card is
+     re-planned on another card's pool, re-uploading the same policy
+     blob it was admitted with. *)
+
+  let session_state st = (st.rules, st.grant)
+
+  let pin st ~rules ~grant =
+    st.rules <- rules;
+    st.grant <- grant
+
+  let abort t st =
+    match st.phase with
+    | Finished _ -> ()
+    | phase ->
+        (* A half-done setup left the channel's card-side session in a
+           state no memo describes. *)
+        (match phase with
+        | Setup _ -> Hashtbl.remove t.memos st.channel
+        | _ -> ());
+        (if st.channel >= 0 then
+           if st.epoch = t.epoch then release t st
+           else begin
+             (* Stale channel: gone from the card, except the basic
+                channel, which always survives (same rule as [step]). *)
+             if st.channel = 0 then t.free <- t.free @ [ 0 ];
+             st.channel <- -1
+           end);
+        reset_partial st;
+        Obs.Tracer.stop (Obs.tracer t.obs)
+          ~args:[ ("outcome", "aborted") ]
+          st.span;
+        st.phase <- Finished (Error (Protocol "aborted"))
 end
 
 (* The executor contract {!Sdds_proxy.Client} dispatches over: admit a

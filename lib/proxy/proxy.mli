@@ -174,6 +174,29 @@ module Pool : sig
 
   val step : t -> stream -> unit
   val result : stream -> (served, error) result option
+
+  (** {2 Migration hooks}
+
+      Used by {!Sdds_proxy.Fleet} to re-plan a stream from a dying card
+      onto another card's pool. *)
+
+  val session_state : stream -> string * string option
+  (** The (rules blob, wrapped grant) the stream was admitted with —
+      captured so a migrated session re-uploads the {e same} policy. *)
+
+  val pin : stream -> rules:string -> grant:string option -> unit
+  (** Override the policy a (not-yet-started) stream will upload.
+      Migration carries the blob pinned at first admission, so a store
+      rollback happening mid-flight can never downgrade the re-planned
+      session below what the original card enforced (anti-rollback
+      watermark carry-over, terminal side). *)
+
+  val abort : t -> stream -> unit
+  (** Abandon an unfinished stream: its channel is released (or dropped
+      if a tear already invalidated it), any half-drained response is
+      discarded, the request span closes with outcome ["aborted"], and
+      [result] becomes a [Protocol] error. Idempotent; a no-op on
+      finished streams. *)
 end
 
 (** The executor contract the unified client ({!Sdds_proxy.Client})

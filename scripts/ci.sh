@@ -21,21 +21,22 @@ if grep -rnE 'Proxy\.query\b|receive_push' \
 fi
 echo "wrapper gate: clean"
 
-echo "== bench smoke (E15 E16 E17 E18 E19 E20 E21) =="
-dune exec bench/main.exe -- --smoke E15 E16 E17 E18 E19 E20 E21
+echo "== bench smoke (E15 E16 E17 E18 E19 E20 E21 E22) =="
+dune exec bench/main.exe -- --smoke E15 E16 E17 E18 E19 E20 E21 E22
 
 echo "== BENCH_engine.json schema check =="
-# The smoke run above rewrites BENCH_engine.json; the schema must be /8
+# The smoke run above rewrites BENCH_engine.json; the schema must be /9
 # and carry the E18 "obs" array (observability overhead points), the
 # E19 "fleet" array (cards x streams serving points), the E20 "dissem"
-# array (subscribers x overlap dissemination points) and the E21
-# "check" array (protocol model checker sweep points).
+# array (subscribers x overlap dissemination points), the E21 "check"
+# array (protocol model checker sweep points) and the E22 "chaos" array
+# (per-phase survivability points across a kill/revive cycle).
 if command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json, sys
 with open("BENCH_engine.json") as f:
     d = json.load(f)
-assert d["schema"] == "sdds-bench-engine/8", d["schema"]
+assert d["schema"] == "sdds-bench-engine/9", d["schema"]
 obs = d["obs"]
 assert len(obs) >= 1, "empty obs array"
 modes = {r["mode"] for r in obs if r["experiment"] == "E18"}
@@ -92,11 +93,29 @@ pre = [r for r in check if r["model"] == "pre-fix"]
 assert pre, "no pre-fix rows in the check sweep"
 for r in pre:
     assert r["violations"] == 1 and r["cex_frames"] >= 1, r
-print("BENCH_engine.json: schema /8, %d obs + %d fleet + %d dissem + %d "
-      "check points" % (len(obs), len(fleet), len(dissem), len(check)))
+chaos = d["chaos"]
+assert len(chaos) >= 1, "empty chaos array"
+for r in chaos:
+    assert r["experiment"] == "E22", r
+    for k in ("phase", "requests", "ok", "errors", "rejected",
+              "migrations", "deaths", "revives", "standby_hits",
+              "availability_pct", "p50_ms", "p95_ms", "p99_ms"):
+        assert k in r, k
+    assert r["errors"] == 0, r
+phases = {r["phase"] for r in chaos}
+assert phases == {"steady", "churn", "recovered"}, phases
+churn = [r for r in chaos if r["phase"] == "churn"]
+# The kill must be absorbed by migration (not surfaced as errors), and
+# the revived card must come back in the recovered phase.
+assert all(r["deaths"] == 1 and r["migrations"] >= 1 for r in churn), churn
+rec = [r for r in chaos if r["phase"] == "recovered"]
+assert all(r["revives"] == 1 for r in rec), rec
+print("BENCH_engine.json: schema /9, %d obs + %d fleet + %d dissem + %d "
+      "check + %d chaos points"
+      % (len(obs), len(fleet), len(dissem), len(check), len(chaos)))
 EOF
 else
-  grep -q '"schema": "sdds-bench-engine/8"' BENCH_engine.json
+  grep -q '"schema": "sdds-bench-engine/9"' BENCH_engine.json
   grep -q '"obs": \[' BENCH_engine.json
   grep -q '"mode": "full"' BENCH_engine.json
   grep -q '"fleet": \[' BENCH_engine.json
@@ -105,7 +124,9 @@ else
   grep -q '"experiment": "E20"' BENCH_engine.json
   grep -q '"check": \[' BENCH_engine.json
   grep -q '"experiment": "E21"' BENCH_engine.json
-  echo "BENCH_engine.json: schema /8 (python3 unavailable; grep check)"
+  grep -q '"chaos": \[' BENCH_engine.json
+  grep -q '"experiment": "E22"' BENCH_engine.json
+  echo "BENCH_engine.json: schema /9 (python3 unavailable; grep check)"
 fi
 
 echo "== fleet smoke: 2 cards x 16 streams, fixed seed =="
@@ -131,6 +152,66 @@ else
   printf '%s' "$fleet_out" | grep -qv '"affinity_hits":0,'
   echo "fleet smoke ok (python3 unavailable; grep check)"
 fi
+
+echo "== chaos soak smoke: fixed-seed kill/revive/resize campaign =="
+# The acceptance campaign from the fleet-survivability work: 500
+# requests over 3 cards with 5% frame faults, 2 kills, 1 revive and 1
+# resize (seed 42 generates exactly that mix). Must exit 0 with zero
+# divergences from the golden single-card views, zero convergence
+# failures, and at least one session migration (the kills land on busy
+# cards). A non-zero exit prints a minimized replayable campaign — that
+# is the bug report.
+chaos_out="$(dune exec bin/sdds_cli.exe -- chaos --seed 42 --cards 3 \
+  --requests 500 --rate 0.05 --kills 2 --revives 1 --resizes 1 --json)" || {
+  echo "error: chaos soak diverged (see minimized replay above)" >&2
+  exit 1
+}
+echo "$chaos_out"
+if command -v python3 >/dev/null 2>&1; then
+  CHAOS_JSON="$chaos_out" python3 - <<'EOF'
+import json, os
+r = json.loads(os.environ["CHAOS_JSON"])
+assert r["divergences"] == 0 and r["convergence_failures"] == 0, r
+assert r["errors"] == 0, r
+assert r["kills"] >= 2 and r["deaths"] >= 1, r
+assert r["migrations"] >= 1, r
+assert r["revives"] >= 1 and r["cards_added"] >= 1, r
+assert r["faults_injected"] > 0, r
+print("chaos soak: %d/%d ok (%d typed rejections), %d faults injected, "
+      "%d kills -> %d migrations, %d deaths, %d revives; 0 divergences"
+      % (r["ok"], r["requests"], r["rejected"], r["faults_injected"],
+         r["kills"], r["migrations"], r["deaths"], r["revives"]))
+EOF
+else
+  printf '%s' "$chaos_out" | grep -q '"divergences":0'
+  printf '%s' "$chaos_out" | grep -q '"convergence_failures":0'
+  printf '%s' "$chaos_out" | grep -q '"errors":0'
+  printf '%s' "$chaos_out" | grep -qv '"migrations":0,'
+  echo "chaos soak ok (python3 unavailable; grep check)"
+fi
+
+echo "== minimized flake replay: tear-induced stale-channel regression =="
+# The fleet-differential qcheck used to flake when a card tear raced
+# MANAGE CHANNEL: the pool reused a pre-tear channel number the card had
+# already forgotten. The minimized reproduction is a single-card fleet
+# with one mid-stream tear and no other faults; it must serve every
+# request to the golden view (the directed regression in
+# test/test_fleet.ml covers the unit level, this replays it end-to-end).
+replay_out="$(dune exec bin/sdds_cli.exe -- chaos --seed 11 --cards 1 \
+  --requests 40 --rate 0 --campaign '@13:tear:0' --json)" || {
+  echo "error: minimized tear replay diverged" >&2
+  exit 1
+}
+echo "$replay_out"
+printf '%s' "$replay_out" | grep -q '"divergences":0' || {
+  echo "error: tear replay reports divergences" >&2
+  exit 1
+}
+printf '%s' "$replay_out" | grep -q '"errors":0' || {
+  echo "error: tear replay surfaced typed errors" >&2
+  exit 1
+}
+echo "tear replay: clean"
 
 echo "== disseminate smoke: clustered fan-out shares evaluations =="
 # Three subscribers, two with byte-identical policies: the gateway must

@@ -521,35 +521,151 @@ let test_fault_spec_errors_positioned () =
   expect "seed=1,rate=0.1,color=red" 16 "unknown fault field";
   expect "rate=0.5" 0 "needs both"
 
-(* of_spec ∘ to_spec = id (up to per-frame decisions), over both spec
-   families: explicit event lists and seeded random schedules. *)
+(* [ramp=] turns the screw: the effective rate grows linearly with the
+   frame number, clamped to 1 — far enough in, every frame faults. *)
+let test_fault_spec_ramp () =
+  match Fault.Schedule.of_spec "seed=7,rate=0.0,ramp=10.0" with
+  | Error e -> fail_parse e
+  | Ok s ->
+      Alcotest.(check string) "ramp survives describe"
+        "seed=7,rate=0,ramp=10" (Fault.Schedule.to_spec s);
+      Alcotest.(check (option string)) "rate 0 at frame 0" None
+        (Option.map Fault.kind_to_string (Fault.Schedule.decide s 0));
+      (* rate + ramp*n/1000 >= 1 from n = 100 on: every frame faults. *)
+      Alcotest.(check bool) "clamped to certainty far in" true
+        (List.for_all
+           (fun n -> Fault.Schedule.decide s (100 + n) <> None)
+           (List.init 50 Fun.id))
+
+(* Time-phased composition: each segment decides its own window with
+   frames renumbered from 0, the tail decides the rest. *)
+let test_fault_spec_concat () =
+  let spec = "#20:none;#10:seed=1,rate=1;seed=2,rate=0.5" in
+  match Fault.Schedule.of_spec spec with
+  | Error e -> fail_parse e
+  | Ok s ->
+      Alcotest.(check string) "concat round-trips" spec
+        (Fault.Schedule.to_spec s);
+      Alcotest.(check bool) "clean segment is silent" true
+        (List.for_all
+           (fun n -> Fault.Schedule.decide s n = None)
+           (List.init 20 Fun.id));
+      Alcotest.(check bool) "hammer segment always faults" true
+        (List.for_all
+           (fun n -> Fault.Schedule.decide s (20 + n) <> None)
+           (List.init 10 Fun.id));
+      let tail =
+        match Fault.Schedule.of_spec "seed=2,rate=0.5" with
+        | Ok t -> t
+        | Error e -> fail_parse e
+      in
+      Alcotest.(check bool) "tail decides past the segments, renumbered"
+        true
+        (List.for_all
+           (fun n -> Fault.Schedule.decide s (30 + n) = Fault.Schedule.decide tail n)
+           (List.init 64 Fun.id));
+      List.iter
+        (fun bad ->
+          match Fault.Schedule.of_spec bad with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.failf "accepted bad concat spec %S" bad)
+        [ "#0:none;none"; "#x:none;none"; "#5:none"; "#5:@z:tear;none" ]
+
+(* Campaign specs replay: of_spec ∘ to_spec = id on the event list, and
+   the seeded random campaign is coherent (kills are distinct cards in
+   the middle of the stream, revives strictly follow their kill). *)
+let test_campaign_spec_round_trip () =
+  let spec = "@10:kill:1,@20:revive:1,@30:add,@40:remove:0,@50:tear:2" in
+  (match Fault.Campaign.of_spec spec with
+  | Error e -> fail_parse e
+  | Ok c ->
+      Alcotest.(check string) "round-trips" spec (Fault.Campaign.to_spec c));
+  (match Fault.Campaign.of_spec "none" with
+  | Error e -> fail_parse e
+  | Ok c -> Alcotest.(check string) "none" "none" (Fault.Campaign.to_spec c));
+  List.iter
+    (fun bad ->
+      match Fault.Campaign.of_spec bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bad campaign spec %S" bad)
+    [ "@10:kill"; "@10:explode:1"; "@x:kill:1"; "@10:add:3"; "kill:1" ];
+  let requests = 200 and cards = 3 in
+  let c =
+    Fault.Campaign.random ~seed:99L ~requests ~cards ~kills:2 ~revives:1
+      ~resizes:1 ()
+  in
+  (match Fault.Campaign.of_spec (Fault.Campaign.to_spec c) with
+  | Error e -> fail_parse e
+  | Ok c' ->
+      Alcotest.(check string) "random campaign round-trips"
+        (Fault.Campaign.to_spec c) (Fault.Campaign.to_spec c'));
+  let events = Fault.Campaign.events c in
+  let kills =
+    List.filter_map
+      (function
+        | { Fault.Campaign.at; action = Fault.Campaign.Kill i } -> Some (at, i)
+        | _ -> None)
+      events
+  in
+  Alcotest.(check int) "two kills" 2 (List.length kills);
+  Alcotest.(check bool) "kills hit distinct cards" true
+    (List.length (List.sort_uniq compare (List.map snd kills)) = 2);
+  Alcotest.(check bool) "kills land mid-stream" true
+    (List.for_all
+       (fun (at, _) -> at >= requests / 10 && at <= requests * 9 / 10)
+       kills);
+  List.iter
+    (function
+      | { Fault.Campaign.at; action = Fault.Campaign.Revive i } ->
+          Alcotest.(check bool) "revive strictly follows its kill" true
+            (List.exists (fun (k_at, k_i) -> k_i = i && k_at < at) kills)
+      | _ -> ())
+    events
+
+(* of_spec ∘ to_spec = id (up to per-frame decisions), over every spec
+   family: explicit event lists, seeded random schedules (ramped or
+   not), and time-phased concat compositions of those. *)
 let qcheck_spec_round_trip =
   let kind_gen =
     QCheck2.Gen.map
       (fun i -> Fault.all_kinds.(i mod Array.length Fault.all_kinds))
       QCheck2.Gen.(int_bound (Array.length Fault.all_kinds - 1))
   in
-  let schedule_gen =
+  let simple_gen =
     QCheck2.Gen.(
       bind bool (fun random ->
           if random then
-            map3
-              (fun seed rate_pct kept ->
-                let kinds =
-                  match kept with
-                  | [] -> None
-                  | ks -> Some (Array.of_list ks)
-                in
-                Fault.Schedule.random ~seed:(Int64.of_int seed)
-                  ~rate:(float_of_int rate_pct /. 100.) ?kinds ())
-              (int_bound 1_000_000) (int_bound 100)
-              (list_size (int_bound 4) kind_gen)
+            bind (int_bound 20) (fun ramp_tenths ->
+                map3
+                  (fun seed rate_pct kept ->
+                    let kinds =
+                      match kept with
+                      | [] -> None
+                      | ks -> Some (Array.of_list ks)
+                    in
+                    let ramp = float_of_int ramp_tenths /. 10. in
+                    Fault.Schedule.random ~seed:(Int64.of_int seed)
+                      ~rate:(float_of_int rate_pct /. 100.)
+                      ~ramp ?kinds ())
+                  (int_bound 1_000_000) (int_bound 100)
+                  (list_size (int_bound 4) kind_gen))
           else
             map
               (fun events ->
                 Fault.Schedule.of_events
                   (List.map (fun (f, k) -> { Fault.frame = f; kind = k }) events))
               (list_size (int_bound 6) (pair (int_bound 40) kind_gen))))
+  in
+  let schedule_gen =
+    QCheck2.Gen.(
+      bind (int_bound 3) (fun segments ->
+          if segments = 0 then simple_gen
+          else
+            map2
+              (fun segs tail -> Fault.Schedule.concat segs tail)
+              (list_repeat segments
+                 (pair (int_range 1 80) simple_gen))
+              simple_gen))
   in
   QCheck2.Test.make ~name:"of_spec (to_spec s) decides like s" ~count:200
     schedule_gen (fun s ->
@@ -563,7 +679,7 @@ let qcheck_spec_round_trip =
           Fault.Schedule.to_spec s' = Fault.Schedule.to_spec s
           && List.for_all
                (fun n -> Fault.Schedule.decide s n = Fault.Schedule.decide s' n)
-               (List.init 64 Fun.id))
+               (List.init 300 Fun.id))
 
 (* ------------------------------------------------------------------ *)
 (* Crash-safe store                                                     *)
@@ -668,6 +784,12 @@ let suite =
     Alcotest.test_case "fault-spec parsing" `Quick test_fault_spec_parsing;
     Alcotest.test_case "fault-spec errors carry a position" `Quick
       test_fault_spec_errors_positioned;
+    Alcotest.test_case "ramp turns the fault rate up over time" `Quick
+      test_fault_spec_ramp;
+    Alcotest.test_case "concat composes time-phased schedules" `Quick
+      test_fault_spec_concat;
+    Alcotest.test_case "campaign specs replay" `Quick
+      test_campaign_spec_round_trip;
     QCheck_alcotest.to_alcotest qcheck_spec_round_trip;
     Alcotest.test_case "torn write never corrupts the store" `Quick
       test_torn_write_never_corrupts_store;

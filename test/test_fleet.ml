@@ -454,8 +454,15 @@ let test_fleet_reroutes_off_a_dead_card () =
             s.Proxy.Pool.xml
       | Error e -> Alcotest.failf "re-route failed: %a" Proxy.pp_error e);
       Alcotest.(check int) "served by the healthy card" 1 o.Fleet.card;
-      Alcotest.(check int) "one re-route" 1 o.Fleet.reroutes;
-      Alcotest.(check int) "re-route counted" 1 (Fleet.stats fleet).Fleet.reroutes
+      (* The dead link fails the whole probe budget, so the card is
+         declared dead and the request migrates — cheaper than a
+         re-route, which would leave the corpse routable. *)
+      Alcotest.(check int) "migrated, not re-routed" 0 o.Fleet.reroutes;
+      Alcotest.(check int) "one migration" 1 o.Fleet.migrations;
+      let st = Fleet.stats fleet in
+      Alcotest.(check int) "death declared" 1 st.Fleet.deaths;
+      Alcotest.(check bool) "corpse left the routing set" true
+        (st.Fleet.states.(0) = Fleet.Dead)
   | _ -> Alcotest.fail "one request, one outcome"
 
 (* The fleet differential oracle: under arbitrary seeded per-card fault
@@ -506,6 +513,303 @@ let qcheck_fleet_differential =
               true)
         reqs (Fleet.serve fleet reqs))
 
+(* ------------------------------------------------------------------ *)
+(* Fleet survivability                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Chaos = Sdds_proxy.Chaos
+
+(* The stale-channel-reuse regression, minimized from the long-flaky
+   fleet differential: one card, 8 concurrent streams, a single tear
+   early in the exchange. The tear resets the card's channel table while
+   the pool's free list is empty; a Wait_channel stream's MANAGE CHANNEL
+   then re-opened a number a pre-tear stream still held, and the two
+   interleaved valid frames on one channel — one received the other's
+   authorized view. Fixed in [Pool.acquire]: a MANAGE CHANNEL answer
+   below the pool's open count is proof of an unobserved reset and now
+   counts as tear evidence. The scan covers the early frames so the tear
+   lands in every acquire/setup interleaving the 8 streams produce. *)
+let test_tear_stale_channel_regression () =
+  let w = Lazy.force fleet_world in
+  for frame = 0 to 12 do
+    let hosts = fresh_hosts w 1 in
+    let link =
+      Fault.Link.wrap
+        ~schedule:
+          (Fault.Schedule.of_events [ { Fault.frame; kind = Fault.Tear } ])
+        ~tear:(fun () -> Remote.Host.tear hosts.(0))
+        (Remote.Host.process hosts.(0))
+    in
+    let fleet =
+      Fleet.create ~queue_limit:64 ~store:w.store ~subject:"u"
+        [| Fault.Link.transport link |]
+    in
+    let reqs =
+      List.init 8 (fun i ->
+          let doc = fdoc (i mod ndocs) in
+          let xpath = if i mod 3 = 0 then Some "//patient/name" else None in
+          Proxy.Request.make ?xpath doc)
+    in
+    List.iter2
+      (fun (r : Proxy.Request.t) (o : Fleet.outcome) ->
+        match o.Fleet.result with
+        | Ok s ->
+            if
+              s.Proxy.Pool.xml
+              <> fleet_golden w r.Proxy.Request.doc_id r.Proxy.Request.xpath
+            then
+              Alcotest.failf
+                "stale-channel cross-served view (tear at frame %d, doc %s)"
+                frame r.Proxy.Request.doc_id
+        | Error e -> Alcotest.failf "tear at frame %d: %a" frame Proxy.pp_error e)
+      reqs (Fleet.serve fleet reqs)
+  done
+
+(* Draining a card with work in flight: every stream migrates and
+   completes exactly once with the exact view; the drained card accepts
+   nothing after the drain. *)
+let test_drain_with_inflight_migrates_exactly_once () =
+  let w = Lazy.force fleet_world in
+  let obs = Obs.create ~tracing:false () in
+  let hosts = fresh_hosts w 2 in
+  let evals = Array.make 2 0 in
+  let transports =
+    Array.mapi
+      (fun i host cmd ->
+        if cmd.Apdu.ins = Remote.Ins.evaluate then evals.(i) <- evals.(i) + 1;
+        Remote.Host.process host cmd)
+      hosts
+  in
+  let fleet = Fleet.create ~obs ~store:w.store ~subject:"u" transports in
+  let reqs = List.init 10 (fun i -> Proxy.Request.make (fdoc (i mod ndocs))) in
+  let streams = List.map (Fleet.start fleet) reqs in
+  Fleet.turn fleet;
+  let load0 =
+    fst (Obs.Metrics.gauge_value obs.Obs.metrics "fleet.card0.queue_depth")
+  in
+  Alcotest.(check bool) "card 0 holds work at drain time" true (load0 > 0);
+  Fleet.remove_card fleet 0;
+  let evals0_at_drain = evals.(0) in
+  Alcotest.(check bool) "drain migrated the held work" true
+    ((Fleet.stats fleet).Fleet.migrations >= 1);
+  while List.exists (fun st -> Fleet.result st = None) streams do
+    Fleet.turn fleet
+  done;
+  let ok = ref 0 in
+  List.iter2
+    (fun (r : Proxy.Request.t) st ->
+      match (Option.get (Fleet.result st)).Fleet.result with
+      | Ok s ->
+          incr ok;
+          Alcotest.(check (option string))
+            "migrated request serves the exact view"
+            (fleet_golden w r.Proxy.Request.doc_id None)
+            s.Proxy.Pool.xml
+      | Error e -> Alcotest.failf "drained request failed: %a" Proxy.pp_error e)
+    reqs streams;
+  let st = Fleet.stats fleet in
+  Alcotest.(check int) "every request completed" 10 !ok;
+  Alcotest.(check int) "one drain" 1 st.Fleet.drains;
+  Alcotest.(check int) "no deaths" 0 st.Fleet.deaths;
+  Alcotest.(check bool) "drained card evaluated nothing after the drain" true
+    (evals.(0) = evals0_at_drain);
+  Alcotest.(check bool) "draining state recorded" true
+    (st.Fleet.states.(0) = Fleet.Draining);
+  Alcotest.(check int) "survivor finished everything" 10 st.Fleet.served_by.(1);
+  (* Exactly-once, as evaluation accounting: each completion evaluated
+     once, plus at most one abandoned attempt per migrated stream. *)
+  let total_evals = evals.(0) + evals.(1) in
+  Alcotest.(check bool) "no duplicate evaluations beyond aborted attempts"
+    true
+    (total_evals >= !ok && total_evals <= !ok + st.Fleet.migrations)
+
+(* Live resize under load: a card added mid-run joins the ring, takes
+   affinity traffic and is promoted to [Up] by its first serve. *)
+let test_join_under_load () =
+  let w = Lazy.force fleet_world in
+  let hosts = fresh_hosts w 2 in
+  let fleet =
+    Fleet.create ~store:w.store ~subject:"u"
+      (Array.map (fun h -> Remote.Host.process h) hosts)
+  in
+  let reqs =
+    List.init 12 (fun i ->
+        Proxy.Request.make
+          ?xpath:(if i mod 3 = 0 then Some "//patient/name" else None)
+          (fdoc (i mod ndocs)))
+  in
+  List.iter
+    (fun (o : Fleet.outcome) ->
+      if not (Result.is_ok o.Fleet.result) then
+        Alcotest.fail "clean pre-resize batch must serve")
+    (Fleet.serve fleet reqs);
+  let joined =
+    let card = Card.create ~profile:Cost.modern ~subject:"u" w.user in
+    let host = Remote.Host.create ~card ~resolve:(fleet_resolve w) () in
+    Fleet.add_card fleet (Remote.Host.process host)
+  in
+  Alcotest.(check int) "indices are stable" 2 joined;
+  Alcotest.(check bool) "joins as Joining" true
+    (Fleet.state fleet joined = Fleet.Joining);
+  List.iter2
+    (fun (r : Proxy.Request.t) (o : Fleet.outcome) ->
+      match o.Fleet.result with
+      | Ok s ->
+          Alcotest.(check (option string))
+            "post-resize view is exact"
+            (fleet_golden w r.Proxy.Request.doc_id r.Proxy.Request.xpath)
+            s.Proxy.Pool.xml
+      | Error e -> Alcotest.failf "post-resize request failed: %a" Proxy.pp_error e)
+    reqs (Fleet.serve fleet reqs);
+  let st = Fleet.stats fleet in
+  Alcotest.(check int) "one card added" 1 st.Fleet.added;
+  Alcotest.(check bool) "the joiner took remapped affinity traffic" true
+    (st.Fleet.served_by.(joined) > 0);
+  Alcotest.(check bool) "promoted to Up by its first serve" true
+    (Fleet.state fleet joined = Fleet.Up)
+
+(* Hot-key standby: the zipf-head key's standby is pre-warmed by a slice
+   of its traffic, and the primary's death fails over with zero
+   client-visible errors — every request still serves the exact view. *)
+let test_hot_key_standby_failover () =
+  let w = Lazy.force fleet_world in
+  let hosts = fresh_hosts w 3 in
+  let cutouts = Array.init 3 (fun _ -> Fault.Cutout.create ()) in
+  let transports =
+    Array.mapi
+      (fun i h -> Fault.Cutout.wrap cutouts.(i) (Remote.Host.process h))
+      hosts
+  in
+  let fleet =
+    Fleet.create ~standby_k:1 ~max_reroutes:2 ~store:w.store ~subject:"u"
+      transports
+  in
+  let hot () = Proxy.Request.make (fdoc 0) in
+  let warm = Fleet.serve fleet (List.init 12 (fun _ -> hot ())) in
+  List.iter
+    (fun (o : Fleet.outcome) ->
+      if not (Result.is_ok o.Fleet.result) then
+        Alcotest.fail "warm-up must serve")
+    warm;
+  let st = Fleet.stats fleet in
+  Alcotest.(check bool) "standby pre-warmed" true (st.Fleet.standby_hits >= 1);
+  (* The primary is where the hot key's non-standby traffic went. *)
+  let primary = ref 0 in
+  Array.iteri
+    (fun i n -> if n > st.Fleet.served_by.(!primary) then primary := i)
+    st.Fleet.served_by;
+  Remote.Host.tear hosts.(!primary);
+  Fault.Cutout.kill cutouts.(!primary);
+  let after = Fleet.serve fleet (List.init 8 (fun _ -> hot ())) in
+  List.iter
+    (fun (o : Fleet.outcome) ->
+      match o.Fleet.result with
+      | Ok s ->
+          Alcotest.(check (option string))
+            "failover serves the exact view"
+            (fleet_golden w (fdoc 0) None)
+            s.Proxy.Pool.xml
+      | Error e ->
+          Alcotest.failf "hot key surfaced an error across the death: %a"
+            Proxy.pp_error e)
+    after;
+  let st = Fleet.stats fleet in
+  Alcotest.(check int) "death declared once, after one probe budget" 1
+    st.Fleet.deaths;
+  Alcotest.(check int) "typed probe budget spent" 3 st.Fleet.probes;
+  Alcotest.(check bool) "dead state recorded" true
+    (st.Fleet.states.(!primary) = Fleet.Dead);
+  (* Revival restores capacity: the card rejoins and serves again. *)
+  Fault.Cutout.revive cutouts.(!primary);
+  Fleet.revive_card fleet !primary;
+  Alcotest.(check bool) "revived as Joining" true
+    (Fleet.state fleet !primary = Fleet.Joining);
+  List.iter
+    (fun (o : Fleet.outcome) ->
+      if not (Result.is_ok o.Fleet.result) then
+        Alcotest.fail "post-revival batch must serve")
+    (Fleet.serve fleet
+       (List.init 12 (fun i -> Proxy.Request.make (fdoc (i mod ndocs)))));
+  Alcotest.(check int) "revival counted" 1 (Fleet.stats fleet).Fleet.revives
+
+(* The observability registry is the source of truth: the stats record
+   mirrors the registry's counters exactly, and the per-card state
+   gauges track the lifecycle. *)
+let test_fleet_registry_reconciliation () =
+  let w = Lazy.force fleet_world in
+  let obs = Obs.create ~tracing:false () in
+  let hosts = fresh_hosts w 2 in
+  let fleet =
+    Fleet.create ~obs ~store:w.store ~subject:"u"
+      (Array.map (fun h -> Remote.Host.process h) hosts)
+  in
+  let reqs = List.init 8 (fun i -> Proxy.Request.make (fdoc (i mod ndocs))) in
+  let streams = List.map (Fleet.start fleet) reqs in
+  Fleet.turn fleet;
+  Fleet.remove_card fleet 0;
+  while List.exists (fun st -> Fleet.result st = None) streams do
+    Fleet.turn fleet
+  done;
+  let st = Fleet.stats fleet in
+  let counter name = Obs.Metrics.counter_value obs.Obs.metrics name in
+  List.iter
+    (fun (name, value) ->
+      Alcotest.(check int) (name ^ " reconciles") value (counter name))
+    [ ("fleet.requests", st.Fleet.requests);
+      ("fleet.migrations", st.Fleet.migrations);
+      ("fleet.drains", st.Fleet.drains);
+      ("fleet.deaths", st.Fleet.deaths);
+      ("fleet.revives", st.Fleet.revives);
+      ("fleet.rejected", st.Fleet.rejected);
+      ("fleet.reroutes", st.Fleet.reroutes) ];
+  Alcotest.(check int) "card 0 state gauge shows draining" 1
+    (fst (Obs.Metrics.gauge_value obs.Obs.metrics "fleet.card0.state"));
+  Alcotest.(check int) "card 1 state gauge shows up" 0
+    (fst (Obs.Metrics.gauge_value obs.Obs.metrics "fleet.card1.state"))
+
+(* The chaos differential, property-tested: under a seeded random
+   campaign (kills, a revive, a resize) interleaved with seeded frame
+   faults, every request serves the exact golden view or a typed error,
+   and the fleet converges on a clean pass afterwards. *)
+let qcheck_chaos_campaign =
+  QCheck2.Test.make
+    ~name:"chaos campaign: golden-or-typed throughout, converges after"
+    ~count:8
+    QCheck2.Gen.(
+      pair (int_bound 1_000_000)
+        (map (fun r -> 0.06 *. r) (float_range 0.0 1.0)))
+    (fun (seed, rate) ->
+      let w = Lazy.force fleet_world in
+      let make_card () =
+        let card = Card.create ~profile:Cost.modern ~subject:"u" w.user in
+        let host = Remote.Host.create ~card ~resolve:(fleet_resolve w) () in
+        (Remote.Host.process host, fun () -> Remote.Host.tear host)
+      in
+      let golden (r : Proxy.Request.t) =
+        fleet_golden w r.Proxy.Request.doc_id r.Proxy.Request.xpath
+      in
+      let requests = 60 in
+      let rng = Rng.create (Int64.of_int (seed + 13)) in
+      let reqs =
+        List.init requests (fun _ ->
+            let doc = fdoc (Rng.int rng ndocs) in
+            let xpath =
+              match Rng.int rng 3 with 0 -> Some "//patient/name" | _ -> None
+            in
+            Proxy.Request.make ?xpath doc)
+      in
+      let campaign =
+        Fault.Campaign.random ~seed:(Int64.of_int seed) ~requests ~cards:3 ()
+      in
+      let schedule =
+        Fault.Schedule.random ~seed:(Int64.of_int (seed * 17)) ~rate ()
+      in
+      let report =
+        Chaos.run ~cards:3 ~store:w.store ~subject:"u" ~make_card ~golden
+          ~schedule ~campaign reqs
+      in
+      not (Chaos.diverged report))
+
 let suite =
   [
     Alcotest.test_case "single-frame duplicate final is re-acked" `Quick
@@ -525,7 +829,18 @@ let suite =
       test_fleet_serves_batch_exactly;
     Alcotest.test_case "admission control refuses overload" `Quick
       test_fleet_admission_control;
-    Alcotest.test_case "fleet re-routes off a dead card" `Quick
-      test_fleet_reroutes_off_a_dead_card;
+    Alcotest.test_case "fleet declares a dead card and migrates off it"
+      `Quick test_fleet_reroutes_off_a_dead_card;
     QCheck_alcotest.to_alcotest qcheck_fleet_differential;
+    Alcotest.test_case "tear cannot cross-serve a stale channel" `Quick
+      test_tear_stale_channel_regression;
+    Alcotest.test_case "drain with in-flight work migrates exactly once"
+      `Quick test_drain_with_inflight_migrates_exactly_once;
+    Alcotest.test_case "card joins under load and takes traffic" `Quick
+      test_join_under_load;
+    Alcotest.test_case "hot-key standby fails over warm" `Quick
+      test_hot_key_standby_failover;
+    Alcotest.test_case "stats reconcile with the metrics registry" `Quick
+      test_fleet_registry_reconciliation;
+    QCheck_alcotest.to_alcotest qcheck_chaos_campaign;
   ]
