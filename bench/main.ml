@@ -43,6 +43,8 @@ module Fault = Sdds_fault.Fault
 module Diag = Sdds_analysis.Diag
 module Memory_bound = Sdds_analysis.Memory_bound
 module Obs = Sdds_obs.Obs
+module Chaos = Sdds_proxy.Chaos
+module Json = Sdds_analysis.Json
 module Pmodel = Sdds_protocol.Model
 module Explore = Sdds_protocol.Explore
 
@@ -349,6 +351,39 @@ let record_check ~model ~alphabet ~kinds ~depth ~fault_budget ~states
       k_states_per_s = states_per_s }
     :: !check_records
 
+(* One record per sampling mode of the retention-quality sweep (E23):
+   the same incident drill traced in full (ground truth), head-sampled
+   and tail-sampled at the same 1-in-N baseline budget, scored on how
+   many of the {e interesting} trees (error outcome, fault instant or a
+   migration span) survive into the export. Dumped as a tenth array
+   ("sampling") in BENCH_engine.json. *)
+type sampling_record = {
+  sa_mode : string;  (* "full" | "head" | "tail" *)
+  sa_budget : int;  (* 1-in-N baseline; 1 = keep everything *)
+  sa_requests : int;
+  sa_traces_total : int;  (* root spans the run produced *)
+  sa_retained_trees : int;  (* root spans present in the export *)
+  sa_interesting_total : int;  (* ground truth, from the full run *)
+  sa_interesting_retained : int;
+  sa_retention_pct : float;
+  sa_storage_events : int;  (* events resident in the export *)
+  sa_exemplar_ok : bool;  (* every exemplar resolves to a retained span *)
+}
+
+let sampling_records : sampling_record list ref = ref []
+
+let record_sampling ~mode ~budget ~requests ~traces_total ~retained_trees
+    ~interesting_total ~interesting_retained ~retention_pct ~storage_events
+    ~exemplar_ok =
+  sampling_records :=
+    { sa_mode = mode; sa_budget = budget; sa_requests = requests;
+      sa_traces_total = traces_total; sa_retained_trees = retained_trees;
+      sa_interesting_total = interesting_total;
+      sa_interesting_retained = interesting_retained;
+      sa_retention_pct = retention_pct; sa_storage_events = storage_events;
+      sa_exemplar_ok = exemplar_ok }
+    :: !sampling_records
+
 let record_resilience ~case ~fault_rate ~requests ~ok ~typed_errors ~retries
     ~injected ~frames ~wire_bytes ~link_ms_per_ok =
   resilience_records :=
@@ -371,14 +406,16 @@ let write_bench_json () =
   let dissems = List.rev !dissem_records in
   let checks = List.rev !check_records in
   let chaoses = List.rev !chaos_records in
+  let samplings = List.rev !sampling_records in
   if
     records = [] && sessions = [] && analyses = [] && resiliences = []
     && obses = [] && fleets = [] && dissems = [] && checks = []
-    && chaoses = []
+    && chaoses = [] && samplings = []
   then ()
   else begin
     let oc = open_out "BENCH_engine.json" in
-    Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/9\",\n";
+    Printf.fprintf oc "{\n  \"schema\": \"sdds-bench-engine/10\",\n";
+    Printf.fprintf oc "  \"smoke\": %b,\n" !smoke;
     Printf.fprintf oc "  \"records\": [\n";
     List.iteri
       (fun i r ->
@@ -516,16 +553,297 @@ let write_bench_json () =
           (json_float r.c_p99_ms)
           (if i = List.length chaoses - 1 then "" else ","))
       chaoses;
+    Printf.fprintf oc "  ],\n  \"sampling\": [\n";
+    List.iteri
+      (fun i r ->
+        Printf.fprintf oc
+          "    {\"experiment\": \"E23\", \"mode\": %S, \"budget\": %d, \
+           \"requests\": %d, \"traces_total\": %d, \"retained_trees\": %d, \
+           \"interesting_total\": %d, \"interesting_retained\": %d, \
+           \"retention_pct\": %s, \"storage_events\": %d, \
+           \"exemplar_ok\": %b}%s\n"
+          r.sa_mode r.sa_budget r.sa_requests r.sa_traces_total
+          r.sa_retained_trees r.sa_interesting_total
+          r.sa_interesting_retained
+          (json_float r.sa_retention_pct)
+          r.sa_storage_events r.sa_exemplar_ok
+          (if i = List.length samplings - 1 then "" else ","))
+      samplings;
     Printf.fprintf oc "  ]\n}\n";
     close_out oc;
     Printf.printf
       "\nwrote BENCH_engine.json (%d records, %d sessions, %d analyses, %d \
        resilience points, %d obs points, %d fleet points, %d dissem \
-       points, %d check points, %d chaos points)\n"
+       points, %d check points, %d chaos points, %d sampling points)\n"
       (List.length records) (List.length sessions) (List.length analyses)
       (List.length resiliences) (List.length obses) (List.length fleets)
       (List.length dissems) (List.length checks) (List.length chaoses)
+      (List.length samplings)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Perf-regression gate: compare BENCH_engine.json to a baseline       *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock measurements move with machine load; simulated values are
+   deterministic. The gate distinguishes four classes so it can be
+   strict where the model guarantees stability and tolerant only where
+   the host machine is in the loop. *)
+type field_class =
+  | Exact  (* deterministic ints, strings, bools *)
+  | Simulated  (* simulated-time floats: 5% either way *)
+  | Wall_cost  (* wall-clock ns/ms: fail only on a large increase *)
+  | Wall_rate  (* wall-clock rate: fail only on a large decrease *)
+  | Unstable  (* wall-clock-derived ratio: too noisy to gate *)
+
+let classify_field = function
+  | "ns_per_event" | "analyze_ns" | "ms" -> Wall_cost
+  | "states_per_s" -> Wall_rate
+  | "overhead_pct" -> Unstable
+  | "total_ms" | "rsa_ms" | "compile_ms" | "link_ms_per_ok" | "p50_ms"
+  | "p95_ms" | "p99_ms" | "naive_p50_ms" | "naive_p95_ms" | "cache_hit_pct"
+  | "availability_pct" | "fanout" | "fault_rate" | "retention_pct" ->
+      Simulated
+  | _ -> Exact
+
+(* How far a wall-clock cost may grow (or a rate shrink) before the
+   gate trips: default 75%, overridable for noisy CI hosts. *)
+let wall_tolerance () =
+  match Sys.getenv_opt "SDDS_BENCH_WALL_TOL" with
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0.0 -> f
+      | _ -> 0.75)
+  | None -> 0.75
+
+(* Rows are matched across files by these per-array identity fields;
+   every other field is compared by its class. *)
+let identity_keys =
+  [
+    ("records", [ "experiment"; "case"; "dispatch" ]);
+    ("sessions", [ "experiment"; "case"; "phase" ]);
+    ("analysis", [ "case"; "depth" ]);
+    ("resilience", [ "case"; "fault_rate" ]);
+    ("obs", [ "case"; "mode" ]);
+    ("fleet", [ "cards"; "streams"; "routing"; "phase" ]);
+    ("dissem", [ "subscribers"; "distinct" ]);
+    ("check", [ "model"; "alphabet"; "depth"; "fault_budget" ]);
+    ("chaos", [ "phase" ]);
+    ("sampling", [ "mode"; "budget" ]);
+  ]
+
+let load_bench_json path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.parse data with
+  | Ok j -> j
+  | Error e ->
+      Printf.eprintf "bench: %s does not parse: %s\n" path e;
+      exit 2
+
+(* --inject-regression FIELD=FACTOR: multiply every numeric field named
+   FIELD in the current run before comparing — the self-test for the
+   gate (CI asserts the comparison then fails). *)
+let inject_regression spec j =
+  match String.index_opt spec '=' with
+  | None ->
+      Printf.eprintf "bench: bad --inject-regression %S (want FIELD=FACTOR)\n"
+        spec;
+      exit 2
+  | Some i ->
+      let field = String.sub spec 0 i in
+      let factor =
+        match
+          float_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
+        with
+        | Some f -> f
+        | None ->
+            Printf.eprintf "bench: bad --inject-regression factor in %S\n" spec;
+            exit 2
+      in
+      let rec go = function
+        | Json.Obj fields ->
+            Json.Obj
+              (List.map
+                 (fun (k, v) ->
+                   if k = field then
+                     match Json.to_float_opt v with
+                     | Some f -> (k, Json.Float (f *. factor))
+                     | None -> (k, go v)
+                   else (k, go v))
+                 fields)
+        | Json.List l -> Json.List (List.map go l)
+        | v -> v
+      in
+      go j
+
+let row_key keys row =
+  String.concat "|"
+    (List.map
+       (fun k ->
+         match Json.member k row with
+         | Some v -> Json.to_string v
+         | None -> "?")
+       keys)
+
+(* Compare the freshly written BENCH_engine.json against [baseline_path].
+   Prints a readable diff; returns the number of regressions. *)
+let compare_baseline ?inject baseline_path =
+  let current = load_bench_json "BENCH_engine.json" in
+  let current =
+    match inject with None -> current | Some spec -> inject_regression spec current
+  in
+  let base = load_bench_json baseline_path in
+  let schema j =
+    Option.bind (Json.member "schema" j) Json.to_string_opt
+  in
+  (match (schema base, schema current) with
+  | Some b, Some c when b = c -> ()
+  | b, c ->
+      Printf.eprintf
+        "bench: schema mismatch (baseline %s, current %s) — regenerate the \
+         baseline with --update-baseline\n"
+        (Option.value ~default:"?" b)
+        (Option.value ~default:"?" c);
+      exit 2);
+  (match
+     ( Option.bind (Json.member "smoke" base) (function
+         | Json.Bool b -> Some b
+         | _ -> None),
+       Option.bind (Json.member "smoke" current) (function
+         | Json.Bool b -> Some b
+         | _ -> None) )
+   with
+  | Some b, Some c when b <> c ->
+      Printf.eprintf
+        "bench: smoke mismatch (baseline %b, current %b) — a smoke run only \
+         compares against a smoke baseline\n"
+        b c;
+      exit 2
+  | _ -> ());
+  let tol = wall_tolerance () in
+  let regressions = ref 0 in
+  let checked = ref 0 in
+  let complain array key field ~base ~cur reason =
+    incr regressions;
+    Printf.printf "  REGRESSION %s[%s].%s: baseline %s -> current %s (%s)\n"
+      array key field base cur reason
+  in
+  let pct cur base =
+    if base = 0.0 then Float.nan else 100.0 *. ((cur /. base) -. 1.0)
+  in
+  List.iter
+    (fun (array, keys) ->
+      let rows j =
+        Option.bind (Json.member array j) Json.to_list_opt
+        |> Option.value ~default:[]
+      in
+      let brows = rows base and crows = rows current in
+      if crows <> [] || brows <> [] then begin
+        let index = Hashtbl.create 64 in
+        List.iter (fun r -> Hashtbl.replace index (row_key keys r) r) brows;
+        let matched = ref 0 in
+        List.iter
+          (fun crow ->
+            let key = row_key keys crow in
+            match Hashtbl.find_opt index key with
+            | None ->
+                Printf.printf "  note: %s[%s] is new (not in baseline)\n"
+                  array key
+            | Some brow ->
+                incr matched;
+                let fields =
+                  match crow with Json.Obj f -> f | _ -> []
+                in
+                List.iter
+                  (fun (field, cv) ->
+                    if not (List.mem field keys) then
+                      match Json.member field brow with
+                      | None ->
+                          Printf.printf
+                            "  note: %s[%s].%s is new (not in baseline)\n"
+                            array key field
+                      | Some bv -> (
+                          incr checked;
+                          let show v = Json.to_string v in
+                          match classify_field field with
+                          | Unstable -> ()
+                          | Exact ->
+                              if cv <> bv then
+                                complain array key field ~base:(show bv)
+                                  ~cur:(show cv) "deterministic field changed"
+                          | Simulated -> (
+                              match
+                                (Json.to_float_opt bv, Json.to_float_opt cv)
+                              with
+                              | Some b, Some c ->
+                                  if
+                                    Float.is_finite b && Float.is_finite c
+                                    && Float.abs (c -. b)
+                                       > 0.05 *. Float.max 1.0 (Float.abs b)
+                                  then
+                                    complain array key field ~base:(show bv)
+                                      ~cur:(show cv)
+                                      (Printf.sprintf
+                                         "simulated value moved %+.1f%%, \
+                                          tolerance 5%%"
+                                         (pct c b))
+                              | _ ->
+                                  if cv <> bv then
+                                    complain array key field ~base:(show bv)
+                                      ~cur:(show cv) "value changed")
+                          | Wall_cost -> (
+                              match
+                                (Json.to_float_opt bv, Json.to_float_opt cv)
+                              with
+                              | Some b, Some c ->
+                                  if
+                                    Float.is_finite b && Float.is_finite c
+                                    && b > 0.0
+                                    && c > b *. (1.0 +. tol)
+                                  then
+                                    complain array key field ~base:(show bv)
+                                      ~cur:(show cv)
+                                      (Printf.sprintf
+                                         "wall-clock cost up %+.1f%%, \
+                                          tolerance %+.0f%%"
+                                         (pct c b) (100.0 *. tol))
+                              | _ -> ())
+                          | Wall_rate -> (
+                              match
+                                (Json.to_float_opt bv, Json.to_float_opt cv)
+                              with
+                              | Some b, Some c ->
+                                  if
+                                    Float.is_finite b && Float.is_finite c
+                                    && b > 0.0
+                                    && c < b /. (1.0 +. tol)
+                                  then
+                                    complain array key field ~base:(show bv)
+                                      ~cur:(show cv)
+                                      (Printf.sprintf
+                                         "wall-clock rate down %.1f%%, \
+                                          tolerance %.0f%%"
+                                         (-.pct c b) (100.0 *. tol))
+                              | _ -> ())))
+                  fields)
+          crows;
+        let missing = List.length brows - !matched in
+        if missing > 0 then
+          Printf.printf
+            "  note: %d baseline row(s) of %S not produced by this run\n"
+            missing array
+      end)
+    identity_keys;
+  Printf.printf
+    "bench compare: %d field(s) checked against %s, %d regression(s), \
+     wall tolerance %.0f%%\n"
+    !checked baseline_path !regressions (100.0 *. tol);
+  !regressions
 
 (* Shared identities: RSA keygen is slow, reuse across experiments. *)
 let ids =
@@ -1681,7 +1999,7 @@ let e18_observability () =
         | None -> (0, 0, 0)
         | Some o ->
             ( Obs.Tracer.recorded o.Obs.tracer,
-              Obs.Tracer.dropped o.Obs.tracer,
+              Obs.Tracer.evicted o.Obs.tracer + Obs.Tracer.dropped_trees o.Obs.tracer,
               Obs.Metrics.counter_value o.Obs.metrics "skip.considered" )
       in
       record_obs ~case:"hospital" ~mode ~events ~ns_per_event:per_event
@@ -1709,7 +2027,9 @@ let e18_observability () =
     ~events:prune_res.Indexed_engine.events_fed ~ns_per_event:Float.nan
     ~overhead_pct:Float.nan
     ~trace_events:(Obs.Tracer.recorded prune_obs.Obs.tracer)
-    ~dropped:(Obs.Tracer.dropped prune_obs.Obs.tracer)
+    ~dropped:
+      (Obs.Tracer.evicted prune_obs.Obs.tracer
+      + Obs.Tracer.dropped_trees prune_obs.Obs.tracer)
     ~skip_considered:considered
     ~skipped_subtrees:prune_res.Indexed_engine.skipped_subtrees
     ~skipped_bytes:prune_res.Indexed_engine.skipped_bytes;
@@ -2342,6 +2662,216 @@ let e22_chaos () =
      availability with the revived card back in the ring as joining."
 
 (* ------------------------------------------------------------------ *)
+(* E23: sampling retention quality                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The same three-phase incident drill as [sdds slo], traced three ways
+   from identical seeds: in full (the ground truth for which trees are
+   interesting), head-sampled 1-in-8 (the decision taken blind at root
+   start) and tail-sampled at the same 1-in-8 baseline budget (the
+   decision deferred to root completion, when the policy can see the
+   error outcomes, fault instants and migration spans). The score is
+   what fraction of the interesting trees each mode's export retains. *)
+let e23_sampling () =
+  header "E23"
+    "sampling retention: head vs tail at an equal 1-in-8 baseline budget \
+     over the steady -> churn -> recovered incident drill";
+  let budget = 8 in
+  let per_phase = if !smoke then 24 else 48 in
+  let run_mode mode =
+    (* A fresh world per mode, from fixed seeds: the simulated run is
+       identical, only the sampler differs. *)
+    let drbg = Drbg.create ~seed:"bench-sampling" in
+    let publisher, user = Lazy.force ids in
+    let store = Store.create () in
+    List.iter
+      (fun i ->
+        let doc_id = Printf.sprintf "samp%d" i in
+        let doc =
+          Generator.hospital
+            (Rng.create (Int64.of_int (2300 + i)))
+            ~patients:(1 + (i mod 3))
+        in
+        let published, doc_key =
+          Publish.publish drbg ~publisher ~doc_id doc
+        in
+        Store.put_document store published;
+        let rules =
+          [ Rule.allow ~subject:"u" "//patient";
+            Rule.deny ~subject:"u"
+              (if i mod 2 = 0 then "//ssn" else "//diagnosis") ]
+        in
+        Store.put_rules store ~doc_id ~subject:"u"
+          (Publish.encrypt_rules_for drbg ~publisher ~doc_key ~doc_id
+             ~subject:"u" rules);
+        Store.put_grant store ~doc_id ~subject:"u"
+          (Publish.grant drbg ~doc_key ~doc_id ~recipient:user.Rsa.public))
+      (List.init 4 Fun.id);
+    let resolve id =
+      Option.map
+        (fun p -> Publish.to_source p ~delivery:`Pull)
+        (Store.get_document store id)
+    in
+    let make_card () =
+      let card = Card.create ~profile:Cost.fleet ~subject:"u" user in
+      let host = Remote_card.Host.create ~card ~resolve () in
+      (Remote_card.Host.process host, fun () -> Remote_card.Host.tear host)
+    in
+    let obs =
+      match mode with
+      | "full" ->
+          Obs.create ~clock:(Obs.Clock.manual ()) ~capacity:(1 lsl 18) ()
+      | "head" ->
+          Obs.create ~clock:(Obs.Clock.manual ()) ~sample_1_in:budget ()
+      | "tail" ->
+          Obs.create
+            ~clock:(Obs.Clock.manual ())
+            ~policy:(Obs.Policy.default ~baseline_1_in:budget ())
+            ()
+      | m -> invalid_arg m
+    in
+    let rng = Rng.create 2301L in
+    let requests _phase =
+      List.init per_phase (fun _ ->
+          let doc = Printf.sprintf "samp%d" (Rng.int rng 4) in
+          let xpath =
+            match Rng.int rng 3 with
+            | 0 -> Some "//patient/name"
+            | _ -> None
+          in
+          Proxy.Request.make ?xpath doc)
+    in
+    ignore
+      (Chaos.run_slo ~obs ~store ~subject:"u" ~make_card ~requests ());
+    obs
+  in
+  (* Export -> trees. Events arrive children-before-root, so two passes:
+     collect parents first, then resolve each event to its root. *)
+  let parse_trees jsonl =
+    let events =
+      String.split_on_char '\n' jsonl
+      |> List.filter_map (fun line ->
+             if line = "" then None
+             else
+               match Json.parse line with
+               | Ok j when Json.member "type" j <> Some (Json.String "meta")
+                 ->
+                   Some j
+               | Ok _ -> None
+               | Error e -> failwith ("bad trace line: " ^ e))
+    in
+    let parent = Hashtbl.create 256 in
+    List.iter
+      (fun j ->
+        match (Json.member "id" j, Json.member "parent" j) with
+        | Some (Json.Int id), Some (Json.Int p) -> Hashtbl.replace parent id p
+        | _ -> failwith "trace event without id/parent")
+      events;
+    let rec root_of id =
+      match Hashtbl.find_opt parent id with
+      | Some 0 | None -> id
+      | Some p -> root_of p
+    in
+    let trees = Hashtbl.create 64 in
+    List.iter
+      (fun j ->
+        match Json.member "id" j with
+        | Some (Json.Int id) ->
+            let r = root_of id in
+            Hashtbl.replace trees r (j :: Option.value ~default:[] (Hashtbl.find_opt trees r))
+        | _ -> ())
+      events;
+    (trees, List.length events)
+  in
+  (* Interesting = what the tail policy's non-baseline rules match: an
+     error outcome anywhere in the tree, a fault instant, or a
+     migration span. *)
+  let interesting tree_events =
+    List.exists
+      (fun j ->
+        (match Json.member "name" j with
+        | Some (Json.String "fleet.migrate") -> true
+        | Some (Json.String "fault") ->
+            Json.member "type" j = Some (Json.String "instant")
+        | _ -> false)
+        ||
+        match Json.member "args" j with
+        | Some args -> (
+            match Json.member "outcome" args with
+            | Some (Json.String "ok") | None -> false
+            | Some _ -> true)
+        | None -> false)
+      tree_events
+  in
+  let ground_interesting = ref 0 in
+  let ground_total = ref 0 in
+  Printf.printf "%-6s %8s %8s %12s %12s %10s %9s\n" "mode" "trees"
+    "retained" "interesting" "int-kept" "retain%" "exemplars";
+  List.iter
+    (fun mode ->
+      let obs = run_mode mode in
+      let tr = obs.Obs.tracer in
+      let trees, storage_events = parse_trees (Obs.Tracer.to_jsonl tr) in
+      let retained = Hashtbl.length trees in
+      let int_kept =
+        Hashtbl.fold
+          (fun _ evs acc -> if interesting evs then acc + 1 else acc)
+          trees 0
+      in
+      let traces_total =
+        if mode = "full" then retained
+        else Obs.Tracer.kept_trees tr + Obs.Tracer.dropped_trees tr
+      in
+      if mode = "full" then begin
+        ground_interesting := int_kept;
+        ground_total := retained
+      end;
+      let retention_pct =
+        100.0
+        *. float_of_int int_kept
+        /. float_of_int (max 1 !ground_interesting)
+      in
+      (* Every exemplar the registry holds must point at a span id that
+         is actually in the export. *)
+      let exemplar_ok =
+        List.for_all
+          (fun (_, v) ->
+            match v with
+            | Obs.Metrics.Histogram_v { exemplars; _ } ->
+                List.for_all
+                  (fun (_, (e : Obs.Metrics.Histogram.exemplar)) ->
+                    Hashtbl.fold
+                      (fun _ evs acc ->
+                        acc
+                        || List.exists
+                             (fun j ->
+                               Json.member "id" j
+                               = Some (Json.Int e.Obs.Metrics.Histogram.ex_span))
+                             evs)
+                      trees false)
+                  exemplars
+            | _ -> true)
+          (Obs.Metrics.snapshot obs.Obs.metrics)
+      in
+      let budget_of = if mode = "full" then 1 else budget in
+      Printf.printf "%-6s %8d %8d %12d %12d %9.1f%% %9s\n" mode traces_total
+        retained !ground_interesting int_kept retention_pct
+        (if exemplar_ok then "resolve" else "DANGLING");
+      record_sampling ~mode ~budget:budget_of ~requests:(3 * per_phase)
+        ~traces_total ~retained_trees:retained
+        ~interesting_total:!ground_interesting
+        ~interesting_retained:int_kept ~retention_pct ~storage_events
+        ~exemplar_ok)
+    [ "full"; "head"; "tail" ];
+  print_endline
+    "\nshape check: the tail sampler keeps every interesting tree (the\n\
+     policy sees the whole tree before deciding) at the same baseline\n\
+     budget where head sampling keeps roughly 1-in-8 of them; both\n\
+     exports' exemplars resolve, because an observation can only carry\n\
+     an exemplar when its span was recorded, and a bucket-max\n\
+     observation pins the owning trace."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -2369,26 +2899,70 @@ let experiments =
     ("E20", "dissem", e20_dissem);
     ("E21", "protocol-check", e21_protocol_check);
     ("E22", "chaos", e22_chaos);
+    ("E23", "sampling", e23_sampling);
   ]
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--smoke" then begin
-          smoke := true;
-          false
-        end
-        else true)
-      args
+  let baseline = ref None in
+  let update_baseline = ref false in
+  let inject = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse acc rest
+    | "--baseline" :: path :: rest ->
+        baseline := Some path;
+        parse acc rest
+    | "--update-baseline" :: rest ->
+        update_baseline := true;
+        parse acc rest
+    | "--inject-regression" :: spec :: rest ->
+        inject := Some spec;
+        parse acc rest
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] (Array.to_list Sys.argv |> List.tl) in
+  (* After the experiments write BENCH_engine.json: either promote it to
+     the committed baseline, or gate this run against one. *)
+  let finish () =
+    write_bench_json ();
+    if !update_baseline then begin
+      let path = Option.value ~default:"BENCH_baseline.json" !baseline in
+      let ic = open_in_bin "BENCH_engine.json" in
+      let data =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc data);
+      Printf.printf "promoted BENCH_engine.json to baseline %s\n" path
+    end
+    else
+      match !baseline with
+      | Some path ->
+          if compare_baseline ?inject:!inject path > 0 then exit 1
+      | None -> ()
   in
   match args with
   | [ "--list" ] ->
       List.iter (fun (id, name, _) -> Printf.printf "%-4s %s\n" id name) experiments
+  | [ "--compare-only" ] -> (
+      (* Gate an existing BENCH_engine.json without re-running anything —
+         the CI self-test re-compares the smoke run's output with an
+         injected regression and expects the gate to trip. *)
+      match !baseline with
+      | Some path ->
+          if compare_baseline ?inject:!inject path > 0 then exit 1
+      | None ->
+          prerr_endline "--compare-only requires --baseline FILE";
+          exit 2)
   | [] ->
       List.iter (fun (_, _, run) -> run ()) experiments;
-      write_bench_json ()
+      finish ()
   | wanted ->
       let matches (id, name, _) =
         List.exists
@@ -2403,5 +2977,5 @@ let () =
       end
       else begin
         List.iter (fun (_, _, run) -> run ()) selected;
-        write_bench_json ()
+        finish ()
       end

@@ -131,10 +131,27 @@ let obs_export obs ~trace_out ~metrics_out =
   | Some o ->
       let tr = o.Sdds_obs.Obs.tracer in
       if Sdds_obs.Obs.Tracer.enabled tr then
-        Format.eprintf "trace: %d events, %d root spans, %d dropped@."
+        Format.eprintf
+          "trace: %d events, %d root spans, %d trees dropped, %d evicted@."
           (Sdds_obs.Obs.Tracer.recorded tr)
           (Sdds_obs.Obs.Tracer.root_spans tr)
-          (Sdds_obs.Obs.Tracer.dropped tr);
+          (Sdds_obs.Obs.Tracer.dropped_trees tr)
+          (Sdds_obs.Obs.Tracer.evicted tr);
+      let exemplars =
+        List.fold_left
+          (fun acc (_, v) ->
+            match v with
+            | Sdds_obs.Obs.Metrics.Histogram_v { exemplars; _ } ->
+                acc + List.length exemplars
+            | _ -> acc)
+          0
+          (Sdds_obs.Obs.Metrics.snapshot o.Sdds_obs.Obs.metrics)
+      in
+      if exemplars > 0 then
+        Format.eprintf
+          "metrics: %d histogram bucket exemplars (trace/span ids resolve \
+           into the retained trace)@."
+          exemplars;
       (match trace_out with
       | None -> ()
       | Some path ->
@@ -1067,6 +1084,222 @@ let chaos_cmd =
       $ kills_arg $ revives_arg $ resizes_arg $ standby_arg $ campaign_arg
       $ fault_arg $ json_arg)
 
+(* slo: the three-phase incident drill — steady / churn / recovered —
+   with burn-rate verdicts over fleet availability and latency. *)
+
+let slo_cmd =
+  let cards_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "cards" ] ~docv:"N" ~doc:"Initial number of simulated cards")
+  in
+  let per_phase_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "per-phase" ] ~docv:"N" ~doc:"Requests admitted per phase")
+  in
+  let docs_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "docs" ] ~docv:"N"
+          ~doc:"Distinct documents in the request mix (of 6 published)")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Seed for keys, the request mix and the churn fault schedule")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.12
+      & info [ "rate" ] ~docv:"P"
+          ~doc:"Frame-fault probability per frame during the churn phase")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Requests admitted between SLO ticks")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt int 8191
+      & info [ "threshold-us" ] ~docv:"US"
+          ~doc:"Latency objective threshold in microseconds (snaps to a \
+                log2 bucket bound)")
+  in
+  let latency_target_arg =
+    Arg.(
+      value & opt float 95.0
+      & info [ "latency-target" ] ~docv:"PCT"
+          ~doc:"Latency objective target percentage")
+  in
+  let availability_target_arg =
+    Arg.(
+      value & opt float 99.0
+      & info [ "availability-target" ] ~docv:"PCT"
+          ~doc:"Availability objective target percentage")
+  in
+  let burn_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "burn" ] ~docv:"X"
+          ~doc:"Burn-rate threshold (both windows must exceed it to page)")
+  in
+  let fast_ms_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "fast-ms" ] ~docv:"MS"
+          ~doc:"Fast burn window, milliseconds of simulated link time")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:"Slow burn window, milliseconds of simulated link time")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"One JSON object per phase, one per line")
+  in
+  let run cards per_phase docs seed rate batch threshold_us latency_target
+      availability_target burn fast_ms slow_ms json trace_out metrics_out =
+    if cards < 1 || per_phase < batch || docs < 1 || docs > 6 then
+      or_die
+        (Error "--cards >= 1, --per-phase >= --batch, 1 <= --docs <= 6 \
+                required");
+    let drbg =
+      Sdds_crypto.Drbg.create ~seed:(Printf.sprintf "sdds-slo|%d" seed)
+    in
+    let publisher = Sdds_crypto.Rsa.generate drbg ~bits:512 in
+    let user = Sdds_crypto.Rsa.generate drbg ~bits:512 in
+    let store = Sdds_dsp.Store.create () in
+    List.iter
+      (fun i ->
+        let doc_id = Printf.sprintf "doc%d" i in
+        let doc =
+          Sdds_xml.Generator.hospital
+            (Sdds_util.Rng.create (Int64.of_int (101 + i)))
+            ~patients:(1 + (i mod 3))
+        in
+        let published, doc_key =
+          Sdds_dsp.Publish.publish drbg ~publisher ~doc_id doc
+        in
+        Sdds_dsp.Store.put_document store published;
+        let rules =
+          [ Sdds_core.Rule.allow ~subject:"u" "//patient";
+            Sdds_core.Rule.deny ~subject:"u"
+              (if i mod 2 = 0 then "//ssn" else "//diagnosis") ]
+        in
+        Sdds_dsp.Store.put_rules store ~doc_id ~subject:"u"
+          (Sdds_dsp.Publish.encrypt_rules_for drbg ~publisher ~doc_key
+             ~doc_id ~subject:"u" rules);
+        Sdds_dsp.Store.put_grant store ~doc_id ~subject:"u"
+          (Sdds_dsp.Publish.grant drbg ~doc_key ~doc_id
+             ~recipient:user.Sdds_crypto.Rsa.public))
+      (List.init 6 Fun.id);
+    let resolve id =
+      Option.map
+        (fun p -> Sdds_dsp.Publish.to_source p ~delivery:`Pull)
+        (Sdds_dsp.Store.get_document store id)
+    in
+    let make_card () =
+      let card =
+        Sdds_soe.Card.create ~profile:Sdds_soe.Cost.modern ~subject:"u" user
+      in
+      let host = Sdds_soe.Remote_card.Host.create ~card ~resolve () in
+      ( Sdds_soe.Remote_card.Host.process host,
+        fun () -> Sdds_soe.Remote_card.Host.tear host )
+    in
+    let obs =
+      Sdds_obs.Obs.create
+        ~clock:(Sdds_obs.Obs.Clock.manual ())
+        ~tracing:(Option.is_some trace_out)
+        ~policy:(Sdds_obs.Obs.Policy.default ())
+        ()
+    in
+    let rng = Sdds_util.Rng.create (Int64.of_int seed) in
+    let requests _phase =
+      List.init per_phase (fun _ ->
+          let doc = Printf.sprintf "doc%d" (Sdds_util.Rng.int rng docs) in
+          let xpath =
+            match Sdds_util.Rng.int rng 3 with
+            | 0 -> Some "//patient/name"
+            | _ -> None
+          in
+          Sdds_proxy.Proxy.Request.make ?xpath doc)
+    in
+    let phases =
+      Sdds_proxy.Chaos.run_slo ~cards ~batch
+        ~churn_fault_seed:(Int64.of_int (1000 + seed))
+        ~churn_fault_rate:rate ~availability_target ~latency_target
+        ~latency_threshold_us:threshold_us
+        ~fast_window_ns:(Int64.of_int (fast_ms * 1_000_000))
+        ~slow_window_ns:(Int64.of_int (slow_ms * 1_000_000))
+        ~burn_threshold:burn ~obs ~store ~subject:"u" ~make_card ~requests ()
+    in
+    if json then
+      List.iter
+        (fun p -> print_endline (Sdds_proxy.Chaos.slo_phase_json p))
+        phases
+    else begin
+      Printf.printf
+        "slo: %d requests/phase over %d cards (seed %d)\n\
+        \  objectives: availability >= %.1f%%, latency@%dus >= %.1f%%, \
+         burn > %.2f pages (%dms fast / %dms slow)\n"
+        per_phase cards seed availability_target threshold_us latency_target
+        burn fast_ms slow_ms;
+      List.iter
+        (fun (p : Sdds_proxy.Chaos.slo_phase) ->
+          Printf.printf
+            "  %-9s ok %d/%d  rejected %d  errors %d  breach ticks %d/%d%s\n"
+            p.Sdds_proxy.Chaos.sp_phase p.Sdds_proxy.Chaos.sp_ok
+            p.Sdds_proxy.Chaos.sp_requests p.Sdds_proxy.Chaos.sp_rejected
+            p.Sdds_proxy.Chaos.sp_errors p.Sdds_proxy.Chaos.sp_breach_ticks
+            p.Sdds_proxy.Chaos.sp_ticks
+            (if Sdds_proxy.Chaos.breached p then "  PAGE" else "");
+          List.iter
+            (fun (v : Sdds_obs.Obs.Slo.verdict) ->
+              Printf.printf
+                "    %-14s %6.2f%% of %.1f%%  burn fast %.2f / slow %.2f%s\n"
+                v.Sdds_obs.Obs.Slo.name v.Sdds_obs.Obs.Slo.current_pct
+                v.Sdds_obs.Obs.Slo.target_pct v.Sdds_obs.Obs.Slo.fast_burn
+                v.Sdds_obs.Obs.Slo.slow_burn
+                (if v.Sdds_obs.Obs.Slo.breach then "  BREACH" else ""))
+            p.Sdds_proxy.Chaos.sp_verdicts)
+        phases;
+      match phases with
+      | [ steady; churn; recovered ] ->
+          let clean p = not (Sdds_proxy.Chaos.breached p) in
+          if clean steady && Sdds_proxy.Chaos.breached churn && clean recovered
+          then
+            print_endline
+              "slo: page fired during churn, cleared after settlement — \
+               incident detected and recovered"
+          else
+            print_endline "slo: unexpected verdict shape for this workload"
+      | _ -> ()
+    end;
+    obs_export (Some obs) ~trace_out ~metrics_out
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Three-phase SLO drill: steady traffic, then the busiest card is \
+          killed while frame faults corrupt the links (churn), then every \
+          card is revived (recovered). A multi-window burn-rate engine \
+          ticks on simulated fleet time; the expected shape is a page \
+          during churn (fault-retried requests inflate into latency \
+          buckets steady traffic never touches) that clears once the fast \
+          window drains.")
+    Term.(
+      const run $ cards_arg $ per_phase_arg $ docs_arg $ seed_arg $ rate_arg
+      $ batch_arg $ threshold_arg $ latency_target_arg
+      $ availability_target_arg $ burn_arg $ fast_ms_arg $ slow_ms_arg
+      $ json_arg $ trace_out_arg $ metrics_out_arg)
+
 (* disseminate: publish once, deliver to every subject named in the
    rules through the gateway card's clustered fan-out. *)
 
@@ -1537,7 +1770,7 @@ let () =
       (Cmd.group info
          [ view_cmd; encode_cmd; stats_cmd; demo_cmd; keygen_cmd;
            publish_cmd; update_rules_cmd; query_cmd; trace_cmd; fleet_cmd;
-           chaos_cmd; disseminate_cmd; analyze_cmd; check_cmd ])
+           chaos_cmd; slo_cmd; disseminate_cmd; analyze_cmd; check_cmd ])
   with
   | code -> exit code
   | exception Invalid_argument msg ->

@@ -1,20 +1,44 @@
-(** Minimal JSON values and printing.
+(** Minimal JSON values, printing and parsing.
 
-    The analyzer's machine-readable output needs no parsing and no
-    external dependency; this is the same hand-rolled approach the
-    benchmark driver uses for its [BENCH_*.json] exports, packaged as a
-    value type so diagnostics can be composed before serialization. *)
+    The analyzer's machine-readable output and the benchmark driver's
+    [BENCH_*.json] exports share this value type with no external
+    dependency. {!parse} exists for the consumers of those files inside
+    the repo itself — the perf-regression gate reads a committed
+    baseline back, and tests round-trip CLI snapshots. *)
 
 type t =
   | Null
   | Bool of bool
   | Int of int
+  | Float of float
   | String of string
   | List of t list
   | Obj of (string * t) list
 
 val to_string : t -> string
-(** Compact single-line rendering. Strings are escaped per RFC 8259. *)
+(** Compact single-line rendering. Strings are escaped per RFC 8259;
+    floats render with the shortest round-trippable decimal and
+    non-finite values become [null]. *)
 
 val pp : Format.formatter -> t -> unit
 (** Indented rendering, two spaces per level. *)
+
+val parse : string -> (t, string) result
+(** Full-document RFC 8259 parser: string escapes including [\uXXXX]
+    surrogate pairs, numbers as {!Int} when the lexeme is integral and
+    fits, {!Float} otherwise. Rejects trailing garbage. The error
+    carries a byte offset. *)
+
+(** {2 Walking parsed documents} *)
+
+val member : string -> t -> t option
+(** [member k j] is field [k] of object [j], [None] on non-objects. *)
+
+val to_float_opt : t -> float option
+(** Numeric coercion: both {!Int} and {!Float} succeed. *)
+
+val to_int_opt : t -> int option
+
+val to_string_opt : t -> string option
+
+val to_list_opt : t -> t list option

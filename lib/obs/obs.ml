@@ -66,16 +66,19 @@ module Metrics = struct
   module Histogram = struct
     let max_buckets = 63
 
+    type exemplar = { ex_value : int; ex_trace : int; ex_span : int }
+
     type t = {
       counts : int array;
       mutable total : int;
       mutable sum : int;
       mutable registered : bool;
+      mutable ex : exemplar option array;  (* [||] until the first exemplar *)
     }
 
     let create () =
       { counts = Array.make max_buckets 0; total = 0; sum = 0;
-        registered = false }
+        registered = false; ex = [||] }
 
     (* Smallest [i] with [v < 2^i]: 0 -> 0, 1 -> 1, 255 -> 8, ... *)
     let bucket_of v =
@@ -91,6 +94,23 @@ module Metrics = struct
       h.total <- h.total + 1;
       h.sum <- h.sum + v
 
+    (* Observe [v] and make (trace, span) the bucket's exemplar when it is
+       the largest value the bucket has seen. Returns [true] exactly when
+       the exemplar was installed or replaced, so the caller can pin the
+       owning trace against tail-sampling. *)
+    let observe_exemplar h ~trace ~span v =
+      let v = max 0 v in
+      let i = bucket_of v in
+      h.counts.(i) <- h.counts.(i) + 1;
+      h.total <- h.total + 1;
+      h.sum <- h.sum + v;
+      if Array.length h.ex = 0 then h.ex <- Array.make max_buckets None;
+      match h.ex.(i) with
+      | Some e when e.ex_value >= v -> false
+      | _ ->
+          h.ex.(i) <- Some { ex_value = v; ex_trace = trace; ex_span = span };
+          true
+
     let count h = h.total
     let sum h = h.sum
 
@@ -101,6 +121,16 @@ module Metrics = struct
     let buckets h =
       let hi = last_nonempty h in
       List.init (hi + 1) (fun i -> ((1 lsl i) - 1, h.counts.(i)))
+
+    let exemplars h =
+      if Array.length h.ex = 0 then []
+      else
+        List.filter_map
+          (fun i ->
+            match h.ex.(i) with
+            | Some e -> Some ((1 lsl i) - 1, e)
+            | None -> None)
+          (List.init max_buckets Fun.id)
   end
 
   (* Per kind: registry-owned cells (get-or-create) and attached
@@ -168,7 +198,19 @@ module Metrics = struct
   type value =
     | Counter_v of int
     | Gauge_v of { value : int; peak : int }
-    | Histogram_v of { count : int; sum : int; buckets : (int * int) list }
+    | Histogram_v of {
+        count : int;
+        sum : int;
+        buckets : (int * int) list;
+        exemplars : (int * Histogram.exemplar) list;
+      }
+
+  type histogram_snapshot = {
+    h_count : int;
+    h_sum : int;
+    h_buckets : (int * int) list;
+    h_exemplars : (int * Histogram.exemplar) list;
+  }
 
   let cells tbl att name =
     Option.to_list (Hashtbl.find_opt tbl name)
@@ -183,19 +225,32 @@ module Metrics = struct
       (0, 0)
       (cells t.own_g t.att_g name)
 
-  let histogram_value t name =
+  let histogram_snapshot t name =
     let hs = cells t.own_h t.att_h name in
-    let count = List.fold_left (fun a h -> a + Histogram.count h) 0 hs in
-    let sum = List.fold_left (fun a h -> a + Histogram.sum h) 0 hs in
+    let h_count = List.fold_left (fun a h -> a + Histogram.count h) 0 hs in
+    let h_sum = List.fold_left (fun a h -> a + Histogram.sum h) 0 hs in
     let hi =
       List.fold_left (fun a h -> max a (Histogram.last_nonempty h)) (-1) hs
     in
-    let buckets =
+    let h_buckets =
       List.init (hi + 1) (fun i ->
           ( (1 lsl i) - 1,
             List.fold_left (fun a h -> a + h.Histogram.counts.(i)) 0 hs ))
     in
-    (count, sum, buckets)
+    (* Max-value exemplar per bucket across all cells bound to the name. *)
+    let h_exemplars =
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        (List.fold_left
+           (fun acc (ub, e) ->
+             match List.assoc_opt ub acc with
+             | Some e' when e'.Histogram.ex_value >= e.Histogram.ex_value ->
+                 acc
+             | _ -> (ub, e) :: List.remove_assoc ub acc)
+           []
+           (List.concat_map Histogram.exemplars hs))
+    in
+    { h_count; h_sum; h_buckets; h_exemplars }
 
   let names tbl att =
     Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
@@ -215,8 +270,11 @@ module Metrics = struct
           g
       @ List.map
           (fun n ->
-            let count, sum, buckets = histogram_value t n in
-            (n, Histogram_v { count; sum; buckets }))
+            let s = histogram_snapshot t n in
+            ( n,
+              Histogram_v
+                { count = s.h_count; sum = s.h_sum; buckets = s.h_buckets;
+                  exemplars = s.h_exemplars } ))
           h)
 
   let mangle name =
@@ -237,14 +295,25 @@ module Metrics = struct
             Buffer.add_string buf (Printf.sprintf "%s %d\n" m value);
             Buffer.add_string buf (Printf.sprintf "# TYPE %s_peak gauge\n" m);
             Buffer.add_string buf (Printf.sprintf "%s_peak %d\n" m peak)
-        | Histogram_v { count; sum; buckets } ->
+        | Histogram_v { count; sum; buckets; exemplars } ->
             Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" m);
             let cum = ref 0 in
             List.iter
               (fun (le, n) ->
                 cum := !cum + n;
+                let ex =
+                  (* OpenMetrics exemplar: jump from the bucket to the
+                     retained trace that produced its max observation. *)
+                  match List.assoc_opt le exemplars with
+                  | Some e ->
+                      Printf.sprintf
+                        " # {trace_id=\"%d\",span_id=\"%d\"} %d"
+                        e.Histogram.ex_trace e.Histogram.ex_span
+                        e.Histogram.ex_value
+                  | None -> ""
+                in
                 Buffer.add_string buf
-                  (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" m le !cum))
+                  (Printf.sprintf "%s_bucket{le=\"%d\"} %d%s\n" m le !cum ex))
               buckets;
             Buffer.add_string buf
               (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m count);
@@ -253,7 +322,7 @@ module Metrics = struct
       (snapshot t);
     Buffer.contents buf
 
-  let to_json t =
+  let to_json ?(extra = []) t =
     let snap = snapshot t in
     let pick f = List.filter_map f snap in
     let counters =
@@ -271,21 +340,95 @@ module Metrics = struct
     in
     let histograms =
       pick (function
-        | n, Histogram_v { count; sum; buckets } ->
+        | n, Histogram_v { count; sum; buckets; exemplars } ->
             let bs =
               String.concat ","
                 (List.map (fun (le, c) -> Printf.sprintf "[%d,%d]" le c) buckets)
             in
+            let exs =
+              if exemplars = [] then ""
+              else
+                Printf.sprintf ",\"exemplars\":[%s]"
+                  (String.concat ","
+                     (List.map
+                        (fun (le, e) ->
+                          Printf.sprintf "[%d,%d,%d,%d]" le
+                            e.Histogram.ex_value e.Histogram.ex_trace
+                            e.Histogram.ex_span)
+                        exemplars))
+            in
             Some
-              (Printf.sprintf "%s:{\"count\":%d,\"sum\":%d,\"buckets\":[%s]}"
-                 (json_string n) count sum bs)
+              (Printf.sprintf "%s:{\"count\":%d,\"sum\":%d,\"buckets\":[%s]%s}"
+                 (json_string n) count sum bs exs)
         | _ -> None)
     in
     Printf.sprintf
-      "{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}}"
+      "{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}%s}"
       (String.concat "," counters)
       (String.concat "," gauges)
       (String.concat "," histograms)
+      (String.concat ""
+         (List.map
+            (fun (k, raw) -> Printf.sprintf ",%s:%s" (json_string k) raw)
+            extra))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Tail-sampling retention policies.                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Policy = struct
+  type view = {
+    v_span : bool;
+    v_name : string;
+    v_dur_ns : int64;
+    v_args : (string * string) list;
+  }
+
+  type rule = {
+    rule_name : string;
+    rule_matches : root:view -> view list -> bool;
+  }
+
+  let rule ~name f = { rule_name = name; rule_matches = f }
+  let name r = r.rule_name
+  let matches r ~root evs = r.rule_matches ~root evs
+
+  let error_outcome =
+    rule ~name:"error" (fun ~root evs ->
+        let bad v =
+          match List.assoc_opt "outcome" v.v_args with
+          | Some s -> s <> "ok"
+          | None -> false
+        in
+        bad root || List.exists (fun v -> v.v_span && bad v) evs)
+
+  let latency_at_least ns =
+    rule ~name:"latency" (fun ~root _ -> Int64.compare root.v_dur_ns ns >= 0)
+
+  let fault_instant =
+    rule ~name:"fault" (fun ~root:_ evs ->
+        List.exists (fun v -> (not v.v_span) && v.v_name = "fault") evs)
+
+  let span_named n =
+    rule
+      ~name:("span:" ^ n)
+      (fun ~root evs ->
+        root.v_name = n || List.exists (fun v -> v.v_span && v.v_name = n) evs)
+
+  type t = { rules : rule list; baseline_1_in : int }
+
+  let v ?(baseline_1_in = 0) rules =
+    if baseline_1_in < 0 then invalid_arg "Policy.v: baseline_1_in < 0";
+    { rules; baseline_1_in }
+
+  let default ?(baseline_1_in = 8) ?latency_ns () =
+    v ~baseline_1_in
+      (error_outcome
+       :: (match latency_ns with
+          | Some ns -> [ latency_at_least ns ]
+          | None -> [])
+      @ [ fault_instant; span_named "fleet.migrate" ])
 end
 
 module Tracer = struct
@@ -310,24 +453,41 @@ module Tracer = struct
   type open_span = {
     o_name : string;
     o_parent : int;
+    o_root : int;  (* root ancestor; the span's own id for roots *)
     o_start : int64;
     o_args : (string * string) list;
   }
+
+  type mode = Head | Tail of Policy.t
 
   type t = {
     on : bool;
     clock : Clock.t;
     cap : int;
     sample : int;
+    mode : mode;
     ring : ev array;
     mutable head : int;  (* index of the oldest event *)
     mutable len : int;
-    mutable dropped : int;
+    mutable evicted : int;
     mutable next_id : int;
     mutable stack : int list;  (* implicit current-span path *)
     opens : (int, open_span) Hashtbl.t;
-    mutable roots_seen : int;  (* root candidates, for sampling *)
+    mutable roots_seen : int;  (* root candidates, for head sampling *)
+    (* Tail mode: finished descendants buffered per open root until the
+       root finishes and the policy decides. *)
+    pending : (int, ev list ref) Hashtbl.t;
+    pinned : (int, unit) Hashtbl.t;  (* roots forced kept by exemplars *)
+    mutable roots_done : int;  (* completed roots, for the tail baseline *)
+    mutable dropped_trees : int;
+    mutable kept_trees : int;
+    on_keep : string -> unit;
+    on_drop : unit -> unit;
+    on_evict : unit -> unit;
   }
+
+  let nop_keep (_ : string) = ()
+  let nop () = ()
 
   let disabled =
     {
@@ -335,32 +495,56 @@ module Tracer = struct
       clock = (fun () -> 0L);
       cap = 0;
       sample = 1;
+      mode = Head;
       ring = [||];
       head = 0;
       len = 0;
-      dropped = 0;
+      evicted = 0;
       next_id = 1;
       stack = [];
       opens = Hashtbl.create 1;
       roots_seen = 0;
+      pending = Hashtbl.create 1;
+      pinned = Hashtbl.create 1;
+      roots_done = 0;
+      dropped_trees = 0;
+      kept_trees = 0;
+      on_keep = nop_keep;
+      on_drop = nop;
+      on_evict = nop;
     }
 
-  let create ?(clock = Clock.system) ?(capacity = 65536) ?(sample_1_in = 1) () =
+  let create ?(clock = Clock.system) ?(capacity = 65536) ?sample_1_in ?policy
+      ?(on_keep = nop_keep) ?(on_drop = nop) ?(on_evict = nop) () =
+    (match (sample_1_in, policy) with
+    | Some _, Some _ ->
+        invalid_arg "Tracer.create: sample_1_in and policy are mutually exclusive"
+    | _ -> ());
+    let sample = Option.value ~default:1 sample_1_in in
     if capacity < 1 then invalid_arg "Tracer.create: capacity < 1";
-    if sample_1_in < 1 then invalid_arg "Tracer.create: sample_1_in < 1";
+    if sample < 1 then invalid_arg "Tracer.create: sample_1_in < 1";
     {
       on = true;
       clock;
       cap = capacity;
-      sample = sample_1_in;
+      sample;
+      mode = (match policy with Some p -> Tail p | None -> Head);
       ring = Array.make capacity dummy_ev;
       head = 0;
       len = 0;
-      dropped = 0;
+      evicted = 0;
       next_id = 1;
       stack = [];
       opens = Hashtbl.create 64;
       roots_seen = 0;
+      pending = Hashtbl.create 16;
+      pinned = Hashtbl.create 16;
+      roots_done = 0;
+      dropped_trees = 0;
+      kept_trees = 0;
+      on_keep;
+      on_drop;
+      on_evict;
     }
 
   let enabled t = t.on
@@ -374,19 +558,33 @@ module Tracer = struct
     else begin
       t.ring.(t.head) <- ev;
       t.head <- (t.head + 1) mod t.cap;
-      t.dropped <- t.dropped + 1
+      t.evicted <- t.evicted + 1;
+      t.on_evict ()
     end
 
   let current t = match t.stack with s :: _ -> s | [] -> none
 
-  (* Negative ids are sampled-out spans: they propagate through
+  (* Negative ids are head-sampled-out spans: they propagate through
      [parent]/[current] so a sampled-out root suppresses its whole
-     subtree, and every operation on them is a no-op. *)
+     subtree, and every operation on them is a no-op. Tail mode never
+     produces them — every span records and the decision happens when
+     the root stops. *)
   let fresh t ~parent name args =
     let id = t.next_id in
     t.next_id <- id + 1;
+    let root =
+      if parent = none then id
+      else
+        match Hashtbl.find_opt t.opens parent with
+        | Some o -> o.o_root
+        | None -> none
+    in
     Hashtbl.replace t.opens id
-      { o_name = name; o_parent = parent; o_start = t.clock (); o_args = args };
+      { o_name = name; o_parent = parent; o_root = root; o_start = t.clock ();
+        o_args = args };
+    (match t.mode with
+    | Tail _ when root = id -> Hashtbl.replace t.pending id (ref [])
+    | _ -> ());
     id
 
   let start t ?parent ?(args = []) name =
@@ -395,21 +593,79 @@ module Tracer = struct
       let parent = match parent with Some p -> p | None -> current t in
       if parent < 0 then -1
       else if parent = none then begin
-        let n = t.roots_seen in
-        t.roots_seen <- n + 1;
-        if t.sample > 1 && n mod t.sample <> 0 then -1
-        else fresh t ~parent:none name args
+        match t.mode with
+        | Tail _ -> fresh t ~parent:none name args
+        | Head ->
+            let n = t.roots_seen in
+            t.roots_seen <- n + 1;
+            if t.sample > 1 && n mod t.sample <> 0 then begin
+              t.dropped_trees <- t.dropped_trees + 1;
+              t.on_drop ();
+              -1
+            end
+            else begin
+              if t.sample > 1 then begin
+                t.kept_trees <- t.kept_trees + 1;
+                t.on_keep "head"
+              end;
+              fresh t ~parent:none name args
+            end
       end
       else fresh t ~parent name args
+
+  let view_of ev =
+    { Policy.v_span = ev.e_span; v_name = ev.e_name; v_dur_ns = ev.e_dur;
+      v_args = ev.e_args }
+
+  let finish_root t policy root_ev =
+    let root = root_ev.e_id in
+    let buf =
+      match Hashtbl.find_opt t.pending root with
+      | Some r -> List.rev !r
+      | None -> []
+    in
+    Hashtbl.remove t.pending root;
+    let was_pinned = Hashtbl.mem t.pinned root in
+    Hashtbl.remove t.pinned root;
+    let n = t.roots_done in
+    t.roots_done <- n + 1;
+    let reason =
+      if was_pinned then Some "exemplar"
+      else
+        let root_v = view_of root_ev in
+        let evs_v = List.map view_of buf in
+        match
+          List.find_opt
+            (fun r -> Policy.matches r ~root:root_v evs_v)
+            policy.Policy.rules
+        with
+        | Some r -> Some (Policy.name r)
+        | None ->
+            if
+              policy.Policy.baseline_1_in > 0
+              && n mod policy.Policy.baseline_1_in = 0
+            then Some "baseline"
+            else None
+    in
+    match reason with
+    | Some why ->
+        t.kept_trees <- t.kept_trees + 1;
+        List.iter (push t) buf;
+        push t
+          { root_ev with e_args = root_ev.e_args @ [ ("sampled.reason", why) ] };
+        t.on_keep why
+    | None ->
+        t.dropped_trees <- t.dropped_trees + 1;
+        t.on_drop ()
 
   let stop t ?(args = []) span =
     if t.on && span > 0 then
       match Hashtbl.find_opt t.opens span with
       | None -> ()
-      | Some o ->
+      | Some o -> (
           Hashtbl.remove t.opens span;
           let stop_ns = t.clock () in
-          push t
+          let ev =
             {
               e_span = true;
               e_id = span;
@@ -419,6 +675,18 @@ module Tracer = struct
               e_dur = Int64.sub stop_ns o.o_start;
               e_args = o.o_args @ args;
             }
+          in
+          match t.mode with
+          | Head -> push t ev
+          | Tail policy ->
+              if o.o_root = span then finish_root t policy ev
+              else (
+                match Hashtbl.find_opt t.pending o.o_root with
+                | Some r -> r := ev :: !r
+                | None ->
+                    (* Root already flushed (or unknown): commit directly
+                       rather than leak. *)
+                    push t ev))
 
   let with_parent t span f =
     if not t.on then f ()
@@ -448,7 +716,7 @@ module Tracer = struct
       if parent >= 0 then begin
         let id = t.next_id in
         t.next_id <- id + 1;
-        push t
+        let ev =
           {
             e_span = false;
             e_id = id;
@@ -458,18 +726,69 @@ module Tracer = struct
             e_dur = 0L;
             e_args = args;
           }
+        in
+        match t.mode with
+        | Head -> push t ev
+        | Tail _ -> (
+            let root =
+              if parent = none then none
+              else
+                match Hashtbl.find_opt t.opens parent with
+                | Some o -> o.o_root
+                | None -> none
+            in
+            match Hashtbl.find_opt t.pending root with
+            | Some r -> r := ev :: !r
+            | None -> push t ev)
       end
     end
 
+  let root_of t span =
+    if (not t.on) || span <= 0 then none
+    else
+      match Hashtbl.find_opt t.opens span with
+      | Some o -> o.o_root
+      | None -> none
+
+  let pin t span =
+    if t.on && span > 0 then
+      match t.mode with
+      | Head -> ()
+      | Tail _ -> (
+          match Hashtbl.find_opt t.opens span with
+          | Some o ->
+              if Hashtbl.mem t.pending o.o_root then
+                Hashtbl.replace t.pinned o.o_root ()
+          | None -> ())
+
   let events t = List.init t.len (fun i -> t.ring.((t.head + i) mod t.cap))
   let recorded t = t.len
-  let dropped t = t.dropped
+  let evicted t = t.evicted
+  let dropped_trees t = t.dropped_trees
+  let kept_trees t = t.kept_trees
+  let tail_mode t = match t.mode with Tail _ -> true | Head -> false
 
   let root_spans t =
     List.length (List.filter (fun e -> e.e_span && e.e_parent = none) (events t))
 
+  (* Retention accounting belongs in the export: a reader of a sampled
+     trace must be able to tell "nothing else happened" from "the rest
+     was dropped". Only emitted once there is something to account for
+     (tail mode, evictions, or head-sampled drops) so full traces stay
+     byte-compatible with pre-sampling exports. *)
+  let meta_wanted t =
+    tail_mode t || t.evicted > 0 || t.dropped_trees > 0
+
+  let meta_fields t =
+    Printf.sprintf
+      "\"recorded\":%d,\"evicted\":%d,\"kept_trees\":%d,\"dropped_trees\":%d"
+      t.len t.evicted t.kept_trees t.dropped_trees
+
   let to_jsonl t =
     let buf = Buffer.create 4096 in
+    if meta_wanted t then
+      Buffer.add_string buf
+        (Printf.sprintf "{\"type\":\"meta\",%s}\n" (meta_fields t));
     List.iter
       (fun e ->
         if e.e_span then
@@ -493,7 +812,11 @@ module Tracer = struct
 
   let to_chrome t =
     let buf = Buffer.create 4096 in
-    Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",";
+    if meta_wanted t then
+      Buffer.add_string buf
+        (Printf.sprintf "\"metadata\":{%s}," (meta_fields t));
+    Buffer.add_string buf "\"traceEvents\":[";
     let first = ref true in
     List.iter
       (fun e ->
@@ -519,15 +842,162 @@ module Tracer = struct
     Buffer.contents buf
 end
 
+(* ------------------------------------------------------------------ *)
+(* SLO engine: windowed objectives and multi-window burn rates over
+   registry cells, on the injected clock.                              *)
+(* ------------------------------------------------------------------ *)
+
+module Slo = struct
+  type objective =
+    | Availability of { good : string; total : string }
+    | Latency of { histogram : string; threshold : int }
+
+  type verdict = {
+    name : string;
+    target_pct : float;
+    burn_threshold : float;
+    good : int;
+    total : int;
+    current_pct : float;
+    fast_burn : float;
+    slow_burn : float;
+    breach : bool;
+  }
+
+  type tracked = {
+    t_name : string;
+    t_obj : objective;
+    t_target : float;
+    t_fast : int64;
+    t_slow : int64;
+    t_burn : float;
+    (* (at, good, total) cumulative samples, newest first; pruned to the
+       slow window plus one base sample strictly older. *)
+    mutable t_samples : (int64 * int * int) list;
+  }
+
+  type t = {
+    s_metrics : Metrics.t;
+    s_clock : Clock.t option;
+    mutable s_objs : tracked list;
+  }
+
+  let create ?clock metrics = { s_metrics = metrics; s_clock = clock; s_objs = [] }
+
+  let register t ~name ?(target_pct = 99.0) ?(fast_ns = 300_000_000_000L)
+      ?(slow_ns = 3_600_000_000_000L) ?(burn_threshold = 14.4) obj =
+    if target_pct <= 0.0 || target_pct >= 100.0 then
+      invalid_arg "Slo.register: target_pct outside (0, 100)";
+    if Int64.compare fast_ns slow_ns >= 0 then
+      invalid_arg "Slo.register: fast_ns must be < slow_ns";
+    if List.exists (fun o -> o.t_name = name) t.s_objs then
+      invalid_arg ("Slo.register: duplicate objective " ^ name);
+    t.s_objs <-
+      t.s_objs
+      @ [ { t_name = name; t_obj = obj; t_target = target_pct; t_fast = fast_ns;
+            t_slow = slow_ns; t_burn = burn_threshold; t_samples = [] } ]
+
+  let read t tr =
+    match tr.t_obj with
+    | Availability { good; total } ->
+        ( Metrics.counter_value t.s_metrics good,
+          Metrics.counter_value t.s_metrics total )
+    | Latency { histogram; threshold } ->
+        let s = Metrics.histogram_snapshot t.s_metrics histogram in
+        let good =
+          List.fold_left
+            (fun a (ub, n) -> if ub <= threshold then a + n else a)
+            0 s.Metrics.h_buckets
+        in
+        (good, s.Metrics.h_count)
+
+  let now_of t = function
+    | Some n -> n
+    | None -> (
+        match t.s_clock with
+        | Some c -> c ()
+        | None -> invalid_arg "Slo: no clock injected; pass ~now")
+
+  let tick ?now t =
+    let at = now_of t now in
+    List.iter
+      (fun tr ->
+        let good, total = read t tr in
+        let cutoff = Int64.sub at tr.t_slow in
+        let rec keep = function
+          | [] -> []
+          | ((ts, _, _) as s) :: rest ->
+              if Int64.compare ts cutoff >= 0 then s :: keep rest else [ s ]
+        in
+        tr.t_samples <- (at, good, total) :: keep tr.t_samples)
+      t.s_objs
+
+  (* Cumulative (good, total) at the newest sample not after [cutoff];
+     (0, 0) when the window opens before the first sample. *)
+  let base_at samples cutoff =
+    let rec go = function
+      | [] -> (0, 0)
+      | (ts, g, n) :: rest ->
+          if Int64.compare ts cutoff <= 0 then (g, n) else go rest
+    in
+    go samples
+
+  let evaluate ?now t =
+    let at = now_of t now in
+    List.map
+      (fun tr ->
+        let good, total = read t tr in
+        let over w =
+          let g0, n0 = base_at tr.t_samples (Int64.sub at w) in
+          let dg = good - g0 and dn = total - n0 in
+          if dn <= 0 then (0.0, 100.0)
+          else
+            let bad = float_of_int (dn - dg) /. float_of_int dn in
+            let budget = (100.0 -. tr.t_target) /. 100.0 in
+            (bad /. budget, 100.0 *. float_of_int dg /. float_of_int dn)
+        in
+        let fast_burn, _ = over tr.t_fast in
+        let slow_burn, current_pct = over tr.t_slow in
+        {
+          name = tr.t_name;
+          target_pct = tr.t_target;
+          burn_threshold = tr.t_burn;
+          good;
+          total;
+          current_pct;
+          fast_burn;
+          slow_burn;
+          breach = fast_burn >= tr.t_burn && slow_burn >= tr.t_burn;
+        })
+      t.s_objs
+
+  let verdict_json v =
+    Printf.sprintf
+      "{\"name\":%s,\"target_pct\":%.3f,\"current_pct\":%.3f,\"fast_burn\":%.3f,\"slow_burn\":%.3f,\"burn_threshold\":%.3f,\"good\":%d,\"total\":%d,\"breach\":%b}"
+      (json_string v.name) v.target_pct v.current_pct v.fast_burn v.slow_burn
+      v.burn_threshold v.good v.total v.breach
+
+  let to_json ?now t =
+    "[" ^ String.concat "," (List.map verdict_json (evaluate ?now t)) ^ "]"
+end
+
 type t = { tracer : Tracer.t; metrics : Metrics.t }
 
-let create ?clock ?(tracing = true) ?capacity ?sample_1_in () =
-  {
-    tracer =
-      (if tracing then Tracer.create ?clock ?capacity ?sample_1_in ()
-       else Tracer.disabled);
-    metrics = Metrics.create ();
-  }
+let create ?clock ?(tracing = true) ?capacity ?sample_1_in ?policy () =
+  let metrics = Metrics.create () in
+  let tracer =
+    if tracing then
+      Tracer.create ?clock ?capacity ?sample_1_in ?policy
+        ~on_keep:(fun _ ->
+          Metrics.Counter.inc (Metrics.counter metrics "trace.retained"))
+        ~on_drop:(fun () ->
+          Metrics.Counter.inc (Metrics.counter metrics "trace.dropped"))
+        ~on_evict:(fun () ->
+          Metrics.Counter.inc (Metrics.counter metrics "trace.evicted"))
+        ()
+    else Tracer.disabled
+  in
+  { tracer; metrics }
 
 let tracer = function None -> Tracer.disabled | Some o -> o.tracer
 
@@ -541,10 +1011,25 @@ let set_gauge o name v =
   | None -> ()
   | Some o -> Metrics.Gauge.set (Metrics.gauge o.metrics name) v
 
-let observe o name v =
+let observe ?span o name v =
   match o with
   | None -> ()
-  | Some o -> Metrics.Histogram.observe (Metrics.histogram o.metrics name) v
+  | Some o ->
+      let h = Metrics.histogram o.metrics name in
+      let sp =
+        match span with Some s -> s | None -> Tracer.current o.tracer
+      in
+      if sp > 0 then begin
+        let root = Tracer.root_of o.tracer sp in
+        if root > 0 then begin
+          (* A new bucket max pins the owning trace (tail mode), so
+             every exported exemplar resolves to a retained trace. *)
+          if Metrics.Histogram.observe_exemplar h ~trace:root ~span:sp v then
+            Tracer.pin o.tracer root
+        end
+        else Metrics.Histogram.observe h v
+      end
+      else Metrics.Histogram.observe h v
 
 let attach_counter o name c =
   match o with None -> () | Some o -> Metrics.attach_counter o.metrics name c

@@ -10,15 +10,24 @@
     - {!Tracer} records parent/child {e spans} (and point {e instants})
       into a bounded ring buffer, with an injected clock so traces are
       deterministic under test, and exports both JSONL and the Chrome
-      [trace_event] format (opens directly in [about:tracing] / Perfetto);
+      [trace_event] format (opens directly in [about:tracing] / Perfetto).
+      Sampling is either {e head} (1-in-N decided when the root opens) or
+      {e tail}: whole span trees are buffered until the root finishes and
+      a {!Policy} decides keep/drop — so the slow, faulted and migrated
+      requests that matter are retained even under a tight storage budget;
     - {!Metrics} is a registry of named counters, gauges and log-bucketed
       histograms with a Prometheus-style text exporter and a JSON
-      snapshot. Components keep their own increment {e cells} (a plain
-      mutable int — the hot path stays a single store) and {e attach} them
-      to the registry, which aggregates at snapshot time; the legacy stats
+      snapshot. Histogram buckets optionally carry {e exemplars} — the
+      (trace id, span id, value) of the max observation per bucket — so a
+      p99 bucket links straight to the retained trace that produced it.
+      Components keep their own increment {e cells} (a plain mutable int —
+      the hot path stays a single store) and {e attach} them to the
+      registry, which aggregates at snapshot time; the legacy stats
       records ([Engine.stats], [Card.cache_stats], [Pool.served]) are thin
       views over the same cells, so there is one accounting source of
-      truth.
+      truth;
+    - {!Slo} computes windowed availability / latency objectives and
+      multi-window burn rates over registry cells, on the injected clock.
 
     Everything takes an [Obs.t option]: [None] is the zero-overhead path —
     no registry, a disabled tracer, and observable behaviour byte-identical
@@ -69,9 +78,21 @@ module Metrics : sig
   module Histogram : sig
     type t
 
+    type exemplar = { ex_value : int; ex_trace : int; ex_span : int }
+    (** The max-value observation a bucket has seen, tagged with the
+        trace (root span id) and span that produced it. *)
+
     val create : unit -> t
     val observe : t -> int -> unit
     (** Negative values are clamped to 0. *)
+
+    val observe_exemplar : t -> trace:int -> span:int -> int -> bool
+    (** Like {!observe}, but also installs (trace, span, value) as the
+        bucket's exemplar when the value is the largest the bucket has
+        seen. Returns [true] exactly when the exemplar was installed, so
+        the caller can pin the owning trace against tail sampling.
+        Exemplar storage is allocated lazily — histograms that never see
+        one pay nothing. *)
 
     val count : t -> int
     val sum : t -> int
@@ -79,6 +100,9 @@ module Metrics : sig
     val buckets : t -> (int * int) list
     (** Non-cumulative [(upper_bound, count)] pairs up to the highest
         non-empty bucket; bucket [i] reports upper bound [2{^i} - 1]. *)
+
+    val exemplars : t -> (int * exemplar) list
+    (** [(upper_bound, exemplar)] for every bucket holding one. *)
   end
 
   type t
@@ -110,7 +134,21 @@ module Metrics : sig
   type value =
     | Counter_v of int
     | Gauge_v of { value : int; peak : int }
-    | Histogram_v of { count : int; sum : int; buckets : (int * int) list }
+    | Histogram_v of {
+        count : int;
+        sum : int;
+        buckets : (int * int) list;
+        exemplars : (int * Histogram.exemplar) list;
+      }
+
+  type histogram_snapshot = {
+    h_count : int;
+    h_sum : int;
+    h_buckets : (int * int) list;
+    h_exemplars : (int * Histogram.exemplar) list;
+  }
+  (** Aggregated view of one histogram name: counts and buckets sum over
+      every bound cell; exemplars keep the max-value entry per bucket. *)
 
   val snapshot : t -> (string * value) list
   (** Aggregated view of every registered name, sorted by name. *)
@@ -125,22 +163,82 @@ module Metrics : sig
       (e.g. the fleet's per-card state gauges) are visible here without
       the component exposing its own accessor. *)
 
+  val histogram_snapshot : t -> string -> histogram_snapshot
+  (** Typed single-name histogram reader, completing the
+      {!counter_value}/{!gauge_value} family (the SLO engine reads
+      latency objectives through it). Empty snapshot when absent. *)
+
   val to_prometheus : t -> string
   (** Prometheus text exposition: names are mangled ([.] → [_], prefixed
       [sdds_]), gauges additionally export a [_peak] series, histograms
       export cumulative [_bucket{le="..."}] series plus [_sum] and
-      [_count]. *)
+      [_count]. Buckets holding an exemplar append the OpenMetrics form
+      [# {trace_id="...",span_id="..."} value]. *)
 
-  val to_json : t -> string
+  val to_json : ?extra:(string * string) list -> t -> string
   (** One JSON object:
-      [{"counters":{...},"gauges":{...},"histograms":{...}}]. *)
+      [{"counters":{...},"gauges":{...},"histograms":{...}}]. Histograms
+      with exemplars carry ["exemplars": [[le, value, trace, span], ...]].
+      [extra] appends verbatim top-level [(key, raw_json)] members — the
+      CLI uses it to embed SLO verdicts in the snapshot. *)
+end
+
+(** Tail-sampling retention policies: which finished span trees are worth
+    keeping. Rules are checked in order; the first match names the
+    retention reason recorded on the root span ([sampled.reason]). *)
+module Policy : sig
+  type view = {
+    v_span : bool;  (** span, as opposed to instant *)
+    v_name : string;
+    v_dur_ns : int64;  (** 0 for instants *)
+    v_args : (string * string) list;
+  }
+  (** What a rule sees of a finished event — a read-only projection, so
+      policies cannot perturb the ring. *)
+
+  type rule
+
+  val rule : name:string -> (root:view -> view list -> bool) -> rule
+  (** Custom rule: receives the finished root and every buffered
+      descendant event of the tree. [name] becomes the retention
+      reason. *)
+
+  val name : rule -> string
+  val matches : rule -> root:view -> view list -> bool
+
+  val error_outcome : rule
+  (** Keeps trees whose root (or any span in the tree) finished with an
+      [outcome] arg other than ["ok"]. Reason ["error"]. *)
+
+  val latency_at_least : int64 -> rule
+  (** Keeps trees whose root duration is ≥ the threshold (ns on the
+      injected clock). Reason ["latency"]. *)
+
+  val fault_instant : rule
+  (** Keeps trees containing a fault-injection instant (the [Fault.Link]
+      correlation events). Reason ["fault"]. *)
+
+  val span_named : string -> rule
+  (** Keeps trees containing a span with this name (e.g.
+      ["fleet.migrate"] for churn forensics). Reason ["span:<name>"]. *)
+
+  type t
+
+  val v : ?baseline_1_in:int -> rule list -> t
+  (** A policy: ordered rules plus a deterministic 1-in-N baseline over
+      trees no rule matched (0, the default, keeps interesting trees
+      only). *)
+
+  val default : ?baseline_1_in:int -> ?latency_ns:int64 -> unit -> t
+  (** [error_outcome]; [latency_at_least latency_ns] when given;
+      [fault_instant]; [span_named "fleet.migrate"]; baseline 1-in-8. *)
 end
 
 (** Spans and instants in a bounded ring buffer. *)
 module Tracer : sig
   type span = int
   (** A span id. [0] ({!none}) means "no span"; negative ids are
-      sampled-out spans — both are accepted everywhere and recorded
+      head-sampled-out spans — both are accepted everywhere and recorded
       nowhere, so instrumentation never branches on the sampling
       decision. *)
 
@@ -153,13 +251,35 @@ module Tracer : sig
       [Obs.tracer None] returns it, making [None] the zero-overhead
       path. *)
 
-  val create : ?clock:Clock.t -> ?capacity:int -> ?sample_1_in:int -> unit -> t
+  val create :
+    ?clock:Clock.t ->
+    ?capacity:int ->
+    ?sample_1_in:int ->
+    ?policy:Policy.t ->
+    ?on_keep:(string -> unit) ->
+    ?on_drop:(unit -> unit) ->
+    ?on_evict:(unit -> unit) ->
+    unit ->
+    t
   (** [capacity] (default 65536) bounds the ring buffer: once full, the
-      oldest events are overwritten and counted in {!dropped}.
-      [sample_1_in] (default 1 = keep everything) keeps every n-th {e root}
-      span — a sampled-out root suppresses its whole subtree, so sampled
-      traces contain only complete request trees. The decision is a
-      deterministic counter, not a coin flip. *)
+      oldest events are overwritten and counted in {!evicted}.
+
+      [sample_1_in] (default 1 = keep everything) is {e head} sampling:
+      every n-th root span is kept, decided when the root opens — a
+      sampled-out root suppresses its whole subtree, so sampled traces
+      contain only complete request trees. The decision is a
+      deterministic counter, not a coin flip.
+
+      [policy] switches to {e tail} sampling (mutually exclusive with
+      [sample_1_in]): every tree records into a per-root buffer and the
+      policy decides keep/drop when the root finishes, so retention can
+      depend on outcome, latency, faults or tree shape. Retained roots
+      carry a [sampled.reason] arg naming the rule (or ["baseline"] /
+      ["exemplar"]).
+
+      [on_keep]/[on_drop]/[on_evict] fire on tree retention, tree drop
+      and ring overwrite respectively — [Obs.create] bridges them to the
+      [trace.retained] / [trace.dropped] / [trace.evicted] counters. *)
 
   val enabled : t -> bool
   val now : t -> int64
@@ -171,8 +291,10 @@ module Tracer : sig
       Returns a non-positive id when disabled or sampled out. *)
 
   val stop : t -> ?args:(string * string) list -> span -> unit
-  (** Close a span and commit it to the ring ([args] are appended to the
-      start args). No-op on {!none} / sampled-out ids. *)
+  (** Close a span and commit it ([args] are appended to the start args).
+      In tail mode, closing a root runs the policy over the buffered tree
+      and either commits it whole or drops it whole. No-op on {!none} /
+      sampled-out ids. *)
 
   val with_span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
   (** [start] + push on the implicit stack + run + pop + [stop],
@@ -191,11 +313,32 @@ module Tracer : sig
   (** A point event attached to the current span (fault injections,
       prune decisions). *)
 
+  val root_of : t -> span -> span
+  (** Root ancestor of an {e open} span (itself for roots); {!none} for
+      closed, sampled-out or unknown ids. Exemplars use it as the trace
+      id. *)
+
+  val pin : t -> span -> unit
+  (** Tail mode: force the (open) tree containing this span to be
+      retained regardless of policy, with reason ["exemplar"]. No-op in
+      head mode or after the root closed. *)
+
   val recorded : t -> int
   (** Events currently resident in the ring. *)
 
-  val dropped : t -> int
-  (** Events overwritten after the ring filled. *)
+  val evicted : t -> int
+  (** Events overwritten after the ring filled (surfaced as
+      [trace.evicted] and in both exporters' metadata). *)
+
+  val dropped_trees : t -> int
+  (** Whole trees discarded by sampling — head-sampled-out roots and
+      tail-policy drops. *)
+
+  val kept_trees : t -> int
+  (** Trees retained by an explicit sampling decision (tail policy, or
+      head sampling with [sample_1_in > 1]). *)
+
+  val tail_mode : t -> bool
 
   val root_spans : t -> int
   (** Completed spans with no parent currently in the ring. *)
@@ -204,14 +347,85 @@ module Tracer : sig
   (** One JSON object per line, oldest first; spans commit on [stop], so
       children precede their parent. Span lines carry
       [type/id/parent/name/ts_ns/dur_ns/args], instants the same minus
-      [dur_ns]. *)
+      [dur_ns]. When anything was sampled or evicted, the first line is
+      [{"type":"meta",...}] with
+      [recorded]/[evicted]/[kept_trees]/[dropped_trees]. *)
 
   val to_chrome : t -> string
   (** Chrome [trace_event] JSON ([{"traceEvents":[...]}]): spans as
       complete ([ph:"X"]) events with microsecond [ts]/[dur], instants as
-      [ph:"i"]. Load the file in [about:tracing] or
+      [ph:"i"]. Sampling/eviction accounting appears as a top-level
+      ["metadata"] object. Load the file in [about:tracing] or
       {{:https://ui.perfetto.dev}Perfetto}. *)
 end
+
+(** Windowed service-level objectives with multi-window burn-rate alerts,
+    computed over registry cells on the injected clock (simulated
+    nanoseconds — windows scale to simulated time, so tests and the chaos
+    harness get 5m/1h-style pairs in milliseconds). *)
+module Slo : sig
+  type objective =
+    | Availability of { good : string; total : string }
+        (** Two counter names: fraction good/total must meet the target
+            (e.g. [fleet.ok] / [fleet.requests]). *)
+    | Latency of { histogram : string; threshold : int }
+        (** A histogram name: observations in buckets with upper bound ≤
+            [threshold] are good. The threshold effectively snaps to a
+            log₂ bucket boundary (2{^i} - 1). *)
+
+  type verdict = {
+    name : string;
+    target_pct : float;
+    burn_threshold : float;
+    good : int;  (** cumulative good events *)
+    total : int;  (** cumulative total events *)
+    current_pct : float;  (** compliance over the slow window *)
+    fast_burn : float;  (** error-budget burn rate over the fast window *)
+    slow_burn : float;
+    breach : bool;  (** both burns ≥ [burn_threshold] *)
+  }
+
+  type t
+
+  val create : ?clock:Clock.t -> Metrics.t -> t
+  (** An engine reading objectives from this registry. Without a clock,
+      every {!tick}/{!evaluate} must pass [~now]. *)
+
+  val register :
+    t ->
+    name:string ->
+    ?target_pct:float ->
+    ?fast_ns:int64 ->
+    ?slow_ns:int64 ->
+    ?burn_threshold:float ->
+    objective ->
+    unit
+  (** Track an objective. Defaults: target 99%, fast window 5 min, slow
+      window 1 h (in clock nanoseconds — pass scaled-down windows under a
+      simulated clock), burn threshold 14.4 (the classic page-worthy
+      multi-window pair). Burn rate is bad-fraction / error-budget over a
+      window; a breach requires {e both} windows to burn ≥ the threshold,
+      so a long-settled incident stops alerting as soon as the fast
+      window recovers. *)
+
+  val tick : ?now:int64 -> t -> unit
+  (** Record a cumulative sample per objective at [now]. Call at
+      request/batch granularity; samples are pruned to the slow window. *)
+
+  val evaluate : ?now:int64 -> t -> verdict list
+  (** Verdicts at [now], in registration order, against live registry
+      values. Windows reaching before the first sample treat the start of
+      history as zero. *)
+
+  val verdict_json : verdict -> string
+
+  val to_json : ?now:int64 -> t -> string
+  (** JSON array of verdicts (embed via [Metrics.to_json ~extra]). *)
+end
+
+val json_string : string -> string
+(** Escape + quote one JSON string — shared by the hand-rolled JSON
+    writers sitting above this library. *)
 
 type t = { tracer : Tracer.t; metrics : Metrics.t }
 (** One observability scope — typically one per CLI invocation or test,
@@ -223,10 +437,14 @@ val create :
   ?tracing:bool ->
   ?capacity:int ->
   ?sample_1_in:int ->
+  ?policy:Policy.t ->
   unit ->
   t
 (** Fresh scope. [tracing:false] pairs a {e disabled} tracer with a live
-    registry — metrics without trace overhead. *)
+    registry — metrics without trace overhead. [sample_1_in] enables head
+    sampling, [policy] tail sampling (mutually exclusive); either way the
+    sampling outcome is accounted in the [trace.retained] /
+    [trace.dropped] / [trace.evicted] counters. *)
 
 (** {2 [Obs.t option] conveniences}
 
@@ -236,7 +454,14 @@ val create :
 val tracer : t option -> Tracer.t
 val inc : t option -> string -> int -> unit
 val set_gauge : t option -> string -> int -> unit
-val observe : t option -> string -> int -> unit
+
+val observe : ?span:Tracer.span -> t option -> string -> int -> unit
+(** Observe into the registry-owned histogram. When the observation
+    happens under an open span ([span] overrides {!Tracer.current}), it
+    is recorded with an exemplar pointing at the span's root trace, and a
+    new bucket max {!Tracer.pin}s that trace so the exemplar always
+    resolves to a retained trace. *)
+
 val attach_counter : t option -> string -> Metrics.Counter.t -> unit
 val attach_gauge : t option -> string -> Metrics.Gauge.t -> unit
 val attach_histogram : t option -> string -> Metrics.Histogram.t -> unit

@@ -212,6 +212,208 @@ let run ?obs ?(cards = 3) ?(queue_limit = 64) ?(max_reroutes = 2)
 
 let diverged r = r.divergences <> [] || r.convergence_failures <> []
 
+(* ------------------------------------------------------------------ *)
+(* Phased SLO run: the same fleet-under-faults shape as [run], but the
+   deliverable is burn-rate verdicts per phase rather than a
+   differential. steady — clean traffic; churn — the busiest card is
+   killed at phase start; recovered — every cutout is revived. The SLO
+   engine ticks on fleet-simulated time (max per-card link seconds), so
+   windows are milliseconds of simulated time and the whole run is
+   deterministic.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type slo_phase = {
+  sp_phase : string;
+  sp_requests : int;
+  sp_ok : int;
+  sp_rejected : int;
+  sp_errors : int;
+  sp_ticks : int;
+  sp_breach_ticks : int;  (* ticks during the phase with any objective in breach *)
+  sp_peak_fast_burn : (string * float) list;  (* per objective, over the phase *)
+  sp_verdicts : Obs.Slo.verdict list;  (* at phase end *)
+  sp_now_ns : int64;  (* simulated time at phase end *)
+}
+
+let breached p = p.sp_breach_ticks > 0
+
+let slo_phase_json p =
+  let verdicts = List.map Obs.Slo.verdict_json p.sp_verdicts in
+  let peaks =
+    List.map
+      (fun (n, b) -> Printf.sprintf "{\"name\":%s,\"peak_fast_burn\":%.3f}"
+          (Obs.json_string n) b)
+      p.sp_peak_fast_burn
+  in
+  Printf.sprintf
+    "{\"phase\":%s,\"requests\":%d,\"ok\":%d,\"rejected\":%d,\"errors\":%d,\"ticks\":%d,\"breach_ticks\":%d,\"breached\":%b,\"now_ns\":%Ld,\"peak_burns\":[%s],\"verdicts\":[%s]}"
+    (Obs.json_string p.sp_phase) p.sp_requests p.sp_ok p.sp_rejected
+    p.sp_errors p.sp_ticks p.sp_breach_ticks (breached p) p.sp_now_ns
+    (String.concat "," peaks)
+    (String.concat "," verdicts)
+
+let run_slo ?(cards = 3) ?(queue_limit = 16) ?(max_reroutes = 2)
+    ?(standby_k = 2) ?probe_budget ?(batch = 3)
+    ?(churn_fault_seed = 1042L) ?(churn_fault_rate = 0.12)
+    ?(availability_target = 99.0) ?(latency_target = 95.0)
+    ?(latency_threshold_us = 8191) ?(fast_window_ns = 10_000_000L)
+    ?(slow_window_ns = 60_000_000L) ?(burn_threshold = 1.0) ~obs ~store
+    ~subject ~make_card ~requests () =
+  (* Frame faults are the churn phase's signature: the schedule is armed
+     only while the killed card's load is being redistributed, so the
+     availability burn is attributable to the incident. *)
+  let schedule =
+    Fault.Schedule.random ~seed:churn_fault_seed ~rate:churn_fault_rate ()
+  in
+  let faults_on = ref false in
+  let stacks = ref [] in
+  let make_stack i =
+    let raw, tear = make_card () in
+    let link =
+      Fault.Link.wrap ~obs ~schedule:(Fault.Schedule.for_card schedule i)
+        ~tear raw
+    in
+    let cutout = Fault.Cutout.create () in
+    let stack = { cutout; link; tear; raw } in
+    stacks := (i, stack) :: !stacks;
+    let faulty = Fault.Link.transport link in
+    let transport cmd =
+      Fault.Cutout.wrap cutout (if !faults_on then faulty else raw) cmd
+    in
+    (stack, transport)
+  in
+  let transports =
+    Array.init cards (fun i ->
+        let _, transport = make_stack i in
+        transport)
+  in
+  let fleet =
+    Fleet.create ~obs ~queue_limit ~max_reroutes ?probe_budget ~standby_k
+      ~store ~subject transports
+  in
+  let slo = Obs.Slo.create obs.Obs.metrics in
+  Obs.Slo.register slo ~name:"availability" ~target_pct:availability_target
+    ~fast_ns:fast_window_ns ~slow_ns:slow_window_ns ~burn_threshold
+    (Obs.Slo.Availability { good = "fleet.ok"; total = "fleet.requests" });
+  Obs.Slo.register slo ~name:"latency" ~target_pct:latency_target
+    ~fast_ns:fast_window_ns ~slow_ns:slow_window_ns ~burn_threshold
+    (Obs.Slo.Latency
+       { histogram = "fleet.latency_us"; threshold = latency_threshold_us });
+  (* Simulated now: the fleet's furthest-ahead card clock, in ns. Max is
+     monotone, so SLO windows see time that only moves forward. *)
+  let now_ns () =
+    let m = ref 0.0 in
+    for c = 0 to Fleet.card_count fleet - 1 do
+      m := Float.max !m (Fleet.clock fleet c)
+    done;
+    Int64.of_float (!m *. 1e9)
+  in
+  let kill_busiest () =
+    let stats = Fleet.stats fleet in
+    let best = ref (-1) and best_n = ref (-1) in
+    Array.iteri
+      (fun c n ->
+        if
+          c < Array.length stats.Fleet.states
+          && stats.Fleet.states.(c) = Fleet.Up
+          && n > !best_n
+        then begin
+          best := c;
+          best_n := n
+        end)
+      stats.Fleet.served_by;
+    match List.assoc_opt !best !stacks with
+    | Some s ->
+        s.tear ();
+        Fault.Cutout.kill s.cutout;
+        !best
+    | None -> -1
+  in
+  let revive_all () =
+    List.iter
+      (fun (c, s) ->
+        Fault.Cutout.revive s.cutout;
+        if c < Fleet.card_count fleet && Fleet.state fleet c = Fleet.Dead then
+          Fleet.revive_card fleet c)
+      !stacks
+  in
+  let run_phase name reqs =
+    faults_on := name = "churn";
+    (match name with
+    | "churn" -> ignore (kill_busiest ())
+    | "recovered" -> revive_all ()
+    | _ -> ());
+    let ticks = ref 0 and breach_ticks = ref 0 in
+    let peaks = Hashtbl.create 4 in
+    let outcomes = ref [] in
+    let rec batches = function
+      | [] -> ()
+      | rs ->
+          let now, rest =
+            let rec take k acc = function
+              | r :: tl when k > 0 -> take (k - 1) (r :: acc) tl
+              | tl -> (List.rev acc, tl)
+            in
+            take (max 1 batch) [] rs
+          in
+          let sts = List.map (Fleet.start fleet) now in
+          while List.exists (fun st -> Fleet.result st = None) sts do
+            Fleet.turn fleet
+          done;
+          outcomes :=
+            List.rev_append (List.map (fun st -> Option.get (Fleet.result st)) sts)
+              !outcomes;
+          let at = now_ns () in
+          Obs.Slo.tick ~now:at slo;
+          let verdicts = Obs.Slo.evaluate ~now:at slo in
+          incr ticks;
+          if List.exists (fun v -> v.Obs.Slo.breach) verdicts then
+            incr breach_ticks;
+          List.iter
+            (fun v ->
+              let prev =
+                Option.value ~default:0.0
+                  (Hashtbl.find_opt peaks v.Obs.Slo.name)
+              in
+              Hashtbl.replace peaks v.Obs.Slo.name
+                (Float.max prev v.Obs.Slo.fast_burn))
+            verdicts;
+          batches rest
+    in
+    batches reqs;
+    let ok, rejected, errors =
+      List.fold_left
+        (fun (ok, rej, err) (o : Fleet.outcome) ->
+          match o.Fleet.result with
+          | Ok _ -> (ok + 1, rej, err)
+          | Error Proxy.Overloaded -> (ok, rej + 1, err)
+          | Error _ -> (ok, rej, err + 1))
+        (0, 0, 0) !outcomes
+    in
+    let verdicts = Obs.Slo.evaluate ~now:(now_ns ()) slo in
+    {
+      sp_phase = name;
+      sp_requests = List.length reqs;
+      sp_ok = ok;
+      sp_rejected = rejected;
+      sp_errors = errors;
+      sp_ticks = !ticks;
+      sp_breach_ticks = !breach_ticks;
+      sp_peak_fast_burn =
+        List.map
+          (fun v ->
+            ( v.Obs.Slo.name,
+              Option.value ~default:0.0
+                (Hashtbl.find_opt peaks v.Obs.Slo.name) ))
+          verdicts;
+      sp_verdicts = verdicts;
+      sp_now_ns = now_ns ();
+    }
+  in
+  List.map
+    (fun phase -> run_phase phase (requests phase))
+    [ "steady"; "churn"; "recovered" ]
+
 (* Greedy minimization: drop campaign events one at a time while the
    failure reproduces, then shorten the request stream from the back.
    [rerun] rebuilds the whole world (fresh cards, fresh fleet) for every

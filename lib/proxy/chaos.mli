@@ -72,6 +72,78 @@ val run :
 val diverged : report -> bool
 (** Divergences or convergence failures present. *)
 
+(** {2 Phased SLO runs}
+
+    The same fleet-under-faults world, but the deliverable is SLO
+    verdicts: three phases — [steady] (clean traffic), [churn] (the
+    busiest card is killed at phase start), [recovered] (every cutout
+    revived) — with an {!Sdds_obs.Obs.Slo} engine ticking on fleet
+    simulated time after each admitted batch. The acceptance shape:
+    churn {!breached}, steady and recovered clean. *)
+
+type slo_phase = {
+  sp_phase : string;
+  sp_requests : int;
+  sp_ok : int;
+  sp_rejected : int;
+  sp_errors : int;
+  sp_ticks : int;  (** SLO samples taken during the phase (one per batch) *)
+  sp_breach_ticks : int;
+      (** ticks at which some objective was in breach — burn-rate pages
+          fire mid-phase and clear after settlement, so the phase-end
+          verdict alone would miss them *)
+  sp_peak_fast_burn : (string * float) list;
+      (** per objective, the worst fast-window burn seen in the phase *)
+  sp_verdicts : Sdds_obs.Obs.Slo.verdict list;  (** at phase end *)
+  sp_now_ns : int64;  (** simulated (fleet link-time) clock at phase end *)
+}
+
+val breached : slo_phase -> bool
+
+val slo_phase_json : slo_phase -> string
+
+val run_slo :
+  ?cards:int ->
+  ?queue_limit:int ->
+  ?max_reroutes:int ->
+  ?standby_k:int ->
+  ?probe_budget:int ->
+  ?batch:int ->
+  ?churn_fault_seed:int64 ->
+  ?churn_fault_rate:float ->
+  ?availability_target:float ->
+  ?latency_target:float ->
+  ?latency_threshold_us:int ->
+  ?fast_window_ns:int64 ->
+  ?slow_window_ns:int64 ->
+  ?burn_threshold:float ->
+  obs:Sdds_obs.Obs.t ->
+  store:Sdds_dsp.Store.t ->
+  subject:string ->
+  make_card:(unit -> Sdds_soe.Remote_card.Client.transport * (unit -> unit)) ->
+  requests:(string -> Proxy.Request.t list) ->
+  unit ->
+  slo_phase list
+(** [requests phase] supplies each phase's stream. Two objectives are
+    registered: [availability] ([fleet.ok] / [fleet.requests], target
+    99%) and [latency] ([fleet.latency_us] ≤ [latency_threshold_us],
+    which snaps to a log₂ bucket bound; default 8191 µs, target 95%).
+    The fleet's retry machinery absorbs frame faults entirely — no
+    typed errors surface — so the churn signature is {e latency}:
+    fault-retried serves land in the 16383/32767 µs buckets that
+    steady traffic (all ≤ 8191 µs) never touches. A seeded frame-fault
+    schedule ([churn_fault_seed]/[churn_fault_rate], default rate 0.12)
+    is armed {e only during churn}, alongside the kill, so the burn is
+    attributable to the incident. Windows default to 10 ms fast / 60 ms
+    slow of {e simulated} link time with burn threshold 1.0 —
+    scaled-down 5m/1h analogues sized to the harness's
+    millisecond-scale phases; the multi-window rule means the page
+    fires mid-churn ([sp_breach_ticks] > 0) and clears once the fast
+    window drains, so recovery shows as a clean [recovered] phase.
+    Requests are admitted in batches of [batch] (default 3) with a
+    tick and an evaluation after each batch. Returns the three phases
+    in order. *)
+
 val minimize :
   rerun:(Sdds_fault.Fault.Campaign.t -> int -> report) ->
   Sdds_fault.Fault.Campaign.t ->

@@ -412,6 +412,11 @@ let finish (t : t) st card latency result outcome_tag =
         migrations = job.j_migrations;
         latency_s = latency;
       };
+  (* SLO feed: before the root span stops, so the latency exemplar can
+     still resolve (and pin) the owning trace. *)
+  if outcome_tag = "ok" then Obs.inc t.obs "fleet.ok" 1;
+  Obs.observe ~span:job.span t.obs "fleet.latency_us"
+    (int_of_float (latency *. 1e6));
   Obs.Tracer.stop (Obs.tracer t.obs)
     ~args:
       [ ("outcome", outcome_tag);

@@ -21,22 +21,41 @@ if grep -rnE 'Proxy\.query\b|receive_push' \
 fi
 echo "wrapper gate: clean"
 
-echo "== bench smoke (E15 E16 E17 E18 E19 E20 E21 E22) =="
-dune exec bench/main.exe -- --smoke E15 E16 E17 E18 E19 E20 E21 E22
+echo "== bench smoke + perf-regression gate (E15..E23 vs BENCH_baseline.json) =="
+# The smoke run writes BENCH_engine.json and then compares it against
+# the committed baseline: deterministic (simulated) fields must match
+# within 5%, wall-clock costs may not grow more than SDDS_BENCH_WALL_TOL
+# (default 75%; widen on slow shared runners). Regenerate the baseline
+# with:  dune exec bench/main.exe -- --smoke E15 E16 E17 E18 E19 E20 \
+#        E21 E22 E23 --update-baseline
+dune exec bench/main.exe -- --smoke E15 E16 E17 E18 E19 E20 E21 E22 E23 \
+  --baseline BENCH_baseline.json
+
+echo "== perf gate self-test: injected regression must trip =="
+# Re-compare the same run with every ns_per_event tripled: the gate is
+# only trustworthy if it actually fails when fed a regression.
+if dune exec bench/main.exe -- --compare-only \
+     --baseline BENCH_baseline.json --inject-regression ns_per_event=3; then
+  echo "error: perf gate did not trip on an injected 3x ns/event regression" >&2
+  exit 1
+fi
+echo "perf gate self-test: tripped as expected"
 
 echo "== BENCH_engine.json schema check =="
-# The smoke run above rewrites BENCH_engine.json; the schema must be /9
+# The smoke run above rewrites BENCH_engine.json; the schema must be /10
 # and carry the E18 "obs" array (observability overhead points), the
 # E19 "fleet" array (cards x streams serving points), the E20 "dissem"
 # array (subscribers x overlap dissemination points), the E21 "check"
-# array (protocol model checker sweep points) and the E22 "chaos" array
-# (per-phase survivability points across a kill/revive cycle).
+# array (protocol model checker sweep points), the E22 "chaos" array
+# (per-phase survivability points across a kill/revive cycle) and the
+# E23 "sampling" array (head vs tail retention quality).
 if command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json, sys
 with open("BENCH_engine.json") as f:
     d = json.load(f)
-assert d["schema"] == "sdds-bench-engine/9", d["schema"]
+assert d["schema"] == "sdds-bench-engine/10", d["schema"]
+assert d["smoke"] is True, "smoke flag missing or false"
 obs = d["obs"]
 assert len(obs) >= 1, "empty obs array"
 modes = {r["mode"] for r in obs if r["experiment"] == "E18"}
@@ -110,12 +129,34 @@ churn = [r for r in chaos if r["phase"] == "churn"]
 assert all(r["deaths"] == 1 and r["migrations"] >= 1 for r in churn), churn
 rec = [r for r in chaos if r["phase"] == "recovered"]
 assert all(r["revives"] == 1 for r in rec), rec
-print("BENCH_engine.json: schema /9, %d obs + %d fleet + %d dissem + %d "
-      "check + %d chaos points"
-      % (len(obs), len(fleet), len(dissem), len(check), len(chaos)))
+sampling = d["sampling"]
+assert len(sampling) >= 3, "sampling array too small"
+for r in sampling:
+    assert r["experiment"] == "E23", r
+    for k in ("mode", "budget", "requests", "traces_total",
+              "retained_trees", "interesting_total", "interesting_retained",
+              "retention_pct", "storage_events", "exemplar_ok"):
+        assert k in r, k
+    assert r["exemplar_ok"] is True, r
+by_mode = {r["mode"]: r for r in sampling}
+assert set(by_mode) == {"full", "head", "tail"}, set(by_mode)
+# The tentpole claim: at the same 1-in-N baseline budget, tail sampling
+# keeps every interesting (error/fault/migration) tree where head
+# sampling keeps roughly 1-in-N of them.
+assert by_mode["head"]["budget"] == by_mode["tail"]["budget"], by_mode
+assert by_mode["tail"]["retention_pct"] == 100.0, by_mode["tail"]
+assert by_mode["head"]["retention_pct"] < 20.0, by_mode["head"]
+assert (by_mode["tail"]["storage_events"]
+        < by_mode["full"]["storage_events"]), by_mode
+print("BENCH_engine.json: schema /10, %d obs + %d fleet + %d dissem + %d "
+      "check + %d chaos + %d sampling points; tail retention %.1f%% vs "
+      "head %.1f%%"
+      % (len(obs), len(fleet), len(dissem), len(check), len(chaos),
+         len(sampling), by_mode["tail"]["retention_pct"],
+         by_mode["head"]["retention_pct"]))
 EOF
 else
-  grep -q '"schema": "sdds-bench-engine/9"' BENCH_engine.json
+  grep -q '"schema": "sdds-bench-engine/10"' BENCH_engine.json
   grep -q '"obs": \[' BENCH_engine.json
   grep -q '"mode": "full"' BENCH_engine.json
   grep -q '"fleet": \[' BENCH_engine.json
@@ -126,7 +167,10 @@ else
   grep -q '"experiment": "E21"' BENCH_engine.json
   grep -q '"chaos": \[' BENCH_engine.json
   grep -q '"experiment": "E22"' BENCH_engine.json
-  echo "BENCH_engine.json: schema /9 (python3 unavailable; grep check)"
+  grep -q '"sampling": \[' BENCH_engine.json
+  grep -q '"experiment": "E23"' BENCH_engine.json
+  grep -q '"mode": "tail"' BENCH_engine.json
+  echo "BENCH_engine.json: schema /10 (python3 unavailable; grep check)"
 fi
 
 echo "== fleet smoke: 2 cards x 16 streams, fixed seed =="
@@ -188,6 +232,38 @@ else
   printf '%s' "$chaos_out" | grep -q '"errors":0'
   printf '%s' "$chaos_out" | grep -qv '"migrations":0,'
   echo "chaos soak ok (python3 unavailable; grep check)"
+fi
+
+echo "== slo smoke: burn-rate page during churn, clean recovery =="
+# The three-phase incident drill with fixed seeds: the steady phase must
+# stay clean, the churn phase (kill + frame faults) must trip the
+# multi-window burn-rate page at least once (fault-retried requests land
+# in latency buckets steady traffic never touches), and the recovered
+# phase must be clean with every final verdict healthy — the fast
+# window drains after the incident, which is exactly the multi-window
+# alert clearing.
+slo_out="$(dune exec bin/sdds_cli.exe -- slo --json)"
+echo "$slo_out"
+if command -v python3 >/dev/null 2>&1; then
+  SLO_JSON="$slo_out" python3 - <<'EOF'
+import json, os
+phases = [json.loads(l) for l in os.environ["SLO_JSON"].splitlines() if l]
+by = {p["phase"]: p for p in phases}
+assert set(by) == {"steady", "churn", "recovered"}, set(by)
+assert by["steady"]["breach_ticks"] == 0, by["steady"]
+assert by["churn"]["breach_ticks"] > 0 and by["churn"]["breached"], by["churn"]
+assert by["recovered"]["breach_ticks"] == 0, by["recovered"]
+for p in phases:
+    assert p["errors"] == 0, p
+for v in by["recovered"]["verdicts"]:
+    assert v["breach"] is False, v
+print("slo smoke: page fired %d tick(s) during churn, steady/recovered clean"
+      % by["churn"]["breach_ticks"])
+EOF
+else
+  printf '%s' "$slo_out" | grep -q '"phase":"churn"'
+  printf '%s' "$slo_out" | grep -q '"breached":true'
+  echo "slo smoke ok (python3 unavailable; grep check)"
 fi
 
 echo "== minimized flake replay: tear-induced stale-channel regression =="

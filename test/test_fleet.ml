@@ -20,6 +20,7 @@ module Drbg = Sdds_crypto.Drbg
 module Rsa = Sdds_crypto.Rsa
 module Rng = Sdds_util.Rng
 module Obs = Sdds_obs.Obs
+module Json = Sdds_analysis.Json
 
 (* ------------------------------------------------------------------ *)
 (* Chain protocol: exactly-once completion under retransmission        *)
@@ -810,6 +811,150 @@ let qcheck_chaos_campaign =
       in
       not (Chaos.diverged report))
 
+(* A chaos kill is exactly what tail sampling exists to retain: with no
+   baseline at all, the killed card's migrated request survives sampling
+   because of its [fleet.migrate] child span, and that child is in both
+   exports of the retained tree. *)
+let test_kill_retains_migration_trace () =
+  let w = Lazy.force fleet_world in
+  let obs =
+    Obs.create
+      ~clock:(Obs.Clock.manual ())
+      ~policy:(Obs.Policy.v [ Obs.Policy.span_named "fleet.migrate" ])
+      ()
+  in
+  let hosts = fresh_hosts w 2 in
+  let dead =
+    Fault.Link.wrap
+      ~schedule:
+        (Fault.Schedule.random ~seed:1L ~rate:1.0
+           ~kinds:[| Fault.Drop_command |] ())
+      ~tear:(fun () -> Remote.Host.tear hosts.(0))
+      (Remote.Host.process hosts.(0))
+  in
+  let fleet =
+    Fleet.create ~obs ~routing:Fleet.Least_loaded ~store:w.store ~subject:"u"
+      [| Fault.Link.transport dead; Remote.Host.process hosts.(1) |]
+  in
+  (match Fleet.serve fleet [ Proxy.Request.make (fdoc 0) ] with
+  | [ { Fleet.result = Ok _; _ } ] -> ()
+  | [ { Fleet.result = Error e; _ } ] ->
+      Alcotest.failf "killed-card request failed: %a" Proxy.pp_error e
+  | _ -> Alcotest.fail "one request, one outcome");
+  Alcotest.(check int) "death declared" 1 (Fleet.stats fleet).Fleet.deaths;
+  let tr = obs.Obs.tracer in
+  Alcotest.(check int) "only the migrated tree was retained" 1
+    (Obs.Tracer.kept_trees tr);
+  let events =
+    String.split_on_char '\n' (Obs.Tracer.to_jsonl tr)
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l ->
+           match Json.parse l with
+           | Ok j -> j
+           | Error e -> Alcotest.failf "bad export line %S: %s" l e)
+  in
+  let field k j = Json.member k j in
+  let root =
+    match
+      List.find_opt
+        (fun j ->
+          field "type" j = Some (Json.String "span")
+          && field "parent" j = Some (Json.Int 0))
+        events
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "no retained root span in the export"
+  in
+  (* The tree is retained either by the migration rule or because its
+     latency observation installed a bucket exemplar first (pins outrank
+     rules); both keep the whole tree, which is the property that
+     matters here. *)
+  (match
+     Option.bind (field "args" root) (fun a ->
+         Option.bind (field "sampled.reason" a) Json.to_string_opt)
+   with
+  | Some ("span:fleet.migrate" | "exemplar") -> ()
+  | r ->
+      Alcotest.failf "unexpected retention reason %s"
+        (Option.value ~default:"<none>" r));
+  let root_id = Option.get (Option.bind (field "id" root) Json.to_int_opt) in
+  Alcotest.(check bool) "fleet.migrate is a child of the retained root" true
+    (List.exists
+       (fun j ->
+         field "name" j = Some (Json.String "fleet.migrate")
+         && field "parent" j = Some (Json.Int root_id))
+       events);
+  (* The same tree, migration included, is in the Chrome export. *)
+  let chrome = Obs.Tracer.to_chrome tr in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "chrome export has the migration span" true
+    (contains chrome "\"name\":\"fleet.migrate\"");
+  Alcotest.(check bool) "chrome export names the retention reason" true
+    (contains chrome "\"sampled.reason\":\"")
+
+(* The phased SLO run end to end: clean steady phase, a page (breach
+   ticks) while the kill + frame faults are live, and a clean recovered
+   phase once the fast window drains — the multi-window acceptance shape
+   the CLI and CI assert, pinned here as a unit test. *)
+let test_run_slo_phases () =
+  let w = Lazy.force fleet_world in
+  let obs = Obs.create ~clock:(Obs.Clock.manual ()) ~tracing:false () in
+  let make_card () =
+    let card = Card.create ~profile:Cost.modern ~subject:"u" w.user in
+    let host = Remote.Host.create ~card ~resolve:(fleet_resolve w) () in
+    (Remote.Host.process host, fun () -> Remote.Host.tear host)
+  in
+  (* One stream rng across the three phases and a 3-doc hot set, as the
+     [sdds slo] defaults do — the concentrated mix is what makes churn
+     latency separate cleanly from steady traffic. *)
+  let rng = Rng.create 42L in
+  let requests _phase =
+    List.init 48 (fun _ ->
+        let doc = fdoc (Rng.int rng 3) in
+        let xpath =
+          match Rng.int rng 3 with 0 -> Some "//patient/name" | _ -> None
+        in
+        Proxy.Request.make ?xpath doc)
+  in
+  (* This world's keys make the cards a touch faster than the CLI's
+     default world, so only ~3 fault-retried churn serves cross the
+     8191 µs bucket bound; a 98% objective makes those 3-in-48 a
+     page-worthy burn while steady traffic (zero bad) stays silent. *)
+  match
+    Chaos.run_slo ~cards:3 ~latency_target:98.0 ~obs ~store:w.store
+      ~subject:"u" ~make_card ~requests ()
+  with
+  | [ steady; churn; recovered ] ->
+      Alcotest.(check string) "phase order" "steady" steady.Chaos.sp_phase;
+      Alcotest.(check string) "phase order" "churn" churn.Chaos.sp_phase;
+      Alcotest.(check string) "phase order" "recovered"
+        recovered.Chaos.sp_phase;
+      List.iter
+        (fun p ->
+          Alcotest.(check int)
+            (p.Chaos.sp_phase ^ ": no typed errors")
+            0 p.Chaos.sp_errors)
+        [ steady; churn; recovered ];
+      Alcotest.(check int) "steady phase never pages" 0
+        steady.Chaos.sp_breach_ticks;
+      Alcotest.(check bool) "churn pages mid-phase" true
+        (churn.Chaos.sp_breach_ticks > 0);
+      Alcotest.(check bool) "churn phase reports the breach" true
+        (Chaos.breached churn);
+      Alcotest.(check int) "recovered phase never pages" 0
+        recovered.Chaos.sp_breach_ticks;
+      Alcotest.(check bool) "recovered phase-end verdicts are clean" true
+        (List.for_all
+           (fun v -> not v.Obs.Slo.breach)
+           recovered.Chaos.sp_verdicts);
+      Alcotest.(check bool) "simulated clock advances" true
+        (Int64.compare recovered.Chaos.sp_now_ns churn.Chaos.sp_now_ns > 0)
+  | ps -> Alcotest.failf "expected three phases, got %d" (List.length ps)
+
 let suite =
   [
     Alcotest.test_case "single-frame duplicate final is re-acked" `Quick
@@ -843,4 +988,8 @@ let suite =
     Alcotest.test_case "stats reconcile with the metrics registry" `Quick
       test_fleet_registry_reconciliation;
     QCheck_alcotest.to_alcotest qcheck_chaos_campaign;
+    Alcotest.test_case "a chaos kill's migration trace is retained" `Quick
+      test_kill_retains_migration_trace;
+    Alcotest.test_case "phased slo run: steady clean, churn pages, recovers"
+      `Quick test_run_slo_phases;
   ]

@@ -22,6 +22,7 @@ module Publish = Sdds_dsp.Publish
 module Store = Sdds_dsp.Store
 module Drbg = Sdds_crypto.Drbg
 module Rsa = Sdds_crypto.Rsa
+module Json = Sdds_analysis.Json
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -172,7 +173,360 @@ let test_ring_is_bounded () =
     Obs.Tracer.with_span tr "s" (fun () -> ())
   done;
   Alcotest.(check int) "ring holds capacity" 8 (Obs.Tracer.recorded tr);
-  Alcotest.(check int) "overwrites counted" 42 (Obs.Tracer.dropped tr)
+  Alcotest.(check int) "overwrites counted" 42 (Obs.Tracer.evicted tr)
+
+(* ------------------------------------------------------------------ *)
+(* Tail sampling                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Parse a JSONL export into (root spans, all events) with typed access;
+   fails the test on malformed lines so export bugs surface loudly. *)
+let parse_jsonl jsonl =
+  let events =
+    String.split_on_char '\n' jsonl
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l ->
+           match Json.parse l with
+           | Ok j -> j
+           | Error e -> Alcotest.failf "bad export line %S: %s" l e)
+  in
+  let spans = List.filter (fun j -> Json.member "type" j = Some (Json.String "span")) events in
+  let roots =
+    List.filter (fun j -> Json.member "parent" j = Some (Json.Int 0)) spans
+  in
+  (roots, events)
+
+let arg_of j key =
+  Option.bind (Json.member "args" j) (fun a ->
+      Option.bind (Json.member key a) Json.to_string_opt)
+
+let tail_tracer ?capacity policy =
+  Obs.Tracer.create ~clock:(Obs.Clock.manual ()) ?capacity ~policy ()
+
+(* Each non-baseline retention reason must be earned: build one tree per
+   rule, plus an uninteresting one, and check who survived and why. *)
+let test_tail_policy_reasons () =
+  let policy =
+    Obs.Policy.default ~baseline_1_in:0 ~latency_ns:1_000_000L ()
+  in
+  let tr = tail_tracer policy in
+  (* error: a child span finishes with a non-ok outcome *)
+  let r1 = Obs.Tracer.start tr ~args:[ ("case", "error") ] "req" in
+  let c1 = Obs.Tracer.start tr ~parent:r1 "child" in
+  Obs.Tracer.stop tr ~args:[ ("outcome", "timeout") ] c1;
+  Obs.Tracer.stop tr r1;
+  (* fault: an injected-fault instant inside the tree *)
+  let r2 = Obs.Tracer.start tr ~args:[ ("case", "fault") ] "req" in
+  Obs.Tracer.with_parent tr r2 (fun () -> Obs.Tracer.instant tr "fault");
+  Obs.Tracer.stop tr r2;
+  (* migration span *)
+  let r3 = Obs.Tracer.start tr ~args:[ ("case", "migrate") ] "req" in
+  let c3 = Obs.Tracer.start tr ~parent:r3 "fleet.migrate" in
+  Obs.Tracer.stop tr c3;
+  Obs.Tracer.stop tr r3;
+  (* slow: exceed the 1ms latency threshold on the manual clock *)
+  let r4 = Obs.Tracer.start tr ~args:[ ("case", "slow") ] "req" in
+  for _ = 1 to 2000 do
+    ignore (Obs.Tracer.now tr)
+  done;
+  Obs.Tracer.stop tr r4;
+  (* boring: nothing interesting, no baseline (1-in-0) *)
+  let r5 = Obs.Tracer.start tr ~args:[ ("case", "boring") ] "req" in
+  let c5 = Obs.Tracer.start tr ~parent:r5 "child" in
+  Obs.Tracer.stop tr ~args:[ ("outcome", "ok") ] c5;
+  Obs.Tracer.stop tr r5;
+  let roots, _ = parse_jsonl (Obs.Tracer.to_jsonl tr) in
+  let reason_of case =
+    List.find_map
+      (fun r -> if arg_of r "case" = Some case then arg_of r "sampled.reason" else None)
+      roots
+  in
+  Alcotest.(check (option string)) "error reason" (Some "error")
+    (reason_of "error");
+  Alcotest.(check (option string)) "fault reason" (Some "fault")
+    (reason_of "fault");
+  Alcotest.(check (option string)) "migrate reason" (Some "span:fleet.migrate")
+    (reason_of "migrate");
+  Alcotest.(check (option string)) "latency reason" (Some "latency")
+    (reason_of "slow");
+  Alcotest.(check bool) "boring tree dropped" true
+    (List.for_all (fun r -> arg_of r "case" <> Some "boring") roots);
+  Alcotest.(check int) "four trees kept" 4 (Obs.Tracer.kept_trees tr);
+  Alcotest.(check int) "one tree dropped" 1 (Obs.Tracer.dropped_trees tr);
+  (* Children travel with their kept root. *)
+  Alcotest.(check int) "four roots exported" 4 (List.length roots)
+
+let test_tail_baseline_and_children () =
+  let tr = tail_tracer (Obs.Policy.v ~baseline_1_in:3 []) in
+  for _ = 1 to 9 do
+    Obs.Tracer.with_span tr "root" (fun () ->
+        Obs.Tracer.with_span tr "child" (fun () -> ()))
+  done;
+  let roots, events = parse_jsonl (Obs.Tracer.to_jsonl tr) in
+  Alcotest.(check int) "1-in-3 baseline" 3 (List.length roots);
+  List.iter
+    (fun r ->
+      Alcotest.(check (option string)) "baseline reason" (Some "baseline")
+        (arg_of r "sampled.reason"))
+    roots;
+  (* Each kept root brought its child; no orphans from dropped trees. *)
+  let spans = List.filter (fun j -> Json.member "type" j = Some (Json.String "span")) events in
+  Alcotest.(check int) "children follow kept roots" 6 (List.length spans);
+  Alcotest.(check int) "six trees dropped" 6 (Obs.Tracer.dropped_trees tr)
+
+(* Sampling accounting rides the meta line / Chrome metadata, and
+   eviction of a buffered tree is surfaced in both exporters. *)
+let test_tail_meta_and_eviction () =
+  let tr = tail_tracer ~capacity:4 (Obs.Policy.v ~baseline_1_in:1 []) in
+  for _ = 1 to 3 do
+    Obs.Tracer.with_span tr "root" (fun () ->
+        Obs.Tracer.with_span tr "child" (fun () -> ()))
+  done;
+  Alcotest.(check bool) "ring evicted something" true
+    (Obs.Tracer.evicted tr > 0);
+  let jsonl = Obs.Tracer.to_jsonl tr in
+  (match String.split_on_char '\n' jsonl with
+  | meta :: _ -> (
+      match Json.parse meta with
+      | Ok j ->
+          Alcotest.(check bool) "meta line first" true
+            (Json.member "type" j = Some (Json.String "meta"));
+          Alcotest.(check bool) "meta counts evictions" true
+            (match Json.member "evicted" j with
+            | Some (Json.Int n) -> n = Obs.Tracer.evicted tr
+            | _ -> false);
+          Alcotest.(check bool) "meta counts kept trees" true
+            (match Json.member "kept_trees" j with
+            | Some (Json.Int n) -> n = Obs.Tracer.kept_trees tr
+            | _ -> false)
+      | Error e -> Alcotest.failf "meta line does not parse: %s" e)
+  | [] -> Alcotest.fail "empty export");
+  Alcotest.(check bool) "chrome metadata object" true
+    (contains (Obs.Tracer.to_chrome tr) "\"metadata\":{\"recorded\":")
+
+let test_create_rejects_head_and_tail () =
+  match Obs.create ~sample_1_in:4 ~policy:(Obs.Policy.default ()) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "head + tail sampling together must be rejected"
+
+(* Every non-baseline retained tree satisfies the rule that kept it, and
+   every interesting tree is retained — across random mixes of error /
+   fault / migration trees. *)
+let qcheck_tail_policy_sound =
+  QCheck2.Test.make ~name:"tail retention is sound and complete" ~count:60
+    QCheck2.Gen.(list_size (int_range 1 30) (triple bool bool bool))
+    (fun trees ->
+      let policy =
+        Obs.Policy.v ~baseline_1_in:4
+          [
+            Obs.Policy.error_outcome;
+            Obs.Policy.fault_instant;
+            Obs.Policy.span_named "fleet.migrate";
+          ]
+      in
+      let tr = tail_tracer policy in
+      List.iteri
+        (fun i (err, fault, migrate) ->
+          let root =
+            Obs.Tracer.start tr ~args:[ ("i", string_of_int i) ] "req"
+          in
+          if fault then
+            Obs.Tracer.with_parent tr root (fun () ->
+                Obs.Tracer.instant tr "fault");
+          if migrate then begin
+            let c = Obs.Tracer.start tr ~parent:root "fleet.migrate" in
+            Obs.Tracer.stop tr c
+          end;
+          Obs.Tracer.stop tr
+            ~args:[ ("outcome", (if err then "error" else "ok")) ]
+            root)
+        trees;
+      let roots, _ = parse_jsonl (Obs.Tracer.to_jsonl tr) in
+      let props = Array.of_list trees in
+      let sound =
+        List.for_all
+          (fun r ->
+            let i = int_of_string (Option.get (arg_of r "i")) in
+            let err, fault, migrate = props.(i) in
+            match Option.get (arg_of r "sampled.reason") with
+            | "error" -> err
+            | "fault" -> fault
+            | "span:fleet.migrate" -> migrate
+            | "baseline" -> true
+            | other -> Alcotest.failf "unknown reason %s" other)
+          roots
+      in
+      let complete =
+        List.for_all
+          (fun i ->
+            let err, fault, migrate = props.(i) in
+            (not (err || fault || migrate))
+            || List.exists (fun r -> arg_of r "i" = Some (string_of_int i)) roots)
+          (List.init (Array.length props) Fun.id)
+      in
+      sound && complete
+      && Obs.Tracer.kept_trees tr + Obs.Tracer.dropped_trees tr
+         = Array.length props)
+
+(* ------------------------------------------------------------------ *)
+(* Exemplars                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_exemplars_and_snapshot () =
+  let m = Obs.Metrics.create () in
+  let h1 = Obs.Metrics.Histogram.create ()
+  and h2 = Obs.Metrics.Histogram.create () in
+  Obs.Metrics.attach_histogram m "lat" h1;
+  Obs.Metrics.attach_histogram m "lat" h2;
+  Alcotest.(check bool) "first observation installs an exemplar" true
+    (Obs.Metrics.Histogram.observe_exemplar h1 ~trace:7 ~span:8 100);
+  Alcotest.(check bool) "smaller value in the same bucket does not" false
+    (Obs.Metrics.Histogram.observe_exemplar h1 ~trace:9 ~span:10 80);
+  Alcotest.(check bool) "larger value replaces it" true
+    (Obs.Metrics.Histogram.observe_exemplar h1 ~trace:11 ~span:12 120);
+  Alcotest.(check bool) "other cell, other bucket" true
+    (Obs.Metrics.Histogram.observe_exemplar h2 ~trace:13 ~span:14 3000);
+  (* The aggregated snapshot reconciles with the cells it sums. *)
+  let s = Obs.Metrics.histogram_snapshot m "lat" in
+  Alcotest.(check int) "snapshot count sums cells"
+    (Obs.Metrics.Histogram.count h1 + Obs.Metrics.Histogram.count h2)
+    s.Obs.Metrics.h_count;
+  Alcotest.(check int) "snapshot sum sums cells"
+    (Obs.Metrics.Histogram.sum h1 + Obs.Metrics.Histogram.sum h2)
+    s.Obs.Metrics.h_sum;
+  let cell_count cell ub =
+    Option.value ~default:0
+      (List.assoc_opt ub (Obs.Metrics.Histogram.buckets cell))
+  in
+  List.iter
+    (fun (ub, n) ->
+      Alcotest.(check int)
+        (Printf.sprintf "bucket %d sums cells" ub)
+        (cell_count h1 ub + cell_count h2 ub)
+        n)
+    s.Obs.Metrics.h_buckets;
+  (* Max-value exemplar per bucket across cells. *)
+  (match
+     List.assoc_opt 127 s.Obs.Metrics.h_exemplars,
+     List.assoc_opt 4095 s.Obs.Metrics.h_exemplars
+   with
+  | Some e1, Some e2 ->
+      Alcotest.(check int) "bucket-127 exemplar is the max" 120
+        e1.Obs.Metrics.Histogram.ex_value;
+      Alcotest.(check int) "its trace id" 11 e1.Obs.Metrics.Histogram.ex_trace;
+      Alcotest.(check int) "bucket-4095 exemplar" 3000
+        e2.Obs.Metrics.Histogram.ex_value
+  | _ -> Alcotest.fail "expected exemplars on buckets 127 and 4095");
+  (* Exemplars surface in both exporters. *)
+  let prom = Obs.Metrics.to_prometheus m in
+  Alcotest.(check bool) "prometheus exemplar suffix" true
+    (contains prom "# {trace_id=\"11\",span_id=\"12\"} 120");
+  let json = Obs.Metrics.to_json m in
+  Alcotest.(check bool) "json exemplars" true
+    (contains json "\"exemplars\":[[127,120,11,12],[4095,3000,13,14]]")
+
+(* A bucket-max observation under an open span pins the owning trace, so
+   every exported exemplar resolves into the retained trace — even when
+   the tree is otherwise uninteresting to the policy. *)
+let test_exemplar_pins_trace () =
+  let o =
+    Obs.create
+      ~clock:(Obs.Clock.manual ())
+      ~policy:(Obs.Policy.v ~baseline_1_in:0 [])
+      ()
+  in
+  let tr = o.Obs.tracer in
+  let root = Obs.Tracer.start tr "req" in
+  Obs.Tracer.with_parent tr root (fun () ->
+      Obs.observe (Some o) "lat" 900);
+  Obs.Tracer.stop tr root;
+  (* A second, slower tree replaces the bucket max and pins itself. *)
+  let root2 = Obs.Tracer.start tr "req" in
+  Obs.Tracer.with_parent tr root2 (fun () ->
+      Obs.observe (Some o) "lat" 1000);
+  Obs.Tracer.stop tr root2;
+  let roots, _ = parse_jsonl (Obs.Tracer.to_jsonl tr) in
+  List.iter
+    (fun r ->
+      Alcotest.(check (option string)) "pinned reason" (Some "exemplar")
+        (arg_of r "sampled.reason"))
+    roots;
+  let s = Obs.Metrics.histogram_snapshot o.Obs.metrics "lat" in
+  List.iter
+    (fun (_, e) ->
+      Alcotest.(check bool) "exemplar trace id is a retained root" true
+        (List.exists
+           (fun r ->
+             Json.member "id" r
+             = Some (Json.Int e.Obs.Metrics.Histogram.ex_trace))
+           roots))
+    s.Obs.Metrics.h_exemplars;
+  Alcotest.(check int) "trace.retained counts the pins" 2
+    (Obs.Metrics.counter_value o.Obs.metrics "trace.retained")
+
+(* ------------------------------------------------------------------ *)
+(* SLO engine                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_slo_burn_rates () =
+  let m = Obs.Metrics.create () in
+  let good = Obs.Metrics.counter m "rq.good"
+  and total = Obs.Metrics.counter m "rq.total" in
+  let slo = Obs.Slo.create m in
+  Obs.Slo.register slo ~name:"avail" ~target_pct:90.0 ~fast_ns:10L
+    ~slow_ns:100L ~burn_threshold:2.0
+    (Obs.Slo.Availability { good = "rq.good"; total = "rq.total" });
+  Obs.Slo.tick ~now:0L slo;
+  (* An incident: 2 bad of 10 -> bad fraction 0.2 over a 10% budget =
+     burn 2.0 in both windows. *)
+  Obs.Metrics.Counter.add good 8;
+  Obs.Metrics.Counter.add total 10;
+  Obs.Slo.tick ~now:5L slo;
+  (match Obs.Slo.evaluate ~now:5L slo with
+  | [ v ] ->
+      Alcotest.(check (float 0.001)) "fast burn" 2.0 v.Obs.Slo.fast_burn;
+      Alcotest.(check (float 0.001)) "slow burn" 2.0 v.Obs.Slo.slow_burn;
+      Alcotest.(check bool) "both windows burning: breach" true
+        v.Obs.Slo.breach
+  | vs -> Alcotest.failf "expected one verdict, got %d" (List.length vs));
+  (* Recovery: 20 clean requests later the fast window is clean while
+     the slow window still remembers — no page. *)
+  Obs.Metrics.Counter.add good 20;
+  Obs.Metrics.Counter.add total 20;
+  Obs.Slo.tick ~now:20L slo;
+  (match Obs.Slo.evaluate ~now:25L slo with
+  | [ v ] ->
+      Alcotest.(check (float 0.001)) "fast window clean" 0.0
+        v.Obs.Slo.fast_burn;
+      Alcotest.(check bool) "slow window still burning a little" true
+        (v.Obs.Slo.slow_burn > 0.0);
+      Alcotest.(check bool) "multi-window: no page after settlement" false
+        v.Obs.Slo.breach;
+      Alcotest.(check (float 0.01)) "compliance over slow window" 93.33
+        v.Obs.Slo.current_pct
+  | vs -> Alcotest.failf "expected one verdict, got %d" (List.length vs))
+
+let test_slo_latency_objective () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  let slo = Obs.Slo.create m in
+  Obs.Slo.register slo ~name:"lat" ~target_pct:50.0 ~fast_ns:10L
+    ~slow_ns:100L ~burn_threshold:1.0
+    (Obs.Slo.Latency { histogram = "lat"; threshold = 127 });
+  Obs.Slo.tick ~now:0L slo;
+  Obs.Metrics.Histogram.observe h 50;
+  (* good: <= 127 *)
+  Obs.Metrics.Histogram.observe h 200;
+  (* bad *)
+  Obs.Slo.tick ~now:5L slo;
+  match Obs.Slo.evaluate ~now:5L slo with
+  | [ v ] ->
+      Alcotest.(check int) "good counts the fast buckets" 1 v.Obs.Slo.good;
+      Alcotest.(check int) "total counts everything" 2 v.Obs.Slo.total;
+      (* bad fraction 0.5 over a 50% budget = burn 1.0 *)
+      Alcotest.(check (float 0.001)) "burn" 1.0 v.Obs.Slo.fast_burn;
+      Alcotest.(check bool) "at threshold: breach" true v.Obs.Slo.breach
+  | vs -> Alcotest.failf "expected one verdict, got %d" (List.length vs)
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline contracts                                                   *)
@@ -255,9 +609,9 @@ let requests =
   ]
 
 (* A full pool run under one scope; returns (obs, link, served). *)
-let traced_pool_run ?(schedule = Fault.Schedule.none) () =
+let traced_pool_run ?(schedule = Fault.Schedule.none) ?policy () =
   let w = Lazy.force world in
-  let obs = Obs.create ~clock:(Obs.Clock.manual ()) () in
+  let obs = Obs.create ~clock:(Obs.Clock.manual ()) ?policy () in
   let card = Card.create ~obs ~profile:Cost.modern ~subject:"u" w.user in
   let host =
     Remote.Host.create ~obs ~card
@@ -296,6 +650,28 @@ let test_deterministic_trace () =
   Alcotest.(check string) "identical Chrome trace" c1 c2;
   Alcotest.(check bool) "trace is non-trivial" true
     (contains j1 "\"name\":\"proxy.request\"" && contains j1 "\"name\":\"apdu\"")
+
+(* The same determinism guarantee holds in tail mode: the policy decision
+   path (buffer, evaluate, flush) introduces no ordering or accounting
+   nondeterminism. *)
+let test_deterministic_tail_trace () =
+  let run () =
+    let obs, _, _, _ =
+      traced_pool_run
+        ~schedule:(Fault.Schedule.random ~seed:99L ~rate:0.1 ())
+        ~policy:(Obs.Policy.default ~baseline_1_in:0 ())
+        ()
+    in
+    (Obs.Tracer.to_jsonl obs.Obs.tracer, Obs.Tracer.to_chrome obs.Obs.tracer)
+  in
+  let j1, c1 = run () in
+  let j2, c2 = run () in
+  Alcotest.(check string) "identical tail JSONL" j1 j2;
+  Alcotest.(check string) "identical tail Chrome trace" c1 c2;
+  (* Under a 10% fault schedule at least one tree is interesting, and
+     the export says why it was kept. *)
+  Alcotest.(check bool) "a retained tree names its reason" true
+    (contains j1 "\"sampled.reason\"")
 
 (* One accounting source of truth: the legacy stats records and the
    registry aggregate the very same cells. *)
@@ -409,9 +785,28 @@ let suite =
     Alcotest.test_case "sampling keeps whole trees" `Quick
       test_sampling_keeps_whole_trees;
     Alcotest.test_case "ring buffer is bounded" `Quick test_ring_is_bounded;
+    Alcotest.test_case "tail policy names its retention reasons" `Quick
+      test_tail_policy_reasons;
+    Alcotest.test_case "tail baseline keeps 1-in-N whole trees" `Quick
+      test_tail_baseline_and_children;
+    Alcotest.test_case "sampling accounting in meta line and metadata" `Quick
+      test_tail_meta_and_eviction;
+    Alcotest.test_case "head and tail sampling are exclusive" `Quick
+      test_create_rejects_head_and_tail;
+    QCheck_alcotest.to_alcotest qcheck_tail_policy_sound;
+    Alcotest.test_case "exemplars aggregate and export" `Quick
+      test_exemplars_and_snapshot;
+    Alcotest.test_case "exemplars pin their trace against tail drops" `Quick
+      test_exemplar_pins_trace;
+    Alcotest.test_case "slo burn rates page and settle" `Quick
+      test_slo_burn_rates;
+    Alcotest.test_case "slo latency objective reads the histogram" `Quick
+      test_slo_latency_objective;
     QCheck_alcotest.to_alcotest qcheck_zero_overhead;
     Alcotest.test_case "fixed clock + fault seed: identical exports" `Quick
       test_deterministic_trace;
+    Alcotest.test_case "tail mode: identical exports" `Quick
+      test_deterministic_tail_trace;
     Alcotest.test_case "registry reconciles with legacy stats views" `Quick
       test_registry_reconciles_with_legacy_views;
     Alcotest.test_case "engine cells are the stats record" `Quick
